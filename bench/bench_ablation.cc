@@ -1,0 +1,122 @@
+// Ablation study over the sentiment miner's design choices (DESIGN.md
+// experiment E10): negation handling, the contrastive-PP rule, the local-NP
+// fallback, an aggressive whole-sentence fallback, and sweeps over pattern
+// database and sentiment lexicon size. Run on the Table 4 review workload.
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "corpus/datasets.h"
+#include "eval/evaluator.h"
+#include "eval/report.h"
+#include "lexicon/pattern_db.h"
+#include "lexicon/sentiment_lexicon.h"
+
+namespace {
+
+using namespace wf;
+
+// First `fraction` of the non-comment lines of `text`.
+std::string TruncateLines(const char* text, double fraction) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view sv = common::StripWhitespace(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    lines.emplace_back(sv);
+  }
+  size_t keep = static_cast<size_t>(lines.size() * fraction);
+  std::string out;
+  for (size_t i = 0; i < keep; ++i) out += lines[i] + "\n";
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t seed = bench::BenchSeed();
+  corpus::ReviewDataset camera = corpus::BuildCameraDataset(seed);
+  corpus::ReviewDataset music = corpus::BuildMusicDataset(seed + 100);
+  std::vector<corpus::GeneratedDoc> reviews = camera.d_plus;
+  reviews.insert(reviews.end(), music.d_plus.begin(), music.d_plus.end());
+
+  std::printf("%s", eval::Banner("Ablation — analyzer feature switches "
+                                 "(review workload)")
+                        .c_str());
+  eval::TablePrinter table(
+      {"Configuration", "Precision", "Recall", "Accuracy"});
+
+  eval::GoldEvaluator evaluator;
+  auto run = [&](const char* name, const core::AnalyzerOptions& opts) {
+    eval::EvalOptions options;
+    options.analyzer = opts;
+    eval::Confusion c = evaluator.EvaluateMiner(reviews, options);
+    table.AddRow({name, eval::Pct(c.precision()), eval::Pct(c.recall()),
+                  eval::Pct(c.accuracy())});
+  };
+
+  core::AnalyzerOptions base;
+  run("full analyzer (default)", base);
+
+  core::AnalyzerOptions no_negation = base;
+  no_negation.handle_negation = false;
+  run("- negation handling", no_negation);
+
+  core::AnalyzerOptions no_contrastive = base;
+  no_contrastive.contrastive_pp = false;
+  run("- contrastive-PP rule", no_contrastive);
+
+  core::AnalyzerOptions no_local = base;
+  no_local.local_np_fallback = false;
+  run("- local-NP fallback", no_local);
+
+  core::AnalyzerOptions with_sentence = base;
+  with_sentence.sentence_fallback = true;
+  run("+ whole-sentence fallback (collocation-like)", with_sentence);
+
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Pattern-database size sweep.
+  std::printf("Pattern database size sweep:\n");
+  eval::TablePrinter sweep({"Patterns kept", "Count", "Precision", "Recall",
+                            "Accuracy"});
+  for (double frac : {0.25, 0.5, 0.75, 1.0}) {
+    lexicon::PatternDatabase db;
+    WF_CHECK_OK(db.LoadText(
+        TruncateLines(lexicon::EmbeddedPatternDatabaseText(), frac)));
+    size_t count = db.size();
+    eval::GoldEvaluator ev(lexicon::SentimentLexicon::Embedded(),
+                           std::move(db));
+    eval::EvalOptions options;
+    eval::Confusion c = ev.EvaluateMiner(reviews, options);
+    sweep.AddRow({common::StrFormat("%.0f%%", frac * 100.0),
+                  std::to_string(count), eval::Pct(c.precision()),
+                  eval::Pct(c.recall()), eval::Pct(c.accuracy())});
+  }
+  std::printf("%s\n", sweep.ToString().c_str());
+
+  // Sentiment lexicon size sweep.
+  std::printf("Sentiment lexicon size sweep:\n");
+  eval::TablePrinter lsweep({"Lexicon kept", "Entries", "Precision",
+                             "Recall", "Accuracy"});
+  for (double frac : {0.25, 0.5, 0.75, 1.0}) {
+    lexicon::SentimentLexicon lex;
+    WF_CHECK_OK(lex.LoadText(
+        TruncateLines(lexicon::EmbeddedSentimentLexiconText(), frac)));
+    size_t entries = lex.size();
+    eval::GoldEvaluator ev(std::move(lex),
+                           lexicon::PatternDatabase::Embedded());
+    eval::EvalOptions options;
+    eval::Confusion c = ev.EvaluateMiner(reviews, options);
+    lsweep.AddRow({common::StrFormat("%.0f%%", frac * 100.0),
+                   std::to_string(entries), eval::Pct(c.precision()),
+                   eval::Pct(c.recall()), eval::Pct(c.accuracy())});
+  }
+  std::printf("%s", lsweep.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,205 @@
+// Micro-benchmarks for the NLP substrate: tokenizer, sentence splitter,
+// POS tagger, chunker, clause analysis, and the full per-sentence sentiment
+// analysis — the per-document costs that bound platform throughput
+// (experiment E9 in DESIGN.md).
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/reviewseer.h"
+#include "core/analyzer.h"
+#include "feature/feature_extractor.h"
+#include "ner/named_entity_spotter.h"
+#include "spot/disambiguator.h"
+#include "corpus/datasets.h"
+#include "lexicon/pattern_db.h"
+#include "lexicon/sentiment_lexicon.h"
+#include "parse/sentence_structure.h"
+#include "pos/tagger.h"
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using namespace wf;
+
+// A realistic document body reused across iterations.
+const std::string& SampleBody() {
+  static const std::string* kBody = [] {
+    corpus::ReviewDataset ds = corpus::BuildCameraDataset(7);
+    std::string all;
+    for (size_t i = 0; i < 8; ++i) all += ds.d_plus[i].body + " ";
+    return new std::string(all);
+  }();
+  return *kBody;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  text::Tokenizer tokenizer;
+  const std::string& body = SampleBody();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    text::TokenStream tokens = tokenizer.Tokenize(body);
+    benchmark::DoNotOptimize(tokens);
+    bytes += body.size();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_SentenceSplit(benchmark::State& state) {
+  text::Tokenizer tokenizer;
+  text::SentenceSplitter splitter;
+  text::TokenStream tokens = tokenizer.Tokenize(SampleBody());
+  for (auto _ : state) {
+    auto spans = splitter.Split(tokens);
+    benchmark::DoNotOptimize(spans);
+  }
+}
+BENCHMARK(BM_SentenceSplit);
+
+void BM_PosTag(benchmark::State& state) {
+  text::Tokenizer tokenizer;
+  text::SentenceSplitter splitter;
+  pos::PosTagger tagger;
+  text::TokenStream tokens = tokenizer.Tokenize(SampleBody());
+  auto spans = splitter.Split(tokens);
+  size_t tagged = 0;
+  for (auto _ : state) {
+    auto tags = tagger.Tag(tokens, spans);
+    benchmark::DoNotOptimize(tags);
+    tagged += tokens.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(tagged));
+}
+BENCHMARK(BM_PosTag);
+
+void BM_ChunkAndParse(benchmark::State& state) {
+  text::Tokenizer tokenizer;
+  text::SentenceSplitter splitter;
+  pos::PosTagger tagger;
+  parse::SentenceAnalyzer analyzer;
+  text::TokenStream tokens = tokenizer.Tokenize(SampleBody());
+  auto spans = splitter.Split(tokens);
+  size_t parsed = 0;
+  for (auto _ : state) {
+    for (const auto& span : spans) {
+      auto tags = tagger.TagSentence(tokens, span);
+      auto parse = analyzer.Analyze(tokens, span, tags);
+      benchmark::DoNotOptimize(parse);
+      ++parsed;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(parsed));
+}
+BENCHMARK(BM_ChunkAndParse);
+
+void BM_FullSentimentAnalysis(benchmark::State& state) {
+  static const auto* kLexicon =
+      new lexicon::SentimentLexicon(lexicon::SentimentLexicon::Embedded());
+  static const auto* kPatterns =
+      new lexicon::PatternDatabase(lexicon::PatternDatabase::Embedded());
+  text::Tokenizer tokenizer;
+  text::SentenceSplitter splitter;
+  pos::PosTagger tagger;
+  parse::SentenceAnalyzer sentence_analyzer;
+  core::SentimentAnalyzer analyzer(kLexicon, kPatterns);
+  text::TokenStream tokens = tokenizer.Tokenize(SampleBody());
+  auto spans = splitter.Split(tokens);
+  size_t analyzed = 0;
+  for (auto _ : state) {
+    for (const auto& span : spans) {
+      auto tags = tagger.TagSentence(tokens, span);
+      auto parse = sentence_analyzer.Analyze(tokens, span, tags);
+      // Analyze the first NP as the subject.
+      for (const parse::Chunk& c : parse.chunks) {
+        if (c.type == parse::ChunkType::kNP) {
+          auto verdict =
+              analyzer.AnalyzeSubject(tokens, parse, c.begin, c.end);
+          benchmark::DoNotOptimize(verdict);
+          break;
+        }
+      }
+      ++analyzed;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(analyzed));
+}
+BENCHMARK(BM_FullSentimentAnalysis);
+
+void BM_NamedEntitySpotting(benchmark::State& state) {
+  text::Tokenizer tokenizer;
+  text::SentenceSplitter splitter;
+  ner::NamedEntitySpotter spotter;
+  text::TokenStream tokens = tokenizer.Tokenize(SampleBody());
+  auto spans = splitter.Split(tokens);
+  for (auto _ : state) {
+    auto entities = spotter.Spot(tokens, spans);
+    benchmark::DoNotOptimize(entities);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tokens.size()));
+}
+BENCHMARK(BM_NamedEntitySpotting);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  corpus::ReviewDataset ds = corpus::BuildCameraDataset(7);
+  for (auto _ : state) {
+    feature::FeatureExtractor extractor;
+    for (size_t i = 0; i < 40; ++i) {
+      extractor.AddDocument(ds.d_plus[i].body, true);
+      extractor.AddDocument(ds.d_minus[i].body, false);
+    }
+    auto terms = extractor.Extract();
+    benchmark::DoNotOptimize(terms);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 80);
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_ReviewSeerClassify(benchmark::State& state) {
+  static const baseline::ReviewSeerClassifier* kClassifier = [] {
+    corpus::ReviewDataset ds = corpus::BuildCameraDataset(7);
+    auto* c = new baseline::ReviewSeerClassifier();
+    for (size_t i = 0; i < 100; ++i) {
+      c->AddTrainingDocument(ds.train[i].body, ds.train[i].doc_polarity);
+    }
+    c->Train();
+    return c;
+  }();
+  const std::string& body = SampleBody();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kClassifier->LogOdds(body));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(body.size()));
+}
+BENCHMARK(BM_ReviewSeerClassify);
+
+void BM_Disambiguation(benchmark::State& state) {
+  spot::CorpusStats stats;
+  stats.AddDocument({"oil", "barrel", "weather", "sky", "the", "a"});
+  spot::Disambiguator disambiguator;
+  spot::TopicTermSet topic;
+  topic.synset_id = 1;
+  topic.on_topic = {"oil", "barrel", "crude oil"};
+  topic.off_topic = {"weather", "sky"};
+  disambiguator.AddTopic(topic);
+  spot::Spotter spotter;
+  spotter.AddSynonymSet({1, "SUN", {"Sun", "sun"}});
+  text::Tokenizer tokenizer;
+  text::TokenStream tokens = tokenizer.Tokenize(
+      "SUN shipped oil this quarter. The sun was out and every barrel "
+      "moved. Crude oil analysts liked the sun and the barrel counts.");
+  auto spots = spotter.Spot(tokens);
+  for (auto _ : state) {
+    auto results = disambiguator.Evaluate(tokens, spots, stats);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(spots.size()));
+}
+BENCHMARK(BM_Disambiguation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,167 @@
+// Micro-benchmarks for the WebFountain platform substrate: data store
+// put/get, inverted-index build and queries, the multi-term spotter, and
+// Vinci-bus round trips (experiment E9 in DESIGN.md).
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+
+#include "corpus/datasets.h"
+#include "platform/cluster.h"
+#include "platform/data_store.h"
+#include "platform/indexer.h"
+#include "platform/vinci.h"
+#include "spot/spotter.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using namespace wf;
+
+const std::vector<corpus::GeneratedDoc>& SampleDocs() {
+  static const auto* kDocs = [] {
+    corpus::ReviewDataset ds = corpus::BuildCameraDataset(7);
+    return new std::vector<corpus::GeneratedDoc>(ds.d_plus);
+  }();
+  return *kDocs;
+}
+
+void BM_DataStorePut(benchmark::State& state) {
+  const auto& docs = SampleDocs();
+  for (auto _ : state) {
+    platform::DataStore store;
+    for (const auto& d : docs) {
+      platform::Entity e(d.id, "bench");
+      e.SetBody(d.body);
+      store.Upsert(std::move(e));
+    }
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(docs.size()));
+}
+BENCHMARK(BM_DataStorePut);
+
+void BM_DataStoreGet(benchmark::State& state) {
+  const auto& docs = SampleDocs();
+  platform::DataStore store;
+  for (const auto& d : docs) {
+    platform::Entity e(d.id, "bench");
+    e.SetBody(d.body);
+    store.Upsert(std::move(e));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto e = store.Get(docs[i % docs.size()].id);
+    benchmark::DoNotOptimize(e);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DataStoreGet);
+
+void BM_IndexBuild(benchmark::State& state) {
+  const auto& docs = SampleDocs();
+  for (auto _ : state) {
+    platform::InvertedIndex index;
+    for (const auto& d : docs) {
+      platform::Entity e(d.id, "bench");
+      e.SetBody(d.body);
+      index.IndexEntity(e);
+    }
+    benchmark::DoNotOptimize(index.document_count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(docs.size()));
+}
+BENCHMARK(BM_IndexBuild);
+
+platform::InvertedIndex& BuiltIndex() {
+  static auto* kIndex = [] {
+    auto* index = new platform::InvertedIndex();
+    for (const auto& d : SampleDocs()) {
+      platform::Entity e(d.id, "bench");
+      e.SetBody(d.body);
+      index->IndexEntity(e);
+    }
+    return index;
+  }();
+  return *kIndex;
+}
+
+void BM_IndexTermQuery(benchmark::State& state) {
+  platform::InvertedIndex& index = BuiltIndex();
+  for (auto _ : state) {
+    auto docs = index.Term("battery");
+    benchmark::DoNotOptimize(docs);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IndexTermQuery);
+
+void BM_IndexPhraseQuery(benchmark::State& state) {
+  platform::InvertedIndex& index = BuiltIndex();
+  for (auto _ : state) {
+    auto docs = index.Phrase({"picture", "quality"});
+    benchmark::DoNotOptimize(docs);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IndexPhraseQuery);
+
+void BM_IndexBooleanAnd(benchmark::State& state) {
+  platform::InvertedIndex& index = BuiltIndex();
+  for (auto _ : state) {
+    auto docs = index.And({"battery", "flash", "lens"});
+    benchmark::DoNotOptimize(docs);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IndexBooleanAnd);
+
+void BM_Spotter(benchmark::State& state) {
+  const corpus::DomainVocab& domain = corpus::CameraDomain();
+  spot::Spotter spotter;
+  int id = 0;
+  for (const corpus::Product& p : domain.products) {
+    spot::SynonymSet set;
+    set.id = id++;
+    set.canonical = p.name;
+    set.variants = p.variants;
+    spotter.AddSynonymSet(set);
+  }
+  for (const std::string& f : domain.features) {
+    spot::SynonymSet set;
+    set.id = id++;
+    set.canonical = f;
+    spotter.AddSynonymSet(set);
+  }
+  text::Tokenizer tokenizer;
+  text::TokenStream tokens = tokenizer.Tokenize(SampleDocs()[0].body);
+  for (auto _ : state) {
+    auto spots = spotter.Spot(tokens);
+    benchmark::DoNotOptimize(spots);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tokens.size()));
+}
+BENCHMARK(BM_Spotter);
+
+void BM_VinciRoundTrip(benchmark::State& state) {
+  platform::VinciBus bus;
+  WF_CHECK_OK(bus.RegisterService("echo", [](const std::string& request) {
+    return request;
+  }));
+  std::string request = platform::EncodeMessage(
+      {{"term", "battery"}, {"mode", "term"}});
+  for (auto _ : state) {
+    auto response = bus.Call("echo", request);
+    benchmark::DoNotOptimize(response);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_VinciRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

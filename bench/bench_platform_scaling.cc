@@ -1,0 +1,103 @@
+// Exercises the architecture of Figures 1-3: the full
+// ingest -> store -> mine -> index -> query pipeline on the simulated
+// shared-nothing cluster, sweeping the node count. The paper's platform
+// scales by full parallelism over shards; the same shape (near-linear
+// mining speed-up with nodes, flat scatter/gather query latency) should
+// hold in the simulation.
+
+#include <chrono>
+#include <thread>
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "corpus/datasets.h"
+#include "eval/report.h"
+#include "lexicon/pattern_db.h"
+#include "lexicon/sentiment_lexicon.h"
+#include "platform/cluster.h"
+#include "platform/ingest.h"
+#include "platform/query_service.h"
+#include "platform/sentiment_miner_plugin.h"
+
+int main() {
+  using namespace wf;
+  using Clock = std::chrono::steady_clock;
+  const uint64_t seed = bench::BenchSeed();
+
+  // A mixed crawl: petroleum + pharma web pages.
+  corpus::WebDataset petro = corpus::BuildPetroleumWebDataset(seed + 1);
+  corpus::WebDataset pharma = corpus::BuildPharmaWebDataset(seed + 2);
+  std::vector<std::pair<std::string, std::string>> docs;
+  for (const corpus::GeneratedDoc& d : petro.docs) {
+    docs.emplace_back(d.id, d.body);
+  }
+  for (const corpus::GeneratedDoc& d : pharma.docs) {
+    docs.emplace_back(d.id, d.body);
+  }
+
+  lexicon::SentimentLexicon lex = lexicon::SentimentLexicon::Embedded();
+  lexicon::PatternDatabase patterns = lexicon::PatternDatabase::Embedded();
+
+  std::printf("%s", eval::Banner("Platform scaling — ingest/mine/index/"
+                                 "query vs node count")
+                        .c_str());
+  std::printf("Hardware threads available: %u — mining speed-up is bounded "
+              "by this; on a single-core host the sweep measures sharding "
+              "overhead instead (expect ~flat mine times and query latency "
+              "growing mildly with the scatter width).\n\n",
+              std::thread::hardware_concurrency());
+  eval::TablePrinter table({"Nodes", "Entities", "Ingest ms", "Mine+index ms",
+                            "Speed-up", "Query us (avg of 64)"});
+
+  double base_mine_ms = 0.0;
+  for (size_t nodes : {1, 2, 4, 8}) {
+    platform::Cluster cluster(nodes);
+    // Model a ~200us network round trip per service call, as on the real
+    // cluster; scatter/gather latency then scales with fan-out.
+    cluster.bus().SetSimulatedLatency(200);
+
+    auto t0 = Clock::now();
+    platform::BatchIngestor ingestor("crawl", docs);
+    size_t stored = platform::IngestAll(ingestor, cluster);
+    auto t1 = Clock::now();
+
+    cluster.DeployMiner([&lex, &patterns] {
+      return std::make_unique<platform::AdHocSentimentMinerPlugin>(
+          &lex, &patterns);
+    });
+    cluster.MineAndIndexAll();
+    auto t2 = Clock::now();
+
+    platform::SentimentQueryService service(&cluster);
+    WF_CHECK_OK(service.RegisterService());
+    // Scatter/gather query latency over the bus.
+    auto t3 = Clock::now();
+    size_t total_hits = 0;
+    const auto& products = pharma.domain->products;
+    for (int i = 0; i < 64; ++i) {
+      platform::SentimentQueryResult r = service.Query(
+          products[static_cast<size_t>(i) % products.size()].name, 4);
+      total_hits += r.positive_docs + r.negative_docs;
+    }
+    auto t4 = Clock::now();
+
+    double ingest_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    double mine_ms =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    double query_us =
+        std::chrono::duration<double, std::micro>(t4 - t3).count() / 64.0;
+    if (nodes == 1) base_mine_ms = mine_ms;
+    table.AddRow({std::to_string(nodes), std::to_string(stored),
+                  common::StrFormat("%.1f", ingest_ms),
+                  common::StrFormat("%.1f", mine_ms),
+                  common::StrFormat("%.2fx", base_mine_ms / mine_ms),
+                  common::StrFormat("%.0f", query_us)});
+    (void)total_hits;
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,19 @@
+#ifndef WF_BENCH_BENCH_UTIL_H_
+#define WF_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+// Shared fixed seed so every bench reproduces the numbers recorded in
+// EXPERIMENTS.md. Override with WF_BENCH_SEED in the environment.
+namespace wf::bench {
+
+inline uint64_t BenchSeed() {
+  const char* env = ::getenv("WF_BENCH_SEED");
+  if (env == nullptr) return 42;
+  return static_cast<uint64_t>(::strtoull(env, nullptr, 10));
+}
+
+}  // namespace wf::bench
+
+#endif  // WF_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,83 @@
+// Ad-hoc sentiment queries (Mode B, Figure 3): no subject list is known up
+// front. The cluster mines *all* named entities offline, indexes
+// (entity, polarity) conceptual tokens, and then answers arbitrary subject
+// queries in real time through the hosted query service.
+//
+//   $ ./adhoc_query [subject ...]
+//
+// With no arguments it queries a few subjects discovered from the index.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "corpus/datasets.h"
+#include "lexicon/pattern_db.h"
+#include "lexicon/sentiment_lexicon.h"
+#include "platform/cluster.h"
+#include "platform/ingest.h"
+#include "platform/query_service.h"
+#include "platform/sentiment_miner_plugin.h"
+
+int main(int argc, char** argv) {
+  using namespace wf;
+
+  // A mixed corpus: petroleum + pharma web pages and petroleum news.
+  corpus::WebDataset petro = corpus::BuildPetroleumWebDataset(43);
+  corpus::WebDataset pharma = corpus::BuildPharmaWebDataset(44);
+  corpus::WebDataset news = corpus::BuildPetroleumNewsDataset(45);
+
+  std::vector<std::pair<std::string, std::string>> docs;
+  for (const auto* ds : {&petro, &pharma, &news}) {
+    for (const corpus::GeneratedDoc& d : ds->docs) {
+      docs.emplace_back(d.id, d.body);
+    }
+  }
+
+  lexicon::SentimentLexicon lexicon = lexicon::SentimentLexicon::Embedded();
+  lexicon::PatternDatabase patterns = lexicon::PatternDatabase::Embedded();
+
+  platform::Cluster cluster(4);
+  platform::BatchIngestor ingestor("mixed-web", std::move(docs));
+  size_t stored = platform::IngestAll(ingestor, cluster);
+
+  // Offline pass: the ad-hoc sentiment miner runs on every shard, guided
+  // only by the named-entity spotter.
+  cluster.DeployMiner([&lexicon, &patterns] {
+    return std::make_unique<platform::AdHocSentimentMinerPlugin>(&lexicon,
+                                                                 &patterns);
+  });
+  cluster.MineAndIndexAll();
+
+  platform::SentimentQueryService service(&cluster);
+  WF_CHECK_OK(service.RegisterService());
+
+  std::printf("Indexed %zu pages across %zu nodes.\n", stored,
+              cluster.node_count());
+
+  std::vector<std::string> subjects;
+  for (int i = 1; i < argc; ++i) subjects.emplace_back(argv[i]);
+  if (subjects.empty()) {
+    // Discover queryable subjects from the sentiment index itself.
+    std::vector<std::string> known = service.KnownSubjects();
+    std::printf("%zu subjects have indexed sentiment; querying a sample.\n",
+                known.size());
+    for (size_t i = 0; i < known.size() && subjects.size() < 5; i += 7) {
+      subjects.push_back(known[i]);
+    }
+  }
+
+  for (const std::string& subject : subjects) {
+    platform::SentimentQueryResult result = service.Query(subject, 4);
+    std::printf("\n\"%s\": %zu positive page(s), %zu negative page(s)\n",
+                subject.c_str(), result.positive_docs, result.negative_docs);
+    for (const platform::SentimentHit& hit : result.hits) {
+      std::printf("  [%s] %s  (%s)\n",
+                  hit.polarity == lexicon::Polarity::kPositive ? "+" : "-",
+                  hit.sentence.c_str(), hit.doc_id.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Quickstart: sentence-level, subject-level sentiment analysis with the
+// public API in ~40 lines.
+//
+//   $ ./quickstart
+//
+// Pipeline: tokenize -> split sentences -> POS-tag -> shallow-parse ->
+// match sentiment patterns -> assign polarity to the subject.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "lexicon/pattern_db.h"
+#include "lexicon/sentiment_lexicon.h"
+#include "parse/sentence_structure.h"
+#include "pos/tagger.h"
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+
+int main() {
+  using namespace wf;
+
+  // The two linguistic resources of the paper: the sentiment lexicon and
+  // the sentiment pattern database (both ship embedded; both can be
+  // extended from files).
+  lexicon::SentimentLexicon lexicon = lexicon::SentimentLexicon::Embedded();
+  lexicon::PatternDatabase patterns = lexicon::PatternDatabase::Embedded();
+  core::SentimentAnalyzer analyzer(&lexicon, &patterns);
+
+  text::Tokenizer tokenizer;
+  text::SentenceSplitter splitter;
+  pos::PosTagger tagger;
+  parse::SentenceAnalyzer parser;
+
+  struct Example {
+    const char* sentence;
+    const char* subject;
+  };
+  const std::vector<Example> examples = {
+      {"This camera takes excellent pictures.", "camera"},
+      {"I am impressed by the flash capabilities.", "flash capabilities"},
+      {"The colors are vibrant.", "colors"},
+      {"The company offers mediocre services.", "company"},
+      {"The picture is not sharp.", "picture"},
+      {"Unlike the more recent T series CLIEs, the NR70 does not require "
+       "an add-on adapter for MP3 playback.",
+       "NR70"},
+      {"Unlike the more recent T series CLIEs, the NR70 does not require "
+       "an add-on adapter for MP3 playback.",
+       "T series CLIEs"},
+      {"The camera has a 3x zoom lens.", "camera"},
+  };
+
+  for (const Example& ex : examples) {
+    text::TokenStream tokens = tokenizer.Tokenize(ex.sentence);
+    std::vector<text::SentenceSpan> spans = splitter.Split(tokens);
+    const text::SentenceSpan& span = spans[0];
+    std::vector<pos::PosTag> tags = tagger.TagSentence(tokens, span);
+    parse::SentenceParse parse = parser.Analyze(tokens, span, tags);
+
+    // Locate the subject's tokens (a real application uses the Spotter).
+    text::TokenStream subject = tokenizer.Tokenize(ex.subject);
+    size_t begin = 0, end = 0;
+    for (size_t i = span.begin_token;
+         i + subject.size() <= span.end_token; ++i) {
+      bool match = true;
+      for (size_t k = 0; k < subject.size(); ++k) {
+        if (!common::EqualsIgnoreCase(tokens[i + k].text,
+                                      subject[k].text)) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        begin = i;
+        end = i + subject.size();
+        break;
+      }
+    }
+
+    core::SubjectSentiment verdict =
+        analyzer.AnalyzeSubject(tokens, parse, begin, end);
+    std::printf("%-24s -> %-8s  %s\n", ex.subject,
+                std::string(lexicon::PolarityName(verdict.polarity)).c_str(),
+                ex.sentence);
+    if (!verdict.pattern.empty()) {
+      std::printf("%-24s    via pattern: %s\n", "", verdict.pattern.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+#include "baseline/collocation.h"
+
+namespace wf::baseline {
+
+using ::wf::lexicon::Polarity;
+
+lexicon::Polarity CollocationAnalyzer::AnalyzeSubject(
+    const text::TokenStream& tokens, const parse::SentenceParse& parse,
+    size_t subject_begin, size_t subject_end) const {
+  int positive = 0;
+  int negative = 0;
+  for (size_t i = parse.span.begin_token; i < parse.span.end_token; ++i) {
+    if (i >= subject_begin && i < subject_end) continue;
+    if (tokens[i].kind != text::TokenKind::kWord) continue;
+    auto hit = lexicon_->Lookup(tokens[i].text, parse.TagAt(i));
+    if (!hit.has_value()) continue;
+    if (*hit == Polarity::kPositive) ++positive;
+    if (*hit == Polarity::kNegative) ++negative;
+  }
+  if (positive > negative) return Polarity::kPositive;
+  if (negative > positive) return Polarity::kNegative;
+  return Polarity::kNeutral;
+}
+
+}  // namespace wf::baseline

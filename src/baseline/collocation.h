@@ -1,0 +1,34 @@
+#ifndef WF_BASELINE_COLLOCATION_H_
+#define WF_BASELINE_COLLOCATION_H_
+
+#include "lexicon/sentiment_lexicon.h"
+#include "parse/sentence_structure.h"
+#include "text/token.h"
+
+namespace wf::baseline {
+
+// The collocation baseline of §4.2's evaluation: "assigns the polarity of a
+// sentiment term to a subject term in the same sentence. If positive and
+// negative sentiment terms co-exist, the polarity with more counts is
+// selected." No grammar, no association — exactly the behaviour the paper
+// shows to have high recall but very low precision.
+class CollocationAnalyzer {
+ public:
+  // `lexicon` must outlive the analyzer.
+  explicit CollocationAnalyzer(const lexicon::SentimentLexicon* lexicon)
+      : lexicon_(lexicon) {}
+
+  // Polarity co-occurring with the subject at [subject_begin, subject_end)
+  // inside the parsed sentence. The subject's own tokens are excluded.
+  lexicon::Polarity AnalyzeSubject(const text::TokenStream& tokens,
+                                   const parse::SentenceParse& parse,
+                                   size_t subject_begin,
+                                   size_t subject_end) const;
+
+ private:
+  const lexicon::SentimentLexicon* lexicon_;
+};
+
+}  // namespace wf::baseline
+
+#endif  // WF_BASELINE_COLLOCATION_H_

@@ -1,0 +1,113 @@
+#include "baseline/reviewseer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace wf::baseline {
+
+using ::wf::common::ToLower;
+using ::wf::lexicon::Polarity;
+
+ReviewSeerClassifier::ReviewSeerClassifier(const Options& options)
+    : options_(options) {}
+
+std::vector<std::string> ReviewSeerClassifier::Featurize(
+    const std::string& text) const {
+  text::Tokenizer tokenizer;
+  text::TokenStream tokens = tokenizer.Tokenize(text);
+  std::vector<std::string> words;
+  words.reserve(tokens.size());
+  for (const text::Token& t : tokens) {
+    if (t.kind == text::TokenKind::kWord) {
+      words.push_back(ToLower(t.text));
+    } else {
+      words.push_back("");  // bigrams never cross punctuation
+    }
+  }
+  std::vector<std::string> features;
+  features.reserve(words.size() * 2);
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (words[i].empty()) continue;
+    features.push_back(words[i]);
+    if (options_.use_bigrams && i + 1 < words.size() &&
+        !words[i + 1].empty()) {
+      features.push_back(words[i] + "_" + words[i + 1]);
+    }
+  }
+  return features;
+}
+
+void ReviewSeerClassifier::AddTrainingDocument(const std::string& text,
+                                               lexicon::Polarity label) {
+  WF_CHECK(!trained_) << "AddTrainingDocument after Train()";
+  WF_CHECK(label != Polarity::kNeutral)
+      << "training labels must be positive or negative";
+  auto& counts = (label == Polarity::kPositive) ? pos_counts_ : neg_counts_;
+  auto& total = (label == Polarity::kPositive) ? pos_total_ : neg_total_;
+  for (const std::string& f : Featurize(text)) {
+    ++counts[f];
+    ++total;
+  }
+  if (label == Polarity::kPositive) {
+    ++pos_docs_;
+  } else {
+    ++neg_docs_;
+  }
+}
+
+void ReviewSeerClassifier::Train() {
+  WF_CHECK(!trained_);
+  WF_CHECK(pos_docs_ > 0 && neg_docs_ > 0)
+      << "need positive and negative training documents";
+
+  // Vocabulary: features above the count cutoff in either class.
+  std::unordered_map<std::string, std::pair<size_t, size_t>> merged;
+  for (const auto& [f, c] : pos_counts_) merged[f].first = c;
+  for (const auto& [f, c] : neg_counts_) merged[f].second = c;
+
+  size_t vocab = 0;
+  for (const auto& [f, c] : merged) {
+    if (c.first + c.second >= options_.min_feature_count) ++vocab;
+  }
+  WF_CHECK(vocab > 0) << "no features survived the frequency cutoff";
+
+  const double k = options_.smoothing;
+  const double pos_denom = static_cast<double>(pos_total_) + k * vocab;
+  const double neg_denom = static_cast<double>(neg_total_) + k * vocab;
+  for (const auto& [f, c] : merged) {
+    if (c.first + c.second < options_.min_feature_count) continue;
+    double lp = std::log((c.first + k) / pos_denom);
+    double ln = std::log((c.second + k) / neg_denom);
+    feature_log_ratio_[f] = lp - ln;
+  }
+  prior_log_odds_ = std::log(static_cast<double>(pos_docs_)) -
+                    std::log(static_cast<double>(neg_docs_));
+  trained_ = true;
+
+  // Free training counts.
+  pos_counts_.clear();
+  neg_counts_.clear();
+}
+
+double ReviewSeerClassifier::LogOdds(const std::string& text) const {
+  WF_CHECK(trained_) << "Classify before Train()";
+  double score = prior_log_odds_;
+  for (const std::string& f : Featurize(text)) {
+    auto it = feature_log_ratio_.find(f);
+    if (it != feature_log_ratio_.end()) score += it->second;
+  }
+  return score;
+}
+
+lexicon::Polarity ReviewSeerClassifier::Classify(
+    const std::string& text) const {
+  double odds = LogOdds(text);
+  if (odds > options_.neutral_margin) return Polarity::kPositive;
+  if (odds < -options_.neutral_margin) return Polarity::kNegative;
+  return Polarity::kNeutral;
+}
+
+}  // namespace wf::baseline

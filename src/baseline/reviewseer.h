@@ -1,0 +1,72 @@
+#ifndef WF_BASELINE_REVIEWSEER_H_
+#define WF_BASELINE_REVIEWSEER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lexicon/sentiment_lexicon.h"
+
+namespace wf::baseline {
+
+// A ReviewSeer-style statistical opinion classifier (Dave, Lawrence &
+// Pennock 2003): a Naive Bayes model over unigram + bigram features with
+// add-k smoothing and a frequency cutoff, trained on labeled review
+// documents. Like the original, it classifies a span of text as a whole —
+// it has no notion of which subject the sentiment is about, which is
+// exactly the weakness the paper's evaluation (Tables 4 & 5) exposes: high
+// accuracy on single-subject review documents, sharp degradation on
+// general-web sentences where the sentiment may be absent, ambiguous, or
+// about something else.
+class ReviewSeerClassifier {
+ public:
+  struct Options {
+    double smoothing = 0.25;  // add-k
+    bool use_bigrams = true;
+    size_t min_feature_count = 2;  // rarer features are dropped
+    // |log-odds| below this margin classifies as neutral.
+    double neutral_margin = 0.4;
+  };
+
+  ReviewSeerClassifier() : ReviewSeerClassifier(Options{}) {}
+  explicit ReviewSeerClassifier(const Options& options);
+
+  // One labeled training document (positive or negative review).
+  void AddTrainingDocument(const std::string& text,
+                           lexicon::Polarity label);
+
+  // Finalizes counts into the model. Must be called after training docs
+  // are added and before classification.
+  void Train();
+
+  // Classifies a document or a single sentence.
+  lexicon::Polarity Classify(const std::string& text) const;
+
+  // Positive-vs-negative log-odds (positive value = positive class).
+  double LogOdds(const std::string& text) const;
+
+  size_t vocabulary_size() const { return feature_log_ratio_.size(); }
+  bool trained() const { return trained_; }
+
+ private:
+  std::vector<std::string> Featurize(const std::string& text) const;
+
+  Options options_;
+  bool trained_ = false;
+
+  // Raw counts accumulated during training.
+  std::unordered_map<std::string, size_t> pos_counts_;
+  std::unordered_map<std::string, size_t> neg_counts_;
+  size_t pos_total_ = 0;
+  size_t neg_total_ = 0;
+  size_t pos_docs_ = 0;
+  size_t neg_docs_ = 0;
+
+  // Model: per-feature log P(f|+) - log P(f|-), plus class prior log-odds.
+  std::unordered_map<std::string, double> feature_log_ratio_;
+  double prior_log_odds_ = 0.0;
+};
+
+}  // namespace wf::baseline
+
+#endif  // WF_BASELINE_REVIEWSEER_H_

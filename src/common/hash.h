@@ -1,0 +1,27 @@
+#ifndef WF_COMMON_HASH_H_
+#define WF_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace wf::common {
+
+// 64-bit FNV-1a. Stable across platforms/runs; used for data partitioning,
+// so its value must never change (persisted shards depend on it).
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Mixes two hashes (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace wf::common
+
+#endif  // WF_COMMON_HASH_H_

@@ -1,0 +1,80 @@
+#ifndef WF_COMMON_LOGGING_H_
+#define WF_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace wf::common {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Process-wide minimum level; messages below it are dropped.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+namespace internal {
+
+// Accumulates one log line and emits it (to stderr) on destruction.
+// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace wf::common
+
+#define WF_LOG_ENABLED_(level)                       \
+  (::wf::common::LogLevel::level >= ::wf::common::MinLogLevel())
+
+#define WF_LOG(severity)                                                   \
+  if (!WF_LOG_ENABLED_(k##severity))                                       \
+    ;                                                                      \
+  else                                                                     \
+    ::wf::common::internal::LogMessage(::wf::common::LogLevel::k##severity, \
+                                       __FILE__, __LINE__)                 \
+        .stream()
+
+// Always-on invariant check; aborts with a message when `cond` is false.
+#define WF_CHECK(cond)                                                      \
+  if (cond)                                                                 \
+    ;                                                                       \
+  else                                                                      \
+    ::wf::common::internal::LogMessage(::wf::common::LogLevel::kFatal,      \
+                                       __FILE__, __LINE__)                  \
+            .stream()                                                       \
+        << "Check failed: " #cond " "
+
+#define WF_CHECK_OK(expr)                                              \
+  do {                                                                 \
+    ::wf::common::Status wf_check_status_ = (expr);                    \
+    WF_CHECK(wf_check_status_.ok()) << wf_check_status_.ToString();    \
+  } while (0)
+
+#endif  // WF_COMMON_LOGGING_H_

@@ -1,0 +1,21 @@
+#include "common/rng.h"
+
+namespace wf::common {
+
+size_t Rng::Weighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    WF_CHECK(w >= 0.0);
+    total += w;
+  }
+  WF_CHECK(total > 0.0) << "Weighted() requires at least one positive weight";
+  double r = Double() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace wf::common

@@ -1,0 +1,72 @@
+#ifndef WF_COMMON_RNG_H_
+#define WF_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace wf::common {
+
+// Deterministic pseudo-random generator. Every stochastic component in the
+// library (corpus generation, sampling, shuffles) takes an explicit Rng so
+// experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    WF_CHECK(lo <= hi);
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Uniform index in [0, n). Requires n > 0.
+  size_t Index(size_t n) {
+    WF_CHECK(n > 0);
+    return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1));
+  }
+
+  // Uniform double in [0, 1).
+  double Double() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return Double() < p;
+  }
+
+  // Picks a uniformly random element. Requires non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    WF_CHECK(!v.empty());
+    return v[Index(v.size())];
+  }
+
+  // Samples an index according to non-negative weights (at least one > 0).
+  size_t Weighted(const std::vector<double>& weights);
+
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[Index(i)]);
+    }
+  }
+
+  // Derives an independent child generator; useful to give each document its
+  // own stream so insertion order does not perturb other documents.
+  Rng Fork() { return Rng(engine_() * 0x9e3779b97f4a7c15ULL + engine_()); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace wf::common
+
+#endif  // WF_COMMON_RNG_H_

@@ -1,0 +1,176 @@
+#ifndef WF_COMMON_STATUS_H_
+#define WF_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace wf::common {
+
+// Canonical error codes, modeled after the usual database-library set.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnavailable,
+  kIOError,
+  kCorruption,
+  kUnimplemented,
+};
+
+// Returns a stable human-readable name ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// Status carries the outcome of an operation that can fail. The library does
+// not use exceptions; every fallible API returns Status or Result<T>.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Result<T> holds either a value or an error Status. Accessing the value of
+// an errored Result aborts the process (programming error).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : value_(std::move(status)) { AbortIfOkStatus(); }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(std::get<T>(value_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+  void AbortIfOkStatus() const;
+
+  std::variant<T, Status> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieBadResultAccess(const Status& status);
+[[noreturn]] void DieOkStatusInResult();
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieBadResultAccess(std::get<Status>(value_));
+}
+
+template <typename T>
+void Result<T>::AbortIfOkStatus() const {
+  if (std::holds_alternative<Status>(value_) &&
+      std::get<Status>(value_).ok()) {
+    internal::DieOkStatusInResult();
+  }
+}
+
+}  // namespace wf::common
+
+// Propagates a non-OK status to the caller.
+#define WF_RETURN_IF_ERROR(expr)                       \
+  do {                                                 \
+    ::wf::common::Status wf_status_ = (expr);          \
+    if (!wf_status_.ok()) return wf_status_;           \
+  } while (0)
+
+// Evaluates a Result<T> expression; on error returns the status, otherwise
+// assigns the value to `lhs` (which must be a declaration or lvalue).
+#define WF_ASSIGN_OR_RETURN(lhs, expr)               \
+  WF_ASSIGN_OR_RETURN_IMPL_(                         \
+      WF_STATUS_CONCAT_(wf_result_, __LINE__), lhs, expr)
+
+#define WF_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                              \
+  if (!result.ok()) return result.status();          \
+  lhs = std::move(result).value()
+
+#define WF_STATUS_CONCAT_(a, b) WF_STATUS_CONCAT_IMPL_(a, b)
+#define WF_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // WF_COMMON_STATUS_H_

@@ -1,0 +1,378 @@
+#include "core/analyzer.h"
+
+#include "common/string_util.h"
+#include "text/inflection.h"
+
+namespace wf::core {
+
+using ::wf::common::ToLower;
+using ::wf::lexicon::Flip;
+using ::wf::lexicon::Polarity;
+using ::wf::lexicon::SentenceComponent;
+using ::wf::lexicon::SentimentPattern;
+using ::wf::lexicon::VoiceConstraint;
+using ::wf::parse::Chunk;
+using ::wf::parse::SentenceParse;
+
+std::string_view SentimentSourceName(SentimentSource s) {
+  switch (s) {
+    case SentimentSource::kNone:
+      return "none";
+    case SentimentSource::kDirectPattern:
+      return "direct-pattern";
+    case SentimentSource::kTransferPattern:
+      return "transfer-pattern";
+    case SentimentSource::kContrastivePp:
+      return "contrastive-pp";
+    case SentimentSource::kLocalNp:
+      return "local-np";
+    case SentimentSource::kSentenceFallback:
+      return "sentence-fallback";
+    case SentimentSource::kCrossSentence:
+      return "cross-sentence";
+  }
+  return "?";
+}
+
+namespace {
+
+// Renders a pattern for explanations ("impress + PP(by;with)").
+std::string PatternToString(const SentimentPattern& p) {
+  std::string out = p.predicate;
+  out += ' ';
+  if (p.direct) {
+    out += (p.polarity == Polarity::kPositive) ? '+' : '-';
+  } else {
+    if (p.flip_source) out += '~';
+    out += lexicon::SentenceComponentName(p.source.component);
+  }
+  out += ' ';
+  out += lexicon::SentenceComponentName(p.target.component);
+  return out;
+}
+
+bool Overlaps(const Chunk& chunk, size_t begin, size_t end) {
+  return chunk.begin < end && begin < chunk.end;
+}
+
+}  // namespace
+
+SentimentAnalyzer::SentimentAnalyzer(const lexicon::SentimentLexicon* lexicon,
+                                     const lexicon::PatternDatabase* patterns,
+                                     const AnalyzerOptions& options)
+    : lexicon_(lexicon),
+      patterns_(patterns),
+      options_(options),
+      scorer_(lexicon) {}
+
+SentimentAnalyzer::SubjectLocation SentimentAnalyzer::LocateSubject(
+    const SentenceParse& parse, size_t subject_begin,
+    size_t subject_end) const {
+  SubjectLocation loc;
+  // PP membership first: PP objects are also NPs and could be confused
+  // with the clause object.
+  for (size_t p = 0; p < parse.pps.size(); ++p) {
+    int np = parse.pps[p].np_chunk;
+    if (np >= 0 && Overlaps(parse.chunks[np], subject_begin, subject_end)) {
+      loc.pp_index = static_cast<int>(p);
+      loc.chunk = np;
+      // An NP-attached PP directly behind the subject NP is part of the
+      // subject phrase: "The Memory Stick support in the NR70 series is
+      // well implemented" assigns to NR70 as part of the SP.
+      const std::string& prep = parse.pps[p].preposition;
+      bool np_attaching = prep == "of" || prep == "in" || prep == "on" ||
+                          prep == "with" || prep == "for" ||
+                          prep == "within";
+      if (np_attaching && np >= 2 && parse.subject_chunk == np - 2 &&
+          parse.chunks[static_cast<size_t>(np) - 1].type ==
+              parse::ChunkType::kPP) {
+        loc.in_sp = true;
+        loc.pp_index = -1;
+      }
+      return loc;
+    }
+  }
+  if (parse.subject_chunk >= 0 &&
+      Overlaps(parse.chunks[parse.subject_chunk], subject_begin,
+               subject_end)) {
+    loc.in_sp = true;
+    loc.chunk = parse.subject_chunk;
+    return loc;
+  }
+  if (parse.object_chunk >= 0 &&
+      Overlaps(parse.chunks[parse.object_chunk], subject_begin,
+               subject_end)) {
+    loc.in_op = true;
+    loc.chunk = parse.object_chunk;
+    return loc;
+  }
+  if (parse.complement_chunk >= 0 &&
+      Overlaps(parse.chunks[parse.complement_chunk], subject_begin,
+               subject_end)) {
+    loc.in_cp = true;
+    loc.chunk = parse.complement_chunk;
+    return loc;
+  }
+  // Otherwise: find the containing NP chunk, if any.
+  for (size_t c = 0; c < parse.chunks.size(); ++c) {
+    if (parse.chunks[c].type == parse::ChunkType::kNP &&
+        Overlaps(parse.chunks[c], subject_begin, subject_end)) {
+      loc.chunk = static_cast<int>(c);
+      break;
+    }
+  }
+  return loc;
+}
+
+bool SentimentAnalyzer::IsPassive(const text::TokenStream& tokens,
+                                  const SentenceParse& parse) const {
+  if (parse.predicate_chunk < 0) return false;
+  const Chunk& vp = parse.chunks[parse.predicate_chunk];
+  bool saw_be = false;
+  int head = -1;
+  for (size_t i = vp.begin; i < vp.end; ++i) {
+    if (!pos::IsVerbTag(parse.TagAt(i))) continue;
+    std::string lemma = text::VerbLemma(ToLower(tokens[i].text));
+    if (lemma == "be" || lemma == "get") saw_be = true;
+    head = static_cast<int>(i);
+  }
+  return saw_be && head >= 0 &&
+         parse.TagAt(static_cast<size_t>(head)) == pos::PosTag::kVBN;
+}
+
+lexicon::Polarity SentimentAnalyzer::SourcePolarity(
+    const text::TokenStream& tokens, const SentenceParse& parse,
+    const SentimentPattern& pattern, size_t subject_begin,
+    size_t subject_end) const {
+  int chunk = -1;
+  switch (pattern.source.component) {
+    case SentenceComponent::kSP:
+      chunk = parse.subject_chunk;
+      break;
+    case SentenceComponent::kOP:
+      chunk = parse.object_chunk;
+      break;
+    case SentenceComponent::kCP:
+      chunk = parse.complement_chunk;
+      if (chunk < 0) {
+        // "is well implemented": no separate ADJP — the predicative content
+        // sits inside the VP. Score the VP's non-auxiliary words; negation
+        // words are skipped because sentence-level negation already flips
+        // the final assignment.
+        const Chunk& vp = parse.chunks[parse.predicate_chunk];
+        int votes = 0;
+        for (size_t i = vp.begin; i < vp.end; ++i) {
+          if (text::IsNegationWord(tokens[i].text)) continue;
+          if (pos::IsVerbTag(parse.TagAt(i))) {
+            std::string lemma = text::VerbLemma(ToLower(tokens[i].text));
+            if (lemma == "be" || lemma == "have" || lemma == "do" ||
+                lemma == "get") {
+              continue;
+            }
+          }
+          auto hit = lexicon_->Lookup(tokens[i].text, parse.TagAt(i));
+          if (hit.has_value()) votes += static_cast<int>(*hit);
+        }
+        if (votes > 0) return Polarity::kPositive;
+        if (votes < 0) return Polarity::kNegative;
+        return Polarity::kNeutral;
+      }
+      break;
+    case SentenceComponent::kPP: {
+      for (const parse::PpAttachment& pp : parse.pps) {
+        if (pp.np_chunk >= 0 && pattern.source.AllowsPreposition(pp.preposition)) {
+          chunk = pp.np_chunk;
+          break;
+        }
+      }
+      break;
+    }
+    case SentenceComponent::kVP: {
+      // Trailing adverbs of the VP, excluding the head verb.
+      const Chunk& vp = parse.chunks[parse.predicate_chunk];
+      size_t head = vp.begin;
+      for (size_t i = vp.begin; i < vp.end; ++i) {
+        if (pos::IsVerbTag(parse.TagAt(i))) head = i;
+      }
+      // Negation inside the VP is applied at the sentence level, so the
+      // phrase score must not flip for it again.
+      return scorer_.Score(tokens, parse, vp.begin, vp.end, head,
+                           /*ignore_negation=*/true);
+    }
+  }
+  if (chunk < 0) return Polarity::kNeutral;
+  const Chunk& src = parse.chunks[chunk];
+  // The subject itself never contributes to its own sentiment: mask its
+  // tokens when the source phrase contains the spot (e.g. OP source that
+  // *is* the subject NP).
+  if (src.begin < subject_end && subject_begin < src.end) {
+    // Score around the subject tokens.
+    int votes = 0;
+    if (src.begin < subject_begin) {
+      votes += scorer_.VoteCount(tokens, parse, src.begin, subject_begin);
+    }
+    if (subject_end < src.end) {
+      votes += scorer_.VoteCount(tokens, parse, subject_end, src.end);
+    }
+    if (votes > 0) return Polarity::kPositive;
+    if (votes < 0) return Polarity::kNegative;
+    return Polarity::kNeutral;
+  }
+  return scorer_.Score(tokens, parse, src.begin, src.end);
+}
+
+SubjectSentiment SentimentAnalyzer::MatchPatterns(
+    const text::TokenStream& tokens, const SentenceParse& parse,
+    const SubjectLocation& where, size_t subject_begin,
+    size_t subject_end) const {
+  SubjectSentiment result;
+  if (parse.predicate_chunk < 0 || parse.predicate_lemma.empty()) {
+    return result;
+  }
+  const std::vector<SentimentPattern>* cands =
+      patterns_->Lookup(parse.predicate_lemma);
+  bool passive = IsPassive(tokens, parse);
+  if (cands == nullptr && passive) {
+    // Unknown participle after a be-auxiliary ("is well implemented"):
+    // treat the clause as copular and let the CP source rule score the
+    // predicative content inside the VP.
+    cands = patterns_->Lookup("be");
+    passive = false;
+  }
+  if (cands == nullptr) return result;
+
+  const SentimentPattern* best = nullptr;
+  int best_score = 0;
+  Polarity best_polarity = Polarity::kNeutral;
+  for (const SentimentPattern& p : *cands) {
+    // Voice constraint.
+    if (p.voice == VoiceConstraint::kActive && passive) continue;
+    if (p.voice == VoiceConstraint::kPassive && !passive) continue;
+
+    // Target must be the component holding the subject.
+    int score = 1;
+    switch (p.target.component) {
+      case SentenceComponent::kSP:
+        if (!where.in_sp) continue;
+        break;
+      case SentenceComponent::kOP:
+        if (!where.in_op) continue;
+        break;
+      case SentenceComponent::kPP: {
+        if (where.pp_index < 0) continue;
+        const parse::PpAttachment& pp =
+            parse.pps[static_cast<size_t>(where.pp_index)];
+        if (!p.target.AllowsPreposition(pp.preposition)) continue;
+        if (!p.target.prepositions.empty()) score += 2;  // specific prep
+        break;
+      }
+      default:
+        continue;
+    }
+    if (p.voice != VoiceConstraint::kAny) score += 1;
+
+    Polarity polarity;
+    if (p.direct) {
+      polarity = p.polarity;
+      score += 2;
+    } else {
+      polarity =
+          SourcePolarity(tokens, parse, p, subject_begin, subject_end);
+      if (polarity == Polarity::kNeutral) {
+        // A trans pattern whose source carries no sentiment assigns
+        // nothing; it can still win only if nothing better exists — give it
+        // the lowest score.
+        score = 0;
+      } else {
+        score += 3;  // live transfer beats a bare direct match? no: direct=+2
+        if (p.flip_source) polarity = Flip(polarity);
+      }
+    }
+    if (best == nullptr || score > best_score) {
+      best = &p;
+      best_score = score;
+      best_polarity = polarity;
+    }
+  }
+  if (best == nullptr) return result;
+
+  result.polarity = best_polarity;
+  result.source = best->direct ? SentimentSource::kDirectPattern
+                               : SentimentSource::kTransferPattern;
+  result.pattern = PatternToString(*best);
+
+  if (options_.handle_negation && parse.vp_negated &&
+      result.polarity != Polarity::kNeutral) {
+    result.polarity = Flip(result.polarity);
+  }
+  return result;
+}
+
+SubjectSentiment SentimentAnalyzer::AnalyzeSubject(
+    const text::TokenStream& tokens, const SentenceParse& parse,
+    size_t subject_begin, size_t subject_end) const {
+  SubjectLocation where = LocateSubject(parse, subject_begin, subject_end);
+  SubjectSentiment result =
+      MatchPatterns(tokens, parse, where, subject_begin, subject_end);
+  if (result.polarity != Polarity::kNeutral) return result;
+
+  // Contrastive-PP rule: "Unlike X, <clause>" gives X the reverse of what
+  // the clause's subject receives; "like X," the same; a comparative
+  // "than X" standard of comparison also receives the reverse ("the A is
+  // better than the B" praises A at B's expense).
+  if (options_.contrastive_pp && where.pp_index >= 0 &&
+      parse.subject_chunk >= 0) {
+    const parse::PpAttachment& pp =
+        parse.pps[static_cast<size_t>(where.pp_index)];
+    if (pp.preposition == "unlike" || pp.preposition == "like" ||
+        pp.preposition == "than") {
+      SubjectLocation sp_loc;
+      sp_loc.in_sp = true;
+      sp_loc.chunk = parse.subject_chunk;
+      const Chunk& sp = parse.chunks[parse.subject_chunk];
+      SubjectSentiment sp_result =
+          MatchPatterns(tokens, parse, sp_loc, sp.begin, sp.end);
+      if (sp_result.polarity != Polarity::kNeutral) {
+        result.polarity = pp.preposition == "like"
+                              ? sp_result.polarity
+                              : Flip(sp_result.polarity);
+        result.source = SentimentSource::kContrastivePp;
+        result.pattern = sp_result.pattern + " via " + pp.preposition;
+        return result;
+      }
+    }
+  }
+
+  // Local NP fallback: modifiers inside the subject's own NP
+  // ("the superb NR70 ...").
+  if (options_.local_np_fallback && where.chunk >= 0) {
+    const Chunk& np = parse.chunks[where.chunk];
+    int votes = 0;
+    if (np.begin < subject_begin) {
+      votes += scorer_.VoteCount(tokens, parse, np.begin, subject_begin);
+    }
+    if (subject_end < np.end) {
+      votes += scorer_.VoteCount(tokens, parse, subject_end, np.end);
+    }
+    if (votes != 0) {
+      result.polarity =
+          votes > 0 ? Polarity::kPositive : Polarity::kNegative;
+      result.source = SentimentSource::kLocalNp;
+      return result;
+    }
+  }
+
+  // Whole-sentence lexical fallback (ablation only).
+  if (options_.sentence_fallback) {
+    Polarity p = scorer_.Score(tokens, parse, parse.span.begin_token,
+                               parse.span.end_token);
+    if (p != Polarity::kNeutral) {
+      result.polarity = p;
+      result.source = SentimentSource::kSentenceFallback;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace wf::core

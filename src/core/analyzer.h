@@ -1,0 +1,111 @@
+#ifndef WF_CORE_ANALYZER_H_
+#define WF_CORE_ANALYZER_H_
+
+#include <string>
+
+#include "core/phrase_sentiment.h"
+#include "lexicon/pattern_db.h"
+#include "lexicon/sentiment_lexicon.h"
+#include "parse/sentence_structure.h"
+#include "text/token.h"
+
+namespace wf::core {
+
+struct AnalyzerOptions {
+  // Sentence-level negation: a negative adverb in the main verb phrase
+  // reverses the assigned sentiment (§4.2).
+  bool handle_negation = true;
+  // Contrastive-PP rule: a subject inside an "unlike X," PP receives the
+  // reverse of the subject-phrase assignment; "like X," receives the same.
+  bool contrastive_pp = true;
+  // Fallback when no pattern matches: assign the subject's own NP phrase
+  // polarity ("the excellent NR70 ..."). Conservative; on by default.
+  bool local_np_fallback = true;
+  // Extra (non-paper) fallback: assign whole-sentence lexical polarity when
+  // nothing else matched. Off by default; enabling it approximates the
+  // collocation baseline inside the miner (used in ablations).
+  bool sentence_fallback = false;
+};
+
+// How a sentiment was derived (for explanations and ablation accounting).
+enum class SentimentSource : uint8_t {
+  kNone = 0,         // no assignment (neutral)
+  kDirectPattern,    // pattern with fixed +/- polarity
+  kTransferPattern,  // trans-verb pattern (source phrase polarity)
+  kContrastivePp,    // unlike/like PP rule
+  kLocalNp,          // subject NP's own modifiers
+  kSentenceFallback,
+  kCrossSentence,    // verbless follow-up fragment ("Big mistake.")
+};
+
+std::string_view SentimentSourceName(SentimentSource s);
+
+// The verdict for one subject occurrence in one sentence.
+struct SubjectSentiment {
+  lexicon::Polarity polarity = lexicon::Polarity::kNeutral;
+  SentimentSource source = SentimentSource::kNone;
+  std::string pattern;  // textual form of the matched pattern, if any
+};
+
+// The sentiment analyzer of §4.2: given a parsed sentence and a subject
+// spot, find the best matching predicate pattern and assign sentiment to
+// the subject by semantic relationship analysis.
+class SentimentAnalyzer {
+ public:
+  // Pointers must outlive the analyzer.
+  SentimentAnalyzer(const lexicon::SentimentLexicon* lexicon,
+                    const lexicon::PatternDatabase* patterns,
+                    const AnalyzerOptions& options = AnalyzerOptions{});
+
+  // Sentiment about the subject occupying tokens
+  // [subject_begin, subject_end) of the parsed sentence.
+  SubjectSentiment AnalyzeSubject(const text::TokenStream& tokens,
+                                  const parse::SentenceParse& parse,
+                                  size_t subject_begin,
+                                  size_t subject_end) const;
+
+  const AnalyzerOptions& options() const { return options_; }
+
+ private:
+  // Which component of the parse contains the subject; returns the
+  // component kind and, for PP, the preposition. `component_chunk` receives
+  // the chunk index (-1 if the subject is in no recognized component).
+  struct SubjectLocation {
+    bool in_sp = false;
+    bool in_op = false;
+    bool in_cp = false;
+    int pp_index = -1;  // index into parse.pps, -1 if not in a PP
+    int chunk = -1;
+  };
+  SubjectLocation LocateSubject(const parse::SentenceParse& parse,
+                                size_t subject_begin,
+                                size_t subject_end) const;
+
+  // Evaluates the pattern's source phrase polarity (for trans patterns);
+  // neutral when the source component is absent or carries no sentiment.
+  lexicon::Polarity SourcePolarity(const text::TokenStream& tokens,
+                                   const parse::SentenceParse& parse,
+                                   const lexicon::SentimentPattern& pattern,
+                                   size_t subject_begin,
+                                   size_t subject_end) const;
+
+  // Core matching: sentiment the predicate assigns to a given component
+  // (identified the same way LocateSubject does).
+  SubjectSentiment MatchPatterns(const text::TokenStream& tokens,
+                                 const parse::SentenceParse& parse,
+                                 const SubjectLocation& where,
+                                 size_t subject_begin,
+                                 size_t subject_end) const;
+
+  bool IsPassive(const text::TokenStream& tokens,
+                 const parse::SentenceParse& parse) const;
+
+  const lexicon::SentimentLexicon* lexicon_;
+  const lexicon::PatternDatabase* patterns_;
+  AnalyzerOptions options_;
+  PhraseSentimentScorer scorer_;
+};
+
+}  // namespace wf::core
+
+#endif  // WF_CORE_ANALYZER_H_

@@ -1,0 +1,26 @@
+#include "core/context.h"
+
+namespace wf::core {
+
+bool ContextBuilder::Build(const std::vector<text::SentenceSpan>& spans,
+                           size_t spot_begin_token,
+                           SentimentContext* out) const {
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const text::SentenceSpan& s = spans[i];
+    if (spot_begin_token >= s.begin_token && spot_begin_token < s.end_token) {
+      out->sentence_index = i;
+      out->sentence = s;
+      size_t lo = i, hi = i;
+      for (int k = 0; k < options_.extra_sentences; ++k) {
+        if (lo > 0) --lo;
+        if (hi + 1 < spans.size()) ++hi;
+      }
+      out->window_begin_token = spans[lo].begin_token;
+      out->window_end_token = spans[hi].end_token;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace wf::core

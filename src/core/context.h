@@ -1,0 +1,43 @@
+#ifndef WF_CORE_CONTEXT_H_
+#define WF_CORE_CONTEXT_H_
+
+#include <vector>
+
+#include "text/token.h"
+
+namespace wf::core {
+
+// A sentiment context (§3): the full sentence containing a subject spot,
+// plus optionally some surrounding sentences, per the "sentiment context
+// window formation rule".
+struct SentimentContext {
+  size_t sentence_index = 0;       // index into the document's spans
+  text::SentenceSpan sentence;     // the spot's own sentence
+  size_t window_begin_token = 0;   // extended window (token range)
+  size_t window_end_token = 0;
+};
+
+class ContextBuilder {
+ public:
+  struct Options {
+    // Sentences of surrounding text included on each side of the spot's
+    // sentence in the extended window.
+    int extra_sentences = 0;
+  };
+
+  ContextBuilder() : ContextBuilder(Options{}) {}
+  explicit ContextBuilder(const Options& options) : options_(options) {}
+
+  // Builds the context for a spot starting at `spot_begin_token`. The spans
+  // must be sorted and non-overlapping (as produced by SentenceSplitter).
+  // Returns false when the token lies in no sentence.
+  bool Build(const std::vector<text::SentenceSpan>& spans,
+             size_t spot_begin_token, SentimentContext* out) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace wf::core
+
+#endif  // WF_CORE_CONTEXT_H_

@@ -1,0 +1,206 @@
+#include "core/miner.h"
+
+#include "common/string_util.h"
+
+namespace wf::core {
+
+using ::wf::common::ToLower;
+using ::wf::lexicon::Polarity;
+
+namespace {
+
+// Surface text of a token range, reconstructed from token surfaces.
+std::string RangeText(const text::TokenStream& tokens, size_t begin,
+                      size_t end) {
+  std::string out;
+  for (size_t i = begin; i < end && i < tokens.size(); ++i) {
+    if (!out.empty() && tokens[i].kind == text::TokenKind::kWord) out += ' ';
+    if (!out.empty() && tokens[i].kind != text::TokenKind::kWord &&
+        tokens[i].text != "." && tokens[i].text != "," &&
+        tokens[i].text != "!" && tokens[i].text != "?" &&
+        tokens[i].text != ";" && tokens[i].text != ":" &&
+        tokens[i].text != "'s" && tokens[i].text != "n't") {
+      out += ' ';
+    }
+    out += tokens[i].text;
+  }
+  return out;
+}
+
+}  // namespace
+
+SentimentMiner::SentimentMiner(const lexicon::SentimentLexicon* lexicon,
+                               const lexicon::PatternDatabase* patterns,
+                               const Config& config)
+    : lexicon_(lexicon),
+      patterns_(patterns),
+      config_(config),
+      analyzer_(lexicon, patterns, config.analyzer),
+      context_builder_(config.context) {}
+
+void SentimentMiner::AddSubject(const spot::SynonymSet& subject) {
+  spotter_.AddSynonymSet(subject);
+}
+
+void SentimentMiner::AddTopicTerms(const spot::TopicTermSet& topic) {
+  disambiguator_.AddTopic(topic);
+}
+
+void SentimentMiner::ProcessDocument(const std::string& doc_id,
+                                     const std::string& body,
+                                     SentimentStore* store) {
+  text::TokenStream tokens = tokenizer_.Tokenize(body);
+  std::vector<text::SentenceSpan> spans = splitter_.Split(tokens);
+
+  std::vector<spot::SubjectSpot> spots = spotter_.Spot(tokens);
+  if (spots.empty()) return;
+
+  // Disambiguation.
+  std::vector<spot::SubjectSpot> on_topic;
+  if (config_.use_disambiguator) {
+    const spot::CorpusStats* stats = external_stats_;
+    if (stats == nullptr) {
+      std::vector<std::string> lower;
+      lower.reserve(tokens.size());
+      for (const text::Token& t : tokens) lower.push_back(ToLower(t.text));
+      own_stats_.AddDocument(lower);
+      stats = &own_stats_;
+    }
+    for (const spot::DisambiguationResult& r :
+         disambiguator_.Evaluate(tokens, spots, *stats)) {
+      if (r.on_topic) on_topic.push_back(r.spot);
+    }
+  } else {
+    on_topic = spots;
+  }
+
+  // Per-sentence clause parses are cached: several spots often share a
+  // sentence.
+  std::vector<int> parse_of_sentence(spans.size(), -1);
+  std::vector<std::vector<parse::SentenceParse>> parses;
+
+  for (const spot::SubjectSpot& spot : on_topic) {
+    SentimentContext ctx;
+    if (!context_builder_.Build(spans, spot.begin_token, &ctx)) continue;
+
+    int& cached = parse_of_sentence[ctx.sentence_index];
+    if (cached < 0) {
+      std::vector<pos::PosTag> tags =
+          tagger_.TagSentence(tokens, ctx.sentence);
+      parses.push_back(
+          sentence_analyzer_.AnalyzeClauses(tokens, ctx.sentence, tags));
+      cached = static_cast<int>(parses.size()) - 1;
+    }
+    const std::vector<parse::SentenceParse>& clauses =
+        parses[static_cast<size_t>(cached)];
+    const parse::SentenceParse* parse_ptr = &clauses.front();
+    for (const parse::SentenceParse& clause : clauses) {
+      if (spot.begin_token >= clause.span.begin_token &&
+          spot.begin_token < clause.span.end_token) {
+        parse_ptr = &clause;
+        break;
+      }
+    }
+
+    SubjectSentiment verdict = analyzer_.AnalyzeSubject(
+        tokens, *parse_ptr, spot.begin_token, spot.end_token);
+
+    // Context-window fragment attribution ("I bought it in May. Big
+    // mistake."): a short verbless follow-up carries the sentiment.
+    if (config_.attribute_fragments &&
+        verdict.polarity == Polarity::kNeutral &&
+        ctx.sentence_index + 1 < spans.size()) {
+      const text::SentenceSpan& next = spans[ctx.sentence_index + 1];
+      if (next.size() <= 6) {
+        std::vector<pos::PosTag> frag_tags =
+            tagger_.TagSentence(tokens, next);
+        parse::SentenceParse frag =
+            sentence_analyzer_.Analyze(tokens, next, frag_tags);
+        if (frag.predicate_chunk < 0) {
+          PhraseSentimentScorer scorer(lexicon_);
+          Polarity p = scorer.Score(tokens, frag, next.begin_token,
+                                    next.end_token);
+          if (p != Polarity::kNeutral) {
+            verdict.polarity = p;
+            verdict.source = SentimentSource::kCrossSentence;
+            verdict.pattern.clear();
+          }
+        }
+      }
+    }
+    if (!config_.record_neutral &&
+        verdict.polarity == Polarity::kNeutral) {
+      continue;
+    }
+
+    const spot::SynonymSet* set = spotter_.FindSet(spot.synset_id);
+    SentimentMention m;
+    m.doc_id = doc_id;
+    m.subject = set != nullptr ? set->canonical : "?";
+    m.synset_id = spot.synset_id;
+    m.polarity = verdict.polarity;
+    m.source = verdict.source;
+    m.pattern = verdict.pattern;
+    m.sentence_text =
+        RangeText(tokens, ctx.sentence.begin_token, ctx.sentence.end_token);
+    m.sentence_index = ctx.sentence_index;
+    m.sentence_begin = tokens[ctx.sentence.begin_token].begin;
+    m.sentence_end = tokens[ctx.sentence.end_token - 1].end;
+    store->Add(std::move(m));
+  }
+}
+
+AdHocSentimentMiner::AdHocSentimentMiner(
+    const lexicon::SentimentLexicon* lexicon,
+    const lexicon::PatternDatabase* patterns, const Config& config)
+    : lexicon_(lexicon),
+      patterns_(patterns),
+      config_(config),
+      analyzer_(lexicon, patterns, config.analyzer),
+      ner_(config.ner) {}
+
+void AdHocSentimentMiner::ProcessDocument(const std::string& doc_id,
+                                          const std::string& body,
+                                          SentimentStore* store) {
+  text::TokenStream tokens = tokenizer_.Tokenize(body);
+  std::vector<text::SentenceSpan> spans = splitter_.Split(tokens);
+
+  for (size_t s = 0; s < spans.size(); ++s) {
+    const text::SentenceSpan& span = spans[s];
+    std::vector<ner::NamedEntity> entities = ner_.SpotSentence(tokens, span);
+    if (entities.empty()) continue;
+
+    std::vector<pos::PosTag> tags = tagger_.TagSentence(tokens, span);
+    std::vector<parse::SentenceParse> clauses =
+        sentence_analyzer_.AnalyzeClauses(tokens, span, tags);
+
+    for (const ner::NamedEntity& e : entities) {
+      const parse::SentenceParse* parse_ptr = &clauses.front();
+      for (const parse::SentenceParse& clause : clauses) {
+        if (e.begin_token >= clause.span.begin_token &&
+            e.begin_token < clause.span.end_token) {
+          parse_ptr = &clause;
+          break;
+        }
+      }
+      SubjectSentiment verdict = analyzer_.AnalyzeSubject(
+          tokens, *parse_ptr, e.begin_token, e.end_token);
+      if (verdict.polarity == Polarity::kNeutral) continue;
+
+      SentimentMention m;
+      m.doc_id = doc_id;
+      m.subject = e.text;
+      m.synset_id = -1;
+      m.polarity = verdict.polarity;
+      m.source = verdict.source;
+      m.pattern = verdict.pattern;
+      m.sentence_text = RangeText(tokens, span.begin_token, span.end_token);
+      m.sentence_index = s;
+      m.sentence_begin = tokens[span.begin_token].begin;
+      m.sentence_end = tokens[span.end_token - 1].end;
+      store->Add(std::move(m));
+    }
+  }
+}
+
+}  // namespace wf::core

@@ -1,0 +1,119 @@
+#ifndef WF_CORE_MINER_H_
+#define WF_CORE_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/context.h"
+#include "core/sentiment_store.h"
+#include "lexicon/pattern_db.h"
+#include "lexicon/sentiment_lexicon.h"
+#include "ner/named_entity_spotter.h"
+#include "pos/tagger.h"
+#include "spot/disambiguator.h"
+#include "spot/spotter.h"
+#include "spot/tfidf.h"
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+
+namespace wf::core {
+
+// Mode A (Figure 2): sentiment mining with a predefined set of subjects.
+// Pipeline per document: tokenize -> sentence-split -> spot subjects ->
+// disambiguate -> build sentiment context -> parse -> analyze -> store.
+class SentimentMiner {
+ public:
+  struct Config {
+    AnalyzerOptions analyzer;
+    ContextBuilder::Options context;
+    bool use_disambiguator = true;
+    // Record neutral verdicts too (needed for accuracy computation over
+    // all test cases, as the paper's evaluation does).
+    bool record_neutral = true;
+    // Context-window rule (§3): when the spot's own sentence is neutral,
+    // attribute a short verbless follow-up fragment ("Big mistake.") to
+    // the spot. Off by default — it trades precision for recall.
+    bool attribute_fragments = false;
+  };
+
+  // `lexicon` and `patterns` must outlive the miner.
+  SentimentMiner(const lexicon::SentimentLexicon* lexicon,
+                 const lexicon::PatternDatabase* patterns)
+      : SentimentMiner(lexicon, patterns, Config{}) {}
+  SentimentMiner(const lexicon::SentimentLexicon* lexicon,
+                 const lexicon::PatternDatabase* patterns,
+                 const Config& config);
+
+  // Subject registration (spotter synonym sets + optional topic term sets
+  // for disambiguation).
+  void AddSubject(const spot::SynonymSet& subject);
+  void AddTopicTerms(const spot::TopicTermSet& topic);
+
+  // Corpus statistics for TF-IDF disambiguation; optional — without it the
+  // miner builds stats incrementally from the processed documents.
+  void SetCorpusStats(const spot::CorpusStats* stats) { external_stats_ = stats; }
+
+  // Mines one document, appending mentions to `store`.
+  void ProcessDocument(const std::string& doc_id, const std::string& body,
+                       SentimentStore* store);
+
+  const Config& config() const { return config_; }
+
+ private:
+  const lexicon::SentimentLexicon* lexicon_;
+  const lexicon::PatternDatabase* patterns_;
+  Config config_;
+
+  text::Tokenizer tokenizer_;
+  text::SentenceSplitter splitter_;
+  pos::PosTagger tagger_;
+  parse::SentenceAnalyzer sentence_analyzer_;
+  SentimentAnalyzer analyzer_;
+  ContextBuilder context_builder_;
+  spot::Spotter spotter_;
+  spot::Disambiguator disambiguator_;
+  spot::CorpusStats own_stats_;
+  const spot::CorpusStats* external_stats_ = nullptr;
+};
+
+// Mode B (Figure 3): no predefined subjects — the named-entity spotter
+// proposes subjects, every sentiment-bearing sentence is analyzed offline,
+// and (entity, sentiment) results are meant to be indexed for query-time
+// lookup (the platform layer does the indexing).
+class AdHocSentimentMiner {
+ public:
+  struct Config {
+    AnalyzerOptions analyzer;
+    ner::NamedEntitySpotter::Options ner;
+  };
+
+  AdHocSentimentMiner(const lexicon::SentimentLexicon* lexicon,
+                      const lexicon::PatternDatabase* patterns)
+      : AdHocSentimentMiner(lexicon, patterns, Config{}) {}
+  AdHocSentimentMiner(const lexicon::SentimentLexicon* lexicon,
+                      const lexicon::PatternDatabase* patterns,
+                      const Config& config);
+
+  // Mines one document; every named entity in a sentence becomes a subject
+  // candidate. Only non-neutral results are recorded (the index stores
+  // sentiment-bearing occurrences).
+  void ProcessDocument(const std::string& doc_id, const std::string& body,
+                       SentimentStore* store);
+
+ private:
+  const lexicon::SentimentLexicon* lexicon_;
+  const lexicon::PatternDatabase* patterns_;
+  Config config_;
+
+  text::Tokenizer tokenizer_;
+  text::SentenceSplitter splitter_;
+  pos::PosTagger tagger_;
+  parse::SentenceAnalyzer sentence_analyzer_;
+  SentimentAnalyzer analyzer_;
+  ner::NamedEntitySpotter ner_;
+};
+
+}  // namespace wf::core
+
+#endif  // WF_CORE_MINER_H_

@@ -1,0 +1,84 @@
+#include "core/phrase_sentiment.h"
+
+#include "common/string_util.h"
+#include "text/inflection.h"
+
+namespace wf::core {
+
+using ::wf::common::ToLower;
+using ::wf::lexicon::LexPos;
+using ::wf::lexicon::Polarity;
+
+int PhraseSentimentScorer::VoteCount(const text::TokenStream& tokens,
+                                     const parse::SentenceParse& parse,
+                                     size_t begin, size_t end, size_t exclude,
+                                     bool ignore_negation) const {
+  int votes = 0;
+  bool negated = false;
+  size_t i = begin;
+  while (i < end) {
+    if (i == exclude) {
+      ++i;
+      continue;
+    }
+    if (text::IsNegationWord(tokens[i].text)) {
+      if (!ignore_negation) negated = true;
+      ++i;
+      continue;
+    }
+    if (tokens[i].kind != text::TokenKind::kWord) {
+      ++i;
+      continue;
+    }
+    // Multi-word entries first (trigram then bigram), then the single word.
+    bool matched = false;
+    for (size_t n = 3; n >= 2; --n) {
+      if (i + n > end) continue;
+      bool all_words = true;
+      std::string gram;
+      for (size_t k = 0; k < n; ++k) {
+        if (tokens[i + k].kind != text::TokenKind::kWord) {
+          all_words = false;
+          break;
+        }
+        if (!gram.empty()) gram += ' ';
+        gram += ToLower(tokens[i + k].text);
+      }
+      if (!all_words) continue;
+      auto hit = lexicon_->LookupLemma(gram, LexPos::kAny);
+      if (hit.has_value()) {
+        votes += static_cast<int>(*hit);
+        i += n;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    auto hit = lexicon_->Lookup(tokens[i].text, parse.TagAt(i));
+    if (hit.has_value()) {
+      // Excess reading: "too <adjective>" is negative regardless of the
+      // adjective's own polarity ("too simple", "too expensive"). The
+      // degree word may sit just outside the scored phrase (the chunker
+      // attaches trailing adverbs to the VP), so look at the literal
+      // previous token within the sentence.
+      bool excess = i > parse.span.begin_token &&
+                    pos::IsAdjectiveTag(parse.TagAt(i)) &&
+                    common::EqualsIgnoreCase(tokens[i - 1].text, "too");
+      votes += excess ? -1 : static_cast<int>(*hit);
+    }
+    ++i;
+  }
+  return negated ? -votes : votes;
+}
+
+Polarity PhraseSentimentScorer::Score(const text::TokenStream& tokens,
+                                      const parse::SentenceParse& parse,
+                                      size_t begin, size_t end, size_t exclude,
+                                      bool ignore_negation) const {
+  int votes = VoteCount(tokens, parse, begin, end, exclude, ignore_negation);
+  if (votes > 0) return Polarity::kPositive;
+  if (votes < 0) return Polarity::kNegative;
+  return Polarity::kNeutral;
+}
+
+}  // namespace wf::core

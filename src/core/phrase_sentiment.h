@@ -1,0 +1,44 @@
+#ifndef WF_CORE_PHRASE_SENTIMENT_H_
+#define WF_CORE_PHRASE_SENTIMENT_H_
+
+#include "lexicon/sentiment_lexicon.h"
+#include "parse/sentence_structure.h"
+#include "text/token.h"
+
+namespace wf::core {
+
+// Phrase-level polarity per §4.2: a phrase is positive/negative according
+// to the sentiment words it contains ("excellent pictures" is positive
+// because "excellent" JJ is positive); a negative adverb inside the phrase
+// reverses its polarity ("no good reason"). Multiple sentiment words vote;
+// a tie is neutral.
+class PhraseSentimentScorer {
+ public:
+  // `lexicon` must outlive the scorer.
+  explicit PhraseSentimentScorer(const lexicon::SentimentLexicon* lexicon)
+      : lexicon_(lexicon) {}
+
+  // Polarity of tokens [begin, end) (absolute indices within `parse.span`).
+  // `exclude` marks one token to skip (the predicate head when scoring a VP
+  // source); pass SIZE_MAX to exclude nothing. When `ignore_negation` is
+  // set, negative adverbs in the range are skipped instead of flipping the
+  // phrase — used for VP-internal sources, whose negation is already
+  // applied at the sentence level.
+  lexicon::Polarity Score(const text::TokenStream& tokens,
+                          const parse::SentenceParse& parse, size_t begin,
+                          size_t end, size_t exclude = SIZE_MAX,
+                          bool ignore_negation = false) const;
+
+  // Signed vote total (useful for diagnostics and the collocation baseline).
+  int VoteCount(const text::TokenStream& tokens,
+                const parse::SentenceParse& parse, size_t begin, size_t end,
+                size_t exclude = SIZE_MAX,
+                bool ignore_negation = false) const;
+
+ private:
+  const lexicon::SentimentLexicon* lexicon_;
+};
+
+}  // namespace wf::core
+
+#endif  // WF_CORE_PHRASE_SENTIMENT_H_

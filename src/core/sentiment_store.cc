@@ -1,0 +1,67 @@
+#include "core/sentiment_store.h"
+
+#include <algorithm>
+#include <set>
+
+namespace wf::core {
+
+using ::wf::lexicon::Polarity;
+
+void SentimentStore::Add(SentimentMention mention) {
+  mentions_.push_back(std::move(mention));
+}
+
+std::vector<std::string> SentimentStore::Subjects() const {
+  std::set<std::string> subjects;
+  for (const SentimentMention& m : mentions_) subjects.insert(m.subject);
+  return std::vector<std::string>(subjects.begin(), subjects.end());
+}
+
+SentimentAggregate SentimentStore::ForSubject(
+    const std::string& subject) const {
+  SentimentAggregate agg;
+  for (const SentimentMention& m : mentions_) {
+    if (m.subject != subject) continue;
+    switch (m.polarity) {
+      case Polarity::kPositive:
+        ++agg.positive;
+        break;
+      case Polarity::kNegative:
+        ++agg.negative;
+        break;
+      case Polarity::kNeutral:
+        ++agg.neutral;
+        break;
+    }
+  }
+  return agg;
+}
+
+SentimentStore::PageAggregate SentimentStore::PagesForSubject(
+    const std::string& subject) const {
+  std::map<std::string, std::pair<bool, bool>> per_doc;  // doc -> (pos, neg)
+  for (const SentimentMention& m : mentions_) {
+    if (m.subject != subject) continue;
+    auto& flags = per_doc[m.doc_id];
+    if (m.polarity == Polarity::kPositive) flags.first = true;
+    if (m.polarity == Polarity::kNegative) flags.second = true;
+  }
+  PageAggregate out;
+  out.pages = per_doc.size();
+  for (const auto& [doc, flags] : per_doc) {
+    if (flags.first) ++out.pages_positive;
+    if (flags.second) ++out.pages_negative;
+  }
+  return out;
+}
+
+std::vector<const SentimentMention*> SentimentStore::Find(
+    const std::string& subject, lexicon::Polarity polarity) const {
+  std::vector<const SentimentMention*> out;
+  for (const SentimentMention& m : mentions_) {
+    if (m.subject == subject && m.polarity == polarity) out.push_back(&m);
+  }
+  return out;
+}
+
+}  // namespace wf::core

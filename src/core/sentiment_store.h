@@ -1,0 +1,76 @@
+#ifndef WF_CORE_SENTIMENT_STORE_H_
+#define WF_CORE_SENTIMENT_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "lexicon/sentiment_lexicon.h"
+
+namespace wf::core {
+
+// One extracted (subject, sentiment) pair with provenance — the record the
+// miner writes "into a database to be fed into user applications".
+struct SentimentMention {
+  std::string doc_id;
+  std::string subject;      // canonical subject name
+  int synset_id = -1;       // -1 for ad-hoc (Mode B) subjects
+  lexicon::Polarity polarity = lexicon::Polarity::kNeutral;
+  SentimentSource source = SentimentSource::kNone;
+  std::string pattern;        // matched pattern, when any
+  std::string sentence_text;  // surface text of the sentiment context
+  size_t sentence_index = 0;
+  size_t sentence_begin = 0;  // byte offsets of the sentence in the document
+  size_t sentence_end = 0;
+};
+
+// Aggregate counts for one subject.
+struct SentimentAggregate {
+  size_t positive = 0;
+  size_t negative = 0;
+  size_t neutral = 0;
+
+  size_t total() const { return positive + negative + neutral; }
+  double PositiveShare() const {
+    size_t polar = positive + negative;
+    return polar == 0 ? 0.0 : static_cast<double>(positive) / polar;
+  }
+};
+
+// In-memory store of extracted sentiments with the roll-up queries the
+// reputation application needs (per subject, per document/page).
+class SentimentStore {
+ public:
+  void Add(SentimentMention mention);
+
+  const std::vector<SentimentMention>& mentions() const { return mentions_; }
+  size_t size() const { return mentions_.size(); }
+
+  // Distinct subjects seen, sorted.
+  std::vector<std::string> Subjects() const;
+
+  // Counts over all mentions of `subject`.
+  SentimentAggregate ForSubject(const std::string& subject) const;
+
+  // Page-level roll-up: of the documents mentioning `subject`, how many
+  // contain at least one positive (resp. negative) mention of it. Drives
+  // the "% of pages with positive sentiment" chart (Figure 2 inset).
+  struct PageAggregate {
+    size_t pages = 0;           // docs with any mention
+    size_t pages_positive = 0;  // docs with >= 1 positive mention
+    size_t pages_negative = 0;
+  };
+  PageAggregate PagesForSubject(const std::string& subject) const;
+
+  // All mentions of `subject` with the given polarity (Figure 5 listing).
+  std::vector<const SentimentMention*> Find(const std::string& subject,
+                                            lexicon::Polarity polarity) const;
+
+ private:
+  std::vector<SentimentMention> mentions_;
+};
+
+}  // namespace wf::core
+
+#endif  // WF_CORE_SENTIMENT_STORE_H_

@@ -1,0 +1,58 @@
+#include "corpus/datasets.h"
+
+#include "corpus/review_gen.h"
+#include "corpus/web_gen.h"
+
+namespace wf::corpus {
+
+namespace {
+
+ReviewDataset BuildReviewDataset(const DomainVocab& domain, size_t n_plus,
+                                 size_t n_minus, size_t n_train,
+                                 uint64_t seed) {
+  ReviewDataset ds;
+  ds.domain = &domain;
+  ds.d_plus = GenerateReviews(domain, n_plus, seed);
+  ds.d_minus = GenerateOffTopicDocs(n_minus, seed + 1);
+  ds.train = GenerateReviews(domain, n_train, seed + 2);
+  // Training docs get distinct ids.
+  for (size_t i = 0; i < ds.train.size(); ++i) {
+    ds.train[i].id += "-train";
+  }
+  return ds;
+}
+
+}  // namespace
+
+ReviewDataset BuildCameraDataset(uint64_t seed) {
+  return BuildReviewDataset(CameraDomain(), 485, 1838, 400, seed);
+}
+
+ReviewDataset BuildMusicDataset(uint64_t seed) {
+  return BuildReviewDataset(MusicDomain(), 250, 2389, 300, seed);
+}
+
+WebDataset BuildPetroleumWebDataset(uint64_t seed) {
+  WebDataset ds;
+  ds.domain = &PetroleumDomain();
+  ds.docs = GenerateWebDocs(PetroleumDomain(), 300, seed, WebGenOptions{});
+  return ds;
+}
+
+WebDataset BuildPharmaWebDataset(uint64_t seed) {
+  WebDataset ds;
+  ds.domain = &PharmaDomain();
+  ds.docs = GenerateWebDocs(PharmaDomain(), 300, seed, WebGenOptions{});
+  return ds;
+}
+
+WebDataset BuildPetroleumNewsDataset(uint64_t seed) {
+  WebDataset ds;
+  ds.domain = &PetroleumDomain();
+  WebGenOptions options;
+  options.news_style = true;
+  ds.docs = GenerateWebDocs(PetroleumDomain(), 250, seed, options);
+  return ds;
+}
+
+}  // namespace wf::corpus

@@ -1,0 +1,39 @@
+#ifndef WF_CORPUS_DATASETS_H_
+#define WF_CORPUS_DATASETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/domain.h"
+#include "corpus/generated.h"
+
+namespace wf::corpus {
+
+// A review-domain dataset mirroring §4.1's setup: a topic-focused
+// collection D+ with gold sentiment/feature annotations, an off-topic
+// collection D-, and a disjoint labeled training set for the ReviewSeer
+// baseline.
+struct ReviewDataset {
+  const DomainVocab* domain = nullptr;
+  std::vector<GeneratedDoc> d_plus;
+  std::vector<GeneratedDoc> d_minus;
+  std::vector<GeneratedDoc> train;  // document-labeled reviews
+};
+
+// Paper sizes: camera D+ = 485, D- = 1838; music D+ = 250, D- = 2389.
+ReviewDataset BuildCameraDataset(uint64_t seed);
+ReviewDataset BuildMusicDataset(uint64_t seed);
+
+// A general-web / news dataset for one Table 5 row.
+struct WebDataset {
+  const DomainVocab* domain = nullptr;
+  std::vector<GeneratedDoc> docs;
+};
+
+WebDataset BuildPetroleumWebDataset(uint64_t seed);
+WebDataset BuildPharmaWebDataset(uint64_t seed);
+WebDataset BuildPetroleumNewsDataset(uint64_t seed);
+
+}  // namespace wf::corpus
+
+#endif  // WF_CORPUS_DATASETS_H_

@@ -1,0 +1,60 @@
+#ifndef WF_CORPUS_DOMAIN_H_
+#define WF_CORPUS_DOMAIN_H_
+
+#include <string>
+#include <vector>
+
+namespace wf::corpus {
+
+// A product (or company/drug) in an evaluation domain.
+struct Product {
+  std::string name;    // "PowerLine S45"
+  std::string brand;   // "Canon"
+  std::vector<std::string> variants;  // extra spotter surface forms
+};
+
+// The vocabulary of one evaluation domain: digital cameras, music albums,
+// petroleum, pharmaceutical. Generators draw subjects and aspect terms from
+// here; the same lists seed the spotter and the gold answer keys.
+struct DomainVocab {
+  std::string name;  // "camera", "music", "petroleum", "pharma"
+  std::vector<Product> products;
+  // Aspect/feature terms ("battery", "picture quality"). The first word
+  // pools double as the gold feature list for the Table 2 experiment.
+  std::vector<std::string> features;
+  // Domain-topical filler nouns for neutral sentences ("tripod", "memo").
+  std::vector<std::string> topical_nouns;
+  // Context words used by the disambiguator's on-topic sets.
+  std::vector<std::string> context_terms;
+};
+
+// Built-in domains (definitions in domain_data.cc).
+const DomainVocab& CameraDomain();
+const DomainVocab& MusicDomain();
+const DomainVocab& PetroleumDomain();
+const DomainVocab& PharmaDomain();
+
+// Shared sentiment word pools, split by whether the embedded sentiment
+// lexicon knows them (A-class templates need lexicon hits; some B-class
+// templates need none).
+struct WordPools {
+  std::vector<std::string> pos_adjectives;    // in lexicon
+  std::vector<std::string> neg_adjectives;    // in lexicon
+  std::vector<std::string> pos_nouns;         // in lexicon
+  std::vector<std::string> neg_nouns;         // in lexicon
+  std::vector<std::string> pos_adverbs;       // in lexicon
+  std::vector<std::string> neg_adverbs;       // in lexicon
+  std::vector<std::string> neutral_adjectives;  // NOT in lexicon
+};
+
+const WordPools& SharedWordPools();
+
+// A copy of `pools` keeping only the first `fraction` of each sentiment
+// pool. Review generation uses a truncated view so that general-web text
+// contains sentiment vocabulary a review-trained classifier never saw —
+// the domain-transfer gap behind ReviewSeer's Table 5 collapse.
+WordPools TruncatedPools(const WordPools& pools, double fraction);
+
+}  // namespace wf::corpus
+
+#endif  // WF_CORPUS_DOMAIN_H_

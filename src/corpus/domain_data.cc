@@ -1,0 +1,189 @@
+#include "corpus/domain.h"
+
+namespace wf::corpus {
+
+// Product and brand names are synthetic (the paper masks real product names
+// in its own figures); brands echo the composition of the paper's Table 3.
+
+const DomainVocab& CameraDomain() {
+  static const DomainVocab* kDomain = new DomainVocab{
+      "camera",
+      {
+          {"PowerLine S45", "Canon", {"S45"}},
+          {"PowerLine G3", "Canon", {"G3"}},
+          {"Vistar 4500", "Nikon", {"Vistar"}},
+          {"Vistar 5700", "Nikon", {}},
+          {"CyberSnap P9", "Sony", {"CyberSnap"}},
+          {"CyberSnap F717", "Sony", {"F717"}},
+          {"Stylus C50", "Olympus", {"C50"}},
+          {"Stylus E20", "Olympus", {"E20"}},
+          {"EasyPix DX4900", "Kodak", {"EasyPix"}},
+          {"FinePix F601", "Fuji", {"FinePix"}},
+          {"Dimage F100", "Minolta", {"Dimage"}},
+          {"Dimage X7", "Minolta", {"X7"}},
+          {"PhotoMax Z3", "Kodak", {"PhotoMax"}},
+      },
+      {
+          "camera", "picture", "flash", "lens", "picture quality",
+          "battery", "software", "price", "battery life", "viewfinder",
+          "color", "image", "menu", "manual", "photo", "movie",
+          "resolution", "quality", "zoom", "autofocus", "shutter",
+          "memory card", "screen", "grip", "sensor", "playback",
+          "charger", "strap", "interface", "body",
+      },
+      {
+          "tripod", "bag", "cable", "box", "receipt", "store", "firmware",
+          "megapixel", "adapter", "filter",
+      },
+      {
+          "camera", "photo", "picture", "lens", "zoom", "megapixel",
+          "shutter", "photography", "digital",
+      },
+  };
+  return *kDomain;
+}
+
+const DomainVocab& MusicDomain() {
+  static const DomainVocab* kDomain = new DomainVocab{
+      "music",
+      {
+          {"Midnight Parade", "Arcline", {}},
+          {"Glass Harbor", "Arcline", {}},
+          {"Northern Lights", "The Veldt Brothers", {}},
+          {"Paper Lanterns", "Mira Solen", {}},
+          {"Iron Lullaby", "Mira Solen", {}},
+          {"Second Sunrise", "The Copper Owls", {}},
+          {"Silent Meridian", "Kessler Quartet", {}},
+          {"Velvet Engine", "The Copper Owls", {}},
+      },
+      {
+          "song", "album", "track", "music", "piece", "band", "lyrics",
+          "first movement", "second movement", "orchestra", "guitar",
+          "final movement", "beat", "production", "chorus", "first track",
+          "mix", "third movement", "piano", "work", "melody", "rhythm",
+          "vocals", "arrangement",
+      },
+      {
+          "concert", "studio", "label", "tour", "stage", "audience",
+          "record", "radio",
+      },
+      {
+          "album", "song", "band", "music", "track", "concert", "guitar",
+          "listen",
+      },
+  };
+  return *kDomain;
+}
+
+const DomainVocab& PetroleumDomain() {
+  static const DomainVocab* kDomain = new DomainVocab{
+      "petroleum",
+      {
+          {"Altona Petroleum", "Altona", {"Altona"}},
+          {"Grover Energy", "Grover", {"Grover"}},
+          {"Sunrise Oil", "Sunrise", {"SUN"}},
+          {"Caspian Basin Resources", "CBR", {"CBR"}},
+          {"Meridian Fuels", "Meridian", {}},
+          {"Northfield Gas", "Northfield", {}},
+          {"Pacific Crown Oil", "Pacific Crown", {}},
+      },
+      {
+          "pipeline", "refinery", "drilling", "exploration", "production",
+          "reserves", "safety record", "emissions", "cleanup",
+          "environmental record", "dividend", "output",
+      },
+      {
+          "barrel", "rig", "crude", "platform", "terminal", "tanker",
+          "quarter", "contract",
+      },
+      {
+          "oil", "petroleum", "barrel", "drilling", "refinery", "crude",
+          "pipeline", "energy", "gas",
+      },
+  };
+  return *kDomain;
+}
+
+const DomainVocab& PharmaDomain() {
+  static const DomainVocab* kDomain = new DomainVocab{
+      "pharma",
+      {
+          {"Veraxin", "Corvant Labs", {}},
+          {"Cordanol", "Corvant Labs", {}},
+          {"Lumetra", "Halden Pharma", {}},
+          {"Aprivex", "Halden Pharma", {}},
+          {"Neurofen Plus", "Bexley", {"Neurofen"}},
+          {"Somnarest", "Bexley", {}},
+          {"Claritox", "Meridian Health", {}},
+      },
+      {
+          "treatment", "dosage", "side effects", "efficacy",
+          "trial results", "safety profile", "price", "availability",
+          "label", "formulation",
+      },
+      {
+          "patient", "doctor", "pharmacy", "prescription", "dose",
+          "symptom", "study", "placebo",
+      },
+      {
+          "drug", "patient", "treatment", "clinical", "trial", "dose",
+          "medication", "therapy",
+      },
+  };
+  return *kDomain;
+}
+
+WordPools TruncatedPools(const WordPools& pools, double fraction) {
+  auto cut = [fraction](const std::vector<std::string>& v) {
+    size_t keep = static_cast<size_t>(v.size() * fraction);
+    if (keep == 0) keep = 1;
+    return std::vector<std::string>(v.begin(),
+                                    v.begin() + static_cast<long>(keep));
+  };
+  WordPools out;
+  out.pos_adjectives = cut(pools.pos_adjectives);
+  out.neg_adjectives = cut(pools.neg_adjectives);
+  out.pos_nouns = cut(pools.pos_nouns);
+  out.neg_nouns = cut(pools.neg_nouns);
+  out.pos_adverbs = cut(pools.pos_adverbs);
+  out.neg_adverbs = cut(pools.neg_adverbs);
+  out.neutral_adjectives = pools.neutral_adjectives;
+  return out;
+}
+
+const WordPools& SharedWordPools() {
+  static const WordPools* kPools = new WordPools{
+      // pos_adjectives (all present in the embedded sentiment lexicon)
+      {"excellent", "great", "superb", "outstanding", "impressive",
+       "fantastic", "wonderful", "sharp", "crisp", "vibrant", "accurate",
+       "fast", "responsive", "sturdy", "reliable", "durable", "compact",
+       "intuitive", "comfortable", "smooth", "powerful", "versatile",
+       "generous", "affordable", "enjoyable", "delightful", "elegant",
+       "flawless", "catchy", "memorable", "lively", "solid"},
+      // neg_adjectives
+      {"terrible", "awful", "horrible", "disappointing", "mediocre",
+       "blurry", "grainy", "noisy", "slow", "sluggish", "flimsy", "cheap",
+       "bulky", "clunky", "confusing", "unreliable", "defective", "faulty",
+       "dim", "weak", "useless", "overpriced", "bland", "boring",
+       "annoying", "frustrating", "harsh", "lifeless", "forgettable",
+       "repetitive", "dangerous", "poor"},
+      // pos_nouns
+      {"masterpiece", "gem", "delight", "bargain", "winner", "triumph",
+       "breakthrough", "improvement"},
+      // neg_nouns
+      {"disaster", "nightmare", "mess", "failure", "letdown", "ripoff",
+       "disappointment", "hassle", "junk", "lemon"},
+      // pos_adverbs
+      {"flawlessly", "beautifully", "perfectly", "nicely", "superbly",
+       "smoothly", "reliably"},
+      // neg_adverbs
+      {"poorly", "badly", "terribly", "horribly", "erratically",
+       "miserably"},
+      // neutral_adjectives (deliberately absent from the sentiment lexicon)
+      {"silver", "black", "compacted", "rectangular", "standard",
+       "quarterly", "routine", "regional", "mid-range", "updated"},
+  };
+  return *kPools;
+}
+
+}  // namespace wf::corpus

@@ -1,0 +1,45 @@
+#ifndef WF_CORPUS_GENERATED_H_
+#define WF_CORPUS_GENERATED_H_
+
+#include <string>
+#include <vector>
+
+#include "lexicon/sentiment_lexicon.h"
+
+namespace wf::corpus {
+
+// Expected-behaviour class of a generated test case, used for calibration
+// diagnostics (never consumed by the miners):
+//   'A' — sentiment expressed through a construction the pattern database
+//         covers (the miner should extract it),
+//   'B' — genuine sentiment the NLP approach misses (unknown predicate,
+//         verbless exclamation, cross-sentence), the recall ceiling,
+//   'C' — gold-neutral mention (possibly with off-target sentiment words
+//         nearby, the collocation killer),
+//   'D' — adversarial trap where relationship analysis assigns the wrong
+//         polarity (concessives, "until it breaks").
+// One gold answer: subject `subject` in sentence `sentence_index` carries
+// `polarity`.
+struct SpotGold {
+  std::string subject;       // surface form as embedded in the sentence
+  size_t sentence_index = 0;
+  lexicon::Polarity polarity = lexicon::Polarity::kNeutral;
+  bool i_class = false;  // paper's "I class": ambiguous / off-target / no sentiment
+  char template_class = 'C';
+};
+
+// One synthetic document with its gold annotations.
+struct GeneratedDoc {
+  std::string id;
+  std::string domain;  // "camera", "music", "petroleum", "pharma", "offtopic"
+  std::string body;
+  std::vector<SpotGold> golds;
+  // Overall review rating (document-level label for the ReviewSeer
+  // baseline); neutral for non-review documents.
+  lexicon::Polarity doc_polarity = lexicon::Polarity::kNeutral;
+  bool on_topic = true;  // D+ vs D- membership
+};
+
+}  // namespace wf::corpus
+
+#endif  // WF_CORPUS_GENERATED_H_

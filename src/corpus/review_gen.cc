@@ -1,0 +1,121 @@
+#include "corpus/review_gen.h"
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "corpus/sentence_templates.h"
+
+namespace wf::corpus {
+
+using ::wf::common::Rng;
+using ::wf::lexicon::Polarity;
+
+std::vector<GeneratedDoc> GenerateReviews(const DomainVocab& domain,
+                                          size_t n_docs, uint64_t seed,
+                                          const ReviewGenOptions& options) {
+  Rng master(seed);
+  // Reviews draw from a truncated sentiment-vocabulary view (see
+  // TruncatedPools): the held-out words appear only in general-web text.
+  const WordPools review_pools = TruncatedPools(SharedWordPools(), 0.6);
+  SentenceFactory factory(&domain, &review_pools);
+  std::vector<GeneratedDoc> docs;
+  docs.reserve(n_docs);
+
+  for (size_t d = 0; d < n_docs; ++d) {
+    Rng rng = master.Fork();
+    GeneratedDoc doc;
+    doc.id = common::StrFormat("%s-review-%zu", domain.name.c_str(), d);
+    doc.domain = domain.name;
+    doc.on_topic = true;
+    doc.doc_polarity =
+        rng.Bernoulli(0.5) ? Polarity::kPositive : Polarity::kNegative;
+
+    const Product& product = rng.Pick(domain.products);
+    size_t n_sentences = static_cast<size_t>(rng.Uniform(
+        static_cast<int64_t>(options.min_sentences),
+        static_cast<int64_t>(options.max_sentences)));
+
+    std::vector<std::string> sentences;
+    size_t sentence_index = 0;
+    auto append = [&](GenSentence s) {
+      for (SpotGold& g : s.golds) {
+        g.sentence_index = sentence_index;
+        doc.golds.push_back(std::move(g));
+      }
+      sentences.push_back(std::move(s.text));
+      ++sentence_index;
+    };
+    auto append_plain = [&](std::string text) {
+      sentences.push_back(std::move(text));
+      ++sentence_index;
+    };
+
+    // Opening: a neutral product mention anchoring the review.
+    append(factory.Neutral(rng, product.name, /*with_distractor=*/false));
+
+    // One comparison/contrastive sentence per review, sometimes.
+    if (rng.Bernoulli(options.comparison_prob) &&
+        domain.products.size() >= 2) {
+      const Product* other = &rng.Pick(domain.products);
+      while (other->name == product.name) other = &rng.Pick(domain.products);
+      bool win = doc.doc_polarity == Polarity::kPositive;
+      append(factory.Comparison(rng, win ? product.name : other->name,
+                                win ? other->name : product.name));
+    } else if (rng.Bernoulli(options.contrastive_prob) &&
+               domain.products.size() >= 2) {
+      const Product* other = &rng.Pick(domain.products);
+      while (other->name == product.name) other = &rng.Pick(domain.products);
+      bool win = doc.doc_polarity == Polarity::kPositive;
+      append(factory.Contrastive(rng, win ? product.name : other->name,
+                                 win ? other->name : product.name));
+    }
+
+    while (sentence_index < n_sentences) {
+      // Occasional filler with no subject.
+      if (rng.Bernoulli(0.08)) {
+        append_plain(factory.Filler(rng));
+        continue;
+      }
+      std::string subject = rng.Bernoulli(options.product_subject_prob)
+                                ? product.name
+                                : rng.Pick(domain.features);
+      // Occasional compound sentence carrying two opposite-polarity golds.
+      if (rng.Bernoulli(0.015) && domain.features.size() >= 2) {
+        const std::string* other = &rng.Pick(domain.features);
+        while (*other == subject) other = &rng.Pick(domain.features);
+        if (rng.Bernoulli(0.5)) {
+          append(factory.Compound(rng, subject, *other));
+        } else {
+          append(factory.Compound(rng, *other, subject));
+        }
+        continue;
+      }
+      if (!rng.Bernoulli(options.polar_prob)) {
+        double bias =
+            doc.doc_polarity == Polarity::kPositive ? 0.72 : 0.28;
+        append(factory.Neutral(
+            rng, subject, rng.Bernoulli(options.neutral_distractor_prob),
+            bias));
+        continue;
+      }
+      Polarity target = doc.doc_polarity;
+      if (rng.Bernoulli(options.off_lean_prob)) {
+        target = lexicon::Flip(target);
+      }
+      double roll = rng.Double();
+      if (roll < options.a_frac) {
+        append(factory.PolarExtractable(rng, subject, target));
+      } else if (roll < options.a_frac + options.b_frac) {
+        append(factory.PolarMissed(rng, subject, target,
+                                   rng.Bernoulli(options.b_lexicon_frac)));
+      } else {
+        append(factory.PolarTrap(rng, subject, target));
+      }
+    }
+
+    doc.body = common::Join(sentences, " ");
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+}  // namespace wf::corpus

@@ -1,0 +1,54 @@
+#ifndef WF_CORPUS_REVIEW_GEN_H_
+#define WF_CORPUS_REVIEW_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/domain.h"
+#include "corpus/generated.h"
+
+namespace wf::corpus {
+
+// Knobs controlling the composition of generated product reviews. Defaults
+// are calibrated so the evaluation harness reproduces the *shape* of the
+// paper's Table 4 (see EXPERIMENTS.md).
+struct ReviewGenOptions {
+  size_t min_sentences = 8;
+  size_t max_sentences = 14;
+  // Probability a mention sentence is about the product itself rather than
+  // a feature (drives the Table 3 reference-count ratio).
+  double product_subject_prob = 0.05;
+  // Probability a mention is sentiment-bearing (the rest are neutral).
+  double polar_prob = 0.30;
+  // Split of polar mentions: extractable / missed; the remainder are traps.
+  double a_frac = 0.50;
+  double b_frac = 0.42;
+  // Fraction of missed-class sentences that still contain lexicon words.
+  double b_lexicon_frac = 0.70;
+  // Fraction of neutral mentions planted with an off-target sentiment word.
+  double neutral_distractor_prob = 0.80;
+  // Chance a review carries one comparison / contrastive sentence.
+  double comparison_prob = 0.10;
+  double contrastive_prob = 0.08;
+  // Probability a polar sentence leans against the review's star rating —
+  // mixed reviews are what keeps document classifiers below 100%.
+  double off_lean_prob = 0.15;
+};
+
+// Generates `n_docs` reviews for the domain (digital cameras, music
+// albums), each with gold (subject, sentence, polarity) annotations and a
+// document-level rating usable as ReviewSeer training/eval labels.
+// Deterministic in `seed`; ids are "<domain>-review-<i>".
+std::vector<GeneratedDoc> GenerateReviews(const DomainVocab& domain,
+                                          size_t n_docs, uint64_t seed,
+                                          const ReviewGenOptions& options);
+
+inline std::vector<GeneratedDoc> GenerateReviews(const DomainVocab& domain,
+                                                 size_t n_docs,
+                                                 uint64_t seed) {
+  return GenerateReviews(domain, n_docs, seed, ReviewGenOptions{});
+}
+
+}  // namespace wf::corpus
+
+#endif  // WF_CORPUS_REVIEW_GEN_H_

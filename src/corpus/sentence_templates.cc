@@ -1,0 +1,503 @@
+#include "corpus/sentence_templates.h"
+
+#include "common/string_util.h"
+
+namespace wf::corpus {
+
+using ::wf::common::Rng;
+using ::wf::common::StrFormat;
+using ::wf::lexicon::Polarity;
+
+namespace {
+
+std::string Capitalize(std::string s) {
+  if (!s.empty()) s[0] = common::ToUpperAscii(s[0]);
+  return s;
+}
+
+// "a" / "an" by the first letter of the following word.
+const char* Art(const std::string& word) {
+  if (word.empty()) return "a";
+  switch (common::ToLowerAscii(word[0])) {
+    case 'a':
+    case 'e':
+    case 'i':
+    case 'o':
+    case 'u':
+      return "an";
+    default:
+      return "a";
+  }
+}
+
+SpotGold MakeGold(const std::string& subject, Polarity polarity, char clazz,
+                  bool i_class = false) {
+  SpotGold g;
+  g.subject = subject;
+  g.polarity = polarity;
+  g.template_class = clazz;
+  g.i_class = i_class;
+  return g;
+}
+
+}  // namespace
+
+std::string SentenceFactory::Np(const std::string& subject) const {
+  if (!subject.empty() && common::IsAsciiUpper(subject[0])) return subject;
+  return "the " + subject;
+}
+
+bool SentenceFactory::IsPlural(const std::string& subject) const {
+  static const char* kPlural[] = {"lyrics",    "vocals",       "emissions",
+                                  "reserves",  "side effects", "trial results"};
+  for (const char* p : kPlural) {
+    if (subject == p) return true;
+  }
+  return false;
+}
+
+GenSentence SentenceFactory::PolarExtractableWeb(Rng& rng,
+                                                 const std::string& subject,
+                                                 Polarity target) const {
+  const bool pos = (target == Polarity::kPositive);
+  const auto& adj = pos ? pools_->pos_adjectives : pools_->neg_adjectives;
+  const std::string np = Np(subject);
+  const bool plural = IsPlural(subject);
+  auto v = [&](const char* sing, const char* plur) {
+    return plural ? plur : sing;
+  };
+  const std::string& feature = rng.Pick(domain_->features);
+
+  std::string text;
+  if (pos) {
+    switch (rng.Index(6)) {
+      case 0:
+        text = StrFormat("Analysts admire %s.", np.c_str());
+        break;
+      case 1:
+      {
+        const std::string& a = rng.Pick(adj);
+        text = StrFormat("%s %s %s %s %s.", np.c_str(),
+                         v("boasts", "boast"), Art(a), a.c_str(),
+                         feature.c_str());
+      }
+        break;
+      case 2:
+        text = StrFormat("Independent reviewers endorse %s.", np.c_str());
+        break;
+      case 3:
+        text = StrFormat("%s %s in independent tests.", np.c_str(),
+                         v("shines", "shine"));
+        break;
+      case 4:
+        text = StrFormat("The report calls %s %s.", np.c_str(),
+                         rng.Pick(adj).c_str());
+        break;
+      default:
+        text = StrFormat("%s %s the competition this quarter.", np.c_str(),
+                         v("outperforms", "outperform"));
+        break;
+    }
+  } else {
+    switch (rng.Index(6)) {
+      case 0:
+        text = StrFormat("Lawsuits plague %s.", np.c_str());
+        break;
+      case 1:
+        text = StrFormat("Regulators condemn %s.", np.c_str());
+        break;
+      case 2:
+        text = StrFormat("%s %s under scrutiny.", np.c_str(),
+                         v("falters", "falter"));
+        break;
+      case 3:
+        text = StrFormat("The report calls %s %s.", np.c_str(),
+                         rng.Pick(adj).c_str());
+        break;
+      case 4:
+        text = StrFormat("%s %s investors.", np.c_str(),
+                         v("disappoints", "disappoint"));
+        break;
+      default:
+        text = StrFormat("Watchdog groups criticize %s.", np.c_str());
+        break;
+    }
+  }
+  GenSentence out;
+  out.text = Capitalize(text);
+  out.golds.push_back(MakeGold(subject, target, 'A'));
+  return out;
+}
+
+GenSentence SentenceFactory::PolarExtractable(Rng& rng,
+                                              const std::string& subject,
+                                              Polarity target) const {
+  if (register_ == Register::kWeb) {
+    return PolarExtractableWeb(rng, subject, target);
+  }
+  const bool pos = (target == Polarity::kPositive);
+  const auto& adj = pos ? pools_->pos_adjectives : pools_->neg_adjectives;
+  const auto& noun = pos ? pools_->pos_nouns : pools_->neg_nouns;
+  const auto& adv = pos ? pools_->pos_adverbs : pools_->neg_adverbs;
+  const std::string np = Np(subject);
+  const bool plural = IsPlural(subject);
+  const char* be = plural ? "are" : "is";
+  auto v = [&](const char* sing, const char* plur) {
+    return plural ? plur : sing;
+  };
+
+  std::string text;
+  switch (rng.Index(12)) {
+    case 0:
+      text = StrFormat("%s %s %s.", np.c_str(), be, rng.Pick(adj).c_str());
+      break;
+    case 1:
+      text = StrFormat("%s %s %s.", np.c_str(), v("works", "work"),
+                       rng.Pick(adv).c_str());
+      break;
+    case 2:
+      text = StrFormat("I %s %s by %s.",
+                       pos ? "was impressed" : "was disappointed", "",
+                       np.c_str());
+      text = common::ReplaceAll(text, "  ", " ");
+      break;
+    case 3:
+      text = StrFormat("I %s %s.", pos ? "love" : "hate", np.c_str());
+      break;
+    case 4:
+      text = StrFormat("%s %s %s results.", np.c_str(),
+                       v("delivers", "deliver"), rng.Pick(adj).c_str());
+      break;
+    case 5:
+      {
+        const std::string& n = rng.Pick(noun);
+        text = StrFormat("%s %s %s %s.", np.c_str(), plural ? "are" : "is",
+                         Art(n), n.c_str());
+      }
+      break;
+    case 6:
+      text = StrFormat("%s %s about %s.",
+                       pos ? "Everyone raves" : "Everyone complains", "",
+                       np.c_str());
+      text = common::ReplaceAll(text, "  ", " ");
+      break;
+    case 7:
+      text = pos ? StrFormat("%s exceeded my expectations.", np.c_str())
+                 : StrFormat("%s failed my expectations completely.",
+                             np.c_str());
+      break;
+    case 8:
+      text = pos ? StrFormat("We were amazed by %s.", np.c_str())
+                 : StrFormat("We were frustrated by %s.", np.c_str());
+      break;
+    case 9:
+      text = pos ? StrFormat("%s never %s.", np.c_str(),
+                             v("disappoints", "disappoint"))
+                 : StrFormat("%s never %s properly.", np.c_str(),
+                             v("works", "work"));
+      break;
+    case 10:
+      text = pos ? StrFormat("%s %s everyone who tried it.", np.c_str(),
+                             v("impresses", "impress"))
+                 : StrFormat("%s %s everyone who tried it.", np.c_str(),
+                             v("annoys", "annoy"));
+      break;
+    default:
+      if (pos) {
+        const std::string& a = rng.Pick(adj);
+        text = StrFormat("%s %s with %s %s feel.", np.c_str(),
+                         v("comes", "come"), Art(a), a.c_str());
+      } else {
+        text = StrFormat("%s %s from constant glitches.", np.c_str(),
+                         v("suffers", "suffer"));
+      }
+      break;
+  }
+  GenSentence out;
+  out.text = Capitalize(text);
+  out.golds.push_back(MakeGold(subject, target, 'A'));
+  return out;
+}
+
+GenSentence SentenceFactory::PolarMissed(Rng& rng, const std::string& subject,
+                                         Polarity target,
+                                         bool with_lexicon_word) const {
+  const bool pos = (target == Polarity::kPositive);
+  const auto& noun = pos ? pools_->pos_nouns : pools_->neg_nouns;
+  const std::string np = Np(subject);
+  const bool plural = IsPlural(subject);
+  auto v = [&](const char* sing, const char* plur) {
+    return plural ? plur : sing;
+  };
+
+  std::string text;
+  if (with_lexicon_word) {
+    // Sentiment vocabulary present, but in a construction outside the
+    // pattern grammar — the collocation baseline still catches these.
+    switch (rng.Index(3)) {
+      case 0:
+        text = StrFormat("%s %s on %s.", np.c_str(),
+                         v("borders", "border"), rng.Pick(noun).c_str());
+        break;
+      case 1:
+      {
+        const std::string& n = rng.Pick(noun);
+        text = StrFormat("%s %s of a %s, through and through.", Art(n),
+                         n.c_str(), subject.c_str());
+      }
+        break;
+      default:
+        text = StrFormat("%s %s of %s.", np.c_str(), v("reeks", "reek"),
+                         rng.Pick(noun).c_str());
+        break;
+    }
+  } else if (pos) {
+    switch (rng.Index(4)) {
+      case 0:
+        text = StrFormat("%s pays for itself within a week.", np.c_str());
+        break;
+      case 1:
+        text = StrFormat("I keep coming back to %s.", np.c_str());
+        break;
+      case 2:
+        text = StrFormat("%s %s again and again.", np.c_str(),
+                         v("sings", "sing"));
+        break;
+      default:
+        text = StrFormat("My friends all ordered %s after one afternoon "
+                         "with mine.",
+                         np.c_str());
+        break;
+    }
+  } else {
+    switch (rng.Index(4)) {
+      case 0:
+        text = StrFormat("My %s went back to the store after two days.",
+                         subject.c_str());
+        break;
+      case 1:
+        text = StrFormat("%s %s my patience daily.", np.c_str(),
+                         v("tests", "test"));
+        break;
+      case 2:
+        text = StrFormat("I expected more from %s.", np.c_str());
+        break;
+      default:
+        text = StrFormat("Two weeks in, %s stays in the drawer.", np.c_str());
+        break;
+    }
+  }
+  GenSentence out;
+  out.text = Capitalize(text);
+  out.golds.push_back(MakeGold(subject, target, 'B'));
+  return out;
+}
+
+GenSentence SentenceFactory::PolarTrap(Rng& rng, const std::string& subject,
+                                       Polarity target) const {
+  // Surface polarity is the flip of the gold.
+  const bool gold_neg = (target == Polarity::kNegative);
+  const auto& surface_adj =
+      gold_neg ? pools_->pos_adjectives : pools_->neg_adjectives;
+  const std::string np = Np(subject);
+  const bool plural = IsPlural(subject);
+  const char* be = plural ? "are" : "is";
+
+  std::string text;
+  if (gold_neg) {
+    switch (rng.Index(2)) {
+      case 0:
+        text = StrFormat("%s %s %s until it breaks.", np.c_str(), be,
+                         rng.Pick(surface_adj).c_str());
+        break;
+      default:
+        text = StrFormat("Sure, %s looks %s, if you have all day.",
+                         np.c_str(), rng.Pick(surface_adj).c_str());
+        break;
+    }
+  } else {
+    text = StrFormat("%s %s %s only on paper.", np.c_str(), be,
+                     rng.Pick(surface_adj).c_str());
+  }
+  GenSentence out;
+  out.text = Capitalize(text);
+  out.golds.push_back(MakeGold(subject, target, 'D'));
+  return out;
+}
+
+GenSentence SentenceFactory::Neutral(Rng& rng, const std::string& subject,
+                                     bool with_distractor,
+                                     double distractor_positive_prob) const {
+  const std::string np = Np(subject);
+  const bool plural = IsPlural(subject);
+  auto v = [&](const char* sing, const char* plur) {
+    return plural ? plur : sing;
+  };
+  const std::string& other =
+      rng.Pick(domain_->features.empty() ? domain_->topical_nouns
+                                         : domain_->features);
+  std::string text;
+  bool i_class = false;
+  if (with_distractor) {
+    const bool pos_distractor = rng.Bernoulli(distractor_positive_prob);
+    const std::string& adj = pos_distractor
+                                 ? rng.Pick(pools_->pos_adjectives)
+                                 : rng.Pick(pools_->neg_adjectives);
+    switch (rng.Index(4)) {
+      case 0:
+        text = StrFormat("Page two praises the %s %s before covering the "
+                         "%s.",
+                         adj.c_str(), other.c_str(), subject.c_str());
+        break;
+      case 1:
+        text = StrFormat("%s %s next to a section about the %s %s.",
+                         np.c_str(), v("appears", "appear"), adj.c_str(),
+                         other.c_str());
+        i_class = true;  // sentiment directed at something else
+        break;
+      case 2:
+        text = StrFormat(
+            "Reviewers who love the %s rarely mention %s at all.",
+            other.c_str(), np.c_str());
+        i_class = true;
+        break;
+      default:
+        text = StrFormat("While the %s is %s, %s remains untested.",
+                         other.c_str(), adj.c_str(), np.c_str());
+        i_class = true;  // ambiguous out of context
+        break;
+    }
+  } else {
+    const std::string& filler = rng.Pick(domain_->topical_nouns);
+    switch (rng.Index(6)) {
+      case 0:
+        text = StrFormat("I bought %s in %s.", np.c_str(),
+                         rng.Bernoulli(0.5) ? "March" : "October");
+        break;
+      case 1:
+        text = StrFormat("%s arrived on Tuesday with a %s.", np.c_str(),
+                         filler.c_str());
+        break;
+      case 2:
+      {
+        const std::string& a = rng.Pick(pools_->neutral_adjectives);
+        text = StrFormat("%s %s %s %s body.", np.c_str(), v("has", "have"),
+                         Art(a), a.c_str());
+      }
+        break;
+      case 3:
+        text = StrFormat("The manual describes the %s settings.",
+                         subject.c_str());
+        break;
+      case 4:
+        text = StrFormat("%s %s two standard batteries.", np.c_str(),
+                         v("uses", "use"));
+        break;
+      default:
+        text = StrFormat("%s shipped with the %s update.", np.c_str(),
+                         filler.c_str());
+        break;
+    }
+  }
+  GenSentence out;
+  out.text = Capitalize(text);
+  // Every neutral mention is an I-class case: it either carries no
+  // sentiment about the subject (case iii), points the sentiment elsewhere
+  // (case ii), or is ambiguous out of context (case i).
+  (void)i_class;
+  out.golds.push_back(MakeGold(subject, Polarity::kNeutral, 'C', true));
+  return out;
+}
+
+GenSentence SentenceFactory::Compound(Rng& rng, const std::string& good,
+                                      const std::string& bad) const {
+  const std::string np_g = Np(good);
+  const std::string np_b = Np(bad);
+  const std::string& pos_adj = rng.Pick(pools_->pos_adjectives);
+  const std::string& neg_adj = rng.Pick(pools_->neg_adjectives);
+  const bool plural_g = IsPlural(good);
+  const bool plural_b = IsPlural(bad);
+  std::string text;
+  switch (rng.Index(3)) {
+    case 0:
+      text = StrFormat("%s %s %s but %s %s %s.", np_g.c_str(),
+                       plural_g ? "are" : "is", pos_adj.c_str(),
+                       np_b.c_str(), plural_b ? "are" : "is",
+                       neg_adj.c_str());
+      break;
+    case 1:
+      text = StrFormat("%s %s %s; %s %s %s.", np_g.c_str(),
+                       plural_g ? "are" : "is", pos_adj.c_str(),
+                       np_b.c_str(), plural_b ? "are" : "is",
+                       neg_adj.c_str());
+      break;
+    default:
+      text = StrFormat("I love %s but I hate %s.", np_g.c_str(),
+                       np_b.c_str());
+      break;
+  }
+  GenSentence out;
+  out.text = Capitalize(text);
+  out.golds.push_back(MakeGold(good, Polarity::kPositive, 'A'));
+  out.golds.push_back(MakeGold(bad, Polarity::kNegative, 'A'));
+  return out;
+}
+
+GenSentence SentenceFactory::Comparison(Rng& rng, const std::string& winner,
+                                        const std::string& loser) const {
+  const std::string np_w = Np(winner);
+  const std::string np_l = Np(loser);
+  std::string text;
+  switch (rng.Index(2)) {
+    case 0:
+      text = StrFormat("%s outperforms %s.", np_w.c_str(), np_l.c_str());
+      break;
+    default:
+      text = StrFormat("%s beats %s easily.", np_w.c_str(), np_l.c_str());
+      break;
+  }
+  GenSentence out;
+  out.text = Capitalize(text);
+  out.golds.push_back(MakeGold(winner, Polarity::kPositive, 'A'));
+  out.golds.push_back(MakeGold(loser, Polarity::kNegative, 'A'));
+  return out;
+}
+
+GenSentence SentenceFactory::Contrastive(Rng& rng, const std::string& winner,
+                                         const std::string& loser) const {
+  const std::string np_w = Np(winner);
+  const std::string np_l = Np(loser);
+  std::string text;
+  switch (rng.Index(2)) {
+    case 0:
+      text = StrFormat("Unlike %s, %s does not require an extra adapter.",
+                       np_l.c_str(), np_w.c_str());
+      break;
+    default:
+      text = StrFormat("Unlike %s, %s never needs a second charger.",
+                       np_l.c_str(), np_w.c_str());
+      break;
+  }
+  GenSentence out;
+  out.text = Capitalize(text);
+  out.golds.push_back(MakeGold(winner, Polarity::kPositive, 'A'));
+  out.golds.push_back(MakeGold(loser, Polarity::kNegative, 'A'));
+  return out;
+}
+
+std::string SentenceFactory::Filler(Rng& rng) const {
+  const std::string& noun = rng.Pick(domain_->topical_nouns);
+  switch (rng.Index(4)) {
+    case 0:
+      return StrFormat("This review covers several weeks of daily use.");
+    case 1:
+      return StrFormat("A %s came in the box as well.", noun.c_str());
+    case 2:
+      return StrFormat("More notes will follow after the next %s.",
+                       noun.c_str());
+    default:
+      return StrFormat("Your mileage may vary.");
+  }
+}
+
+}  // namespace wf::corpus

@@ -1,0 +1,104 @@
+#ifndef WF_CORPUS_SENTENCE_TEMPLATES_H_
+#define WF_CORPUS_SENTENCE_TEMPLATES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "corpus/domain.h"
+#include "corpus/generated.h"
+#include "lexicon/sentiment_lexicon.h"
+
+namespace wf::corpus {
+
+// One generated sentence plus its gold annotations. `golds` holds the gold
+// for every subject the sentence mentions (usually one; comparison
+// sentences have two). The sentence text is complete (capitalized,
+// terminated).
+struct GenSentence {
+  std::string text;
+  // Subject surface + polarity + class for each annotated subject; the
+  // sentence_index field is filled in by the document assembler.
+  std::vector<SpotGold> golds;
+};
+
+// Writing register: consumer reviews and web/news prose phrase sentiment
+// through different constructions (first-person experiencer vs third-party
+// attribution). Keeping the registers disjoint reproduces the domain gap
+// that breaks review-trained statistical classifiers on general web text.
+enum class Register {
+  kReview,
+  kWeb,
+};
+
+// Produces gold-annotated sentences about a subject. Template texts are
+// intentionally decoupled from the analyzer: they share no code with the
+// pattern database or the lexicon beyond the English language itself.
+class SentenceFactory {
+ public:
+  // Pointers must outlive the factory.
+  SentenceFactory(const DomainVocab* domain, const WordPools* pools)
+      : SentenceFactory(domain, pools, Register::kReview) {}
+  SentenceFactory(const DomainVocab* domain, const WordPools* pools,
+                  Register reg)
+      : domain_(domain), pools_(pools), register_(reg) {}
+
+  // Class-A polar sentence (extractable construction).
+  GenSentence PolarExtractable(common::Rng& rng, const std::string& subject,
+                               lexicon::Polarity target) const;
+
+  // Class-B polar sentence (construction outside the pattern grammar).
+  // `with_lexicon_word` controls whether a sentiment word co-occurs (these
+  // are the cases the collocation baseline still catches).
+  GenSentence PolarMissed(common::Rng& rng, const std::string& subject,
+                          lexicon::Polarity target,
+                          bool with_lexicon_word) const;
+
+  // Class-D adversarial trap: the construction reads opposite to its
+  // surface pattern (gold is `target`, surface suggests the flip).
+  GenSentence PolarTrap(common::Rng& rng, const std::string& subject,
+                        lexicon::Polarity target) const;
+
+  // Class-C neutral mention. `with_distractor` plants an off-target
+  // sentiment word in the same sentence; `distractor_positive_prob` biases
+  // its polarity (review pages lean with their star rating even in
+  // off-target vocabulary).
+  GenSentence Neutral(common::Rng& rng, const std::string& subject,
+                      bool with_distractor,
+                      double distractor_positive_prob = 0.5) const;
+
+  // Compound sentence: two coordinated clauses with opposite polarity
+  // ("The X is great but the Y is terrible"); both class A.
+  GenSentence Compound(common::Rng& rng, const std::string& good,
+                       const std::string& bad) const;
+
+  // Two-subject comparison ("X outperforms Y"): first subject positive,
+  // second negative (class A for both).
+  GenSentence Comparison(common::Rng& rng, const std::string& winner,
+                         const std::string& loser) const;
+
+  // The NR70-style contrastive sentence: "Unlike the <loser>, the <winner>
+  // does not require ..." (winner +, loser -).
+  GenSentence Contrastive(common::Rng& rng, const std::string& winner,
+                          const std::string& loser) const;
+
+  // Opening/closing filler with no subject mention at all.
+  std::string Filler(common::Rng& rng) const;
+
+ private:
+  // "the battery" / "Veraxin": features get a determiner, names do not.
+  std::string Np(const std::string& subject) const;
+  bool IsPlural(const std::string& subject) const;
+
+  GenSentence PolarExtractableWeb(common::Rng& rng,
+                                  const std::string& subject,
+                                  lexicon::Polarity target) const;
+
+  const DomainVocab* domain_;
+  const WordPools* pools_;
+  Register register_ = Register::kReview;
+};
+
+}  // namespace wf::corpus
+
+#endif  // WF_CORPUS_SENTENCE_TEMPLATES_H_

@@ -1,0 +1,137 @@
+#include "corpus/web_gen.h"
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "corpus/sentence_templates.h"
+
+namespace wf::corpus {
+
+using ::wf::common::Rng;
+using ::wf::common::StrFormat;
+using ::wf::lexicon::Polarity;
+
+std::vector<GeneratedDoc> GenerateWebDocs(const DomainVocab& domain,
+                                          size_t n_docs, uint64_t seed,
+                                          const WebGenOptions& options) {
+  Rng master(seed);
+  SentenceFactory factory(&domain, &SharedWordPools(), Register::kWeb);
+  std::vector<GeneratedDoc> docs;
+  docs.reserve(n_docs);
+  const char* kind = options.news_style ? "news" : "web";
+
+  for (size_t d = 0; d < n_docs; ++d) {
+    Rng rng = master.Fork();
+    GeneratedDoc doc;
+    doc.id = StrFormat("%s-%s-%zu", domain.name.c_str(), kind, d);
+    doc.domain = domain.name;
+    doc.on_topic = true;
+
+    size_t n_sentences = static_cast<size_t>(rng.Uniform(
+        static_cast<int64_t>(options.min_sentences),
+        static_cast<int64_t>(options.max_sentences)));
+    std::vector<std::string> sentences;
+    size_t sentence_index = 0;
+    auto append = [&](GenSentence s) {
+      for (SpotGold& g : s.golds) {
+        g.sentence_index = sentence_index;
+        doc.golds.push_back(std::move(g));
+      }
+      sentences.push_back(std::move(s.text));
+      ++sentence_index;
+    };
+
+    while (sentence_index < n_sentences) {
+      if (rng.Bernoulli(options.news_style ? 0.20 : 0.12)) {
+        sentences.push_back(factory.Filler(rng));
+        ++sentence_index;
+        continue;
+      }
+      // Web subjects are the companies/products themselves; features come
+      // up occasionally.
+      std::string subject = rng.Bernoulli(0.75)
+                                ? rng.Pick(domain.products).name
+                                : rng.Pick(domain.features);
+      if (!rng.Bernoulli(options.polar_prob)) {
+        append(factory.Neutral(
+            rng, subject, rng.Bernoulli(options.neutral_distractor_prob)));
+        continue;
+      }
+      Polarity target =
+          rng.Bernoulli(0.5) ? Polarity::kPositive : Polarity::kNegative;
+      double roll = rng.Double();
+      if (roll < options.a_frac) {
+        append(factory.PolarExtractable(rng, subject, target));
+      } else if (roll < options.a_frac + options.b_frac) {
+        append(factory.PolarMissed(rng, subject, target,
+                                   rng.Bernoulli(options.b_lexicon_frac)));
+      } else {
+        append(factory.PolarTrap(rng, subject, target));
+      }
+    }
+    doc.body = common::Join(sentences, " ");
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+std::vector<GeneratedDoc> GenerateOffTopicDocs(size_t n_docs,
+                                               uint64_t seed) {
+  Rng master(seed);
+  std::vector<GeneratedDoc> docs;
+  docs.reserve(n_docs);
+
+  static const char* kOpeners[] = {
+      "The weather was pleasant for most of the weekend.",
+      "The trail leads past an old stone bridge.",
+      "The recipe calls for two cups of flour.",
+      "The match ended after extra time.",
+      "The garden needs watering twice a week.",
+      "The train departs from platform nine.",
+      "The museum opens at ten on weekdays.",
+      "The lecture covered the history of navigation.",
+  };
+  static const char* kMiddles[] = {
+      "We spent Sunday afternoon by the lake.",
+      "The sun was bright and the sky stayed clear.",
+      "Dinner was ready before the guests arrived.",
+      "The children played outside until dark.",
+      "A light rain started around noon.",
+      "The bakery on the corner sells fresh bread.",
+      "Our neighbors joined us for the hike.",
+      "The road winds through three small villages.",
+      "The coach praised the young goalkeeper.",
+      "The soup turned out wonderful.",
+      "The hotel room was terrible.",
+      "The sunset painted the harbor orange.",
+      "Sunday traffic was lighter than expected.",
+  };
+  static const char* kClosers[] = {
+      "We plan to return next spring.",
+      "Everyone slept well that night.",
+      "More photos are posted on the second page.",
+      "The season continues through September.",
+  };
+
+  for (size_t d = 0; d < n_docs; ++d) {
+    Rng rng = master.Fork();
+    GeneratedDoc doc;
+    doc.id = StrFormat("offtopic-%zu", d);
+    doc.domain = "offtopic";
+    doc.on_topic = false;
+    size_t n = static_cast<size_t>(rng.Uniform(4, 9));
+    std::vector<std::string> sentences;
+    sentences.push_back(kOpeners[rng.Index(sizeof(kOpeners) /
+                                           sizeof(kOpeners[0]))]);
+    for (size_t i = 1; i + 1 < n; ++i) {
+      sentences.push_back(
+          kMiddles[rng.Index(sizeof(kMiddles) / sizeof(kMiddles[0]))]);
+    }
+    sentences.push_back(
+        kClosers[rng.Index(sizeof(kClosers) / sizeof(kClosers[0]))]);
+    doc.body = common::Join(sentences, " ");
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+}  // namespace wf::corpus

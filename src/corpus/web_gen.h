@@ -1,0 +1,41 @@
+#ifndef WF_CORPUS_WEB_GEN_H_
+#define WF_CORPUS_WEB_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/domain.h"
+#include "corpus/generated.h"
+
+namespace wf::corpus {
+
+// Composition knobs for general web pages and news articles — sentiment is
+// sparse and "difficult" (I-class) mentions dominate, per §4.2's
+// observation that 60–90% of sentiment-bearing sentences on the open web
+// are ambiguous, off-target, or sentiment-free.
+struct WebGenOptions {
+  size_t min_sentences = 6;
+  size_t max_sentences = 12;
+  double polar_prob = 0.22;
+  double a_frac = 0.62;
+  double b_frac = 0.33;  // remainder are traps
+  double b_lexicon_frac = 0.40;
+  double neutral_distractor_prob = 0.50;
+  bool news_style = false;  // denser company mentions, more filler
+};
+
+// Generates web pages / news articles about the domain's companies or
+// products with gold annotations. Ids are "<domain>-<web|news>-<i>".
+std::vector<GeneratedDoc> GenerateWebDocs(const DomainVocab& domain,
+                                          size_t n_docs, uint64_t seed,
+                                          const WebGenOptions& options);
+
+// Off-topic documents (the D- collections and disambiguation negatives):
+// everyday-topic pages (weather, travel, cooking, sports) that still
+// contain definite-NP sentence openers (so bBNP candidates occur off topic)
+// and surface collisions like "sun"/"Sunday" for the disambiguator.
+std::vector<GeneratedDoc> GenerateOffTopicDocs(size_t n_docs, uint64_t seed);
+
+}  // namespace wf::corpus
+
+#endif  // WF_CORPUS_WEB_GEN_H_

@@ -1,0 +1,94 @@
+#ifndef WF_EVAL_EVALUATOR_H_
+#define WF_EVAL_EVALUATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/collocation.h"
+#include "baseline/reviewseer.h"
+#include "core/analyzer.h"
+#include "corpus/generated.h"
+#include "eval/metrics.h"
+#include "lexicon/pattern_db.h"
+#include "lexicon/sentiment_lexicon.h"
+#include "parse/sentence_structure.h"
+#include "pos/tagger.h"
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+
+namespace wf::eval {
+
+struct EvalOptions {
+  core::AnalyzerOptions analyzer;
+  // Drop gold cases flagged as I class (the paper's "w/o I class" rows).
+  bool skip_i_class = false;
+  // Restrict to "sentiment-bearing candidate" cases: gold-polar mentions
+  // plus neutral mentions whose sentence contains sentiment vocabulary.
+  // This reproduces the paper's Table 5 protocol for ReviewSeer, which was
+  // evaluated on sentences that look sentiment-bearing (of which 60–90%
+  // turn out to be difficult I-class cases).
+  bool only_sentiment_candidates = false;
+};
+
+// Per-template-class breakdown for calibration diagnostics.
+struct ClassBreakdown {
+  std::map<char, Confusion> by_class;
+};
+
+// Runs a system over the gold (subject, sentence, polarity) points of
+// generated documents — the reproduction of the paper's manual-labels
+// evaluation protocol. Each gold point is scored independently; systems
+// never see the gold labels.
+class GoldEvaluator {
+ public:
+  // Embedded lexicon + pattern database.
+  GoldEvaluator();
+  // Custom linguistic resources (ablation sweeps).
+  GoldEvaluator(lexicon::SentimentLexicon lexicon,
+                lexicon::PatternDatabase patterns)
+      : lexicon_(std::move(lexicon)), patterns_(std::move(patterns)) {}
+
+  // The sentiment miner (the paper's "SM" rows).
+  Confusion EvaluateMiner(const std::vector<corpus::GeneratedDoc>& docs,
+                          const EvalOptions& options,
+                          ClassBreakdown* breakdown = nullptr) const;
+
+  // The collocation baseline.
+  Confusion EvaluateCollocation(const std::vector<corpus::GeneratedDoc>& docs,
+                                const EvalOptions& options) const;
+
+  // ReviewSeer applied per sentence (Table 5 protocol). `binary` disables
+  // the neutral margin, matching the original classifier's two-way output.
+  Confusion EvaluateReviewSeerSentences(
+      const baseline::ReviewSeerClassifier& classifier,
+      const std::vector<corpus::GeneratedDoc>& docs, bool binary,
+      const EvalOptions& options) const;
+
+  // ReviewSeer at document level (Table 4 protocol: whole-review rating).
+  Confusion EvaluateReviewSeerDocuments(
+      const baseline::ReviewSeerClassifier& classifier,
+      const std::vector<corpus::GeneratedDoc>& docs) const;
+
+  const lexicon::SentimentLexicon& lexicon() const { return lexicon_; }
+  const lexicon::PatternDatabase& patterns() const { return patterns_; }
+
+ private:
+  // Locates the gold subject inside the sentence; false if not found (the
+  // case is then skipped and counted in `skipped_`).
+  bool LocateSubject(const text::TokenStream& tokens,
+                     const text::SentenceSpan& span,
+                     const std::string& subject, size_t* begin,
+                     size_t* end) const;
+
+  lexicon::SentimentLexicon lexicon_;
+  lexicon::PatternDatabase patterns_;
+  text::Tokenizer tokenizer_;
+  text::SentenceSplitter splitter_;
+  pos::PosTagger tagger_;
+  parse::SentenceAnalyzer sentence_analyzer_;
+};
+
+}  // namespace wf::eval
+
+#endif  // WF_EVAL_EVALUATOR_H_

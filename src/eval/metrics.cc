@@ -1,0 +1,89 @@
+#include "eval/metrics.h"
+
+#include "common/string_util.h"
+
+namespace wf::eval {
+
+using ::wf::lexicon::Polarity;
+
+void Confusion::Add(Polarity gold, Polarity predicted) {
+  ++counts_[Idx(gold)][Idx(predicted)];
+}
+
+size_t Confusion::count(Polarity gold, Polarity predicted) const {
+  return counts_[Idx(gold)][Idx(predicted)];
+}
+
+size_t Confusion::total() const {
+  size_t n = 0;
+  for (const auto& row : counts_) {
+    for (size_t c : row) n += c;
+  }
+  return n;
+}
+
+size_t Confusion::gold_polar() const {
+  size_t n = 0;
+  for (int pred = 0; pred < 3; ++pred) {
+    n += counts_[Idx(Polarity::kPositive)][pred];
+    n += counts_[Idx(Polarity::kNegative)][pred];
+  }
+  return n;
+}
+
+size_t Confusion::extracted() const {
+  size_t n = 0;
+  for (int gold = 0; gold < 3; ++gold) {
+    n += counts_[gold][Idx(Polarity::kPositive)];
+    n += counts_[gold][Idx(Polarity::kNegative)];
+  }
+  return n;
+}
+
+size_t Confusion::correct_polar() const {
+  return counts_[Idx(Polarity::kPositive)][Idx(Polarity::kPositive)] +
+         counts_[Idx(Polarity::kNegative)][Idx(Polarity::kNegative)];
+}
+
+double Confusion::precision() const {
+  size_t e = extracted();
+  return e == 0 ? 0.0 : static_cast<double>(correct_polar()) / e;
+}
+
+double Confusion::recall() const {
+  size_t g = gold_polar();
+  return g == 0 ? 0.0 : static_cast<double>(correct_polar()) / g;
+}
+
+double Confusion::accuracy() const {
+  size_t n = total();
+  if (n == 0) return 0.0;
+  size_t agree = 0;
+  for (int i = 0; i < 3; ++i) agree += counts_[i][i];
+  return static_cast<double>(agree) / n;
+}
+
+double Confusion::f1() const {
+  double p = precision();
+  double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+void Confusion::Merge(const Confusion& other) {
+  for (int g = 0; g < 3; ++g) {
+    for (int p = 0; p < 3; ++p) counts_[g][p] += other.counts_[g][p];
+  }
+}
+
+std::string Confusion::ToString() const {
+  return common::StrFormat(
+      "P=%s R=%s Acc=%s (n=%zu, polar=%zu, extracted=%zu)",
+      Pct(precision()).c_str(), Pct(recall()).c_str(),
+      Pct(accuracy()).c_str(), total(), gold_polar(), extracted());
+}
+
+std::string Pct(double fraction) {
+  return common::StrFormat("%.1f", fraction * 100.0);
+}
+
+}  // namespace wf::eval

@@ -1,0 +1,52 @@
+#ifndef WF_EVAL_METRICS_H_
+#define WF_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "lexicon/sentiment_lexicon.h"
+
+namespace wf::eval {
+
+// 3x3 confusion counts over {negative, neutral, positive} with the metric
+// definitions of §4.2's evaluation:
+//   precision — of the non-neutral extractions, the fraction whose gold is
+//               the same polarity;
+//   recall    — of the gold-polar cases, the fraction extracted with the
+//               correct polarity;
+//   accuracy  — exact three-way agreement over all cases (neutral golds
+//               included, as the paper does for comparability with
+//               ReviewSeer).
+class Confusion {
+ public:
+  void Add(lexicon::Polarity gold, lexicon::Polarity predicted);
+
+  size_t total() const;
+  size_t gold_polar() const;
+  size_t extracted() const;
+  size_t correct_polar() const;
+  size_t count(lexicon::Polarity gold, lexicon::Polarity predicted) const;
+
+  double precision() const;
+  double recall() const;
+  double accuracy() const;
+  double f1() const;
+
+  // Merges another confusion into this one.
+  void Merge(const Confusion& other);
+
+  std::string ToString() const;
+
+ private:
+  static int Idx(lexicon::Polarity p) {
+    return static_cast<int>(p) + 1;  // -1..1 -> 0..2
+  }
+  size_t counts_[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+};
+
+// "87.3" style percentage formatting (one decimal, no % sign).
+std::string Pct(double fraction);
+
+}  // namespace wf::eval
+
+#endif  // WF_EVAL_METRICS_H_

@@ -1,0 +1,60 @@
+#include "eval/report.h"
+
+#include <algorithm>
+
+namespace wf::eval {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddRule() { rows_.emplace_back(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto rule = [&]() {
+    std::string line = "+";
+    for (size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  auto format_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = rule();
+  out += format_row(headers_);
+  out += rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out += rule();
+    } else {
+      out += format_row(row);
+    }
+  }
+  out += rule();
+  return out;
+}
+
+std::string Banner(const std::string& title) {
+  std::string bar(title.size() + 4, '=');
+  return bar + "\n= " + title + " =\n" + bar + "\n";
+}
+
+}  // namespace wf::eval

@@ -1,0 +1,30 @@
+#ifndef WF_EVAL_REPORT_H_
+#define WF_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace wf::eval {
+
+// Fixed-width text table, the output format of every bench binary.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Inserts a horizontal rule before the next row.
+  void AddRule();
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = rule
+};
+
+// A banner line for bench output sections.
+std::string Banner(const std::string& title);
+
+}  // namespace wf::eval
+
+#endif  // WF_EVAL_REPORT_H_

@@ -1,0 +1,148 @@
+#include "feature/bbnp.h"
+
+#include "common/string_util.h"
+#include "text/inflection.h"
+
+namespace wf::feature {
+namespace {
+
+using ::wf::common::ToLower;
+using ::wf::pos::PosTag;
+
+// The six POS patterns of the bBNP heuristic. 'N' = NN/NNS, 'J' = JJ.
+constexpr const char* kPatterns[] = {"N", "NN", "JN", "NNN", "JNN", "JJN"};
+
+char Classify(PosTag t) {
+  if (t == PosTag::kNN || t == PosTag::kNNS) return 'N';
+  if (t == PosTag::kJJ) return 'J';
+  return '?';
+}
+
+}  // namespace
+
+std::string_view CandidateHeuristicName(CandidateHeuristic h) {
+  switch (h) {
+    case CandidateHeuristic::kBNP:
+      return "BNP";
+    case CandidateHeuristic::kDBNP:
+      return "dBNP";
+    case CandidateHeuristic::kBBNP:
+      return "bBNP";
+  }
+  return "?";
+}
+
+std::vector<BbnpExtractor::Candidate> BbnpExtractor::ExtractWithHeuristic(
+    const text::TokenStream& tokens, const text::SentenceSpan& span,
+    const std::vector<pos::PosTag>& tags,
+    CandidateHeuristic heuristic) const {
+  if (heuristic == CandidateHeuristic::kBBNP) {
+    return ExtractSentence(tokens, span, tags);
+  }
+  std::vector<Candidate> out;
+  const size_t n = tags.size();
+  size_t i = 0;
+  while (i < n) {
+    // For dBNP, the phrase must be introduced by the definite article.
+    size_t start = i;
+    if (heuristic == CandidateHeuristic::kDBNP) {
+      if (tags[i] != pos::PosTag::kDT ||
+          !common::EqualsIgnoreCase(tokens[span.begin_token + i].text,
+                                    "the")) {
+        ++i;
+        continue;
+      }
+      start = i + 1;
+    }
+    // Longest matching bNP shape (up to 3 tokens) at `start`.
+    size_t matched = 0;
+    for (int len = 3; len >= 1; --len) {
+      if (start + static_cast<size_t>(len) > n) continue;
+      std::string shape;
+      for (int k = 0; k < len; ++k) {
+        shape += Classify(tags[start + static_cast<size_t>(k)]);
+      }
+      bool ok = false;
+      for (const char* p : kPatterns) {
+        if (shape == p) ok = true;
+      }
+      if (ok) {
+        matched = static_cast<size_t>(len);
+        break;
+      }
+    }
+    if (matched == 0) {
+      ++i;
+      continue;
+    }
+    Candidate c;
+    c.begin_token = span.begin_token + start;
+    c.end_token = span.begin_token + start + matched;
+    std::string phrase;
+    for (size_t t = c.begin_token; t < c.end_token; ++t) {
+      std::string w = ToLower(tokens[t].text);
+      if (t + 1 == c.end_token) w = text::SingularizeNoun(w);
+      if (!phrase.empty()) phrase += ' ';
+      phrase += w;
+    }
+    c.phrase = std::move(phrase);
+    out.push_back(std::move(c));
+    i = start + matched;
+  }
+  return out;
+}
+
+std::vector<BbnpExtractor::Candidate> BbnpExtractor::ExtractSentence(
+    const text::TokenStream& tokens, const text::SentenceSpan& span,
+    const std::vector<pos::PosTag>& tags) const {
+  std::vector<Candidate> out;
+  const size_t n = tags.size();
+  if (n < 3) return out;
+
+  // Must start with the definite article "the".
+  if (tags[0] != PosTag::kDT) return out;
+  if (!common::EqualsIgnoreCase(tokens[span.begin_token].text, "the")) {
+    return out;
+  }
+
+  // Greedily take the longest matching pattern (up to 3 content tokens)
+  // that is followed by a verb phrase (verb or modal/adverb then verb).
+  for (int len = 3; len >= 1; --len) {
+    if (static_cast<size_t>(len) + 1 > n) continue;
+    std::string shape;
+    for (int k = 0; k < len; ++k) {
+      shape += Classify(tags[1 + static_cast<size_t>(k)]);
+    }
+    bool shape_ok = false;
+    for (const char* p : kPatterns) {
+      if (shape == p) shape_ok = true;
+    }
+    if (!shape_ok) continue;
+
+    // Followed by a verb phrase: next tag is a verb/modal, optionally after
+    // one adverb.
+    size_t after = 1 + static_cast<size_t>(len);
+    size_t probe = after;
+    if (probe < n && pos::IsAdverbTag(tags[probe])) ++probe;
+    if (probe >= n) continue;
+    PosTag t = tags[probe];
+    if (!(pos::IsVerbTag(t) || t == PosTag::kMD)) continue;
+
+    Candidate c;
+    c.begin_token = span.begin_token + 1;
+    c.end_token = span.begin_token + after;
+    std::string phrase;
+    for (size_t i = c.begin_token; i < c.end_token; ++i) {
+      std::string w = ToLower(tokens[i].text);
+      if (i + 1 == c.end_token) w = text::SingularizeNoun(w);
+      if (!phrase.empty()) phrase += ' ';
+      phrase += w;
+    }
+    c.phrase = std::move(phrase);
+    out.push_back(std::move(c));
+    break;
+  }
+  return out;
+}
+
+}  // namespace wf::feature

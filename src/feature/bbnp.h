@@ -1,0 +1,58 @@
+#ifndef WF_FEATURE_BBNP_H_
+#define WF_FEATURE_BBNP_H_
+
+#include <string>
+#include <vector>
+
+#include "pos/tagset.h"
+#include "text/token.h"
+
+namespace wf::feature {
+
+// Candidate feature-term extraction heuristics (§4.1 / Yi et al. 2003):
+//   kBNP  — every base noun phrase anywhere in the sentence,
+//   kDBNP — definite base noun phrases ("the" + bNP) anywhere,
+//   kBBNP — definite base noun phrases at the beginning of a sentence
+//           followed by a verb phrase (the paper's winning heuristic).
+enum class CandidateHeuristic : uint8_t {
+  kBNP,
+  kDBNP,
+  kBBNP,
+};
+
+std::string_view CandidateHeuristicName(CandidateHeuristic h);
+
+// Extracts candidate feature terms with the paper's bBNP heuristic
+// ("beginning definite Base Noun Phrases", §4.1): a definite base noun
+// phrase at the beginning of a sentence followed by a verb phrase. A
+// definite base noun phrase is "the" followed by one of:
+//   NN | NN NN | JJ NN | NN NN NN | JJ NN NN | JJ JJ NN
+// (NNS accepted wherever NN is, and the phrase is normalized to lowercase
+// with plural head singularized, so "the batteries" and "the battery"
+// count together).
+class BbnpExtractor {
+ public:
+  struct Candidate {
+    std::string phrase;  // normalized ("battery life", "picture quality")
+    size_t begin_token = 0;
+    size_t end_token = 0;
+  };
+
+  // Scans one tagged sentence. Returns at most one candidate (the heuristic
+  // only looks at the sentence start).
+  std::vector<Candidate> ExtractSentence(
+      const text::TokenStream& tokens, const text::SentenceSpan& span,
+      const std::vector<pos::PosTag>& tags) const;
+
+  // Generalized extraction under any of the three heuristics. kBBNP
+  // matches ExtractSentence(); kBNP/kDBNP may return several candidates
+  // per sentence.
+  std::vector<Candidate> ExtractWithHeuristic(
+      const text::TokenStream& tokens, const text::SentenceSpan& span,
+      const std::vector<pos::PosTag>& tags,
+      CandidateHeuristic heuristic) const;
+};
+
+}  // namespace wf::feature
+
+#endif  // WF_FEATURE_BBNP_H_

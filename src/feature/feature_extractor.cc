@@ -1,0 +1,108 @@
+#include "feature/feature_extractor.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "text/inflection.h"
+
+namespace wf::feature {
+namespace {
+
+using ::wf::common::ToLower;
+
+// Collects the distinct normalized word n-grams (n = 1..3) of a document —
+// the space candidate phrases live in. The last word is singularized so
+// "the batteries" and "the battery" share counts.
+std::unordered_set<std::string> DocumentNgrams(
+    const text::TokenStream& tokens) {
+  std::unordered_set<std::string> out;
+  std::vector<std::string> words;
+  words.reserve(tokens.size());
+  for (const text::Token& t : tokens) {
+    if (t.kind == text::TokenKind::kWord) {
+      words.push_back(ToLower(t.text));
+    } else {
+      words.push_back("");  // n-grams never cross non-word tokens
+    }
+  }
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (words[i].empty()) continue;
+    std::string gram;
+    for (size_t n = 0; n < 3 && i + n < words.size(); ++n) {
+      if (words[i + n].empty()) break;
+      std::string head = text::SingularizeNoun(words[i + n]);
+      std::string full = gram.empty() ? head : gram + " " + head;
+      out.insert(full);
+      if (!gram.empty()) gram += " ";
+      gram += words[i + n];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FeatureExtractor::FeatureExtractor(const Options& options)
+    : options_(options) {}
+
+void FeatureExtractor::AddDocument(const std::string& body, bool on_topic) {
+  text::TokenStream tokens = tokenizer_.Tokenize(body);
+
+  // Document frequencies over the n-gram space.
+  std::unordered_set<std::string> grams = DocumentNgrams(tokens);
+  auto& df = on_topic ? df_on_ : df_off_;
+  for (const std::string& g : grams) ++df[g];
+  if (on_topic) {
+    ++on_docs_;
+  } else {
+    ++off_docs_;
+  }
+
+  // Candidates come from D+ only.
+  if (!on_topic) return;
+  std::vector<text::SentenceSpan> spans = splitter_.Split(tokens);
+  for (const text::SentenceSpan& span : spans) {
+    std::vector<pos::PosTag> tags = tagger_.TagSentence(tokens, span);
+    for (const BbnpExtractor::Candidate& c : bbnp_.ExtractWithHeuristic(
+             tokens, span, tags, options_.heuristic)) {
+      candidates_.insert(c.phrase);
+    }
+  }
+}
+
+std::vector<FeatureTerm> FeatureExtractor::Extract() const {
+  std::vector<FeatureTerm> out;
+  const uint64_t n_on = on_docs_;
+  const uint64_t n_off = off_docs_;
+  for (const std::string& phrase : candidates_) {
+    auto it_on = df_on_.find(phrase);
+    uint64_t c11 = it_on == df_on_.end() ? 0 : it_on->second;
+    auto it_off = df_off_.find(phrase);
+    uint64_t c12 = it_off == df_off_.end() ? 0 : it_off->second;
+    if (c11 < options_.min_df) continue;
+
+    ContingencyCounts counts;
+    counts.c11 = c11;
+    counts.c12 = c12;
+    counts.c21 = n_on - c11;
+    counts.c22 = n_off - c12;
+    double score = SelectionScore(options_.selection, counts);
+    double threshold =
+        options_.selection == SelectionMethod::kMutualInformation
+            ? 1e-9  // MI has no chi-square scale; rely on top_n/min_df
+            : options_.min_score;
+    if (score < threshold) continue;
+    out.push_back(FeatureTerm{phrase, score, c11, c12});
+  }
+  std::sort(out.begin(), out.end(), [](const FeatureTerm& a,
+                                       const FeatureTerm& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.phrase < b.phrase;  // deterministic tie-break
+  });
+  if (options_.top_n > 0 && out.size() > options_.top_n) {
+    out.resize(options_.top_n);
+  }
+  return out;
+}
+
+}  // namespace wf::feature

@@ -1,0 +1,76 @@
+#ifndef WF_FEATURE_FEATURE_EXTRACTOR_H_
+#define WF_FEATURE_FEATURE_EXTRACTOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "feature/bbnp.h"
+#include "feature/likelihood_ratio.h"
+#include "feature/selection.h"
+#include "pos/tagger.h"
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+
+namespace wf::feature {
+
+// A ranked feature term.
+struct FeatureTerm {
+  std::string phrase;
+  double score = 0.0;         // -2 log(lambda)
+  uint64_t df_on_topic = 0;   // C11
+  uint64_t df_off_topic = 0;  // C12
+};
+
+// The feature-term extraction pipeline of §4.1 (the "bBNP-L" combination):
+// run the bBNP heuristic over a topic-focused collection D+ to get
+// candidates, count candidate document frequencies in D+ and an off-topic
+// collection D-, score by Dunning's likelihood ratio, and keep candidates
+// above the confidence threshold (or the top N).
+class FeatureExtractor {
+ public:
+  struct Options {
+    // chi^2(1 dof) critical value; 10.83 = 99.9% confidence. Ignored by
+    // kMutualInformation, whose scale differs — use top_n there.
+    double min_score = 10.83;
+    // When > 0, keep at most this many terms (after thresholding).
+    size_t top_n = 0;
+    // A candidate must appear in at least this many D+ documents.
+    uint64_t min_df = 2;
+    // Candidate heuristic and ranking statistic; the defaults are the
+    // paper's winning "bBNP-L" combination.
+    CandidateHeuristic heuristic = CandidateHeuristic::kBBNP;
+    SelectionMethod selection = SelectionMethod::kLikelihoodRatio;
+  };
+
+  FeatureExtractor() : FeatureExtractor(Options{}) {}
+  explicit FeatureExtractor(const Options& options);
+
+  // Feeds one document into the on-topic (D+) or off-topic (D-) side.
+  // Candidates are mined from D+ only; D- contributes frequencies.
+  void AddDocument(const std::string& body, bool on_topic);
+
+  // Ranks accumulated candidates, best first.
+  std::vector<FeatureTerm> Extract() const;
+
+  size_t on_topic_docs() const { return on_docs_; }
+  size_t off_topic_docs() const { return off_docs_; }
+
+ private:
+  Options options_;
+  text::Tokenizer tokenizer_;
+  text::SentenceSplitter splitter_;
+  pos::PosTagger tagger_;
+  BbnpExtractor bbnp_;
+
+  std::unordered_map<std::string, uint64_t> df_on_;   // candidate -> C11
+  std::unordered_map<std::string, uint64_t> df_off_;  // candidate -> C12
+  std::unordered_set<std::string> candidates_;        // mined from D+
+  size_t on_docs_ = 0;
+  size_t off_docs_ = 0;
+};
+
+}  // namespace wf::feature
+
+#endif  // WF_FEATURE_FEATURE_EXTRACTOR_H_

@@ -1,0 +1,42 @@
+#include "feature/likelihood_ratio.h"
+
+#include <cmath>
+
+namespace wf::feature {
+namespace {
+
+// x * log(p) with the 0 * log(0) = 0 convention.
+double XLogP(double x, double p) {
+  if (x == 0.0) return 0.0;
+  return x * std::log(p);
+}
+
+}  // namespace
+
+double LogLikelihoodRatio(const ContingencyCounts& counts) {
+  const double c11 = static_cast<double>(counts.c11);
+  const double c12 = static_cast<double>(counts.c12);
+  const double c21 = static_cast<double>(counts.c21);
+  const double c22 = static_cast<double>(counts.c22);
+
+  const double n1 = c11 + c12;  // docs containing the term
+  const double n2 = c21 + c22;  // docs not containing the term
+  if (n1 == 0.0 || n2 == 0.0) return 0.0;
+
+  const double r1 = c11 / n1;
+  const double r2 = c21 / n2;
+  // One-sided zero: the term must be over-represented among D+ documents
+  // relative to its absence (Eq. 1: 0 if r2 >= r1).
+  if (r2 >= r1) return 0.0;
+
+  const double r = (c11 + c21) / (n1 + n2);
+
+  // log(lambda) = L(r) - L(r1, r2); -2 log(lambda) >= 0.
+  double log_lambda = XLogP(c11 + c21, r) + XLogP(c12 + c22, 1.0 - r) -
+                      XLogP(c11, r1) - XLogP(c12, 1.0 - r1) -
+                      XLogP(c21, r2) - XLogP(c22, 1.0 - r2);
+  double stat = -2.0 * log_lambda;
+  return stat < 0.0 ? 0.0 : stat;
+}
+
+}  // namespace wf::feature

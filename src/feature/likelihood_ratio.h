@@ -1,0 +1,29 @@
+#ifndef WF_FEATURE_LIKELIHOOD_RATIO_H_
+#define WF_FEATURE_LIKELIHOOD_RATIO_H_
+
+#include <cstdint>
+
+namespace wf::feature {
+
+// Document counts for one candidate term (Table 1 of the paper):
+//   c11 = docs containing the term in D+ (on-topic collection)
+//   c12 = docs containing the term in D- (off-topic collection)
+//   c21 = docs NOT containing the term in D+
+//   c22 = docs NOT containing the term in D-
+struct ContingencyCounts {
+  uint64_t c11 = 0;
+  uint64_t c12 = 0;
+  uint64_t c21 = 0;
+  uint64_t c22 = 0;
+};
+
+// Dunning's log-likelihood ratio statistic, -2 log(lambda), for the
+// hypothesis that the term is independent of the collection split. Per the
+// paper (Eq. 1) the score is zeroed when r2 >= r1, i.e. when the term is
+// *not* positively associated with D+; otherwise the statistic is
+// asymptotically chi-squared with 1 dof — larger means more topical.
+double LogLikelihoodRatio(const ContingencyCounts& counts);
+
+}  // namespace wf::feature
+
+#endif  // WF_FEATURE_LIKELIHOOD_RATIO_H_

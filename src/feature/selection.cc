@@ -1,0 +1,68 @@
+#include "feature/selection.h"
+
+#include <cmath>
+
+namespace wf::feature {
+
+std::string_view SelectionMethodName(SelectionMethod m) {
+  switch (m) {
+    case SelectionMethod::kLikelihoodRatio:
+      return "likelihood-ratio";
+    case SelectionMethod::kMutualInformation:
+      return "mutual-information";
+    case SelectionMethod::kChiSquare:
+      return "chi-square";
+  }
+  return "?";
+}
+
+namespace {
+
+// True when the candidate is positively associated with D+ (the paper's
+// one-sided condition: r1 > r2 with r1 = P(D+|term), r2 = P(D+|no term)).
+bool PositivelyAssociated(const ContingencyCounts& c) {
+  double n1 = static_cast<double>(c.c11 + c.c12);
+  double n2 = static_cast<double>(c.c21 + c.c22);
+  if (n1 == 0.0 || n2 == 0.0) return false;
+  return static_cast<double>(c.c11) / n1 > static_cast<double>(c.c21) / n2;
+}
+
+}  // namespace
+
+double MutualInformation(const ContingencyCounts& c) {
+  if (!PositivelyAssociated(c)) return 0.0;
+  double n = static_cast<double>(c.c11 + c.c12 + c.c21 + c.c22);
+  double p_joint = static_cast<double>(c.c11) / n;
+  double p_term = static_cast<double>(c.c11 + c.c12) / n;
+  double p_dplus = static_cast<double>(c.c11 + c.c21) / n;
+  if (p_joint == 0.0 || p_term == 0.0 || p_dplus == 0.0) return 0.0;
+  return std::log(p_joint / (p_term * p_dplus));
+}
+
+double ChiSquare(const ContingencyCounts& c) {
+  if (!PositivelyAssociated(c)) return 0.0;
+  double a = static_cast<double>(c.c11);
+  double b = static_cast<double>(c.c12);
+  double d = static_cast<double>(c.c21);
+  double e = static_cast<double>(c.c22);
+  double n = a + b + d + e;
+  double denom = (a + b) * (d + e) * (a + d) * (b + e);
+  if (denom == 0.0) return 0.0;
+  double diff = a * e - b * d;
+  return n * diff * diff / denom;
+}
+
+double SelectionScore(SelectionMethod method,
+                      const ContingencyCounts& counts) {
+  switch (method) {
+    case SelectionMethod::kLikelihoodRatio:
+      return LogLikelihoodRatio(counts);
+    case SelectionMethod::kMutualInformation:
+      return MutualInformation(counts);
+    case SelectionMethod::kChiSquare:
+      return ChiSquare(counts);
+  }
+  return 0.0;
+}
+
+}  // namespace wf::feature

@@ -1,0 +1,37 @@
+#ifndef WF_FEATURE_SELECTION_H_
+#define WF_FEATURE_SELECTION_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "feature/likelihood_ratio.h"
+
+namespace wf::feature {
+
+// Feature-term selection statistics compared in §4.1's companion work
+// (Yi et al. 2003): the likelihood-ratio test plus two classic
+// alternatives. All are one-sided like the paper's Eq. 1 — a candidate
+// under-represented in D+ scores 0.
+enum class SelectionMethod : uint8_t {
+  kLikelihoodRatio,      // Dunning -2 log(lambda) — the paper's choice
+  kMutualInformation,    // pointwise MI of (term, D+)
+  kChiSquare,            // Pearson chi-square on the 2x2 table
+};
+
+std::string_view SelectionMethodName(SelectionMethod m);
+
+// Pointwise mutual information log( P(t,D+) / (P(t)P(D+)) ); 0 when the
+// association is non-positive or degenerate.
+double MutualInformation(const ContingencyCounts& counts);
+
+// Pearson chi-square statistic for the 2x2 table; 0 when the term is not
+// positively associated with D+.
+double ChiSquare(const ContingencyCounts& counts);
+
+// Dispatch over the three statistics.
+double SelectionScore(SelectionMethod method,
+                      const ContingencyCounts& counts);
+
+}  // namespace wf::feature
+
+#endif  // WF_FEATURE_SELECTION_H_

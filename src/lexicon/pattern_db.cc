@@ -1,0 +1,176 @@
+#include "lexicon/pattern_db.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace wf::lexicon {
+
+// Defined in pattern_db_data.cc.
+const char* EmbeddedPatternDatabaseText();
+
+namespace {
+
+using ::wf::common::Result;
+using ::wf::common::Split;
+using ::wf::common::Status;
+using ::wf::common::StripWhitespace;
+
+Result<ComponentSpec> ParseComponent(std::string_view spec) {
+  ComponentSpec out;
+  std::string_view name = spec;
+  std::string_view args;
+  size_t paren = spec.find('(');
+  if (paren != std::string_view::npos) {
+    if (spec.back() != ')') {
+      return Status::InvalidArgument("unterminated '(' in component spec: " +
+                                     std::string(spec));
+    }
+    name = spec.substr(0, paren);
+    args = spec.substr(paren + 1, spec.size() - paren - 2);
+  }
+  if (name == "SP") {
+    out.component = SentenceComponent::kSP;
+  } else if (name == "OP") {
+    out.component = SentenceComponent::kOP;
+  } else if (name == "CP") {
+    out.component = SentenceComponent::kCP;
+  } else if (name == "PP") {
+    out.component = SentenceComponent::kPP;
+  } else if (name == "VP") {
+    out.component = SentenceComponent::kVP;
+  } else {
+    return Status::InvalidArgument("unknown sentence component: " +
+                                   std::string(name));
+  }
+  if (!args.empty()) {
+    if (out.component != SentenceComponent::kPP) {
+      return Status::InvalidArgument(
+          "preposition list is only valid on PP: " + std::string(spec));
+    }
+    for (const std::string& p : Split(args, ";,")) {
+      out.prepositions.push_back(common::ToLower(p));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view SentenceComponentName(SentenceComponent c) {
+  switch (c) {
+    case SentenceComponent::kSP:
+      return "SP";
+    case SentenceComponent::kOP:
+      return "OP";
+    case SentenceComponent::kCP:
+      return "CP";
+    case SentenceComponent::kPP:
+      return "PP";
+    case SentenceComponent::kVP:
+      return "VP";
+  }
+  return "?";
+}
+
+common::Result<SentimentPattern> PatternDatabase::ParseLine(
+    std::string_view line) {
+  std::vector<std::string> fields = Split(line, " \t");
+  if (fields.size() != 3 && fields.size() != 4) {
+    return Status::InvalidArgument(
+        "expected '<predicate> <sent_category> <target> [voice]': " +
+        std::string(line));
+  }
+  SentimentPattern p;
+  p.predicate = common::ToLower(fields[0]);
+  if (fields.size() == 4) {
+    if (fields[3] == "active") {
+      p.voice = VoiceConstraint::kActive;
+    } else if (fields[3] == "passive") {
+      p.voice = VoiceConstraint::kPassive;
+    } else {
+      return Status::InvalidArgument("bad voice constraint: " + fields[3]);
+    }
+  }
+
+  std::string_view cat = fields[1];
+  if (cat == "+") {
+    p.direct = true;
+    p.polarity = Polarity::kPositive;
+  } else if (cat == "-") {
+    p.direct = true;
+    p.polarity = Polarity::kNegative;
+  } else {
+    p.direct = false;
+    if (!cat.empty() && cat[0] == '~') {
+      p.flip_source = true;
+      cat.remove_prefix(1);
+    }
+    WF_ASSIGN_OR_RETURN(p.source, ParseComponent(cat));
+  }
+  WF_ASSIGN_OR_RETURN(p.target, ParseComponent(fields[2]));
+  if (p.target.component == SentenceComponent::kCP ||
+      p.target.component == SentenceComponent::kVP) {
+    return Status::InvalidArgument(
+        "target must be SP, OP, or PP: " + std::string(line));
+  }
+  return p;
+}
+
+common::Status PatternDatabase::LoadText(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view sv = StripWhitespace(line);
+    size_t hash = sv.find('#');
+    if (hash != std::string_view::npos) {
+      sv = StripWhitespace(sv.substr(0, hash));
+    }
+    if (sv.empty()) continue;
+    auto parsed = ParseLine(sv);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(common::StrFormat(
+          "pattern line %d: %s", lineno, parsed.status().message().c_str()));
+    }
+    Add(std::move(parsed).value());
+  }
+  return Status::Ok();
+}
+
+common::Status PatternDatabase::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open pattern file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LoadText(buf.str());
+}
+
+void PatternDatabase::Add(const SentimentPattern& pattern) {
+  patterns_[pattern.predicate].push_back(pattern);
+  ++count_;
+}
+
+const std::vector<SentimentPattern>* PatternDatabase::Lookup(
+    const std::string& lemma) const {
+  auto it = patterns_.find(lemma);
+  return it == patterns_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> PatternDatabase::Predicates() const {
+  std::vector<std::string> out;
+  out.reserve(patterns_.size());
+  for (const auto& [predicate, list] : patterns_) out.push_back(predicate);
+  return out;
+}
+
+PatternDatabase PatternDatabase::Embedded() {
+  PatternDatabase db;
+  WF_CHECK_OK(db.LoadText(EmbeddedPatternDatabaseText()));
+  return db;
+}
+
+}  // namespace wf::lexicon

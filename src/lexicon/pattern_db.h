@@ -1,0 +1,109 @@
+#ifndef WF_LEXICON_PATTERN_DB_H_
+#define WF_LEXICON_PATTERN_DB_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "lexicon/sentiment_lexicon.h"
+
+namespace wf::lexicon {
+
+// Sentence components a sentiment pattern can name as source or target,
+// exactly the paper's SP/OP/CP/PP vocabulary plus VP for adverbial sources
+// ("performs admirably").
+enum class SentenceComponent : uint8_t {
+  kSP,  // subject phrase
+  kOP,  // object phrase
+  kCP,  // complement (predicative adjective or post-copula NP)
+  kPP,  // prepositional phrase
+  kVP,  // the verb phrase itself (trailing adverbs)
+};
+
+std::string_view SentenceComponentName(SentenceComponent c);
+
+// A component reference with optional preposition constraints:
+// "PP(by;with)" accepts only by-/with-PPs.
+struct ComponentSpec {
+  SentenceComponent component = SentenceComponent::kSP;
+  std::vector<std::string> prepositions;  // lowercase; empty = any
+
+  bool AllowsPreposition(const std::string& prep) const {
+    if (prepositions.empty()) return true;
+    for (const std::string& p : prepositions) {
+      if (p == prep) return true;
+    }
+    return false;
+  }
+};
+
+// Voice constraint on a pattern — our one extension over the paper's
+// format, needed to separate "Everyone loves the camera" (sentiment to OP)
+// from "The camera is loved" (sentiment to the surface subject).
+enum class VoiceConstraint : uint8_t {
+  kAny,
+  kActive,
+  kPassive,
+};
+
+// One predicate pattern: `<predicate> <sent_category> <target> [voice]`
+// where sent_category is '+', '-' (the verb itself carries sentiment) or a
+// source component whose phrasal sentiment transfers to the target,
+// optionally reversed by '~' ("trans verbs" in the paper's terms).
+struct SentimentPattern {
+  std::string predicate;  // verb lemma ("impress", "be", "offer")
+  bool direct = false;    // true: fixed polarity; false: transfer
+  Polarity polarity = Polarity::kNeutral;  // when direct
+  ComponentSpec source;                    // when !direct
+  bool flip_source = false;                // '~' prefix
+  ComponentSpec target;
+  VoiceConstraint voice = VoiceConstraint::kAny;
+};
+
+// The sentiment pattern database. Entries load from text with one pattern
+// per line:
+//     impress + PP(by;with)
+//     be CP SP
+//     offer OP SP
+//     lack ~OP SP        # sentiment of object, reversed, goes to subject
+// '#' starts a comment. Multiple patterns per predicate are allowed; the
+// analyzer scores them against the parse and applies the best match.
+class PatternDatabase {
+ public:
+  PatternDatabase() = default;
+
+  // Database preloaded with the built-in pattern set (~190 patterns over
+  // ~130 predicates).
+  static PatternDatabase Embedded();
+
+  common::Status LoadText(std::string_view text);
+  common::Status LoadFile(const std::string& path);
+
+  void Add(const SentimentPattern& pattern);
+
+  // All patterns for a verb lemma; empty when the predicate is unknown.
+  const std::vector<SentimentPattern>* Lookup(const std::string& lemma) const;
+
+  // Every predicate lemma in the database (unspecified order).
+  std::vector<std::string> Predicates() const;
+
+  size_t size() const { return count_; }
+  size_t predicate_count() const { return patterns_.size(); }
+
+  // Parses a single pattern line (exposed for tests/tools).
+  static common::Result<SentimentPattern> ParseLine(std::string_view line);
+
+ private:
+  std::unordered_map<std::string, std::vector<SentimentPattern>> patterns_;
+  size_t count_ = 0;
+};
+
+// The raw text of the built-in pattern database (exposed for ablation
+// sweeps that load truncated subsets).
+const char* EmbeddedPatternDatabaseText();
+
+}  // namespace wf::lexicon
+
+#endif  // WF_LEXICON_PATTERN_DB_H_

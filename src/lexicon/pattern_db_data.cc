@@ -1,0 +1,371 @@
+#include "lexicon/pattern_db.h"
+
+namespace wf::lexicon {
+
+// The built-in sentiment pattern database, in the paper's
+// `<predicate> <sent_category> <target>` format (plus an optional voice
+// constraint, see pattern_db.h). Grouped by predicate family.
+const char* EmbeddedPatternDatabaseText() {
+  return R"pat(
+# ================= Copulas / trans verbs: complement -> subject ============
+be CP SP
+seem CP SP
+look CP SP
+feel CP SP
+sound CP SP
+appear CP SP
+remain CP SP
+stay CP SP
+become CP SP
+get CP SP
+taste CP SP
+smell CP SP
+prove CP SP
+turn CP SP
+
+# ================= Object-transfer verbs: object sentiment -> subject ======
+take OP SP active
+offer OP SP active
+provide OP SP active
+deliver OP SP active
+produce OP SP active
+give OP SP active
+have OP SP active
+feature OP SP active
+include OP SP active
+boast OP SP active
+make OP SP active
+sport OP SP active
+pack OP SP active
+show OP SP active
+display OP SP active
+yield OP SP active
+generate OP SP active
+achieve OP SP active
+bring OP SP active
+add OP SP active
+combine OP SP active
+capture OP SP active
+render OP SP active
+shoot OP SP active
+record OP SP active
+
+# come/ship with X: the with-PP's sentiment describes the subject
+come PP(with) SP
+ship PP(with) SP
+arrive PP(with) SP
+
+# ================= Adverbial-manner verbs: VP adverbs -> subject ===========
+perform VP SP
+work VP SP
+run VP SP
+operate VP SP
+function VP SP
+handle VP SP
+play VP SP
+respond VP SP
+behave VP SP
+hold VP SP
+do VP SP
+focus VP SP
+start VP SP
+
+# ================= Subject-experiencer positives: sentiment -> object ======
+love + OP active
+love + SP passive
+adore + OP active
+enjoy + OP active
+enjoy + SP passive
+like + OP active
+appreciate + OP active
+appreciate + SP passive
+admire + OP active
+admire + SP passive
+praise + OP active
+praise + SP passive
+recommend + OP active
+recommend + SP passive
+prefer + OP active
+favor + OP active
+treasure + OP active
+applaud + OP active
+endorse + OP active
+endorse + SP passive
+
+# ================= Subject-experiencer negatives: sentiment -> object ======
+hate - OP active
+hate - SP passive
+dislike - OP active
+loathe - OP active
+despise - OP active
+regret - OP active
+criticize - OP active
+criticize - SP passive
+condemn - OP active
+condemn - SP passive
+blame - OP active
+blame - SP passive
+return - OP active
+avoid - OP active
+dread - OP active
+distrust - OP active
+
+# ================= Object-experiencer verbs (stimulus carries sentiment) ===
+# Active: "The camera impresses (everyone)" -> + to subject.
+# Passive: "I am impressed by/with the camera" -> + to the by/with PP.
+impress + SP active
+impress + PP(by;with) passive
+amaze + SP active
+amaze + PP(by;with) passive
+astonish + SP active
+astonish + PP(by;with) passive
+delight + SP active
+delight + PP(by;with) passive
+please + SP active
+please + PP(by;with) passive
+satisfy + SP active
+satisfy + PP(by;with) passive
+wow + SP active
+wow + PP(by;with) passive
+stun + PP(by;with) passive
+captivate + SP active
+captivate + PP(by;with) passive
+disappoint - SP active
+disappoint - PP(by;with;in) passive
+annoy - SP active
+annoy - PP(by;with) passive
+irritate - SP active
+irritate - PP(by;with) passive
+frustrate - SP active
+frustrate - PP(by;with) passive
+disgust - SP active
+disgust - PP(by;with) passive
+aggravate - SP active
+underwhelm - SP active
+underwhelm - PP(by;with) passive
+bother - SP active
+bother - PP(by;with) passive
+
+# ================= Intransitive quality verbs: sentiment -> subject ========
+excel + SP
+shine + SP
+rock + SP
+impress + SP
+thrive + SP
+succeed + SP
+win + SP active
+triumph + SP
+improve + SP
+fail - SP
+flop - SP
+struggle - SP
+suffer - SP
+lag - SP
+crash - SP
+freeze - SP
+malfunction - SP
+overheat - SP
+break - SP
+die - SP
+stall - SP
+falter - SP
+disappoint - SP
+deteriorate - SP
+degrade - SP
+worsen - SP
+leak - SP
+spill - SP
+pollute - SP
+stink - SP
+
+# ================= Lack / requirement verbs =================================
+lack - SP active
+miss - SP active
+require - SP active
+need - SP active
+want - OP active
+demand - SP active
+
+# ================= Comparison verbs ==========================================
+# "X outperforms Y": + to subject, - to object.
+outperform + SP active
+outperform - OP active
+outperform + PP(by) passive
+beat + SP active
+beat - OP active
+beat + PP(by) passive
+surpass + SP active
+surpass - OP active
+exceed + SP active
+outclass + SP active
+outclass - OP active
+outshine + SP active
+outshine - OP active
+trail - SP active
+trail + OP active
+
+# ================= Meet/exceed expectation idioms ============================
+meet OP SP active
+satisfy OP SP active
+
+# ================= Talk-about verbs ==========================================
+rave + PP(about;over)
+complain - PP(about;over)
+gripe - PP(about)
+moan - PP(about)
+gush + PP(about;over)
+grumble - PP(about)
+
+# ================= Problem verbs directed at objects =========================
+ruin - OP active
+ruin - SP passive
+destroy - OP active
+spoil - OP active
+spoil - SP passive
+plague - OP active
+plague - SP passive
+hamper - OP active
+hamper - SP passive
+hurt - OP active
+harm - OP active
+damage - OP active
+damage - SP passive
+degrade - OP active
+waste - OP active
+botch - OP active
+botch - SP passive
+cripple - OP active
+cripple - SP passive
+
+# ================= Improvement verbs directed at objects =====================
+enhance + OP active
+enhance + SP passive
+improve + OP active
+improve + SP passive
+boost + OP active
+boost + SP passive
+enrich + OP active
+strengthen + OP active
+refine + OP active
+refine + SP passive
+perfect + OP active
+polish + OP active
+polish + SP passive
+fix + OP active
+upgrade + OP active
+upgrade + SP passive
+
+# ================= Equipment / fitting verbs =================================
+equip + SP passive
+outfit + SP passive
+load PP(with) SP passive
+fit PP(with) SP passive
+
+# ================= Additional experiencer verbs ==============================
+relish + OP active
+savor + OP active
+covet + OP active
+worship + OP active
+detest - OP active
+dread - OP active
+bemoan - OP active
+mourn - OP active
+resent - OP active
+envy + OP active
+trust + OP active
+trust + SP passive
+distrust - SP passive
+respect + OP active
+respect + SP passive
+value + OP active
+value + SP passive
+salute + OP active
+applaud + SP passive
+welcome + OP active
+welcome + SP passive
+tolerate - OP active
+endure - OP active
+
+# ================= Additional trans verbs ====================================
+display OP SP active
+exhibit OP SP active
+demonstrate OP SP active
+combine OP SP active
+carry OP SP active
+hold OP SP active
+contain OP SP active
+house OP SP active
+reveal OP SP active
+promise OP SP active
+guarantee OP SP active
+brim PP(with) SP
+teem PP(with) SP
+bristle PP(with) SP
+overflow PP(with) SP
+burst PP(with) SP
+
+# ================= Additional quality verbs ===================================
+dazzle + SP active
+dazzle + PP(by;with) passive
+sparkle + SP
+soar + SP
+flourish + SP
+prosper + SP
+blossom + SP
+dominate + SP active
+plummet - SP
+collapse - SP
+crumble - SP
+sink - SP
+tank - SP
+languish - SP
+stagnate - SP
+wilt - SP
+flop - SP
+backfire - SP
+misfire - SP
+jam - SP
+glitch - SP
+sputter - SP
+
+# ================= Additional object-directed verbs ===========================
+elevate + OP active
+transform + OP active
+streamline + OP active
+simplify + OP active
+accelerate + OP active
+complicate - OP active
+clutter - OP active
+slow - OP active
+bloat - OP active
+undermine - OP active
+undermine - SP passive
+compromise - OP active
+compromise - SP passive
+erode - OP active
+diminish - OP active
+cheapen - OP active
+tarnish - OP active
+tarnish - SP passive
+mar - OP active
+mar - SP passive
+wreck - OP active
+wreck - SP passive
+sabotage - OP active
+sabotage - SP passive
+jeopardize - OP active
+threaten - OP active
+endanger - OP active
+
+# ================= Recommendation / verdict verbs ============================
+rate VP SP passive
+rank VP SP passive
+consider CP OP active
+find CP OP active
+call CP OP active
+deem CP OP active
+judge CP OP active
+)pat";
+}
+
+}  // namespace wf::lexicon

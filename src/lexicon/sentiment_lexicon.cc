@@ -1,0 +1,190 @@
+#include "lexicon/sentiment_lexicon.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "text/inflection.h"
+
+namespace wf::lexicon {
+
+namespace {
+using ::wf::common::Status;
+using ::wf::common::StripWhitespace;
+using ::wf::common::ToLower;
+
+// Declared in sentiment_lexicon_data.cc.
+}  // namespace
+
+// Embedded lexicon data (defined in sentiment_lexicon_data.cc).
+const char* EmbeddedSentimentLexiconText();
+
+std::string_view PolarityName(Polarity p) {
+  switch (p) {
+    case Polarity::kNegative:
+      return "negative";
+    case Polarity::kNeutral:
+      return "neutral";
+    case Polarity::kPositive:
+      return "positive";
+  }
+  return "?";
+}
+
+std::string_view LexPosName(LexPos pos) {
+  switch (pos) {
+    case LexPos::kAdjective:
+      return "JJ";
+    case LexPos::kNoun:
+      return "NN";
+    case LexPos::kVerb:
+      return "VB";
+    case LexPos::kAdverb:
+      return "RB";
+    case LexPos::kAny:
+      return "*";
+  }
+  return "?";
+}
+
+bool LexPosMatches(LexPos required, pos::PosTag tag) {
+  switch (required) {
+    case LexPos::kAdjective:
+      return pos::IsAdjectiveTag(tag) || tag == pos::PosTag::kVBN ||
+             tag == pos::PosTag::kVBG;
+    case LexPos::kNoun:
+      return pos::IsNounTag(tag);
+    case LexPos::kVerb:
+      return pos::IsVerbTag(tag);
+    case LexPos::kAdverb:
+      return pos::IsAdverbTag(tag);
+    case LexPos::kAny:
+      return true;
+  }
+  return false;
+}
+
+size_t SentimentLexicon::KeyHash::operator()(const Key& k) const {
+  return common::HashCombine(common::Fnv1a64(k.lemma),
+                             static_cast<uint64_t>(k.pos));
+}
+
+SentimentLexicon SentimentLexicon::Embedded() {
+  SentimentLexicon lex;
+  Status s = lex.LoadText(EmbeddedSentimentLexiconText());
+  // The embedded data is compiled in; a parse failure is a build defect.
+  WF_CHECK_OK(s);
+  return lex;
+}
+
+void SentimentLexicon::Add(const SentimentEntry& entry) {
+  entries_[Key{ToLower(entry.term), entry.pos}] = entry.polarity;
+}
+
+common::Status SentimentLexicon::LoadText(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view sv = StripWhitespace(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    // Format: <term...> <POS> <+|->   (term may contain spaces; the last
+    // two fields are POS and polarity).
+    std::vector<std::string> fields = common::Split(sv, " \t");
+    if (fields.size() < 3) {
+      return Status::InvalidArgument(common::StrFormat(
+          "lexicon line %d: expected '<term> <POS> <+|->', got '%s'", lineno,
+          std::string(sv).c_str()));
+    }
+    const std::string& pol_str = fields.back();
+    const std::string& pos_str = fields[fields.size() - 2];
+    Polarity pol;
+    if (pol_str == "+") {
+      pol = Polarity::kPositive;
+    } else if (pol_str == "-") {
+      pol = Polarity::kNegative;
+    } else {
+      return Status::InvalidArgument(common::StrFormat(
+          "lexicon line %d: bad polarity '%s'", lineno, pol_str.c_str()));
+    }
+    LexPos pos;
+    if (pos_str == "JJ") {
+      pos = LexPos::kAdjective;
+    } else if (pos_str == "NN") {
+      pos = LexPos::kNoun;
+    } else if (pos_str == "VB") {
+      pos = LexPos::kVerb;
+    } else if (pos_str == "RB") {
+      pos = LexPos::kAdverb;
+    } else if (pos_str == "*") {
+      pos = LexPos::kAny;
+    } else {
+      return Status::InvalidArgument(common::StrFormat(
+          "lexicon line %d: bad POS '%s'", lineno, pos_str.c_str()));
+    }
+    std::vector<std::string> term_words(fields.begin(), fields.end() - 2);
+    Add(SentimentEntry{common::Join(term_words, " "), pos, pol});
+  }
+  return Status::Ok();
+}
+
+common::Status SentimentLexicon::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open lexicon file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LoadText(buf.str());
+}
+
+std::optional<Polarity> SentimentLexicon::LookupLemma(const std::string& lemma,
+                                                      LexPos pos) const {
+  auto it = entries_.find(Key{lemma, pos});
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Polarity> SentimentLexicon::Lookup(std::string_view surface,
+                                                 pos::PosTag tag) const {
+  std::string lower = ToLower(surface);
+
+  // Candidate lemmas by tag class, then the surface form itself.
+  std::vector<std::pair<std::string, LexPos>> candidates;
+  if (pos::IsAdjectiveTag(tag)) {
+    candidates.emplace_back(text::AdjectiveBase(lower), LexPos::kAdjective);
+    candidates.emplace_back(lower, LexPos::kAdjective);
+  } else if (pos::IsNounTag(tag)) {
+    candidates.emplace_back(text::SingularizeNoun(lower), LexPos::kNoun);
+    candidates.emplace_back(lower, LexPos::kNoun);
+  } else if (pos::IsVerbTag(tag)) {
+    candidates.emplace_back(text::VerbLemma(lower), LexPos::kVerb);
+    candidates.emplace_back(lower, LexPos::kVerb);
+    // Participles frequently function adjectivally ("impressed", "amazing");
+    // fall back to the adjective table.
+    if (tag == pos::PosTag::kVBN || tag == pos::PosTag::kVBG) {
+      candidates.emplace_back(lower, LexPos::kAdjective);
+    }
+  } else if (pos::IsAdverbTag(tag)) {
+    candidates.emplace_back(lower, LexPos::kAdverb);
+  }
+  candidates.emplace_back(lower, LexPos::kAny);
+
+  for (const auto& [lemma, pos_class] : candidates) {
+    auto hit = LookupLemma(lemma, pos_class);
+    if (hit.has_value()) return hit;
+  }
+  return std::nullopt;
+}
+
+std::vector<SentimentEntry> SentimentLexicon::Entries() const {
+  std::vector<SentimentEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, pol] : entries_) {
+    out.push_back(SentimentEntry{key.lemma, key.pos, pol});
+  }
+  return out;
+}
+
+}  // namespace wf::lexicon

@@ -1,0 +1,109 @@
+#ifndef WF_LEXICON_SENTIMENT_LEXICON_H_
+#define WF_LEXICON_SENTIMENT_LEXICON_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "pos/tagset.h"
+
+namespace wf::lexicon {
+
+enum class Polarity : int8_t {
+  kNegative = -1,
+  kNeutral = 0,
+  kPositive = 1,
+};
+
+// Reverses a polarity (negation); neutral stays neutral.
+inline Polarity Flip(Polarity p) {
+  return static_cast<Polarity>(-static_cast<int8_t>(p));
+}
+
+std::string_view PolarityName(Polarity p);
+
+// Coarse POS class of a lexicon entry, matching the paper's
+// `<lexical_entry> <POS> <sent_category>` schema (entries carry the
+// *required* POS of the term; "JJ" covers JJ/JJR/JJS etc.).
+enum class LexPos : uint8_t {
+  kAdjective,  // JJ
+  kNoun,       // NN
+  kVerb,       // VB
+  kAdverb,     // RB
+  kAny,        // wildcard (multi-word entries)
+};
+
+std::string_view LexPosName(LexPos pos);
+
+// True when the fine-grained Treebank tag satisfies the entry's class.
+bool LexPosMatches(LexPos required, pos::PosTag tag);
+
+struct SentimentEntry {
+  std::string term;  // lowercase lemma; may be multi-word ("battery life")
+  LexPos pos = LexPos::kAdjective;
+  Polarity polarity = Polarity::kNeutral;
+};
+
+// The sentiment lexicon of §4.2: term -> polarity, keyed by (lemma, POS
+// class). Lookup is inflection-aware: "pictures" finds "picture"-keyed
+// entries, "impressed" finds "impress".
+//
+// Ships with an embedded lexicon (derived from the same public sources the
+// paper used — General Inquirer / DAL-style vocabulary); additional entries
+// load from text files with one `<term> <POS> <+|->` definition per line
+// ('#' starts a comment).
+class SentimentLexicon {
+ public:
+  // Empty lexicon; call LoadEmbedded() or LoadFile()/Add().
+  SentimentLexicon() = default;
+
+  // Returns a lexicon populated with the built-in entries.
+  static SentimentLexicon Embedded();
+
+  // Adds one entry; later duplicates of (term, pos) win (callers can
+  // override the embedded defaults).
+  void Add(const SentimentEntry& entry);
+
+  // Parses `text` in the file format above and adds every entry.
+  common::Status LoadText(std::string_view text);
+  common::Status LoadFile(const std::string& path);
+
+  // Polarity of `surface` (any inflection, any case) used with `tag`.
+  // nullopt when the word is not sentiment-bearing.
+  std::optional<Polarity> Lookup(std::string_view surface,
+                                 pos::PosTag tag) const;
+
+  // Lookup by exact lowercase lemma and entry class.
+  std::optional<Polarity> LookupLemma(const std::string& lemma,
+                                      LexPos pos) const;
+
+  size_t size() const { return entries_.size(); }
+
+  // All entries, for inspection/serialization (unspecified order).
+  std::vector<SentimentEntry> Entries() const;
+
+ private:
+  struct Key {
+    std::string lemma;
+    LexPos pos;
+    bool operator==(const Key& o) const {
+      return lemma == o.lemma && pos == o.pos;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+
+  std::unordered_map<Key, Polarity, KeyHash> entries_;
+};
+
+// The raw text of the built-in sentiment lexicon (exposed for ablation
+// sweeps that load truncated subsets).
+const char* EmbeddedSentimentLexiconText();
+
+}  // namespace wf::lexicon
+
+#endif  // WF_LEXICON_SENTIMENT_LEXICON_H_

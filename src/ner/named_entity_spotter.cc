@@ -1,0 +1,156 @@
+#include "ner/named_entity_spotter.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace wf::ner {
+namespace {
+
+using ::wf::common::IsCapitalized;
+using ::wf::common::ToLower;
+using ::wf::text::Token;
+using ::wf::text::TokenKind;
+
+// Lowercase connectors allowed *inside* a capitalized run ("Bank of
+// America", "Barnes and Noble"). They never begin or end an entity.
+bool IsConnector(const std::string& lower) {
+  return lower == "of" || lower == "and" || lower == "the" || lower == "de";
+}
+
+// Function words that disqualify a sentence-initial capitalized token from
+// being an entity on its own.
+const std::unordered_set<std::string>& CommonWordStoplist() {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "the", "this", "that", "these", "those", "a", "an", "my", "your",
+      "his", "her", "its", "our", "their", "it", "he", "she", "we", "they",
+      "i", "you", "there", "here", "when", "while", "although", "after",
+      "before", "because", "if", "unless", "however", "unfortunately",
+      "fortunately", "also", "but", "and", "or", "so", "yet", "as", "in",
+      "on", "at", "for", "with", "from", "to", "by", "one", "some", "most",
+      "many", "both", "each", "every", "overall", "unlike", "like", "since",
+      "despite", "not", "no", "what", "why", "how", "where", "who",
+      "later", "meanwhile", "finally", "eventually", "instead", "still",
+      "moreover", "nevertheless", "nonetheless", "suddenly", "recently",
+      "luckily", "sadly", "honestly", "now", "then", "next", "last",
+      "first", "second", "third", "maybe", "perhaps", "today", "yesterday",
+      "tomorrow", "sometimes", "usually", "often", "once", "again",
+      "sure", "well", "please", "page", "two", "three",
+  };
+  return *kSet;
+}
+
+// Titles that bind to the following capitalized word ("Prof. Wilson").
+bool IsTitle(const std::string& lower) {
+  return lower == "mr." || lower == "mrs." || lower == "ms." ||
+         lower == "dr." || lower == "prof." || lower == "sen." ||
+         lower == "rep." || lower == "gov." || lower == "gen." ||
+         lower == "capt." || lower == "lt." || lower == "col." ||
+         lower == "sgt." || lower == "st.";
+}
+
+// Words that trigger a split inside a candidate (prepositions and
+// conjunctions per the paper's heuristic). "of"/"and" split when they
+// separate two capitalized halves that each stand alone; the connector
+// itself is dropped.
+bool IsSplitWord(const std::string& lower) {
+  return lower == "of" || lower == "and" || lower == "in" || lower == "at" ||
+         lower == "for" || lower == "from" || lower == "with" ||
+         lower == "on" || lower == "by" || lower == "or" || lower == "the" ||
+         lower == "de";
+}
+
+bool LooksCapitalizedWord(const Token& tok) {
+  return tok.kind == TokenKind::kWord && IsCapitalized(tok.text);
+}
+
+}  // namespace
+
+NamedEntitySpotter::NamedEntitySpotter(const Options& options)
+    : options_(options) {}
+
+std::vector<NamedEntity> NamedEntitySpotter::SpotSentence(
+    const text::TokenStream& tokens, const text::SentenceSpan& span) const {
+  std::vector<NamedEntity> out;
+
+  size_t i = span.begin_token;
+  while (i < span.end_token) {
+    const Token& tok = tokens[i];
+    if (!LooksCapitalizedWord(tok)) {
+      ++i;
+      continue;
+    }
+
+    // Grow the candidate: capitalized words, titles, possessive 's, and
+    // lowercase connectors followed by another capitalized word.
+    size_t begin = i;
+    size_t end = i + 1;
+    while (end < span.end_token) {
+      const Token& next = tokens[end];
+      if (LooksCapitalizedWord(next)) {
+        ++end;
+        continue;
+      }
+      std::string lower = ToLower(next.text);
+      if ((IsConnector(lower) || lower == "'s") && end + 1 < span.end_token &&
+          LooksCapitalizedWord(tokens[end + 1])) {
+        end += 2;
+        continue;
+      }
+      break;
+    }
+
+    // Split heuristics: break at prepositions/conjunctions/possessives.
+    std::vector<std::pair<size_t, size_t>> pieces;
+    size_t piece_begin = begin;
+    for (size_t j = begin; j < end; ++j) {
+      std::string lower = ToLower(tokens[j].text);
+      bool split_here =
+          (!LooksCapitalizedWord(tokens[j]) && IsSplitWord(lower)) ||
+          lower == "'s";
+      if (split_here) {
+        if (j > piece_begin) pieces.emplace_back(piece_begin, j);
+        piece_begin = j + 1;
+      }
+    }
+    if (end > piece_begin) pieces.emplace_back(piece_begin, end);
+
+    for (auto [pb, pe] : pieces) {
+      // Trim connectors that ended up at the edges.
+      while (pb < pe && !LooksCapitalizedWord(tokens[pb])) ++pb;
+      while (pe > pb && !LooksCapitalizedWord(tokens[pe - 1])) --pe;
+      if (pe - pb < options_.min_tokens || pe == pb) continue;
+
+      // Sentence-initial single common word: skip.
+      if (options_.filter_sentence_initial_common && pb == span.begin_token &&
+          pe - pb == 1 &&
+          CommonWordStoplist().count(ToLower(tokens[pb].text)) > 0) {
+        continue;
+      }
+      // A bare title is not an entity.
+      if (pe - pb == 1 && IsTitle(ToLower(tokens[pb].text))) continue;
+
+      std::string name;
+      for (size_t j = pb; j < pe; ++j) {
+        if (!name.empty()) name += ' ';
+        name += tokens[j].text;
+      }
+      out.push_back(NamedEntity{std::move(name), pb, pe});
+    }
+    i = end;
+  }
+  return out;
+}
+
+std::vector<NamedEntity> NamedEntitySpotter::Spot(
+    const text::TokenStream& tokens,
+    const std::vector<text::SentenceSpan>& spans) const {
+  std::vector<NamedEntity> out;
+  for (const text::SentenceSpan& span : spans) {
+    std::vector<NamedEntity> sentence = SpotSentence(tokens, span);
+    out.insert(out.end(), sentence.begin(), sentence.end());
+  }
+  return out;
+}
+
+}  // namespace wf::ner

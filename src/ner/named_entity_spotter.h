@@ -1,0 +1,58 @@
+#ifndef WF_NER_NAMED_ENTITY_SPOTTER_H_
+#define WF_NER_NAMED_ENTITY_SPOTTER_H_
+
+#include <string>
+#include <vector>
+
+#include "text/token.h"
+
+namespace wf::ner {
+
+// A named-entity candidate: tokens [begin, end) of the stream.
+struct NamedEntity {
+  std::string text;  // normalized surface ("Prof. Wilson")
+  size_t begin_token = 0;
+  size_t end_token = 0;
+
+  friend bool operator==(const NamedEntity& a, const NamedEntity& b) {
+    return a.text == b.text && a.begin_token == b.begin_token &&
+           a.end_token == b.end_token;
+  }
+};
+
+// The paper's named-entity spotter (§3): collects sequences of capitalized
+// tokens, allowing the special lowercase connectors "and" and "of" inside a
+// candidate, then applies split heuristics — a candidate containing a
+// conjunction, preposition, or possessive is split into separate entities
+// ("Prof. Wilson of American University" -> "Prof. Wilson" + "American
+// University"). Sentence-initial capitalized common words are skipped via a
+// small function-word stoplist.
+class NamedEntitySpotter {
+ public:
+  struct Options {
+    // Minimum tokens a candidate must keep after splitting.
+    size_t min_tokens = 1;
+    // Drop sentence-initial single capitalized tokens whose lowercase form
+    // is a common word (reduces "The"/"This" noise).
+    bool filter_sentence_initial_common = true;
+  };
+
+  NamedEntitySpotter() : NamedEntitySpotter(Options{}) {}
+  explicit NamedEntitySpotter(const Options& options);
+
+  // Spots entities in one sentence.
+  std::vector<NamedEntity> SpotSentence(const text::TokenStream& tokens,
+                                        const text::SentenceSpan& span) const;
+
+  // Spots entities in a whole stream given its sentence segmentation.
+  std::vector<NamedEntity> Spot(
+      const text::TokenStream& tokens,
+      const std::vector<text::SentenceSpan>& spans) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace wf::ner
+
+#endif  // WF_NER_NAMED_ENTITY_SPOTTER_H_

@@ -1,0 +1,37 @@
+#ifndef WF_PARSE_CHUNK_H_
+#define WF_PARSE_CHUNK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace wf::parse {
+
+enum class ChunkType : uint8_t {
+  kNP,    // noun phrase
+  kVP,    // verb phrase (auxiliaries + adverbs + head verb + particles)
+  kPP,    // preposition (object NP is the following kNP chunk)
+  kADJP,  // predicative adjective phrase
+  kADVP,  // adverb phrase not attached to a VP
+  kO,     // anything else (punctuation, conjunctions, ...)
+};
+
+std::string_view ChunkTypeName(ChunkType type);
+
+// A chunk covers tokens [begin, end) — absolute indices into the document's
+// TokenStream, so chunks from different sentences are comparable.
+struct Chunk {
+  ChunkType type = ChunkType::kO;
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+
+  friend bool operator==(const Chunk& a, const Chunk& b) {
+    return a.type == b.type && a.begin == b.begin && a.end == b.end;
+  }
+};
+
+}  // namespace wf::parse
+
+#endif  // WF_PARSE_CHUNK_H_

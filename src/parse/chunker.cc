@@ -1,0 +1,189 @@
+#include "parse/chunker.h"
+
+#include "parse/chunk.h"
+
+namespace wf::parse {
+
+std::string_view ChunkTypeName(ChunkType type) {
+  switch (type) {
+    case ChunkType::kNP:
+      return "NP";
+    case ChunkType::kVP:
+      return "VP";
+    case ChunkType::kPP:
+      return "PP";
+    case ChunkType::kADJP:
+      return "ADJP";
+    case ChunkType::kADVP:
+      return "ADVP";
+    case ChunkType::kO:
+      return "O";
+  }
+  return "?";
+}
+
+namespace {
+
+using pos::IsAdjectiveTag;
+using pos::IsAdverbTag;
+using pos::IsNounTag;
+using pos::IsVerbTag;
+using pos::PosTag;
+
+bool IsNpModifier(PosTag t) {
+  return IsAdjectiveTag(t) || t == PosTag::kVBG || t == PosTag::kVBN ||
+         t == PosTag::kCD;
+}
+
+bool IsNpStarter(PosTag t) {
+  return t == PosTag::kDT || t == PosTag::kPRPS || t == PosTag::kPDT ||
+         IsNpModifier(t) || IsNounTag(t) || t == PosTag::kPRP;
+}
+
+}  // namespace
+
+std::vector<Chunk> Chunker::ChunkSentence(
+    const text::TokenStream& tokens, const text::SentenceSpan& span,
+    const std::vector<pos::PosTag>& tags) const {
+  std::vector<Chunk> chunks;
+  const size_t n = tags.size();
+  size_t i = 0;
+  auto abs = [&](size_t rel) { return span.begin_token + rel; };
+  (void)tokens;
+
+  while (i < n) {
+    PosTag t = tags[i];
+
+    // Pronoun: a one-token NP.
+    if (t == PosTag::kPRP) {
+      chunks.push_back(Chunk{ChunkType::kNP, abs(i), abs(i + 1)});
+      ++i;
+      continue;
+    }
+
+    // NP attempt: starter must lead to at least one noun (or be a bare
+    // CD sequence with a determiner).
+    if (IsNpStarter(t) && t != PosTag::kPRP) {
+      size_t j = i;
+      if (tags[j] == PosTag::kPDT) ++j;
+      if (j < n && (tags[j] == PosTag::kDT || tags[j] == PosTag::kPRPS)) ++j;
+      // Modifier run, with optional adverb before an adjective
+      // ("a very sharp lens").
+      size_t mods_end = j;
+      while (mods_end < n) {
+        if (IsNpModifier(tags[mods_end])) {
+          ++mods_end;
+        } else if (IsAdverbTag(tags[mods_end]) && mods_end + 1 < n &&
+                   IsAdjectiveTag(tags[mods_end + 1])) {
+          mods_end += 2;
+        } else {
+          break;
+        }
+      }
+      size_t nouns_end = mods_end;
+      while (nouns_end < n && (IsNounTag(tags[nouns_end]) ||
+                               tags[nouns_end] == PosTag::kPOS)) {
+        ++nouns_end;
+      }
+      if (nouns_end > mods_end) {
+        // Got a real NP ending in a noun run.
+        chunks.push_back(Chunk{ChunkType::kNP, abs(i), abs(nouns_end)});
+        i = nouns_end;
+        continue;
+      }
+      // Determiner + cardinal with no noun ("the 5") — rare; NP anyway.
+      if (j > i && mods_end > j) {
+        bool all_cd = true;
+        for (size_t k = j; k < mods_end; ++k) {
+          if (tags[k] != PosTag::kCD) all_cd = false;
+        }
+        if (all_cd) {
+          chunks.push_back(Chunk{ChunkType::kNP, abs(i), abs(mods_end)});
+          i = mods_end;
+          continue;
+        }
+      }
+      // Fall through: not an NP after all.
+    }
+
+    // VP: optional modal/adverb lead-in, then verbs with interleaved
+    // adverbs/particles. The lead-in is only consumed when a verb follows.
+    if (IsVerbTag(t) || t == PosTag::kMD ||
+        (IsAdverbTag(t) && i + 1 < n &&
+         (IsVerbTag(tags[i + 1]) || tags[i + 1] == PosTag::kMD))) {
+      size_t j = i;
+      bool saw_verb = false;
+      size_t last_verb_rel = i;
+      while (j < n) {
+        PosTag tj = tags[j];
+        if (IsVerbTag(tj)) {
+          saw_verb = true;
+          last_verb_rel = j;
+          ++j;
+        } else if (tj == PosTag::kMD || tj == PosTag::kRP ||
+                   IsAdverbTag(tj)) {
+          // Note: TO is deliberately excluded — "fails to meet" keeps
+          // "fails" as the main predicate; "to meet ..." is its own VP.
+          // Absorb only if more verb material follows (keeps trailing
+          // adverbs like "works well" inside, since "well" is last — we do
+          // include one trailing RB/RP run after the head verb).
+          ++j;
+        } else {
+          break;
+        }
+      }
+      if (saw_verb) {
+        // Trim trailing TO/MD that weren't followed by a verb.
+        size_t end = last_verb_rel + 1;
+        // Re-extend over trailing particles/adverbs ("works well", "turned
+        // off"), but not over negations-only (they belong to the VP anyway).
+        while (end < n && (tags[end] == PosTag::kRP || IsAdverbTag(tags[end]))) {
+          ++end;
+        }
+        chunks.push_back(Chunk{ChunkType::kVP, abs(i), abs(end)});
+        i = end;
+        continue;
+      }
+    }
+
+    // PP: the preposition token alone; its object NP chunk follows.
+    if (t == PosTag::kIN || t == PosTag::kTO) {
+      chunks.push_back(Chunk{ChunkType::kPP, abs(i), abs(i + 1)});
+      ++i;
+      continue;
+    }
+
+    // ADJP: adverb* adjective+ in predicative position.
+    if (IsAdjectiveTag(t) ||
+        (IsAdverbTag(t) && i + 1 < n && IsAdjectiveTag(tags[i + 1]))) {
+      size_t j = i;
+      while (j < n && IsAdverbTag(tags[j])) ++j;
+      size_t adj_begin = j;
+      while (j < n && (IsAdjectiveTag(tags[j]) ||
+                       (tags[j] == PosTag::kCC && j + 1 < n &&
+                        IsAdjectiveTag(tags[j + 1])))) {
+        ++j;
+      }
+      if (j > adj_begin && (j >= n || !IsNounTag(tags[j]))) {
+        chunks.push_back(Chunk{ChunkType::kADJP, abs(i), abs(j)});
+        i = j;
+        continue;
+      }
+    }
+
+    // ADVP: leftover adverb run.
+    if (IsAdverbTag(t)) {
+      size_t j = i;
+      while (j < n && IsAdverbTag(tags[j])) ++j;
+      chunks.push_back(Chunk{ChunkType::kADVP, abs(i), abs(j)});
+      i = j;
+      continue;
+    }
+
+    chunks.push_back(Chunk{ChunkType::kO, abs(i), abs(i + 1)});
+    ++i;
+  }
+  return chunks;
+}
+
+}  // namespace wf::parse

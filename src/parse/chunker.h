@@ -1,0 +1,36 @@
+#ifndef WF_PARSE_CHUNKER_H_
+#define WF_PARSE_CHUNKER_H_
+
+#include <vector>
+
+#include "parse/chunk.h"
+#include "pos/tagset.h"
+#include "text/token.h"
+
+namespace wf::parse {
+
+// Finite-state phrase chunker over POS tags (the first half of our Talent
+// shallow-parser replacement). Grammar, longest match first:
+//   NP   := (PDT)? (DT|PRP$)? (RB? (JJ|JJR|JJS|VBG|VBN|CD))* (NN|NNS|NNP|NNPS)+
+//         | PRP | (DT|PRP$)? CD+
+//   VP   := (MD|RB)* V (RB|RP|V)*           where V is any verb tag; the
+//                                           chunk absorbs auxiliary chains
+//                                           and interleaved adverbs
+//   PP   := IN                              (object NP is the next NP chunk)
+//   ADJP := (RB)* (JJ|JJR|JJS)+             when not immediately followed by
+//                                           a noun (predicative position)
+//   ADVP := RB+                             otherwise-unattached adverbs
+// Everything else becomes a kO chunk of one token.
+class Chunker {
+ public:
+  // Chunks one sentence. `tags` is aligned with the sentence: tags[i]
+  // corresponds to tokens[span.begin_token + i]. Returned chunk offsets are
+  // absolute token indices.
+  std::vector<Chunk> ChunkSentence(const text::TokenStream& tokens,
+                                   const text::SentenceSpan& span,
+                                   const std::vector<pos::PosTag>& tags) const;
+};
+
+}  // namespace wf::parse
+
+#endif  // WF_PARSE_CHUNKER_H_

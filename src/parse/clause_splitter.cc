@@ -1,0 +1,62 @@
+#include "parse/clause_splitter.h"
+
+#include "common/string_util.h"
+
+namespace wf::parse {
+
+namespace {
+
+bool IsCoordinator(const text::Token& token, pos::PosTag tag) {
+  if (tag == pos::PosTag::kPunct && token.text == ";") return true;
+  if (tag != pos::PosTag::kCC) return false;
+  return common::EqualsIgnoreCase(token.text, "but") ||
+         common::EqualsIgnoreCase(token.text, "and") ||
+         common::EqualsIgnoreCase(token.text, "or") ||
+         common::EqualsIgnoreCase(token.text, "yet") ||
+         common::EqualsIgnoreCase(token.text, "so");
+}
+
+}  // namespace
+
+std::vector<text::SentenceSpan> SplitClauses(
+    const text::TokenStream& tokens, const text::SentenceSpan& span,
+    const std::vector<pos::PosTag>& tags) {
+  const size_t n = tags.size();
+
+  // Verb presence prefix counts, for O(1) both-sides checks.
+  std::vector<size_t> verbs_before(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    verbs_before[i + 1] =
+        verbs_before[i] + (pos::IsVerbTag(tags[i]) ? 1 : 0);
+  }
+  const size_t total_verbs = verbs_before[n];
+
+  std::vector<text::SentenceSpan> out;
+  size_t clause_begin = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!IsCoordinator(tokens[span.begin_token + i], tags[i])) continue;
+    // Verb in the current clause and in the remainder — plus, to avoid
+    // splitting VP-part coordination ("improved and refined"), the next
+    // clause must start a fresh subject: the token right after the
+    // coordinator begins a noun phrase (determiner/possessive/pronoun/
+    // noun/adjective) rather than a verb.
+    size_t before = verbs_before[i] - verbs_before[clause_begin];
+    size_t after = total_verbs - verbs_before[i + 1];
+    if (before == 0 || after == 0) continue;
+    if (i + 1 >= n) continue;
+    pos::PosTag next = tags[i + 1];
+    bool starts_np = next == pos::PosTag::kDT || next == pos::PosTag::kPRPS ||
+                     next == pos::PosTag::kPRP || pos::IsNounTag(next) ||
+                     next == pos::PosTag::kEX ||
+                     pos::IsAdjectiveTag(next);
+    if (!starts_np) continue;
+    out.push_back(text::SentenceSpan{span.begin_token + clause_begin,
+                                     span.begin_token + i});
+    clause_begin = i;  // the coordinator leads the next clause (kO chunk)
+  }
+  out.push_back(
+      text::SentenceSpan{span.begin_token + clause_begin, span.end_token});
+  return out;
+}
+
+}  // namespace wf::parse

@@ -1,0 +1,27 @@
+#ifndef WF_PARSE_CLAUSE_SPLITTER_H_
+#define WF_PARSE_CLAUSE_SPLITTER_H_
+
+#include <vector>
+
+#include "pos/tagset.h"
+#include "text/token.h"
+
+namespace wf::parse {
+
+// Splits a sentence into coordinated clauses so each gets its own clause
+// analysis: "The camera takes excellent pictures but the battery is
+// terrible" analyzes as two independent predicates. A split happens at a
+// coordinating conjunction (or semicolon) only when a verb exists on both
+// sides — noun coordination ("picture and sound") and predicate-part
+// coordination ("implemented and functional") stay intact.
+//
+// `tags` is aligned with the sentence (tags[i] corresponds to
+// tokens[span.begin_token + i]). Returned spans are absolute, contiguous,
+// and cover the input span.
+std::vector<text::SentenceSpan> SplitClauses(
+    const text::TokenStream& tokens, const text::SentenceSpan& span,
+    const std::vector<pos::PosTag>& tags);
+
+}  // namespace wf::parse
+
+#endif  // WF_PARSE_CLAUSE_SPLITTER_H_

@@ -1,0 +1,166 @@
+#include "parse/sentence_structure.h"
+
+#include "common/string_util.h"
+#include "parse/clause_splitter.h"
+#include "text/inflection.h"
+
+namespace wf::parse {
+namespace {
+
+using ::wf::common::ToLower;
+using ::wf::pos::IsVerbTag;
+using ::wf::pos::PosTag;
+
+// The head verb of a VP chunk: the last verb-tagged token.
+int HeadVerbToken(const text::TokenStream& tokens, const Chunk& vp,
+                  const SentenceParse& parse) {
+  (void)tokens;
+  int head = -1;
+  for (size_t i = vp.begin; i < vp.end; ++i) {
+    if (IsVerbTag(parse.TagAt(i))) head = static_cast<int>(i);
+  }
+  return head;
+}
+
+}  // namespace
+
+std::vector<SentenceParse> SentenceAnalyzer::AnalyzeClauses(
+    const text::TokenStream& tokens, const text::SentenceSpan& span,
+    const std::vector<pos::PosTag>& tags) const {
+  std::vector<SentenceParse> out;
+  for (const text::SentenceSpan& clause :
+       SplitClauses(tokens, span, tags)) {
+    std::vector<pos::PosTag> clause_tags(
+        tags.begin() +
+            static_cast<long>(clause.begin_token - span.begin_token),
+        tags.begin() +
+            static_cast<long>(clause.end_token - span.begin_token));
+    out.push_back(Analyze(tokens, clause, clause_tags));
+  }
+  return out;
+}
+
+bool SentenceAnalyzer::IsCopula(const std::string& lemma) {
+  return lemma == "be" || lemma == "seem" || lemma == "look" ||
+         lemma == "feel" || lemma == "sound" || lemma == "appear" ||
+         lemma == "remain" || lemma == "stay" || lemma == "become" ||
+         lemma == "get" || lemma == "taste" || lemma == "smell";
+}
+
+SentenceParse SentenceAnalyzer::Analyze(
+    const text::TokenStream& tokens, const text::SentenceSpan& span,
+    const std::vector<pos::PosTag>& tags) const {
+  SentenceParse parse;
+  parse.span = span;
+  parse.tags = tags;
+  Chunker chunker;
+  parse.chunks = chunker.ChunkSentence(tokens, span, tags);
+
+  // Predicate: first VP preceded by an NP; else first VP at all.
+  int first_vp = -1;
+  for (size_t c = 0; c < parse.chunks.size(); ++c) {
+    if (parse.chunks[c].type != ChunkType::kVP) continue;
+    if (first_vp < 0) first_vp = static_cast<int>(c);
+    bool np_before = false;
+    for (size_t b = 0; b < c; ++b) {
+      if (parse.chunks[b].type == ChunkType::kNP) np_before = true;
+    }
+    if (np_before) {
+      parse.predicate_chunk = static_cast<int>(c);
+      break;
+    }
+  }
+  if (parse.predicate_chunk < 0) parse.predicate_chunk = first_vp;
+  if (parse.predicate_chunk < 0) return parse;  // verbless sentence
+
+  const Chunk& vp = parse.chunks[parse.predicate_chunk];
+  int head = HeadVerbToken(tokens, vp, parse);
+  if (head >= 0) {
+    parse.predicate_lemma =
+        text::VerbLemma(ToLower(tokens[static_cast<size_t>(head)].text));
+  }
+
+  // Negation inside the VP.
+  for (size_t i = vp.begin; i < vp.end; ++i) {
+    if (text::IsNegationWord(tokens[i].text)) {
+      parse.vp_negated = true;
+      break;
+    }
+  }
+
+  // Leading PPs ("Unlike the T series CLIEs, ...", "As with every Sony
+  // PDA, ...") — needed so subjects inside them can receive contrastive
+  // sentiment. An NP right after a leading PP belongs to that PP.
+  {
+    int pending_pp = -1;
+    for (int c = 0; c < parse.predicate_chunk; ++c) {
+      const Chunk& ch = parse.chunks[c];
+      if (ch.type == ChunkType::kPP) {
+        parse.pps.push_back(PpAttachment{ToLower(tokens[ch.begin].text), -1});
+        pending_pp = static_cast<int>(parse.pps.size()) - 1;
+      } else if (ch.type == ChunkType::kNP) {
+        if (pending_pp >= 0) {
+          parse.pps[pending_pp].np_chunk = c;
+          pending_pp = -1;
+        }
+      } else if (ch.type == ChunkType::kO) {
+        // Commas end a leading PP attachment window.
+        pending_pp = -1;
+      }
+    }
+  }
+
+  // SP: nearest NP before the predicate that is not the object of a PP.
+  for (int c = parse.predicate_chunk - 1; c >= 0; --c) {
+    if (parse.chunks[c].type != ChunkType::kNP) continue;
+    bool owned_by_pp = false;
+    for (const PpAttachment& pp : parse.pps) {
+      if (pp.np_chunk == c) owned_by_pp = true;
+    }
+    if (owned_by_pp) continue;
+    parse.subject_chunk = c;
+    break;
+  }
+
+  // OP / CP / PPs after the predicate. An NP right after a PP chunk is the
+  // PP's object, not the clause object.
+  bool copula = IsCopula(parse.predicate_lemma);
+  int pending_pp = -1;
+  for (size_t c = static_cast<size_t>(parse.predicate_chunk) + 1;
+       c < parse.chunks.size(); ++c) {
+    const Chunk& ch = parse.chunks[c];
+    switch (ch.type) {
+      case ChunkType::kPP:
+        parse.pps.push_back(
+            PpAttachment{ToLower(tokens[ch.begin].text), -1});
+        pending_pp = static_cast<int>(parse.pps.size()) - 1;
+        break;
+      case ChunkType::kNP:
+        if (pending_pp >= 0) {
+          parse.pps[pending_pp].np_chunk = static_cast<int>(c);
+          pending_pp = -1;
+        } else if (copula && parse.complement_chunk < 0) {
+          // Post-copula NP is a complement ("X is a great camera").
+          parse.complement_chunk = static_cast<int>(c);
+        } else if (parse.object_chunk < 0) {
+          parse.object_chunk = static_cast<int>(c);
+        }
+        break;
+      case ChunkType::kADJP:
+        if (parse.complement_chunk < 0 && pending_pp < 0) {
+          parse.complement_chunk = static_cast<int>(c);
+        }
+        pending_pp = -1;
+        break;
+      case ChunkType::kVP:
+        // Secondary clause; stop scanning to keep the analysis local to the
+        // main clause ("..., which is a welcome change" keeps its own VP).
+        return parse;
+      default:
+        break;
+    }
+  }
+  return parse;
+}
+
+}  // namespace wf::parse

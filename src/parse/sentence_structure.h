@@ -1,0 +1,74 @@
+#ifndef WF_PARSE_SENTENCE_STRUCTURE_H_
+#define WF_PARSE_SENTENCE_STRUCTURE_H_
+
+#include <string>
+#include <vector>
+
+#include "parse/chunk.h"
+#include "parse/chunker.h"
+#include "pos/tagset.h"
+#include "text/token.h"
+
+namespace wf::parse {
+
+// A preposition and its object NP, e.g. "by [the picture quality]".
+struct PpAttachment {
+  std::string preposition;  // lowercase
+  int np_chunk = -1;        // index into SentenceParse::chunks
+};
+
+// The shallow clause analysis the sentiment analyzer consumes: the main
+// predicate and the sentence components (SP, OP, CP, PP) that sentiment
+// patterns may name as source or target.
+struct SentenceParse {
+  text::SentenceSpan span;
+  std::vector<Chunk> chunks;
+  std::vector<pos::PosTag> tags;  // aligned with the sentence's tokens
+
+  int predicate_chunk = -1;       // main VP, -1 when the sentence has none
+  std::string predicate_lemma;    // base form of the head verb ("impress")
+  int subject_chunk = -1;         // SP: subject NP
+  int object_chunk = -1;          // OP: object NP (not inside a PP)
+  int complement_chunk = -1;      // CP: predicative ADJP or post-copula NP
+  std::vector<PpAttachment> pps;  // PPs following the predicate
+  bool vp_negated = false;        // negative adverb inside the main VP
+
+  // Tag for the token at absolute index `abs` (must lie in `span`).
+  pos::PosTag TagAt(size_t abs) const {
+    return tags[abs - span.begin_token];
+  }
+};
+
+// Builds SentenceParse from chunker output (the second half of the
+// Talent-parser replacement). Deterministic heuristics:
+//   - predicate: the first VP preceded by an NP; else the first VP
+//   - SP: the NP nearest before the predicate
+//   - OP: the first NP after the predicate not owned by a PP
+//   - CP: the first ADJP after the predicate, or the post-copula NP when the
+//     head verb is a copula ("The colors are vibrant", "X is a great camera")
+//   - PPs: every PP chunk after the predicate with its object NP
+//   - negation: any negative adverb token inside the main VP
+class SentenceAnalyzer {
+ public:
+  SentenceAnalyzer() = default;
+
+  SentenceParse Analyze(const text::TokenStream& tokens,
+                        const text::SentenceSpan& span,
+                        const std::vector<pos::PosTag>& tags) const;
+
+  // Clause-aware analysis: splits the sentence at clause-level coordinators
+  // (see clause_splitter.h) and analyzes each clause independently, so
+  // "X works but Y is terrible" yields two predicates. Callers pick the
+  // clause whose span contains their subject.
+  std::vector<SentenceParse> AnalyzeClauses(
+      const text::TokenStream& tokens, const text::SentenceSpan& span,
+      const std::vector<pos::PosTag>& tags) const;
+
+  // True for verbs that link subject and complement ("be", "seem", "look",
+  // "feel", "sound", "appear", "remain", "stay", "become", "get").
+  static bool IsCopula(const std::string& lemma);
+};
+
+}  // namespace wf::parse
+
+#endif  // WF_PARSE_SENTENCE_STRUCTURE_H_

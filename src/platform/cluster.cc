@@ -1,0 +1,123 @@
+#include "platform/cluster.h"
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace wf::platform {
+
+using ::wf::common::Status;
+
+void ClusterNode::MineAndIndex() {
+  pipeline_.ProcessStore(store_);
+  store_.ForEach([this](const Entity& e) { index_.IndexEntity(e); });
+}
+
+std::string ClusterNode::ServiceName(const std::string& suffix) const {
+  return common::StrFormat("node/%zu/%s", id_, suffix.c_str());
+}
+
+common::Status ClusterNode::RegisterServices(VinciBus* bus) {
+  WF_RETURN_IF_ERROR(bus->RegisterService(
+      ServiceName("search"), [this](const std::string& request) {
+        std::string term = GetMessageField(request, "term");
+        std::string mode = GetMessageField(request, "mode");
+        std::vector<std::string> docs;
+        if (mode == "phrase") {
+          std::vector<std::string> words = common::Split(term, " ");
+          docs = index_.Phrase(words);
+        } else if (mode == "prefix") {
+          docs = index_.Prefix(term);
+        } else {
+          docs = index_.Term(term);
+        }
+        std::vector<std::pair<std::string, std::string>> out;
+        out.reserve(docs.size());
+        for (std::string& d : docs) out.emplace_back("doc", std::move(d));
+        return EncodeMessage(out);
+      }));
+  WF_RETURN_IF_ERROR(bus->RegisterService(
+      ServiceName("stats"), [this](const std::string&) {
+        return EncodeMessage(
+            {{"entities", common::StrFormat("%zu", store_.size())},
+             {"vocabulary",
+              common::StrFormat("%zu", index_.vocabulary_size())}});
+      }));
+  WF_RETURN_IF_ERROR(bus->RegisterService(
+      ServiceName("fetch"), [this](const std::string& request) {
+        std::string id = GetMessageField(request, "id");
+        auto entity = store_.Get(id);
+        if (!entity.ok()) {
+          return EncodeMessage({{"error", entity.status().ToString()}});
+        }
+        return EncodeMessage({{"entity", entity->Serialize()}});
+      }));
+  return Status::Ok();
+}
+
+Cluster::Cluster(size_t num_nodes) {
+  WF_CHECK(num_nodes > 0);
+  nodes_.reserve(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<ClusterNode>(i));
+    WF_CHECK_OK(nodes_.back()->RegisterServices(&bus_));
+  }
+}
+
+common::Status Cluster::Ingest(Entity entity) {
+  size_t shard = Route(entity.id());
+  return nodes_[shard]->store().Put(std::move(entity));
+}
+
+void Cluster::DeployMiner(
+    const std::function<std::unique_ptr<EntityMiner>()>& factory) {
+  for (auto& node : nodes_) {
+    node->pipeline().AddMiner(factory());
+  }
+}
+
+void Cluster::MineAndIndexAll() {
+  std::vector<std::thread> workers;
+  workers.reserve(nodes_.size());
+  for (auto& node : nodes_) {
+    workers.emplace_back([&node] { node->MineAndIndex(); });
+  }
+  for (std::thread& t : workers) t.join();
+}
+
+std::vector<std::string> Cluster::Search(const std::string& term) const {
+  std::string request = EncodeMessage({{"term", term}});
+  std::set<std::string> docs;
+  for (const auto& [service, response] : bus_.CallAll("node/", request)) {
+    if (!common::EndsWith(service, "/search")) continue;
+    for (std::string& d : GetMessageFields(response, "doc")) {
+      docs.insert(std::move(d));
+    }
+  }
+  return std::vector<std::string>(docs.begin(), docs.end());
+}
+
+std::vector<std::string> Cluster::SearchPhrase(
+    const std::vector<std::string>& words) const {
+  std::string request = EncodeMessage(
+      {{"term", common::Join(words, " ")}, {"mode", "phrase"}});
+  std::set<std::string> docs;
+  for (const auto& [service, response] : bus_.CallAll("node/", request)) {
+    if (!common::EndsWith(service, "/search")) continue;
+    for (std::string& d : GetMessageFields(response, "doc")) {
+      docs.insert(std::move(d));
+    }
+  }
+  return std::vector<std::string>(docs.begin(), docs.end());
+}
+
+size_t Cluster::TotalEntities() const {
+  size_t total = 0;
+  for (const auto& node : nodes_) total += node->store().size();
+  return total;
+}
+
+}  // namespace wf::platform

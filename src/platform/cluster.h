@@ -1,0 +1,95 @@
+#ifndef WF_PLATFORM_CLUSTER_H_
+#define WF_PLATFORM_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "platform/data_store.h"
+#include "platform/indexer.h"
+#include "platform/miner_framework.h"
+#include "platform/vinci.h"
+
+namespace wf::platform {
+
+// One node of the simulated shared-nothing cluster: its own data-store
+// shard, index shard, and miner pipeline. Other components reach it only
+// through its Vinci services:
+//   node/<id>/search   request: term=<t> [mode=term|concept|phrase]
+//                      response: doc=<id> per hit
+//   node/<id>/stats    response: entities=<n>, vocabulary=<n>
+//   node/<id>/fetch    request: id=<doc>  response: serialized entity
+class ClusterNode {
+ public:
+  explicit ClusterNode(size_t id) : id_(id) {}
+  ClusterNode(const ClusterNode&) = delete;
+  ClusterNode& operator=(const ClusterNode&) = delete;
+
+  size_t id() const { return id_; }
+  DataStore& store() { return store_; }
+  const DataStore& store() const { return store_; }
+  InvertedIndex& index() { return index_; }
+  const InvertedIndex& index() const { return index_; }
+  MinerPipeline& pipeline() { return pipeline_; }
+
+  // Runs the miner pipeline over the shard, then (re)indexes every entity.
+  void MineAndIndex();
+
+  // Registers this node's services on the bus.
+  common::Status RegisterServices(VinciBus* bus);
+
+  std::string ServiceName(const std::string& suffix) const;
+
+ private:
+  size_t id_;
+  DataStore store_;
+  InvertedIndex index_;
+  MinerPipeline pipeline_;
+};
+
+// The loosely coupled cluster (§2): N nodes behind a shared Vinci bus.
+// Entities are hash-partitioned by id; miners run per shard in parallel;
+// queries scatter over node services and gather the results.
+class Cluster {
+ public:
+  explicit Cluster(size_t num_nodes);
+
+  size_t node_count() const { return nodes_.size(); }
+  ClusterNode& node(size_t i) { return *nodes_[i]; }
+  VinciBus& bus() { return bus_; }
+  const VinciBus& bus() const { return bus_; }
+
+  // Shard owning an entity id (stable FNV hash).
+  size_t Route(const std::string& entity_id) const {
+    return common::Fnv1a64(entity_id) % nodes_.size();
+  }
+
+  // Stores an entity on its owning node.
+  common::Status Ingest(Entity entity);
+
+  // Adds a fresh instance of a miner to every node's pipeline (each shard
+  // needs its own since pipelines run in parallel). The factory is invoked
+  // once per node.
+  void DeployMiner(
+      const std::function<std::unique_ptr<EntityMiner>()>& factory);
+
+  // Runs every node's MineAndIndex() concurrently (one thread per node).
+  void MineAndIndexAll();
+
+  // Scatter/gather term or concept search over all node services.
+  std::vector<std::string> Search(const std::string& term) const;
+  std::vector<std::string> SearchPhrase(
+      const std::vector<std::string>& words) const;
+
+  size_t TotalEntities() const;
+
+ private:
+  VinciBus bus_;
+  std::vector<std::unique_ptr<ClusterNode>> nodes_;
+};
+
+}  // namespace wf::platform
+
+#endif  // WF_PLATFORM_CLUSTER_H_

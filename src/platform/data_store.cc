@@ -1,0 +1,113 @@
+#include "platform/data_store.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace wf::platform {
+
+using ::wf::common::Status;
+
+common::Status DataStore::Put(Entity entity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string id = entity.id();
+  auto [it, inserted] = entities_.emplace(id, std::move(entity));
+  if (!inserted) return Status::AlreadyExists("entity exists: " + id);
+  return Status::Ok();
+}
+
+void DataStore::Upsert(Entity entity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entities_[entity.id()] = std::move(entity);
+}
+
+common::Result<Entity> DataStore::Get(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entities_.find(id);
+  if (it == entities_.end()) return Status::NotFound("no entity: " + id);
+  return it->second;
+}
+
+bool DataStore::Contains(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entities_.count(id) > 0;
+}
+
+common::Status DataStore::Delete(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entities_.erase(id) == 0) return Status::NotFound("no entity: " + id);
+  return Status::Ok();
+}
+
+common::Status DataStore::Update(const std::string& id,
+                                 const std::function<void(Entity&)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entities_.find(id);
+  if (it == entities_.end()) return Status::NotFound("no entity: " + id);
+  fn(it->second);
+  return Status::Ok();
+}
+
+void DataStore::ForEach(const std::function<void(const Entity&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, entity] : entities_) fn(entity);
+}
+
+void DataStore::ForEachMutable(const std::function<void(Entity&)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, entity] : entities_) fn(entity);
+}
+
+size_t DataStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entities_.size();
+}
+
+std::vector<std::string> DataStore::Ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entities_.size());
+  for (const auto& [id, entity] : entities_) out.push_back(id);
+  return out;
+}
+
+common::Status DataStore::Save(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  for (const auto& [id, entity] : entities_) {
+    std::string record = entity.Serialize();
+    out << record.size() << "\n" << record;
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::Ok();
+}
+
+common::Status DataStore::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::unordered_map<std::string, Entity> loaded;
+  std::string size_line;
+  while (std::getline(in, size_line)) {
+    if (size_line.empty()) continue;
+    size_t n = 0;
+    try {
+      n = std::stoull(size_line);
+    } catch (...) {
+      return Status::Corruption("bad record size in " + path);
+    }
+    std::string record(n, '\0');
+    in.read(record.data(), static_cast<std::streamsize>(n));
+    if (static_cast<size_t>(in.gcount()) != n) {
+      return Status::Corruption("truncated record in " + path);
+    }
+    auto entity = Entity::Deserialize(record);
+    if (!entity.ok()) return entity.status();
+    std::string id = entity->id();
+    loaded[id] = std::move(entity).value();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  entities_ = std::move(loaded);
+  return Status::Ok();
+}
+
+}  // namespace wf::platform

@@ -1,0 +1,61 @@
+#ifndef WF_PLATFORM_DATA_STORE_H_
+#define WF_PLATFORM_DATA_STORE_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "platform/entity.h"
+
+namespace wf::platform {
+
+// One node's entity store (§2: "The data store stores, modifies, and
+// retrieves entities"). Thread-safe. Persistence is a line-oriented
+// snapshot file with length-prefixed entity records, so a cluster can be
+// saved and re-loaded between runs.
+class DataStore {
+ public:
+  DataStore() = default;
+  DataStore(const DataStore&) = delete;
+  DataStore& operator=(const DataStore&) = delete;
+
+  // Inserts a new entity; AlreadyExists if the id is taken.
+  common::Status Put(Entity entity);
+  // Inserts or replaces.
+  void Upsert(Entity entity);
+  // NotFound when absent.
+  common::Result<Entity> Get(const std::string& id) const;
+  bool Contains(const std::string& id) const;
+  common::Status Delete(const std::string& id);
+
+  // Applies `fn` to the stored entity under the store lock (the way miners
+  // augment entities in place). NotFound when absent.
+  common::Status Update(const std::string& id,
+                        const std::function<void(Entity&)>& fn);
+
+  // Applies `fn` to every entity (under the lock; `fn` must not call back
+  // into the store). Iteration order is unspecified.
+  void ForEach(const std::function<void(const Entity&)>& fn) const;
+  // Mutable sweep, for corpus-level miners.
+  void ForEachMutable(const std::function<void(Entity&)>& fn);
+
+  size_t size() const;
+
+  // All ids, unsorted.
+  std::vector<std::string> Ids() const;
+
+  // Snapshot persistence.
+  common::Status Save(const std::string& path) const;
+  common::Status Load(const std::string& path);
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entity> entities_;
+};
+
+}  // namespace wf::platform
+
+#endif  // WF_PLATFORM_DATA_STORE_H_

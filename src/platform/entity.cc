@@ -1,0 +1,136 @@
+#include "platform/entity.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace wf::platform {
+
+namespace {
+
+using ::wf::common::Status;
+
+// Escapes newlines and backslashes so every record stays line-oriented.
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string Unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      switch (s[i]) {
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        default:
+          out += s[i];
+      }
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::string& Entity::GetField(const std::string& name) const {
+  static const std::string* kEmpty = new std::string();
+  auto it = fields_.find(name);
+  return it == fields_.end() ? *kEmpty : it->second;
+}
+
+const std::vector<AnnotationSpan>* Entity::GetAnnotations(
+    const std::string& layer) const {
+  auto it = annotations_.find(layer);
+  return it == annotations_.end() ? nullptr : &it->second;
+}
+
+std::string Entity::Serialize() const {
+  std::ostringstream out;
+  out << "id\t" << Escape(id_) << "\n";
+  out << "source\t" << Escape(source_) << "\n";
+  for (const auto& [name, value] : fields_) {
+    out << "field\t" << Escape(name) << "\t" << Escape(value) << "\n";
+  }
+  for (const auto& [layer, spans] : annotations_) {
+    for (const AnnotationSpan& span : spans) {
+      out << "ann\t" << Escape(layer) << "\t" << span.begin << "\t"
+          << span.end;
+      for (const auto& [k, v] : span.attrs) {
+        out << "\t" << Escape(k) << "=" << Escape(v);
+      }
+      out << "\n";
+    }
+  }
+  for (const std::string& token : concept_tokens_) {
+    out << "concept\t" << Escape(token) << "\n";
+  }
+  return out.str();
+}
+
+common::Result<Entity> Entity::Deserialize(const std::string& data) {
+  Entity e;
+  std::istringstream in(data);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::vector<std::string> parts = common::SplitExact(line, "\t");
+    const std::string& kind = parts[0];
+    auto bad = [&](const char* why) {
+      return Status::Corruption(common::StrFormat(
+          "entity record line %d: %s", lineno, why));
+    };
+    if (kind == "id" && parts.size() == 2) {
+      e.id_ = Unescape(parts[1]);
+    } else if (kind == "source" && parts.size() == 2) {
+      e.source_ = Unescape(parts[1]);
+    } else if (kind == "field" && parts.size() == 3) {
+      e.fields_[Unescape(parts[1])] = Unescape(parts[2]);
+    } else if (kind == "ann" && parts.size() >= 4) {
+      AnnotationSpan span;
+      span.begin = std::stoull(parts[2]);
+      span.end = std::stoull(parts[3]);
+      for (size_t i = 4; i < parts.size(); ++i) {
+        size_t eq = parts[i].find('=');
+        if (eq == std::string::npos) return bad("attr without '='");
+        span.attrs[Unescape(parts[i].substr(0, eq))] =
+            Unescape(parts[i].substr(eq + 1));
+      }
+      e.annotations_[Unescape(parts[1])].push_back(std::move(span));
+    } else if (kind == "concept" && parts.size() == 2) {
+      e.concept_tokens_.push_back(Unescape(parts[1]));
+    } else {
+      return bad("unknown record kind");
+    }
+  }
+  if (e.id_.empty()) return Status::Corruption("entity without id");
+  return e;
+}
+
+}  // namespace wf::platform

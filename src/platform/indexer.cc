@@ -1,0 +1,411 @@
+#include "platform/indexer.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <regex>
+#include <set>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace wf::platform {
+
+using ::wf::common::ToLower;
+
+uint32_t InvertedIndex::InternDoc(const std::string& doc_id) {
+  auto it = doc_ids_.find(doc_id);
+  if (it != doc_ids_.end()) return it->second;
+  uint32_t ord = static_cast<uint32_t>(docs_.size());
+  docs_.push_back(doc_id);
+  doc_ids_.emplace(doc_id, ord);
+  return ord;
+}
+
+void InvertedIndex::IndexEntity(const Entity& entity) {
+  text::Tokenizer tokenizer;
+  text::TokenStream tokens = tokenizer.Tokenize(entity.body());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t ord = InternDoc(entity.id());
+
+  // Drop any previous postings for this doc (re-index).
+  for (auto& [term, list] : postings_) {
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [ord](const Posting& p) { return p.doc == ord; }),
+               list.end());
+  }
+
+  std::unordered_map<std::string, Posting*> current;
+  for (uint32_t pos = 0; pos < tokens.size(); ++pos) {
+    if (tokens[pos].kind != text::TokenKind::kWord &&
+        tokens[pos].kind != text::TokenKind::kNumber) {
+      continue;
+    }
+    std::string term = ToLower(tokens[pos].text);
+    Posting*& p = current[term];
+    if (p == nullptr) {
+      postings_[term].push_back(Posting{ord, {}});
+      p = &postings_[term].back();
+    }
+    p->positions.push_back(pos);
+  }
+  for (const std::string& concept_token : entity.concept_tokens()) {
+    std::string term = ToLower(concept_token);
+    auto& list = postings_[term];
+    bool present = false;
+    for (const Posting& p : list) {
+      if (p.doc == ord) present = true;
+    }
+    if (!present) list.push_back(Posting{ord, {}});
+  }
+
+  // Numeric/date fields feed the range index (old values dropped on
+  // re-index).
+  for (auto& [field, values] : fields_) {
+    values.erase(std::remove_if(values.begin(), values.end(),
+                                [ord](const auto& pair) {
+                                  return pair.second == ord;
+                                }),
+                 values.end());
+  }
+  for (const auto& [field, value] : entity.fields()) {
+    if (value.empty()) continue;
+    if (field == "date") {
+      // "YYYY-MM" or "YYYY-MM-DD" -> yyyymmdd (day defaults to 01).
+      std::vector<std::string> parts = common::Split(value, "-");
+      if (parts.size() >= 2) {
+        char* end = nullptr;
+        double y = std::strtod(parts[0].c_str(), &end);
+        double m = std::strtod(parts[1].c_str(), &end);
+        double d = parts.size() >= 3
+                       ? std::strtod(parts[2].c_str(), &end)
+                       : 1.0;
+        fields_[field].emplace_back(y * 10000 + m * 100 + d, ord);
+        continue;
+      }
+    }
+    char* end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (end != nullptr && *end == '\0' && end != value.c_str()) {
+      fields_[field].emplace_back(v, ord);
+    }
+  }
+}
+
+void InvertedIndex::AddFieldValue(const std::string& doc_id,
+                                  const std::string& field, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fields_[field].emplace_back(value, InternDoc(doc_id));
+}
+
+std::vector<std::string> InvertedIndex::Range(const std::string& field,
+                                              double lo, double hi) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint32_t> ords;
+  auto it = fields_.find(field);
+  if (it == fields_.end()) return {};
+  for (const auto& [value, ord] : it->second) {
+    if (value >= lo && value <= hi) ords.push_back(ord);
+  }
+  return ToDocIds(std::move(ords));
+}
+
+void InvertedIndex::AddConceptToken(const std::string& doc_id,
+                                    const std::string& token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t ord = InternDoc(doc_id);
+  auto& list = postings_[ToLower(token)];
+  for (const Posting& p : list) {
+    if (p.doc == ord) return;
+  }
+  list.push_back(Posting{ord, {}});
+}
+
+const std::vector<InvertedIndex::Posting>* InvertedIndex::Find(
+    const std::string& term) const {
+  auto it = postings_.find(ToLower(term));
+  return it == postings_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> InvertedIndex::ToDocIds(
+    std::vector<uint32_t> ords) const {
+  std::sort(ords.begin(), ords.end());
+  ords.erase(std::unique(ords.begin(), ords.end()), ords.end());
+  std::vector<std::string> out;
+  out.reserve(ords.size());
+  for (uint32_t o : ords) out.push_back(docs_[o]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> InvertedIndex::Term(const std::string& term) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto* list = Find(term);
+  if (list == nullptr) return {};
+  std::vector<uint32_t> ords;
+  ords.reserve(list->size());
+  for (const Posting& p : *list) ords.push_back(p.doc);
+  return ToDocIds(std::move(ords));
+}
+
+std::vector<std::string> InvertedIndex::And(
+    const std::vector<std::string>& terms) const {
+  if (terms.empty()) return {};
+  std::vector<std::string> result = Term(terms[0]);
+  for (size_t i = 1; i < terms.size() && !result.empty(); ++i) {
+    std::vector<std::string> next = Term(terms[i]);
+    std::vector<std::string> merged;
+    std::set_intersection(result.begin(), result.end(), next.begin(),
+                          next.end(), std::back_inserter(merged));
+    result = std::move(merged);
+  }
+  return result;
+}
+
+std::vector<std::string> InvertedIndex::Or(
+    const std::vector<std::string>& terms) const {
+  std::set<std::string> acc;
+  for (const std::string& t : terms) {
+    for (std::string& d : Term(t)) acc.insert(std::move(d));
+  }
+  return std::vector<std::string>(acc.begin(), acc.end());
+}
+
+std::vector<std::string> InvertedIndex::Not(const std::string& term,
+                                            const std::string& exclude) const {
+  std::vector<std::string> base = Term(term);
+  std::vector<std::string> minus = Term(exclude);
+  std::vector<std::string> out;
+  std::set_difference(base.begin(), base.end(), minus.begin(), minus.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+std::vector<std::string> InvertedIndex::Phrase(
+    const std::vector<std::string>& words) const {
+  if (words.empty()) return {};
+  if (words.size() == 1) return Term(words[0]);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto* first = Find(words[0]);
+  if (first == nullptr) return {};
+
+  std::vector<uint32_t> hits;
+  for (const Posting& p0 : *first) {
+    // For each start position, check the continuation in every next term.
+    for (uint32_t pos : p0.positions) {
+      bool all = true;
+      for (size_t w = 1; w < words.size() && all; ++w) {
+        const auto* list = Find(words[w]);
+        all = false;
+        if (list == nullptr) break;
+        for (const Posting& pw : *list) {
+          if (pw.doc != p0.doc) continue;
+          all = std::binary_search(pw.positions.begin(), pw.positions.end(),
+                                   pos + static_cast<uint32_t>(w));
+          break;
+        }
+      }
+      if (all) {
+        hits.push_back(p0.doc);
+        break;
+      }
+    }
+  }
+  return ToDocIds(std::move(hits));
+}
+
+std::vector<std::string> InvertedIndex::Prefix(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string lo = ToLower(prefix);
+  std::vector<uint32_t> ords;
+  for (auto it = postings_.lower_bound(lo);
+       it != postings_.end() && common::StartsWith(it->first, lo); ++it) {
+    for (const Posting& p : it->second) ords.push_back(p.doc);
+  }
+  return ToDocIds(std::move(ords));
+}
+
+std::vector<std::string> InvertedIndex::MatchRegex(
+    const std::string& pattern) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::regex re;
+  try {
+    re = std::regex(pattern, std::regex::ECMAScript | std::regex::icase);
+  } catch (const std::regex_error&) {
+    return {};
+  }
+  std::vector<uint32_t> ords;
+  for (const auto& [term, list] : postings_) {
+    if (!std::regex_match(term, re)) continue;
+    for (const Posting& p : list) ords.push_back(p.doc);
+  }
+  return ToDocIds(std::move(ords));
+}
+
+size_t InvertedIndex::TermFrequency(const std::string& term,
+                                    const std::string& doc_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto dit = doc_ids_.find(doc_id);
+  if (dit == doc_ids_.end()) return 0;
+  const auto* list = Find(term);
+  if (list == nullptr) return 0;
+  for (const Posting& p : *list) {
+    if (p.doc == dit->second) {
+      return p.positions.empty() ? 1 : p.positions.size();
+    }
+  }
+  return 0;
+}
+
+size_t InvertedIndex::document_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return docs_.size();
+}
+
+size_t InvertedIndex::vocabulary_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return postings_.size();
+}
+
+namespace {
+
+// Percent-escape for whitespace-delimited snapshot fields.
+std::string EscapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '%') {
+      out += common::StrFormat("%%%02x", static_cast<unsigned char>(c));
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      out += static_cast<char>(
+          std::strtol(s.substr(i + 1, 2).c_str(), nullptr, 16));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+common::Status InvertedIndex::Save(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return common::Status::IOError("cannot open for write: " + path);
+  }
+  out << "wfidx 1\n";
+  for (size_t i = 0; i < docs_.size(); ++i) {
+    out << "doc " << i << " " << EscapeField(docs_[i]) << "\n";
+  }
+  for (const auto& [term, list] : postings_) {
+    out << "term " << EscapeField(term);
+    for (const Posting& p : list) {
+      out << " " << p.doc << ":";
+      for (size_t k = 0; k < p.positions.size(); ++k) {
+        if (k > 0) out << ",";
+        out << p.positions[k];
+      }
+    }
+    out << "\n";
+  }
+  for (const auto& [field, values] : fields_) {
+    for (const auto& [value, ord] : values) {
+      out << "field " << EscapeField(field) << " " << value << " " << ord
+          << "\n";
+    }
+  }
+  if (!out) return common::Status::IOError("write failed: " + path);
+  return common::Status::Ok();
+}
+
+common::Status InvertedIndex::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return common::Status::IOError("cannot open for read: " + path);
+  std::string header;
+  if (!std::getline(in, header) || header != "wfidx 1") {
+    return common::Status::Corruption("bad index header in " + path);
+  }
+  std::vector<std::string> docs;
+  std::unordered_map<std::string, uint32_t> doc_ids;
+  std::map<std::string, std::vector<Posting>> postings;
+  std::map<std::string, std::vector<std::pair<double, uint32_t>>> fields;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> parts = common::Split(line, " ");
+    if (parts.empty()) continue;
+    if (parts[0] == "doc" && parts.size() == 3) {
+      size_t ord = std::stoull(parts[1]);
+      if (ord != docs.size()) {
+        return common::Status::Corruption("doc ordinals out of order");
+      }
+      docs.push_back(UnescapeField(parts[2]));
+      doc_ids[docs.back()] = static_cast<uint32_t>(ord);
+    } else if (parts[0] == "term" && parts.size() >= 2) {
+      std::vector<Posting>& list = postings[UnescapeField(parts[1])];
+      for (size_t i = 2; i < parts.size(); ++i) {
+        size_t colon = parts[i].find(':');
+        if (colon == std::string::npos) {
+          return common::Status::Corruption("bad posting: " + parts[i]);
+        }
+        Posting p;
+        p.doc = static_cast<uint32_t>(
+            std::stoul(parts[i].substr(0, colon)));
+        if (p.doc >= docs.size()) {
+          return common::Status::Corruption("posting names unknown doc");
+        }
+        std::string pos_list = parts[i].substr(colon + 1);
+        if (!pos_list.empty()) {
+          for (const std::string& pos : common::Split(pos_list, ",")) {
+            p.positions.push_back(
+                static_cast<uint32_t>(std::stoul(pos)));
+          }
+        }
+        list.push_back(std::move(p));
+      }
+    } else if (parts[0] == "field" && parts.size() == 4) {
+      fields[UnescapeField(parts[1])].emplace_back(
+          std::strtod(parts[2].c_str(), nullptr),
+          static_cast<uint32_t>(std::stoul(parts[3])));
+    } else {
+      return common::Status::Corruption("unknown index record: " + line);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  docs_ = std::move(docs);
+  doc_ids_ = std::move(doc_ids);
+  postings_ = std::move(postings);
+  fields_ = std::move(fields);
+  return common::Status::Ok();
+}
+
+std::vector<std::string> InvertedIndex::VocabularyWithPrefix(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string lo = ToLower(prefix);
+  std::vector<std::string> out;
+  for (auto it = postings_.lower_bound(lo);
+       it != postings_.end() && common::StartsWith(it->first, lo); ++it) {
+    if (!it->second.empty()) out.push_back(it->first);
+  }
+  return out;
+}
+
+}  // namespace wf::platform

@@ -1,0 +1,63 @@
+#include "platform/ingest.h"
+
+#include <unordered_set>
+
+namespace wf::platform {
+
+std::optional<Entity> BatchIngestor::Next() {
+  if (next_ >= docs_.size()) return std::nullopt;
+  auto& [id, body] = docs_[next_++];
+  Entity e(id, source_name_);
+  e.SetBody(std::move(body));
+  return e;
+}
+
+CrawlerSimulator::CrawlerSimulator(std::vector<std::string> seed_urls,
+                                   Fetcher fetcher, size_t max_pages)
+    : fetcher_(std::move(fetcher)), max_pages_(max_pages) {
+  for (std::string& url : seed_urls) frontier_.push_back(std::move(url));
+}
+
+std::optional<Entity> CrawlerSimulator::Next() {
+  // `visited_` keeps crawl order; the set view gives O(1) dedup per call.
+  std::unordered_set<std::string> visited_set(visited_.begin(),
+                                              visited_.end());
+  while (!frontier_.empty() && fetched_ < max_pages_) {
+    std::string url = frontier_.front();
+    frontier_.pop_front();
+    if (visited_set.count(url) > 0) continue;
+    visited_.push_back(url);
+    visited_set.insert(url);
+
+    std::optional<Page> page = fetcher_(url);
+    if (!page.has_value()) continue;  // fetch failure: move on
+    ++fetched_;
+    for (std::string& link : page->outlinks) {
+      if (visited_set.count(link) == 0) frontier_.push_back(std::move(link));
+    }
+    Entity e(url, source_name());
+    e.SetField("url", url);
+    e.SetBody(std::move(page->body));
+    return e;
+  }
+  return std::nullopt;
+}
+
+size_t IngestAll(Ingestor& ingestor, Cluster& cluster, size_t* duplicates) {
+  size_t stored = 0;
+  size_t dups = 0;
+  while (true) {
+    std::optional<Entity> entity = ingestor.Next();
+    if (!entity.has_value()) break;
+    common::Status s = cluster.Ingest(std::move(*entity));
+    if (s.ok()) {
+      ++stored;
+    } else {
+      ++dups;
+    }
+  }
+  if (duplicates != nullptr) *duplicates = dups;
+  return stored;
+}
+
+}  // namespace wf::platform

@@ -1,0 +1,80 @@
+#ifndef WF_PLATFORM_INGEST_H_
+#define WF_PLATFORM_INGEST_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "platform/cluster.h"
+#include "platform/entity.h"
+
+namespace wf::platform {
+
+// A data source feeding the platform (§2): "Acquisition of other sources
+// ... is done by a set of ingestors that handle the unique delivery method
+// and format of each source." Each ingestor yields entities until
+// exhausted.
+class Ingestor {
+ public:
+  virtual ~Ingestor() = default;
+  virtual std::string source_name() const = 0;
+  // nullopt when the source is exhausted.
+  virtual std::optional<Entity> Next() = 0;
+};
+
+// Ingestor over a pre-built batch of (id, body) documents — the adapter the
+// corpus generators and tests use. Entities get the ingestor's source name
+// and optional extra fields.
+class BatchIngestor : public Ingestor {
+ public:
+  BatchIngestor(std::string source_name,
+                std::vector<std::pair<std::string, std::string>> docs)
+      : source_name_(std::move(source_name)), docs_(std::move(docs)) {}
+
+  std::string source_name() const override { return source_name_; }
+  std::optional<Entity> Next() override;
+
+ private:
+  std::string source_name_;
+  std::vector<std::pair<std::string, std::string>> docs_;
+  size_t next_ = 0;
+};
+
+// A simulated web crawler frontier: URLs (ids) are queued, fetched in FIFO
+// order, and each "page" may enqueue further links. Simulation stands in
+// for the paper's large-scale crawler; the fetch callback supplies bodies
+// and outlinks.
+class CrawlerSimulator : public Ingestor {
+ public:
+  struct Page {
+    std::string body;
+    std::vector<std::string> outlinks;
+  };
+  using Fetcher = std::function<std::optional<Page>(const std::string& url)>;
+
+  CrawlerSimulator(std::vector<std::string> seed_urls, Fetcher fetcher,
+                   size_t max_pages = 10000);
+
+  std::string source_name() const override { return "webcrawl"; }
+  std::optional<Entity> Next() override;
+
+  size_t fetched() const { return fetched_; }
+
+ private:
+  Fetcher fetcher_;
+  std::deque<std::string> frontier_;
+  std::vector<std::string> visited_;  // insertion order
+  size_t max_pages_;
+  size_t fetched_ = 0;
+};
+
+// Drains an ingestor into the cluster. Returns the number of entities
+// stored; duplicate ids are skipped (counted in `*duplicates` if given).
+size_t IngestAll(Ingestor& ingestor, Cluster& cluster,
+                 size_t* duplicates = nullptr);
+
+}  // namespace wf::platform
+
+#endif  // WF_PLATFORM_INGEST_H_

@@ -1,0 +1,71 @@
+#include "platform/miner_framework.h"
+
+#include "common/string_util.h"
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+
+namespace wf::platform {
+
+using ::wf::common::Status;
+
+void MinerPipeline::AddMiner(std::unique_ptr<EntityMiner> miner) {
+  stats_.push_back(MinerStats{miner->name(), 0, 0,
+                              std::chrono::microseconds{0}});
+  miners_.push_back(std::move(miner));
+}
+
+common::Status MinerPipeline::ProcessEntity(Entity& entity) {
+  for (size_t i = 0; i < miners_.size(); ++i) {
+    auto start = std::chrono::steady_clock::now();
+    Status s = miners_[i]->Process(entity);
+    auto end = std::chrono::steady_clock::now();
+    stats_[i].total_time +=
+        std::chrono::duration_cast<std::chrono::microseconds>(end - start);
+    ++stats_[i].entities;
+    if (!s.ok()) {
+      ++stats_[i].failures;
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+void MinerPipeline::ProcessStore(DataStore& store) {
+  store.ForEachMutable([this](Entity& entity) {
+    (void)ProcessEntity(entity);
+  });
+}
+
+std::vector<MinerPipeline::MinerStats> MinerPipeline::Stats() const {
+  return stats_;
+}
+
+common::Status SentenceBoundaryMiner::Process(Entity& entity) {
+  const std::string& body = entity.body();
+  if (body.empty()) return Status::Ok();
+  text::Tokenizer tokenizer;
+  text::TokenStream tokens = tokenizer.Tokenize(body);
+  text::SentenceSplitter splitter;
+  for (const text::SentenceSpan& span : splitter.Split(tokens)) {
+    AnnotationSpan ann;
+    ann.begin = tokens[span.begin_token].begin;
+    ann.end = tokens[span.end_token - 1].end;
+    entity.AddAnnotation("sentences", std::move(ann));
+  }
+  return Status::Ok();
+}
+
+common::Status TokenStatsMiner::Process(Entity& entity) {
+  const std::string& body = entity.body();
+  text::Tokenizer tokenizer;
+  text::TokenStream tokens = tokenizer.Tokenize(body);
+  size_t words = 0;
+  for (const text::Token& t : tokens) {
+    if (t.kind == text::TokenKind::kWord) ++words;
+  }
+  entity.SetField("token_count", common::StrFormat("%zu", tokens.size()));
+  entity.SetField("word_count", common::StrFormat("%zu", words));
+  return Status::Ok();
+}
+
+}  // namespace wf::platform

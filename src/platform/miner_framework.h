@@ -1,0 +1,85 @@
+#ifndef WF_PLATFORM_MINER_FRAMEWORK_H_
+#define WF_PLATFORM_MINER_FRAMEWORK_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "platform/data_store.h"
+#include "platform/entity.h"
+
+namespace wf::platform {
+
+// Entity-level miner (§2): processes one entity at a time, with no
+// information from neighboring entities, typically augmenting it with
+// annotations or conceptual tokens. Examples in the paper: tokenizer,
+// geographic-context discoverer, named-entity extractor — and the sentiment
+// miner itself.
+class EntityMiner {
+ public:
+  virtual ~EntityMiner() = default;
+  virtual std::string name() const = 0;
+  virtual common::Status Process(Entity& entity) = 0;
+};
+
+// Corpus-level miner (§2): needs all or part of the data in store
+// (aggregate statistics, duplicate detection, trending...).
+class CorpusMiner {
+ public:
+  virtual ~CorpusMiner() = default;
+  virtual std::string name() const = 0;
+  virtual common::Status Run(DataStore& store) = 0;
+};
+
+// A chain of entity-level miners applied in registration order, with
+// per-miner counters — the unit of deployment a node runs over its shard.
+class MinerPipeline {
+ public:
+  struct MinerStats {
+    std::string name;
+    size_t entities = 0;
+    size_t failures = 0;
+    std::chrono::microseconds total_time{0};
+  };
+
+  void AddMiner(std::unique_ptr<EntityMiner> miner);
+
+  // Runs every miner over the entity, in order. Stops at (and returns) the
+  // first failure.
+  common::Status ProcessEntity(Entity& entity);
+
+  // Runs the pipeline over every entity in the store; failures are counted
+  // but do not stop the sweep.
+  void ProcessStore(DataStore& store);
+
+  std::vector<MinerStats> Stats() const;
+  size_t miner_count() const { return miners_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<EntityMiner>> miners_;
+  std::vector<MinerStats> stats_;
+};
+
+// --- Built-in entity miners --------------------------------------------------
+
+// Annotates sentence boundaries in the body ("sentences" layer).
+class SentenceBoundaryMiner : public EntityMiner {
+ public:
+  std::string name() const override { return "sentence_boundary"; }
+  common::Status Process(Entity& entity) override;
+};
+
+// Adds lowercase token counts as a "token_count" field (a tiny stand-in for
+// the paper's tokenizer miner; real token streams are recomputed on demand
+// by consumers, which is cheaper than persisting them).
+class TokenStatsMiner : public EntityMiner {
+ public:
+  std::string name() const override { return "token_stats"; }
+  common::Status Process(Entity& entity) override;
+};
+
+}  // namespace wf::platform
+
+#endif  // WF_PLATFORM_MINER_FRAMEWORK_H_

@@ -1,0 +1,164 @@
+#include "platform/query_service.h"
+
+#include <set>
+
+#include "common/string_util.h"
+#include "platform/sentiment_miner_plugin.h"
+
+namespace wf::platform {
+
+using ::wf::common::Status;
+using ::wf::lexicon::Polarity;
+
+common::Status SentimentQueryService::RegisterService() {
+  return cluster_->bus().RegisterService(
+      "app/sentiment_query", [this](const std::string& request) {
+        std::string subject = GetMessageField(request, "subject");
+        SentimentQueryResult result = Query(subject);
+        std::vector<std::pair<std::string, std::string>> out;
+        out.emplace_back("subject", result.subject);
+        out.emplace_back("positive_docs",
+                         common::StrFormat("%zu", result.positive_docs));
+        out.emplace_back("negative_docs",
+                         common::StrFormat("%zu", result.negative_docs));
+        for (const SentimentHit& hit : result.hits) {
+          out.emplace_back(
+              "hit", common::StrFormat(
+                         "%s\t%s\t%s", hit.doc_id.c_str(),
+                         hit.polarity == Polarity::kPositive ? "+" : "-",
+                         hit.sentence.c_str()));
+        }
+        return EncodeMessage(out);
+      });
+}
+
+std::vector<SentimentHit> SentimentQueryService::FetchHits(
+    const std::string& subject, lexicon::Polarity polarity,
+    const std::vector<std::string>& docs, size_t max_hits) const {
+  std::vector<SentimentHit> hits;
+  const char* want = polarity == Polarity::kPositive ? "+" : "-";
+  for (const std::string& doc : docs) {
+    if (hits.size() >= max_hits) break;
+    size_t shard = cluster_->Route(doc);
+    auto response = cluster_->bus().Call(
+        common::StrFormat("node/%zu/fetch", shard),
+        EncodeMessage({{"id", doc}}));
+    if (!response.ok()) continue;
+    std::string serialized = GetMessageField(*response, "entity");
+    if (serialized.empty()) continue;
+    auto entity = Entity::Deserialize(serialized);
+    if (!entity.ok()) continue;
+    const auto* spans = entity->GetAnnotations("sentiment");
+    if (spans == nullptr) continue;
+    for (const AnnotationSpan& span : *spans) {
+      if (hits.size() >= max_hits) break;
+      auto subj_it = span.attrs.find("subject");
+      auto pol_it = span.attrs.find("polarity");
+      if (subj_it == span.attrs.end() || pol_it == span.attrs.end()) continue;
+      if (!common::EqualsIgnoreCase(subj_it->second, subject)) continue;
+      if (pol_it->second != want) continue;
+      SentimentHit hit;
+      hit.doc_id = doc;
+      hit.subject = subj_it->second;
+      hit.polarity = polarity;
+      auto sent_it = span.attrs.find("sentence");
+      if (sent_it != span.attrs.end()) hit.sentence = sent_it->second;
+      auto pat_it = span.attrs.find("pattern");
+      if (pat_it != span.attrs.end()) hit.pattern = pat_it->second;
+      hits.push_back(std::move(hit));
+    }
+  }
+  return hits;
+}
+
+SentimentQueryResult SentimentQueryService::Query(const std::string& subject,
+                                                  size_t max_hits) const {
+  SentimentQueryResult result;
+  result.subject = subject;
+
+  std::vector<std::string> pos_docs = cluster_->Search(
+      SentimentConceptToken(subject, Polarity::kPositive));
+  std::vector<std::string> neg_docs = cluster_->Search(
+      SentimentConceptToken(subject, Polarity::kNegative));
+  result.positive_docs = pos_docs.size();
+  result.negative_docs = neg_docs.size();
+
+  size_t half = max_hits / 2 + 1;
+  std::vector<SentimentHit> pos =
+      FetchHits(subject, Polarity::kPositive, pos_docs, half);
+  std::vector<SentimentHit> neg =
+      FetchHits(subject, Polarity::kNegative, neg_docs, half);
+  result.hits = std::move(pos);
+  result.hits.insert(result.hits.end(), neg.begin(), neg.end());
+  return result;
+}
+
+SentimentQueryResult RuntimeSentimentQueryService::Query(
+    const std::string& subject, size_t max_hits) const {
+  SentimentQueryResult result;
+  result.subject = subject;
+
+  // 1. Find candidate documents through the text index (phrase search for
+  //    multi-word subjects).
+  std::vector<std::string> words = common::Split(
+      common::ToLower(subject), " ");
+  std::vector<std::string> docs = words.size() == 1
+                                      ? cluster_->Search(words[0])
+                                      : cluster_->SearchPhrase(words);
+
+  // 2. Run the full sentiment pipeline on each candidate, at query time.
+  core::SentimentMiner::Config config;
+  config.record_neutral = false;
+  config.use_disambiguator = false;
+  core::SentimentMiner miner(lexicon_, patterns_, config);
+  miner.AddSubject(spot::SynonymSet{0, subject, {}});
+
+  core::SentimentStore store;
+  for (const std::string& doc : docs) {
+    size_t shard = cluster_->Route(doc);
+    auto response = cluster_->bus().Call(
+        common::StrFormat("node/%zu/fetch", shard),
+        EncodeMessage({{"id", doc}}));
+    if (!response.ok()) continue;
+    auto entity = Entity::Deserialize(GetMessageField(*response, "entity"));
+    if (!entity.ok()) continue;
+    miner.ProcessDocument(doc, entity->body(), &store);
+  }
+
+  // 3. Assemble the same roll-up the offline service returns.
+  core::SentimentStore::PageAggregate pages =
+      store.PagesForSubject(subject);
+  result.positive_docs = pages.pages_positive;
+  result.negative_docs = pages.pages_negative;
+  for (const core::SentimentMention& m : store.mentions()) {
+    if (result.hits.size() >= max_hits) break;
+    SentimentHit hit;
+    hit.doc_id = m.doc_id;
+    hit.subject = m.subject;
+    hit.polarity = m.polarity;
+    hit.sentence = m.sentence_text;
+    hit.pattern = m.pattern;
+    result.hits.push_back(std::move(hit));
+  }
+  return result;
+}
+
+std::vector<std::string> SentimentQueryService::KnownSubjects() const {
+  std::set<std::string> subjects;
+  for (size_t i = 0; i < cluster_->node_count(); ++i) {
+    for (const std::string& term :
+         cluster_->node(i).index().VocabularyWithPrefix("sent/")) {
+      // "sent/<pol>/<subject>"
+      std::vector<std::string> parts = common::SplitExact(term, "/");
+      if (parts.size() != 3) continue;
+      std::string name = parts[2];
+      for (char& c : name) {
+        if (c == '_') c = ' ';
+      }
+      subjects.insert(name);
+    }
+  }
+  return std::vector<std::string>(subjects.begin(), subjects.end());
+}
+
+}  // namespace wf::platform

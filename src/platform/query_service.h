@@ -1,0 +1,91 @@
+#ifndef WF_PLATFORM_QUERY_SERVICE_H_
+#define WF_PLATFORM_QUERY_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/miner.h"
+#include "lexicon/pattern_db.h"
+#include "lexicon/sentiment_lexicon.h"
+#include "platform/cluster.h"
+
+namespace wf::platform {
+
+// One sentiment-bearing sentence returned to an application.
+struct SentimentHit {
+  std::string doc_id;
+  std::string subject;
+  lexicon::Polarity polarity = lexicon::Polarity::kNeutral;
+  std::string sentence;
+  std::string pattern;
+};
+
+// Aggregate answer for a subject query.
+struct SentimentQueryResult {
+  std::string subject;
+  size_t positive_docs = 0;  // documents with >= 1 positive mention
+  size_t negative_docs = 0;
+  std::vector<SentimentHit> hits;
+};
+
+// The hosted Web-service side of the system: answers real-time sentiment
+// queries about arbitrary subjects from the sentiment index built offline
+// by the Mode-B miner (Figure 3). All cluster access goes through the
+// Vinci bus (scatter/gather), never through node memory.
+class SentimentQueryService {
+ public:
+  // `cluster` must outlive the service; its nodes must have been mined and
+  // indexed with a sentiment plugin.
+  explicit SentimentQueryService(Cluster* cluster) : cluster_(cluster) {}
+
+  // Registers the "app/sentiment_query" service on the cluster bus so
+  // remote applications can call it with "subject=<name>".
+  common::Status RegisterService();
+
+  // Sentiment roll-up plus the matching sentences for `subject` (case
+  // insensitive; multi-word subjects allowed).
+  SentimentQueryResult Query(const std::string& subject,
+                             size_t max_hits = 50) const;
+
+  // Subjects with at least one indexed sentiment, discovered from the
+  // concept-token vocabulary (for dashboards).
+  std::vector<std::string> KnownSubjects() const;
+
+ private:
+  std::vector<SentimentHit> FetchHits(const std::string& subject,
+                                      lexicon::Polarity polarity,
+                                      const std::vector<std::string>& docs,
+                                      size_t max_hits) const;
+
+  Cluster* cluster_;
+};
+
+// The alternative §3 dismisses for latency reasons: run the sentiment
+// analysis *at query time*. The subject term is looked up in the text
+// index, the matching entities are fetched over the bus, and the full NLP
+// pipeline runs on each of them before the answer can be assembled. Kept
+// as a first-class implementation so the offline-vs-runtime trade-off is
+// measurable (bench_modeb_latency); results are identical to the offline
+// path on unchanged corpora.
+class RuntimeSentimentQueryService {
+ public:
+  // Pointers must outlive the service.
+  RuntimeSentimentQueryService(Cluster* cluster,
+                               const lexicon::SentimentLexicon* lexicon,
+                               const lexicon::PatternDatabase* patterns)
+      : cluster_(cluster), lexicon_(lexicon), patterns_(patterns) {}
+
+  // Same contract as SentimentQueryService::Query, computed from scratch.
+  SentimentQueryResult Query(const std::string& subject,
+                             size_t max_hits = 50) const;
+
+ private:
+  Cluster* cluster_;
+  const lexicon::SentimentLexicon* lexicon_;
+  const lexicon::PatternDatabase* patterns_;
+};
+
+}  // namespace wf::platform
+
+#endif  // WF_PLATFORM_QUERY_SERVICE_H_

@@ -1,0 +1,170 @@
+#include "platform/vinci.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace wf::platform {
+
+using ::wf::common::Status;
+
+common::Status VinciBus::RegisterService(const std::string& name,
+                                         Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = services_.emplace(name, std::move(handler));
+  if (!inserted) return Status::AlreadyExists("service exists: " + name);
+  return Status::Ok();
+}
+
+common::Status VinciBus::UnregisterService(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (services_.erase(name) == 0) {
+    return Status::NotFound("no service: " + name);
+  }
+  return Status::Ok();
+}
+
+void VinciBus::SimulateLatency() const {
+  if (simulated_latency_us_ == 0) return;
+  // Sleeping (rather than spinning) lets concurrent scattered calls overlap
+  // their simulated round trips, as real in-flight RPCs do.
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(simulated_latency_us_));
+}
+
+common::Result<std::string> VinciBus::Call(const std::string& service,
+                                           const std::string& request) const {
+  SimulateLatency();
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = services_.find(service);
+    if (it == services_.end()) {
+      return Status::NotFound("no service: " + service);
+    }
+    handler = it->second;
+    ++call_counts_[service];
+  }
+  // The handler runs outside the bus lock so services may call each other.
+  return handler(request);
+}
+
+std::vector<std::pair<std::string, std::string>> VinciBus::CallAll(
+    const std::string& prefix, const std::string& request) const {
+  std::vector<std::pair<std::string, Handler>> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = services_.lower_bound(prefix);
+         it != services_.end() && common::StartsWith(it->first, prefix);
+         ++it) {
+      targets.emplace_back(it->first, it->second);
+      ++call_counts_[it->first];
+    }
+  }
+  // Scatter in parallel — the gather latency is one round trip, not the
+  // sum over nodes, matching the real protocol's concurrent RPCs.
+  std::vector<std::pair<std::string, std::string>> out(targets.size());
+  std::vector<std::thread> in_flight;
+  in_flight.reserve(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    in_flight.emplace_back([this, &targets, &out, i, &request] {
+      SimulateLatency();
+      out[i] = {targets[i].first, targets[i].second(request)};
+    });
+  }
+  for (std::thread& t : in_flight) t.join();
+  return out;
+}
+
+std::vector<std::string> VinciBus::Services() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(services_.size());
+  for (const auto& [name, handler] : services_) out.push_back(name);
+  return out;
+}
+
+size_t VinciBus::CallCount(const std::string& service) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = call_counts_.find(service);
+  return it == call_counts_.end() ? 0 : it->second;
+}
+
+// --- Wire helpers -----------------------------------------------------------
+
+namespace {
+
+std::string EscapeValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i] == '\\' && i + 1 < v.size()) {
+      ++i;
+      out += (v[i] == 'n') ? '\n' : v[i];
+    } else {
+      out += v[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EncodeMessage(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  std::string out;
+  for (const auto& [k, v] : pairs) {
+    out += k;
+    out += '=';
+    out += EscapeValue(v);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> DecodeMessage(
+    const std::string& message) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const std::string& line : common::SplitExact(message, "\n")) {
+    if (line.empty()) continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    out.emplace_back(line.substr(0, eq), UnescapeValue(line.substr(eq + 1)));
+  }
+  return out;
+}
+
+std::string GetMessageField(const std::string& message,
+                            const std::string& key) {
+  for (const auto& [k, v] : DecodeMessage(message)) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+std::vector<std::string> GetMessageFields(const std::string& message,
+                                          const std::string& key) {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : DecodeMessage(message)) {
+    if (k == key) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace wf::platform

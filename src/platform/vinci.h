@@ -1,0 +1,82 @@
+#ifndef WF_PLATFORM_VINCI_H_
+#define WF_PLATFORM_VINCI_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wf::platform {
+
+// In-process stand-in for Vinci, WebFountain's "Web-service style,
+// lightweight, high-speed communication protocol" (a SOAP derivative).
+// Services register string->string handlers under a name; nodes and
+// applications communicate exclusively through Call(), which keeps the
+// shared-nothing discipline honest — no component touches another's memory.
+//
+// Requests and responses use a line-oriented "key=value" wire format (see
+// vinci_wire.h helpers) to mimic the serialization boundary of the real
+// protocol.
+class VinciBus {
+ public:
+  using Handler = std::function<std::string(const std::string& request)>;
+
+  VinciBus() = default;
+  VinciBus(const VinciBus&) = delete;
+  VinciBus& operator=(const VinciBus&) = delete;
+
+  // Adds a busy-wait of `microseconds` to every Call(), simulating the
+  // network round trip of the real SOAP-derived protocol. 0 disables
+  // (default). Scatter/gather costs then scale with fan-out, as they would
+  // across racks.
+  void SetSimulatedLatency(uint64_t microseconds) {
+    simulated_latency_us_ = microseconds;
+  }
+
+  // Registers a service; AlreadyExists if the name is taken.
+  common::Status RegisterService(const std::string& name, Handler handler);
+  common::Status UnregisterService(const std::string& name);
+
+  // Synchronous request/response; NotFound for unknown services.
+  common::Result<std::string> Call(const std::string& service,
+                                   const std::string& request) const;
+
+  // Fan-out: calls every service whose name starts with `prefix`, returning
+  // (service, response) pairs — the scatter half of scatter/gather queries.
+  std::vector<std::pair<std::string, std::string>> CallAll(
+      const std::string& prefix, const std::string& request) const;
+
+  std::vector<std::string> Services() const;
+  // Total completed calls (diagnostics).
+  size_t CallCount(const std::string& service) const;
+
+ private:
+  void SimulateLatency() const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Handler> services_;
+  mutable std::map<std::string, size_t> call_counts_;
+  uint64_t simulated_latency_us_ = 0;
+};
+
+// --- Wire helpers: the "key=value" line format used over the bus ----------
+
+// Encodes pairs as "k=v" lines; values are newline-escaped.
+std::string EncodeMessage(
+    const std::vector<std::pair<std::string, std::string>>& pairs);
+// Decodes; unknown lines are skipped.
+std::vector<std::pair<std::string, std::string>> DecodeMessage(
+    const std::string& message);
+// First value for `key`, or empty string.
+std::string GetMessageField(const std::string& message,
+                            const std::string& key);
+// Every value for `key`, in order.
+std::vector<std::string> GetMessageFields(const std::string& message,
+                                          const std::string& key);
+
+}  // namespace wf::platform
+
+#endif  // WF_PLATFORM_VINCI_H_

@@ -1,0 +1,22 @@
+#ifndef WF_POS_TAG_LEXICON_H_
+#define WF_POS_TAG_LEXICON_H_
+
+#include <cstddef>
+
+namespace wf::pos {
+
+// One embedded-lexicon row: a lowercase word form mapped to its possible
+// Treebank tags in priority order (most likely first), comma-separated,
+// e.g. {"take", "VB,VBP,NN"}.
+struct TagLexiconEntry {
+  const char* word;
+  const char* tags;
+};
+
+// The built-in English lexicon: complete closed classes plus the open-class
+// vocabulary of the evaluation domains. ~900 forms.
+const TagLexiconEntry* EmbeddedTagLexicon(size_t* count);
+
+}  // namespace wf::pos
+
+#endif  // WF_POS_TAG_LEXICON_H_

@@ -1,0 +1,265 @@
+#include "pos/tagger.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "pos/tag_lexicon.h"
+#include "text/inflection.h"
+
+namespace wf::pos {
+namespace {
+
+using ::wf::common::EndsWith;
+using ::wf::common::IsAllUpper;
+using ::wf::common::IsCapitalized;
+using ::wf::common::Split;
+using ::wf::common::ToLower;
+using ::wf::text::Token;
+using ::wf::text::TokenKind;
+using ::wf::text::TokenStream;
+
+bool HasTag(const std::vector<PosTag>& tags, PosTag t) {
+  for (PosTag tag : tags) {
+    if (tag == t) return true;
+  }
+  return false;
+}
+
+bool IsBeOrHaveAux(const std::string& lower) {
+  return lower == "is" || lower == "are" || lower == "was" ||
+         lower == "were" || lower == "be" || lower == "been" ||
+         lower == "being" || lower == "am" || lower == "has" ||
+         lower == "have" || lower == "had" || lower == "having" ||
+         lower == "'s" || lower == "'re" || lower == "'ve" || lower == "'m";
+}
+
+}  // namespace
+
+PosTagger::PosTagger() {
+  size_t count = 0;
+  const TagLexiconEntry* entries = EmbeddedTagLexicon(&count);
+  lexicon_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<PosTag> tags;
+    for (const std::string& name : Split(entries[i].tags, ",")) {
+      PosTag t = ParsePosTag(name);
+      WF_CHECK(t != PosTag::kUnknown)
+          << "bad tag '" << name << "' for lexicon word '" << entries[i].word
+          << "'";
+      tags.push_back(t);
+    }
+    WF_CHECK(!tags.empty()) << entries[i].word;
+    auto [it, inserted] = lexicon_.emplace(entries[i].word, std::move(tags));
+    WF_CHECK(inserted) << "duplicate lexicon word '" << entries[i].word << "'";
+  }
+}
+
+const std::vector<PosTag>* PosTagger::Lookup(const std::string& lower) const {
+  auto it = lexicon_.find(lower);
+  return it == lexicon_.end() ? nullptr : &it->second;
+}
+
+PosTag PosTagger::GuessUnknown(const Token& token,
+                               bool sentence_initial) const {
+  const std::string& w = token.text;
+  if (token.kind == TokenKind::kNumber) return PosTag::kCD;
+  if (token.kind == TokenKind::kPunct) return PosTag::kPunct;
+  if (token.kind == TokenKind::kSymbol) return PosTag::kSYM;
+
+  // Capitalized unknown word (not merely sentence-initial): proper noun.
+  // All-caps product codes ("NR70") and mixed alphanumerics too.
+  bool has_digit = false;
+  for (char c : w) {
+    if (common::IsAsciiDigit(c)) has_digit = true;
+  }
+  if (IsCapitalized(w) && !sentence_initial) {
+    return EndsWith(ToLower(w), "s") && w.size() > 3 && !has_digit
+               ? PosTag::kNNP  // treat trailing-s names as singular NNP
+               : PosTag::kNNP;
+  }
+  if (IsAllUpper(w) || has_digit) return PosTag::kNNP;
+
+  std::string lower = ToLower(w);
+  // Derivational suffixes, checked longest-first.
+  struct SuffixRule {
+    const char* suffix;
+    PosTag tag;
+  };
+  static constexpr SuffixRule kRules[] = {
+      {"ly", PosTag::kRB},      {"ing", PosTag::kVBG},
+      {"ed", PosTag::kVBN},     {"able", PosTag::kJJ},
+      {"ible", PosTag::kJJ},    {"ous", PosTag::kJJ},
+      {"ful", PosTag::kJJ},     {"less", PosTag::kJJ},
+      {"ive", PosTag::kJJ},     {"ish", PosTag::kJJ},
+      {"ic", PosTag::kJJ},      {"al", PosTag::kJJ},
+      {"ary", PosTag::kJJ},     {"tion", PosTag::kNN},
+      {"sion", PosTag::kNN},    {"ment", PosTag::kNN},
+      {"ness", PosTag::kNN},    {"ity", PosTag::kNN},
+      {"ship", PosTag::kNN},    {"hood", PosTag::kNN},
+      {"ism", PosTag::kNN},     {"ist", PosTag::kNN},
+      {"ance", PosTag::kNN},    {"ence", PosTag::kNN},
+      {"er", PosTag::kNN},      {"or", PosTag::kNN},
+  };
+  // Longest-match first.
+  const SuffixRule* best = nullptr;
+  size_t best_len = 0;
+  for (const SuffixRule& r : kRules) {
+    size_t len = std::char_traits<char>::length(r.suffix);
+    if (lower.size() > len + 2 && EndsWith(lower, r.suffix) &&
+        len > best_len) {
+      best = &r;
+      best_len = len;
+    }
+  }
+  if (best != nullptr) return best->tag;
+
+  if (EndsWith(lower, "s") && !EndsWith(lower, "ss") && lower.size() > 3) {
+    return PosTag::kNNS;
+  }
+  return PosTag::kNN;
+}
+
+std::vector<PosTag> PosTagger::TagSentence(
+    const TokenStream& tokens, const text::SentenceSpan& span) const {
+  std::vector<PosTag> tags(span.size(), PosTag::kUnknown);
+  for (size_t i = span.begin_token; i < span.end_token; ++i) {
+    const Token& tok = tokens[i];
+    size_t rel = i - span.begin_token;
+    if (tok.kind == TokenKind::kPunct) {
+      tags[rel] = PosTag::kPunct;
+      continue;
+    }
+    if (tok.kind == TokenKind::kNumber) {
+      tags[rel] = PosTag::kCD;
+      continue;
+    }
+    if (tok.kind == TokenKind::kSymbol) {
+      tags[rel] = PosTag::kSYM;
+      continue;
+    }
+    bool sentence_initial = (i == span.begin_token);
+    std::string lower = ToLower(tok.text);
+    const std::vector<PosTag>* cands = Lookup(lower);
+    if (cands != nullptr) {
+      // Capitalized mid-sentence word known only as open-class: prefer NNP
+      // (e.g. "Flash" as a brand) — but keep closed-class words ("The" in
+      // titles are rare mid-sentence, skip the complication).
+      if (IsCapitalized(tok.text) && !sentence_initial &&
+          IsCommonNounTag((*cands)[0])) {
+        tags[rel] = PosTag::kNNP;
+      } else {
+        tags[rel] = (*cands)[0];
+      }
+      continue;
+    }
+    tags[rel] = GuessUnknown(tok, sentence_initial);
+  }
+  ApplyContextRules(tokens, span, tags);
+  return tags;
+}
+
+void PosTagger::ApplyContextRules(const TokenStream& tokens,
+                                  const text::SentenceSpan& span,
+                                  std::vector<PosTag>& tags) const {
+  const size_t n = tags.size();
+  auto lower_at = [&](size_t rel) {
+    return ToLower(tokens[span.begin_token + rel].text);
+  };
+  auto cands_at = [&](size_t rel) { return Lookup(lower_at(rel)); };
+
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<PosTag>* cands = cands_at(i);
+    PosTag prev = (i > 0) ? tags[i - 1] : PosTag::kUnknown;
+    PosTag next = (i + 1 < n) ? tags[i + 1] : PosTag::kUnknown;
+
+    // Rule 1: verb reading after determiner/adjective/possessive becomes a
+    // noun when the lexicon allows it ("the zoom", "a take"). Also after a
+    // proper noun, for compounds like "Memory Stick support".
+    if ((prev == PosTag::kDT || prev == PosTag::kPRPS ||
+         IsAdjectiveTag(prev) || IsProperNounTag(prev)) &&
+        (tags[i] == PosTag::kVB || tags[i] == PosTag::kVBP)) {
+      if (cands != nullptr && HasTag(*cands, PosTag::kNN)) {
+        tags[i] = PosTag::kNN;
+      }
+    }
+    // Rule 2: noun after modal or "to" becomes base verb when possible
+    // ("will zoom", "to focus").
+    if ((prev == PosTag::kMD || prev == PosTag::kTO) &&
+        (tags[i] == PosTag::kNN || tags[i] == PosTag::kVBP)) {
+      if (cands != nullptr && HasTag(*cands, PosTag::kVB)) {
+        tags[i] = PosTag::kVB;
+      } else if (prev == PosTag::kMD && tags[i] == PosTag::kVBP) {
+        tags[i] = PosTag::kVB;
+      }
+    }
+    // Rule 3: VBD/VBN disambiguation — past participle after be/have
+    // auxiliary, past tense otherwise.
+    if (tags[i] == PosTag::kVBD || tags[i] == PosTag::kVBN) {
+      bool after_aux = false;
+      // Look back up to 3 tokens, skipping adverbs ("was really impressed").
+      for (size_t back = 1; back <= 3 && back <= i; ++back) {
+        PosTag bt = tags[i - back];
+        if (IsAdverbTag(bt)) continue;
+        if (IsVerbTag(bt) && IsBeOrHaveAux(lower_at(i - back))) {
+          after_aux = true;
+        }
+        break;
+      }
+      if (cands != nullptr && HasTag(*cands, PosTag::kVBD) &&
+          HasTag(*cands, PosTag::kVBN)) {
+        tags[i] = after_aux ? PosTag::kVBN : PosTag::kVBD;
+      } else if (cands == nullptr) {
+        tags[i] = after_aux ? PosTag::kVBN : PosTag::kVBD;
+      }
+    }
+    // Rule 4: NNS vs VBZ for ambiguous -s forms: after determiner/adjective
+    // prefer NNS; after a noun or pronoun prefer VBZ ("the camera works").
+    if (cands != nullptr && HasTag(*cands, PosTag::kNNS) &&
+        HasTag(*cands, PosTag::kVBZ)) {
+      if (prev == PosTag::kDT || prev == PosTag::kPRPS ||
+          IsAdjectiveTag(prev) || prev == PosTag::kCD) {
+        tags[i] = PosTag::kNNS;
+      } else if (IsNounTag(prev) || prev == PosTag::kPRP) {
+        tags[i] = PosTag::kVBZ;
+      }
+    }
+    // Rule 5: "that" — DT before a noun/adjective, WDT right after a noun
+    // when followed by a verb, IN otherwise.
+    if (lower_at(i) == "that") {
+      if (IsNounTag(next) || IsAdjectiveTag(next) || next == PosTag::kCD) {
+        tags[i] = PosTag::kDT;
+      } else if (i > 0 && IsNounTag(prev) && IsVerbTag(next)) {
+        tags[i] = PosTag::kWDT;
+      } else {
+        tags[i] = PosTag::kIN;
+      }
+    }
+    // Rule 6: sentence-initial ambiguous VB/NN with a following noun phrase
+    // start is usually an imperative only in reviews; prefer the lexicon's
+    // first tag — no action. But a VBN at position 0 followed by IN stays
+    // VBN ("Disappointed by...").
+    // Rule 7: adjective before verb is usually a noun misread; if a JJ-first
+    // word also has an NN reading and the next tag is VBZ/VBD/VBP, make it NN
+    // ("the manual explains").
+    if (IsAdjectiveTag(tags[i]) && cands != nullptr &&
+        HasTag(*cands, PosTag::kNN) &&
+        (next == PosTag::kVBZ || next == PosTag::kVBD ||
+         next == PosTag::kVBP || next == PosTag::kMD)) {
+      tags[i] = PosTag::kNN;
+    }
+  }
+}
+
+std::vector<PosTag> PosTagger::Tag(
+    const TokenStream& tokens,
+    const std::vector<text::SentenceSpan>& spans) const {
+  std::vector<PosTag> out(tokens.size(), PosTag::kUnknown);
+  for (const text::SentenceSpan& span : spans) {
+    std::vector<PosTag> tags = TagSentence(tokens, span);
+    for (size_t i = 0; i < tags.size(); ++i) {
+      out[span.begin_token + i] = tags[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace wf::pos

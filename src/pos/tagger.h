@@ -1,0 +1,53 @@
+#ifndef WF_POS_TAGGER_H_
+#define WF_POS_TAGGER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pos/tagset.h"
+#include "text/token.h"
+
+namespace wf::pos {
+
+// Rule-based English POS tagger — the stand-in for the Ratnaparkhi MaxEnt
+// tagger the paper used. Three stages:
+//   1. lexical lookup (embedded lexicon, most-likely tag first),
+//   2. morphological guessing for unknown words (suffixes, capitalization,
+//      digits),
+//   3. Brill-style contextual patch rules that repair the most damaging
+//      ambiguities for the downstream chunker (noun/verb after determiner,
+//      base verb after modal/to, VBD vs VBN after auxiliaries, NNS vs VBZ).
+class PosTagger {
+ public:
+  PosTagger();
+
+  // Tags one sentence. Returns one tag per token in
+  // [span.begin_token, span.end_token).
+  std::vector<PosTag> TagSentence(const text::TokenStream& tokens,
+                                  const text::SentenceSpan& span) const;
+
+  // Tags a whole stream given its sentence segmentation; the result is
+  // aligned with `tokens` (tokens outside every span get kUnknown — there
+  // are none if the spans partition the stream).
+  std::vector<PosTag> Tag(const text::TokenStream& tokens,
+                          const std::vector<text::SentenceSpan>& spans) const;
+
+  // Candidate tags for a word form (lowercase), lexicon only; empty when
+  // the word is unknown.
+  const std::vector<PosTag>* Lookup(const std::string& lower) const;
+
+  size_t lexicon_size() const { return lexicon_.size(); }
+
+ private:
+  PosTag GuessUnknown(const text::Token& token, bool sentence_initial) const;
+  void ApplyContextRules(const text::TokenStream& tokens,
+                         const text::SentenceSpan& span,
+                         std::vector<PosTag>& tags) const;
+
+  std::unordered_map<std::string, std::vector<PosTag>> lexicon_;
+};
+
+}  // namespace wf::pos
+
+#endif  // WF_POS_TAGGER_H_

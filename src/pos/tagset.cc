@@ -1,0 +1,42 @@
+#include "pos/tagset.h"
+
+#include <array>
+
+namespace wf::pos {
+namespace {
+
+struct TagName {
+  PosTag tag;
+  std::string_view name;
+};
+
+constexpr std::array<TagName, kNumPosTags> kTagNames = {{
+    {PosTag::kCC, "CC"},     {PosTag::kCD, "CD"},     {PosTag::kDT, "DT"},
+    {PosTag::kEX, "EX"},     {PosTag::kFW, "FW"},     {PosTag::kIN, "IN"},
+    {PosTag::kJJ, "JJ"},     {PosTag::kJJR, "JJR"},   {PosTag::kJJS, "JJS"},
+    {PosTag::kMD, "MD"},     {PosTag::kNN, "NN"},     {PosTag::kNNS, "NNS"},
+    {PosTag::kNNP, "NNP"},   {PosTag::kNNPS, "NNPS"}, {PosTag::kPDT, "PDT"},
+    {PosTag::kPOS, "POS"},   {PosTag::kPRP, "PRP"},   {PosTag::kPRPS, "PRP$"},
+    {PosTag::kRB, "RB"},     {PosTag::kRBR, "RBR"},   {PosTag::kRBS, "RBS"},
+    {PosTag::kRP, "RP"},     {PosTag::kSYM, "SYM"},   {PosTag::kTO, "TO"},
+    {PosTag::kUH, "UH"},     {PosTag::kVB, "VB"},     {PosTag::kVBD, "VBD"},
+    {PosTag::kVBG, "VBG"},   {PosTag::kVBN, "VBN"},   {PosTag::kVBP, "VBP"},
+    {PosTag::kVBZ, "VBZ"},   {PosTag::kWDT, "WDT"},   {PosTag::kWP, "WP"},
+    {PosTag::kWPS, "WP$"},   {PosTag::kWRB, "WRB"},   {PosTag::kPunct, "."},
+    {PosTag::kUnknown, "UNK"},
+}};
+
+}  // namespace
+
+std::string_view PosTagName(PosTag tag) {
+  return kTagNames[static_cast<size_t>(tag)].name;
+}
+
+PosTag ParsePosTag(std::string_view name) {
+  for (const TagName& tn : kTagNames) {
+    if (tn.name == name) return tn.tag;
+  }
+  return PosTag::kUnknown;
+}
+
+}  // namespace wf::pos

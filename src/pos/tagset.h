@@ -1,0 +1,84 @@
+#ifndef WF_POS_TAGSET_H_
+#define WF_POS_TAGSET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wf::pos {
+
+// Penn Treebank part-of-speech tags (Marcus et al. 1993), the tagset the
+// paper's bBNP patterns are defined over, plus punctuation tags.
+enum class PosTag : uint8_t {
+  kCC,    // coordinating conjunction
+  kCD,    // cardinal number
+  kDT,    // determiner
+  kEX,    // existential there
+  kFW,    // foreign word
+  kIN,    // preposition / subordinating conjunction
+  kJJ,    // adjective
+  kJJR,   // adjective, comparative
+  kJJS,   // adjective, superlative
+  kMD,    // modal
+  kNN,    // noun, singular
+  kNNS,   // noun, plural
+  kNNP,   // proper noun, singular
+  kNNPS,  // proper noun, plural
+  kPDT,   // predeterminer
+  kPOS,   // possessive ending ('s)
+  kPRP,   // personal pronoun
+  kPRPS,  // possessive pronoun (PRP$)
+  kRB,    // adverb
+  kRBR,   // adverb, comparative
+  kRBS,   // adverb, superlative
+  kRP,    // particle
+  kSYM,   // symbol
+  kTO,    // to
+  kUH,    // interjection
+  kVB,    // verb, base form
+  kVBD,   // verb, past tense
+  kVBG,   // verb, gerund
+  kVBN,   // verb, past participle
+  kVBP,   // verb, non-3rd person singular present
+  kVBZ,   // verb, 3rd person singular present
+  kWDT,   // wh-determiner
+  kWP,    // wh-pronoun
+  kWPS,   // possessive wh-pronoun (WP$)
+  kWRB,   // wh-adverb
+  kPunct, // any punctuation token
+  kUnknown,
+};
+
+inline constexpr int kNumPosTags = static_cast<int>(PosTag::kUnknown) + 1;
+
+// Treebank string for a tag ("NN", "PRP$", ...).
+std::string_view PosTagName(PosTag tag);
+
+// Parses a Treebank tag name; returns kUnknown for unrecognized strings.
+PosTag ParsePosTag(std::string_view name);
+
+// Coarse class predicates used by the chunker and the bBNP patterns.
+inline bool IsNounTag(PosTag t) {
+  return t == PosTag::kNN || t == PosTag::kNNS || t == PosTag::kNNP ||
+         t == PosTag::kNNPS;
+}
+inline bool IsCommonNounTag(PosTag t) {
+  return t == PosTag::kNN || t == PosTag::kNNS;
+}
+inline bool IsProperNounTag(PosTag t) {
+  return t == PosTag::kNNP || t == PosTag::kNNPS;
+}
+inline bool IsVerbTag(PosTag t) {
+  return t == PosTag::kVB || t == PosTag::kVBD || t == PosTag::kVBG ||
+         t == PosTag::kVBN || t == PosTag::kVBP || t == PosTag::kVBZ;
+}
+inline bool IsAdjectiveTag(PosTag t) {
+  return t == PosTag::kJJ || t == PosTag::kJJR || t == PosTag::kJJS;
+}
+inline bool IsAdverbTag(PosTag t) {
+  return t == PosTag::kRB || t == PosTag::kRBR || t == PosTag::kRBS;
+}
+
+}  // namespace wf::pos
+
+#endif  // WF_POS_TAGSET_H_

@@ -1,0 +1,92 @@
+#include "spot/disambiguator.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace wf::spot {
+
+using ::wf::common::ToLower;
+
+Disambiguator::Disambiguator(const Options& options) : options_(options) {}
+
+void Disambiguator::AddTopic(const TopicTermSet& topic) {
+  topics_.push_back(topic);
+}
+
+double Disambiguator::ScoreRange(const std::vector<std::string>& lower_tokens,
+                                 size_t begin, size_t end,
+                                 const TopicTermSet& topic,
+                                 const CorpusStats& stats) const {
+  auto term_score = [&](const std::string& term) -> double {
+    // Single word or two-word lexical affinity.
+    size_t space = term.find(' ');
+    double tf = 0.0;
+    double weight = 1.0;
+    if (space == std::string::npos) {
+      for (size_t i = begin; i < end; ++i) {
+        if (lower_tokens[i] == term) tf += 1.0;
+      }
+    } else {
+      weight = 2.0;  // lexical affinities are stronger evidence
+      std::string first = term.substr(0, space);
+      std::string second = term.substr(space + 1);
+      for (size_t i = begin; i + 1 < end; ++i) {
+        if (lower_tokens[i] == first && lower_tokens[i + 1] == second) {
+          tf += 1.0;
+        }
+      }
+    }
+    if (tf == 0.0) return 0.0;
+    return tf * stats.Idf(term) * weight;
+  };
+
+  double score = 0.0;
+  for (const std::string& t : topic.on_topic) score += term_score(t);
+  for (const std::string& t : topic.off_topic) score -= term_score(t);
+  return score;
+}
+
+std::vector<DisambiguationResult> Disambiguator::Evaluate(
+    const text::TokenStream& tokens, const std::vector<SubjectSpot>& spots,
+    const CorpusStats& stats) const {
+  std::vector<std::string> lower;
+  lower.reserve(tokens.size());
+  for (const text::Token& t : tokens) lower.push_back(ToLower(t.text));
+
+  std::vector<DisambiguationResult> out;
+  out.reserve(spots.size());
+  for (const SubjectSpot& spot : spots) {
+    const TopicTermSet* topic = nullptr;
+    for (const TopicTermSet& t : topics_) {
+      if (t.synset_id == spot.synset_id) {
+        topic = &t;
+        break;
+      }
+    }
+    DisambiguationResult r;
+    r.spot = spot;
+    if (topic == nullptr ||
+        (topic->on_topic.empty() && topic->off_topic.empty())) {
+      r.on_topic = true;  // nothing registered: accept
+      out.push_back(r);
+      continue;
+    }
+    r.global_score = ScoreRange(lower, 0, lower.size(), *topic, stats);
+    size_t win = static_cast<size_t>(std::max(0, options_.local_window));
+    size_t lo = spot.begin_token > win ? spot.begin_token - win : 0;
+    size_t hi = std::min(lower.size(), spot.end_token + win);
+    r.local_score = ScoreRange(lower, lo, hi, *topic, stats);
+
+    if (r.global_score >= options_.global_threshold) {
+      r.on_topic = true;
+    } else {
+      r.on_topic =
+          (r.global_score + r.local_score) >= options_.combined_threshold;
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace wf::spot

@@ -1,0 +1,71 @@
+#ifndef WF_SPOT_DISAMBIGUATOR_H_
+#define WF_SPOT_DISAMBIGUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "spot/spotter.h"
+#include "spot/tfidf.h"
+#include "text/token.h"
+
+namespace wf::spot {
+
+// Per-subject disambiguation context: terms positively (on-topic) or
+// negatively (off-topic) related to the intended subject. A term may be a
+// single word or a two-word "lexical affinity" ("operating system"), which
+// scores double per the multi-resolution scheme of Amitay et al. that the
+// paper's disambiguator builds on.
+struct TopicTermSet {
+  int synset_id = 0;
+  std::vector<std::string> on_topic;   // lowercase terms
+  std::vector<std::string> off_topic;  // lowercase terms
+};
+
+// Verdict for one spot.
+struct DisambiguationResult {
+  SubjectSpot spot;
+  bool on_topic = false;
+  double global_score = 0.0;
+  double local_score = 0.0;
+};
+
+// The disambiguator of §3: for each spot of a subject term, decide whether
+// the occurrence refers to the intended subject ("SUN" the company vs
+// "Sunday"). It computes a TF·IDF-weighted score of on-topic minus
+// off-topic terms over the whole document (global context) and over a
+// window around the spot (local context). If the global score passes
+// `global_threshold`, all spots in the document are on-topic; otherwise a
+// spot is on-topic iff global + local passes `combined_threshold`.
+class Disambiguator {
+ public:
+  struct Options {
+    double global_threshold = 3.0;
+    double combined_threshold = 2.0;
+    int local_window = 12;  // tokens on each side of the spot
+  };
+
+  Disambiguator() : Disambiguator(Options{}) {}
+  explicit Disambiguator(const Options& options);
+
+  void AddTopic(const TopicTermSet& topic);
+
+  // Evaluates every spot of a document. Spots whose synset has no
+  // registered topic terms pass through as on-topic (nothing to check).
+  std::vector<DisambiguationResult> Evaluate(
+      const text::TokenStream& tokens, const std::vector<SubjectSpot>& spots,
+      const CorpusStats& stats) const;
+
+ private:
+  // Scores tokens [begin, end): sum of tf*idf*weight for on-topic terms
+  // minus the same for off-topic terms; bigram affinities weigh double.
+  double ScoreRange(const std::vector<std::string>& lower_tokens, size_t begin,
+                    size_t end, const TopicTermSet& topic,
+                    const CorpusStats& stats) const;
+
+  Options options_;
+  std::vector<TopicTermSet> topics_;
+};
+
+}  // namespace wf::spot
+
+#endif  // WF_SPOT_DISAMBIGUATOR_H_

@@ -1,0 +1,70 @@
+#include "spot/spotter.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace wf::spot {
+
+using ::wf::common::ToLower;
+
+void Spotter::InsertPhrase(const std::string& phrase, int synset_id) {
+  text::Tokenizer tokenizer;
+  text::TokenStream toks = tokenizer.Tokenize(phrase);
+  WF_CHECK(!toks.empty()) << "empty spotter phrase";
+  int node = 0;
+  for (const text::Token& t : toks) {
+    std::string key = ToLower(t.text);
+    auto it = trie_[node].next.find(key);
+    if (it == trie_[node].next.end()) {
+      trie_.push_back(TrieNode{});
+      int fresh = static_cast<int>(trie_.size()) - 1;
+      trie_[node].next.emplace(key, fresh);
+      node = fresh;
+    } else {
+      node = it->second;
+    }
+  }
+  trie_[node].synset_id = synset_id;
+}
+
+void Spotter::AddSynonymSet(const SynonymSet& set) {
+  auto [it, inserted] = sets_.emplace(set.id, set);
+  WF_CHECK(inserted) << "duplicate synonym set id " << set.id;
+  InsertPhrase(set.canonical, set.id);
+  for (const std::string& v : set.variants) InsertPhrase(v, set.id);
+}
+
+const SynonymSet* Spotter::FindSet(int id) const {
+  auto it = sets_.find(id);
+  return it == sets_.end() ? nullptr : &it->second;
+}
+
+std::vector<SubjectSpot> Spotter::Spot(const text::TokenStream& tokens) const {
+  std::vector<SubjectSpot> out;
+  size_t i = 0;
+  while (i < tokens.size()) {
+    // Walk the trie from position i, remembering the longest terminal.
+    int node = 0;
+    size_t best_end = 0;
+    int best_set = -1;
+    for (size_t j = i; j < tokens.size(); ++j) {
+      auto it = trie_[node].next.find(ToLower(tokens[j].text));
+      if (it == trie_[node].next.end()) break;
+      node = it->second;
+      if (trie_[node].synset_id >= 0) {
+        best_end = j + 1;
+        best_set = trie_[node].synset_id;
+      }
+    }
+    if (best_set >= 0) {
+      out.push_back(SubjectSpot{best_set, i, best_end});
+      i = best_end;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace wf::spot

@@ -1,0 +1,66 @@
+#ifndef WF_SPOT_SPOTTER_H_
+#define WF_SPOT_SPOTTER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/token.h"
+
+namespace wf::spot {
+
+// A synonym set groups the surface variants of one subject ("Sony",
+// "Sony Corporation", "Sony Corp.") under a single id so analytics count
+// them together (§3, "The Spotter").
+struct SynonymSet {
+  int id = 0;
+  std::string canonical;
+  std::vector<std::string> variants;  // includes multi-word phrases
+};
+
+// One subject occurrence: tokens [begin, end) matched a variant of the
+// synonym set `synset_id`.
+struct SubjectSpot {
+  int synset_id = 0;
+  size_t begin_token = 0;
+  size_t end_token = 0;
+
+  friend bool operator==(const SubjectSpot& a, const SubjectSpot& b) {
+    return a.synset_id == b.synset_id && a.begin_token == b.begin_token &&
+           a.end_token == b.end_token;
+  }
+};
+
+// General-purpose multi-term spotter: given synonym sets, tags every
+// occurrence of any variant in a token stream. Matching is case-insensitive
+// over tokenized phrases via a token-level trie; overlapping matches resolve
+// longest-first (leftmost-longest).
+class Spotter {
+ public:
+  Spotter() = default;
+
+  // Registers a synonym set. Variants are tokenized internally; the
+  // canonical name is matched too. Must be called before Spot().
+  void AddSynonymSet(const SynonymSet& set);
+
+  // Finds all spots. Leftmost-longest, non-overlapping.
+  std::vector<SubjectSpot> Spot(const text::TokenStream& tokens) const;
+
+  const SynonymSet* FindSet(int id) const;
+  size_t set_count() const { return sets_.size(); }
+
+ private:
+  struct TrieNode {
+    std::unordered_map<std::string, int> next;  // lowercase token -> node
+    int synset_id = -1;                         // terminal: matched set
+  };
+
+  void InsertPhrase(const std::string& phrase, int synset_id);
+
+  std::vector<TrieNode> trie_{TrieNode{}};  // node 0 is the root
+  std::unordered_map<int, SynonymSet> sets_;
+};
+
+}  // namespace wf::spot
+
+#endif  // WF_SPOT_SPOTTER_H_

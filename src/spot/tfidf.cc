@@ -1,0 +1,17 @@
+#include "spot/tfidf.h"
+
+namespace wf::spot {
+
+void CorpusStats::AddDocument(const std::vector<std::string>& lower_tokens) {
+  std::unordered_set<std::string> distinct(lower_tokens.begin(),
+                                           lower_tokens.end());
+  for (const std::string& t : distinct) ++df_[t];
+  ++num_docs_;
+}
+
+size_t CorpusStats::DocumentFrequency(const std::string& term) const {
+  auto it = df_.find(term);
+  return it == df_.end() ? 0 : it->second;
+}
+
+}  // namespace wf::spot

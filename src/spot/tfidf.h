@@ -1,0 +1,40 @@
+#ifndef WF_SPOT_TFIDF_H_
+#define WF_SPOT_TFIDF_H_
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace wf::spot {
+
+// Corpus-level document-frequency statistics (a corpus-level miner in
+// WebFountain terms). Feeds the disambiguator's TF·IDF context scores.
+class CorpusStats {
+ public:
+  CorpusStats() = default;
+
+  // Registers one document's tokens (lowercased by the caller). Each
+  // distinct term counts once toward document frequency.
+  void AddDocument(const std::vector<std::string>& lower_tokens);
+
+  size_t document_count() const { return num_docs_; }
+  size_t DocumentFrequency(const std::string& term) const;
+
+  // Smoothed inverse document frequency: log((N + 1) / (df + 1)) + 1.
+  // Defined (and maximal) for unseen terms; never negative.
+  double Idf(const std::string& term) const {
+    double n = static_cast<double>(num_docs_);
+    double df = static_cast<double>(DocumentFrequency(term));
+    return std::log((n + 1.0) / (df + 1.0)) + 1.0;
+  }
+
+ private:
+  std::unordered_map<std::string, size_t> df_;
+  size_t num_docs_ = 0;
+};
+
+}  // namespace wf::spot
+
+#endif  // WF_SPOT_TFIDF_H_

@@ -1,0 +1,259 @@
+#include "text/inflection.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace wf::text {
+namespace {
+
+using ::wf::common::EndsWith;
+
+const std::unordered_map<std::string, std::string>& IrregularNouns() {
+  static const auto* kMap = new std::unordered_map<std::string, std::string>{
+      {"men", "man"},         {"women", "woman"},     {"children", "child"},
+      {"feet", "foot"},       {"teeth", "tooth"},     {"mice", "mouse"},
+      {"geese", "goose"},     {"people", "person"},   {"lenses", "lens"},
+      {"media", "medium"},    {"criteria", "criterion"},
+      {"phenomena", "phenomenon"},                    {"lives", "life"},
+      {"knives", "knife"},    {"shelves", "shelf"},   {"wives", "wife"},
+      {"leaves", "leaf"},     {"halves", "half"},
+  };
+  return *kMap;
+}
+
+// Words that look plural but are not ("lens", "series", ...), so the -s
+// stripping rules must leave them alone.
+bool IsPluralLookingSingular(std::string_view w) {
+  static const auto* kSet = new std::unordered_map<std::string, bool>{
+      {"lens", true},   {"series", true}, {"species", true},
+      {"news", true},   {"bus", true},    {"gas", true},
+      {"class", true},  {"glass", true},  {"pros", true},
+      {"cons", true},   {"chaos", true},  {"basis", true},
+      {"analysis", true},
+  };
+  return kSet->count(std::string(w)) > 0;
+}
+
+const std::unordered_map<std::string, std::string>& IrregularVerbs() {
+  static const auto* kMap = new std::unordered_map<std::string, std::string>{
+      {"is", "be"},        {"am", "be"},       {"are", "be"},
+      {"was", "be"},       {"were", "be"},     {"been", "be"},
+      {"being", "be"},     {"'s", "be"},       {"'re", "be"},
+      {"'m", "be"},        {"has", "have"},    {"had", "have"},
+      {"having", "have"},  {"'ve", "have"},    {"does", "do"},
+      {"did", "do"},       {"done", "do"},     {"doing", "do"},
+      {"goes", "go"},      {"went", "go"},     {"gone", "go"},
+      {"took", "take"},    {"taken", "take"},  {"takes", "take"},
+      {"taking", "take"},  {"gave", "give"},   {"given", "give"},
+      {"made", "make"},    {"making", "make"}, {"bought", "buy"},
+      {"got", "get"},      {"gotten", "get"},  {"getting", "get"},
+      {"came", "come"},    {"coming", "come"}, {"said", "say"},
+      {"saw", "see"},      {"seen", "see"},    {"found", "find"},
+      {"felt", "feel"},    {"left", "leave"},  {"kept", "keep"},
+      {"held", "hold"},    {"told", "tell"},   {"sold", "sell"},
+      {"built", "build"},  {"sent", "send"},   {"spent", "spend"},
+      {"lost", "lose"},    {"met", "meet"},    {"paid", "pay"},
+      {"put", "put"},      {"let", "let"},     {"set", "set"},
+      {"cost", "cost"},    {"cut", "cut"},     {"hit", "hit"},
+      {"beat", "beat"},    {"broke", "break"}, {"broken", "break"},
+      {"chose", "choose"}, {"chosen", "choose"},
+      {"fell", "fall"},    {"fallen", "fall"}, {"grew", "grow"},
+      {"grown", "grow"},   {"knew", "know"},   {"known", "know"},
+      {"ran", "run"},      {"running", "run"}, {"thought", "think"},
+      {"wrote", "write"},  {"written", "write"},
+      {"wore", "wear"},    {"worn", "wear"},   {"won", "win"},
+      {"outdid", "outdo"}, {"outdoes", "outdo"},
+      {"exceeded", "exceed"},                  {"underwent", "undergo"},
+      {"shot", "shoot"},   {"shook", "shake"}, {"shaken", "shake"},
+      {"stood", "stand"},  {"understood", "understand"},
+      {"brought", "bring"},{"caught", "catch"},{"taught", "teach"},
+      {"led", "lead"},     {"read", "read"},   {"heard", "hear"},
+      {"meant", "mean"},   {"became", "become"},
+      {"began", "begin"},  {"begun", "begin"}, {"ate", "eat"},
+      {"eaten", "eat"},    {"drove", "drive"}, {"driven", "drive"},
+      {"rose", "rise"},    {"risen", "rise"},  {"fled", "flee"},
+  };
+  return *kMap;
+}
+
+bool IsVowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+// Words ending in -e that drop it before -ing/-ed are restored by this
+// heuristic: restore 'e' when the stem ends consonant+consonant that usually
+// requires it (e.g. "impress+ed" vs "improve+d"). We approximate with a
+// small rule set validated by the tagger tests.
+std::string StripVerbSuffix(std::string_view w) {
+  std::string word(w);
+  auto ends = [&](std::string_view s) { return EndsWith(word, s); };
+
+  // Base forms that merely *look* inflected must pass through: -eed verbs
+  // ("need", "exceed", "succeed"), -ing-final bases ("bring", "spring"),
+  // and -ed-final bases ("shed", "embed").
+  if (ends("eed")) return word;
+  static const auto* kIngBases = new std::unordered_map<std::string, bool>{
+      {"bring", true},  {"spring", true}, {"string", true},
+      {"swing", true},  {"sting", true},  {"cling", true},
+      {"fling", true},  {"sling", true},  {"wring", true},
+      {"sing", true},   {"ring", true},   {"king", true},
+      {"thing", true},  {"wing", true},   {"evening", true},
+      {"morning", true}, {"nothing", true}, {"something", true},
+      {"everything", true}, {"anything", true},
+  };
+  if (kIngBases->count(word) > 0) return word;
+  static const auto* kEdBases = new std::unordered_map<std::string, bool>{
+      {"shed", true}, {"embed", true}, {"wed", true}, {"sled", true},
+      {"shred", true},
+  };
+  if (kEdBases->count(word) > 0) return word;
+
+  if (ends("ies") && word.size() > 4) {
+    // "carries" -> "carry"
+    return word.substr(0, word.size() - 3) + "y";
+  }
+  if (ends("ied") && word.size() > 4) {
+    // "satisfied" -> "satisfy"
+    return word.substr(0, word.size() - 3) + "y";
+  }
+  if ((ends("ches") || ends("shes") || ends("sses") || ends("xes") ||
+       ends("zes")) &&
+      word.size() > 4) {
+    // "watches" -> "watch", "passes" -> "pass"
+    return word.substr(0, word.size() - 2);
+  }
+  if (ends("es") && word.size() > 3 && word[word.size() - 3] == 'o') {
+    // "goes" handled as irregular; "echoes" -> "echo"
+    return word.substr(0, word.size() - 2);
+  }
+  if (ends("s") && !ends("ss") && !ends("us") && !ends("is") &&
+      word.size() > 2) {
+    return word.substr(0, word.size() - 1);
+  }
+
+  auto strip_ed_ing = [&](size_t suffix_len) -> std::string {
+    std::string stem = word.substr(0, word.size() - suffix_len);
+    if (stem.size() >= 2) {
+      char last = stem[stem.size() - 1];
+      char prev = stem[stem.size() - 2];
+      // Consonant doubling: "stopped" -> "stop", "planning" -> "plan".
+      // Stems legitimately ending in a double consonant ("call", "impress",
+      // "fill") keep it and take no restored 'e'.
+      if (last == prev && !IsVowel(last)) {
+        if (last != 'l' && last != 's' && stem.size() >= 3) {
+          return stem.substr(0, stem.size() - 1);
+        }
+        return stem;
+      }
+      // Silent-e restoration: "loved" -> "love", "amazing" -> "amaze".
+      // Applies when the stem ends with consonant preceded by vowel and the
+      // consonant typically requires -e (approximation: c,g,s,v,z or
+      // two-consonant clusters like "dl" do not; we restore for
+      // v,z,c,g,s,u and single-consonant after long vowel patterns).
+      if (!IsVowel(last)) {
+        if (last == 'v' || last == 'z' || last == 'c' || last == 'g' ||
+            last == 's' || last == 'u') {
+          return stem + "e";
+        }
+        static const char* kERestore[] = {"at", "it", "ot", "ut", "ik",
+                                          "ok", "ir", "ar", "or", "ur",
+                                          "in", "im", "iz", "as"};
+        if (stem.size() >= 2) {
+          std::string tail = stem.substr(stem.size() - 2);
+          for (const char* t : kERestore) {
+            if (tail == t && stem.size() > 3) return stem + "e";
+          }
+        }
+      }
+    }
+    return stem;
+  };
+
+  if (ends("ing") && word.size() > 4) return strip_ed_ing(3);
+  if (ends("ed") && word.size() > 3) return strip_ed_ing(2);
+  return word;
+}
+
+}  // namespace
+
+std::string SingularizeNoun(std::string_view word) {
+  std::string w(word);
+  auto it = IrregularNouns().find(w);
+  if (it != IrregularNouns().end()) return it->second;
+  if (IsPluralLookingSingular(w)) return w;
+  if (EndsWith(w, "ies") && w.size() > 4) {
+    return w.substr(0, w.size() - 3) + "y";
+  }
+  if ((EndsWith(w, "ches") || EndsWith(w, "shes") || EndsWith(w, "sses") ||
+       EndsWith(w, "xes") || EndsWith(w, "zes")) &&
+      w.size() > 4) {
+    return w.substr(0, w.size() - 2);
+  }
+  if (EndsWith(w, "oes") && w.size() > 4) {
+    return w.substr(0, w.size() - 2);
+  }
+  if (EndsWith(w, "s") && !EndsWith(w, "ss") && !EndsWith(w, "us") &&
+      !EndsWith(w, "is") && w.size() > 2) {
+    return w.substr(0, w.size() - 1);
+  }
+  return w;
+}
+
+std::string VerbLemma(std::string_view word) {
+  std::string w(word);
+  auto it = IrregularVerbs().find(w);
+  if (it != IrregularVerbs().end()) return it->second;
+  return StripVerbSuffix(w);
+}
+
+std::string AdjectiveBase(std::string_view word) {
+  std::string w(word);
+  static const auto* kIrregular =
+      new std::unordered_map<std::string, std::string>{
+          {"better", "good"}, {"best", "good"},  {"worse", "bad"},
+          {"worst", "bad"},   {"less", "little"}, {"least", "little"},
+          {"more", "much"},   {"most", "much"},   {"further", "far"},
+      };
+  auto it = kIrregular->find(w);
+  if (it != kIrregular->end()) return it->second;
+
+  auto strip = [&](size_t n) -> std::string {
+    std::string stem = w.substr(0, w.size() - n);
+    if (stem.size() >= 2) {
+      char last = stem[stem.size() - 1];
+      char prev = stem[stem.size() - 2];
+      if (last == prev && !IsVowel(last)) {
+        return stem.substr(0, stem.size() - 1);  // bigger -> big
+      }
+      if (last == 'i') {
+        return stem.substr(0, stem.size() - 1) + "y";  // happier -> happy
+      }
+      // nicer -> nice: restore e when the stem ends in a consonant that
+      // would otherwise leave an un-word ("nic").
+      if (!IsVowel(last) && (last == 'c' || last == 'g' || last == 'v' ||
+                             last == 's' || last == 'z')) {
+        return stem + "e";
+      }
+    }
+    return stem;
+  };
+
+  if (EndsWith(w, "est") && w.size() > 4) return strip(3);
+  if (EndsWith(w, "er") && w.size() > 3) return strip(2);
+  return w;
+}
+
+bool IsNegationWord(std::string_view word) {
+  static const auto* kSet = new std::unordered_map<std::string, bool>{
+      {"not", true},    {"n't", true},    {"no", true},
+      {"never", true},  {"hardly", true}, {"seldom", true},
+      {"rarely", true}, {"barely", true}, {"scarcely", true},
+      {"little", true}, {"neither", true}, {"nor", true},
+      {"without", true},
+  };
+  std::string w = common::ToLower(word);
+  return kSet->count(w) > 0;
+}
+
+}  // namespace wf::text

@@ -1,0 +1,33 @@
+#ifndef WF_TEXT_INFLECTION_H_
+#define WF_TEXT_INFLECTION_H_
+
+#include <string>
+#include <string_view>
+
+namespace wf::text {
+
+// English morphology used throughout the NLP stack: lexicon lookup,
+// predicate-lemma matching for the sentiment pattern database, and the POS
+// tagger's suffix guesser. All functions expect lowercase ASCII input and
+// return the input unchanged when no rule applies.
+
+// "batteries" -> "battery", "lenses" -> "lens", "children" -> "child".
+std::string SingularizeNoun(std::string_view word);
+
+// Base (dictionary) form of a verb: "takes"/"took"/"taking"/"taken" ->
+// "take", "is"/"was"/"are" -> "be". Handles the common irregulars plus
+// regular -s/-es/-ed/-ing with consonant doubling and silent-e restoration.
+std::string VerbLemma(std::string_view word);
+
+// "bigger"/"biggest" -> "big", "happier" -> "happy". Returns input for
+// non-comparative forms.
+std::string AdjectiveBase(std::string_view word);
+
+// True for "not", "n't", "no", "never", "hardly", "seldom", "rarely",
+// "barely", "scarcely", "little" — the negative adverbs §4.2 lists as
+// reversing phrase polarity.
+bool IsNegationWord(std::string_view word);
+
+}  // namespace wf::text
+
+#endif  // WF_TEXT_INFLECTION_H_

@@ -1,0 +1,38 @@
+#include "text/sentence_splitter.h"
+
+namespace wf::text {
+namespace {
+
+bool IsTerminator(const Token& t) {
+  if (t.kind != TokenKind::kPunct || t.text.empty()) return false;
+  char c = t.text[0];
+  return c == '.' || c == '!' || c == '?';
+}
+
+bool IsTrailingCloser(const Token& t) {
+  if (t.text.size() != 1) return false;
+  char c = t.text[0];
+  return c == '"' || c == '\'' || c == ')' || c == ']' || c == '}';
+}
+
+}  // namespace
+
+std::vector<SentenceSpan> SentenceSplitter::Split(
+    const TokenStream& tokens) const {
+  std::vector<SentenceSpan> out;
+  size_t start = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!IsTerminator(tokens[i])) continue;
+    size_t end = i + 1;
+    while (end < tokens.size() && IsTrailingCloser(tokens[end])) ++end;
+    if (end > start) out.push_back(SentenceSpan{start, end});
+    start = end;
+    i = end - 1;
+  }
+  if (start < tokens.size()) {
+    out.push_back(SentenceSpan{start, tokens.size()});
+  }
+  return out;
+}
+
+}  // namespace wf::text

@@ -1,0 +1,24 @@
+#ifndef WF_TEXT_SENTENCE_SPLITTER_H_
+#define WF_TEXT_SENTENCE_SPLITTER_H_
+
+#include <vector>
+
+#include "text/token.h"
+
+namespace wf::text {
+
+// Splits a token stream into sentences (the preprocessing step of §4.2:
+// "we extract sentences from input documents").
+//
+// A sentence ends at '.', '!', '?', '...' or at a hard break implied by the
+// stream ending. Closing quotes/brackets immediately after the terminator
+// are folded into the sentence. Abbreviations never end a sentence because
+// the tokenizer keeps their period inside the word token.
+class SentenceSplitter {
+ public:
+  std::vector<SentenceSpan> Split(const TokenStream& tokens) const;
+};
+
+}  // namespace wf::text
+
+#endif  // WF_TEXT_SENTENCE_SPLITTER_H_

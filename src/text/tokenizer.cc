@@ -1,0 +1,178 @@
+#include "text/tokenizer.h"
+
+#include <array>
+
+#include "common/string_util.h"
+
+namespace wf::text {
+namespace {
+
+using ::wf::common::EqualsIgnoreCase;
+using ::wf::common::IsAsciiAlpha;
+using ::wf::common::IsAsciiDigit;
+using ::wf::common::IsAsciiSpace;
+
+constexpr std::array<std::string_view, 28> kAbbreviations = {
+    "mr.",  "mrs.",  "ms.",   "dr.",   "prof.", "sr.",   "jr.",
+    "st.",  "gen.",  "rep.",  "sen.",  "gov.",  "capt.", "lt.",
+    "col.", "sgt.",  "inc.",  "corp.", "co.",   "ltd.",  "vs.",
+    "etc.", "e.g.",  "i.e.",  "u.s.",  "u.k.",  "no.",   "fig."};
+
+bool IsWordChar(char c) { return IsAsciiAlpha(c) || IsAsciiDigit(c); }
+
+// Clitic suffixes split per Penn Treebank conventions, longest first.
+constexpr std::array<std::string_view, 7> kClitics = {
+    "n't", "'re", "'ve", "'ll", "'s", "'d", "'m"};
+
+}  // namespace
+
+Tokenizer::Tokenizer(const TokenizerOptions& options) : options_(options) {}
+
+bool Tokenizer::IsAbbreviation(std::string_view word_with_period) {
+  for (std::string_view abbr : kAbbreviations) {
+    if (EqualsIgnoreCase(word_with_period, abbr)) return true;
+  }
+  // Single letter followed by a period ("J.") or dotted acronym ("U.S.A.").
+  if (word_with_period.size() >= 2 && word_with_period.back() == '.') {
+    bool dotted = true;
+    for (size_t i = 0; i < word_with_period.size(); ++i) {
+      bool expect_alpha = (i % 2 == 0);
+      char c = word_with_period[i];
+      if (expect_alpha ? !IsAsciiAlpha(c) : c != '.') {
+        dotted = false;
+        break;
+      }
+    }
+    if (dotted && word_with_period.size() % 2 == 0) return true;
+  }
+  return false;
+}
+
+TokenStream Tokenizer::Tokenize(std::string_view input) const {
+  TokenStream out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (IsAsciiSpace(c)) {
+      ++i;
+      continue;
+    }
+
+    // Number: optional sign only when followed by a digit; digits with
+    // internal '.' or ',' followed by more digits.
+    if (IsAsciiDigit(c) ||
+        ((c == '-' || c == '+') && i + 1 < n && IsAsciiDigit(input[i + 1]))) {
+      size_t start = i;
+      if (c == '-' || c == '+') ++i;
+      while (i < n) {
+        if (IsAsciiDigit(input[i])) {
+          ++i;
+        } else if ((input[i] == '.' || input[i] == ',') && i + 1 < n &&
+                   IsAsciiDigit(input[i + 1])) {
+          i += 2;
+        } else {
+          break;
+        }
+      }
+      out.push_back(Token{std::string(input.substr(start, i - start)), start,
+                          i, TokenKind::kNumber});
+      continue;
+    }
+
+    if (IsAsciiAlpha(c)) {
+      // Word: letters/digits with internal hyphens and apostrophes.
+      size_t start = i;
+      ++i;
+      while (i < n) {
+        if (IsWordChar(input[i])) {
+          ++i;
+        } else if ((input[i] == '-' || input[i] == '\'') && i + 1 < n &&
+                   IsWordChar(input[i + 1])) {
+          i += 2;
+        } else {
+          break;
+        }
+      }
+      size_t end = i;
+      // Abbreviation check: absorb a trailing period when the result is a
+      // known abbreviation or dotted acronym.
+      if (options_.keep_abbreviations && i < n && input[i] == '.') {
+        // Dotted acronyms tokenize letter-by-letter above, so re-scan the
+        // candidate including interior periods: extend over alternating
+        // letter/period runs.
+        size_t j = i;
+        while (j + 1 < n && input[j] == '.' && IsAsciiAlpha(input[j + 1]) &&
+               (j + 2 >= n || input[j + 2] == '.')) {
+          j += 2;
+        }
+        if (j < n && input[j] == '.') ++j;
+        std::string_view with_period = input.substr(start, j - start);
+        if (with_period.back() == '.' && IsAbbreviation(with_period)) {
+          end = j;
+          i = j;
+        }
+      }
+      std::string surface(input.substr(start, end - start));
+      // Clitic splitting ("don't" -> "do" + "n't").
+      if (options_.split_clitics && surface.find('\'') != std::string::npos) {
+        for (std::string_view clitic : kClitics) {
+          if (surface.size() > clitic.size() &&
+              EqualsIgnoreCase(
+                  std::string_view(surface).substr(surface.size() -
+                                                   clitic.size()),
+                  clitic)) {
+            size_t split = surface.size() - clitic.size();
+            out.push_back(Token{surface.substr(0, split), start, start + split,
+                                TokenKind::kWord});
+            out.push_back(Token{surface.substr(split), start + split, end,
+                                TokenKind::kWord});
+            surface.clear();
+            break;
+          }
+        }
+      }
+      if (!surface.empty()) {
+        out.push_back(Token{std::move(surface), start, end, TokenKind::kWord});
+      }
+      continue;
+    }
+
+    // Punctuation / symbol: one character per token, except runs of the same
+    // sentence-final mark ("..." / "!!") and "--" which group.
+    size_t start = i;
+    char p = c;
+    ++i;
+    if (p == '.' || p == '!' || p == '?' || p == '-') {
+      while (i < n && input[i] == p) ++i;
+    }
+    TokenKind kind = TokenKind::kSymbol;
+    switch (p) {
+      case '.':
+      case ',':
+      case ';':
+      case ':':
+      case '!':
+      case '?':
+      case '"':
+      case '\'':
+      case '(':
+      case ')':
+      case '[':
+      case ']':
+      case '{':
+      case '}':
+      case '-':
+        kind = TokenKind::kPunct;
+        break;
+      default:
+        kind = TokenKind::kSymbol;
+        break;
+    }
+    out.push_back(Token{std::string(input.substr(start, i - start)), start, i,
+                        kind});
+  }
+  return out;
+}
+
+}  // namespace wf::text

@@ -1,0 +1,45 @@
+#ifndef WF_TEXT_TOKENIZER_H_
+#define WF_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+
+#include "text/token.h"
+
+namespace wf::text {
+
+struct TokenizerOptions {
+  // Split Penn-Treebank-style clitics: "don't" -> "do"+"n't",
+  // "camera's" -> "camera"+"'s".
+  bool split_clitics = true;
+  // Keep known abbreviations ("Dr.", "U.S.", "e.g.") as single tokens,
+  // including their trailing period.
+  bool keep_abbreviations = true;
+};
+
+// Rule-based English tokenizer (the WebFountain "Tokenizer" entity-level
+// miner). Deterministic, whitespace- and character-class driven:
+//   - words may contain internal hyphens and apostrophes
+//   - numbers may contain decimal points, commas and leading signs
+//   - each punctuation/symbol character is its own token
+//   - abbreviations from a built-in list keep their period
+// Offsets in the returned tokens always cover the source slice the token
+// came from, so downstream spans map back to the document.
+class Tokenizer {
+ public:
+  Tokenizer() : Tokenizer(TokenizerOptions{}) {}
+  explicit Tokenizer(const TokenizerOptions& options);
+
+  TokenStream Tokenize(std::string_view input) const;
+
+  // True when `word` (with trailing period) is a known abbreviation,
+  // case-insensitively ("Dr.", "e.g.").
+  static bool IsAbbreviation(std::string_view word_with_period);
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace wf::text
+
+#endif  // WF_TEXT_TOKENIZER_H_

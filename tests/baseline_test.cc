@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "baseline/collocation.h"
+#include "baseline/reviewseer.h"
+#include "tests/test_util.h"
+
+namespace wf::baseline {
+namespace {
+
+using lexicon::Polarity;
+
+// --- Collocation ------------------------------------------------------------------
+
+class CollocationTest : public ::testing::Test {
+ protected:
+  Polarity Analyze(const std::string& sentence, const std::string& subject) {
+    text::Tokenizer tokenizer;
+    text::TokenStream tokens = tokenizer.Tokenize(sentence);
+    text::SentenceSplitter splitter;
+    std::vector<text::SentenceSpan> spans = splitter.Split(tokens);
+    pos::PosTagger tagger;
+    std::vector<pos::PosTag> tags = tagger.TagSentence(tokens, spans[0]);
+    parse::SentenceAnalyzer analyzer;
+    parse::SentenceParse parse = analyzer.Analyze(tokens, spans[0], tags);
+
+    text::TokenStream subj = tokenizer.Tokenize(subject);
+    size_t begin = 0, end = 0;
+    for (size_t i = spans[0].begin_token;
+         i + subj.size() <= spans[0].end_token; ++i) {
+      bool match = true;
+      for (size_t k = 0; k < subj.size(); ++k) {
+        if (!common::EqualsIgnoreCase(tokens[i + k].text, subj[k].text)) {
+          match = false;
+        }
+      }
+      if (match) {
+        begin = i;
+        end = i + subj.size();
+        break;
+      }
+    }
+    CollocationAnalyzer colloc(&lexicon_);
+    return colloc.AnalyzeSubject(tokens, parse, begin, end);
+  }
+
+  lexicon::SentimentLexicon lexicon_ =
+      lexicon::SentimentLexicon::Embedded();
+};
+
+TEST_F(CollocationTest, PositiveCooccurrence) {
+  EXPECT_EQ(Analyze("The camera takes excellent pictures.", "camera"),
+            Polarity::kPositive);
+}
+
+TEST_F(CollocationTest, MajorityVoteWins) {
+  EXPECT_EQ(Analyze("The terrible awful camera had one great day.",
+                    "camera"),
+            Polarity::kNegative);
+}
+
+TEST_F(CollocationTest, TieIsNeutral) {
+  // One positive and one negative term: no majority.
+  EXPECT_EQ(Analyze("The excellent lens has a terrible cap.", "lens"),
+            Polarity::kNeutral);
+}
+
+TEST_F(CollocationTest, NoSentimentWordsIsNeutral) {
+  EXPECT_EQ(Analyze("The camera arrived on Tuesday.", "camera"),
+            Polarity::kNeutral);
+}
+
+TEST_F(CollocationTest, AssignsOffTargetSentiment) {
+  // The known weakness: sentiment about the zoom lands on the battery.
+  EXPECT_EQ(Analyze("The excellent zoom sits above the battery.",
+                    "battery"),
+            Polarity::kPositive);
+}
+
+TEST_F(CollocationTest, IgnoresNegation) {
+  // No grammar: "not sharp" still counts "sharp" as positive.
+  EXPECT_EQ(Analyze("The picture is not sharp.", "picture"),
+            Polarity::kPositive);
+}
+
+// --- ReviewSeer --------------------------------------------------------------------
+
+class ReviewSeerTest : public ::testing::Test {
+ protected:
+  static ReviewSeerClassifier Trained() {
+    ReviewSeerClassifier::Options options;
+    options.min_feature_count = 1;
+    ReviewSeerClassifier c(options);
+    for (int i = 0; i < 20; ++i) {
+      c.AddTrainingDocument(
+          "This camera is excellent. The pictures are sharp and the "
+          "battery is great. I love it.",
+          Polarity::kPositive);
+      c.AddTrainingDocument(
+          "This camera is terrible. The pictures are blurry and the "
+          "battery is awful. I hate it.",
+          Polarity::kNegative);
+    }
+    c.Train();
+    return c;
+  }
+};
+
+TEST_F(ReviewSeerTest, ClassifiesTrainingLikeText) {
+  ReviewSeerClassifier c = Trained();
+  EXPECT_EQ(c.Classify("The pictures are sharp and excellent."),
+            Polarity::kPositive);
+  EXPECT_EQ(c.Classify("The pictures are blurry and awful."),
+            Polarity::kNegative);
+}
+
+TEST_F(ReviewSeerTest, NeutralMarginOnUnknownText) {
+  ReviewSeerClassifier c = Trained();
+  EXPECT_EQ(c.Classify("Quarterly refinery output rose."),
+            Polarity::kNeutral);
+}
+
+TEST_F(ReviewSeerTest, LogOddsSignMatchesClass) {
+  ReviewSeerClassifier c = Trained();
+  EXPECT_GT(c.LogOdds("excellent sharp great"), 0.0);
+  EXPECT_LT(c.LogOdds("terrible blurry awful"), 0.0);
+}
+
+TEST_F(ReviewSeerTest, VocabularyBuilt) {
+  ReviewSeerClassifier c = Trained();
+  EXPECT_GT(c.vocabulary_size(), 10u);
+  EXPECT_TRUE(c.trained());
+}
+
+TEST_F(ReviewSeerTest, BigramsCaptureLocalContext) {
+  ReviewSeerClassifier::Options options;
+  options.min_feature_count = 1;
+  options.use_bigrams = true;
+  ReviewSeerClassifier with(options);
+  options.use_bigrams = false;
+  ReviewSeerClassifier without(options);
+  for (int i = 0; i < 10; ++i) {
+    for (ReviewSeerClassifier* c : {&with, &without}) {
+      c->AddTrainingDocument("the battery lasts forever",
+                             Polarity::kPositive);
+      c->AddTrainingDocument("the battery dies forever",
+                             Polarity::kNegative);
+    }
+  }
+  with.Train();
+  without.Train();
+  // The bigram model separates "battery lasts" from "battery dies".
+  EXPECT_GT(with.LogOdds("battery lasts"),
+            without.LogOdds("battery lasts"));
+}
+
+TEST_F(ReviewSeerTest, FrequencyCutoffDropsRareFeatures) {
+  ReviewSeerClassifier::Options options;
+  options.min_feature_count = 5;
+  ReviewSeerClassifier c(options);
+  for (int i = 0; i < 10; ++i) {
+    c.AddTrainingDocument("good good good", Polarity::kPositive);
+    c.AddTrainingDocument("bad bad bad", Polarity::kNegative);
+  }
+  c.AddTrainingDocument("hapaxlegomenon", Polarity::kPositive);
+  c.Train();
+  // The singleton word contributes nothing.
+  EXPECT_NEAR(c.LogOdds("hapaxlegomenon"), c.LogOdds(""), 1e-9);
+}
+
+}  // namespace
+}  // namespace wf::baseline

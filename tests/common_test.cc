@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace wf::common {
+namespace {
+
+// --- Status ------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing doc");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing doc");
+  EXPECT_EQ(s.ToString(), "NotFound: missing doc");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+  EXPECT_FALSE(Status::Internal("x") == Status::IOError("x"));
+}
+
+TEST(StatusTest, AllCodeNamesDistinct) {
+  std::set<std::string> names;
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnimplemented); ++c) {
+    names.insert(StatusCodeName(static_cast<StatusCode>(c)));
+  }
+  EXPECT_EQ(names.size(),
+            static_cast<size_t>(StatusCode::kUnimplemented) + 1);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Status FailingHelper() { return Status::IOError("disk"); }
+
+Status UsesReturnIfError() {
+  WF_RETURN_IF_ERROR(FailingHelper());
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), StatusCode::kIOError);
+}
+
+Result<int> GiveSeven() { return 7; }
+
+Status UsesAssignOrReturn(int* out) {
+  WF_ASSIGN_OR_RETURN(int v, GiveSeven());
+  *out = v;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnAssigns) {
+  int out = 0;
+  ASSERT_TRUE(UsesAssignOrReturn(&out).ok());
+  EXPECT_EQ(out, 7);
+}
+
+// --- String utilities ----------------------------------------------------------
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("Hello World!"), "hello world!");
+  EXPECT_EQ(ToUpper("Hello World!"), "HELLO WORLD!");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, CharClasses) {
+  EXPECT_TRUE(IsAsciiAlpha('a'));
+  EXPECT_TRUE(IsAsciiAlpha('Z'));
+  EXPECT_FALSE(IsAsciiAlpha('1'));
+  EXPECT_TRUE(IsAsciiDigit('0'));
+  EXPECT_TRUE(IsAsciiSpace('\t'));
+  EXPECT_TRUE(IsAsciiPunct('.'));
+  EXPECT_FALSE(IsAsciiPunct('a'));
+}
+
+TEST(StringUtilTest, Capitalization) {
+  EXPECT_TRUE(IsCapitalized("Sony"));
+  EXPECT_FALSE(IsCapitalized("sony"));
+  EXPECT_FALSE(IsCapitalized(""));
+  EXPECT_TRUE(IsAllUpper("NR70"));
+  EXPECT_TRUE(IsAllUpper("SUN"));
+  EXPECT_FALSE(IsAllUpper("Sun"));
+  EXPECT_FALSE(IsAllUpper("1234"));  // no alphabetic character
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("sentiment", "sent"));
+  EXPECT_FALSE(StartsWith("sent", "sentiment"));
+  EXPECT_TRUE(EndsWith("mining", "ing"));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("NR70", "nr70"));
+  EXPECT_FALSE(EqualsIgnoreCase("NR70", "nr7"));
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StringUtilTest, SplitDropsEmptyPieces) {
+  EXPECT_EQ(Split("a,,b, c", ", "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(Split("", ",").empty());
+  EXPECT_TRUE(Split(",,,", ",").empty());
+}
+
+TEST(StringUtilTest, SplitExactKeepsEmptyPieces) {
+  EXPECT_EQ(SplitExact("a||b", "|"),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(SplitExact("abc", "|"), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplitExact) {
+  std::vector<std::string> parts{"x", "", "yz", "w"};
+  EXPECT_EQ(SplitExact(Join(parts, "|"), "|"), parts);
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(ReplaceAll("nothing", "x", "y"), "nothing");
+  EXPECT_EQ(ReplaceAll("overlap", "", "y"), "overlap");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+// --- Rng -----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform(0, 1 << 30) == b.Uniform(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, WeightedRespectsZeroWeight) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    size_t pick = rng.Weighted({0.0, 1.0, 0.0});
+    EXPECT_EQ(pick, 1u);
+  }
+}
+
+TEST(RngTest, WeightedDistribution) {
+  Rng rng(7);
+  std::vector<int> counts(2, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[rng.Weighted({1.0, 3.0})];
+  }
+  EXPECT_NEAR(counts[1] / 10000.0, 0.75, 0.03);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(7);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Fork();
+  // Child stream differs from a fresh Rng(5) stream.
+  Rng fresh(5);
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (child.Uniform(0, 1 << 30) != fresh.Uniform(0, 1 << 30)) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+// --- Hash ----------------------------------------------------------------------
+
+TEST(HashTest, Fnv1a64KnownValues) {
+  // FNV-1a published test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(HashTest, Fnv1a64Distinguishes) {
+  EXPECT_NE(Fnv1a64("doc-1"), Fnv1a64("doc-2"));
+  EXPECT_EQ(Fnv1a64("stable"), Fnv1a64("stable"));
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+}  // namespace
+}  // namespace wf::common

@@ -1,0 +1,319 @@
+#include "core/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace wf {
+namespace {
+
+using core::SentimentSource;
+using lexicon::Polarity;
+using wf::testing::Pipeline;
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  Pipeline pipeline_;
+};
+
+// --- The paper's worked examples (§4.2) -----------------------------------
+
+TEST_F(AnalyzerTest, ImpressedByFlashCapabilities) {
+  EXPECT_EQ(pipeline_.Analyze("I am impressed by the flash capabilities.",
+                              "flash capabilities"),
+            Polarity::kPositive);
+}
+
+TEST_F(AnalyzerTest, CameraTakesExcellentPictures) {
+  EXPECT_EQ(pipeline_.Analyze("This camera takes excellent pictures.",
+                              "camera"),
+            Polarity::kPositive);
+}
+
+TEST_F(AnalyzerTest, ColorsAreVibrant) {
+  EXPECT_EQ(pipeline_.Analyze("The colors are vibrant.", "colors"),
+            Polarity::kPositive);
+}
+
+TEST_F(AnalyzerTest, CompanyOffersHighQualityProducts) {
+  EXPECT_EQ(pipeline_.Analyze("The company offers high quality products.",
+                              "company"),
+            Polarity::kPositive);
+}
+
+TEST_F(AnalyzerTest, CompanyOffersMediocreServices) {
+  EXPECT_EQ(pipeline_.Analyze("The company offers mediocre services.",
+                              "company"),
+            Polarity::kNegative);
+}
+
+TEST_F(AnalyzerTest, PictureIsFlawless) {
+  EXPECT_EQ(pipeline_.Analyze("The picture is flawless.", "picture"),
+            Polarity::kPositive);
+}
+
+TEST_F(AnalyzerTest, ProductFailsToMeetExpectations) {
+  EXPECT_EQ(pipeline_.Analyze(
+                "The product fails to meet our quality expectations.",
+                "product"),
+            Polarity::kNegative);
+}
+
+// --- The NR70 / T series CLIEs multi-subject examples (§1.2) ---------------
+
+TEST_F(AnalyzerTest, Nr70DoesNotRequireAdapter) {
+  const std::string s =
+      "Unlike the more recent T series CLIEs, the NR70 does not require an "
+      "add-on adapter for MP3 playback, which is certainly a welcome "
+      "change.";
+  EXPECT_EQ(pipeline_.Analyze(s, "NR70"), Polarity::kPositive);
+  EXPECT_EQ(pipeline_.Analyze(s, "T series CLIEs"), Polarity::kNegative);
+}
+
+TEST_F(AnalyzerTest, MemoryStickSupportWellImplemented) {
+  const std::string s =
+      "The Memory Stick support in the NR70 series is well implemented and "
+      "functional.";
+  EXPECT_EQ(pipeline_.Analyze(s, "NR70"), Polarity::kPositive);
+}
+
+// --- Negation handling ------------------------------------------------------
+
+TEST_F(AnalyzerTest, NegatedCopulaFlips) {
+  EXPECT_EQ(pipeline_.Analyze("The picture is not sharp.", "picture"),
+            Polarity::kNegative);
+}
+
+TEST_F(AnalyzerTest, NegatedNegativeBecomesPositive) {
+  EXPECT_EQ(pipeline_.Analyze("The camera never fails.", "camera"),
+            Polarity::kPositive);
+}
+
+TEST_F(AnalyzerTest, CliticNegation) {
+  EXPECT_EQ(pipeline_.Analyze("The software isn't reliable.", "software"),
+            Polarity::kNegative);
+}
+
+TEST_F(AnalyzerTest, NegationDisabledByOption) {
+  core::AnalyzerOptions options;
+  options.handle_negation = false;
+  Pipeline no_neg(options);
+  EXPECT_EQ(no_neg.Analyze("The picture is not sharp.", "picture"),
+            Polarity::kPositive);
+}
+
+// --- Pattern families --------------------------------------------------------
+
+TEST_F(AnalyzerTest, ObjectExperiencerActive) {
+  EXPECT_EQ(pipeline_.Analyze("The lens impressed everyone.", "lens"),
+            Polarity::kPositive);
+}
+
+TEST_F(AnalyzerTest, DisappointedByPassive) {
+  EXPECT_EQ(
+      pipeline_.Analyze("We were disappointed by the battery.", "battery"),
+      Polarity::kNegative);
+}
+
+TEST_F(AnalyzerTest, SubjectExperiencerLove) {
+  EXPECT_EQ(pipeline_.Analyze("I love this camera.", "camera"),
+            Polarity::kPositive);
+}
+
+TEST_F(AnalyzerTest, SubjectExperiencerHate) {
+  EXPECT_EQ(pipeline_.Analyze("I hate the menu.", "menu"),
+            Polarity::kNegative);
+}
+
+TEST_F(AnalyzerTest, LoveSubjectNotTarget) {
+  // "I love X": the lover (SP) gets no sentiment.
+  EXPECT_EQ(pipeline_.Analyze("I love this camera.", "I"),
+            Polarity::kNeutral);
+}
+
+TEST_F(AnalyzerTest, IntransitiveQualityVerbs) {
+  EXPECT_EQ(pipeline_.Analyze("The autofocus struggles.", "autofocus"),
+            Polarity::kNegative);
+  EXPECT_EQ(pipeline_.Analyze("The zoom excels.", "zoom"),
+            Polarity::kPositive);
+}
+
+TEST_F(AnalyzerTest, AdverbialManner) {
+  EXPECT_EQ(pipeline_.Analyze("The flash works flawlessly.", "flash"),
+            Polarity::kPositive);
+  EXPECT_EQ(pipeline_.Analyze("The software performs poorly.", "software"),
+            Polarity::kNegative);
+}
+
+TEST_F(AnalyzerTest, ComparisonVerbs) {
+  const std::string s = "The Nikon outperforms the Canon.";
+  EXPECT_EQ(pipeline_.Analyze(s, "Nikon"), Polarity::kPositive);
+  EXPECT_EQ(pipeline_.Analyze(s, "Canon"), Polarity::kNegative);
+}
+
+TEST_F(AnalyzerTest, RaveAndComplainAbout) {
+  EXPECT_EQ(pipeline_.Analyze("Everyone raves about the viewfinder.",
+                              "viewfinder"),
+            Polarity::kPositive);
+  EXPECT_EQ(
+      pipeline_.Analyze("Users complain about the battery.", "battery"),
+      Polarity::kNegative);
+}
+
+TEST_F(AnalyzerTest, LackIsNegative) {
+  EXPECT_EQ(pipeline_.Analyze("The NR70 lacks a headphone jack.", "NR70"),
+            Polarity::kNegative);
+}
+
+TEST_F(AnalyzerTest, ComesWithTransfer) {
+  EXPECT_EQ(pipeline_.Analyze(
+                "The camera comes with a generous memory card.", "camera"),
+            Polarity::kPositive);
+}
+
+TEST_F(AnalyzerTest, CopulaVariants) {
+  EXPECT_EQ(pipeline_.Analyze("The mix seems muddy.", "mix"),
+            Polarity::kNegative);
+  EXPECT_EQ(pipeline_.Analyze("The grip feels solid.", "grip"),
+            Polarity::kPositive);
+  EXPECT_EQ(pipeline_.Analyze("The chorus sounds lifeless.", "chorus"),
+            Polarity::kNegative);
+  EXPECT_EQ(pipeline_.Analyze("The screen looks gorgeous.", "screen"),
+            Polarity::kPositive);
+}
+
+TEST_F(AnalyzerTest, BrimWithTransfer) {
+  EXPECT_EQ(pipeline_.Analyze("The album brims with catchy melodies.",
+                              "album"),
+            Polarity::kPositive);
+}
+
+TEST_F(AnalyzerTest, EquipmentPassive) {
+  EXPECT_EQ(pipeline_.Analyze(
+                "The NR70 is equipped with a memory slot.", "NR70"),
+            Polarity::kPositive);
+}
+
+TEST_F(AnalyzerTest, VerdictVerbWithComplement) {
+  EXPECT_EQ(pipeline_.Analyze("The report calls the refinery dangerous.",
+                              "refinery"),
+            Polarity::kNegative);
+  EXPECT_EQ(pipeline_.Analyze("Reviewers call the lens superb.", "lens"),
+            Polarity::kPositive);
+}
+
+TEST_F(AnalyzerTest, ObjectDirectedImprovement) {
+  EXPECT_EQ(pipeline_.Analyze("The update enhances the autofocus.",
+                              "autofocus"),
+            Polarity::kPositive);
+  EXPECT_EQ(pipeline_.Analyze("The firmware cripples the playback.",
+                              "playback"),
+            Polarity::kNegative);
+}
+
+TEST_F(AnalyzerTest, VpAdverbSourcePatterns) {
+  EXPECT_EQ(pipeline_.Analyze("The shutter responds swiftly.", "shutter"),
+            Polarity::kPositive);
+  EXPECT_EQ(pipeline_.Analyze("The software behaves erratically.",
+                              "software"),
+            Polarity::kNegative);
+}
+
+TEST_F(AnalyzerTest, NegatedTransferPattern) {
+  // Negation over a transfer pattern: "does not take excellent pictures".
+  EXPECT_EQ(pipeline_.Analyze(
+                "The camera does not take excellent pictures.", "camera"),
+            Polarity::kNegative);
+}
+
+TEST_F(AnalyzerTest, PassiveVoiceConstraintBlocksActivePattern) {
+  // "love + OP active" must not fire for the passive surface subject.
+  EXPECT_EQ(pipeline_.Analyze("The camera is loved by reviewers.",
+                              "camera"),
+            Polarity::kPositive);
+  // And the lover in the by-PP stays neutral.
+  EXPECT_EQ(pipeline_.Analyze("The camera is loved by reviewers.",
+                              "reviewers"),
+            Polarity::kNeutral);
+}
+
+// --- Neutral cases -----------------------------------------------------------
+
+TEST_F(AnalyzerTest, NeutralFactualSentence) {
+  EXPECT_EQ(pipeline_.Analyze("The camera has a 3x zoom lens.", "camera"),
+            Polarity::kNeutral);
+}
+
+TEST_F(AnalyzerTest, NeutralWhenNoPatternAndNoSentimentWords) {
+  EXPECT_EQ(
+      pipeline_.Analyze("The company announced a new product.", "company"),
+      Polarity::kNeutral);
+}
+
+TEST_F(AnalyzerTest, UnknownPredicateIsNeutral) {
+  core::SubjectSentiment r = pipeline_.AnalyzeDetailed(
+      "The camera weighs twelve ounces.", "camera");
+  EXPECT_EQ(r.polarity, Polarity::kNeutral);
+}
+
+// --- Sources / explanations ---------------------------------------------------
+
+TEST_F(AnalyzerTest, DirectPatternSource) {
+  core::SubjectSentiment r = pipeline_.AnalyzeDetailed(
+      "I am impressed by the flash capabilities.", "flash capabilities");
+  EXPECT_EQ(r.source, SentimentSource::kDirectPattern);
+  EXPECT_FALSE(r.pattern.empty());
+}
+
+TEST_F(AnalyzerTest, TransferPatternSource) {
+  core::SubjectSentiment r = pipeline_.AnalyzeDetailed(
+      "This camera takes excellent pictures.", "camera");
+  EXPECT_EQ(r.source, SentimentSource::kTransferPattern);
+}
+
+TEST_F(AnalyzerTest, CoordinatedClausesAnalyzedSeparately) {
+  const std::string s =
+      "The camera takes excellent pictures but the battery is terrible.";
+  EXPECT_EQ(pipeline_.Analyze(s, "camera"), Polarity::kPositive);
+  EXPECT_EQ(pipeline_.Analyze(s, "battery"), Polarity::kNegative);
+}
+
+TEST_F(AnalyzerTest, SemicolonClauses) {
+  const std::string s =
+      "The zoom works flawlessly; the flash fails constantly.";
+  EXPECT_EQ(pipeline_.Analyze(s, "zoom"), Polarity::kPositive);
+  EXPECT_EQ(pipeline_.Analyze(s, "flash"), Polarity::kNegative);
+}
+
+TEST_F(AnalyzerTest, ComparativeThanFlipsForStandard) {
+  const std::string s = "The Vistar 4500 is better than the Stylus C50.";
+  EXPECT_EQ(pipeline_.Analyze(s, "Vistar 4500"), Polarity::kPositive);
+  EXPECT_EQ(pipeline_.Analyze(s, "Stylus C50"), Polarity::kNegative);
+}
+
+TEST_F(AnalyzerTest, ComparativeWorseThan) {
+  const std::string s = "The flash is worse than the viewfinder.";
+  EXPECT_EQ(pipeline_.Analyze(s, "flash"), Polarity::kNegative);
+  EXPECT_EQ(pipeline_.Analyze(s, "viewfinder"), Polarity::kPositive);
+}
+
+TEST_F(AnalyzerTest, TooPlusAdjectiveIsExcess) {
+  // Excess flips even inherently positive adjectives.
+  EXPECT_EQ(pipeline_.Analyze("The menu is too simple.", "menu"),
+            Polarity::kNegative);
+  EXPECT_EQ(pipeline_.Analyze("The camera is too heavy.", "camera"),
+            Polarity::kNegative);
+  // Plain use stays positive.
+  EXPECT_EQ(pipeline_.Analyze("The menu is simple.", "menu"),
+            Polarity::kPositive);
+}
+
+TEST_F(AnalyzerTest, LocalNpFallback) {
+  core::SubjectSentiment r = pipeline_.AnalyzeDetailed(
+      "The superb NR70 arrived yesterday.", "NR70");
+  EXPECT_EQ(r.polarity, Polarity::kPositive);
+  EXPECT_EQ(r.source, SentimentSource::kLocalNp);
+}
+
+}  // namespace
+}  // namespace wf

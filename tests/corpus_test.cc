@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "corpus/datasets.h"
+#include "corpus/review_gen.h"
+#include "corpus/sentence_templates.h"
+#include "corpus/web_gen.h"
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+
+namespace wf::corpus {
+namespace {
+
+using lexicon::Polarity;
+
+// --- Domains --------------------------------------------------------------------
+
+TEST(DomainTest, AllDomainsWellFormed) {
+  for (const DomainVocab* d : {&CameraDomain(), &MusicDomain(),
+                               &PetroleumDomain(), &PharmaDomain()}) {
+    EXPECT_FALSE(d->name.empty());
+    EXPECT_GE(d->products.size(), 7u);
+    EXPECT_GE(d->features.size(), 10u);
+    EXPECT_FALSE(d->topical_nouns.empty());
+    for (const Product& p : d->products) {
+      EXPECT_FALSE(p.name.empty());
+      EXPECT_TRUE(common::IsCapitalized(p.name)) << p.name;
+    }
+  }
+}
+
+TEST(DomainTest, CameraDomainMatchesPaperVocabulary) {
+  // Table 2's head terms must be present.
+  const auto& features = CameraDomain().features;
+  for (const char* f : {"camera", "picture", "flash", "lens",
+                        "picture quality", "battery", "battery life",
+                        "viewfinder", "zoom"}) {
+    EXPECT_NE(std::find(features.begin(), features.end(), f),
+              features.end())
+        << f;
+  }
+}
+
+TEST(DomainTest, TruncatedPoolsKeepFraction) {
+  const WordPools& full = SharedWordPools();
+  WordPools half = TruncatedPools(full, 0.5);
+  EXPECT_EQ(half.pos_adjectives.size(), full.pos_adjectives.size() / 2);
+  EXPECT_EQ(half.neutral_adjectives.size(),
+            full.neutral_adjectives.size());  // neutral pool untouched
+  // Prefix property: truncation keeps the head of each pool.
+  EXPECT_EQ(half.pos_adjectives[0], full.pos_adjectives[0]);
+}
+
+// --- Generators -------------------------------------------------------------------
+
+TEST(ReviewGenTest, DeterministicForSeed) {
+  std::vector<GeneratedDoc> a = GenerateReviews(CameraDomain(), 10, 99);
+  std::vector<GeneratedDoc> b = GenerateReviews(CameraDomain(), 10, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].body, b[i].body);
+    EXPECT_EQ(a[i].golds.size(), b[i].golds.size());
+  }
+}
+
+TEST(ReviewGenTest, DifferentSeedsDiffer) {
+  std::vector<GeneratedDoc> a = GenerateReviews(CameraDomain(), 5, 1);
+  std::vector<GeneratedDoc> b = GenerateReviews(CameraDomain(), 5, 2);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].body != b[i].body) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// Every gold must be resolvable: its sentence index exists and the subject
+// surface occurs in that sentence.
+void CheckGoldsResolvable(const std::vector<GeneratedDoc>& docs) {
+  text::Tokenizer tokenizer;
+  text::SentenceSplitter splitter;
+  size_t unresolved = 0, total = 0;
+  for (const GeneratedDoc& doc : docs) {
+    text::TokenStream tokens = tokenizer.Tokenize(doc.body);
+    std::vector<text::SentenceSpan> spans = splitter.Split(tokens);
+    for (const SpotGold& gold : doc.golds) {
+      ++total;
+      ASSERT_LT(gold.sentence_index, spans.size()) << doc.id;
+      const text::SentenceSpan& span = spans[gold.sentence_index];
+      text::TokenStream subj = tokenizer.Tokenize(gold.subject);
+      bool found = false;
+      for (size_t i = span.begin_token;
+           i + subj.size() <= span.end_token && !found; ++i) {
+        bool match = true;
+        for (size_t k = 0; k < subj.size(); ++k) {
+          if (!common::EqualsIgnoreCase(tokens[i + k].text,
+                                        subj[k].text)) {
+            match = false;
+            break;
+          }
+        }
+        found = match;
+      }
+      // Plural surfaces ("batteries") are allowed for singular golds.
+      if (!found) ++unresolved;
+    }
+  }
+  // A tiny slack for plural-surface mismatches handled by the evaluator.
+  EXPECT_LT(static_cast<double>(unresolved), 0.05 * total);
+}
+
+TEST(ReviewGenTest, GoldsResolvable) {
+  CheckGoldsResolvable(GenerateReviews(CameraDomain(), 50, 42));
+}
+
+TEST(WebGenTest, GoldsResolvable) {
+  CheckGoldsResolvable(
+      GenerateWebDocs(PetroleumDomain(), 50, 42, WebGenOptions{}));
+}
+
+TEST(ReviewGenTest, CompositionRoughlyMatchesKnobs) {
+  ReviewGenOptions options;
+  std::vector<GeneratedDoc> docs =
+      GenerateReviews(CameraDomain(), 200, 42, options);
+  std::map<char, size_t> by_class;
+  size_t golds = 0;
+  for (const GeneratedDoc& d : docs) {
+    for (const SpotGold& g : d.golds) {
+      ++by_class[g.template_class];
+      ++golds;
+    }
+  }
+  double polar = static_cast<double>(by_class['A'] + by_class['B'] +
+                                     by_class['D']) /
+                 static_cast<double>(golds);
+  EXPECT_NEAR(polar, options.polar_prob, 0.06);
+  // Neutral mentions dominate, as in the paper's test sets.
+  EXPECT_GT(by_class['C'], golds / 2);
+}
+
+TEST(ReviewGenTest, DocPolarityBalanced) {
+  std::vector<GeneratedDoc> docs = GenerateReviews(MusicDomain(), 200, 7);
+  size_t pos = 0;
+  for (const GeneratedDoc& d : docs) {
+    ASSERT_NE(d.doc_polarity, Polarity::kNeutral);
+    if (d.doc_polarity == Polarity::kPositive) ++pos;
+  }
+  EXPECT_NEAR(static_cast<double>(pos) / docs.size(), 0.5, 0.1);
+}
+
+TEST(ReviewGenTest, NeutralGoldsAreIClass) {
+  std::vector<GeneratedDoc> docs = GenerateReviews(CameraDomain(), 50, 3);
+  for (const GeneratedDoc& d : docs) {
+    for (const SpotGold& g : d.golds) {
+      if (g.polarity == Polarity::kNeutral) {
+        EXPECT_TRUE(g.i_class);
+      }
+    }
+  }
+}
+
+TEST(OffTopicGenTest, ProducesSubjectFreeDocs) {
+  std::vector<GeneratedDoc> docs = GenerateOffTopicDocs(30, 5);
+  EXPECT_EQ(docs.size(), 30u);
+  for (const GeneratedDoc& d : docs) {
+    EXPECT_FALSE(d.on_topic);
+    EXPECT_TRUE(d.golds.empty());
+    EXPECT_FALSE(d.body.empty());
+  }
+}
+
+TEST(DatasetTest, PaperSizes) {
+  ReviewDataset camera = BuildCameraDataset(1);
+  EXPECT_EQ(camera.d_plus.size(), 485u);
+  EXPECT_EQ(camera.d_minus.size(), 1838u);
+  ReviewDataset music = BuildMusicDataset(1);
+  EXPECT_EQ(music.d_plus.size(), 250u);
+  EXPECT_EQ(music.d_minus.size(), 2389u);
+}
+
+TEST(DatasetTest, TrainingIdsDisjointFromTest) {
+  ReviewDataset camera = BuildCameraDataset(1);
+  std::set<std::string> test_ids;
+  for (const GeneratedDoc& d : camera.d_plus) test_ids.insert(d.id);
+  for (const GeneratedDoc& d : camera.train) {
+    EXPECT_EQ(test_ids.count(d.id), 0u) << d.id;
+  }
+}
+
+// --- Sentence factory invariants ------------------------------------------------------
+
+TEST(SentenceFactoryTest, EverySentenceIsOneSplitterSentence) {
+  common::Rng rng(11);
+  SentenceFactory factory(&CameraDomain(), &SharedWordPools());
+  text::Tokenizer tokenizer;
+  text::SentenceSplitter splitter;
+  for (int i = 0; i < 200; ++i) {
+    GenSentence s = factory.PolarExtractable(
+        rng, "battery",
+        i % 2 == 0 ? Polarity::kPositive : Polarity::kNegative);
+    text::TokenStream tokens = tokenizer.Tokenize(s.text);
+    EXPECT_EQ(splitter.Split(tokens).size(), 1u) << s.text;
+  }
+}
+
+TEST(SentenceFactoryTest, ComparisonYieldsOppositeGolds) {
+  common::Rng rng(11);
+  SentenceFactory factory(&CameraDomain(), &SharedWordPools());
+  GenSentence s = factory.Comparison(rng, "Vistar 4500", "Stylus C50");
+  ASSERT_EQ(s.golds.size(), 2u);
+  EXPECT_EQ(s.golds[0].polarity, Polarity::kPositive);
+  EXPECT_EQ(s.golds[1].polarity, Polarity::kNegative);
+}
+
+TEST(SentenceFactoryTest, ArticleAgreement) {
+  common::Rng rng(13);
+  SentenceFactory factory(&CameraDomain(), &SharedWordPools());
+  for (int i = 0; i < 300; ++i) {
+    GenSentence s = factory.PolarExtractable(rng, "lens",
+                                             Polarity::kPositive);
+    EXPECT_EQ(s.text.find(" a excellent"), std::string::npos) << s.text;
+    EXPECT_EQ(s.text.find(" a impressive"), std::string::npos) << s.text;
+    EXPECT_EQ(s.text.find(" an sturdy"), std::string::npos) << s.text;
+  }
+}
+
+}  // namespace
+}  // namespace wf::corpus

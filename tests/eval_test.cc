@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+
+namespace wf::eval {
+namespace {
+
+using lexicon::Polarity;
+
+// --- Confusion metrics --------------------------------------------------------------
+
+TEST(ConfusionTest, EmptyIsZero) {
+  Confusion c;
+  EXPECT_EQ(c.total(), 0u);
+  EXPECT_EQ(c.precision(), 0.0);
+  EXPECT_EQ(c.recall(), 0.0);
+  EXPECT_EQ(c.accuracy(), 0.0);
+}
+
+TEST(ConfusionTest, PerfectPredictions) {
+  Confusion c;
+  c.Add(Polarity::kPositive, Polarity::kPositive);
+  c.Add(Polarity::kNegative, Polarity::kNegative);
+  c.Add(Polarity::kNeutral, Polarity::kNeutral);
+  EXPECT_EQ(c.precision(), 1.0);
+  EXPECT_EQ(c.recall(), 1.0);
+  EXPECT_EQ(c.accuracy(), 1.0);
+  EXPECT_EQ(c.f1(), 1.0);
+}
+
+TEST(ConfusionTest, PaperMetricDefinitions) {
+  Confusion c;
+  // 2 correct polar extractions.
+  c.Add(Polarity::kPositive, Polarity::kPositive);
+  c.Add(Polarity::kNegative, Polarity::kNegative);
+  // 1 wrong-polarity extraction.
+  c.Add(Polarity::kPositive, Polarity::kNegative);
+  // 1 missed polar case.
+  c.Add(Polarity::kNegative, Polarity::kNeutral);
+  // 1 false extraction on a neutral-gold case.
+  c.Add(Polarity::kNeutral, Polarity::kPositive);
+  // 5 correctly-neutral cases.
+  for (int i = 0; i < 5; ++i) c.Add(Polarity::kNeutral, Polarity::kNeutral);
+
+  EXPECT_EQ(c.total(), 10u);
+  EXPECT_EQ(c.gold_polar(), 4u);
+  EXPECT_EQ(c.extracted(), 4u);
+  EXPECT_EQ(c.correct_polar(), 2u);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.5);   // 2 of 4 extractions correct
+  EXPECT_DOUBLE_EQ(c.recall(), 0.5);      // 2 of 4 polar golds found
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.7);    // 2 + 5 of 10 exact
+}
+
+TEST(ConfusionTest, MergeAddsCounts) {
+  Confusion a, b;
+  a.Add(Polarity::kPositive, Polarity::kPositive);
+  b.Add(Polarity::kNegative, Polarity::kNegative);
+  b.Add(Polarity::kNeutral, Polarity::kPositive);
+  a.Merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.correct_polar(), 2u);
+}
+
+TEST(ConfusionTest, CountAccessor) {
+  Confusion c;
+  c.Add(Polarity::kPositive, Polarity::kNegative);
+  EXPECT_EQ(c.count(Polarity::kPositive, Polarity::kNegative), 1u);
+  EXPECT_EQ(c.count(Polarity::kNegative, Polarity::kPositive), 0u);
+}
+
+TEST(MetricsTest, PctFormatting) {
+  EXPECT_EQ(Pct(0.873), "87.3");
+  EXPECT_EQ(Pct(1.0), "100.0");
+  EXPECT_EQ(Pct(0.0), "0.0");
+}
+
+// --- TablePrinter -------------------------------------------------------------------
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"A", "Bee"});
+  t.AddRow({"longer", "x"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| A      | Bee |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | x   |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"A", "B", "C"});
+  t.AddRow({"only"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| only |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RuleInsertsSeparator) {
+  TablePrinter t({"A"});
+  t.AddRow({"x"});
+  t.AddRule();
+  t.AddRow({"y"});
+  std::string out = t.ToString();
+  // header rule + top + bottom + explicit = 4 separators
+  size_t rules = 0, pos = 0;
+  while ((pos = out.find("+--", pos)) != std::string::npos) {
+    ++rules;
+    pos += 3;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(ReportTest, BannerContainsTitle) {
+  std::string b = Banner("Table 4");
+  EXPECT_NE(b.find("Table 4"), std::string::npos);
+  EXPECT_NE(b.find("="), std::string::npos);
+}
+
+// --- GoldEvaluator plumbing ------------------------------------------------------------
+
+TEST(GoldEvaluatorTest, ScoresHandWrittenDoc) {
+  corpus::GeneratedDoc doc;
+  doc.id = "hand";
+  doc.domain = "camera";
+  doc.body =
+      "The battery is excellent. The flash is terrible. "
+      "The zoom arrived on Tuesday.";
+  doc.golds = {
+      {"battery", 0, Polarity::kPositive, false, 'A'},
+      {"flash", 1, Polarity::kNegative, false, 'A'},
+      {"zoom", 2, Polarity::kNeutral, true, 'C'},
+  };
+
+  GoldEvaluator evaluator;
+  EvalOptions options;
+  Confusion c = evaluator.EvaluateMiner({doc}, options);
+  EXPECT_EQ(c.total(), 3u);
+  EXPECT_EQ(c.correct_polar(), 2u);
+  EXPECT_EQ(c.accuracy(), 1.0);
+}
+
+TEST(GoldEvaluatorTest, SkipIClassDropsCases) {
+  corpus::GeneratedDoc doc;
+  doc.id = "hand";
+  doc.body = "The battery is excellent. The zoom arrived on Tuesday.";
+  doc.golds = {
+      {"battery", 0, Polarity::kPositive, false, 'A'},
+      {"zoom", 1, Polarity::kNeutral, true, 'C'},
+  };
+  GoldEvaluator evaluator;
+  EvalOptions skip;
+  skip.skip_i_class = true;
+  EXPECT_EQ(evaluator.EvaluateMiner({doc}, skip).total(), 1u);
+}
+
+TEST(GoldEvaluatorTest, PluralSurfaceResolved) {
+  corpus::GeneratedDoc doc;
+  doc.id = "hand";
+  doc.body = "The batteries are excellent.";
+  doc.golds = {{"battery", 0, Polarity::kPositive, false, 'A'}};
+  GoldEvaluator evaluator;
+  Confusion c = evaluator.EvaluateMiner({doc}, EvalOptions{});
+  EXPECT_EQ(c.total(), 1u);
+  EXPECT_EQ(c.correct_polar(), 1u);
+}
+
+TEST(GoldEvaluatorTest, OutOfRangeSentenceSkipped) {
+  corpus::GeneratedDoc doc;
+  doc.id = "hand";
+  doc.body = "Only one sentence.";
+  doc.golds = {{"missing", 9, Polarity::kPositive, false, 'A'}};
+  GoldEvaluator evaluator;
+  EXPECT_EQ(evaluator.EvaluateMiner({doc}, EvalOptions{}).total(), 0u);
+}
+
+}  // namespace
+}  // namespace wf::eval

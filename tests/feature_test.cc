@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include "feature/bbnp.h"
+#include "feature/feature_extractor.h"
+#include "feature/likelihood_ratio.h"
+#include "feature/selection.h"
+#include "pos/tagger.h"
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+
+namespace wf::feature {
+namespace {
+
+// --- Likelihood ratio --------------------------------------------------------------
+
+TEST(LlrTest, ZeroWhenNotAssociated) {
+  // r2 >= r1: term under-represented among D+ docs -> 0 by Eq. 1.
+  ContingencyCounts c{/*c11=*/1, /*c12=*/50, /*c21=*/100, /*c22=*/50};
+  EXPECT_EQ(LogLikelihoodRatio(c), 0.0);
+}
+
+TEST(LlrTest, PositiveWhenAssociated) {
+  ContingencyCounts c{/*c11=*/40, /*c12=*/2, /*c21=*/60, /*c22=*/198};
+  EXPECT_GT(LogLikelihoodRatio(c), 0.0);
+}
+
+TEST(LlrTest, IndependentTermScoresNearZero) {
+  // Term present in the same proportion of D+ and D- documents.
+  ContingencyCounts c{/*c11=*/50, /*c12=*/100, /*c21=*/50, /*c22=*/100};
+  EXPECT_NEAR(LogLikelihoodRatio(c), 0.0, 1e-9);
+}
+
+TEST(LlrTest, MonotoneInAssociationStrength) {
+  // More concentrated in D+ -> larger statistic.
+  ContingencyCounts weak{30, 20, 70, 180};
+  ContingencyCounts strong{45, 5, 55, 195};
+  EXPECT_GT(LogLikelihoodRatio(strong), LogLikelihoodRatio(weak));
+}
+
+TEST(LlrTest, ScalesWithSampleSize) {
+  ContingencyCounts small{10, 1, 10, 19};
+  ContingencyCounts big{100, 10, 100, 190};
+  EXPECT_GT(LogLikelihoodRatio(big), LogLikelihoodRatio(small));
+}
+
+TEST(LlrTest, DegenerateCounts) {
+  EXPECT_EQ(LogLikelihoodRatio(ContingencyCounts{0, 0, 0, 0}), 0.0);
+  EXPECT_EQ(LogLikelihoodRatio(ContingencyCounts{0, 0, 10, 10}), 0.0);
+  // Term in every doc.
+  EXPECT_EQ(LogLikelihoodRatio(ContingencyCounts{10, 10, 0, 0}), 0.0);
+}
+
+TEST(LlrTest, NeverNegative) {
+  for (uint64_t c11 : {0, 5, 20}) {
+    for (uint64_t c12 : {0, 5, 20}) {
+      ContingencyCounts c{c11, c12, 30, 30};
+      EXPECT_GE(LogLikelihoodRatio(c), 0.0);
+    }
+  }
+}
+
+TEST(LlrTest, PerfectAssociationIsLarge) {
+  // Term in all 100 D+ docs and no D- doc.
+  ContingencyCounts c{100, 0, 0, 300};
+  EXPECT_GT(LogLikelihoodRatio(c), 100.0);
+}
+
+// --- bBNP heuristic -----------------------------------------------------------------
+
+class BbnpTest : public ::testing::Test {
+ protected:
+  std::vector<std::string> Extract(const std::string& sentence) {
+    text::TokenStream tokens = tokenizer_.Tokenize(sentence);
+    std::vector<text::SentenceSpan> spans = splitter_.Split(tokens);
+    std::vector<pos::PosTag> tags = tagger_.TagSentence(tokens, spans[0]);
+    std::vector<std::string> phrases;
+    for (const BbnpExtractor::Candidate& c :
+         extractor_.ExtractSentence(tokens, spans[0], tags)) {
+      phrases.push_back(c.phrase);
+    }
+    return phrases;
+  }
+
+  text::Tokenizer tokenizer_;
+  text::SentenceSplitter splitter_;
+  pos::PosTagger tagger_;
+  BbnpExtractor extractor_;
+};
+
+TEST_F(BbnpTest, SingleNoun) {
+  EXPECT_EQ(Extract("The battery lasts forever."),
+            (std::vector<std::string>{"battery"}));
+}
+
+TEST_F(BbnpTest, NounNoun) {
+  EXPECT_EQ(Extract("The picture quality is stunning."),
+            (std::vector<std::string>{"picture quality"}));
+}
+
+TEST_F(BbnpTest, HeadPluralNormalized) {
+  EXPECT_EQ(Extract("The batteries are weak."),
+            (std::vector<std::string>{"battery"}));
+}
+
+TEST_F(BbnpTest, RequiresDefiniteArticle) {
+  EXPECT_TRUE(Extract("A battery lasts forever.").empty());
+  EXPECT_TRUE(Extract("This battery lasts forever.").empty());
+}
+
+TEST_F(BbnpTest, RequiresSentenceInitialPosition) {
+  EXPECT_TRUE(Extract("Overall, the battery lasts forever.").empty());
+}
+
+TEST_F(BbnpTest, RequiresFollowingVerbPhrase) {
+  // Definite NP followed by a preposition, not a VP.
+  EXPECT_TRUE(Extract("The battery in the camera.").empty());
+}
+
+TEST_F(BbnpTest, AdverbBeforeVerbAllowed) {
+  EXPECT_EQ(Extract("The viewfinder really shines."),
+            (std::vector<std::string>{"viewfinder"}));
+}
+
+TEST_F(BbnpTest, ModalCountsAsVerbPhrase) {
+  EXPECT_EQ(Extract("The menu could be simpler."),
+            (std::vector<std::string>{"menu"}));
+}
+
+TEST_F(BbnpTest, LongestPatternWins) {
+  // NN NN NN (memory card slot) preferred over shorter prefixes.
+  EXPECT_EQ(Extract("The memory card slot jams."),
+            (std::vector<std::string>{"memory card slot"}));
+}
+
+TEST_F(BbnpTest, TooShortSentence) {
+  EXPECT_TRUE(Extract("The battery.").empty());
+}
+
+// --- FeatureExtractor end-to-end -------------------------------------------------------
+
+TEST(FeatureExtractorTest, FindsRecurringTopicTerms) {
+  FeatureExtractor::Options options;
+  options.min_df = 2;
+  options.min_score = 3.0;
+  FeatureExtractor extractor(options);
+
+  // D+: documents about a gadget with a recurring "battery" aspect.
+  for (int i = 0; i < 20; ++i) {
+    extractor.AddDocument(
+        "The battery lasts all day. The screen works well. I liked it.",
+        /*on_topic=*/true);
+  }
+  // D-: off-topic docs; "day" recurs here too, so it is not topical.
+  for (int i = 0; i < 40; ++i) {
+    extractor.AddDocument(
+        "The day went fine. We walked to the lake and had dinner.",
+        /*on_topic=*/false);
+  }
+
+  std::vector<FeatureTerm> terms = extractor.Extract();
+  ASSERT_FALSE(terms.empty());
+  bool has_battery = false;
+  for (const FeatureTerm& t : terms) {
+    if (t.phrase == "battery") has_battery = true;
+    EXPECT_NE(t.phrase, "day");  // appears uniformly -> filtered
+  }
+  EXPECT_TRUE(has_battery);
+  EXPECT_EQ(extractor.on_topic_docs(), 20u);
+  EXPECT_EQ(extractor.off_topic_docs(), 40u);
+}
+
+TEST(FeatureExtractorTest, RanksByScoreDescending) {
+  FeatureExtractor::Options options;
+  options.min_df = 1;
+  options.min_score = 0.5;
+  FeatureExtractor extractor(options);
+  for (int i = 0; i < 30; ++i) {
+    std::string body = "The battery lasts long.";
+    if (i < 10) body += " The screen works too.";
+    extractor.AddDocument(body, true);
+  }
+  for (int i = 0; i < 30; ++i) {
+    extractor.AddDocument("Nothing related at all here.", false);
+  }
+  std::vector<FeatureTerm> terms = extractor.Extract();
+  for (size_t i = 1; i < terms.size(); ++i) {
+    EXPECT_GE(terms[i - 1].score, terms[i].score);
+  }
+}
+
+TEST(FeatureExtractorTest, TopNLimits) {
+  FeatureExtractor::Options options;
+  options.min_df = 1;
+  options.min_score = 0.0;
+  options.top_n = 1;
+  FeatureExtractor extractor(options);
+  for (int i = 0; i < 10; ++i) {
+    extractor.AddDocument("The battery died. The screen cracked.", true);
+    extractor.AddDocument("Unrelated filler text goes here.", false);
+  }
+  EXPECT_LE(extractor.Extract().size(), 1u);
+}
+
+// --- Heuristic variants -----------------------------------------------------------
+
+class HeuristicTest : public ::testing::Test {
+ protected:
+  std::vector<std::string> Extract(const std::string& sentence,
+                                   CandidateHeuristic heuristic) {
+    text::TokenStream tokens = tokenizer_.Tokenize(sentence);
+    std::vector<text::SentenceSpan> spans = splitter_.Split(tokens);
+    std::vector<pos::PosTag> tags = tagger_.TagSentence(tokens, spans[0]);
+    std::vector<std::string> phrases;
+    for (const BbnpExtractor::Candidate& c :
+         extractor_.ExtractWithHeuristic(tokens, spans[0], tags,
+                                         heuristic)) {
+      phrases.push_back(c.phrase);
+    }
+    return phrases;
+  }
+
+  text::Tokenizer tokenizer_;
+  text::SentenceSplitter splitter_;
+  pos::PosTagger tagger_;
+  BbnpExtractor extractor_;
+};
+
+TEST_F(HeuristicTest, BnpFindsAllBaseNps) {
+  std::vector<std::string> got = Extract(
+      "Overall, the battery beats the old charger easily.",
+      CandidateHeuristic::kBNP);
+  // Every bNP-shaped run, regardless of article or position.
+  EXPECT_NE(std::find(got.begin(), got.end(), "battery"), got.end());
+  EXPECT_NE(std::find(got.begin(), got.end(), "old charger"), got.end());
+}
+
+TEST_F(HeuristicTest, DbnpRequiresDefiniteArticle) {
+  std::vector<std::string> got = Extract(
+      "Overall, the battery outlasted a charger.",
+      CandidateHeuristic::kDBNP);
+  EXPECT_EQ(got, (std::vector<std::string>{"battery"}));
+}
+
+TEST_F(HeuristicTest, BbnpStrictest) {
+  const std::string s = "Overall, the battery beats the old charger.";
+  EXPECT_TRUE(Extract(s, CandidateHeuristic::kBBNP).empty());
+  EXPECT_FALSE(Extract(s, CandidateHeuristic::kDBNP).empty());
+}
+
+TEST_F(HeuristicTest, SubsetRelationHolds) {
+  // bBNP candidates are a subset of dBNP candidates, which are a subset of
+  // BNP candidates (per construction).
+  for (const char* s :
+       {"The battery lasts forever.", "The picture quality is stunning.",
+        "I love the zoom on this camera.",
+        "A tripod came with the package."}) {
+    auto bbnp = Extract(s, CandidateHeuristic::kBBNP);
+    auto dbnp = Extract(s, CandidateHeuristic::kDBNP);
+    auto bnp = Extract(s, CandidateHeuristic::kBNP);
+    for (const std::string& c : bbnp) {
+      EXPECT_NE(std::find(dbnp.begin(), dbnp.end(), c), dbnp.end())
+          << c << " in: " << s;
+    }
+    for (const std::string& c : dbnp) {
+      EXPECT_NE(std::find(bnp.begin(), bnp.end(), c), bnp.end())
+          << c << " in: " << s;
+    }
+  }
+}
+
+// --- Selection methods -------------------------------------------------------------
+
+TEST(SelectionTest, AllMethodsZeroWhenNotAssociated) {
+  ContingencyCounts c{1, 50, 100, 50};
+  for (SelectionMethod m :
+       {SelectionMethod::kLikelihoodRatio,
+        SelectionMethod::kMutualInformation, SelectionMethod::kChiSquare}) {
+    EXPECT_EQ(SelectionScore(m, c), 0.0) << SelectionMethodName(m);
+  }
+}
+
+TEST(SelectionTest, AllMethodsPositiveWhenAssociated) {
+  ContingencyCounts c{40, 2, 60, 198};
+  for (SelectionMethod m :
+       {SelectionMethod::kLikelihoodRatio,
+        SelectionMethod::kMutualInformation, SelectionMethod::kChiSquare}) {
+    EXPECT_GT(SelectionScore(m, c), 0.0) << SelectionMethodName(m);
+  }
+}
+
+TEST(SelectionTest, ChiSquareMonotoneInAssociation) {
+  ContingencyCounts weak{30, 20, 70, 180};
+  ContingencyCounts strong{45, 5, 55, 195};
+  EXPECT_GT(ChiSquare(strong), ChiSquare(weak));
+}
+
+TEST(SelectionTest, MutualInformationFavorsRareExclusiveTerms) {
+  // A rare term only in D+ vs a frequent term mostly in D+.
+  ContingencyCounts rare{2, 0, 98, 200};
+  ContingencyCounts frequent{80, 20, 20, 180};
+  EXPECT_GT(MutualInformation(rare), MutualInformation(frequent));
+  // ...whereas the LLR prefers the frequent, well-supported term.
+  EXPECT_GT(LogLikelihoodRatio(frequent), LogLikelihoodRatio(rare));
+}
+
+TEST(SelectionTest, NamesDistinct) {
+  EXPECT_NE(SelectionMethodName(SelectionMethod::kLikelihoodRatio),
+            SelectionMethodName(SelectionMethod::kChiSquare));
+  EXPECT_EQ(std::string(CandidateHeuristicName(CandidateHeuristic::kBBNP)),
+            "bBNP");
+}
+
+}  // namespace
+}  // namespace wf::feature

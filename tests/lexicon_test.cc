@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "lexicon/pattern_db.h"
+#include "text/inflection.h"
+#include "lexicon/sentiment_lexicon.h"
+
+namespace wf::lexicon {
+namespace {
+
+// --- Polarity -----------------------------------------------------------------
+
+TEST(PolarityTest, FlipIsInvolution) {
+  for (Polarity p : {Polarity::kNegative, Polarity::kNeutral,
+                     Polarity::kPositive}) {
+    EXPECT_EQ(Flip(Flip(p)), p);
+  }
+  EXPECT_EQ(Flip(Polarity::kPositive), Polarity::kNegative);
+  EXPECT_EQ(Flip(Polarity::kNeutral), Polarity::kNeutral);
+}
+
+TEST(PolarityTest, Names) {
+  EXPECT_EQ(PolarityName(Polarity::kPositive), "positive");
+  EXPECT_EQ(PolarityName(Polarity::kNegative), "negative");
+  EXPECT_EQ(PolarityName(Polarity::kNeutral), "neutral");
+}
+
+// --- Sentiment lexicon -----------------------------------------------------------
+
+TEST(SentimentLexiconTest, EmbeddedLoadsAndIsLarge) {
+  SentimentLexicon lex = SentimentLexicon::Embedded();
+  EXPECT_GT(lex.size(), 400u);
+}
+
+TEST(SentimentLexiconTest, BasicLookups) {
+  SentimentLexicon lex = SentimentLexicon::Embedded();
+  EXPECT_EQ(lex.Lookup("excellent", pos::PosTag::kJJ),
+            Polarity::kPositive);
+  EXPECT_EQ(lex.Lookup("terrible", pos::PosTag::kJJ), Polarity::kNegative);
+  EXPECT_EQ(lex.Lookup("nightmare", pos::PosTag::kNN),
+            Polarity::kNegative);
+  EXPECT_FALSE(lex.Lookup("table", pos::PosTag::kNN).has_value());
+}
+
+TEST(SentimentLexiconTest, PosClassMatters) {
+  SentimentLexicon lex;
+  ASSERT_TRUE(lex.LoadText("sound JJ +\n").ok());
+  EXPECT_TRUE(lex.Lookup("sound", pos::PosTag::kJJ).has_value());
+  EXPECT_FALSE(lex.Lookup("sound", pos::PosTag::kNN).has_value());
+}
+
+TEST(SentimentLexiconTest, InflectionAwareLookup) {
+  SentimentLexicon lex = SentimentLexicon::Embedded();
+  // Plural noun form finds the singular entry.
+  EXPECT_EQ(lex.Lookup("nightmares", pos::PosTag::kNNS),
+            Polarity::kNegative);
+  // Inflected verb forms find the lemma.
+  EXPECT_EQ(lex.Lookup("loved", pos::PosTag::kVBD), Polarity::kPositive);
+  EXPECT_EQ(lex.Lookup("disappoints", pos::PosTag::kVBZ),
+            Polarity::kNegative);
+  // Comparative adjective finds the base.
+  EXPECT_EQ(lex.Lookup("sharper", pos::PosTag::kJJR), Polarity::kPositive);
+}
+
+TEST(SentimentLexiconTest, ParticipleFallsBackToAdjectiveTable) {
+  SentimentLexicon lex = SentimentLexicon::Embedded();
+  EXPECT_EQ(lex.Lookup("disappointed", pos::PosTag::kVBN),
+            Polarity::kNegative);
+}
+
+TEST(SentimentLexiconTest, CaseInsensitive) {
+  SentimentLexicon lex = SentimentLexicon::Embedded();
+  EXPECT_EQ(lex.Lookup("Excellent", pos::PosTag::kJJ),
+            Polarity::kPositive);
+}
+
+TEST(SentimentLexiconTest, MultiWordEntries) {
+  SentimentLexicon lex = SentimentLexicon::Embedded();
+  EXPECT_EQ(lex.LookupLemma("state of the art", LexPos::kAny),
+            Polarity::kPositive);
+  EXPECT_EQ(lex.LookupLemma("waste of money", LexPos::kAny),
+            Polarity::kNegative);
+}
+
+TEST(SentimentLexiconTest, LoadTextFormat) {
+  SentimentLexicon lex;
+  ASSERT_TRUE(lex.LoadText("# comment\n"
+                           "splendid JJ +\n"
+                           "dreck NN -\n"
+                           "\n"
+                           "over the moon * +\n")
+                  .ok());
+  EXPECT_EQ(lex.size(), 3u);
+  EXPECT_EQ(lex.Lookup("splendid", pos::PosTag::kJJ), Polarity::kPositive);
+  EXPECT_EQ(lex.LookupLemma("over the moon", LexPos::kAny),
+            Polarity::kPositive);
+}
+
+TEST(SentimentLexiconTest, LoadTextRejectsBadPolarity) {
+  SentimentLexicon lex;
+  EXPECT_FALSE(lex.LoadText("word JJ ?\n").ok());
+}
+
+TEST(SentimentLexiconTest, LoadTextRejectsBadPos) {
+  SentimentLexicon lex;
+  EXPECT_FALSE(lex.LoadText("word XX +\n").ok());
+}
+
+TEST(SentimentLexiconTest, LoadTextRejectsShortLine) {
+  SentimentLexicon lex;
+  EXPECT_FALSE(lex.LoadText("word\n").ok());
+}
+
+TEST(SentimentLexiconTest, LaterEntryOverrides) {
+  SentimentLexicon lex;
+  ASSERT_TRUE(lex.LoadText("odd JJ +\nodd JJ -\n").ok());
+  EXPECT_EQ(lex.Lookup("odd", pos::PosTag::kJJ), Polarity::kNegative);
+}
+
+TEST(SentimentLexiconTest, LexPosMatching) {
+  EXPECT_TRUE(LexPosMatches(LexPos::kAdjective, pos::PosTag::kJJ));
+  EXPECT_TRUE(LexPosMatches(LexPos::kAdjective, pos::PosTag::kVBN));
+  EXPECT_FALSE(LexPosMatches(LexPos::kAdjective, pos::PosTag::kNN));
+  EXPECT_TRUE(LexPosMatches(LexPos::kAny, pos::PosTag::kCD));
+}
+
+TEST(SentimentLexiconTest, EntriesExport) {
+  SentimentLexicon lex;
+  ASSERT_TRUE(lex.LoadText("alpha JJ +\nbeta NN -\n").ok());
+  std::vector<SentimentEntry> entries = lex.Entries();
+  EXPECT_EQ(entries.size(), 2u);
+}
+
+// --- Pattern database --------------------------------------------------------------
+
+TEST(PatternDbTest, EmbeddedLoadsAndIsLarge) {
+  PatternDatabase db = PatternDatabase::Embedded();
+  EXPECT_GT(db.size(), 150u);
+  EXPECT_GT(db.predicate_count(), 90u);
+}
+
+TEST(PatternDbTest, ParseDirectPattern) {
+  auto p = PatternDatabase::ParseLine("impress + PP(by;with)");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->predicate, "impress");
+  EXPECT_TRUE(p->direct);
+  EXPECT_EQ(p->polarity, Polarity::kPositive);
+  EXPECT_EQ(p->target.component, SentenceComponent::kPP);
+  EXPECT_EQ(p->target.prepositions,
+            (std::vector<std::string>{"by", "with"}));
+}
+
+TEST(PatternDbTest, ParseTransferPattern) {
+  auto p = PatternDatabase::ParseLine("offer OP SP");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->direct);
+  EXPECT_EQ(p->source.component, SentenceComponent::kOP);
+  EXPECT_EQ(p->target.component, SentenceComponent::kSP);
+  EXPECT_FALSE(p->flip_source);
+}
+
+TEST(PatternDbTest, ParseFlippedSource) {
+  auto p = PatternDatabase::ParseLine("lack ~OP SP");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->flip_source);
+}
+
+TEST(PatternDbTest, ParseVoiceConstraint) {
+  auto p = PatternDatabase::ParseLine("love + SP passive");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->voice, VoiceConstraint::kPassive);
+  p = PatternDatabase::ParseLine("love + OP active");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->voice, VoiceConstraint::kActive);
+}
+
+TEST(PatternDbTest, ParseRejectsBadTarget) {
+  EXPECT_FALSE(PatternDatabase::ParseLine("be CP CP").ok());
+  EXPECT_FALSE(PatternDatabase::ParseLine("be CP VP").ok());
+}
+
+TEST(PatternDbTest, ParseRejectsBadComponent) {
+  EXPECT_FALSE(PatternDatabase::ParseLine("be XX SP").ok());
+}
+
+TEST(PatternDbTest, ParseRejectsWrongArity) {
+  EXPECT_FALSE(PatternDatabase::ParseLine("be CP").ok());
+  EXPECT_FALSE(PatternDatabase::ParseLine("be CP SP passive extra").ok());
+}
+
+TEST(PatternDbTest, ParseRejectsBadVoice) {
+  EXPECT_FALSE(PatternDatabase::ParseLine("be CP SP sideways").ok());
+}
+
+TEST(PatternDbTest, ParseRejectsPrepositionsOnNonPp) {
+  EXPECT_FALSE(PatternDatabase::ParseLine("be CP(x) SP").ok());
+}
+
+TEST(PatternDbTest, LookupByLemma) {
+  PatternDatabase db = PatternDatabase::Embedded();
+  const auto* patterns = db.Lookup("be");
+  ASSERT_NE(patterns, nullptr);
+  EXPECT_FALSE(patterns->empty());
+  EXPECT_EQ(db.Lookup("zzz"), nullptr);
+}
+
+TEST(PatternDbTest, EveryEmbeddedPredicateIsALemma) {
+  // The analyzer looks patterns up by VerbLemma(head verb); a predicate
+  // stored in inflected form could never match.
+  PatternDatabase db = PatternDatabase::Embedded();
+  for (const std::string& predicate : db.Predicates()) {
+    EXPECT_EQ(text::VerbLemma(predicate), predicate) << predicate;
+  }
+}
+
+TEST(PatternDbTest, EmbeddedPatternsHaveConsistentComponents) {
+  PatternDatabase db = PatternDatabase::Embedded();
+  for (const std::string& predicate : db.Predicates()) {
+    for (const SentimentPattern& p : *db.Lookup(predicate)) {
+      // Targets are restricted by the parser contract.
+      EXPECT_TRUE(p.target.component == SentenceComponent::kSP ||
+                  p.target.component == SentenceComponent::kOP ||
+                  p.target.component == SentenceComponent::kPP)
+          << predicate;
+      // Preposition constraints only appear on PP components.
+      if (!p.target.prepositions.empty()) {
+        EXPECT_EQ(p.target.component, SentenceComponent::kPP) << predicate;
+      }
+      if (!p.direct && !p.source.prepositions.empty()) {
+        EXPECT_EQ(p.source.component, SentenceComponent::kPP) << predicate;
+      }
+    }
+  }
+}
+
+TEST(PatternDbTest, LoadTextWithComments) {
+  PatternDatabase db;
+  ASSERT_TRUE(db.LoadText("# header\n"
+                          "glorb + SP  # inline comment\n"
+                          "\n"
+                          "florp OP SP\n")
+                  .ok());
+  EXPECT_EQ(db.size(), 2u);
+  ASSERT_NE(db.Lookup("glorb"), nullptr);
+}
+
+TEST(PatternDbTest, ComponentSpecPrepositionFilter) {
+  ComponentSpec spec;
+  spec.component = SentenceComponent::kPP;
+  spec.prepositions = {"by", "with"};
+  EXPECT_TRUE(spec.AllowsPreposition("by"));
+  EXPECT_FALSE(spec.AllowsPreposition("about"));
+  ComponentSpec any;
+  EXPECT_TRUE(any.AllowsPreposition("anything"));
+}
+
+TEST(PatternDbTest, SentenceComponentNames) {
+  EXPECT_EQ(SentenceComponentName(SentenceComponent::kSP), "SP");
+  EXPECT_EQ(SentenceComponentName(SentenceComponent::kOP), "OP");
+  EXPECT_EQ(SentenceComponentName(SentenceComponent::kCP), "CP");
+  EXPECT_EQ(SentenceComponentName(SentenceComponent::kPP), "PP");
+}
+
+}  // namespace
+}  // namespace wf::lexicon

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "ner/named_entity_spotter.h"
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+
+namespace wf::ner {
+namespace {
+
+class NerTest : public ::testing::Test {
+ protected:
+  std::vector<std::string> Spot(const std::string& text) {
+    text::TokenStream tokens = tokenizer_.Tokenize(text);
+    std::vector<text::SentenceSpan> spans = splitter_.Split(tokens);
+    std::vector<std::string> names;
+    for (const NamedEntity& e : spotter_.Spot(tokens, spans)) {
+      names.push_back(e.text);
+    }
+    return names;
+  }
+
+  text::Tokenizer tokenizer_;
+  text::SentenceSplitter splitter_;
+  NamedEntitySpotter spotter_;
+};
+
+TEST_F(NerTest, SimpleCapitalizedRun) {
+  EXPECT_EQ(Spot("I bought a Sony PDA yesterday."),
+            (std::vector<std::string>{"Sony PDA"}));
+}
+
+TEST_F(NerTest, PaperSplitExample) {
+  // §3: "Prof. Wilson of American University" must split into two entities.
+  EXPECT_EQ(Spot("We met Prof. Wilson of American University."),
+            (std::vector<std::string>{"Prof. Wilson",
+                                      "American University"}));
+}
+
+TEST_F(NerTest, ConjunctionSplits) {
+  std::vector<std::string> names =
+      Spot("They compared Canon and Nikon yesterday.");
+  EXPECT_EQ(names, (std::vector<std::string>{"Canon", "Nikon"}));
+}
+
+TEST_F(NerTest, PossessiveSplits) {
+  std::vector<std::string> names = Spot("It uses Sony's Memory Stick.");
+  EXPECT_EQ(names, (std::vector<std::string>{"Sony", "Memory Stick"}));
+}
+
+TEST_F(NerTest, SentenceInitialCommonWordSkipped) {
+  EXPECT_TRUE(Spot("The weather was mild.").empty());
+  EXPECT_TRUE(Spot("However, things changed.").empty());
+}
+
+TEST_F(NerTest, SentenceInitialRealNameKept) {
+  EXPECT_EQ(Spot("Kodak announced a new product."),
+            (std::vector<std::string>{"Kodak"}));
+}
+
+TEST_F(NerTest, ProductCodes) {
+  EXPECT_EQ(Spot("I compared the NR70 with the T615C."),
+            (std::vector<std::string>{"NR70", "T615C"}));
+}
+
+TEST_F(NerTest, MultiTokenNameWithInternalOf) {
+  // "of" inside a capitalized run joins when both halves are capitalized —
+  // but the split heuristic separates them; the paper prefers splitting.
+  std::vector<std::string> names = Spot("He visited the Bank of America.");
+  EXPECT_EQ(names, (std::vector<std::string>{"Bank", "America"}));
+}
+
+TEST_F(NerTest, TitleAloneIsNotEntity) {
+  EXPECT_TRUE(Spot("The dr. was out.").empty());
+}
+
+TEST_F(NerTest, SpansPointIntoTokens) {
+  text::TokenStream tokens =
+      tokenizer_.Tokenize("Sunrise Oil opened a refinery in June.");
+  std::vector<text::SentenceSpan> spans = splitter_.Split(tokens);
+  std::vector<NamedEntity> entities = spotter_.Spot(tokens, spans);
+  // "Sunrise Oil" plus the capitalized month "June".
+  ASSERT_EQ(entities.size(), 2u);
+  EXPECT_EQ(entities[0].text, "Sunrise Oil");
+  EXPECT_EQ(entities[0].begin_token, 0u);
+  EXPECT_EQ(entities[0].end_token, 2u);
+}
+
+TEST_F(NerTest, MultipleSentences) {
+  std::vector<std::string> names =
+      Spot("Kodak rose. Later, Fuji fell.");
+  EXPECT_EQ(names, (std::vector<std::string>{"Kodak", "Fuji"}));
+}
+
+TEST_F(NerTest, MinTokensOption) {
+  NamedEntitySpotter::Options options;
+  options.min_tokens = 2;
+  NamedEntitySpotter two_token(options);
+  text::TokenStream tokens =
+      tokenizer_.Tokenize("Kodak and Sunrise Oil reported earnings.");
+  std::vector<text::SentenceSpan> spans = splitter_.Split(tokens);
+  std::vector<NamedEntity> entities = two_token.Spot(tokens, spans);
+  ASSERT_EQ(entities.size(), 1u);
+  EXPECT_EQ(entities[0].text, "Sunrise Oil");
+}
+
+}  // namespace
+}  // namespace wf::ner

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "parse/chunker.h"
+#include "parse/clause_splitter.h"
+#include "parse/sentence_structure.h"
+#include "pos/tagger.h"
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+
+namespace wf::parse {
+namespace {
+
+class ParseTest : public ::testing::Test {
+ protected:
+  SentenceParse Parse(const std::string& sentence) {
+    tokens_ = tokenizer_.Tokenize(sentence);
+    std::vector<text::SentenceSpan> spans = splitter_.Split(tokens_);
+    std::vector<pos::PosTag> tags = tagger_.TagSentence(tokens_, spans[0]);
+    return analyzer_.Analyze(tokens_, spans[0], tags);
+  }
+
+  // Surface text of a chunk.
+  std::string ChunkText(const SentenceParse& parse, int chunk) {
+    if (chunk < 0) return "";
+    std::string out;
+    const Chunk& c = parse.chunks[static_cast<size_t>(chunk)];
+    for (size_t i = c.begin; i < c.end; ++i) {
+      if (!out.empty()) out += ' ';
+      out += tokens_[i].text;
+    }
+    return out;
+  }
+
+  text::Tokenizer tokenizer_;
+  text::SentenceSplitter splitter_;
+  pos::PosTagger tagger_;
+  SentenceAnalyzer analyzer_;
+  text::TokenStream tokens_;
+};
+
+// --- Chunker shapes ---------------------------------------------------------------
+
+TEST_F(ParseTest, BasicSvoChunks) {
+  SentenceParse p = Parse("The camera takes excellent pictures.");
+  ASSERT_GE(p.chunks.size(), 3u);
+  EXPECT_EQ(p.chunks[0].type, ChunkType::kNP);
+  EXPECT_EQ(p.chunks[1].type, ChunkType::kVP);
+  EXPECT_EQ(p.chunks[2].type, ChunkType::kNP);
+}
+
+TEST_F(ParseTest, PronounIsOneTokenNp) {
+  SentenceParse p = Parse("I love it.");
+  EXPECT_EQ(p.chunks[0].type, ChunkType::kNP);
+  EXPECT_EQ(p.chunks[0].size(), 1u);
+}
+
+TEST_F(ParseTest, AdverbInsideNp) {
+  SentenceParse p = Parse("A very sharp lens arrived.");
+  EXPECT_EQ(p.chunks[0].type, ChunkType::kNP);
+  EXPECT_EQ(p.chunks[0].size(), 4u);  // A very sharp lens
+}
+
+TEST_F(ParseTest, PredicativeAdjp) {
+  SentenceParse p = Parse("The colors are vibrant.");
+  ASSERT_GE(p.chunks.size(), 3u);
+  EXPECT_EQ(p.chunks[2].type, ChunkType::kADJP);
+}
+
+TEST_F(ParseTest, AttributiveAdjectiveStaysInNp) {
+  SentenceParse p = Parse("The vibrant colors faded.");
+  EXPECT_EQ(p.chunks[0].type, ChunkType::kNP);
+  EXPECT_EQ(p.chunks[0].size(), 3u);
+}
+
+// --- Predicate and components ------------------------------------------------------
+
+TEST_F(ParseTest, PredicateLemma) {
+  SentenceParse p = Parse("The camera takes excellent pictures.");
+  EXPECT_EQ(p.predicate_lemma, "take");
+}
+
+TEST_F(ParseTest, AuxChainHeadVerb) {
+  SentenceParse p = Parse("I was really impressed by the lens.");
+  EXPECT_EQ(p.predicate_lemma, "impress");
+}
+
+TEST_F(ParseTest, InfinitiveIsNotMainPredicate) {
+  SentenceParse p = Parse("The product fails to meet our expectations.");
+  EXPECT_EQ(p.predicate_lemma, "fail");
+}
+
+TEST_F(ParseTest, SubjectAndObject) {
+  SentenceParse p = Parse("The company offers mediocre services.");
+  EXPECT_EQ(ChunkText(p, p.subject_chunk), "The company");
+  EXPECT_EQ(ChunkText(p, p.object_chunk), "mediocre services");
+}
+
+TEST_F(ParseTest, CopulaComplementAdjp) {
+  SentenceParse p = Parse("The picture is flawless.");
+  EXPECT_GE(p.complement_chunk, 0);
+  EXPECT_EQ(ChunkText(p, p.complement_chunk), "flawless");
+  EXPECT_EQ(p.object_chunk, -1);
+}
+
+TEST_F(ParseTest, CopulaComplementNp) {
+  SentenceParse p = Parse("The battery is a nightmare.");
+  EXPECT_GE(p.complement_chunk, 0);
+  EXPECT_EQ(ChunkText(p, p.complement_chunk), "a nightmare");
+}
+
+TEST_F(ParseTest, PpAttachment) {
+  SentenceParse p = Parse("I am impressed by the flash capabilities.");
+  ASSERT_FALSE(p.pps.empty());
+  EXPECT_EQ(p.pps[0].preposition, "by");
+  EXPECT_EQ(ChunkText(p, p.pps[0].np_chunk), "the flash capabilities");
+}
+
+TEST_F(ParseTest, LeadingPpCollected) {
+  SentenceParse p =
+      Parse("Unlike the old model, the NR70 does not require an adapter.");
+  bool found_unlike = false;
+  for (const PpAttachment& pp : p.pps) {
+    if (pp.preposition == "unlike") {
+      found_unlike = true;
+      EXPECT_EQ(ChunkText(p, pp.np_chunk), "the old model");
+    }
+  }
+  EXPECT_TRUE(found_unlike);
+  EXPECT_EQ(ChunkText(p, p.subject_chunk), "the NR70");
+}
+
+TEST_F(ParseTest, SubjectSkipsPpOwnedNp) {
+  SentenceParse p =
+      Parse("The support in the NR70 series is functional.");
+  EXPECT_EQ(ChunkText(p, p.subject_chunk), "The support");
+}
+
+// --- Negation ------------------------------------------------------------------------
+
+TEST_F(ParseTest, NegationDetectedInVp) {
+  EXPECT_TRUE(Parse("The camera does not work.").vp_negated);
+  EXPECT_TRUE(Parse("The camera never works.").vp_negated);
+  EXPECT_TRUE(Parse("The camera doesn't work.").vp_negated);
+}
+
+TEST_F(ParseTest, NoNegationInPlainSentence) {
+  EXPECT_FALSE(Parse("The camera works.").vp_negated);
+}
+
+TEST_F(ParseTest, NegationOutsideVpNotFlagged) {
+  // "no" inside an NP is phrase-level, not VP-level.
+  EXPECT_FALSE(Parse("The camera has no flash.").vp_negated);
+}
+
+// --- Structure robustness ---------------------------------------------------------------
+
+TEST_F(ParseTest, VerblessSentenceHasNoPredicate) {
+  SentenceParse p = Parse("What a day!");
+  EXPECT_EQ(p.predicate_chunk, -1);
+}
+
+TEST_F(ParseTest, ChunksTileTheSentence) {
+  SentenceParse p = Parse(
+      "Unlike the recent models, the NR70 does not require an adapter for "
+      "playback, which is a welcome change.");
+  ASSERT_FALSE(p.chunks.empty());
+  EXPECT_EQ(p.chunks.front().begin, p.span.begin_token);
+  EXPECT_EQ(p.chunks.back().end, p.span.end_token);
+  for (size_t i = 1; i < p.chunks.size(); ++i) {
+    EXPECT_EQ(p.chunks[i].begin, p.chunks[i - 1].end);
+  }
+}
+
+TEST_F(ParseTest, CopulaRecognition) {
+  EXPECT_TRUE(SentenceAnalyzer::IsCopula("be"));
+  EXPECT_TRUE(SentenceAnalyzer::IsCopula("seem"));
+  EXPECT_TRUE(SentenceAnalyzer::IsCopula("look"));
+  EXPECT_FALSE(SentenceAnalyzer::IsCopula("take"));
+  EXPECT_FALSE(SentenceAnalyzer::IsCopula("offer"));
+}
+
+TEST_F(ParseTest, ChunkTypeNames) {
+  EXPECT_EQ(ChunkTypeName(ChunkType::kNP), "NP");
+  EXPECT_EQ(ChunkTypeName(ChunkType::kVP), "VP");
+  EXPECT_EQ(ChunkTypeName(ChunkType::kPP), "PP");
+  EXPECT_EQ(ChunkTypeName(ChunkType::kADJP), "ADJP");
+}
+
+// --- Clause splitting --------------------------------------------------------------
+
+class ClauseTest : public ::testing::Test {
+ protected:
+  std::vector<text::SentenceSpan> Split(const std::string& sentence) {
+    tokens_ = tokenizer_.Tokenize(sentence);
+    std::vector<text::SentenceSpan> spans = splitter_.Split(tokens_);
+    std::vector<pos::PosTag> tags = tagger_.TagSentence(tokens_, spans[0]);
+    return SplitClauses(tokens_, spans[0], tags);
+  }
+
+  text::Tokenizer tokenizer_;
+  text::SentenceSplitter splitter_;
+  pos::PosTagger tagger_;
+  text::TokenStream tokens_;
+};
+
+TEST_F(ClauseTest, SplitsCoordinatedClauses) {
+  auto clauses =
+      Split("The camera takes excellent pictures but the battery is "
+            "terrible.");
+  ASSERT_EQ(clauses.size(), 2u);
+  EXPECT_EQ(tokens_[clauses[1].begin_token].text, "but");
+}
+
+TEST_F(ClauseTest, NoSplitWithoutSecondVerb) {
+  EXPECT_EQ(Split("The picture and the sound are great.").size(), 1u);
+}
+
+TEST_F(ClauseTest, NoSplitForVpPartCoordination) {
+  // "implemented and functional": no fresh subject after the coordinator.
+  EXPECT_EQ(Split("The support is well implemented and functional.").size(),
+            1u);
+}
+
+TEST_F(ClauseTest, SemicolonSplits) {
+  auto clauses =
+      Split("The zoom works well; the flash fails constantly.");
+  EXPECT_EQ(clauses.size(), 2u);
+}
+
+TEST_F(ClauseTest, ClausesTileTheSentence) {
+  auto clauses = Split(
+      "I love the lens and the grip feels solid but the menu confuses "
+      "everyone.");
+  ASSERT_GE(clauses.size(), 2u);
+  text::TokenStream tokens = tokenizer_.Tokenize(
+      "I love the lens and the grip feels solid but the menu confuses "
+      "everyone.");
+  text::SentenceSplitter splitter;
+  auto spans = splitter.Split(tokens);
+  EXPECT_EQ(clauses.front().begin_token, spans[0].begin_token);
+  EXPECT_EQ(clauses.back().end_token, spans[0].end_token);
+  for (size_t i = 1; i < clauses.size(); ++i) {
+    EXPECT_EQ(clauses[i].begin_token, clauses[i - 1].end_token);
+  }
+}
+
+TEST_F(ClauseTest, AnalyzeClausesGivesIndependentPredicates) {
+  std::string s =
+      "The camera takes excellent pictures but the battery is terrible.";
+  tokens_ = tokenizer_.Tokenize(s);
+  auto spans = splitter_.Split(tokens_);
+  auto tags = tagger_.TagSentence(tokens_, spans[0]);
+  SentenceAnalyzer analyzer;
+  std::vector<SentenceParse> parses =
+      analyzer.AnalyzeClauses(tokens_, spans[0], tags);
+  ASSERT_EQ(parses.size(), 2u);
+  EXPECT_EQ(parses[0].predicate_lemma, "take");
+  EXPECT_EQ(parses[1].predicate_lemma, "be");
+}
+
+}  // namespace
+}  // namespace wf::parse

@@ -1,0 +1,460 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "platform/cluster.h"
+#include "platform/data_store.h"
+#include "platform/entity.h"
+#include "platform/indexer.h"
+#include "platform/ingest.h"
+#include "platform/miner_framework.h"
+#include "platform/query_service.h"
+#include "platform/sentiment_miner_plugin.h"
+#include "platform/vinci.h"
+
+namespace wf::platform {
+namespace {
+
+// --- Entity ---------------------------------------------------------------------
+
+Entity MakeEntity(const std::string& id) {
+  Entity e(id, "test");
+  e.SetBody("The battery is excellent. The flash failed.");
+  e.SetField("url", "http://example.com/" + id);
+  AnnotationSpan span;
+  span.begin = 4;
+  span.end = 11;
+  span.attrs["subject"] = "battery";
+  span.attrs["polarity"] = "+";
+  e.AddAnnotation("sentiment", span);
+  e.AddConceptToken("sent/+/battery");
+  return e;
+}
+
+TEST(EntityTest, FieldAccess) {
+  Entity e = MakeEntity("e1");
+  EXPECT_EQ(e.id(), "e1");
+  EXPECT_EQ(e.source(), "test");
+  EXPECT_TRUE(e.HasField("url"));
+  EXPECT_FALSE(e.HasField("missing"));
+  EXPECT_EQ(e.GetField("missing"), "");
+}
+
+TEST(EntityTest, SerializeRoundTrip) {
+  Entity e = MakeEntity("round-trip");
+  auto restored = Entity::Deserialize(e.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, e);
+}
+
+TEST(EntityTest, SerializeRoundTripWithSpecialChars) {
+  Entity e("weird\tid", "src");
+  e.SetBody("line one\nline two\twith tab\\backslash");
+  e.SetField("k=v", "a=b\nc");
+  auto restored = Entity::Deserialize(e.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, e);
+}
+
+TEST(EntityTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Entity::Deserialize("nonsense\tstuff\n").ok());
+  EXPECT_FALSE(Entity::Deserialize("").ok());  // no id
+}
+
+TEST(EntityTest, AnnotationsByLayer) {
+  Entity e = MakeEntity("e");
+  ASSERT_NE(e.GetAnnotations("sentiment"), nullptr);
+  EXPECT_EQ(e.GetAnnotations("sentiment")->size(), 1u);
+  EXPECT_EQ(e.GetAnnotations("nope"), nullptr);
+}
+
+// --- DataStore -------------------------------------------------------------------
+
+TEST(DataStoreTest, PutGetDelete) {
+  DataStore store;
+  ASSERT_TRUE(store.Put(MakeEntity("a")).ok());
+  EXPECT_TRUE(store.Contains("a"));
+  EXPECT_EQ(store.size(), 1u);
+
+  auto got = store.Get("a");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->id(), "a");
+
+  EXPECT_TRUE(store.Delete("a").ok());
+  EXPECT_FALSE(store.Contains("a"));
+  EXPECT_EQ(store.Delete("a").code(), common::StatusCode::kNotFound);
+}
+
+TEST(DataStoreTest, PutRejectsDuplicate) {
+  DataStore store;
+  ASSERT_TRUE(store.Put(MakeEntity("a")).ok());
+  EXPECT_EQ(store.Put(MakeEntity("a")).code(),
+            common::StatusCode::kAlreadyExists);
+  store.Upsert(MakeEntity("a"));  // upsert allows replacement
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(DataStoreTest, UpdateInPlace) {
+  DataStore store;
+  ASSERT_TRUE(store.Put(MakeEntity("a")).ok());
+  ASSERT_TRUE(store
+                  .Update("a",
+                          [](Entity& e) { e.SetField("seen", "yes"); })
+                  .ok());
+  EXPECT_EQ(store.Get("a")->GetField("seen"), "yes");
+  EXPECT_EQ(store.Update("zz", [](Entity&) {}).code(),
+            common::StatusCode::kNotFound);
+}
+
+TEST(DataStoreTest, ForEachVisitsAll) {
+  DataStore store;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.Put(MakeEntity("e" + std::to_string(i))).ok());
+  }
+  size_t visits = 0;
+  store.ForEach([&visits](const Entity&) { ++visits; });
+  EXPECT_EQ(visits, 5u);
+  EXPECT_EQ(store.Ids().size(), 5u);
+}
+
+TEST(DataStoreTest, SaveLoadRoundTrip) {
+  std::string path = "/tmp/wf_datastore_test.wfs";
+  DataStore store;
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(store.Put(MakeEntity("e" + std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(store.Save(path).ok());
+
+  DataStore restored;
+  ASSERT_TRUE(restored.Load(path).ok());
+  EXPECT_EQ(restored.size(), 7u);
+  auto e3 = restored.Get("e3");
+  ASSERT_TRUE(e3.ok());
+  EXPECT_EQ(*e3, MakeEntity("e3"));
+  std::filesystem::remove(path);
+}
+
+TEST(DataStoreTest, LoadMissingFileFails) {
+  DataStore store;
+  EXPECT_EQ(store.Load("/tmp/definitely_not_here.wfs").code(),
+            common::StatusCode::kIOError);
+}
+
+// --- InvertedIndex -----------------------------------------------------------------
+
+class IndexTest : public ::testing::Test {
+ protected:
+  IndexTest() {
+    Entity a("a", "t");
+    a.SetBody("the battery is excellent and the flash is weak");
+    index_.IndexEntity(a);
+    Entity b("b", "t");
+    b.SetBody("picture quality matters more than the battery");
+    index_.IndexEntity(b);
+    Entity c("c", "t");
+    c.SetBody("nothing relevant in this one");
+    c.AddConceptToken("sent/+/battery");
+    index_.IndexEntity(c);
+  }
+  InvertedIndex index_;
+};
+
+TEST_F(IndexTest, TermQuery) {
+  EXPECT_EQ(index_.Term("battery"),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(index_.Term("zzz").empty());
+}
+
+TEST_F(IndexTest, CaseInsensitiveTerms) {
+  EXPECT_EQ(index_.Term("BATTERY"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(IndexTest, BooleanAnd) {
+  EXPECT_EQ(index_.And({"battery", "flash"}),
+            (std::vector<std::string>{"a"}));
+  EXPECT_TRUE(index_.And({"battery", "zzz"}).empty());
+  EXPECT_TRUE(index_.And({}).empty());
+}
+
+TEST_F(IndexTest, BooleanOr) {
+  EXPECT_EQ(index_.Or({"flash", "picture"}),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(IndexTest, BooleanNot) {
+  EXPECT_EQ(index_.Not("battery", "flash"),
+            (std::vector<std::string>{"b"}));
+}
+
+TEST_F(IndexTest, PhraseQuery) {
+  EXPECT_EQ(index_.Phrase({"picture", "quality"}),
+            (std::vector<std::string>{"b"}));
+  // Words present but not adjacent.
+  EXPECT_TRUE(index_.Phrase({"battery", "flash"}).empty());
+}
+
+TEST_F(IndexTest, PrefixQuery) {
+  EXPECT_EQ(index_.Prefix("batt"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(IndexTest, ConceptTokensIndexed) {
+  EXPECT_EQ(index_.Term("sent/+/battery"),
+            (std::vector<std::string>{"c"}));
+  index_.AddConceptToken("a", "sent/+/battery");
+  EXPECT_EQ(index_.Term("sent/+/battery"),
+            (std::vector<std::string>{"a", "c"}));
+}
+
+TEST_F(IndexTest, TermFrequency) {
+  EXPECT_EQ(index_.TermFrequency("the", "a"), 2u);
+  EXPECT_EQ(index_.TermFrequency("battery", "c"), 0u);
+  EXPECT_EQ(index_.TermFrequency("sent/+/battery", "c"), 1u);
+}
+
+TEST_F(IndexTest, ReindexReplacesPostings) {
+  Entity a2("a", "t");
+  a2.SetBody("completely different words now");
+  index_.IndexEntity(a2);
+  EXPECT_EQ(index_.Term("battery"), (std::vector<std::string>{"b"}));
+  EXPECT_EQ(index_.Term("completely"), (std::vector<std::string>{"a"}));
+}
+
+TEST_F(IndexTest, Stats) {
+  EXPECT_EQ(index_.document_count(), 3u);
+  EXPECT_GT(index_.vocabulary_size(), 10u);
+  EXPECT_FALSE(index_.VocabularyWithPrefix("sent/").empty());
+}
+
+// --- VinciBus ----------------------------------------------------------------------
+
+TEST(VinciTest, RegisterAndCall) {
+  VinciBus bus;
+  ASSERT_TRUE(bus.RegisterService("upper", [](const std::string& req) {
+                   return common::ToUpper(req);
+                 }).ok());
+  auto response = bus.Call("upper", "abc");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(*response, "ABC");
+  EXPECT_EQ(bus.CallCount("upper"), 1u);
+}
+
+TEST(VinciTest, UnknownServiceFails) {
+  VinciBus bus;
+  EXPECT_EQ(bus.Call("ghost", "x").status().code(),
+            common::StatusCode::kNotFound);
+}
+
+TEST(VinciTest, DuplicateRegistrationFails) {
+  VinciBus bus;
+  ASSERT_TRUE(bus.RegisterService("s", [](const std::string&) {
+                   return "";
+                 }).ok());
+  EXPECT_EQ(bus.RegisterService("s", [](const std::string&) {
+                 return "";
+               }).code(),
+            common::StatusCode::kAlreadyExists);
+}
+
+TEST(VinciTest, UnregisterRemoves) {
+  VinciBus bus;
+  ASSERT_TRUE(bus.RegisterService("s", [](const std::string&) {
+                   return "";
+                 }).ok());
+  ASSERT_TRUE(bus.UnregisterService("s").ok());
+  EXPECT_FALSE(bus.Call("s", "").ok());
+  EXPECT_EQ(bus.UnregisterService("s").code(),
+            common::StatusCode::kNotFound);
+}
+
+TEST(VinciTest, CallAllScattersByPrefix) {
+  VinciBus bus;
+  for (int i = 0; i < 3; ++i) {
+    std::string name = "node/" + std::to_string(i) + "/echo";
+    ASSERT_TRUE(bus.RegisterService(name, [i](const std::string&) {
+                     return std::to_string(i);
+                   }).ok());
+  }
+  ASSERT_TRUE(bus.RegisterService("app/other", [](const std::string&) {
+                   return "x";
+                 }).ok());
+  auto responses = bus.CallAll("node/", "req");
+  EXPECT_EQ(responses.size(), 3u);
+}
+
+TEST(VinciTest, WireFormatRoundTrip) {
+  std::vector<std::pair<std::string, std::string>> pairs = {
+      {"subject", "NR70"},
+      {"sentence", "line one\nline two"},
+      {"subject", "second value"},
+  };
+  std::string encoded = EncodeMessage(pairs);
+  EXPECT_EQ(DecodeMessage(encoded), pairs);
+  EXPECT_EQ(GetMessageField(encoded, "subject"), "NR70");
+  EXPECT_EQ(GetMessageFields(encoded, "subject").size(), 2u);
+  EXPECT_EQ(GetMessageField(encoded, "missing"), "");
+}
+
+// --- Miner framework ----------------------------------------------------------------
+
+TEST(MinerFrameworkTest, PipelineRunsInOrderAndCounts) {
+  MinerPipeline pipeline;
+  pipeline.AddMiner(std::make_unique<SentenceBoundaryMiner>());
+  pipeline.AddMiner(std::make_unique<TokenStatsMiner>());
+
+  Entity e("e", "t");
+  e.SetBody("First sentence. Second sentence here.");
+  ASSERT_TRUE(pipeline.ProcessEntity(e).ok());
+
+  ASSERT_NE(e.GetAnnotations("sentences"), nullptr);
+  EXPECT_EQ(e.GetAnnotations("sentences")->size(), 2u);
+  EXPECT_EQ(e.GetField("word_count"), "5");
+
+  auto stats = pipeline.Stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].entities, 1u);
+  EXPECT_EQ(stats[0].failures, 0u);
+}
+
+TEST(MinerFrameworkTest, SentimentPluginAnnotatesAndEmitsConcepts) {
+  auto lexicon = lexicon::SentimentLexicon::Embedded();
+  auto patterns = lexicon::PatternDatabase::Embedded();
+  AdHocSentimentMinerPlugin plugin(&lexicon, &patterns);
+  Entity e("e", "t");
+  e.SetBody("Kodak impresses everyone who tried it.");
+  ASSERT_TRUE(plugin.Process(e).ok());
+  ASSERT_NE(e.GetAnnotations("sentiment"), nullptr);
+  ASSERT_EQ(e.concept_tokens().size(), 1u);
+  EXPECT_EQ(e.concept_tokens()[0], "sent/+/kodak");
+}
+
+TEST(MinerFrameworkTest, ConceptTokenFormat) {
+  EXPECT_EQ(SentimentConceptToken("Sunrise Oil",
+                                  lexicon::Polarity::kNegative),
+            "sent/-/sunrise_oil");
+  EXPECT_EQ(SentimentConceptToken("NR70", lexicon::Polarity::kPositive),
+            "sent/+/nr70");
+}
+
+// --- Cluster + ingest + query service -------------------------------------------------
+
+TEST(ClusterTest, RoutingIsStableAndBalanced) {
+  Cluster cluster(4);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 1000; ++i) {
+    size_t shard = cluster.Route("doc-" + std::to_string(i));
+    EXPECT_EQ(shard, cluster.Route("doc-" + std::to_string(i)));
+    ++counts[shard];
+  }
+  for (const auto& [shard, n] : counts) {
+    EXPECT_GT(n, 150);  // roughly balanced
+  }
+}
+
+TEST(ClusterTest, IngestStoresOnOwningNode) {
+  Cluster cluster(3);
+  Entity e = MakeEntity("routed");
+  size_t shard = cluster.Route("routed");
+  ASSERT_TRUE(cluster.Ingest(e).ok());
+  EXPECT_TRUE(cluster.node(shard).store().Contains("routed"));
+  EXPECT_EQ(cluster.TotalEntities(), 1u);
+  // Duplicate rejected.
+  EXPECT_FALSE(cluster.Ingest(e).ok());
+}
+
+TEST(ClusterTest, SearchScattersOverBus) {
+  Cluster cluster(2);
+  for (int i = 0; i < 10; ++i) {
+    Entity e("doc-" + std::to_string(i), "t");
+    e.SetBody(i % 2 == 0 ? "contains magicword here"
+                         : "nothing to see");
+    ASSERT_TRUE(cluster.Ingest(std::move(e)).ok());
+  }
+  cluster.MineAndIndexAll();
+  EXPECT_EQ(cluster.Search("magicword").size(), 5u);
+  EXPECT_EQ(cluster.SearchPhrase({"contains", "magicword"}).size(), 5u);
+}
+
+TEST(IngestTest, BatchIngestorDrains) {
+  Cluster cluster(2);
+  BatchIngestor ingestor("src", {{"a", "body a"}, {"b", "body b"}});
+  EXPECT_EQ(IngestAll(ingestor, cluster), 2u);
+  EXPECT_EQ(cluster.TotalEntities(), 2u);
+}
+
+TEST(IngestTest, CrawlerFollowsLinksAndDedups) {
+  std::map<std::string, CrawlerSimulator::Page> site;
+  site["u0"] = {"page zero", {"u1", "u2"}};
+  site["u1"] = {"page one", {"u0", "u2"}};
+  site["u2"] = {"page two", {"u3"}};
+  site["u3"] = {"page three", {}};
+  CrawlerSimulator crawler(
+      {"u0"}, [&site](const std::string& url)
+                  -> std::optional<CrawlerSimulator::Page> {
+        auto it = site.find(url);
+        if (it == site.end()) return std::nullopt;
+        return it->second;
+      });
+  std::vector<std::string> crawled;
+  while (auto e = crawler.Next()) crawled.push_back(e->id());
+  EXPECT_EQ(crawled,
+            (std::vector<std::string>{"u0", "u1", "u2", "u3"}));
+  EXPECT_EQ(crawler.fetched(), 4u);
+}
+
+TEST(IngestTest, CrawlerRespectsPageLimit) {
+  std::map<std::string, CrawlerSimulator::Page> site;
+  for (int i = 0; i < 10; ++i) {
+    site["p" + std::to_string(i)] = {
+        "body", {"p" + std::to_string((i + 1) % 10)}};
+  }
+  CrawlerSimulator crawler(
+      {"p0"},
+      [&site](const std::string& url)
+          -> std::optional<CrawlerSimulator::Page> {
+        return site.at(url);
+      },
+      /*max_pages=*/3);
+  size_t n = 0;
+  while (crawler.Next().has_value()) ++n;
+  EXPECT_EQ(n, 3u);
+}
+
+TEST(QueryServiceTest, EndToEndSentimentQuery) {
+  auto lexicon = lexicon::SentimentLexicon::Embedded();
+  auto patterns = lexicon::PatternDatabase::Embedded();
+  Cluster cluster(2);
+  BatchIngestor ingestor(
+      "t", {{"d1", "Kodak impresses everyone who tried it."},
+            {"d2", "Lawsuits plague Kodak."},
+            {"d3", "Kodak announced a meeting."}});
+  IngestAll(ingestor, cluster);
+  cluster.DeployMiner([&lexicon, &patterns] {
+    return std::make_unique<AdHocSentimentMinerPlugin>(&lexicon, &patterns);
+  });
+  cluster.MineAndIndexAll();
+
+  SentimentQueryService service(&cluster);
+  ASSERT_TRUE(service.RegisterService().ok());
+
+  SentimentQueryResult result = service.Query("Kodak");
+  EXPECT_EQ(result.positive_docs, 1u);
+  EXPECT_EQ(result.negative_docs, 1u);
+  ASSERT_EQ(result.hits.size(), 2u);
+
+  // The service is also reachable over the bus.
+  auto response = cluster.bus().Call(
+      "app/sentiment_query", EncodeMessage({{"subject", "Kodak"}}));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(GetMessageField(*response, "positive_docs"), "1");
+
+  // Discovered subjects include kodak.
+  std::vector<std::string> subjects = service.KnownSubjects();
+  EXPECT_NE(std::find(subjects.begin(), subjects.end(), "kodak"),
+            subjects.end());
+}
+
+}  // namespace
+}  // namespace wf::platform

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "pos/tag_lexicon.h"
+#include "pos/tagger.h"
+#include "pos/tagset.h"
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+
+namespace wf::pos {
+namespace {
+
+// --- Tagset ---------------------------------------------------------------------
+
+TEST(TagsetTest, NameParseRoundTrip) {
+  for (int i = 0; i < kNumPosTags; ++i) {
+    PosTag t = static_cast<PosTag>(i);
+    if (t == PosTag::kPunct || t == PosTag::kUnknown) continue;
+    EXPECT_EQ(ParsePosTag(PosTagName(t)), t) << PosTagName(t);
+  }
+}
+
+TEST(TagsetTest, UnknownNameParsesToUnknown) {
+  EXPECT_EQ(ParsePosTag("XYZ"), PosTag::kUnknown);
+  EXPECT_EQ(ParsePosTag(""), PosTag::kUnknown);
+}
+
+TEST(TagsetTest, CoarseClasses) {
+  EXPECT_TRUE(IsNounTag(PosTag::kNN));
+  EXPECT_TRUE(IsNounTag(PosTag::kNNPS));
+  EXPECT_FALSE(IsNounTag(PosTag::kJJ));
+  EXPECT_TRUE(IsVerbTag(PosTag::kVBG));
+  EXPECT_FALSE(IsVerbTag(PosTag::kMD));
+  EXPECT_TRUE(IsAdjectiveTag(PosTag::kJJS));
+  EXPECT_TRUE(IsAdverbTag(PosTag::kRBR));
+  EXPECT_TRUE(IsProperNounTag(PosTag::kNNP));
+  EXPECT_FALSE(IsProperNounTag(PosTag::kNN));
+  EXPECT_TRUE(IsCommonNounTag(PosTag::kNNS));
+  EXPECT_FALSE(IsCommonNounTag(PosTag::kNNP));
+}
+
+TEST(TagLexiconTest, EmbeddedLexiconNonTrivial) {
+  size_t count = 0;
+  const TagLexiconEntry* entries = EmbeddedTagLexicon(&count);
+  ASSERT_NE(entries, nullptr);
+  EXPECT_GT(count, 700u);
+}
+
+// --- Tagger ---------------------------------------------------------------------
+
+class TaggerTest : public ::testing::Test {
+ protected:
+  // Tags a single sentence; returns tags aligned to tokens.
+  std::vector<PosTag> Tag(const std::string& sentence) {
+    tokens_ = tokenizer_.Tokenize(sentence);
+    std::vector<text::SentenceSpan> spans = splitter_.Split(tokens_);
+    return tagger_.TagSentence(tokens_, spans[0]);
+  }
+
+  text::Tokenizer tokenizer_;
+  text::SentenceSplitter splitter_;
+  PosTagger tagger_;
+  text::TokenStream tokens_;
+};
+
+TEST_F(TaggerTest, SimpleDeclarative) {
+  std::vector<PosTag> tags = Tag("The camera takes excellent pictures.");
+  EXPECT_EQ(tags[0], PosTag::kDT);
+  EXPECT_EQ(tags[1], PosTag::kNN);
+  EXPECT_EQ(tags[2], PosTag::kVBZ);
+  EXPECT_EQ(tags[3], PosTag::kJJ);
+  EXPECT_EQ(tags[4], PosTag::kNNS);
+  EXPECT_EQ(tags[5], PosTag::kPunct);
+}
+
+TEST_F(TaggerTest, UnknownCapitalizedMidSentenceIsProperNoun) {
+  std::vector<PosTag> tags = Tag("I bought the Zorblatt yesterday.");
+  EXPECT_EQ(tags[3], PosTag::kNNP);
+}
+
+TEST_F(TaggerTest, ProductCodesAreProperNouns) {
+  std::vector<PosTag> tags = Tag("The NR70 works.");
+  EXPECT_EQ(tags[1], PosTag::kNNP);
+}
+
+TEST_F(TaggerTest, NumbersAreCardinal) {
+  std::vector<PosTag> tags = Tag("It costs 399 dollars.");
+  EXPECT_EQ(tags[2], PosTag::kCD);
+}
+
+TEST_F(TaggerTest, UnknownLyWordIsAdverb) {
+  std::vector<PosTag> tags = Tag("It behaves squonkily.");
+  EXPECT_EQ(tags[2], PosTag::kRB);
+}
+
+TEST_F(TaggerTest, UnknownSuffixGuesses) {
+  std::vector<PosTag> tags = Tag("a frobnicative gadget");
+  EXPECT_EQ(tags[1], PosTag::kJJ);  // -ive
+}
+
+TEST_F(TaggerTest, VerbAfterDeterminerBecomesNoun) {
+  // "zoom" is VB-first in the lexicon; after "the" it must be a noun.
+  std::vector<PosTag> tags = Tag("The zoom is great.");
+  EXPECT_EQ(tags[1], PosTag::kNN);
+}
+
+TEST_F(TaggerTest, NounAfterModalBecomesVerb) {
+  std::vector<PosTag> tags = Tag("It can zoom quickly.");
+  EXPECT_EQ(tags[2], PosTag::kVB);
+}
+
+TEST_F(TaggerTest, PastParticipleAfterBeAux) {
+  std::vector<PosTag> tags = Tag("I was impressed by it.");
+  EXPECT_EQ(tags[2], PosTag::kVBN);
+}
+
+TEST_F(TaggerTest, PastParticipleAfterAuxWithAdverb) {
+  std::vector<PosTag> tags = Tag("I was really impressed by it.");
+  EXPECT_EQ(tags[3], PosTag::kVBN);
+}
+
+TEST_F(TaggerTest, PastTenseWithoutAux) {
+  std::vector<PosTag> tags = Tag("The lens impressed everyone.");
+  EXPECT_EQ(tags[2], PosTag::kVBD);
+}
+
+TEST_F(TaggerTest, NnsVsVbzByContext) {
+  // "works" after a noun is a verb...
+  std::vector<PosTag> tags = Tag("The camera works well.");
+  EXPECT_EQ(tags[2], PosTag::kVBZ);
+  // ...and after an adjective it is a plural noun.
+  tags = Tag("These are great works.");
+  EXPECT_EQ(tags[3], PosTag::kNNS);
+}
+
+TEST_F(TaggerTest, ThatAsDeterminerBeforeNoun) {
+  std::vector<PosTag> tags = Tag("I love that camera.");
+  EXPECT_EQ(tags[2], PosTag::kDT);
+}
+
+TEST_F(TaggerTest, ThatAsComplementizer) {
+  std::vector<PosTag> tags = Tag("I know that it works.");
+  EXPECT_EQ(tags[2], PosTag::kIN);
+}
+
+TEST_F(TaggerTest, NounCompoundAfterProperNoun) {
+  std::vector<PosTag> tags = Tag("The Memory Stick support is functional.");
+  EXPECT_EQ(tags[3], PosTag::kNN);  // "support", not VB
+}
+
+TEST_F(TaggerTest, CliticNegationIsAdverb) {
+  std::vector<PosTag> tags = Tag("It doesn't work.");
+  EXPECT_EQ(tags[2], PosTag::kRB);  // n't
+}
+
+TEST_F(TaggerTest, TagWholeStreamAlignsWithTokens) {
+  text::TokenStream tokens =
+      tokenizer_.Tokenize("First sentence here. Second one follows.");
+  std::vector<text::SentenceSpan> spans = splitter_.Split(tokens);
+  std::vector<PosTag> tags = tagger_.Tag(tokens, spans);
+  ASSERT_EQ(tags.size(), tokens.size());
+  for (PosTag t : tags) EXPECT_NE(t, PosTag::kUnknown);
+}
+
+TEST_F(TaggerTest, LookupFindsLexiconWord) {
+  EXPECT_NE(tagger_.Lookup("the"), nullptr);
+  EXPECT_EQ(tagger_.Lookup("zzyzx"), nullptr);
+}
+
+}  // namespace
+}  // namespace wf::pos

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "spot/disambiguator.h"
+#include "spot/spotter.h"
+#include "spot/tfidf.h"
+#include "text/tokenizer.h"
+
+namespace wf::spot {
+namespace {
+
+text::TokenStream Tok(const std::string& s) {
+  text::Tokenizer t;
+  return t.Tokenize(s);
+}
+
+// --- Spotter --------------------------------------------------------------------
+
+TEST(SpotterTest, SingleTermSpot) {
+  Spotter spotter;
+  spotter.AddSynonymSet({1, "battery", {}});
+  std::vector<SubjectSpot> spots =
+      spotter.Spot(Tok("The battery died. Battery life matters."));
+  ASSERT_EQ(spots.size(), 2u);
+  EXPECT_EQ(spots[0].synset_id, 1);
+}
+
+TEST(SpotterTest, CaseInsensitive) {
+  Spotter spotter;
+  spotter.AddSynonymSet({1, "SUN", {}});
+  EXPECT_EQ(spotter.Spot(Tok("sun Sun SUN")).size(), 3u);
+}
+
+TEST(SpotterTest, MultiWordPhrase) {
+  Spotter spotter;
+  spotter.AddSynonymSet({1, "picture quality", {}});
+  std::vector<SubjectSpot> spots =
+      spotter.Spot(Tok("The picture quality is great, the picture less so."));
+  ASSERT_EQ(spots.size(), 1u);
+  EXPECT_EQ(spots[0].end_token - spots[0].begin_token, 2u);
+}
+
+TEST(SpotterTest, SynonymVariantsShareId) {
+  Spotter spotter;
+  spotter.AddSynonymSet(
+      {7, "Sony Corporation", {"Sony", "Sony Corp."}});
+  std::vector<SubjectSpot> spots = spotter.Spot(
+      Tok("Sony Corporation and Sony and Sony Corp. are one company."));
+  ASSERT_EQ(spots.size(), 3u);
+  for (const SubjectSpot& s : spots) EXPECT_EQ(s.synset_id, 7);
+}
+
+TEST(SpotterTest, LeftmostLongestWins) {
+  Spotter spotter;
+  spotter.AddSynonymSet({1, "battery", {}});
+  spotter.AddSynonymSet({2, "battery life", {}});
+  std::vector<SubjectSpot> spots = spotter.Spot(Tok("The battery life."));
+  ASSERT_EQ(spots.size(), 1u);
+  EXPECT_EQ(spots[0].synset_id, 2);  // longest match
+}
+
+TEST(SpotterTest, NonOverlappingSequentialSpots) {
+  Spotter spotter;
+  spotter.AddSynonymSet({1, "zoom", {}});
+  std::vector<SubjectSpot> spots = spotter.Spot(Tok("zoom zoom zoom"));
+  ASSERT_EQ(spots.size(), 3u);
+  EXPECT_EQ(spots[1].begin_token, 1u);
+}
+
+TEST(SpotterTest, FindSetReturnsRegistered) {
+  Spotter spotter;
+  spotter.AddSynonymSet({3, "flash", {}});
+  ASSERT_NE(spotter.FindSet(3), nullptr);
+  EXPECT_EQ(spotter.FindSet(3)->canonical, "flash");
+  EXPECT_EQ(spotter.FindSet(99), nullptr);
+}
+
+TEST(SpotterTest, NoSpotsInUnrelatedText) {
+  Spotter spotter;
+  spotter.AddSynonymSet({1, "battery", {}});
+  EXPECT_TRUE(spotter.Spot(Tok("Nothing relevant here.")).empty());
+}
+
+// --- CorpusStats -------------------------------------------------------------------
+
+TEST(CorpusStatsTest, DocumentFrequencyCountsOncePerDoc) {
+  CorpusStats stats;
+  stats.AddDocument({"oil", "oil", "rig"});
+  stats.AddDocument({"oil"});
+  EXPECT_EQ(stats.DocumentFrequency("oil"), 2u);
+  EXPECT_EQ(stats.DocumentFrequency("rig"), 1u);
+  EXPECT_EQ(stats.DocumentFrequency("gas"), 0u);
+  EXPECT_EQ(stats.document_count(), 2u);
+}
+
+TEST(CorpusStatsTest, IdfDecreasesWithFrequency) {
+  CorpusStats stats;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::string> doc{"common"};
+    if (i == 0) doc.push_back("rare");
+    stats.AddDocument(doc);
+  }
+  EXPECT_GT(stats.Idf("rare"), stats.Idf("common"));
+  EXPECT_GT(stats.Idf("unseen"), stats.Idf("rare"));
+  EXPECT_GT(stats.Idf("common"), 0.0);  // never negative
+}
+
+// --- Disambiguator ------------------------------------------------------------------
+
+class DisambiguatorTest : public ::testing::Test {
+ protected:
+  DisambiguatorTest() {
+    // Background stats: make topic words informative.
+    for (int i = 0; i < 20; ++i) {
+      stats_.AddDocument({"the", "a", "and", "day"});
+    }
+    stats_.AddDocument({"oil", "barrel", "drilling"});
+    stats_.AddDocument({"weather", "sky", "sunday"});
+
+    TopicTermSet topic;
+    topic.synset_id = 1;
+    topic.on_topic = {"oil", "barrel", "drilling", "crude oil"};
+    topic.off_topic = {"weather", "sky", "sunday"};
+    disambiguator_.AddTopic(topic);
+  }
+
+  std::vector<DisambiguationResult> Evaluate(const std::string& text) {
+    Spotter spotter;
+    spotter.AddSynonymSet({1, "SUN", {"Sun"}});
+    text::TokenStream tokens = Tok(text);
+    return disambiguator_.Evaluate(tokens, spotter.Spot(tokens), stats_);
+  }
+
+  CorpusStats stats_;
+  Disambiguator disambiguator_;
+};
+
+TEST_F(DisambiguatorTest, OnTopicContextAccepted) {
+  // The paper's SUN example: the company in an oil context.
+  auto results = Evaluate(
+      "SUN raised its output. The company shipped every barrel of oil "
+      "from the new drilling platform, and oil analysts cheered the "
+      "barrel counts.");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].on_topic);
+  EXPECT_GT(results[0].global_score, 0.0);
+}
+
+TEST_F(DisambiguatorTest, OffTopicContextRejected) {
+  // "Sun" in a weather context ("Sunday" analogue).
+  auto results = Evaluate(
+      "The sun was warm on Sunday. The weather stayed clear and the sky "
+      "was blue all weekend.");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].on_topic);
+  EXPECT_LT(results[0].global_score, 0.0);
+}
+
+TEST_F(DisambiguatorTest, UnregisteredTopicPassesThrough) {
+  Disambiguator empty;
+  Spotter spotter;
+  spotter.AddSynonymSet({5, "Kodak", {}});
+  text::TokenStream tokens = Tok("Kodak did things.");
+  auto results = empty.Evaluate(tokens, spotter.Spot(tokens), stats_);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].on_topic);
+}
+
+TEST_F(DisambiguatorTest, GlobalPassAcceptsAllSpots) {
+  // Strong global context: both spots accepted even if one is locally bare.
+  auto results = Evaluate(
+      "SUN posted results. Analysts discussed oil, barrel prices, "
+      "drilling schedules, oil reserves and more oil. Sun closed higher.");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].on_topic);
+  EXPECT_TRUE(results[1].on_topic);
+}
+
+TEST_F(DisambiguatorTest, LexicalAffinityWeighsDouble) {
+  TopicTermSet topic;
+  topic.synset_id = 2;
+  topic.on_topic = {"crude oil"};
+  Disambiguator d;
+  d.AddTopic(topic);
+  Spotter spotter;
+  spotter.AddSynonymSet({2, "CBR", {}});
+  text::TokenStream tokens = Tok("CBR shipped crude oil to the coast.");
+  auto results = d.Evaluate(tokens, spotter.Spot(tokens), stats_);
+  ASSERT_EQ(results.size(), 1u);
+  // Bigram "crude oil" present: double weight * idf.
+  EXPECT_GT(results[0].global_score, 0.0);
+  EXPECT_TRUE(results[0].on_topic);
+}
+
+}  // namespace
+}  // namespace wf::spot

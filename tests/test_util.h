@@ -1,0 +1,97 @@
+#ifndef WF_TESTS_TEST_UTIL_H_
+#define WF_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/analyzer.h"
+#include "lexicon/pattern_db.h"
+#include "lexicon/sentiment_lexicon.h"
+#include "parse/sentence_structure.h"
+#include "pos/tagger.h"
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+
+namespace wf::testing {
+
+// One-stop pipeline for tests: tokenize, split, tag, and parse a document,
+// then analyze sentiment about `subject` (first occurrence, case
+// insensitive, possibly multi-token).
+class Pipeline {
+ public:
+  Pipeline()
+      : lexicon_(lexicon::SentimentLexicon::Embedded()),
+        patterns_(lexicon::PatternDatabase::Embedded()) {}
+
+  explicit Pipeline(const core::AnalyzerOptions& options)
+      : lexicon_(lexicon::SentimentLexicon::Embedded()),
+        patterns_(lexicon::PatternDatabase::Embedded()),
+        options_(options) {}
+
+  // Polarity assigned to `subject` in `sentence` (the first sentence
+  // containing the subject is used).
+  lexicon::Polarity Analyze(const std::string& sentence,
+                            const std::string& subject) const {
+    return AnalyzeDetailed(sentence, subject).polarity;
+  }
+
+  core::SubjectSentiment AnalyzeDetailed(const std::string& sentence,
+                                         const std::string& subject) const {
+    text::TokenStream tokens = tokenizer_.Tokenize(sentence);
+    std::vector<text::SentenceSpan> spans = splitter_.Split(tokens);
+
+    // Find the subject's token range.
+    text::TokenStream subj = tokenizer_.Tokenize(subject);
+    for (const text::SentenceSpan& span : spans) {
+      for (size_t i = span.begin_token; i + subj.size() <= span.end_token;
+           ++i) {
+        bool match = true;
+        for (size_t k = 0; k < subj.size(); ++k) {
+          if (!common::EqualsIgnoreCase(tokens[i + k].text, subj[k].text)) {
+            match = false;
+            break;
+          }
+        }
+        if (!match) continue;
+        std::vector<pos::PosTag> tags = tagger_.TagSentence(tokens, span);
+        std::vector<parse::SentenceParse> clauses =
+            sentence_analyzer_.AnalyzeClauses(tokens, span, tags);
+        const parse::SentenceParse* parse = &clauses.front();
+        for (const parse::SentenceParse& c : clauses) {
+          if (i >= c.span.begin_token && i < c.span.end_token) {
+            parse = &c;
+            break;
+          }
+        }
+        core::SentimentAnalyzer analyzer(&lexicon_, &patterns_, options_);
+        return analyzer.AnalyzeSubject(tokens, *parse, i, i + subj.size());
+      }
+    }
+    return core::SubjectSentiment{};
+  }
+
+  // Full parse of the first sentence (for parser tests).
+  parse::SentenceParse Parse(const std::string& sentence) const {
+    text::TokenStream tokens = tokenizer_.Tokenize(sentence);
+    std::vector<text::SentenceSpan> spans = splitter_.Split(tokens);
+    std::vector<pos::PosTag> tags = tagger_.TagSentence(tokens, spans[0]);
+    return sentence_analyzer_.Analyze(tokens, spans[0], tags);
+  }
+
+  const lexicon::SentimentLexicon& lexicon() const { return lexicon_; }
+  const lexicon::PatternDatabase& patterns() const { return patterns_; }
+
+ private:
+  lexicon::SentimentLexicon lexicon_;
+  lexicon::PatternDatabase patterns_;
+  core::AnalyzerOptions options_;
+  text::Tokenizer tokenizer_;
+  text::SentenceSplitter splitter_;
+  pos::PosTagger tagger_;
+  parse::SentenceAnalyzer sentence_analyzer_;
+};
+
+}  // namespace wf::testing
+
+#endif  // WF_TESTS_TEST_UTIL_H_
