@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corpus_miners.dir/bench_corpus_miners.cc.o"
+  "CMakeFiles/bench_corpus_miners.dir/bench_corpus_miners.cc.o.d"
+  "bench_corpus_miners"
+  "bench_corpus_miners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corpus_miners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

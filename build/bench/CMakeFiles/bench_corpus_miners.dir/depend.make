@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_corpus_miners.
+# This may be replaced when dependencies are built.

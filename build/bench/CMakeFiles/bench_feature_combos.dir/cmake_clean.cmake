@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feature_combos.dir/bench_feature_combos.cc.o"
+  "CMakeFiles/bench_feature_combos.dir/bench_feature_combos.cc.o.d"
+  "bench_feature_combos"
+  "bench_feature_combos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feature_combos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_feature_combos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_satisfaction.dir/bench_fig2_satisfaction.cc.o"
+  "CMakeFiles/bench_fig2_satisfaction.dir/bench_fig2_satisfaction.cc.o.d"
+  "bench_fig2_satisfaction"
+  "bench_fig2_satisfaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_satisfaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

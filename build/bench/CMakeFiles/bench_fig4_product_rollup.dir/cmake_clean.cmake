@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_product_rollup.dir/bench_fig4_product_rollup.cc.o"
+  "CMakeFiles/bench_fig4_product_rollup.dir/bench_fig4_product_rollup.cc.o.d"
+  "bench_fig4_product_rollup"
+  "bench_fig4_product_rollup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_product_rollup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

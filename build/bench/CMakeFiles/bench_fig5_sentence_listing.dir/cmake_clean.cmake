@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_sentence_listing.dir/bench_fig5_sentence_listing.cc.o"
+  "CMakeFiles/bench_fig5_sentence_listing.dir/bench_fig5_sentence_listing.cc.o.d"
+  "bench_fig5_sentence_listing"
+  "bench_fig5_sentence_listing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_sentence_listing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_nlp.dir/bench_micro_nlp.cc.o"
+  "CMakeFiles/bench_micro_nlp.dir/bench_micro_nlp.cc.o.d"
+  "bench_micro_nlp"
+  "bench_micro_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

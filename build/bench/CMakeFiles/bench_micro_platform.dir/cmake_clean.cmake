@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_platform.dir/bench_micro_platform.cc.o"
+  "CMakeFiles/bench_micro_platform.dir/bench_micro_platform.cc.o.d"
+  "bench_micro_platform"
+  "bench_micro_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

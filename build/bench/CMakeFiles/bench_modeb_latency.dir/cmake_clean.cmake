@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_modeb_latency.dir/bench_modeb_latency.cc.o"
+  "CMakeFiles/bench_modeb_latency.dir/bench_modeb_latency.cc.o.d"
+  "bench_modeb_latency"
+  "bench_modeb_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_modeb_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

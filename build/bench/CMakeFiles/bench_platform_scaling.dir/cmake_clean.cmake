@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_platform_scaling.dir/bench_platform_scaling.cc.o"
+  "CMakeFiles/bench_platform_scaling.dir/bench_platform_scaling.cc.o.d"
+  "bench_platform_scaling"
+  "bench_platform_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_platform_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_feature_terms.dir/bench_table2_feature_terms.cc.o"
+  "CMakeFiles/bench_table2_feature_terms.dir/bench_table2_feature_terms.cc.o.d"
+  "bench_table2_feature_terms"
+  "bench_table2_feature_terms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_feature_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

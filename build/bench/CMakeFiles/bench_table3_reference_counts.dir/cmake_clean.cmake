@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_reference_counts.dir/bench_table3_reference_counts.cc.o"
+  "CMakeFiles/bench_table3_reference_counts.dir/bench_table3_reference_counts.cc.o.d"
+  "bench_table3_reference_counts"
+  "bench_table3_reference_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_reference_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_product_reviews.dir/bench_table4_product_reviews.cc.o"
+  "CMakeFiles/bench_table4_product_reviews.dir/bench_table4_product_reviews.cc.o.d"
+  "bench_table4_product_reviews"
+  "bench_table4_product_reviews.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_product_reviews.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

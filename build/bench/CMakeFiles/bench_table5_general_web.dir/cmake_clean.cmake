@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_general_web.dir/bench_table5_general_web.cc.o"
+  "CMakeFiles/bench_table5_general_web.dir/bench_table5_general_web.cc.o.d"
+  "bench_table5_general_web"
+  "bench_table5_general_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_general_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table5_general_web.
+# This may be replaced when dependencies are built.

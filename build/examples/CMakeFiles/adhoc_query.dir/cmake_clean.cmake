@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhoc_query.dir/adhoc_query.cpp.o"
+  "CMakeFiles/adhoc_query.dir/adhoc_query.cpp.o.d"
+  "adhoc_query"
+  "adhoc_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhoc_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_reputation.dir/auto_reputation.cpp.o"
+  "CMakeFiles/auto_reputation.dir/auto_reputation.cpp.o.d"
+  "auto_reputation"
+  "auto_reputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_reputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

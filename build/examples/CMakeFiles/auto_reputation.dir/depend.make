@@ -1,0 +1,2 @@
+# Empty dependencies file for auto_reputation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crawl_to_insight.dir/crawl_to_insight.cpp.o"
+  "CMakeFiles/crawl_to_insight.dir/crawl_to_insight.cpp.o.d"
+  "crawl_to_insight"
+  "crawl_to_insight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crawl_to_insight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

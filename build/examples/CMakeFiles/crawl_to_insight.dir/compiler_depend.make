@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for crawl_to_insight.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/wf_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexicon/CMakeFiles/wf_lexicon.dir/DependInfo.cmake"
+  "/root/repo/build/src/pos/CMakeFiles/wf_pos.dir/DependInfo.cmake"
+  "/root/repo/build/src/ner/CMakeFiles/wf_ner.dir/DependInfo.cmake"
+  "/root/repo/build/src/spot/CMakeFiles/wf_spot.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/wf_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

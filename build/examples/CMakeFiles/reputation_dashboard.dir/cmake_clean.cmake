@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reputation_dashboard.dir/reputation_dashboard.cpp.o"
+  "CMakeFiles/reputation_dashboard.dir/reputation_dashboard.cpp.o.d"
+  "reputation_dashboard"
+  "reputation_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reputation_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

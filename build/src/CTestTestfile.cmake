@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("text")
+subdirs("pos")
+subdirs("parse")
+subdirs("lexicon")
+subdirs("ner")
+subdirs("spot")
+subdirs("feature")
+subdirs("core")
+subdirs("baseline")
+subdirs("platform")
+subdirs("corpus")
+subdirs("eval")
+subdirs("tools")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wf_baseline.dir/collocation.cc.o"
+  "CMakeFiles/wf_baseline.dir/collocation.cc.o.d"
+  "CMakeFiles/wf_baseline.dir/reviewseer.cc.o"
+  "CMakeFiles/wf_baseline.dir/reviewseer.cc.o.d"
+  "libwf_baseline.a"
+  "libwf_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wf_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

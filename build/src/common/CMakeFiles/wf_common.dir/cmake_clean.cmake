@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wf_common.dir/logging.cc.o"
+  "CMakeFiles/wf_common.dir/logging.cc.o.d"
+  "CMakeFiles/wf_common.dir/rng.cc.o"
+  "CMakeFiles/wf_common.dir/rng.cc.o.d"
+  "CMakeFiles/wf_common.dir/status.cc.o"
+  "CMakeFiles/wf_common.dir/status.cc.o.d"
+  "CMakeFiles/wf_common.dir/string_util.cc.o"
+  "CMakeFiles/wf_common.dir/string_util.cc.o.d"
+  "libwf_common.a"
+  "libwf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

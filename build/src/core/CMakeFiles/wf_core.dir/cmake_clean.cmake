@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wf_core.dir/analyzer.cc.o"
+  "CMakeFiles/wf_core.dir/analyzer.cc.o.d"
+  "CMakeFiles/wf_core.dir/context.cc.o"
+  "CMakeFiles/wf_core.dir/context.cc.o.d"
+  "CMakeFiles/wf_core.dir/miner.cc.o"
+  "CMakeFiles/wf_core.dir/miner.cc.o.d"
+  "CMakeFiles/wf_core.dir/phrase_sentiment.cc.o"
+  "CMakeFiles/wf_core.dir/phrase_sentiment.cc.o.d"
+  "CMakeFiles/wf_core.dir/sentiment_store.cc.o"
+  "CMakeFiles/wf_core.dir/sentiment_store.cc.o.d"
+  "libwf_core.a"
+  "libwf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

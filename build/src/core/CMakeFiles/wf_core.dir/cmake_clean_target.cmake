@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwf_core.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/datasets.cc" "src/corpus/CMakeFiles/wf_corpus.dir/datasets.cc.o" "gcc" "src/corpus/CMakeFiles/wf_corpus.dir/datasets.cc.o.d"
+  "/root/repo/src/corpus/domain_data.cc" "src/corpus/CMakeFiles/wf_corpus.dir/domain_data.cc.o" "gcc" "src/corpus/CMakeFiles/wf_corpus.dir/domain_data.cc.o.d"
+  "/root/repo/src/corpus/review_gen.cc" "src/corpus/CMakeFiles/wf_corpus.dir/review_gen.cc.o" "gcc" "src/corpus/CMakeFiles/wf_corpus.dir/review_gen.cc.o.d"
+  "/root/repo/src/corpus/sentence_templates.cc" "src/corpus/CMakeFiles/wf_corpus.dir/sentence_templates.cc.o" "gcc" "src/corpus/CMakeFiles/wf_corpus.dir/sentence_templates.cc.o.d"
+  "/root/repo/src/corpus/web_gen.cc" "src/corpus/CMakeFiles/wf_corpus.dir/web_gen.cc.o" "gcc" "src/corpus/CMakeFiles/wf_corpus.dir/web_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexicon/CMakeFiles/wf_lexicon.dir/DependInfo.cmake"
+  "/root/repo/build/src/pos/CMakeFiles/wf_pos.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/wf_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

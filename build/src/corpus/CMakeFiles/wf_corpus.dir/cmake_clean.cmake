@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wf_corpus.dir/datasets.cc.o"
+  "CMakeFiles/wf_corpus.dir/datasets.cc.o.d"
+  "CMakeFiles/wf_corpus.dir/domain_data.cc.o"
+  "CMakeFiles/wf_corpus.dir/domain_data.cc.o.d"
+  "CMakeFiles/wf_corpus.dir/review_gen.cc.o"
+  "CMakeFiles/wf_corpus.dir/review_gen.cc.o.d"
+  "CMakeFiles/wf_corpus.dir/sentence_templates.cc.o"
+  "CMakeFiles/wf_corpus.dir/sentence_templates.cc.o.d"
+  "CMakeFiles/wf_corpus.dir/web_gen.cc.o"
+  "CMakeFiles/wf_corpus.dir/web_gen.cc.o.d"
+  "libwf_corpus.a"
+  "libwf_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wf_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wf_eval.dir/evaluator.cc.o"
+  "CMakeFiles/wf_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/wf_eval.dir/metrics.cc.o"
+  "CMakeFiles/wf_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/wf_eval.dir/report.cc.o"
+  "CMakeFiles/wf_eval.dir/report.cc.o.d"
+  "libwf_eval.a"
+  "libwf_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wf_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

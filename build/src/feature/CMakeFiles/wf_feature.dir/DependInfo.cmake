@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/feature/bbnp.cc" "src/feature/CMakeFiles/wf_feature.dir/bbnp.cc.o" "gcc" "src/feature/CMakeFiles/wf_feature.dir/bbnp.cc.o.d"
+  "/root/repo/src/feature/feature_extractor.cc" "src/feature/CMakeFiles/wf_feature.dir/feature_extractor.cc.o" "gcc" "src/feature/CMakeFiles/wf_feature.dir/feature_extractor.cc.o.d"
+  "/root/repo/src/feature/likelihood_ratio.cc" "src/feature/CMakeFiles/wf_feature.dir/likelihood_ratio.cc.o" "gcc" "src/feature/CMakeFiles/wf_feature.dir/likelihood_ratio.cc.o.d"
+  "/root/repo/src/feature/selection.cc" "src/feature/CMakeFiles/wf_feature.dir/selection.cc.o" "gcc" "src/feature/CMakeFiles/wf_feature.dir/selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/wf_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/pos/CMakeFiles/wf_pos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wf_feature.dir/bbnp.cc.o"
+  "CMakeFiles/wf_feature.dir/bbnp.cc.o.d"
+  "CMakeFiles/wf_feature.dir/feature_extractor.cc.o"
+  "CMakeFiles/wf_feature.dir/feature_extractor.cc.o.d"
+  "CMakeFiles/wf_feature.dir/likelihood_ratio.cc.o"
+  "CMakeFiles/wf_feature.dir/likelihood_ratio.cc.o.d"
+  "CMakeFiles/wf_feature.dir/selection.cc.o"
+  "CMakeFiles/wf_feature.dir/selection.cc.o.d"
+  "libwf_feature.a"
+  "libwf_feature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wf_feature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lexicon/pattern_db.cc" "src/lexicon/CMakeFiles/wf_lexicon.dir/pattern_db.cc.o" "gcc" "src/lexicon/CMakeFiles/wf_lexicon.dir/pattern_db.cc.o.d"
+  "/root/repo/src/lexicon/pattern_db_data.cc" "src/lexicon/CMakeFiles/wf_lexicon.dir/pattern_db_data.cc.o" "gcc" "src/lexicon/CMakeFiles/wf_lexicon.dir/pattern_db_data.cc.o.d"
+  "/root/repo/src/lexicon/sentiment_lexicon.cc" "src/lexicon/CMakeFiles/wf_lexicon.dir/sentiment_lexicon.cc.o" "gcc" "src/lexicon/CMakeFiles/wf_lexicon.dir/sentiment_lexicon.cc.o.d"
+  "/root/repo/src/lexicon/sentiment_lexicon_data.cc" "src/lexicon/CMakeFiles/wf_lexicon.dir/sentiment_lexicon_data.cc.o" "gcc" "src/lexicon/CMakeFiles/wf_lexicon.dir/sentiment_lexicon_data.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/wf_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/pos/CMakeFiles/wf_pos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wf_lexicon.dir/pattern_db.cc.o"
+  "CMakeFiles/wf_lexicon.dir/pattern_db.cc.o.d"
+  "CMakeFiles/wf_lexicon.dir/pattern_db_data.cc.o"
+  "CMakeFiles/wf_lexicon.dir/pattern_db_data.cc.o.d"
+  "CMakeFiles/wf_lexicon.dir/sentiment_lexicon.cc.o"
+  "CMakeFiles/wf_lexicon.dir/sentiment_lexicon.cc.o.d"
+  "CMakeFiles/wf_lexicon.dir/sentiment_lexicon_data.cc.o"
+  "CMakeFiles/wf_lexicon.dir/sentiment_lexicon_data.cc.o.d"
+  "libwf_lexicon.a"
+  "libwf_lexicon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wf_lexicon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wf_ner.dir/named_entity_spotter.cc.o"
+  "CMakeFiles/wf_ner.dir/named_entity_spotter.cc.o.d"
+  "libwf_ner.a"
+  "libwf_ner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wf_ner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

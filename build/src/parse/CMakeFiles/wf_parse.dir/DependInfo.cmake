@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parse/chunker.cc" "src/parse/CMakeFiles/wf_parse.dir/chunker.cc.o" "gcc" "src/parse/CMakeFiles/wf_parse.dir/chunker.cc.o.d"
+  "/root/repo/src/parse/clause_splitter.cc" "src/parse/CMakeFiles/wf_parse.dir/clause_splitter.cc.o" "gcc" "src/parse/CMakeFiles/wf_parse.dir/clause_splitter.cc.o.d"
+  "/root/repo/src/parse/sentence_structure.cc" "src/parse/CMakeFiles/wf_parse.dir/sentence_structure.cc.o" "gcc" "src/parse/CMakeFiles/wf_parse.dir/sentence_structure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/wf_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/pos/CMakeFiles/wf_pos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wf_parse.dir/chunker.cc.o"
+  "CMakeFiles/wf_parse.dir/chunker.cc.o.d"
+  "CMakeFiles/wf_parse.dir/clause_splitter.cc.o"
+  "CMakeFiles/wf_parse.dir/clause_splitter.cc.o.d"
+  "CMakeFiles/wf_parse.dir/sentence_structure.cc.o"
+  "CMakeFiles/wf_parse.dir/sentence_structure.cc.o.d"
+  "libwf_parse.a"
+  "libwf_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wf_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/cluster.cc" "src/platform/CMakeFiles/wf_platform.dir/cluster.cc.o" "gcc" "src/platform/CMakeFiles/wf_platform.dir/cluster.cc.o.d"
+  "/root/repo/src/platform/corpus_miners.cc" "src/platform/CMakeFiles/wf_platform.dir/corpus_miners.cc.o" "gcc" "src/platform/CMakeFiles/wf_platform.dir/corpus_miners.cc.o.d"
+  "/root/repo/src/platform/data_store.cc" "src/platform/CMakeFiles/wf_platform.dir/data_store.cc.o" "gcc" "src/platform/CMakeFiles/wf_platform.dir/data_store.cc.o.d"
+  "/root/repo/src/platform/entity.cc" "src/platform/CMakeFiles/wf_platform.dir/entity.cc.o" "gcc" "src/platform/CMakeFiles/wf_platform.dir/entity.cc.o.d"
+  "/root/repo/src/platform/geo_miner.cc" "src/platform/CMakeFiles/wf_platform.dir/geo_miner.cc.o" "gcc" "src/platform/CMakeFiles/wf_platform.dir/geo_miner.cc.o.d"
+  "/root/repo/src/platform/indexer.cc" "src/platform/CMakeFiles/wf_platform.dir/indexer.cc.o" "gcc" "src/platform/CMakeFiles/wf_platform.dir/indexer.cc.o.d"
+  "/root/repo/src/platform/ingest.cc" "src/platform/CMakeFiles/wf_platform.dir/ingest.cc.o" "gcc" "src/platform/CMakeFiles/wf_platform.dir/ingest.cc.o.d"
+  "/root/repo/src/platform/miner_framework.cc" "src/platform/CMakeFiles/wf_platform.dir/miner_framework.cc.o" "gcc" "src/platform/CMakeFiles/wf_platform.dir/miner_framework.cc.o.d"
+  "/root/repo/src/platform/query_service.cc" "src/platform/CMakeFiles/wf_platform.dir/query_service.cc.o" "gcc" "src/platform/CMakeFiles/wf_platform.dir/query_service.cc.o.d"
+  "/root/repo/src/platform/sentiment_miner_plugin.cc" "src/platform/CMakeFiles/wf_platform.dir/sentiment_miner_plugin.cc.o" "gcc" "src/platform/CMakeFiles/wf_platform.dir/sentiment_miner_plugin.cc.o.d"
+  "/root/repo/src/platform/vinci.cc" "src/platform/CMakeFiles/wf_platform.dir/vinci.cc.o" "gcc" "src/platform/CMakeFiles/wf_platform.dir/vinci.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/wf_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/wf_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexicon/CMakeFiles/wf_lexicon.dir/DependInfo.cmake"
+  "/root/repo/build/src/pos/CMakeFiles/wf_pos.dir/DependInfo.cmake"
+  "/root/repo/build/src/ner/CMakeFiles/wf_ner.dir/DependInfo.cmake"
+  "/root/repo/build/src/spot/CMakeFiles/wf_spot.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

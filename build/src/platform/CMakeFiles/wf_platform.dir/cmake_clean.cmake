@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wf_platform.dir/cluster.cc.o"
+  "CMakeFiles/wf_platform.dir/cluster.cc.o.d"
+  "CMakeFiles/wf_platform.dir/corpus_miners.cc.o"
+  "CMakeFiles/wf_platform.dir/corpus_miners.cc.o.d"
+  "CMakeFiles/wf_platform.dir/data_store.cc.o"
+  "CMakeFiles/wf_platform.dir/data_store.cc.o.d"
+  "CMakeFiles/wf_platform.dir/entity.cc.o"
+  "CMakeFiles/wf_platform.dir/entity.cc.o.d"
+  "CMakeFiles/wf_platform.dir/geo_miner.cc.o"
+  "CMakeFiles/wf_platform.dir/geo_miner.cc.o.d"
+  "CMakeFiles/wf_platform.dir/indexer.cc.o"
+  "CMakeFiles/wf_platform.dir/indexer.cc.o.d"
+  "CMakeFiles/wf_platform.dir/ingest.cc.o"
+  "CMakeFiles/wf_platform.dir/ingest.cc.o.d"
+  "CMakeFiles/wf_platform.dir/miner_framework.cc.o"
+  "CMakeFiles/wf_platform.dir/miner_framework.cc.o.d"
+  "CMakeFiles/wf_platform.dir/query_service.cc.o"
+  "CMakeFiles/wf_platform.dir/query_service.cc.o.d"
+  "CMakeFiles/wf_platform.dir/sentiment_miner_plugin.cc.o"
+  "CMakeFiles/wf_platform.dir/sentiment_miner_plugin.cc.o.d"
+  "CMakeFiles/wf_platform.dir/vinci.cc.o"
+  "CMakeFiles/wf_platform.dir/vinci.cc.o.d"
+  "libwf_platform.a"
+  "libwf_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wf_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

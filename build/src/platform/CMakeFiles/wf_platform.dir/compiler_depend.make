@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wf_platform.
+# This may be replaced when dependencies are built.

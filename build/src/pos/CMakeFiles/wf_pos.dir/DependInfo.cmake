@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pos/tag_lexicon_data.cc" "src/pos/CMakeFiles/wf_pos.dir/tag_lexicon_data.cc.o" "gcc" "src/pos/CMakeFiles/wf_pos.dir/tag_lexicon_data.cc.o.d"
+  "/root/repo/src/pos/tagger.cc" "src/pos/CMakeFiles/wf_pos.dir/tagger.cc.o" "gcc" "src/pos/CMakeFiles/wf_pos.dir/tagger.cc.o.d"
+  "/root/repo/src/pos/tagset.cc" "src/pos/CMakeFiles/wf_pos.dir/tagset.cc.o" "gcc" "src/pos/CMakeFiles/wf_pos.dir/tagset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/wf_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

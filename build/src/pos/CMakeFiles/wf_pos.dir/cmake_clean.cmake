@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wf_pos.dir/tag_lexicon_data.cc.o"
+  "CMakeFiles/wf_pos.dir/tag_lexicon_data.cc.o.d"
+  "CMakeFiles/wf_pos.dir/tagger.cc.o"
+  "CMakeFiles/wf_pos.dir/tagger.cc.o.d"
+  "CMakeFiles/wf_pos.dir/tagset.cc.o"
+  "CMakeFiles/wf_pos.dir/tagset.cc.o.d"
+  "libwf_pos.a"
+  "libwf_pos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wf_pos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wf_spot.dir/disambiguator.cc.o"
+  "CMakeFiles/wf_spot.dir/disambiguator.cc.o.d"
+  "CMakeFiles/wf_spot.dir/spotter.cc.o"
+  "CMakeFiles/wf_spot.dir/spotter.cc.o.d"
+  "CMakeFiles/wf_spot.dir/tfidf.cc.o"
+  "CMakeFiles/wf_spot.dir/tfidf.cc.o.d"
+  "libwf_spot.a"
+  "libwf_spot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wf_spot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wf_text.dir/inflection.cc.o"
+  "CMakeFiles/wf_text.dir/inflection.cc.o.d"
+  "CMakeFiles/wf_text.dir/sentence_splitter.cc.o"
+  "CMakeFiles/wf_text.dir/sentence_splitter.cc.o.d"
+  "CMakeFiles/wf_text.dir/tokenizer.cc.o"
+  "CMakeFiles/wf_text.dir/tokenizer.cc.o.d"
+  "libwf_text.a"
+  "libwf_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wf_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfsm.dir/wfsm_main.cc.o"
+  "CMakeFiles/wfsm.dir/wfsm_main.cc.o.d"
+  "wfsm"
+  "wfsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agreement_test.dir/agreement_test.cc.o"
+  "CMakeFiles/agreement_test.dir/agreement_test.cc.o.d"
+  "agreement_test"
+  "agreement_test.pdb"
+  "agreement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_miner_test.dir/core_miner_test.cc.o"
+  "CMakeFiles/core_miner_test.dir/core_miner_test.cc.o.d"
+  "core_miner_test"
+  "core_miner_test.pdb"
+  "core_miner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

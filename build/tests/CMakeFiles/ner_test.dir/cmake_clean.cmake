@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ner_test.dir/ner_test.cc.o"
+  "CMakeFiles/ner_test.dir/ner_test.cc.o.d"
+  "ner_test"
+  "ner_test.pdb"
+  "ner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parse_test.dir/parse_test.cc.o"
+  "CMakeFiles/parse_test.dir/parse_test.cc.o.d"
+  "parse_test"
+  "parse_test.pdb"
+  "parse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_miners_test.dir/platform_miners_test.cc.o"
+  "CMakeFiles/platform_miners_test.dir/platform_miners_test.cc.o.d"
+  "platform_miners_test"
+  "platform_miners_test.pdb"
+  "platform_miners_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_miners_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

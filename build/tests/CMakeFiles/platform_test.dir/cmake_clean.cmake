@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_test.dir/platform_test.cc.o"
+  "CMakeFiles/platform_test.dir/platform_test.cc.o.d"
+  "platform_test"
+  "platform_test.pdb"
+  "platform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

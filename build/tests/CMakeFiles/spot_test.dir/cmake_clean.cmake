@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spot_test.dir/spot_test.cc.o"
+  "CMakeFiles/spot_test.dir/spot_test.cc.o.d"
+  "spot_test"
+  "spot_test.pdb"
+  "spot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

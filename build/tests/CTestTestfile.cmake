@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/pos_test[1]_include.cmake")
+include("/root/repo/build/tests/parse_test[1]_include.cmake")
+include("/root/repo/build/tests/lexicon_test[1]_include.cmake")
+include("/root/repo/build/tests/ner_test[1]_include.cmake")
+include("/root/repo/build/tests/spot_test[1]_include.cmake")
+include("/root/repo/build/tests/feature_test[1]_include.cmake")
+include("/root/repo/build/tests/core_analyzer_test[1]_include.cmake")
+include("/root/repo/build/tests/core_miner_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_miners_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/agreement_test[1]_include.cmake")
