@@ -29,7 +29,11 @@ const char* StatusCodeName(StatusCode code);
 
 // Status carries the outcome of an operation that can fail. The library does
 // not use exceptions; every fallible API returns Status or Result<T>.
-class Status {
+//
+// [[nodiscard]] on the class makes silently dropping any returned Status a
+// compile error under -Werror; use WF_CHECK_OK / WF_RETURN_IF_ERROR, or
+// (void)-cast with a comment when ignoring the outcome is genuinely correct.
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -41,40 +45,40 @@ class Status {
   Status(Status&&) = default;
   Status& operator=(Status&&) = default;
 
-  static Status Ok() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status Ok() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status Unavailable(std::string msg) {
+  [[nodiscard]] static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
-  static Status IOError(std::string msg) {
+  [[nodiscard]] static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
-  static Status Corruption(std::string msg) {
+  [[nodiscard]] static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
-  static Status Unimplemented(std::string msg) {
+  [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   // "OK" or "<CodeName>: <message>".
@@ -92,15 +96,16 @@ class Status {
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
 // Result<T> holds either a value or an error Status. Accessing the value of
-// an errored Result aborts the process (programming error).
+// an errored Result aborts the process (programming error). [[nodiscard]]
+// for the same reason as Status: a dropped Result is a dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so functions can `return value;` / `return status;`.
   Result(T value) : value_(std::move(value)) {}
   Result(Status status) : value_(std::move(status)) { AbortIfOkStatus(); }
 
-  bool ok() const { return std::holds_alternative<T>(value_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(value_); }
 
   const T& value() const& {
     AbortIfError();
@@ -115,7 +120,7 @@ class Result {
     return std::move(std::get<T>(value_));
   }
 
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::Ok();
     return std::get<Status>(value_);
   }
