@@ -1,0 +1,511 @@
+#include "tools/wflint/wflint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <sstream>
+
+namespace wf::tools::wflint {
+
+namespace {
+
+// --- Source scrubbing -------------------------------------------------------
+//
+// Every rule except suppression parsing runs over a "scrubbed" copy of the
+// file: comments and the contents of string/char literals are replaced by
+// spaces, byte for byte, so line/column structure survives but banned
+// tokens inside prose or test fixtures cannot fire rules.
+
+enum class ScrubState {
+  kCode,
+  kLineComment,
+  kBlockComment,
+  kString,
+  kChar,
+  kRawString,
+};
+
+// `keep_comments` blanks only literals (used for suppression parsing, so an
+// allow() directive quoted inside a string — e.g. in wflint's own tests —
+// does not count as a real suppression).
+std::string Scrub(const std::string& in, bool keep_comments = false) {
+  std::string out = in;
+  ScrubState state = ScrubState::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (size_t i = 0; i < in.size(); ++i) {
+    char c = in[i];
+    char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (state) {
+      case ScrubState::kCode:
+        if (c == '/' && next == '/') {
+          state = ScrubState::kLineComment;
+          if (!keep_comments) out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = ScrubState::kBlockComment;
+          if (!keep_comments) out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   in[i - 1])) &&
+                               in[i - 1] != '_'))) {
+          size_t paren = in.find('(', i + 2);
+          if (paren == std::string::npos) break;  // malformed; give up
+          raw_delim = ")" + in.substr(i + 2, paren - i - 2) + "\"";
+          state = ScrubState::kRawString;
+          i = paren;  // keep prefix; contents get blanked below
+        } else if (c == '"') {
+          state = ScrubState::kString;
+        } else if (c == '\'') {
+          state = ScrubState::kChar;
+        }
+        break;
+      case ScrubState::kLineComment:
+        if (c == '\n') {
+          state = ScrubState::kCode;
+        } else if (!keep_comments) {
+          out[i] = ' ';
+        }
+        break;
+      case ScrubState::kBlockComment:
+        if (c == '*' && next == '/') {
+          if (!keep_comments) out[i] = out[i + 1] = ' ';
+          ++i;
+          state = ScrubState::kCode;
+        } else if (c != '\n' && !keep_comments) {
+          out[i] = ' ';
+        }
+        break;
+      case ScrubState::kString:
+      case ScrubState::kChar: {
+        char quote = state == ScrubState::kString ? '"' : '\'';
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == quote) {
+          state = ScrubState::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+      case ScrubState::kRawString:
+        if (in.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = ScrubState::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(std::move(cur));
+  return lines;
+}
+
+bool IsHeaderPath(const std::string& path) {
+  auto ends_with = [&path](const char* suffix) {
+    size_t n = std::char_traits<char>::length(suffix);
+    return path.size() >= n && path.compare(path.size() - n, n, suffix) == 0;
+  };
+  return ends_with(".h") || ends_with(".hpp");
+}
+
+// --- Suppressions -----------------------------------------------------------
+
+// Parses `// wflint: allow(<rule>, <rule>)` comments from the raw source.
+// Tokens that do not lex as rule ids ([a-z0-9-]+) are ignored (so docs can
+// show placeholder syntax); tokens that lex but name no rule are reported.
+struct Suppressions {
+  std::set<std::string> allowed;
+  std::vector<Violation> unknown;
+};
+
+Suppressions ParseSuppressions(const std::string& path,
+                               const std::vector<std::string>& raw_lines) {
+  static const std::regex kAllowRe(R"(//\s*wflint:\s*allow\(([^)]*)\))");
+  static const std::regex kRuleTokenRe("^[a-z][a-z0-9-]*$");
+  Suppressions out;
+  for (size_t i = 0; i < raw_lines.size(); ++i) {
+    std::smatch m;
+    std::string rest = raw_lines[i];
+    while (std::regex_search(rest, m, kAllowRe)) {
+      std::stringstream list(m[1].str());
+      std::string token;
+      while (std::getline(list, token, ',')) {
+        size_t b = token.find_first_not_of(" \t");
+        size_t e = token.find_last_not_of(" \t");
+        if (b == std::string::npos) continue;
+        token = token.substr(b, e - b + 1);
+        if (!std::regex_match(token, kRuleTokenRe)) continue;
+        if (IsKnownRule(token)) {
+          out.allowed.insert(token);
+        } else {
+          out.unknown.push_back({path, i + 1, "unknown-rule",
+                                 "allow() names unknown rule '" + token +
+                                     "'; see wflint --list-rules"});
+        }
+      }
+      rest = m.suffix();
+    }
+  }
+  return out;
+}
+
+// --- Statement scanning helpers ---------------------------------------------
+
+// Accumulates one statement starting at scrubbed line `start`: text up to
+// the first `;` at zero (){}[] depth, spanning at most `max_lines` lines.
+// Returns empty string if no such terminator is found (not a statement we
+// can reason about).
+std::string AccumulateStatement(const std::vector<std::string>& lines,
+                                size_t start, size_t max_lines = 12) {
+  std::string text;
+  int depth = 0;
+  for (size_t i = start; i < lines.size() && i < start + max_lines; ++i) {
+    for (char c : lines[i]) {
+      text += c;
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (c == ';' && depth == 0) return text;
+    }
+    text += ' ';
+  }
+  return "";
+}
+
+// True if `stmt` contains an assignment `=` at zero bracket depth (skipping
+// ==, !=, <=, >=, and compound assignments, all of which still mean the
+// value is consumed).
+bool HasTopLevelAssignment(const std::string& stmt) {
+  int depth = 0;
+  for (size_t i = 0; i < stmt.size(); ++i) {
+    char c = stmt[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if (depth != 0 || c != '=') continue;
+    char prev = i > 0 ? stmt[i - 1] : '\0';
+    char next = i + 1 < stmt.size() ? stmt[i + 1] : '\0';
+    if (next == '=' || prev == '=' || prev == '!' || prev == '<' ||
+        prev == '>' || prev == '+' || prev == '-' || prev == '*' ||
+        prev == '/' || prev == '%' || prev == '&' || prev == '|' ||
+        prev == '^') {
+      if (prev == '=') continue;  // second char of ==
+      if (next == '=') {          // first char of a two-char operator
+        ++i;
+        continue;
+      }
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+// Splits the argument list of the first top-level macro/function call in
+// `stmt` after position `open_paren` into top-level arguments.
+std::vector<std::string> SplitTopLevelArgs(const std::string& stmt,
+                                           size_t open_paren) {
+  std::vector<std::string> args;
+  std::string cur;
+  int depth = 0;
+  for (size_t i = open_paren; i < stmt.size(); ++i) {
+    char c = stmt[i];
+    if (c == '(' || c == '[' || c == '{') {
+      if (depth > 0) cur += c;
+      ++depth;
+      continue;
+    }
+    if (c == ')' || c == ']' || c == '}') {
+      --depth;
+      if (depth == 0) break;
+      cur += c;
+      continue;
+    }
+    if (c == ',' && depth == 1) {
+      args.push_back(cur);
+      cur.clear();
+      continue;
+    }
+    if (depth >= 1) cur += c;
+  }
+  if (!cur.empty()) args.push_back(cur);
+  return args;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+// --- Individual rules -------------------------------------------------------
+
+void CheckIncludeGuard(const SourceFile& file,
+                       const std::vector<std::string>& lines,
+                       std::vector<Violation>* out) {
+  static const std::regex kPragmaRe(R"(^\s*#\s*pragma\s+once\b)");
+  static const std::regex kIfndefRe(R"(^\s*#\s*ifndef\s+([A-Za-z_]\w*))");
+  std::string guard;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(lines[i], m, kPragmaRe)) return;
+    if (guard.empty() && std::regex_search(lines[i], m, kIfndefRe)) {
+      guard = m[1].str();
+      // The matching #define must follow within the next few lines.
+      std::regex define_re(R"(^\s*#\s*define\s+)" + guard + R"(\b)");
+      for (size_t j = i + 1; j < lines.size() && j < i + 4; ++j) {
+        if (std::regex_search(lines[j], define_re)) return;
+      }
+    }
+  }
+  out->push_back({file.path, 1, "include-guard",
+                  "header has neither #pragma once nor a matching "
+                  "#ifndef/#define include guard"});
+}
+
+void CheckUsingNamespace(const SourceFile& file,
+                         const std::vector<std::string>& lines,
+                         std::vector<Violation>* out) {
+  static const std::regex kUsingRe(R"(^\s*using\s+namespace\b)");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (std::regex_search(lines[i], kUsingRe)) {
+      out->push_back({file.path, i + 1, "using-namespace-header",
+                      "`using namespace` in a header leaks into every "
+                      "includer; qualify names instead"});
+    }
+  }
+}
+
+void CheckRawNewDelete(const SourceFile& file,
+                       const std::vector<std::string>& lines,
+                       std::vector<Violation>* out) {
+  static const std::regex kNewRe(R"(\bnew\b(?!\s*\()\s*[A-Za-z_<:])");
+  static const std::regex kDeleteRe(R"((^|[^=\s])\s*\bdelete\b(\s*\[\s*\])?\s*[A-Za-z_*(])");
+  static const std::regex kDeletedFnRe(R"(=\s*delete\b)");
+  static const std::regex kStaticRe(R"(\bstatic\b)");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (std::regex_search(line, kNewRe)) {
+      // The static-local intentional-leak idiom (`static const X* k =
+      // new X{...};`) is exempt: it exists to dodge destruction-order
+      // issues, and the allocation provably happens once.
+      bool static_ctx = std::regex_search(line, kStaticRe) ||
+                        (i > 0 && std::regex_search(lines[i - 1], kStaticRe));
+      if (!static_ctx) {
+        out->push_back({file.path, i + 1, "raw-new",
+                        "raw `new`; use std::make_unique / containers (the "
+                        "static-leak idiom is exempt)"});
+      }
+    }
+    if (std::regex_search(line, kDeleteRe) &&
+        !std::regex_search(line, kDeletedFnRe)) {
+      out->push_back({file.path, i + 1, "raw-delete",
+                      "raw `delete`; ownership belongs in smart pointers "
+                      "or containers"});
+    }
+  }
+}
+
+void CheckBannedRng(const SourceFile& file,
+                    const std::vector<std::string>& lines,
+                    std::vector<Violation>* out) {
+  struct Pattern {
+    std::regex re;
+    const char* what;
+  };
+  static const std::vector<Pattern>* kPatterns = new std::vector<Pattern>{
+      {std::regex(R"(\brand\s*\()"), "rand()"},
+      {std::regex(R"(\bsrand\s*\()"), "srand()"},
+      {std::regex(R"(\brandom_device\b)"), "std::random_device"},
+      {std::regex(R"(\bmt19937(_64)?\b)"), "a locally constructed engine"},
+      {std::regex(R"(\btime\s*\(\s*(nullptr|NULL|0)\s*\))"),
+       "a wall-clock seed"},
+  };
+  for (size_t i = 0; i < lines.size(); ++i) {
+    for (const Pattern& p : *kPatterns) {
+      if (std::regex_search(lines[i], p.re)) {
+        out->push_back(
+            {file.path, i + 1, "banned-rng",
+             std::string("non-deterministic randomness via ") + p.what +
+                 "; use wf::common::Rng with an explicit seed "
+                 "(determinism rule, DESIGN.md)"});
+        break;  // one finding per line is enough
+      }
+    }
+  }
+}
+
+void CheckFloatEquality(const SourceFile& file,
+                        const std::vector<std::string>& lines,
+                        std::vector<Violation>* out) {
+  static const std::regex kEqMacroRe(R"(\b(EXPECT_EQ|ASSERT_EQ)\s*\()");
+  static const std::regex kFloatLiteralRe(
+      R"(^[-+]?(\d+\.\d*|\.\d+)([eE][-+]?\d+)?f?$|^[-+]?\d+[eE][-+]?\d+f?$)");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(lines[i], m, kEqMacroRe)) continue;
+    std::string stmt = AccumulateStatement(lines, i);
+    if (stmt.empty()) continue;
+    size_t open = stmt.find('(', stmt.find(m[1].str()));
+    if (open == std::string::npos) continue;
+    for (const std::string& arg : SplitTopLevelArgs(stmt, open)) {
+      if (std::regex_match(Trim(arg), kFloatLiteralRe)) {
+        out->push_back({file.path, i + 1, "float-equality",
+                        m[1].str() + " against the float literal " +
+                            Trim(arg) +
+                            "; use EXPECT_NEAR (or EXPECT_DOUBLE_EQ)"});
+        break;
+      }
+    }
+  }
+}
+
+void CheckDiscardedStatus(const SourceFile& file,
+                          const std::vector<std::string>& lines,
+                          const std::set<std::string>& fallible,
+                          std::vector<Violation>* out) {
+  // A bare expression-statement `receiver->Name(args);` whose callee is a
+  // known Status/Result-returning function. Anything that consumes the
+  // value — return, assignment, macro wrapper, (void) cast, if condition —
+  // fails this shape and is skipped.
+  static const std::regex kCallRe(
+      R"(^\s*((?:[A-Za-z_]\w*\s*(?:\.|->|::)\s*)*)([A-Za-z_]\w*)\s*\()");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(lines[i], m, kCallRe,
+                           std::regex_constants::match_continuous)) {
+      continue;
+    }
+    const std::string callee = m[2].str();
+    if (fallible.count(callee) == 0) continue;
+    std::string stmt = AccumulateStatement(lines, i);
+    if (stmt.empty()) continue;
+    if (HasTopLevelAssignment(stmt)) continue;
+    // Must be a pure call statement: nothing after the closing paren of the
+    // call but the terminating semicolon.
+    std::string trimmed = Trim(stmt);
+    if (trimmed.size() < 2 ||
+        trimmed.compare(trimmed.size() - 2, 2, ");") != 0) {
+      continue;
+    }
+    out->push_back({file.path, i + 1, "discarded-status",
+                    "result of fallible call `" + callee +
+                        "(...)` is discarded; handle it, propagate it, or "
+                        "(void)-cast with a comment"});
+  }
+}
+
+}  // namespace
+
+// --- Public API -------------------------------------------------------------
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo>* kRules = new std::vector<RuleInfo>{
+      {"discarded-status",
+       "Status/Result<T> return value silently discarded"},
+      {"raw-new", "raw `new` outside the static-leak idiom"},
+      {"raw-delete", "raw `delete`"},
+      {"banned-rng",
+       "non-deterministic RNG (rand, random_device, local engines, "
+       "wall-clock seeds)"},
+      {"using-namespace-header", "`using namespace` in a header"},
+      {"include-guard", "header missing #pragma once / include guard"},
+      {"float-equality", "EXPECT_EQ/ASSERT_EQ against a float literal"},
+      {"unknown-rule", "wflint allow() comment names an unknown rule"},
+  };
+  return *kRules;
+}
+
+bool IsKnownRule(const std::string& id) {
+  for (const RuleInfo& r : Rules()) {
+    if (id == r.id) return true;
+  }
+  return false;
+}
+
+void Linter::CollectDeclarations(const SourceFile& file) {
+  static const std::regex kFallibleRe(
+      R"((?:^|[\s;{}(])(?:[A-Za-z_]\w*::)*(?:Status|Result\s*<[^;{}()]*>)\s+(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\()");
+  const std::string scrubbed = Scrub(file.content);
+  auto begin =
+      std::sregex_iterator(scrubbed.begin(), scrubbed.end(), kFallibleRe);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    fallible_.insert((*it)[1].str());
+  }
+}
+
+std::vector<Violation> Linter::Lint(const SourceFile& file) const {
+  // Comments stay visible for suppression parsing; literals are blanked in
+  // both views so quoted directives and quoted banned tokens are inert.
+  const std::vector<std::string> comment_lines =
+      SplitLines(Scrub(file.content, /*keep_comments=*/true));
+  const std::vector<std::string> lines = SplitLines(Scrub(file.content));
+
+  Suppressions suppressions = ParseSuppressions(file.path, comment_lines);
+  std::vector<Violation> found;
+
+  const bool is_header = IsHeaderPath(file.path);
+  if (is_header) {
+    CheckIncludeGuard(file, lines, &found);
+    CheckUsingNamespace(file, lines, &found);
+  }
+  CheckRawNewDelete(file, lines, &found);
+  CheckBannedRng(file, lines, &found);
+  CheckFloatEquality(file, lines, &found);
+  CheckDiscardedStatus(file, lines, fallible_, &found);
+
+  std::vector<Violation> out;
+  for (Violation& v : found) {
+    if (suppressions.allowed.count(v.rule) == 0) {
+      out.push_back(std::move(v));
+    }
+  }
+  for (Violation& v : suppressions.unknown) out.push_back(std::move(v));
+  std::sort(out.begin(), out.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return out;
+}
+
+std::string FormatReport(std::vector<Violation> violations) {
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  std::string out;
+  for (const Violation& v : violations) {
+    out += v.file;
+    out += '\t';
+    out += std::to_string(v.line);
+    out += '\t';
+    out += v.rule;
+    out += '\t';
+    out += v.message;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace wf::tools::wflint

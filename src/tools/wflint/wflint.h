@@ -1,0 +1,87 @@
+#ifndef WF_TOOLS_WFLINT_WFLINT_H_
+#define WF_TOOLS_WFLINT_WFLINT_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+// wflint: a lightweight project-specific static-analysis pass.
+//
+// It scans C++ sources for patterns this codebase bans outright (see
+// DESIGN.md "Correctness tooling"): silently discarded Status/Result calls,
+// raw new/delete, non-deterministic RNG construction, `using namespace` in
+// headers, missing include guards, and tolerance-free floating-point
+// equality assertions. It is a text-level scanner, deliberately dependency
+// free (no libclang): the [[nodiscard]] + -Werror compiler enforcement is
+// the precise backstop; wflint catches the same class of bugs earlier and
+// in code the compiler cannot see (e.g. dead test helpers), and enforces
+// conventions the compiler has no opinion on.
+//
+// Suppression syntax (per file): a comment anywhere in the file of the form
+//     // wflint: allow(<rule-1>, <rule-2>)
+// (with real rule ids, no angle brackets) disables the named rules for that
+// entire file. Suppressions of unknown rule names are themselves
+// violations, so stale allowances get cleaned up.
+//
+// The scanner is intentionally standalone: it depends only on the standard
+// library, so a bug in the code it lints can never take the linter down
+// with it.
+
+namespace wf::tools::wflint {
+
+// One finding. `rule` is the stable kebab-case rule id used both in reports
+// and in allow(...) suppressions.
+struct Violation {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+// All rules, in report order.
+const std::vector<RuleInfo>& Rules();
+
+// True if `id` names a known rule.
+bool IsKnownRule(const std::string& id);
+
+// A source file handed to the linter. `path` is used for reporting and for
+// header/source classification (".h" vs anything else).
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+class Linter {
+ public:
+  // Pass 1: record declarations of functions returning Status / Result<T>
+  // from `file` so pass 2 can recognize discarded calls to them. Feed every
+  // file that will later be linted (headers declare most, but .cc-local
+  // helpers count too).
+  void CollectDeclarations(const SourceFile& file);
+
+  // Pass 2: lint one file. CollectDeclarations must have seen the whole
+  // file set first for discarded-status to be complete.
+  std::vector<Violation> Lint(const SourceFile& file) const;
+
+  // Names of fallible (Status/Result-returning) functions seen by pass 1.
+  const std::set<std::string>& fallible_functions() const {
+    return fallible_;
+  }
+
+ private:
+  std::set<std::string> fallible_;
+};
+
+// Machine-readable report: one line per violation,
+// "<file>\t<line>\t<rule>\t<message>\n", sorted by (file, line, rule).
+std::string FormatReport(std::vector<Violation> violations);
+
+}  // namespace wf::tools::wflint
+
+#endif  // WF_TOOLS_WFLINT_WFLINT_H_

@@ -1,0 +1,127 @@
+// wflint CLI: scans C++ sources under the given roots and reports banned
+// patterns. Exit status 0 means clean, 1 means violations, 2 means usage
+// or I/O error.
+//
+//   wflint [--report <path>] [--list-rules] <root-dir-or-file>...
+//
+// --report writes the machine-readable TSV (file<TAB>line<TAB>rule<TAB>
+// message) to <path> in addition to the human-readable stdout listing.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/wflint/wflint.h"
+
+namespace fs = std::filesystem;
+namespace wflint = wf::tools::wflint;
+
+namespace {
+
+bool IsSourcePath(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" ||
+         ext == ".cxx";
+}
+
+int Usage() {
+  std::cerr << "usage: wflint [--report <path>] [--list-rules] "
+               "<root-dir-or-file>...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string report_path;
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--report") {
+      if (i + 1 >= argc) return Usage();
+      report_path = argv[++i];
+    } else if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(9);
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      roots.push_back(std::move(arg));
+    }
+  }
+
+  if (list_rules) {
+    for (const wflint::RuleInfo& r : wflint::Rules()) {
+      std::cout << r.id << "\t" << r.summary << "\n";
+    }
+    if (roots.empty()) return 0;
+  }
+  if (roots.empty()) return Usage();
+
+  // Gather the file set, sorted for deterministic reports.
+  std::vector<std::string> paths;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (fs::recursive_directory_iterator it(root, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (it->is_regular_file(ec) && IsSourcePath(it->path())) {
+          paths.push_back(it->path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      paths.push_back(root);
+    } else {
+      std::cerr << "wflint: cannot read root: " << root << "\n";
+      return 2;
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  std::vector<wflint::SourceFile> files;
+  files.reserve(paths.size());
+  for (const std::string& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      std::cerr << "wflint: cannot open: " << p << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    files.push_back({p, buf.str()});
+  }
+
+  wflint::Linter linter;
+  for (const wflint::SourceFile& f : files) linter.CollectDeclarations(f);
+
+  std::vector<wflint::Violation> violations;
+  for (const wflint::SourceFile& f : files) {
+    for (wflint::Violation& v : linter.Lint(f)) {
+      violations.push_back(std::move(v));
+    }
+  }
+
+  for (const wflint::Violation& v : violations) {
+    std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+  }
+  std::cout << "wflint: " << violations.size() << " violation(s) in "
+            << files.size() << " file(s) scanned\n";
+
+  if (!report_path.empty()) {
+    std::ofstream out(report_path, std::ios::trunc);
+    out << wflint::FormatReport(violations);
+    if (!out) {
+      std::cerr << "wflint: cannot write report: " << report_path << "\n";
+      return 2;
+    }
+  }
+  return violations.empty() ? 0 : 1;
+}

@@ -1,0 +1,265 @@
+// Unit tests for the wflint static-analysis pass: each rule must fire on a
+// known-bad snippet, stay quiet on the idiomatic equivalent, and honor the
+// per-file allow() suppression.
+//
+// The bad snippets live in string literals, which the linter scrubs before
+// matching — so this file itself stays wflint-clean.
+
+#include "tools/wflint/wflint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace wf::tools::wflint {
+namespace {
+
+std::vector<Violation> LintSnippet(const std::string& path,
+                                   const std::string& content) {
+  Linter linter;
+  linter.CollectDeclarations({path, content});
+  return linter.Lint({path, content});
+}
+
+bool HasRule(const std::vector<Violation>& vs, const std::string& rule) {
+  return std::any_of(vs.begin(), vs.end(), [&rule](const Violation& v) {
+    return v.rule == rule;
+  });
+}
+
+TEST(WflintRulesTest, EveryRuleHasIdAndSummary) {
+  ASSERT_FALSE(Rules().empty());
+  for (const RuleInfo& r : Rules()) {
+    EXPECT_TRUE(IsKnownRule(r.id));
+    EXPECT_NE(std::string(r.summary), "");
+  }
+  EXPECT_FALSE(IsKnownRule("no-such-rule"));
+}
+
+// --- discarded-status -------------------------------------------------------
+
+TEST(DiscardedStatusTest, FlagsBareCallToStatusReturningFunction) {
+  const std::string src =
+      "common::Status Save(const std::string& path);\n"
+      "void Run() {\n"
+      "  Save(\"/tmp/x\");\n"
+      "}\n";
+  std::vector<Violation> vs = LintSnippet("a.cc", src);
+  ASSERT_TRUE(HasRule(vs, "discarded-status"));
+  EXPECT_EQ(vs[0].line, 3u);
+}
+
+TEST(DiscardedStatusTest, FlagsDiscardedResultThroughReceiverChain) {
+  const std::string src =
+      "Result<Entity> Get(const std::string& id);\n"
+      "void Run(Store* store) {\n"
+      "  store->Get(\"id\");\n"
+      "}\n";
+  EXPECT_TRUE(HasRule(LintSnippet("a.cc", src), "discarded-status"));
+}
+
+TEST(DiscardedStatusTest, FlagsMultiLineDiscardedCall) {
+  const std::string src =
+      "common::Status RegisterService(const std::string& name,\n"
+      "                               Handler handler);\n"
+      "void Run(Bus* bus) {\n"
+      "  bus->RegisterService(\"node/search\",\n"
+      "                       MakeHandler());\n"
+      "}\n";
+  EXPECT_TRUE(HasRule(LintSnippet("a.cc", src), "discarded-status"));
+}
+
+TEST(DiscardedStatusTest, IgnoresConsumedCalls) {
+  const std::string src =
+      "common::Status Save(const std::string& path);\n"
+      "common::Status Run() {\n"
+      "  common::Status s = Save(\"/tmp/x\");\n"
+      "  if (!Save(\"/tmp/y\").ok()) return s;\n"
+      "  WF_RETURN_IF_ERROR(Save(\"/tmp/z\"));\n"
+      "  (void)Save(\"/tmp/w\");\n"
+      "  return Save(\"/tmp/v\");\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(LintSnippet("a.cc", src), "discarded-status"));
+}
+
+TEST(DiscardedStatusTest, IgnoresCallsToNonFallibleFunctions) {
+  const std::string src =
+      "void Log(const std::string& msg);\n"
+      "void Run() {\n"
+      "  Log(\"hello\");\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(LintSnippet("a.cc", src), "discarded-status"));
+}
+
+// --- raw-new / raw-delete ---------------------------------------------------
+
+TEST(RawNewTest, FlagsPlainNewAndDelete) {
+  const std::string src =
+      "void Run() {\n"
+      "  int* p = new int(7);\n"
+      "  delete p;\n"
+      "}\n";
+  std::vector<Violation> vs = LintSnippet("a.cc", src);
+  EXPECT_TRUE(HasRule(vs, "raw-new"));
+  EXPECT_TRUE(HasRule(vs, "raw-delete"));
+}
+
+TEST(RawNewTest, AllowsStaticLeakIdiomAndDeletedFunctions) {
+  const std::string src =
+      "const Vocab& GetVocab() {\n"
+      "  static const Vocab* kVocab = new Vocab{1, 2};\n"
+      "  return *kVocab;\n"
+      "}\n"
+      "const Map& GetMap() {\n"
+      "  static const auto* kMap =\n"
+      "      new std::unordered_map<std::string, int>{{\"a\", 1}};\n"
+      "  return *kMap;\n"
+      "}\n"
+      "struct NoCopy {\n"
+      "  NoCopy(const NoCopy&) = delete;\n"
+      "};\n";
+  std::vector<Violation> vs = LintSnippet("a.cc", src);
+  EXPECT_FALSE(HasRule(vs, "raw-new"));
+  EXPECT_FALSE(HasRule(vs, "raw-delete"));
+}
+
+// --- banned-rng -------------------------------------------------------------
+
+TEST(BannedRngTest, FlagsEveryNondeterministicSource) {
+  EXPECT_TRUE(HasRule(
+      LintSnippet("a.cc", "int Roll() { return rand() % 6; }\n"),
+      "banned-rng"));
+  EXPECT_TRUE(HasRule(
+      LintSnippet("a.cc", "void Seed() { srand(42); }\n"), "banned-rng"));
+  EXPECT_TRUE(HasRule(
+      LintSnippet("a.cc", "std::random_device rd;\n"), "banned-rng"));
+  EXPECT_TRUE(HasRule(
+      LintSnippet("a.cc", "std::mt19937 engine(12345);\n"), "banned-rng"));
+  EXPECT_TRUE(HasRule(
+      LintSnippet("a.cc", "auto seed = time(nullptr);\n"), "banned-rng"));
+}
+
+TEST(BannedRngTest, IgnoresSeededProjectRngAndLookalikes) {
+  const std::string src =
+      "wf::common::Rng rng(42);\n"
+      "int x = rng.Uniform(0, 6);\n"
+      "int operand = 3;  // 'rand' inside a word must not fire\n"
+      "double runtime = Measure();\n";
+  EXPECT_FALSE(HasRule(LintSnippet("a.cc", src), "banned-rng"));
+}
+
+// --- using-namespace-header / include-guard ---------------------------------
+
+TEST(HeaderRulesTest, FlagsUsingNamespaceInHeaderOnly) {
+  const std::string src =
+      "#pragma once\n"
+      "using namespace std;\n";
+  EXPECT_TRUE(HasRule(LintSnippet("a.h", src), "using-namespace-header"));
+  // The same text in a .cc is allowed (discouraged, but not banned).
+  EXPECT_FALSE(
+      HasRule(LintSnippet("a.cc", "using namespace std;\n"),
+              "using-namespace-header"));
+}
+
+TEST(HeaderRulesTest, RequiresPragmaOnceOrIncludeGuard) {
+  EXPECT_TRUE(HasRule(LintSnippet("a.h", "struct X {};\n"),
+                      "include-guard"));
+  EXPECT_FALSE(HasRule(
+      LintSnippet("a.h", "#pragma once\nstruct X {};\n"), "include-guard"));
+  EXPECT_FALSE(HasRule(
+      LintSnippet("a.h",
+                  "#ifndef WF_A_H_\n#define WF_A_H_\nstruct X {};\n"
+                  "#endif  // WF_A_H_\n"),
+      "include-guard"));
+  // An #ifndef with no matching #define is not a guard.
+  EXPECT_TRUE(HasRule(
+      LintSnippet("a.h", "#ifndef WF_A_H_\nstruct X {};\n#endif\n"),
+      "include-guard"));
+  EXPECT_FALSE(HasRule(LintSnippet("a.cc", "struct X {};\n"),
+                       "include-guard"));
+}
+
+// --- float-equality ---------------------------------------------------------
+
+TEST(FloatEqualityTest, FlagsBareFloatLiteralArguments) {
+  EXPECT_TRUE(HasRule(
+      LintSnippet("t.cc", "  EXPECT_EQ(c.precision(), 0.0);\n"),
+      "float-equality"));
+  EXPECT_TRUE(HasRule(
+      LintSnippet("t.cc", "  ASSERT_EQ(1.5e-3, Compute());\n"),
+      "float-equality"));
+}
+
+TEST(FloatEqualityTest, IgnoresToleranceAwareAndNonFloatCompares) {
+  const std::string src =
+      "  EXPECT_EQ(tokens.size(), 3u);\n"
+      "  EXPECT_EQ(name, \"1,299.50\");\n"
+      "  EXPECT_NEAR(c.precision(), 0.0, 1e-12);\n"
+      "  EXPECT_EQ(index.Range(\"score\", 5.0, 10.0), expected);\n";
+  EXPECT_FALSE(HasRule(LintSnippet("t.cc", src), "float-equality"));
+}
+
+// --- suppressions -----------------------------------------------------------
+
+TEST(SuppressionTest, FileLevelAllowSilencesNamedRuleOnly) {
+  const std::string src =
+      "// wflint: allow(banned-rng)\n"
+      "std::mt19937 engine(12345);\n"
+      "int* leak = new int(7);\n";
+  std::vector<Violation> vs = LintSnippet("a.cc", src);
+  EXPECT_FALSE(HasRule(vs, "banned-rng"));
+  EXPECT_TRUE(HasRule(vs, "raw-new"));
+}
+
+TEST(SuppressionTest, AllowListTakesMultipleRules) {
+  const std::string src =
+      "// wflint: allow(banned-rng, raw-new)\n"
+      "std::mt19937 engine(12345);\n"
+      "int* leak = new int(7);\n";
+  std::vector<Violation> vs = LintSnippet("a.cc", src);
+  EXPECT_FALSE(HasRule(vs, "banned-rng"));
+  EXPECT_FALSE(HasRule(vs, "raw-new"));
+}
+
+TEST(SuppressionTest, UnknownRuleInAllowIsItselfAViolation) {
+  std::vector<Violation> vs =
+      LintSnippet("a.cc", "// wflint: allow(not-a-rule)\nint x = 1;\n");
+  ASSERT_TRUE(HasRule(vs, "unknown-rule"));
+}
+
+// --- scrubbing and reporting ------------------------------------------------
+
+TEST(ScrubTest, CommentsAndStringsNeverFireRules) {
+  const std::string src =
+      "// rand() in a comment\n"
+      "/* std::random_device in a block\n"
+      "   comment spanning lines */\n"
+      "const char* doc = \"call srand(1) and delete p\";\n"
+      "const char* raw = R\"(new int used with mt19937)\";\n";
+  EXPECT_TRUE(LintSnippet("a.cc", src).empty());
+}
+
+TEST(ReportTest, TsvReportIsSortedAndMachineReadable) {
+  std::vector<Violation> vs = {
+      {"b.cc", 9, "raw-new", "second"},
+      {"a.cc", 3, "banned-rng", "first"},
+  };
+  EXPECT_EQ(FormatReport(vs),
+            "a.cc\t3\tbanned-rng\tfirst\n"
+            "b.cc\t9\traw-new\tsecond\n");
+}
+
+TEST(ReportTest, LintOutputIsSortedByFileLineRule) {
+  const std::string src =
+      "std::mt19937 b(1);\n"
+      "int* p = new int(7);\n";
+  std::vector<Violation> vs = LintSnippet("a.cc", src);
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_EQ(vs[0].line, 1u);
+  EXPECT_EQ(vs[1].line, 2u);
+}
+
+}  // namespace
+}  // namespace wf::tools::wflint
