@@ -64,6 +64,9 @@ class Rng {
   Rng Fork() { return Rng(engine_() * 0x9e3779b97f4a7c15ULL + engine_()); }
 
  private:
+  // This class is the one sanctioned home for an RNG engine; everything
+  // else must take an Rng (wflint's banned-rng rule enforces it).
+  // wflint: allow(banned-rng)
   std::mt19937_64 engine_;
 };
 

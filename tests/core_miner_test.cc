@@ -110,7 +110,7 @@ TEST(SentimentStoreTest, FindFiltersByPolarity) {
 
 TEST(SentimentStoreTest, EmptyShareIsZero) {
   SentimentAggregate agg;
-  EXPECT_EQ(agg.PositiveShare(), 0.0);
+  EXPECT_NEAR(agg.PositiveShare(), 0.0, 1e-12);
 }
 
 // --- SentimentMiner (Mode A) --------------------------------------------------------

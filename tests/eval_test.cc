@@ -14,9 +14,9 @@ using lexicon::Polarity;
 TEST(ConfusionTest, EmptyIsZero) {
   Confusion c;
   EXPECT_EQ(c.total(), 0u);
-  EXPECT_EQ(c.precision(), 0.0);
-  EXPECT_EQ(c.recall(), 0.0);
-  EXPECT_EQ(c.accuracy(), 0.0);
+  EXPECT_NEAR(c.precision(), 0.0, 1e-12);
+  EXPECT_NEAR(c.recall(), 0.0, 1e-12);
+  EXPECT_NEAR(c.accuracy(), 0.0, 1e-12);
 }
 
 TEST(ConfusionTest, PerfectPredictions) {
@@ -24,10 +24,10 @@ TEST(ConfusionTest, PerfectPredictions) {
   c.Add(Polarity::kPositive, Polarity::kPositive);
   c.Add(Polarity::kNegative, Polarity::kNegative);
   c.Add(Polarity::kNeutral, Polarity::kNeutral);
-  EXPECT_EQ(c.precision(), 1.0);
-  EXPECT_EQ(c.recall(), 1.0);
-  EXPECT_EQ(c.accuracy(), 1.0);
-  EXPECT_EQ(c.f1(), 1.0);
+  EXPECT_NEAR(c.precision(), 1.0, 1e-12);
+  EXPECT_NEAR(c.recall(), 1.0, 1e-12);
+  EXPECT_NEAR(c.accuracy(), 1.0, 1e-12);
+  EXPECT_NEAR(c.f1(), 1.0, 1e-12);
 }
 
 TEST(ConfusionTest, PaperMetricDefinitions) {
@@ -134,7 +134,7 @@ TEST(GoldEvaluatorTest, ScoresHandWrittenDoc) {
   Confusion c = evaluator.EvaluateMiner({doc}, options);
   EXPECT_EQ(c.total(), 3u);
   EXPECT_EQ(c.correct_polar(), 2u);
-  EXPECT_EQ(c.accuracy(), 1.0);
+  EXPECT_NEAR(c.accuracy(), 1.0, 1e-12);
 }
 
 TEST(GoldEvaluatorTest, SkipIClassDropsCases) {

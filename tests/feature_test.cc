@@ -16,7 +16,7 @@ namespace {
 TEST(LlrTest, ZeroWhenNotAssociated) {
   // r2 >= r1: term under-represented among D+ docs -> 0 by Eq. 1.
   ContingencyCounts c{/*c11=*/1, /*c12=*/50, /*c21=*/100, /*c22=*/50};
-  EXPECT_EQ(LogLikelihoodRatio(c), 0.0);
+  EXPECT_NEAR(LogLikelihoodRatio(c), 0.0, 1e-12);
 }
 
 TEST(LlrTest, PositiveWhenAssociated) {
@@ -44,10 +44,10 @@ TEST(LlrTest, ScalesWithSampleSize) {
 }
 
 TEST(LlrTest, DegenerateCounts) {
-  EXPECT_EQ(LogLikelihoodRatio(ContingencyCounts{0, 0, 0, 0}), 0.0);
-  EXPECT_EQ(LogLikelihoodRatio(ContingencyCounts{0, 0, 10, 10}), 0.0);
+  EXPECT_NEAR(LogLikelihoodRatio(ContingencyCounts{0, 0, 0, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(LogLikelihoodRatio(ContingencyCounts{0, 0, 10, 10}), 0.0, 1e-12);
   // Term in every doc.
-  EXPECT_EQ(LogLikelihoodRatio(ContingencyCounts{10, 10, 0, 0}), 0.0);
+  EXPECT_NEAR(LogLikelihoodRatio(ContingencyCounts{10, 10, 0, 0}), 0.0, 1e-12);
 }
 
 TEST(LlrTest, NeverNegative) {
@@ -275,7 +275,7 @@ TEST(SelectionTest, AllMethodsZeroWhenNotAssociated) {
   for (SelectionMethod m :
        {SelectionMethod::kLikelihoodRatio,
         SelectionMethod::kMutualInformation, SelectionMethod::kChiSquare}) {
-    EXPECT_EQ(SelectionScore(m, c), 0.0) << SelectionMethodName(m);
+    EXPECT_NEAR(SelectionScore(m, c), 0.0, 1e-12) << SelectionMethodName(m);
   }
 }
 

@@ -26,24 +26,24 @@ using lexicon::Polarity;
 
 class IntegrationTest : public ::testing::Test {
  protected:
-  static void SetUpTestSuite() {
-    reviews_ = new std::vector<corpus::GeneratedDoc>(
-        corpus::GenerateReviews(corpus::CameraDomain(), 120, 42));
-    evaluator_ = new eval::GoldEvaluator();
+  // Function-local statics share the (expensive) corpus across the suite
+  // without SetUpTestSuite's leaked raw pointers.
+  static const std::vector<corpus::GeneratedDoc>& reviews() {
+    static const std::vector<corpus::GeneratedDoc> kReviews =
+        corpus::GenerateReviews(corpus::CameraDomain(), 120, 42);
+    return kReviews;
   }
-
-  static std::vector<corpus::GeneratedDoc>* reviews_;
-  static eval::GoldEvaluator* evaluator_;
+  static eval::GoldEvaluator& evaluator() {
+    static eval::GoldEvaluator kEvaluator;
+    return kEvaluator;
+  }
 };
-
-std::vector<corpus::GeneratedDoc>* IntegrationTest::reviews_ = nullptr;
-eval::GoldEvaluator* IntegrationTest::evaluator_ = nullptr;
 
 TEST_F(IntegrationTest, MinerPrecisionFarAboveCollocation) {
   eval::EvalOptions options;
-  eval::Confusion sm = evaluator_->EvaluateMiner(*reviews_, options);
+  eval::Confusion sm = evaluator().EvaluateMiner(reviews(), options);
   eval::Confusion colloc =
-      evaluator_->EvaluateCollocation(*reviews_, options);
+      evaluator().EvaluateCollocation(reviews(), options);
   EXPECT_GT(sm.precision(), 0.8);
   EXPECT_LT(colloc.precision(), 0.4);
   EXPECT_GT(sm.precision(), colloc.precision() + 0.4);
@@ -51,15 +51,15 @@ TEST_F(IntegrationTest, MinerPrecisionFarAboveCollocation) {
 
 TEST_F(IntegrationTest, CollocationRecallAboveMiner) {
   eval::EvalOptions options;
-  eval::Confusion sm = evaluator_->EvaluateMiner(*reviews_, options);
+  eval::Confusion sm = evaluator().EvaluateMiner(reviews(), options);
   eval::Confusion colloc =
-      evaluator_->EvaluateCollocation(*reviews_, options);
+      evaluator().EvaluateCollocation(reviews(), options);
   EXPECT_GT(colloc.recall(), sm.recall());
 }
 
 TEST_F(IntegrationTest, MinerAccuracyHighOnReviews) {
   eval::Confusion sm =
-      evaluator_->EvaluateMiner(*reviews_, eval::EvalOptions{});
+      evaluator().EvaluateMiner(reviews(), eval::EvalOptions{});
   EXPECT_GT(sm.accuracy(), 0.8);
   EXPECT_GT(sm.recall(), 0.45);
   EXPECT_LT(sm.recall(), 0.75);  // B-class cases bound recall by design
@@ -76,13 +76,13 @@ TEST_F(IntegrationTest, ReviewSeerStrongOnReviewsWeakOnWeb) {
   rs.Train();
 
   eval::Confusion doc_level =
-      evaluator_->EvaluateReviewSeerDocuments(rs, *reviews_);
+      evaluator().EvaluateReviewSeerDocuments(rs, reviews());
   EXPECT_GT(doc_level.accuracy(), 0.75);
 
   corpus::WebDataset web = corpus::BuildPetroleumWebDataset(55);
   eval::EvalOptions candidates;
   candidates.only_sentiment_candidates = true;
-  eval::Confusion web_level = evaluator_->EvaluateReviewSeerSentences(
+  eval::Confusion web_level = evaluator().EvaluateReviewSeerSentences(
       rs, web.docs, /*binary=*/true, candidates);
   // The collapse: doc-level review accuracy far above per-sentence web
   // accuracy (paper: 88.4% -> 38%).
@@ -91,7 +91,7 @@ TEST_F(IntegrationTest, ReviewSeerStrongOnReviewsWeakOnWeb) {
   // Removing I-class cases helps substantially (paper: 38% -> 68%).
   eval::EvalOptions no_i = candidates;
   no_i.skip_i_class = true;
-  eval::Confusion web_no_i = evaluator_->EvaluateReviewSeerSentences(
+  eval::Confusion web_no_i = evaluator().EvaluateReviewSeerSentences(
       rs, web.docs, true, no_i);
   EXPECT_GT(web_no_i.accuracy(), web_level.accuracy() + 0.2);
 }
@@ -99,14 +99,14 @@ TEST_F(IntegrationTest, ReviewSeerStrongOnReviewsWeakOnWeb) {
 TEST_F(IntegrationTest, MinerHoldsUpOnWebWhereReviewSeerCollapses) {
   corpus::WebDataset web = corpus::BuildPharmaWebDataset(66);
   eval::Confusion sm =
-      evaluator_->EvaluateMiner(web.docs, eval::EvalOptions{});
+      evaluator().EvaluateMiner(web.docs, eval::EvalOptions{});
   EXPECT_GT(sm.accuracy(), 0.85);
   EXPECT_GT(sm.precision(), 0.8);
 }
 
 TEST_F(IntegrationTest, FeatureExtractionPrecisionHigh) {
   feature::FeatureExtractor extractor;
-  for (const corpus::GeneratedDoc& d : *reviews_) {
+  for (const corpus::GeneratedDoc& d : reviews()) {
     extractor.AddDocument(d.body, true);
   }
   for (const corpus::GeneratedDoc& d :
@@ -182,9 +182,9 @@ TEST_F(IntegrationTest, AblationNegationMattersForPrecision) {
   eval::EvalOptions with;
   eval::EvalOptions without;
   without.analyzer.handle_negation = false;
-  eval::Confusion c_with = evaluator_->EvaluateMiner(*reviews_, with);
+  eval::Confusion c_with = evaluator().EvaluateMiner(reviews(), with);
   eval::Confusion c_without =
-      evaluator_->EvaluateMiner(*reviews_, without);
+      evaluator().EvaluateMiner(reviews(), without);
   EXPECT_GT(c_with.precision(), c_without.precision());
 }
 

@@ -122,7 +122,7 @@ TEST(AggregateStatsTest, EmptyStore) {
   AggregateStatsMiner miner;
   ASSERT_TRUE(miner.Run(store).ok());
   EXPECT_EQ(miner.stats().documents, 0u);
-  EXPECT_EQ(miner.stats().avg_tokens_per_doc, 0.0);
+  EXPECT_NEAR(miner.stats().avg_tokens_per_doc, 0.0, 1e-12);
 }
 
 // --- TrendingMiner --------------------------------------------------------------
