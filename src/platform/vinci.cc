@@ -26,11 +26,11 @@ common::Status VinciBus::UnregisterService(const std::string& name) {
 }
 
 void VinciBus::SimulateLatency() const {
-  if (simulated_latency_us_ == 0) return;
+  uint64_t us = simulated_latency_us_.load(std::memory_order_relaxed);
+  if (us == 0) return;
   // Sleeping (rather than spinning) lets concurrent scattered calls overlap
   // their simulated round trips, as real in-flight RPCs do.
-  std::this_thread::sleep_for(
-      std::chrono::microseconds(simulated_latency_us_));
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
 }
 
 common::Result<std::string> VinciBus::Call(const std::string& service,

@@ -1,6 +1,7 @@
 #ifndef WF_PLATFORM_VINCI_H_
 #define WF_PLATFORM_VINCI_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -31,9 +32,10 @@ class VinciBus {
   // Adds a busy-wait of `microseconds` to every Call(), simulating the
   // network round trip of the real SOAP-derived protocol. 0 disables
   // (default). Scatter/gather costs then scale with fan-out, as they would
-  // across racks.
+  // across racks. Atomic: may be flipped while scattered calls are in
+  // flight (CallAll workers read it concurrently).
   void SetSimulatedLatency(uint64_t microseconds) {
-    simulated_latency_us_ = microseconds;
+    simulated_latency_us_.store(microseconds, std::memory_order_relaxed);
   }
 
   // Registers a service; AlreadyExists if the name is taken.
@@ -59,7 +61,7 @@ class VinciBus {
   mutable std::mutex mu_;
   std::map<std::string, Handler> services_;
   mutable std::map<std::string, size_t> call_counts_;
-  uint64_t simulated_latency_us_ = 0;
+  std::atomic<uint64_t> simulated_latency_us_{0};
 };
 
 // --- Wire helpers: the "key=value" line format used over the bus ----------
