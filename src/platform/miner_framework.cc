@@ -9,6 +9,7 @@ namespace wf::platform {
 using ::wf::common::Status;
 
 void MinerPipeline::AddMiner(std::unique_ptr<EntityMiner> miner) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.push_back(MinerStats{miner->name(), 0, 0,
                               std::chrono::microseconds{0}});
   miners_.push_back(std::move(miner));
@@ -19,13 +20,14 @@ common::Status MinerPipeline::ProcessEntity(Entity& entity) {
     auto start = std::chrono::steady_clock::now();
     Status s = miners_[i]->Process(entity);
     auto end = std::chrono::steady_clock::now();
-    stats_[i].total_time +=
-        std::chrono::duration_cast<std::chrono::microseconds>(end - start);
-    ++stats_[i].entities;
-    if (!s.ok()) {
-      ++stats_[i].failures;
-      return s;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_[i].total_time +=
+          std::chrono::duration_cast<std::chrono::microseconds>(end - start);
+      ++stats_[i].entities;
+      if (!s.ok()) ++stats_[i].failures;
     }
+    if (!s.ok()) return s;
   }
   return Status::Ok();
 }
@@ -37,6 +39,7 @@ void MinerPipeline::ProcessStore(DataStore& store) {
 }
 
 std::vector<MinerPipeline::MinerStats> MinerPipeline::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
   return stats_;
 }
 

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -54,11 +55,16 @@ class MinerPipeline {
   // but do not stop the sweep.
   void ProcessStore(DataStore& store);
 
+  // Safe to call while ProcessEntity/ProcessStore run on another thread
+  // (e.g. a stats RPC during a mining sweep); returns a consistent copy.
   std::vector<MinerStats> Stats() const;
   size_t miner_count() const { return miners_.size(); }
 
  private:
   std::vector<std::unique_ptr<EntityMiner>> miners_;
+  // Guards stats_. AddMiner is configuration, not data-path: it must not
+  // run concurrently with processing (miners_ itself is unguarded).
+  mutable std::mutex stats_mu_;
   std::vector<MinerStats> stats_;
 };
 
