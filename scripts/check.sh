@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# One-command correctness gate: tier-1 build + tests, the wflint static
+# pass, and an ASan+UBSan test sweep. Mirrors what CI should run.
+#
+#   scripts/check.sh            # everything
+#   scripts/check.sh --fast     # tier-1 + wflint only (skip sanitizers)
+#   WF_CHECK_TSAN=1 scripts/check.sh   # additionally run TSan over the
+#                                      # threaded platform suites
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${ROOT}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "tier-1: configure + build (default preset, -Werror)"
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+
+step "tier-1: ctest"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+step "wflint: src/ + tests/"
+./build/src/tools/wflint --report build/wflint-report.tsv src tests
+
+if [[ "${FAST}" == "1" ]]; then
+  echo "--fast: skipping sanitizer passes"
+  exit 0
+fi
+
+step "ASan+UBSan: build + full suite (ctest -L sanitize)"
+cmake -B build-asan -S . -DWF_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j "${JOBS}"
+ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L sanitize
+
+if [[ "${WF_CHECK_TSAN:-0}" == "1" ]]; then
+  step "TSan: build + threaded platform suites"
+  cmake -B build-tsan -S . -DWF_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}"
+  # Run the threaded suites' binaries directly: ctest -R matches individual
+  # gtest test names, not test-binary names, so a binary-name regex there
+  # would silently select nothing.
+  for t in platform_test platform_miners_test property_test robustness_test \
+           agreement_test integration_test; do
+    step "TSan: ${t}"
+    "./build-tsan/tests/${t}"
+  done
+fi
+
+echo
+echo "check.sh: all passes green"
