@@ -18,6 +18,7 @@
 #include "lexicon/pattern_db.h"
 #include "lexicon/sentiment_lexicon.h"
 #include "platform/cluster.h"
+#include "platform/fault.h"
 #include "platform/ingest.h"
 #include "platform/query_service.h"
 #include "platform/sentiment_miner_plugin.h"
@@ -99,5 +100,61 @@ int main() {
     (void)total_hits;
   }
   std::printf("%s", table.ToString().c_str());
+
+  // --- Resilience: the same query mix on a degraded 4-node cluster ---------
+  // Chaos costs latency (retries, backoff) but never correctness: queries
+  // complete with honest coverage, and after healing the answers return to
+  // the fault-free shape.
+  std::printf("%s", eval::Banner("Resilience — query latency and coverage "
+                                 "under injected faults (4 nodes)")
+                        .c_str());
+  platform::Cluster cluster(4);
+  cluster.bus().SetSimulatedLatency(200);
+  platform::BatchIngestor ingestor("crawl", docs);
+  (void)platform::IngestAll(ingestor, cluster);
+  cluster.DeployMiner([&lex, &patterns] {
+    return std::make_unique<platform::AdHocSentimentMinerPlugin>(&lex,
+                                                                 &patterns);
+  });
+  cluster.MineAndIndexAll();
+  platform::SentimentQueryService service(&cluster);
+  WF_CHECK_OK(service.RegisterService());
+
+  platform::FaultInjector injector(seed + 3);
+  cluster.bus().AttachFaultInjector(&injector);
+
+  eval::TablePrinter rtable({"Scenario", "Query us (avg of 32)",
+                             "Nodes responded", "Fetch failures"});
+  auto measure = [&](const std::string& label) {
+    const auto& products = petro.domain->products;
+    size_t responded = 0, total = 0, fetch_failures = 0;
+    auto t0 = Clock::now();
+    for (int i = 0; i < 32; ++i) {
+      platform::SentimentQueryResult r = service.Query(
+          products[static_cast<size_t>(i) % products.size()].name, 4);
+      responded += r.nodes_responded;
+      total += r.nodes_total;
+      fetch_failures += r.fetch_failures;
+    }
+    auto t1 = Clock::now();
+    double query_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() / 32.0;
+    rtable.AddRow({label, common::StrFormat("%.0f", query_us),
+                   common::StrFormat("%zu/%zu", responded, total),
+                   std::to_string(fetch_failures)});
+  };
+
+  measure("fault-free");
+  platform::FaultPolicy flaky;
+  flaky.fail_probability = 0.2;
+  injector.SetPolicy("node/", flaky);
+  measure("20% call failures");
+  injector.Partition("node/1/");
+  measure("+ node 1 partitioned");
+  injector.HealAll();
+  injector.ClearAllPolicies();
+  cluster.bus().ResetBreakers();
+  measure("healed, breakers reset");
+  std::printf("%s", rtable.ToString().c_str());
   return 0;
 }

@@ -99,9 +99,9 @@ int main(int argc, char** argv) {
 
   // Queries: full-text over the bus, then sentiment roll-ups.
   std::printf("\nPages mentioning 'pipeline': %zu\n",
-              restored.Search("pipeline").size());
+              restored.Search("pipeline").docs.size());
   std::printf("Pages with the phrase 'safety record': %zu\n",
-              restored.SearchPhrase({"safety", "record"}).size());
+              restored.SearchPhrase({"safety", "record"}).docs.size());
 
   platform::SentimentQueryService service(&restored);
   WF_CHECK_OK(service.RegisterService());

@@ -44,7 +44,7 @@ if [[ "${WF_CHECK_TSAN:-0}" == "1" ]]; then
   # gtest test names, not test-binary names, so a binary-name regex there
   # would silently select nothing.
   for t in platform_test platform_miners_test property_test robustness_test \
-           agreement_test integration_test; do
+           chaos_test agreement_test integration_test; do
     step "TSan: ${t}"
     "./build-tsan/tests/${t}"
   done

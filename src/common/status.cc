@@ -23,6 +23,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kIOError:
       return "IOError";
     case StatusCode::kCorruption:

@@ -19,6 +19,7 @@ enum class StatusCode : uint8_t {
   kFailedPrecondition,
   kInternal,
   kUnavailable,
+  kDeadlineExceeded,
   kIOError,
   kCorruption,
   kUnimplemented,
@@ -66,6 +67,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   [[nodiscard]] static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));

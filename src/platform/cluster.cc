@@ -88,30 +88,43 @@ void Cluster::MineAndIndexAll() {
   for (std::thread& t : workers) t.join();
 }
 
-std::vector<std::string> Cluster::Search(const std::string& term) const {
-  std::string request = EncodeMessage({{"term", term}});
+namespace {
+
+// Gathers a scatter over the node search services into a SearchResult,
+// tolerating per-node failures (the degraded shard is recorded, not fatal).
+SearchResult GatherSearch(
+    const std::vector<std::pair<std::string, common::Result<std::string>>>&
+        scattered) {
+  SearchResult result;
   std::set<std::string> docs;
-  for (const auto& [service, response] : bus_.CallAll("node/", request)) {
+  for (const auto& [service, response] : scattered) {
     if (!common::EndsWith(service, "/search")) continue;
-    for (std::string& d : GetMessageFields(response, "doc")) {
+    ++result.nodes_total;
+    if (!response.ok()) {
+      result.failed_services.push_back(service);
+      continue;
+    }
+    ++result.nodes_responded;
+    for (std::string& d : GetMessageFields(*response, "doc")) {
       docs.insert(std::move(d));
     }
   }
-  return std::vector<std::string>(docs.begin(), docs.end());
+  result.docs.assign(docs.begin(), docs.end());
+  return result;
 }
 
-std::vector<std::string> Cluster::SearchPhrase(
+}  // namespace
+
+SearchResult Cluster::Search(const std::string& term) const {
+  std::string request = EncodeMessage({{"term", term}});
+  return GatherSearch(bus_.CallAll("node/", request));
+}
+
+SearchResult Cluster::SearchPhrase(
     const std::vector<std::string>& words) const {
   std::string request = EncodeMessage(
       {{"term", common::Join(words, " ")}, {"mode", "phrase"}});
-  std::set<std::string> docs;
-  for (const auto& [service, response] : bus_.CallAll("node/", request)) {
-    if (!common::EndsWith(service, "/search")) continue;
-    for (std::string& d : GetMessageFields(response, "doc")) {
-      docs.insert(std::move(d));
-    }
-  }
-  return std::vector<std::string>(docs.begin(), docs.end());
+  return GatherSearch(bus_.CallAll("node/", request));
 }
 
 size_t Cluster::TotalEntities() const {

@@ -49,6 +49,18 @@ class ClusterNode {
   MinerPipeline pipeline_;
 };
 
+// Outcome of one scatter/gather search. A node that failed (partition,
+// injected fault, open breaker) is simply absent from `docs` and listed in
+// `failed_services`; the gather never poisons or stalls on a sick shard.
+// Coverage counters let applications see when an answer is partial.
+struct SearchResult {
+  std::vector<std::string> docs;
+  size_t nodes_total = 0;      // search shards scattered to
+  size_t nodes_responded = 0;  // shards that answered OK
+  std::vector<std::string> failed_services;  // e.g. "node/3/search"
+  bool complete() const { return nodes_responded == nodes_total; }
+};
+
 // The loosely coupled cluster (§2): N nodes behind a shared Vinci bus.
 // Entities are hash-partitioned by id; miners run per shard in parallel;
 // queries scatter over node services and gather the results.
@@ -78,10 +90,10 @@ class Cluster {
   // Runs every node's MineAndIndex() concurrently (one thread per node).
   void MineAndIndexAll();
 
-  // Scatter/gather term or concept search over all node services.
-  std::vector<std::string> Search(const std::string& term) const;
-  std::vector<std::string> SearchPhrase(
-      const std::vector<std::string>& words) const;
+  // Scatter/gather term or concept search over all node services. Nodes
+  // that fail are tolerated; the result reports how many responded.
+  SearchResult Search(const std::string& term) const;
+  SearchResult SearchPhrase(const std::vector<std::string>& words) const;
 
   size_t TotalEntities() const;
 

@@ -1,0 +1,105 @@
+#include "platform/fault.h"
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace wf::platform {
+
+void FaultInjector::SetPolicy(const std::string& service_prefix,
+                              FaultPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  policies_[service_prefix] = policy;
+}
+
+void FaultInjector::ClearPolicy(const std::string& service_prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  policies_.erase(service_prefix);
+}
+
+void FaultInjector::ClearAllPolicies() {
+  std::lock_guard<std::mutex> lock(mu_);
+  policies_.clear();
+}
+
+void FaultInjector::Partition(const std::string& service_prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.insert(service_prefix);
+}
+
+void FaultInjector::Heal(const std::string& service_prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.erase(service_prefix);
+}
+
+void FaultInjector::HealAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.clear();
+}
+
+bool FaultInjector::IsPartitioned(const std::string& service) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& prefix : partitions_) {
+    if (common::StartsWith(service, prefix)) return true;
+  }
+  return false;
+}
+
+const FaultPolicy* FaultInjector::MatchPolicyLocked(
+    const std::string& service) const {
+  const FaultPolicy* best = nullptr;
+  size_t best_len = 0;
+  for (const auto& [prefix, policy] : policies_) {
+    if (!common::StartsWith(service, prefix)) continue;
+    if (best == nullptr || prefix.size() >= best_len) {
+      best = &policy;
+      best_len = prefix.size();
+    }
+  }
+  return best;
+}
+
+FaultInjector::Decision FaultInjector::Decide(const std::string& service) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Decision decision;
+  for (const std::string& prefix : partitions_) {
+    if (common::StartsWith(service, prefix)) {
+      decision.action = Decision::Action::kUnavailable;
+      ++counters_.partitioned;
+      return decision;
+    }
+  }
+  const FaultPolicy* policy = MatchPolicyLocked(service);
+  if (policy == nullptr) {
+    ++counters_.delivered;
+    return decision;
+  }
+  // Seed an Rng from (seed, service, sequence) so the verdict for "the
+  // k-th call to service S" is fixed, whatever thread gets there first.
+  uint64_t seq = call_seq_[service]++;
+  uint64_t mix = common::HashCombine(
+      common::HashCombine(seed_, common::Fnv1a64(service)), seq);
+  common::Rng rng(mix);
+  if (rng.Bernoulli(policy->fail_probability)) {
+    decision.action = Decision::Action::kUnavailable;
+    ++counters_.failed;
+  } else if (rng.Bernoulli(policy->corrupt_probability)) {
+    decision.action = Decision::Action::kCorrupt;
+    ++counters_.corrupted;
+  } else {
+    ++counters_.delivered;
+  }
+  decision.extra_latency_us = policy->added_latency_us;
+  if (policy->latency_jitter_us > 0) {
+    decision.extra_latency_us += static_cast<uint64_t>(
+        rng.Uniform(0, static_cast<int64_t>(policy->latency_jitter_us)));
+  }
+  return decision;
+}
+
+FaultInjector::Counters FaultInjector::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace wf::platform

@@ -1,0 +1,93 @@
+#ifndef WF_PLATFORM_FAULT_H_
+#define WF_PLATFORM_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace wf::platform {
+
+// What the injector may do to a single service (or node prefix). All
+// probabilities are in [0, 1]; latency is added on top of the bus's own
+// simulated round trip.
+struct FaultPolicy {
+  // Call is dropped before reaching the handler: Status::Unavailable.
+  double fail_probability = 0.0;
+  // Handler runs, but the response arrives mangled. The bus models the
+  // end-to-end checksum real protocols carry, so callers see a detectable
+  // Status::Corruption rather than silently wrong bytes.
+  double corrupt_probability = 0.0;
+  // Deterministic extra latency per call, plus uniform jitter in
+  // [0, latency_jitter_us].
+  uint64_t added_latency_us = 0;
+  uint64_t latency_jitter_us = 0;
+};
+
+// Deterministic chaos source for the simulated cluster. Attach one to a
+// VinciBus (VinciBus::AttachFaultInjector) and every Call/CallAll consults
+// it before dispatching. Policies are keyed by service-name prefix, so
+// "node/3/" degrades one whole node while "node/" degrades the fleet; the
+// longest matching prefix wins. Partitions are a separate on/off axis that
+// can be flipped at runtime to model a node dropping off the network.
+//
+// Reproducibility: every decision is a pure function of (seed, service
+// name, per-service call sequence number) — not of a shared RNG stream —
+// so concurrently scattered calls get the same verdicts regardless of
+// thread interleaving, and a chaos run replays exactly from its seed.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : seed_(seed) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Policy management (longest-prefix match at decision time).
+  void SetPolicy(const std::string& service_prefix, FaultPolicy policy);
+  void ClearPolicy(const std::string& service_prefix);
+  void ClearAllPolicies();
+
+  // Whole-node partitions: every call to a matching service fails
+  // Unavailable until the prefix is healed. Independent of policies.
+  void Partition(const std::string& service_prefix);
+  void Heal(const std::string& service_prefix);
+  void HealAll();
+  bool IsPartitioned(const std::string& service) const;
+
+  // The verdict for one call, in the order the bus applies it: partition
+  // check first, then drop, then latency, then (post-handler) corruption.
+  struct Decision {
+    enum class Action { kDeliver, kUnavailable, kCorrupt };
+    Action action = Action::kDeliver;
+    uint64_t extra_latency_us = 0;
+  };
+  Decision Decide(const std::string& service);
+
+  // Injection counters, for assertions and chaos-run reports.
+  struct Counters {
+    size_t delivered = 0;
+    size_t failed = 0;
+    size_t corrupted = 0;
+    size_t partitioned = 0;
+  };
+  Counters counters() const;
+
+ private:
+  // Longest-prefix policy lookup; nullptr when nothing matches. Requires
+  // mu_ held.
+  const FaultPolicy* MatchPolicyLocked(const std::string& service) const;
+
+  mutable std::mutex mu_;
+  const uint64_t seed_;
+  std::map<std::string, FaultPolicy> policies_;
+  std::set<std::string> partitions_;
+  // Per-service call sequence; the decision stream for a service depends
+  // only on how many calls that service has seen, not on global order.
+  std::map<std::string, uint64_t> call_seq_;
+  Counters counters_;
+};
+
+}  // namespace wf::platform
+
+#endif  // WF_PLATFORM_FAULT_H_

@@ -1,5 +1,6 @@
 #include "platform/miner_framework.h"
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "text/sentence_splitter.h"
 #include "text/tokenizer.h"
@@ -10,13 +11,16 @@ using ::wf::common::Status;
 
 void MinerPipeline::AddMiner(std::unique_ptr<EntityMiner> miner) {
   std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_.push_back(MinerStats{miner->name(), 0, 0,
-                              std::chrono::microseconds{0}});
+  stats_.push_back(MinerStats{miner->name()});
   miners_.push_back(std::move(miner));
 }
 
 common::Status MinerPipeline::ProcessEntity(Entity& entity) {
   for (size_t i = 0; i < miners_.size(); ++i) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (stats_[i].quarantined) continue;
+    }
     auto start = std::chrono::steady_clock::now();
     Status s = miners_[i]->Process(entity);
     auto end = std::chrono::steady_clock::now();
@@ -25,11 +29,32 @@ common::Status MinerPipeline::ProcessEntity(Entity& entity) {
       stats_[i].total_time +=
           std::chrono::duration_cast<std::chrono::microseconds>(end - start);
       ++stats_[i].entities;
-      if (!s.ok()) ++stats_[i].failures;
+      if (s.ok()) {
+        stats_[i].consecutive_failures = 0;
+      } else {
+        ++stats_[i].failures;
+        ++stats_[i].consecutive_failures;
+        if (quarantine_threshold_ > 0 &&
+            stats_[i].consecutive_failures >= quarantine_threshold_ &&
+            !stats_[i].quarantined) {
+          stats_[i].quarantined = true;
+          WF_LOG(Warning) << "quarantining miner '" << stats_[i].name
+                          << "' after " << stats_[i].consecutive_failures
+                          << " consecutive failures: " << s.ToString();
+        }
+      }
     }
     if (!s.ok()) return s;
   }
   return Status::Ok();
+}
+
+void MinerPipeline::ClearQuarantines() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  for (MinerStats& stats : stats_) {
+    stats.quarantined = false;
+    stats.consecutive_failures = 0;
+  }
 }
 
 void MinerPipeline::ProcessStore(DataStore& store) {

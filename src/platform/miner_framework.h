@@ -36,6 +36,12 @@ class CorpusMiner {
 
 // A chain of entity-level miners applied in registration order, with
 // per-miner counters — the unit of deployment a node runs over its shard.
+//
+// A miner that keeps failing is quarantined: after `quarantine_threshold`
+// consecutive failures it is skipped for the rest of the sweep instead of
+// failing every remaining entity (one broken plugin must not poison a
+// whole shard's mining pass). Quarantine state is visible in MinerStats
+// and cleared with ClearQuarantines() once the plugin is fixed.
 class MinerPipeline {
  public:
   struct MinerStats {
@@ -43,12 +49,18 @@ class MinerPipeline {
     size_t entities = 0;
     size_t failures = 0;
     std::chrono::microseconds total_time{0};
+    size_t consecutive_failures = 0;
+    bool quarantined = false;
   };
+
+  // Consecutive failures before a miner is quarantined (default; override
+  // per pipeline with SetQuarantineThreshold, 0 disables).
+  static constexpr size_t kDefaultQuarantineThreshold = 16;
 
   void AddMiner(std::unique_ptr<EntityMiner> miner);
 
-  // Runs every miner over the entity, in order. Stops at (and returns) the
-  // first failure.
+  // Runs every non-quarantined miner over the entity, in order. Stops at
+  // (and returns) the first failure; quarantined miners are skipped.
   common::Status ProcessEntity(Entity& entity);
 
   // Runs the pipeline over every entity in the store; failures are counted
@@ -60,8 +72,19 @@ class MinerPipeline {
   std::vector<MinerStats> Stats() const;
   size_t miner_count() const { return miners_.size(); }
 
+  // Quarantine controls. Configuration, not data-path: set the threshold
+  // before processing starts.
+  void SetQuarantineThreshold(size_t threshold) {
+    quarantine_threshold_ = threshold;
+  }
+  size_t quarantine_threshold() const { return quarantine_threshold_; }
+  // Lifts every quarantine and resets the failure streaks (e.g. after the
+  // faulty dependency recovers).
+  void ClearQuarantines();
+
  private:
   std::vector<std::unique_ptr<EntityMiner>> miners_;
+  size_t quarantine_threshold_ = kDefaultQuarantineThreshold;
   // Guards stats_. AddMiner is configuration, not data-path: it must not
   // run concurrently with processing (miners_ itself is unguarded).
   mutable std::mutex stats_mu_;

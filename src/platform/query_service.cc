@@ -21,6 +21,10 @@ common::Status SentimentQueryService::RegisterService() {
                          common::StrFormat("%zu", result.positive_docs));
         out.emplace_back("negative_docs",
                          common::StrFormat("%zu", result.negative_docs));
+        out.emplace_back("nodes_total",
+                         common::StrFormat("%zu", result.nodes_total));
+        out.emplace_back("nodes_responded",
+                         common::StrFormat("%zu", result.nodes_responded));
         for (const SentimentHit& hit : result.hits) {
           out.emplace_back(
               "hit", common::StrFormat(
@@ -32,9 +36,25 @@ common::Status SentimentQueryService::RegisterService() {
       });
 }
 
+namespace {
+
+// Point fetches ride the resilient path: a couple of quick retries smooth
+// over transient faults; a shard that stays down costs one failed fetch,
+// not a stalled query.
+CallOptions FetchCallOptions() {
+  CallOptions options;
+  options.max_retries = 2;
+  options.initial_backoff_us = 50;
+  options.max_backoff_us = 1000;
+  return options;
+}
+
+}  // namespace
+
 std::vector<SentimentHit> SentimentQueryService::FetchHits(
     const std::string& subject, lexicon::Polarity polarity,
-    const std::vector<std::string>& docs, size_t max_hits) const {
+    const std::vector<std::string>& docs, size_t max_hits,
+    size_t* fetch_failures) const {
   std::vector<SentimentHit> hits;
   const char* want = polarity == Polarity::kPositive ? "+" : "-";
   for (const std::string& doc : docs) {
@@ -42,8 +62,11 @@ std::vector<SentimentHit> SentimentQueryService::FetchHits(
     size_t shard = cluster_->Route(doc);
     auto response = cluster_->bus().Call(
         common::StrFormat("node/%zu/fetch", shard),
-        EncodeMessage({{"id", doc}}));
-    if (!response.ok()) continue;
+        EncodeMessage({{"id", doc}}), FetchCallOptions());
+    if (!response.ok()) {
+      ++*fetch_failures;
+      continue;
+    }
     std::string serialized = GetMessageField(*response, "entity");
     if (serialized.empty()) continue;
     auto entity = Entity::Deserialize(serialized);
@@ -76,18 +99,29 @@ SentimentQueryResult SentimentQueryService::Query(const std::string& subject,
   SentimentQueryResult result;
   result.subject = subject;
 
-  std::vector<std::string> pos_docs = cluster_->Search(
+  SearchResult pos_docs = cluster_->Search(
       SentimentConceptToken(subject, Polarity::kPositive));
-  std::vector<std::string> neg_docs = cluster_->Search(
+  SearchResult neg_docs = cluster_->Search(
       SentimentConceptToken(subject, Polarity::kNegative));
-  result.positive_docs = pos_docs.size();
-  result.negative_docs = neg_docs.size();
+  result.positive_docs = pos_docs.docs.size();
+  result.negative_docs = neg_docs.docs.size();
+
+  // Coverage: a node "responded" only if it answered both scatters; the
+  // union of failed services across them is what the query really missed.
+  result.nodes_total = pos_docs.nodes_total;
+  std::set<std::string> failed(pos_docs.failed_services.begin(),
+                               pos_docs.failed_services.end());
+  failed.insert(neg_docs.failed_services.begin(),
+                neg_docs.failed_services.end());
+  result.nodes_responded = result.nodes_total - failed.size();
 
   size_t half = max_hits / 2 + 1;
-  std::vector<SentimentHit> pos =
-      FetchHits(subject, Polarity::kPositive, pos_docs, half);
-  std::vector<SentimentHit> neg =
-      FetchHits(subject, Polarity::kNegative, neg_docs, half);
+  std::vector<SentimentHit> pos = FetchHits(
+      subject, Polarity::kPositive, pos_docs.docs, half,
+      &result.fetch_failures);
+  std::vector<SentimentHit> neg = FetchHits(
+      subject, Polarity::kNegative, neg_docs.docs, half,
+      &result.fetch_failures);
   result.hits = std::move(pos);
   result.hits.insert(result.hits.end(), neg.begin(), neg.end());
   return result;
@@ -102,9 +136,11 @@ SentimentQueryResult RuntimeSentimentQueryService::Query(
   //    multi-word subjects).
   std::vector<std::string> words = common::Split(
       common::ToLower(subject), " ");
-  std::vector<std::string> docs = words.size() == 1
-                                      ? cluster_->Search(words[0])
-                                      : cluster_->SearchPhrase(words);
+  SearchResult candidates = words.size() == 1
+                                ? cluster_->Search(words[0])
+                                : cluster_->SearchPhrase(words);
+  result.nodes_total = candidates.nodes_total;
+  result.nodes_responded = candidates.nodes_responded;
 
   // 2. Run the full sentiment pipeline on each candidate, at query time.
   core::SentimentMiner::Config config;
@@ -114,12 +150,15 @@ SentimentQueryResult RuntimeSentimentQueryService::Query(
   miner.AddSubject(spot::SynonymSet{0, subject, {}});
 
   core::SentimentStore store;
-  for (const std::string& doc : docs) {
+  for (const std::string& doc : candidates.docs) {
     size_t shard = cluster_->Route(doc);
     auto response = cluster_->bus().Call(
         common::StrFormat("node/%zu/fetch", shard),
-        EncodeMessage({{"id", doc}}));
-    if (!response.ok()) continue;
+        EncodeMessage({{"id", doc}}), FetchCallOptions());
+    if (!response.ok()) {
+      ++result.fetch_failures;
+      continue;
+    }
     auto entity = Entity::Deserialize(GetMessageField(*response, "entity"));
     if (!entity.ok()) continue;
     miner.ProcessDocument(doc, entity->body(), &store);

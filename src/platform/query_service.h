@@ -21,12 +21,21 @@ struct SentimentHit {
   std::string pattern;
 };
 
-// Aggregate answer for a subject query.
+// Aggregate answer for a subject query. Coverage counters make partial
+// answers visible: on a degraded cluster the query still completes, and
+// `nodes_responded < nodes_total` tells the application the counts are a
+// lower bound rather than the whole corpus.
 struct SentimentQueryResult {
   std::string subject;
   size_t positive_docs = 0;  // documents with >= 1 positive mention
   size_t negative_docs = 0;
   std::vector<SentimentHit> hits;
+  size_t nodes_total = 0;      // shards the query scattered to
+  size_t nodes_responded = 0;  // shards that answered every search RPC
+  size_t fetch_failures = 0;   // doc fetches that failed after retries
+  bool complete() const {
+    return nodes_responded == nodes_total && fetch_failures == 0;
+  }
 };
 
 // The hosted Web-service side of the system: answers real-time sentiment
@@ -56,7 +65,8 @@ class SentimentQueryService {
   std::vector<SentimentHit> FetchHits(const std::string& subject,
                                       lexicon::Polarity polarity,
                                       const std::vector<std::string>& docs,
-                                      size_t max_hits) const;
+                                      size_t max_hits,
+                                      size_t* fetch_failures) const;
 
   Cluster* cluster_;
 };

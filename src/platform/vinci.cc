@@ -1,13 +1,123 @@
 #include "platform/vinci.h"
 
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <thread>
 
+#include "common/hash.h"
+#include "common/rng.h"
 #include "common/string_util.h"
+#include "platform/fault.h"
 
 namespace wf::platform {
 
 using ::wf::common::Status;
+using ::wf::common::StatusCode;
+
+// --- Bounded scatter pool ---------------------------------------------------
+//
+// A small reusable worker pool for CallAll: a wide fan-out under injected
+// latency used to spawn one thread per target, which a few hundred nodes
+// turn into a few hundred threads. Tasks of one scatter form a batch;
+// workers and the scattering caller both claim tasks from it, so progress
+// never depends on a free pool thread (a handler that scatters again from
+// inside a pool thread drains its own nested batch itself — no deadlock).
+class VinciBus::ScatterPool {
+ public:
+  explicit ScatterPool(size_t threads) {
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ScatterPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  // Runs every task, returning once all have finished. The calling thread
+  // participates in its own batch.
+  void RunAll(std::vector<std::function<void()>>* tasks) {
+    if (tasks->empty()) return;
+    auto batch = std::make_shared<Batch>();
+    batch->tasks = tasks;
+    batch->size = tasks->size();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(batch);
+    }
+    work_cv_.notify_all();
+    for (;;) {
+      size_t i = batch->next.fetch_add(1);
+      if (i >= batch->size) break;
+      (*tasks)[i]();
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++batch->done == batch->size) done_cv_.notify_all();
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return batch->done == batch->size; });
+    // The batch may still sit in the queue with all tasks claimed; remove
+    // it so no worker touches it after `tasks` goes out of scope.
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (*it == batch) {
+        queue_.erase(it);
+        break;
+      }
+    }
+  }
+
+ private:
+  struct Batch {
+    std::vector<std::function<void()>>* tasks = nullptr;
+    size_t size = 0;                // copy: survives `tasks` going away
+    std::atomic<size_t> next{0};    // next unclaimed task index
+    size_t done = 0;                // finished tasks; guarded by pool mu_
+  };
+
+  void WorkerLoop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      std::shared_ptr<Batch> batch = queue_.front();
+      size_t i = batch->next.fetch_add(1);
+      if (i >= batch->size) {
+        if (!queue_.empty() && queue_.front() == batch) queue_.pop_front();
+        continue;
+      }
+      lock.unlock();
+      (*batch->tasks)[i]();
+      lock.lock();
+      if (++batch->done == batch->size) done_cv_.notify_all();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<std::shared_ptr<Batch>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+namespace {
+
+size_t ScatterThreads() {
+  size_t hw = std::thread::hardware_concurrency();
+  return std::min<size_t>(8, std::max<size_t>(2, hw));
+}
+
+}  // namespace
+
+VinciBus::VinciBus() = default;
+VinciBus::~VinciBus() = default;
 
 common::Status VinciBus::RegisterService(const std::string& name,
                                          Handler handler) {
@@ -25,17 +135,49 @@ common::Status VinciBus::UnregisterService(const std::string& name) {
   return Status::Ok();
 }
 
-void VinciBus::SimulateLatency() const {
-  uint64_t us = simulated_latency_us_.load(std::memory_order_relaxed);
+void VinciBus::SimulateLatency(uint64_t extra_us) const {
+  uint64_t us = simulated_latency_us_.load(std::memory_order_relaxed) +
+                extra_us;
   if (us == 0) return;
   // Sleeping (rather than spinning) lets concurrent scattered calls overlap
   // their simulated round trips, as real in-flight RPCs do.
   std::this_thread::sleep_for(std::chrono::microseconds(us));
 }
 
-common::Result<std::string> VinciBus::Call(const std::string& service,
-                                           const std::string& request) const {
-  SimulateLatency();
+void VinciBus::RecordOutcome(const std::string& service, bool ok) const {
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  Breaker& b = breakers_[service];
+  if (ok) {
+    b = Breaker{};  // success closes the circuit and clears the streak
+    return;
+  }
+  ++b.consecutive_failures;
+  if (b.open) {
+    b.rejections = 0;  // failed half-open probe: new rejection window
+  } else if (breaker_config_.failure_threshold > 0 &&
+             b.consecutive_failures >= breaker_config_.failure_threshold) {
+    b.open = true;
+    b.rejections = 0;
+  }
+}
+
+common::Result<std::string> VinciBus::CallOnce(const std::string& service,
+                                               const std::string& request,
+                                               bool* breaker_rejected) const {
+  *breaker_rejected = false;
+  {
+    std::lock_guard<std::mutex> lock(breaker_mu_);
+    Breaker& b = breakers_[service];
+    if (b.open && b.rejections < breaker_config_.open_rejections) {
+      ++b.rejections;
+      *breaker_rejected = true;
+      return Status::Unavailable("circuit open: " + service);
+    }
+    // Circuit open with the rejection window spent: fall through as the
+    // half-open probe.
+  }
+  // Service resolution is a local registry lookup — a miss costs no
+  // simulated network round trip and says nothing about service health.
   Handler handler;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -46,35 +188,138 @@ common::Result<std::string> VinciBus::Call(const std::string& service,
     handler = it->second;
     ++call_counts_[service];
   }
+  uint64_t extra_latency_us = 0;
+  bool corrupt_response = false;
+  if (FaultInjector* injector =
+          fault_injector_.load(std::memory_order_acquire)) {
+    FaultInjector::Decision d = injector->Decide(service);
+    if (d.action == FaultInjector::Decision::Action::kUnavailable) {
+      RecordOutcome(service, false);
+      return Status::Unavailable("injected unavailable: " + service);
+    }
+    corrupt_response = d.action == FaultInjector::Decision::Action::kCorrupt;
+    extra_latency_us = d.extra_latency_us;
+  }
+  SimulateLatency(extra_latency_us);
   // The handler runs outside the bus lock so services may call each other.
-  return handler(request);
+  std::string response = handler(request);
+  if (corrupt_response) {
+    // Real Vinci frames carry end-to-end checksums; a mangled response is
+    // detected at the client, not silently consumed.
+    RecordOutcome(service, false);
+    return Status::Corruption("response checksum mismatch: " + service);
+  }
+  RecordOutcome(service, true);
+  return response;
 }
 
-std::vector<std::pair<std::string, std::string>> VinciBus::CallAll(
-    const std::string& prefix, const std::string& request) const {
-  std::vector<std::pair<std::string, Handler>> targets;
+common::Result<std::string> VinciBus::Call(const std::string& service,
+                                           const std::string& request) const {
+  bool breaker_rejected = false;
+  return CallOnce(service, request, &breaker_rejected);
+}
+
+common::Result<std::string> VinciBus::Call(const std::string& service,
+                                           const std::string& request,
+                                           const CallOptions& options) const {
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed_us = [&start] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  };
+  double backoff_us = static_cast<double>(options.initial_backoff_us);
+  for (int attempt = 0;; ++attempt) {
+    if (options.deadline_us > 0 && elapsed_us() >= options.deadline_us) {
+      return Status::DeadlineExceeded("deadline exceeded calling " + service);
+    }
+    bool breaker_rejected = false;
+    auto result = CallOnce(service, request, &breaker_rejected);
+    if (options.deadline_us > 0 && elapsed_us() > options.deadline_us) {
+      // The response exists, but it landed after the caller's budget — the
+      // caller has moved on, exactly like a late RPC on a real cluster.
+      return Status::DeadlineExceeded("deadline exceeded calling " + service);
+    }
+    if (result.ok()) return result;
+    StatusCode code = result.status().code();
+    bool retryable = !breaker_rejected && (code == StatusCode::kUnavailable ||
+                                           code == StatusCode::kCorruption);
+    if (!retryable || attempt >= options.max_retries) return result;
+    uint64_t sleep_us = static_cast<uint64_t>(std::min(
+        backoff_us, static_cast<double>(options.max_backoff_us)));
+    // Jitter in [0.5, 1.5): deterministic per draw, but desynchronized
+    // across callers so a healed service is not hit by a retry convoy.
+    uint64_t seq = jitter_seq_.fetch_add(1, std::memory_order_relaxed);
+    common::Rng jitter_rng(common::HashCombine(0x6a177e72ULL, seq));
+    sleep_us = std::max<uint64_t>(
+        1, static_cast<uint64_t>(static_cast<double>(sleep_us) *
+                                 (0.5 + jitter_rng.Double())));
+    if (options.deadline_us > 0 &&
+        elapsed_us() + sleep_us >= options.deadline_us) {
+      return Status::DeadlineExceeded("deadline exceeded calling " + service);
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+    backoff_us *= options.backoff_multiplier;
+  }
+}
+
+std::vector<std::pair<std::string, common::Result<std::string>>>
+VinciBus::CallAll(const std::string& prefix,
+                  const std::string& request) const {
+  std::vector<std::string> targets;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto it = services_.lower_bound(prefix);
          it != services_.end() && common::StartsWith(it->first, prefix);
          ++it) {
-      targets.emplace_back(it->first, it->second);
-      ++call_counts_[it->first];
+      targets.push_back(it->first);
     }
   }
-  // Scatter in parallel — the gather latency is one round trip, not the
-  // sum over nodes, matching the real protocol's concurrent RPCs.
-  std::vector<std::pair<std::string, std::string>> out(targets.size());
-  std::vector<std::thread> in_flight;
-  in_flight.reserve(targets.size());
+  // Scatter over the worker pool — the gather latency is a handful of
+  // round trips at worst, not the sum over nodes, while the thread count
+  // stays bounded however wide the fan-out is. Dispatch goes through
+  // CallOnce so faults, breakers, and call counts behave exactly as for
+  // point-to-point calls; a target unregistered since the listing simply
+  // reports NotFound.
+  std::vector<std::pair<std::string, common::Result<std::string>>> out;
+  out.reserve(targets.size());
+  for (const std::string& name : targets) {
+    out.emplace_back(name, Status::Unavailable("not dispatched"));
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(targets.size());
   for (size_t i = 0; i < targets.size(); ++i) {
-    in_flight.emplace_back([this, &targets, &out, i, &request] {
-      SimulateLatency();
-      out[i] = {targets[i].first, targets[i].second(request)};
+    tasks.push_back([this, &targets, &out, &request, i] {
+      bool breaker_rejected = false;
+      out[i].second = CallOnce(targets[i], request, &breaker_rejected);
     });
   }
-  for (std::thread& t : in_flight) t.join();
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!pool_) pool_ = std::make_unique<ScatterPool>(ScatterThreads());
+  }
+  pool_->RunAll(&tasks);
   return out;
+}
+
+void VinciBus::SetBreakerConfig(const BreakerConfig& config) {
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  breaker_config_ = config;
+}
+
+BreakerState VinciBus::breaker_state(const std::string& service) const {
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  auto it = breakers_.find(service);
+  if (it == breakers_.end() || !it->second.open) return BreakerState::kClosed;
+  return it->second.rejections >= breaker_config_.open_rejections
+             ? BreakerState::kHalfOpen
+             : BreakerState::kOpen;
+}
+
+void VinciBus::ResetBreakers() {
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  breakers_.clear();
 }
 
 std::vector<std::string> VinciBus::Services() const {
@@ -95,7 +340,9 @@ size_t VinciBus::CallCount(const std::string& service) const {
 
 namespace {
 
-std::string EscapeValue(const std::string& v) {
+// Escapes backslashes and newlines; '=' additionally when `escape_eq`
+// (keys must escape it — the key/value split is the first unescaped '=').
+std::string EscapeWire(const std::string& v, bool escape_eq) {
   std::string out;
   out.reserve(v.size());
   for (char c : v) {
@@ -103,6 +350,8 @@ std::string EscapeValue(const std::string& v) {
       out += "\\n";
     } else if (c == '\\') {
       out += "\\\\";
+    } else if (c == '=' && escape_eq) {
+      out += "\\=";
     } else {
       out += c;
     }
@@ -110,18 +359,53 @@ std::string EscapeValue(const std::string& v) {
   return out;
 }
 
-std::string UnescapeValue(const std::string& v) {
+// Inverse of EscapeWire. Decode is total: an unknown escape keeps its
+// backslash, and a dangling trailing backslash is preserved verbatim
+// instead of being silently dropped or merged with the next byte.
+std::string UnescapeWire(const std::string& v) {
   std::string out;
   out.reserve(v.size());
   for (size_t i = 0; i < v.size(); ++i) {
-    if (v[i] == '\\' && i + 1 < v.size()) {
-      ++i;
-      out += (v[i] == 'n') ? '\n' : v[i];
-    } else {
+    if (v[i] != '\\') {
       out += v[i];
+      continue;
+    }
+    if (i + 1 >= v.size()) {
+      out += '\\';  // dangling trailing backslash
+      break;
+    }
+    char next = v[i + 1];
+    if (next == 'n') {
+      out += '\n';
+      ++i;
+    } else if (next == '\\') {
+      out += '\\';
+      ++i;
+    } else if (next == '=') {
+      out += '=';
+      ++i;
+    } else {
+      out += '\\';  // unknown escape: keep the backslash, rescan `next`
     }
   }
   return out;
+}
+
+// First '=' not preceded by an (unconsumed) escape, or npos.
+size_t FindUnescapedEq(const std::string& line) {
+  bool escaped = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (line[i] == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (line[i] == '=') return i;
+  }
+  return std::string::npos;
 }
 
 }  // namespace
@@ -130,9 +414,9 @@ std::string EncodeMessage(
     const std::vector<std::pair<std::string, std::string>>& pairs) {
   std::string out;
   for (const auto& [k, v] : pairs) {
-    out += k;
+    out += EscapeWire(k, /*escape_eq=*/true);
     out += '=';
-    out += EscapeValue(v);
+    out += EscapeWire(v, /*escape_eq=*/false);
     out += '\n';
   }
   return out;
@@ -143,9 +427,10 @@ std::vector<std::pair<std::string, std::string>> DecodeMessage(
   std::vector<std::pair<std::string, std::string>> out;
   for (const std::string& line : common::SplitExact(message, "\n")) {
     if (line.empty()) continue;
-    size_t eq = line.find('=');
+    size_t eq = FindUnescapedEq(line);
     if (eq == std::string::npos) continue;
-    out.emplace_back(line.substr(0, eq), UnescapeValue(line.substr(eq + 1)));
+    out.emplace_back(UnescapeWire(line.substr(0, eq)),
+                     UnescapeWire(line.substr(eq + 1)));
   }
   return out;
 }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -12,6 +13,39 @@
 
 namespace wf::platform {
 
+class FaultInjector;
+
+// Per-call resilience knobs for VinciBus::Call. Defaults are a single
+// attempt with no deadline — identical to the plain overload.
+struct CallOptions {
+  // Overall budget across all attempts, in microseconds; 0 means none.
+  // Exceeding it returns Status::DeadlineExceeded.
+  uint64_t deadline_us = 0;
+  // Extra attempts after the first, on retryable failures (Unavailable,
+  // Corruption). NotFound and circuit-breaker rejections never retry.
+  int max_retries = 0;
+  // Exponential backoff between attempts: initial * multiplier^attempt,
+  // capped at max, scaled by jitter in [0.5, 1.5) so synchronized callers
+  // do not retry in lockstep.
+  uint64_t initial_backoff_us = 100;
+  uint64_t max_backoff_us = 10000;
+  double backoff_multiplier = 2.0;
+};
+
+// Per-service circuit breaker: after `failure_threshold` consecutive
+// failures the circuit opens and calls are rejected immediately (no
+// latency, no handler dispatch) — that is what stops a retry storm from
+// hammering a sick node. After `open_rejections` fast-rejections the next
+// call is let through as a half-open probe: success closes the circuit,
+// failure re-opens it for another rejection window. Counting calls rather
+// than wall time keeps chaos runs deterministic.
+struct BreakerConfig {
+  size_t failure_threshold = 5;
+  size_t open_rejections = 8;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
 // In-process stand-in for Vinci, WebFountain's "Web-service style,
 // lightweight, high-speed communication protocol" (a SOAP derivative).
 // Services register string->string handlers under a name; nodes and
@@ -19,13 +53,20 @@ namespace wf::platform {
 // shared-nothing discipline honest — no component touches another's memory.
 //
 // Requests and responses use a line-oriented "key=value" wire format (see
-// vinci_wire.h helpers) to mimic the serialization boundary of the real
+// the helpers below) to mimic the serialization boundary of the real
 // protocol.
+//
+// Failure semantics mirror a real cluster bus: an attached FaultInjector
+// can drop, delay, or corrupt calls; Call() with CallOptions retries with
+// exponential backoff under a deadline; a per-service circuit breaker
+// sheds load from services that keep failing. Service resolution is local
+// (a registry lookup), so a NotFound miss costs no simulated round trip.
 class VinciBus {
  public:
   using Handler = std::function<std::string(const std::string& request)>;
 
-  VinciBus() = default;
+  VinciBus();
+  ~VinciBus();
   VinciBus(const VinciBus&) = delete;
   VinciBus& operator=(const VinciBus&) = delete;
 
@@ -38,38 +79,95 @@ class VinciBus {
     simulated_latency_us_.store(microseconds, std::memory_order_relaxed);
   }
 
+  // Attaches a chaos source consulted on every dispatch; nullptr detaches.
+  // The injector must outlive its attachment. Atomic, so faults can be
+  // flipped on and off while scattered calls are in flight.
+  void AttachFaultInjector(FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+
   // Registers a service; AlreadyExists if the name is taken.
   common::Status RegisterService(const std::string& name, Handler handler);
   common::Status UnregisterService(const std::string& name);
 
-  // Synchronous request/response; NotFound for unknown services.
+  // Synchronous request/response; NotFound for unknown services (resolved
+  // locally, before any simulated network cost), Unavailable for injected
+  // failures / partitions / an open circuit, Corruption for responses that
+  // fail the simulated end-to-end checksum.
   common::Result<std::string> Call(const std::string& service,
                                    const std::string& request) const;
 
+  // Resilient variant: retries retryable failures with exponential backoff
+  // and jitter, under an overall deadline (DeadlineExceeded once spent).
+  common::Result<std::string> Call(const std::string& service,
+                                   const std::string& request,
+                                   const CallOptions& options) const;
+
   // Fan-out: calls every service whose name starts with `prefix`, returning
-  // (service, response) pairs — the scatter half of scatter/gather queries.
-  std::vector<std::pair<std::string, std::string>> CallAll(
+  // per-service Results — the scatter half of scatter/gather queries. A
+  // failed target reports its error instead of poisoning the whole gather,
+  // so callers can tell "node down" from "empty answer". Scatter runs on a
+  // small reusable worker pool (plus the calling thread), so a wide fan-out
+  // under injected latency is bounded, never thread-per-target.
+  std::vector<std::pair<std::string, common::Result<std::string>>> CallAll(
       const std::string& prefix, const std::string& request) const;
+
+  // Circuit-breaker controls. Config applies to every service on this bus.
+  void SetBreakerConfig(const BreakerConfig& config);
+  BreakerState breaker_state(const std::string& service) const;
+  // Force-closes every breaker (e.g. after an operator heals a partition).
+  void ResetBreakers();
 
   std::vector<std::string> Services() const;
   // Total completed calls (diagnostics).
   size_t CallCount(const std::string& service) const;
 
  private:
-  void SimulateLatency() const;
+  class ScatterPool;
+  struct Breaker {
+    size_t consecutive_failures = 0;
+    bool open = false;
+    size_t rejections = 0;  // fast-rejections since the circuit opened
+  };
+
+  void SimulateLatency(uint64_t extra_us) const;
+  // One dispatch attempt: breaker gate, local resolution, fault injection,
+  // simulated latency, handler. `breaker_rejected` is set when the failure
+  // came from an open circuit (never retried, costs nothing).
+  common::Result<std::string> CallOnce(const std::string& service,
+                                       const std::string& request,
+                                       bool* breaker_rejected) const;
+  // Records an attempt outcome; NotFound is a resolution miss, not a
+  // service failure, and is never recorded.
+  void RecordOutcome(const std::string& service, bool ok) const;
 
   mutable std::mutex mu_;
   std::map<std::string, Handler> services_;
   mutable std::map<std::string, size_t> call_counts_;
   std::atomic<uint64_t> simulated_latency_us_{0};
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
+
+  mutable std::mutex breaker_mu_;
+  BreakerConfig breaker_config_;
+  mutable std::map<std::string, Breaker> breakers_;
+
+  mutable std::mutex pool_mu_;  // guards lazy pool construction
+  mutable std::unique_ptr<ScatterPool> pool_;
+
+  // Backoff-jitter sequence; each draw seeds a fresh wf::common::Rng so
+  // concurrent retries stay lock-free and reproducible.
+  mutable std::atomic<uint64_t> jitter_seq_{0};
 };
 
 // --- Wire helpers: the "key=value" line format used over the bus ----------
 
-// Encodes pairs as "k=v" lines; values are newline-escaped.
+// Encodes pairs as "k=v" lines. Backslashes and newlines are escaped in
+// both keys and values; '=' is additionally escaped in keys, so any byte
+// string round-trips through Decode (keys with '=' used to corrupt the
+// message silently).
 std::string EncodeMessage(
     const std::vector<std::pair<std::string, std::string>>& pairs);
-// Decodes; unknown lines are skipped.
+// Decodes; lines without an (unescaped) '=' are skipped.
 std::vector<std::pair<std::string, std::string>> DecodeMessage(
     const std::string& message);
 // First value for `key`, or empty string.

@@ -414,6 +414,94 @@ void CheckDiscardedStatus(const SourceFile& file,
   }
 }
 
+void CheckUncheckedRpc(const SourceFile& file,
+                       const std::vector<std::string>& lines,
+                       std::vector<Violation>* out) {
+  // Query-path code only (scatter/gather and the sentiment query services):
+  // there, a bus Call whose Result is never status-checked turns a transient
+  // fault into a silently wrong answer instead of degraded coverage. Other
+  // layers are covered by [[nodiscard]] + discarded-status.
+  if (file.path.find("query") == std::string::npos &&
+      file.path.find("cluster") == std::string::npos) {
+    return;
+  }
+  // Matches the receiver spellings used for the bus: `bus->Call(`,
+  // `bus.Call(`, `bus_.Call(`, `bus().Call(`. Deliberately not CallAll,
+  // which returns per-service Results the gather loop inspects.
+  static const std::regex kBusCallRe(
+      R"(\bbus(_\b|\s*\(\s*\))?\s*(\.|->)\s*Call\s*\()");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(lines[i], m, kBusCallRe)) continue;
+    std::string stmt = AccumulateStatement(lines, i);
+    if (stmt.empty()) continue;
+    // Any status inspection (or explicit discard) in the statement is fine.
+    if (stmt.find(".ok()") != std::string::npos ||
+        stmt.find(".status(") != std::string::npos ||
+        stmt.find("WF_RETURN_IF_ERROR") != std::string::npos ||
+        stmt.find("WF_CHECK_OK") != std::string::npos ||
+        stmt.find("(void)") != std::string::npos) {
+      continue;
+    }
+    if (Trim(stmt).compare(0, 6, "return") == 0) continue;  // caller's job
+    std::smatch sm;
+    if (!std::regex_search(stmt, sm, kBusCallRe)) continue;
+    size_t call_pos = static_cast<size_t>(sm.position(0));
+    size_t open = stmt.find('(', call_pos + sm.length(0) - 1);
+    if (open == std::string::npos) continue;
+    int depth = 0;
+    size_t close = std::string::npos;
+    for (size_t j = open; j < stmt.size(); ++j) {
+      if (stmt[j] == '(') ++depth;
+      if (stmt[j] == ')' && --depth == 0) {
+        close = j;
+        break;
+      }
+    }
+    if (close == std::string::npos) continue;
+
+    // Deref without check, form 1: the temporary is member-accessed right
+    // after the call (`bus->Call(...).value()`, `...Call(...)->empty()`).
+    size_t after = stmt.find_first_not_of(" \t", close + 1);
+    bool deref_suffix =
+        after != std::string::npos &&
+        (stmt[after] == '.' ||
+         (stmt[after] == '-' && after + 1 < stmt.size() &&
+          stmt[after + 1] == '>'));
+
+    // Deref form 2: the whole receiver chain is star-dereferenced
+    // (`*cluster_->bus().Call(...)`). Walk back over the chain to see what
+    // precedes it.
+    size_t j = call_pos;
+    while (j > 0) {
+      char c = stmt[j - 1];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.' || c == ':' || c == ' ') {
+        --j;
+      } else if (c == '>' && j >= 2 && stmt[j - 2] == '-') {
+        j -= 2;
+      } else if (c == ')' && j >= 2 && stmt[j - 2] == '(') {
+        j -= 2;
+      } else {
+        break;
+      }
+    }
+    bool deref_prefix = j > 0 && stmt[j - 1] == '*';
+
+    // Bare discard: the call is the entire statement.
+    bool bare_discard = !HasTopLevelAssignment(stmt) &&
+                        after != std::string::npos && stmt[after] == ';';
+
+    if (deref_suffix || deref_prefix || bare_discard) {
+      out->push_back(
+          {file.path, i + 1, "unchecked-rpc",
+           "bus Call on the query path ignores the Result status; check "
+           ".ok() and degrade coverage (CallOptions adds retries) instead "
+           "of assuming the shard answered"});
+    }
+  }
+}
+
 }  // namespace
 
 // --- Public API -------------------------------------------------------------
@@ -430,6 +518,8 @@ const std::vector<RuleInfo>& Rules() {
       {"using-namespace-header", "`using namespace` in a header"},
       {"include-guard", "header missing #pragma once / include guard"},
       {"float-equality", "EXPECT_EQ/ASSERT_EQ against a float literal"},
+      {"unchecked-rpc",
+       "query-path bus Call whose Result status is never checked"},
       {"unknown-rule", "wflint allow() comment names an unknown rule"},
   };
   return *kRules;
@@ -472,6 +562,7 @@ std::vector<Violation> Linter::Lint(const SourceFile& file) const {
   CheckBannedRng(file, lines, &found);
   CheckFloatEquality(file, lines, &found);
   CheckDiscardedStatus(file, lines, fallible_, &found);
+  CheckUncheckedRpc(file, lines, &found);
 
   std::vector<Violation> out;
   for (Violation& v : found) {

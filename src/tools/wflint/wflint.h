@@ -11,8 +11,9 @@
 // It scans C++ sources for patterns this codebase bans outright (see
 // DESIGN.md "Correctness tooling"): silently discarded Status/Result calls,
 // raw new/delete, non-deterministic RNG construction, `using namespace` in
-// headers, missing include guards, and tolerance-free floating-point
-// equality assertions. It is a text-level scanner, deliberately dependency
+// headers, missing include guards, tolerance-free floating-point
+// equality assertions, and query-path bus Calls whose Result status is
+// never checked. It is a text-level scanner, deliberately dependency
 // free (no libclang): the [[nodiscard]] + -Werror compiler enforcement is
 // the precise backstop; wflint catches the same class of bugs earlier and
 // in code the compiler cannot see (e.g. dead test helpers), and enforces

@@ -1,0 +1,474 @@
+// Deterministic chaos suite for the fault-injection harness and the
+// resilient RPC layer (DESIGN.md "Fault model & resilience").
+//
+// Everything here replays exactly: fault verdicts are a pure function of
+// (seed, service, per-service call sequence), the circuit breaker counts
+// calls rather than wall time, and the acceptance scenario checks that a
+// degraded cluster answers every query with honest coverage — then returns
+// to baseline-identical answers once the faults clear and the breakers
+// close.
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "gtest/gtest.h"
+#include "lexicon/pattern_db.h"
+#include "lexicon/sentiment_lexicon.h"
+#include "platform/cluster.h"
+#include "platform/fault.h"
+#include "platform/ingest.h"
+#include "platform/miner_framework.h"
+#include "platform/query_service.h"
+#include "platform/sentiment_miner_plugin.h"
+#include "platform/vinci.h"
+
+namespace wf::platform {
+namespace {
+
+using ::wf::common::Status;
+using ::wf::common::StatusCode;
+
+// --- FaultInjector ----------------------------------------------------------
+
+TEST(FaultInjectorTest, SameSeedReplaysIdenticalVerdicts) {
+  FaultPolicy policy;
+  policy.fail_probability = 0.3;
+  policy.corrupt_probability = 0.2;
+  policy.latency_jitter_us = 50;
+
+  FaultInjector a(42), b(42), c(43);
+  a.SetPolicy("node/", policy);
+  b.SetPolicy("node/", policy);
+  c.SetPolicy("node/", policy);
+
+  bool any_difference_from_c = false;
+  for (int i = 0; i < 200; ++i) {
+    FaultInjector::Decision da = a.Decide("node/0/search");
+    FaultInjector::Decision db = b.Decide("node/0/search");
+    FaultInjector::Decision dc = c.Decide("node/0/search");
+    EXPECT_EQ(da.action, db.action);
+    EXPECT_EQ(da.extra_latency_us, db.extra_latency_us);
+    if (da.action != dc.action ||
+        da.extra_latency_us != dc.extra_latency_us) {
+      any_difference_from_c = true;
+    }
+  }
+  EXPECT_TRUE(any_difference_from_c);  // a different seed is a different run
+}
+
+TEST(FaultInjectorTest, VerdictsDependOnServiceNotCallOrder) {
+  // Interleaving calls to other services must not perturb a service's
+  // verdict stream — that is what makes concurrent scatters reproducible.
+  FaultPolicy policy;
+  policy.fail_probability = 0.5;
+  FaultInjector a(7), b(7);
+  a.SetPolicy("node/", policy);
+  b.SetPolicy("node/", policy);
+
+  std::vector<FaultInjector::Decision::Action> stream_a, stream_b;
+  for (int i = 0; i < 50; ++i) {
+    stream_a.push_back(a.Decide("node/0/search").action);
+  }
+  for (int i = 0; i < 50; ++i) {
+    (void)b.Decide("node/1/search");  // noise on another service
+    stream_b.push_back(b.Decide("node/0/search").action);
+  }
+  EXPECT_EQ(stream_a, stream_b);
+}
+
+TEST(FaultInjectorTest, LongestMatchingPrefixWins) {
+  FaultPolicy fleet;  // benign
+  FaultPolicy sick;
+  sick.fail_probability = 1.0;
+  FaultInjector injector(1);
+  injector.SetPolicy("node/", fleet);
+  injector.SetPolicy("node/1/", sick);
+
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(injector.Decide("node/0/search").action,
+              FaultInjector::Decision::Action::kDeliver);
+    EXPECT_EQ(injector.Decide("node/1/search").action,
+              FaultInjector::Decision::Action::kUnavailable);
+  }
+  injector.ClearPolicy("node/1/");
+  EXPECT_EQ(injector.Decide("node/1/search").action,
+            FaultInjector::Decision::Action::kDeliver);
+}
+
+TEST(FaultInjectorTest, PartitionBeatsPoliciesUntilHealed) {
+  FaultInjector injector(9);
+  injector.Partition("node/2/");
+  EXPECT_TRUE(injector.IsPartitioned("node/2/fetch"));
+  EXPECT_FALSE(injector.IsPartitioned("node/0/fetch"));
+  EXPECT_EQ(injector.Decide("node/2/search").action,
+            FaultInjector::Decision::Action::kUnavailable);
+  injector.Heal("node/2/");
+  EXPECT_EQ(injector.Decide("node/2/search").action,
+            FaultInjector::Decision::Action::kDeliver);
+  EXPECT_EQ(injector.counters().partitioned, 1u);
+  EXPECT_EQ(injector.counters().delivered, 1u);
+}
+
+// --- Resilient Call: retries, deadlines, breaker ---------------------------
+
+class FaultyBusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(bus_
+                    .RegisterService("node/0/echo",
+                                     [](const std::string& request) {
+                                       return "echo:" + request;
+                                     })
+                    .ok());
+    bus_.AttachFaultInjector(&injector_);
+  }
+
+  VinciBus bus_;
+  FaultInjector injector_{2026};
+};
+
+TEST_F(FaultyBusTest, RetriesSpendExactlyTheConfiguredAttempts) {
+  FaultPolicy dead;
+  dead.fail_probability = 1.0;
+  injector_.SetPolicy("node/0/", dead);
+
+  CallOptions options;
+  options.max_retries = 3;
+  options.initial_backoff_us = 1;
+  options.max_backoff_us = 4;
+  auto result = bus_.Call("node/0/echo", "x", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(bus_.CallCount("node/0/echo"), 4u);  // 1 try + 3 retries
+
+  injector_.ClearAllPolicies();
+  auto healed = bus_.Call("node/0/echo", "x", options);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(*healed, "echo:x");
+}
+
+TEST_F(FaultyBusTest, CorruptionIsDetectedAndRetryable) {
+  FaultPolicy garbled;
+  garbled.corrupt_probability = 1.0;
+  injector_.SetPolicy("node/0/", garbled);
+
+  // Plain call: the mangled response surfaces as a checksum error, never as
+  // silently wrong bytes.
+  auto plain = bus_.Call("node/0/echo", "x");
+  ASSERT_FALSE(plain.ok());
+  EXPECT_EQ(plain.status().code(), StatusCode::kCorruption);
+
+  // Resilient call: corruption is retryable, so attempts are spent on it.
+  CallOptions options;
+  options.max_retries = 2;
+  options.initial_backoff_us = 1;
+  auto retried = bus_.Call("node/0/echo", "x", options);
+  ASSERT_FALSE(retried.ok());
+  EXPECT_EQ(retried.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(bus_.CallCount("node/0/echo"), 4u);
+  EXPECT_GE(injector_.counters().corrupted, 4u);
+}
+
+TEST_F(FaultyBusTest, DeadlineCutsOffSlowAndRetryingCalls) {
+  FaultPolicy slow;
+  slow.added_latency_us = 20000;  // 20 ms per call
+  injector_.SetPolicy("node/0/", slow);
+
+  CallOptions options;
+  options.deadline_us = 2000;  // 2 ms budget
+  auto late = bus_.Call("node/0/echo", "x", options);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kDeadlineExceeded);
+
+  // A dead service under a deadline gives up via the deadline, not after
+  // burning every retry's backoff.
+  injector_.ClearAllPolicies();
+  FaultPolicy dead;
+  dead.fail_probability = 1.0;
+  injector_.SetPolicy("node/0/", dead);
+  options.max_retries = 1000;
+  options.initial_backoff_us = 500;
+  options.max_backoff_us = 500;
+  auto cut = bus_.Call("node/0/echo", "x", options);
+  ASSERT_FALSE(cut.ok());
+  EXPECT_EQ(cut.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(FaultyBusTest, NotFoundIsNeitherRetriedNorBreakerCounted) {
+  CallOptions options;
+  options.max_retries = 5;
+  auto missing = bus_.Call("node/9/echo", "x", options);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  // A registry miss is not a health signal: no breaker state accrues.
+  EXPECT_EQ(bus_.breaker_state("node/9/echo"), BreakerState::kClosed);
+}
+
+TEST_F(FaultyBusTest, BreakerOpensProbesAndCloses) {
+  bus_.SetBreakerConfig({/*failure_threshold=*/3, /*open_rejections=*/2});
+  FaultPolicy dead;
+  dead.fail_probability = 1.0;
+  injector_.SetPolicy("node/0/", dead);
+
+  // Three real failures trip the breaker.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(bus_.Call("node/0/echo", "x").status().code(),
+              StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(bus_.breaker_state("node/0/echo"), BreakerState::kOpen);
+  size_t dispatched = bus_.CallCount("node/0/echo");
+
+  // The next two calls are shed without reaching the service.
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(bus_.Call("node/0/echo", "x").status().code(),
+              StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(bus_.CallCount("node/0/echo"), dispatched);
+  EXPECT_EQ(bus_.breaker_state("node/0/echo"), BreakerState::kHalfOpen);
+
+  // Half-open probe against a still-dead service re-opens the circuit.
+  EXPECT_EQ(bus_.Call("node/0/echo", "x").status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(bus_.CallCount("node/0/echo"), dispatched + 1);
+  EXPECT_EQ(bus_.breaker_state("node/0/echo"), BreakerState::kOpen);
+
+  // Service heals: drain the rejection window, then the probe closes it.
+  injector_.ClearAllPolicies();
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_FALSE(bus_.Call("node/0/echo", "x").ok());
+  }
+  auto probe = bus_.Call("node/0/echo", "x");
+  ASSERT_TRUE(probe.ok());
+  EXPECT_EQ(bus_.breaker_state("node/0/echo"), BreakerState::kClosed);
+  EXPECT_TRUE(bus_.Call("node/0/echo", "x").ok());
+}
+
+TEST_F(FaultyBusTest, BreakerRejectionsAreNeverRetried) {
+  bus_.SetBreakerConfig({/*failure_threshold=*/1, /*open_rejections=*/100});
+  FaultPolicy dead;
+  dead.fail_probability = 1.0;
+  injector_.SetPolicy("node/0/", dead);
+  EXPECT_FALSE(bus_.Call("node/0/echo", "x").ok());  // opens the breaker
+  size_t dispatched = bus_.CallCount("node/0/echo");
+
+  CallOptions options;
+  options.max_retries = 50;
+  options.initial_backoff_us = 1;
+  auto shed = bus_.Call("node/0/echo", "x", options);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  // One fast rejection, no dispatches, no retry storm.
+  EXPECT_EQ(bus_.CallCount("node/0/echo"), dispatched);
+}
+
+// --- Miner quarantine -------------------------------------------------------
+
+class BrokenMiner : public EntityMiner {
+ public:
+  std::string name() const override { return "broken"; }
+  common::Status Process(Entity&) override {
+    return Status::Internal("plugin crash");
+  }
+};
+
+class CountingMiner : public EntityMiner {
+ public:
+  explicit CountingMiner(size_t* count) : count_(count) {}
+  std::string name() const override { return "counting"; }
+  common::Status Process(Entity&) override {
+    ++*count_;
+    return Status::Ok();
+  }
+
+ private:
+  size_t* count_;
+};
+
+TEST(MinerQuarantineTest, RepeatedFailuresQuarantineOnlyTheSickMiner) {
+  size_t processed = 0;
+  MinerPipeline pipeline;
+  pipeline.SetQuarantineThreshold(3);
+  pipeline.AddMiner(std::make_unique<BrokenMiner>());
+  pipeline.AddMiner(std::make_unique<CountingMiner>(&processed));
+
+  Entity e("doc", "test");
+  e.SetBody("hello");
+  // While the broken miner is live it fails the entity (and starves the
+  // healthy miner behind it, since the chain stops at the first failure).
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(pipeline.ProcessEntity(e).ok());
+  }
+  EXPECT_EQ(processed, 0u);
+  // Quarantined: the chain now skips it and the healthy miner runs.
+  EXPECT_TRUE(pipeline.ProcessEntity(e).ok());
+  EXPECT_EQ(processed, 1u);
+
+  std::vector<MinerPipeline::MinerStats> stats = pipeline.Stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_TRUE(stats[0].quarantined);
+  EXPECT_EQ(stats[0].failures, 3u);
+  EXPECT_FALSE(stats[1].quarantined);
+
+  pipeline.ClearQuarantines();
+  EXPECT_FALSE(pipeline.ProcessEntity(e).ok());  // broken miner is back
+  EXPECT_FALSE(pipeline.Stats()[0].quarantined);  // streak restarted at 1
+}
+
+// --- Acceptance: degraded cluster, honest coverage, full recovery ----------
+
+// Twelve documents, four positive and four negative about Kodak, spread
+// over the shards by the normal routing hash.
+void BuildSentimentCluster(Cluster* cluster,
+                           const lexicon::SentimentLexicon* lexicon,
+                           const lexicon::PatternDatabase* patterns) {
+  std::vector<std::pair<std::string, std::string>> docs;
+  for (int i = 0; i < 12; ++i) {
+    std::string body;
+    if (i % 3 == 0) {
+      body = "Kodak impresses everyone who tried it.";
+    } else if (i % 3 == 1) {
+      body = "Lawsuits plague Kodak.";
+    } else {
+      body = "Kodak announced a quarterly meeting.";
+    }
+    docs.emplace_back("doc-" + std::to_string(i), body);
+  }
+  BatchIngestor ingestor("chaos", docs);
+  ASSERT_EQ(IngestAll(ingestor, *cluster), docs.size());
+  cluster->DeployMiner([lexicon, patterns] {
+    return std::make_unique<AdHocSentimentMinerPlugin>(lexicon, patterns);
+  });
+  cluster->MineAndIndexAll();
+}
+
+std::string Summarize(const SentimentQueryResult& r) {
+  std::string out = r.subject + "|" + std::to_string(r.positive_docs) + "|" +
+                    std::to_string(r.negative_docs);
+  for (const SentimentHit& hit : r.hits) {
+    out += "|" + hit.doc_id +
+           (hit.polarity == lexicon::Polarity::kPositive ? "+" : "-") +
+           hit.sentence;
+  }
+  return out;
+}
+
+TEST(ChaosAcceptanceTest, PartitionAloneGivesExactPartialCoverage) {
+  auto lexicon = lexicon::SentimentLexicon::Embedded();
+  auto patterns = lexicon::PatternDatabase::Embedded();
+  Cluster cluster(4);
+  BuildSentimentCluster(&cluster, &lexicon, &patterns);
+
+  FaultInjector injector(11);
+  cluster.bus().AttachFaultInjector(&injector);
+  injector.Partition("node/2/");
+
+  SearchResult search = cluster.Search("kodak");
+  EXPECT_EQ(search.nodes_total, 4u);
+  EXPECT_EQ(search.nodes_responded, 3u);
+  EXPECT_FALSE(search.complete());
+  ASSERT_EQ(search.failed_services.size(), 1u);
+  EXPECT_EQ(search.failed_services[0], "node/2/search");
+
+  injector.HealAll();
+  EXPECT_TRUE(cluster.Search("kodak").complete());
+}
+
+TEST(ChaosAcceptanceTest, DegradedQueriesCompleteAndRecoverToBaseline) {
+  auto lexicon = lexicon::SentimentLexicon::Embedded();
+  auto patterns = lexicon::PatternDatabase::Embedded();
+  Cluster cluster(4);
+  BuildSentimentCluster(&cluster, &lexicon, &patterns);
+  SentimentQueryService service(&cluster);
+  ASSERT_TRUE(service.RegisterService().ok());
+  cluster.bus().SetBreakerConfig(
+      {/*failure_threshold=*/3, /*open_rejections=*/2});
+
+  // Fault-free baseline.
+  SentimentQueryResult baseline = service.Query("Kodak");
+  EXPECT_EQ(baseline.positive_docs, 4u);
+  EXPECT_EQ(baseline.negative_docs, 4u);
+  EXPECT_TRUE(baseline.complete());
+
+  // Chaos: 20% of calls to any node service fail, and node 1 is cut off
+  // from the network entirely.
+  FaultInjector injector(20250806);
+  FaultPolicy flaky;
+  flaky.fail_probability = 0.2;
+  injector.SetPolicy("node/", flaky);
+  injector.Partition("node/1/");
+  cluster.bus().AttachFaultInjector(&injector);
+
+  for (int round = 0; round < 10; ++round) {
+    SentimentQueryResult degraded = service.Query("Kodak");
+    // Every query completes, and the coverage report is honest: with a
+    // whole node partitioned, the answer can never claim all shards spoke.
+    EXPECT_EQ(degraded.nodes_total, 4u);
+    EXPECT_LT(degraded.nodes_responded, degraded.nodes_total);
+    EXPECT_FALSE(degraded.complete());
+    // Counts degrade; they never exceed the truth.
+    EXPECT_LE(degraded.positive_docs, baseline.positive_docs);
+    EXPECT_LE(degraded.negative_docs, baseline.negative_docs);
+    EXPECT_LE(degraded.hits.size(), baseline.hits.size());
+  }
+  EXPECT_GT(injector.counters().partitioned, 0u);
+  EXPECT_GT(injector.counters().failed, 0u);
+
+  // Faults clear. Warm-up queries drain the open breakers' rejection
+  // windows and let their half-open probes succeed.
+  injector.HealAll();
+  injector.ClearAllPolicies();
+  bool breakers_closed = false;
+  for (int round = 0; round < 20 && !breakers_closed; ++round) {
+    (void)service.Query("Kodak");
+    breakers_closed = true;
+    for (size_t n = 0; n < cluster.node_count(); ++n) {
+      std::string prefix = "node/" + std::to_string(n) + "/";
+      for (const char* suffix : {"search", "fetch"}) {
+        if (cluster.bus().breaker_state(prefix + suffix) !=
+            BreakerState::kClosed) {
+          breakers_closed = false;
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(breakers_closed);
+
+  // With the cluster healed and every circuit closed, the answer is
+  // indistinguishable from the fault-free baseline.
+  SentimentQueryResult recovered = service.Query("Kodak");
+  EXPECT_TRUE(recovered.complete());
+  EXPECT_EQ(Summarize(recovered), Summarize(baseline));
+}
+
+TEST(ChaosAcceptanceTest, IdenticalSeedsReplayIdenticalDegradedRuns) {
+  auto lexicon = lexicon::SentimentLexicon::Embedded();
+  auto patterns = lexicon::PatternDatabase::Embedded();
+
+  auto run = [&lexicon, &patterns]() {
+    Cluster cluster(4);
+    BuildSentimentCluster(&cluster, &lexicon, &patterns);
+    SentimentQueryService service(&cluster);
+    WF_CHECK_OK(service.RegisterService());
+    FaultInjector injector(777);
+    FaultPolicy flaky;
+    flaky.fail_probability = 0.3;
+    flaky.corrupt_probability = 0.1;
+    injector.SetPolicy("node/", flaky);
+    cluster.bus().AttachFaultInjector(&injector);
+    std::string trace;
+    for (int round = 0; round < 5; ++round) {
+      SentimentQueryResult r = service.Query("Kodak");
+      trace += Summarize(r) + "#" + std::to_string(r.nodes_responded) + "/" +
+               std::to_string(r.nodes_total) + ";";
+    }
+    return trace;
+  };
+
+  // Thread interleaving inside the scatters differs between runs; the
+  // fault verdicts — and therefore the answers — must not.
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace wf::platform

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <memory>
 
@@ -281,7 +282,26 @@ TEST(VinciTest, CallAllScattersByPrefix) {
                    return "x";
                  }).ok());
   auto responses = bus.CallAll("node/", "req");
-  EXPECT_EQ(responses.size(), 3u);
+  ASSERT_EQ(responses.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(responses[i].first, "node/" + std::to_string(i) + "/echo");
+    ASSERT_TRUE(responses[i].second.ok());
+    EXPECT_EQ(*responses[i].second, std::to_string(i));
+  }
+}
+
+TEST(VinciTest, NotFoundResolvesLocallyWithoutSimulatedLatency) {
+  VinciBus bus;
+  bus.SetSimulatedLatency(50000);  // 50 ms per delivered call
+  auto start = std::chrono::steady_clock::now();
+  auto result = bus.Call("node/9/missing", "req");
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kNotFound);
+  // A registry miss is a local lookup: no simulated round trip is charged.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            25);
 }
 
 TEST(VinciTest, WireFormatRoundTrip) {
@@ -295,6 +315,33 @@ TEST(VinciTest, WireFormatRoundTrip) {
   EXPECT_EQ(GetMessageField(encoded, "subject"), "NR70");
   EXPECT_EQ(GetMessageFields(encoded, "subject").size(), 2u);
   EXPECT_EQ(GetMessageField(encoded, "missing"), "");
+}
+
+TEST(VinciTest, WireFormatEscapesHostileKeysAndValues) {
+  std::vector<std::pair<std::string, std::string>> pairs = {
+      {"key=with=eq", "value=with=eq"},  // '=' in a key used to split wrong
+      {"key\nnewline", "v"},
+      {"back\\slash", "trailing\\"},
+      {"literal\\n", "literal\\n"},  // backslash-n, not a newline
+      {"", ""},                      // even empty keys round-trip
+  };
+  std::string encoded = EncodeMessage(pairs);
+  EXPECT_EQ(DecodeMessage(encoded), pairs);
+  EXPECT_EQ(GetMessageField(encoded, "key=with=eq"), "value=with=eq");
+}
+
+TEST(VinciTest, DecodeToleratesMalformedInput) {
+  // Lines without an unescaped '=' are skipped, not misparsed.
+  EXPECT_TRUE(DecodeMessage("no separator line\n").empty());
+  // A dangling trailing backslash survives instead of being dropped.
+  auto decoded = DecodeMessage("k=v\\\n");
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].second, "v\\");
+  // An escaped '=' in a key does not split the line there.
+  auto escaped = DecodeMessage("a\\=b=c\n");
+  ASSERT_EQ(escaped.size(), 1u);
+  EXPECT_EQ(escaped[0].first, "a=b");
+  EXPECT_EQ(escaped[0].second, "c");
 }
 
 // --- Miner framework ----------------------------------------------------------------
@@ -373,8 +420,12 @@ TEST(ClusterTest, SearchScattersOverBus) {
     ASSERT_TRUE(cluster.Ingest(std::move(e)).ok());
   }
   cluster.MineAndIndexAll();
-  EXPECT_EQ(cluster.Search("magicword").size(), 5u);
-  EXPECT_EQ(cluster.SearchPhrase({"contains", "magicword"}).size(), 5u);
+  SearchResult result = cluster.Search("magicword");
+  EXPECT_EQ(result.docs.size(), 5u);
+  EXPECT_EQ(result.nodes_total, 2u);
+  EXPECT_EQ(result.nodes_responded, 2u);
+  EXPECT_TRUE(result.complete());
+  EXPECT_EQ(cluster.SearchPhrase({"contains", "magicword"}).docs.size(), 5u);
 }
 
 TEST(IngestTest, BatchIngestorDrains) {

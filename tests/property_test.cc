@@ -298,5 +298,44 @@ TEST(VinciProperty, WireRoundTripsRandomPayloads) {
   }
 }
 
+TEST(VinciProperty, WireRoundTripsHostileKeys) {
+  // Keys get the same adversarial treatment as values: separators (`=`),
+  // record terminators (`\n`), escape characters, and the *literal*
+  // two-character sequence "\n" (backslash then 'n'), which must not be
+  // confused with a real newline on the way back.
+  common::Rng rng(1008);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    size_t n = static_cast<size_t>(rng.Uniform(0, 6));
+    for (size_t i = 0; i < n; ++i) {
+      std::string key;
+      size_t klen = static_cast<size_t>(rng.Uniform(0, 12));
+      for (size_t k = 0; k < klen; ++k) {
+        switch (static_cast<int>(rng.Uniform(0, 6))) {
+          case 0: key += '='; break;
+          case 1: key += '\n'; break;
+          case 2: key += '\\'; break;
+          case 3: key += "\\n"; break;  // literal backslash-n
+          default: key += 'k'; break;
+        }
+      }
+      std::string value;
+      size_t vlen = static_cast<size_t>(rng.Uniform(0, 12));
+      for (size_t k = 0; k < vlen; ++k) {
+        switch (static_cast<int>(rng.Uniform(0, 6))) {
+          case 0: value += '='; break;
+          case 1: value += '\n'; break;
+          case 2: value += '\\'; break;
+          case 3: value += "\\n"; break;
+          default: value += 'v'; break;
+        }
+      }
+      pairs.emplace_back(std::move(key), std::move(value));
+    }
+    EXPECT_EQ(platform::DecodeMessage(platform::EncodeMessage(pairs)),
+              pairs);
+  }
+}
+
 }  // namespace
 }  // namespace wf

@@ -201,6 +201,68 @@ TEST(FloatEqualityTest, IgnoresToleranceAwareAndNonFloatCompares) {
   EXPECT_FALSE(HasRule(LintSnippet("t.cc", src), "float-equality"));
 }
 
+// --- unchecked-rpc ----------------------------------------------------------
+
+TEST(UncheckedRpcTest, FlagsDiscardedBusCallOnQueryPath) {
+  const std::string src =
+      "void Run(VinciBus* bus) {\n"
+      "  bus->Call(\"node/0/search\", request);\n"
+      "}\n";
+  std::vector<Violation> vs =
+      LintSnippet("src/platform/query_service.cc", src);
+  ASSERT_TRUE(HasRule(vs, "unchecked-rpc"));
+  EXPECT_EQ(vs[0].line, 2u);
+}
+
+TEST(UncheckedRpcTest, FlagsDereferenceWithoutStatusCheck) {
+  // Star-deref of the whole receiver chain.
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/platform/cluster.cc",
+                  "void Run(Cluster* c) {\n"
+                  "  std::string body = *c->bus().Call(\"node/0/f\", req);\n"
+                  "}\n"),
+      "unchecked-rpc"));
+  // Member access on the temporary Result.
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/platform/query_service.cc",
+                  "void Run(VinciBus* bus) {\n"
+                  "  auto body = bus->Call(\"node/0/f\", req).value();\n"
+                  "}\n"),
+      "unchecked-rpc"));
+}
+
+TEST(UncheckedRpcTest, IgnoresCheckedCallsAssignmentsAndOtherLayers) {
+  // Assign-then-check (the idiomatic shape) is quiet.
+  const std::string checked =
+      "void Run(Cluster* c) {\n"
+      "  auto response = c->bus().Call(\"node/0/fetch\", req, opts);\n"
+      "  if (!response.ok()) return;\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(LintSnippet("src/platform/query_service.cc", checked),
+                       "unchecked-rpc"));
+  // Inline .ok() is quiet.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/platform/cluster.cc",
+                  "void Run(VinciBus* bus) {\n"
+                  "  if (!bus->Call(\"node/0/f\", req).ok()) return;\n"
+                  "}\n"),
+      "unchecked-rpc"));
+  // CallAll returns per-service Results the gather loop inspects.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/platform/cluster.cc",
+                  "void Run(VinciBus* bus) {\n"
+                  "  auto scattered = bus->CallAll(request);\n"
+                  "}\n"),
+      "unchecked-rpc"));
+  // Identical bad code outside query-path files belongs to other rules.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/platform/ingest.cc",
+                  "void Run(VinciBus* bus) {\n"
+                  "  bus->Call(\"node/0/search\", request);\n"
+                  "}\n"),
+      "unchecked-rpc"));
+}
+
 // --- suppressions -----------------------------------------------------------
 
 TEST(SuppressionTest, FileLevelAllowSilencesNamedRuleOnly) {
