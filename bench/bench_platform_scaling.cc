@@ -52,6 +52,7 @@ int main() {
               std::thread::hardware_concurrency());
   eval::TablePrinter table({"Nodes", "Entities", "Ingest ms", "Mine+index ms",
                             "Speed-up", "Query us (avg of 64)"});
+  bench::BenchJsonWriter json("platform_scaling");
 
   double base_mine_ms = 0.0;
   for (size_t nodes : {1, 2, 4, 8}) {
@@ -97,6 +98,12 @@ int main() {
                   common::StrFormat("%.1f", mine_ms),
                   common::StrFormat("%.2fx", base_mine_ms / mine_ms),
                   common::StrFormat("%.0f", query_us)});
+    json.AddRow("scaling",
+                {bench::Int("nodes", nodes), bench::Int("entities", stored),
+                 bench::Num("ingest_ms", ingest_ms),
+                 bench::Num("mine_ms", mine_ms),
+                 bench::Num("speedup", base_mine_ms / mine_ms),
+                 bench::Num("query_us", query_us)});
     (void)total_hits;
   }
   std::printf("%s", table.ToString().c_str());
@@ -142,6 +149,11 @@ int main() {
     rtable.AddRow({label, common::StrFormat("%.0f", query_us),
                    common::StrFormat("%zu/%zu", responded, total),
                    std::to_string(fetch_failures)});
+    json.AddRow("resilience",
+                {bench::Str("scenario", label), bench::Num("query_us", query_us),
+                 bench::Int("nodes_responded", responded),
+                 bench::Int("nodes_total", total),
+                 bench::Int("fetch_failures", fetch_failures)});
   };
 
   measure("fault-free");
@@ -156,5 +168,14 @@ int main() {
   cluster.bus().ResetBreakers();
   measure("healed, breakers reset");
   std::printf("%s", rtable.ToString().c_str());
+
+  // Cluster-wide wf_obs roll-up (call/retry/breaker counters, latency
+  // histograms) rides along in the JSON for post-hoc analysis.
+  platform::ClusterStats stats = cluster.CollectStats();
+  json.AddSnapshot("metrics", stats.merged);
+  std::string json_path = json.WriteFile();
+  if (!json_path.empty()) {
+    std::printf("\nMachine-readable results: %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -61,6 +61,18 @@ int main() {
                 eval::Pct(rs.accuracy()), "n/a / n/a / 88.4"});
   std::printf("%s\n", table.ToString().c_str());
 
+  bench::BenchJsonWriter json("table4_product_reviews");
+  json.AddRow("systems", {bench::Str("system", "sentiment_miner"),
+                          bench::Num("precision", sm.precision()),
+                          bench::Num("recall", sm.recall()),
+                          bench::Num("accuracy", sm.accuracy())});
+  json.AddRow("systems", {bench::Str("system", "collocation"),
+                          bench::Num("precision", colloc.precision()),
+                          bench::Num("recall", colloc.recall()),
+                          bench::Num("accuracy", colloc.accuracy())});
+  json.AddRow("systems", {bench::Str("system", "reviewseer_doc"),
+                          bench::Num("accuracy", rs.accuracy())});
+
   std::printf("Per-class diagnostics (A=extractable, B=missed-by-design, "
               "C=neutral, D=trap):\n");
   eval::TablePrinter diag({"Class", "Cases", "Extracted", "Recall", "Acc"});
@@ -69,7 +81,17 @@ int main() {
                  std::to_string(conf.total()),
                  std::to_string(conf.extracted()),
                  eval::Pct(conf.recall()), eval::Pct(conf.accuracy())});
+    json.AddRow("by_class", {bench::Str("class", std::string(1, clazz)),
+                             bench::Int("cases", conf.total()),
+                             bench::Int("extracted", conf.extracted()),
+                             bench::Num("recall", conf.recall()),
+                             bench::Num("accuracy", conf.accuracy())});
   }
   std::printf("%s", diag.ToString().c_str());
+
+  std::string json_path = json.WriteFile();
+  if (!json_path.empty()) {
+    std::printf("\nMachine-readable results: %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -43,8 +43,11 @@ if [[ "${WF_CHECK_TSAN:-0}" == "1" ]]; then
   # Run the threaded suites' binaries directly: ctest -R matches individual
   # gtest test names, not test-binary names, so a binary-name regex there
   # would silently select nothing.
-  for t in platform_test platform_miners_test property_test robustness_test \
-           chaos_test agreement_test integration_test; do
+  # obs_test is in the list deliberately: the lock-striped MetricsRegistry
+  # and the tracer's concurrent span recording are the newest threaded code,
+  # and its JSON checker doubles as the malformed-wfstats-export gate.
+  for t in obs_test platform_test platform_miners_test property_test \
+           robustness_test chaos_test agreement_test integration_test; do
     step "TSan: ${t}"
     "./build-tsan/tests/${t}"
   done

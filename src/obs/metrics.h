@@ -1,0 +1,192 @@
+#ifndef WF_OBS_METRICS_H_
+#define WF_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wf::obs {
+
+// wf_obs metrics: the measurement layer above the simulated WebFountain
+// platform. Components record into a MetricsRegistry through three metric
+// kinds; readers take a MetricsSnapshot on demand and export it as text,
+// JSON, or the mergeable wire form that `wfstats` services ship over the
+// Vinci bus.
+//
+// Determinism contract (a repo invariant): every metric except
+// wall-clock-fed histograms (created with `timing = true`) must replay
+// byte-identically from the same seed — tests golden-compare exports with
+// `ExportOptions::include_timings = false`. Snapshots order metrics by
+// name, so two registries that saw the same events export the same bytes
+// regardless of registration or thread order.
+
+// Monotonically increasing event count. Add() is lock-free; handles
+// returned by MetricsRegistry stay valid for the registry's lifetime, so
+// hot paths can cache them.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// A level that moves both ways (entities in a store, breaker state).
+// Merge across nodes sums gauges, so per-node levels roll up to totals.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds,
+// plus an implicit overflow bucket, so two histograms with equal bounds
+// merge by adding counts — which is what makes cluster roll-ups and the
+// merge-associativity property possible. Record() is lock-free.
+class Histogram {
+ public:
+  // `timing = true` marks a wall-clock-fed histogram, the one sanctioned
+  // source of nondeterminism; deterministic exports exclude it.
+  Histogram(std::vector<uint64_t> bounds, bool timing);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value);
+
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  bool timing() const { return timing_; }
+  uint64_t count() const;
+
+ private:
+  friend class MetricsRegistry;
+  const std::vector<uint64_t> bounds_;
+  const bool timing_;
+  std::vector<std::atomic<uint64_t>> counts_;  // bounds_.size() + 1 buckets
+  std::atomic<uint64_t> sum_{0};
+};
+
+// Common bucket layouts.
+std::vector<uint64_t> ExponentialBounds(uint64_t start, double factor,
+                                        size_t count);
+std::vector<uint64_t> LinearBounds(uint64_t start, uint64_t step,
+                                   size_t count);
+// 1us .. ~8.4s in powers of two — the default for latency histograms.
+const std::vector<uint64_t>& DefaultLatencyBoundsUs();
+// 0..15 retries/attempts, one bucket each.
+const std::vector<uint64_t>& DefaultRetryBounds();
+
+struct HistogramSnapshot {
+  std::vector<uint64_t> bounds;
+  std::vector<uint64_t> counts;  // bounds.size() + 1 (last = overflow)
+  uint64_t count = 0;            // sum of counts
+  uint64_t sum = 0;              // sum of recorded values
+  bool timing = false;
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+struct ExportOptions {
+  // When false, histograms created with `timing = true` are omitted — the
+  // deterministic view that golden tests byte-compare.
+  bool include_timings = true;
+};
+
+// A point-in-time copy of a registry (weakly consistent under concurrent
+// writers; exact when writers are quiescent). std::map keys keep every
+// export deterministically ordered by metric name.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  // Adds `other` into this snapshot: counters/gauges/histogram buckets sum;
+  // a histogram present on both sides must have identical bounds
+  // (FailedPrecondition otherwise, with this snapshot unchanged).
+  common::Status MergeFrom(const MetricsSnapshot& other);
+
+  // Convenience readers; 0 when the metric is absent.
+  uint64_t CounterValue(const std::string& name) const;
+  int64_t GaugeValue(const std::string& name) const;
+  // nullptr when absent.
+  const HistogramSnapshot* FindHistogram(const std::string& name) const;
+
+  // One line per metric:
+  //   counter <name> <value>
+  //   gauge <name> <value>
+  //   histogram <name> count=<c> sum=<s> buckets=<b>:<c>,...,inf:<c>
+  std::string ExportText(const ExportOptions& options = {}) const;
+  // {"counters":{...},"gauges":{...},"histograms":{...}} with sorted keys.
+  std::string ExportJson(const ExportOptions& options = {}) const;
+
+  // Mergeable machine form shipped by `wfstats` services. Line-oriented and
+  // safe to embed as a value in the platform's key=value wire format
+  // because metric names never contain spaces or newlines (enforced at
+  // registration).
+  std::string ToWire() const;
+  static common::Result<MetricsSnapshot> FromWire(const std::string& wire);
+};
+
+// Registry of named metrics. Get* registers on first use and returns a
+// stable handle; lookups are lock-striped by name hash so concurrent hot
+// paths touching different metrics rarely contend. Metric names must match
+// [A-Za-z0-9_/.:-]+ (no spaces, '=', or newlines — they travel through the
+// bus wire format verbatim).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Const because recording is logically read-only on the registry: the
+  // stripes are mutable so const holders (e.g. a const Cluster running a
+  // query) can still count events.
+  Counter* GetCounter(const std::string& name) const;
+  Gauge* GetGauge(const std::string& name) const;
+  // Re-getting an existing histogram checks that `bounds` and `timing`
+  // match the first registration (programming error otherwise).
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<uint64_t>& bounds,
+                          bool timing = false) const;
+
+  MetricsSnapshot Snapshot() const;
+
+  static bool IsValidMetricName(const std::string& name);
+
+ private:
+  static constexpr size_t kStripes = 16;
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
+    std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Stripe& StripeFor(const std::string& name) const;
+
+  mutable std::array<Stripe, kStripes> stripes_;
+};
+
+// The process-wide registry, for components with no obvious owner (each
+// simulated node/bus/service owns its own registry instead, so one process
+// can host a whole cluster without the shards sharing metrics).
+MetricsRegistry& ProcessRegistry();
+
+// JSON string escaping shared by the obs exporters and bench_util.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace wf::obs
+
+#endif  // WF_OBS_METRICS_H_

@@ -1,0 +1,17 @@
+#include "obs/timer.h"
+
+#include <chrono>
+
+namespace wf::obs {
+
+// wf_obs is the sanctioned home for the raw clock read; everything in
+// src/platform goes through this function (wflint: platform-raw-timing).
+// wflint: allow(platform-raw-timing)
+uint64_t MonotonicNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace wf::obs

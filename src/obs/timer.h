@@ -1,0 +1,40 @@
+#ifndef WF_OBS_TIMER_H_
+#define WF_OBS_TIMER_H_
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace wf::obs {
+
+// The one sanctioned monotonic-clock read outside wf_obs: platform code
+// must time through this (or ScopedTimer) rather than touching
+// std::chrono::steady_clock directly, so every duration measurement flows
+// through a single, instrumentable code path (enforced by wflint's
+// platform-raw-timing rule).
+uint64_t MonotonicNowUs();
+
+// Records the scope's wall-clock duration (µs) into a histogram on
+// destruction. The histogram should be created with `timing = true`; a
+// null histogram makes the timer a no-op, so call sites need no branches
+// when metrics are not attached.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_us_(MonotonicNowUs()) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->Record(ElapsedUs());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  uint64_t ElapsedUs() const { return MonotonicNowUs() - start_us_; }
+
+ private:
+  Histogram* histogram_;
+  uint64_t start_us_;
+};
+
+}  // namespace wf::obs
+
+#endif  // WF_OBS_TIMER_H_

@@ -1,0 +1,125 @@
+#ifndef WF_OBS_TRACE_H_
+#define WF_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wf::obs {
+
+// Lightweight deterministic tracing. A Tracer hands out Spans whose
+// trace/span ids are pure functions of (tracer seed, trace sequence,
+// parent span, span name, sibling sequence) — no wall clock, no process
+// randomness — so two identically-seeded runs export byte-identical
+// traces, and a scatter's concurrently-created child spans get the same
+// ids regardless of thread interleaving (sibling names on a scatter are
+// the distinct target service names).
+//
+// Spans carry no timestamps by design: durations belong in timing
+// histograms (obs/metrics.h), where nondeterminism is quarantined; a
+// span's identity and attributes must replay exactly.
+
+// Identifies a span within a trace. Propagated across the Vinci bus as
+// two extra request fields (kTraceIdKey / kSpanIdKey) in the platform's
+// key=value wire format; handlers that never look at them are unaffected.
+struct SpanContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  bool valid() const { return trace_id != 0 && span_id != 0; }
+};
+
+// Reserved request-metadata keys for context propagation over the bus.
+inline constexpr char kTraceIdKey[] = "wf-trace";
+inline constexpr char kSpanIdKey[] = "wf-span";
+
+// 16 lowercase hex digits; the wire spelling of an id.
+std::string IdToHex(uint64_t id);
+// Inverse; returns 0 (the invalid id) for anything that is not exactly
+// 16 hex digits.
+uint64_t IdFromHex(const std::string& hex);
+
+class Tracer;
+
+// One span in flight. Movable, not copyable; Finish() records it with its
+// tracer (the destructor finishes an unfinished span, so early returns on
+// error paths still record). A default-constructed or moved-from span is
+// inert: every operation is a no-op.
+class Span {
+ public:
+  Span() = default;
+  ~Span() { Finish(); }
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return tracer_ != nullptr; }
+  SpanContext context() const { return context_; }
+
+  void SetAttr(const std::string& key, const std::string& value);
+  void Finish();
+
+ private:
+  friend class Tracer;
+  Tracer* tracer_ = nullptr;
+  SpanContext context_;
+  uint64_t parent_span_id_ = 0;
+  std::string name_;
+  std::map<std::string, std::string> attrs_;  // sorted for export
+};
+
+// Appends the context-propagation fields to a request's key=value pairs.
+void AppendContext(const SpanContext& context,
+                   std::vector<std::pair<std::string, std::string>>* pairs);
+
+class Tracer {
+ public:
+  explicit Tracer(uint64_t seed) : seed_(seed) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // A new root span in a new trace.
+  Span StartTrace(const std::string& name);
+  // A child span under `parent`; inert when `parent` is invalid, so call
+  // sites forwarding an absent context need no branches.
+  Span StartSpan(const SpanContext& parent, const std::string& name);
+
+  size_t finished_count() const;
+
+  // One line per finished span, sorted by (trace, span, name):
+  //   trace=<hex> span=<hex> parent=<hex|-> name=<name> [k=v ...]
+  std::string ExportText() const;
+  // JSON array of span objects in the same order.
+  std::string ExportJson() const;
+
+  void Clear();
+
+ private:
+  friend class Span;
+  struct FinishedSpan {
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    uint64_t parent_span_id = 0;
+    std::string name;
+    std::map<std::string, std::string> attrs;
+  };
+
+  void Record(Span* span);
+  std::vector<FinishedSpan> SortedFinished() const;
+
+  const uint64_t seed_;
+  std::atomic<uint64_t> trace_seq_{0};
+  mutable std::mutex mu_;
+  // Per (parent span, name) sibling sequence, so two sequential same-name
+  // children (e.g. retries of one fetch) still get distinct ids.
+  std::map<std::pair<uint64_t, std::string>, uint64_t> sibling_seq_;
+  std::vector<FinishedSpan> finished_;
+};
+
+}  // namespace wf::obs
+
+#endif  // WF_OBS_TRACE_H_

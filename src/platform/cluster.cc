@@ -6,18 +6,37 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 
 namespace wf::platform {
 
 using ::wf::common::Status;
 
 void ClusterNode::MineAndIndex() {
+  obs::ScopedTimer timer(metrics_.GetHistogram(
+      "node/mine_and_index_us", obs::DefaultLatencyBoundsUs(),
+      /*timing=*/true));
   pipeline_.ProcessStore(store_);
-  store_.ForEach([this](const Entity& e) { index_.IndexEntity(e); });
+  size_t indexed = 0;
+  store_.ForEach([this, &indexed](const Entity& e) {
+    index_.IndexEntity(e);
+    ++indexed;
+  });
+  metrics_.GetCounter("index/indexed_entities_total")->Add(indexed);
+  metrics_.GetGauge("index/vocabulary")
+      ->Set(static_cast<int64_t>(index_.vocabulary_size()));
+  metrics_.GetGauge("store/entities")->Set(static_cast<int64_t>(store_.size()));
 }
 
 std::string ClusterNode::ServiceName(const std::string& suffix) const {
   return common::StrFormat("node/%zu/%s", id_, suffix.c_str());
+}
+
+std::string ClusterNode::StatsServiceName() const {
+  // Outside the node/ prefix on purpose: query scatters (CallAll("node/"))
+  // must not dispatch — or count, or trace — stats traffic.
+  return common::StrFormat("wfstats/node/%zu", id_);
 }
 
 common::Status ClusterNode::RegisterServices(VinciBus* bus) {
@@ -55,11 +74,29 @@ common::Status ClusterNode::RegisterServices(VinciBus* bus) {
         }
         return EncodeMessage({{"entity", entity->Serialize()}});
       }));
+  WF_RETURN_IF_ERROR(bus->RegisterService(
+      StatsServiceName(), [this](const std::string& request) {
+        std::string format = GetMessageField(request, "format");
+        obs::MetricsSnapshot snapshot = metrics_.Snapshot();
+        std::string payload;
+        if (format == "json") {
+          payload = snapshot.ExportJson();
+        } else if (format == "text") {
+          payload = snapshot.ExportText();
+        } else {
+          format = "wire";
+          payload = snapshot.ToWire();
+        }
+        return EncodeMessage({{"node", common::StrFormat("%zu", id_)},
+                              {"format", format},
+                              {"stats", payload}});
+      }));
   return Status::Ok();
 }
 
 Cluster::Cluster(size_t num_nodes) {
   WF_CHECK(num_nodes > 0);
+  bus_.AttachMetrics(&metrics_);
   nodes_.reserve(num_nodes);
   for (size_t i = 0; i < num_nodes; ++i) {
     nodes_.push_back(std::make_unique<ClusterNode>(i));
@@ -69,7 +106,10 @@ Cluster::Cluster(size_t num_nodes) {
 
 common::Status Cluster::Ingest(Entity entity) {
   size_t shard = Route(entity.id());
-  return nodes_[shard]->store().Put(std::move(entity));
+  Status s = nodes_[shard]->store().Put(std::move(entity));
+  metrics_.GetCounter(s.ok() ? "ingest/stored_total" : "ingest/rejected_total")
+      ->Add(1);
+  return s;
 }
 
 void Cluster::DeployMiner(
@@ -115,16 +155,63 @@ SearchResult GatherSearch(
 
 }  // namespace
 
+SearchResult Cluster::TracedSearch(
+    const std::string& name,
+    std::vector<std::pair<std::string, std::string>> request_fields) const {
+  // With a tracer attached, the query gets a root span whose context rides
+  // the scattered request; the bus then records one child span per target,
+  // stitching the fan-out into a single trace.
+  obs::Span root;
+  if (tracer_ != nullptr) {
+    root = tracer_->StartTrace(name);
+    obs::AppendContext(root.context(), &request_fields);
+  }
+  metrics_.GetCounter("cluster/searches_total")->Add(1);
+  SearchResult result =
+      GatherSearch(bus_.CallAll("node/", EncodeMessage(request_fields)));
+  if (!result.complete()) {
+    metrics_.GetCounter("cluster/partial_searches_total")->Add(1);
+  }
+  if (root.active()) {
+    root.SetAttr("nodes_total",
+                 common::StrFormat("%zu", result.nodes_total));
+    root.SetAttr("nodes_responded",
+                 common::StrFormat("%zu", result.nodes_responded));
+  }
+  return result;
+}
+
 SearchResult Cluster::Search(const std::string& term) const {
-  std::string request = EncodeMessage({{"term", term}});
-  return GatherSearch(bus_.CallAll("node/", request));
+  return TracedSearch("cluster/search", {{"term", term}});
 }
 
 SearchResult Cluster::SearchPhrase(
     const std::vector<std::string>& words) const {
-  std::string request = EncodeMessage(
-      {{"term", common::Join(words, " ")}, {"mode", "phrase"}});
-  return GatherSearch(bus_.CallAll("node/", request));
+  return TracedSearch("cluster/search_phrase",
+                      {{"term", common::Join(words, " ")}, {"mode", "phrase"}});
+}
+
+ClusterStats Cluster::CollectStats() const {
+  ClusterStats stats;
+  // Snapshot the local (bus-level) registry before the gather so the
+  // roll-up's own wfstats calls are not half-counted inside it.
+  stats.merged = metrics_.Snapshot();
+  std::string request = EncodeMessage({{"format", "wire"}});
+  for (const auto& [service, response] : bus_.CallAll("wfstats/", request)) {
+    ++stats.nodes_total;
+    if (!response.ok()) {
+      stats.failed_services.push_back(service);
+      continue;
+    }
+    std::string wire = GetMessageField(*response, "stats");
+    auto snapshot = obs::MetricsSnapshot::FromWire(wire);
+    if (!snapshot.ok() || !stats.merged.MergeFrom(*snapshot).ok()) {
+      stats.failed_services.push_back(service);
+      continue;
+    }
+    ++stats.nodes_responded;
+  }
+  return stats;
 }
 
 size_t Cluster::TotalEntities() const {

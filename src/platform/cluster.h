@@ -7,10 +7,15 @@
 
 #include "common/hash.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "platform/data_store.h"
 #include "platform/indexer.h"
 #include "platform/miner_framework.h"
 #include "platform/vinci.h"
+
+namespace wf::obs {
+class Tracer;
+}  // namespace wf::obs
 
 namespace wf::platform {
 
@@ -21,9 +26,14 @@ namespace wf::platform {
 //                      response: doc=<id> per hit
 //   node/<id>/stats    response: entities=<n>, vocabulary=<n>
 //   node/<id>/fetch    request: id=<doc>  response: serialized entity
+//   wfstats/node/<id>  request: [format=wire|text|json]
+//                      response: node=<id>, format=<f>, stats=<export>
+// (wfstats lives outside the node/ prefix so query scatters never hit it.)
 class ClusterNode {
  public:
-  explicit ClusterNode(size_t id) : id_(id) {}
+  explicit ClusterNode(size_t id) : id_(id) {
+    pipeline_.AttachMetrics(&metrics_);
+  }
   ClusterNode(const ClusterNode&) = delete;
   ClusterNode& operator=(const ClusterNode&) = delete;
 
@@ -33,6 +43,9 @@ class ClusterNode {
   InvertedIndex& index() { return index_; }
   const InvertedIndex& index() const { return index_; }
   MinerPipeline& pipeline() { return pipeline_; }
+  // This node's private registry (shared-nothing: shards never share
+  // metrics; roll-ups go through Cluster::CollectStats over the bus).
+  obs::MetricsRegistry& metrics() { return metrics_; }
 
   // Runs the miner pipeline over the shard, then (re)indexes every entity.
   void MineAndIndex();
@@ -41,12 +54,15 @@ class ClusterNode {
   common::Status RegisterServices(VinciBus* bus);
 
   std::string ServiceName(const std::string& suffix) const;
+  // The node's live-stats service, outside the node/ scatter prefix.
+  std::string StatsServiceName() const;
 
  private:
   size_t id_;
   DataStore store_;
   InvertedIndex index_;
   MinerPipeline pipeline_;
+  obs::MetricsRegistry metrics_;
 };
 
 // Outcome of one scatter/gather search. A node that failed (partition,
@@ -61,6 +77,19 @@ struct SearchResult {
   bool complete() const { return nodes_responded == nodes_total; }
 };
 
+// Cluster-wide metrics roll-up: every node's wfstats export gathered over
+// the bus (the same degraded-tolerant path an operator would use), merged
+// with the cluster's own bus-level registry. A node that cannot answer —
+// or answers with a malformed or unmergeable export — is listed in
+// `failed_services` and simply missing from `merged`.
+struct ClusterStats {
+  obs::MetricsSnapshot merged;
+  size_t nodes_total = 0;      // wfstats services scattered to
+  size_t nodes_responded = 0;  // exports merged successfully
+  std::vector<std::string> failed_services;
+  bool complete() const { return nodes_responded == nodes_total; }
+};
+
 // The loosely coupled cluster (§2): N nodes behind a shared Vinci bus.
 // Entities are hash-partitioned by id; miners run per shard in parallel;
 // queries scatter over node services and gather the results.
@@ -72,6 +101,20 @@ class Cluster {
   ClusterNode& node(size_t i) { return *nodes_[i]; }
   VinciBus& bus() { return bus_; }
   const VinciBus& bus() const { return bus_; }
+
+  // The cluster-level registry (bus and ingest metrics land here; each
+  // node's mining/indexing metrics live in its own registry).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  // Attaches a tracer to the cluster and its bus: Search() then opens a
+  // root span and propagates its context through the scatter, so one query
+  // exports a single stitched parent/child trace. nullptr detaches. The
+  // tracer must outlive its attachment.
+  void AttachTracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    bus_.AttachTracer(tracer);
+  }
 
   // Shard owning an entity id (stable FNV hash).
   size_t Route(const std::string& entity_id) const {
@@ -95,11 +138,20 @@ class Cluster {
   SearchResult Search(const std::string& term) const;
   SearchResult SearchPhrase(const std::vector<std::string>& words) const;
 
+  // Gathers and merges every node's wfstats export (see ClusterStats).
+  ClusterStats CollectStats() const;
+
   size_t TotalEntities() const;
 
  private:
+  SearchResult TracedSearch(const std::string& name,
+                            std::vector<std::pair<std::string, std::string>>
+                                request_fields) const;
+
   VinciBus bus_;
   std::vector<std::unique_ptr<ClusterNode>> nodes_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace wf::platform

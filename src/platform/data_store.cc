@@ -1,5 +1,6 @@
 #include "platform/data_store.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -72,13 +73,28 @@ std::vector<std::string> DataStore::Ids() const {
 
 common::Status DataStore::Save(const std::string& path) const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  for (const auto& [id, entity] : entities_) {
-    std::string record = entity.Serialize();
-    out << record.size() << "\n" << record;
+  // Write-temp-then-rename: writing `path` in place would truncate the
+  // previous good snapshot the moment the stream opens, so a crash (or a
+  // full disk) mid-save lost it. The rename is atomic, so readers see
+  // either the old complete snapshot or the new one, never a prefix.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc | std::ios::binary);
+    if (!out) return Status::IOError("cannot open for write: " + tmp_path);
+    for (const auto& [id, entity] : entities_) {
+      std::string record = entity.Serialize();
+      out << record.size() << "\n" << record;
+    }
+    out.flush();
+    if (!out) {
+      std::remove(tmp_path.c_str());
+      return Status::IOError("write failed: " + tmp_path);
+    }
   }
-  if (!out) return Status::IOError("write failed: " + path);
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("cannot rename " + tmp_path + " to " + path);
+  }
   return Status::Ok();
 }
 

@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace wf::platform {
 
 std::optional<Entity> BatchIngestor::Next() {
@@ -57,6 +59,13 @@ size_t IngestAll(Ingestor& ingestor, Cluster& cluster, size_t* duplicates) {
     }
   }
   if (duplicates != nullptr) *duplicates = dups;
+  // Per-source throughput next to the per-Put counters Cluster::Ingest
+  // keeps (source names are identifier-like, so they embed in metric names).
+  const std::string prefix = "ingest/source/" + ingestor.source_name() + "/";
+  cluster.metrics().GetCounter(prefix + "stored_total")->Add(stored);
+  if (dups > 0) {
+    cluster.metrics().GetCounter(prefix + "duplicate_total")->Add(dups);
+  }
   return stored;
 }
 

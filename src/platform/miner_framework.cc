@@ -2,6 +2,8 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "text/sentence_splitter.h"
 #include "text/tokenizer.h"
 
@@ -9,25 +11,51 @@ namespace wf::platform {
 
 using ::wf::common::Status;
 
+MinerPipeline::MinerMetrics MinerPipeline::ResolveMetrics(
+    const std::string& miner_name) const {
+  MinerMetrics handles;
+  if (metrics_ == nullptr) return handles;
+  const std::string prefix = "miner/" + miner_name + "/";
+  handles.entities = metrics_->GetCounter(prefix + "entities_total");
+  handles.failures = metrics_->GetCounter(prefix + "failures_total");
+  handles.quarantined = metrics_->GetCounter(prefix + "quarantined_total");
+  handles.stage_us = metrics_->GetHistogram(
+      prefix + "stage_us", obs::DefaultLatencyBoundsUs(), /*timing=*/true);
+  return handles;
+}
+
 void MinerPipeline::AddMiner(std::unique_ptr<EntityMiner> miner) {
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.push_back(MinerStats{miner->name()});
+  metric_handles_.push_back(ResolveMetrics(miner->name()));
   miners_.push_back(std::move(miner));
+}
+
+void MinerPipeline::AttachMetrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  metrics_ = metrics;
+  for (size_t i = 0; i < miners_.size(); ++i) {
+    metric_handles_[i] = ResolveMetrics(miners_[i]->name());
+  }
 }
 
 common::Status MinerPipeline::ProcessEntity(Entity& entity) {
   for (size_t i = 0; i < miners_.size(); ++i) {
+    MinerMetrics handles;
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       if (stats_[i].quarantined) continue;
+      handles = metric_handles_[i];
     }
-    auto start = std::chrono::steady_clock::now();
+    const uint64_t start_us = obs::MonotonicNowUs();
     Status s = miners_[i]->Process(entity);
-    auto end = std::chrono::steady_clock::now();
+    const uint64_t elapsed = obs::MonotonicNowUs() - start_us;
+    if (handles.stage_us != nullptr) handles.stage_us->Record(elapsed);
+    if (handles.entities != nullptr) handles.entities->Add(1);
+    if (!s.ok() && handles.failures != nullptr) handles.failures->Add(1);
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_[i].total_time +=
-          std::chrono::duration_cast<std::chrono::microseconds>(end - start);
+      stats_[i].total_time += std::chrono::microseconds(elapsed);
       ++stats_[i].entities;
       if (s.ok()) {
         stats_[i].consecutive_failures = 0;
@@ -38,6 +66,7 @@ common::Status MinerPipeline::ProcessEntity(Entity& entity) {
             stats_[i].consecutive_failures >= quarantine_threshold_ &&
             !stats_[i].quarantined) {
           stats_[i].quarantined = true;
+          if (handles.quarantined != nullptr) handles.quarantined->Add(1);
           WF_LOG(Warning) << "quarantining miner '" << stats_[i].name
                           << "' after " << stats_[i].consecutive_failures
                           << " consecutive failures: " << s.ToString();

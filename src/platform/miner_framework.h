@@ -11,6 +11,12 @@
 #include "platform/data_store.h"
 #include "platform/entity.h"
 
+namespace wf::obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace wf::obs
+
 namespace wf::platform {
 
 // Entity-level miner (§2): processes one entity at a time, with no
@@ -59,6 +65,14 @@ class MinerPipeline {
 
   void AddMiner(std::unique_ptr<EntityMiner> miner);
 
+  // Attaches a metrics registry: per-miner stage timings, entity/failure
+  // counters, and quarantine events are then mirrored to it under
+  // miner/<name>/... (DESIGN.md §8). Handles are resolved once per miner,
+  // so the per-entity hot path costs two counter bumps and one histogram
+  // record. Configuration, not data-path: attach before processing starts.
+  // The registry must outlive this pipeline; nullptr detaches.
+  void AttachMetrics(obs::MetricsRegistry* metrics);
+
   // Runs every non-quarantined miner over the entity, in order. Stops at
   // (and returns) the first failure; quarantined miners are skipped.
   common::Status ProcessEntity(Entity& entity);
@@ -83,8 +97,21 @@ class MinerPipeline {
   void ClearQuarantines();
 
  private:
+  // Pre-resolved registry handles for one miner (null when no registry is
+  // attached).
+  struct MinerMetrics {
+    obs::Counter* entities = nullptr;
+    obs::Counter* failures = nullptr;
+    obs::Counter* quarantined = nullptr;
+    obs::Histogram* stage_us = nullptr;
+  };
+
+  MinerMetrics ResolveMetrics(const std::string& miner_name) const;
+
   std::vector<std::unique_ptr<EntityMiner>> miners_;
   size_t quarantine_threshold_ = kDefaultQuarantineThreshold;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::vector<MinerMetrics> metric_handles_;  // parallel to miners_
   // Guards stats_. AddMiner is configuration, not data-path: it must not
   // run concurrently with processing (miners_ itself is unguarded).
   mutable std::mutex stats_mu_;

@@ -3,12 +3,39 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "platform/sentiment_miner_plugin.h"
 
 namespace wf::platform {
 
 using ::wf::common::Status;
 using ::wf::lexicon::Polarity;
+
+namespace {
+
+// Coverage/outcome metrics shared by both query services, recorded under
+// query/<service>/... on the cluster registry (DESIGN.md §8).
+void RecordQueryMetrics(const obs::MetricsRegistry& metrics,
+                        const std::string& service,
+                        const SentimentQueryResult& result) {
+  const std::string prefix = "query/" + service + "/";
+  metrics.GetCounter(prefix + "requests_total")->Add(1);
+  metrics.GetCounter(prefix + (result.complete() ? "complete_total"
+                                                 : "partial_total"))
+      ->Add(1);
+  if (result.fetch_failures > 0) {
+    metrics.GetCounter(prefix + "fetch_failures_total")
+        ->Add(result.fetch_failures);
+  }
+  metrics.GetCounter(prefix + "hits_total")->Add(result.hits.size());
+  metrics.GetCounter(prefix + "nodes_scattered_total")
+      ->Add(result.nodes_total);
+  metrics.GetCounter(prefix + "nodes_responded_total")
+      ->Add(result.nodes_responded);
+}
+
+}  // namespace
 
 common::Status SentimentQueryService::RegisterService() {
   return cluster_->bus().RegisterService(
@@ -96,6 +123,9 @@ std::vector<SentimentHit> SentimentQueryService::FetchHits(
 
 SentimentQueryResult SentimentQueryService::Query(const std::string& subject,
                                                   size_t max_hits) const {
+  obs::ScopedTimer timer(cluster_->metrics().GetHistogram(
+      "query/offline/latency_us", obs::DefaultLatencyBoundsUs(),
+      /*timing=*/true));
   SentimentQueryResult result;
   result.subject = subject;
 
@@ -124,11 +154,15 @@ SentimentQueryResult SentimentQueryService::Query(const std::string& subject,
       &result.fetch_failures);
   result.hits = std::move(pos);
   result.hits.insert(result.hits.end(), neg.begin(), neg.end());
+  RecordQueryMetrics(cluster_->metrics(), "offline", result);
   return result;
 }
 
 SentimentQueryResult RuntimeSentimentQueryService::Query(
     const std::string& subject, size_t max_hits) const {
+  obs::ScopedTimer timer(cluster_->metrics().GetHistogram(
+      "query/runtime/latency_us", obs::DefaultLatencyBoundsUs(),
+      /*timing=*/true));
   SentimentQueryResult result;
   result.subject = subject;
 
@@ -179,6 +213,7 @@ SentimentQueryResult RuntimeSentimentQueryService::Query(
     hit.pattern = m.pattern;
     result.hits.push_back(std::move(hit));
   }
+  RecordQueryMetrics(cluster_->metrics(), "runtime", result);
   return result;
 }
 

@@ -9,6 +9,9 @@
 #include "common/hash.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 #include "platform/fault.h"
 
 namespace wf::platform {
@@ -144,20 +147,42 @@ void VinciBus::SimulateLatency(uint64_t extra_us) const {
   std::this_thread::sleep_for(std::chrono::microseconds(us));
 }
 
+void VinciBus::Count(const std::string& name, uint64_t delta) const {
+  if (obs::MetricsRegistry* m = metrics_.load(std::memory_order_acquire)) {
+    m->GetCounter(name)->Add(delta);
+  }
+}
+
+void VinciBus::SetBreakerGauge(const std::string& service,
+                               int64_t state) const {
+  if (obs::MetricsRegistry* m = metrics_.load(std::memory_order_acquire)) {
+    m->GetGauge("vinci/breaker/state/" + service)->Set(state);
+  }
+}
+
 void VinciBus::RecordOutcome(const std::string& service, bool ok) const {
   std::lock_guard<std::mutex> lock(breaker_mu_);
   Breaker& b = breakers_[service];
   if (ok) {
+    if (b.open) {
+      // Successful half-open probe: the circuit closes.
+      Count("vinci/breaker/close_total");
+      SetBreakerGauge(service, 0);
+    }
     b = Breaker{};  // success closes the circuit and clears the streak
     return;
   }
   ++b.consecutive_failures;
   if (b.open) {
     b.rejections = 0;  // failed half-open probe: new rejection window
+    Count("vinci/breaker/open_total");
+    SetBreakerGauge(service, 1);
   } else if (breaker_config_.failure_threshold > 0 &&
              b.consecutive_failures >= breaker_config_.failure_threshold) {
     b.open = true;
     b.rejections = 0;
+    Count("vinci/breaker/open_total");
+    SetBreakerGauge(service, 1);
   }
 }
 
@@ -165,16 +190,41 @@ common::Result<std::string> VinciBus::CallOnce(const std::string& service,
                                                const std::string& request,
                                                bool* breaker_rejected) const {
   *breaker_rejected = false;
+  // Client-side child span: only requests that carry trace context (see
+  // AppendContext) produce one, so untraced traffic stays span-free and
+  // identically-seeded traced runs replay the exact same span set.
+  obs::Span span;
+  if (obs::Tracer* tracer = tracer_.load(std::memory_order_acquire)) {
+    obs::SpanContext parent;
+    parent.trace_id = obs::IdFromHex(GetMessageField(request, obs::kTraceIdKey));
+    parent.span_id = obs::IdFromHex(GetMessageField(request, obs::kSpanIdKey));
+    span = tracer->StartSpan(parent, service);
+  }
+  auto finish = [&span, this, &service](const char* status,
+                                        common::Result<std::string> result) {
+    if (span.active()) span.SetAttr("status", status);
+    if (!result.ok()) Count("vinci/failures/" + service);
+    return result;
+  };
   {
     std::lock_guard<std::mutex> lock(breaker_mu_);
     Breaker& b = breakers_[service];
     if (b.open && b.rejections < breaker_config_.open_rejections) {
       ++b.rejections;
       *breaker_rejected = true;
+      Count("vinci/breaker/rejected/" + service);
+      if (span.active()) {
+        span.SetAttr("status", "rejected");
+        span.SetAttr("breaker", "open");
+      }
       return Status::Unavailable("circuit open: " + service);
     }
-    // Circuit open with the rejection window spent: fall through as the
-    // half-open probe.
+    if (b.open) {
+      // Circuit open with the rejection window spent: fall through as the
+      // half-open probe.
+      Count("vinci/breaker/half_open_total");
+      SetBreakerGauge(service, 2);
+    }
   }
   // Service resolution is a local registry lookup — a miss costs no
   // simulated network round trip and says nothing about service health.
@@ -183,11 +233,19 @@ common::Result<std::string> VinciBus::CallOnce(const std::string& service,
     std::lock_guard<std::mutex> lock(mu_);
     auto it = services_.find(service);
     if (it == services_.end()) {
+      if (span.active()) span.SetAttr("status", "not_found");
       return Status::NotFound("no service: " + service);
     }
     handler = it->second;
     ++call_counts_[service];
   }
+  Count("vinci/calls/" + service);
+  obs::Histogram* latency = nullptr;
+  if (obs::MetricsRegistry* m = metrics_.load(std::memory_order_acquire)) {
+    latency = m->GetHistogram("vinci/latency_us/" + service,
+                              obs::DefaultLatencyBoundsUs(), /*timing=*/true);
+  }
+  obs::ScopedTimer timer(latency);
   uint64_t extra_latency_us = 0;
   bool corrupt_response = false;
   if (FaultInjector* injector =
@@ -195,7 +253,8 @@ common::Result<std::string> VinciBus::CallOnce(const std::string& service,
     FaultInjector::Decision d = injector->Decide(service);
     if (d.action == FaultInjector::Decision::Action::kUnavailable) {
       RecordOutcome(service, false);
-      return Status::Unavailable("injected unavailable: " + service);
+      return finish("unavailable",
+                    Status::Unavailable("injected unavailable: " + service));
     }
     corrupt_response = d.action == FaultInjector::Decision::Action::kCorrupt;
     extra_latency_us = d.extra_latency_us;
@@ -207,10 +266,11 @@ common::Result<std::string> VinciBus::CallOnce(const std::string& service,
     // Real Vinci frames carry end-to-end checksums; a mangled response is
     // detected at the client, not silently consumed.
     RecordOutcome(service, false);
-    return Status::Corruption("response checksum mismatch: " + service);
+    return finish("corruption",
+                  Status::Corruption("response checksum mismatch: " + service));
   }
   RecordOutcome(service, true);
-  return response;
+  return finish("ok", std::move(response));
 }
 
 common::Result<std::string> VinciBus::Call(const std::string& service,
@@ -222,16 +282,25 @@ common::Result<std::string> VinciBus::Call(const std::string& service,
 common::Result<std::string> VinciBus::Call(const std::string& service,
                                            const std::string& request,
                                            const CallOptions& options) const {
-  const auto start = std::chrono::steady_clock::now();
-  auto elapsed_us = [&start] {
-    return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - start)
-            .count());
+  const uint64_t start_us = obs::MonotonicNowUs();
+  auto elapsed_us = [start_us] { return obs::MonotonicNowUs() - start_us; };
+  // Retries actually performed, recorded on every exit path so the
+  // distribution covers successes, exhausted budgets, and deadline cuts.
+  auto record_retries = [this, &service](int retries) {
+    if (obs::MetricsRegistry* m = metrics_.load(std::memory_order_acquire)) {
+      m->GetHistogram("vinci/retries_per_call", obs::DefaultRetryBounds(),
+                      /*timing=*/false)
+          ->Record(static_cast<uint64_t>(retries));
+      if (retries > 0) {
+        m->GetCounter("vinci/retry_total/" + service)
+            ->Add(static_cast<uint64_t>(retries));
+      }
+    }
   };
   double backoff_us = static_cast<double>(options.initial_backoff_us);
   for (int attempt = 0;; ++attempt) {
     if (options.deadline_us > 0 && elapsed_us() >= options.deadline_us) {
+      record_retries(attempt);
       return Status::DeadlineExceeded("deadline exceeded calling " + service);
     }
     bool breaker_rejected = false;
@@ -239,13 +308,20 @@ common::Result<std::string> VinciBus::Call(const std::string& service,
     if (options.deadline_us > 0 && elapsed_us() > options.deadline_us) {
       // The response exists, but it landed after the caller's budget — the
       // caller has moved on, exactly like a late RPC on a real cluster.
+      record_retries(attempt);
       return Status::DeadlineExceeded("deadline exceeded calling " + service);
     }
-    if (result.ok()) return result;
+    if (result.ok()) {
+      record_retries(attempt);
+      return result;
+    }
     StatusCode code = result.status().code();
     bool retryable = !breaker_rejected && (code == StatusCode::kUnavailable ||
                                            code == StatusCode::kCorruption);
-    if (!retryable || attempt >= options.max_retries) return result;
+    if (!retryable || attempt >= options.max_retries) {
+      record_retries(attempt);
+      return result;
+    }
     uint64_t sleep_us = static_cast<uint64_t>(std::min(
         backoff_us, static_cast<double>(options.max_backoff_us)));
     // Jitter in [0.5, 1.5): deterministic per draw, but desynchronized
@@ -257,6 +333,7 @@ common::Result<std::string> VinciBus::Call(const std::string& service,
                                  (0.5 + jitter_rng.Double())));
     if (options.deadline_us > 0 &&
         elapsed_us() + sleep_us >= options.deadline_us) {
+      record_retries(attempt);
       return Status::DeadlineExceeded("deadline exceeded calling " + service);
     }
     std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
@@ -319,6 +396,9 @@ BreakerState VinciBus::breaker_state(const std::string& service) const {
 
 void VinciBus::ResetBreakers() {
   std::lock_guard<std::mutex> lock(breaker_mu_);
+  for (const auto& [service, breaker] : breakers_) {
+    if (breaker.open) SetBreakerGauge(service, 0);
+  }
   breakers_.clear();
 }
 

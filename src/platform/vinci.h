@@ -11,6 +11,11 @@
 
 #include "common/status.h"
 
+namespace wf::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace wf::obs
+
 namespace wf::platform {
 
 class FaultInjector;
@@ -86,6 +91,23 @@ class VinciBus {
     fault_injector_.store(injector, std::memory_order_release);
   }
 
+  // Attaches a metrics registry; every dispatch then records per-service
+  // call/failure counters, breaker transitions, retry counts, and latency
+  // histograms (see DESIGN.md §8 for the naming scheme). nullptr detaches.
+  // The registry must outlive its attachment.
+  void AttachMetrics(obs::MetricsRegistry* metrics) {
+    metrics_.store(metrics, std::memory_order_release);
+  }
+
+  // Attaches a tracer; a dispatched call whose request carries trace
+  // context (obs::kTraceIdKey / obs::kSpanIdKey fields) then records a
+  // client-side child span named after the target service, stitching a
+  // scatter into one parent/child trace. Requests without context trace
+  // nothing. nullptr detaches. The tracer must outlive its attachment.
+  void AttachTracer(obs::Tracer* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
+  }
+
   // Registers a service; AlreadyExists if the name is taken.
   common::Status RegisterService(const std::string& name, Handler handler);
   common::Status UnregisterService(const std::string& name);
@@ -140,12 +162,19 @@ class VinciBus {
   // Records an attempt outcome; NotFound is a resolution miss, not a
   // service failure, and is never recorded.
   void RecordOutcome(const std::string& service, bool ok) const;
+  // Bumps a counter on the attached registry, if any.
+  void Count(const std::string& name, uint64_t delta = 1) const;
+  // Sets the per-service breaker-state gauge (0 closed, 1 open, 2 half-open)
+  // on the attached registry, if any.
+  void SetBreakerGauge(const std::string& service, int64_t state) const;
 
   mutable std::mutex mu_;
   std::map<std::string, Handler> services_;
   mutable std::map<std::string, size_t> call_counts_;
   std::atomic<uint64_t> simulated_latency_us_{0};
   std::atomic<FaultInjector*> fault_injector_{nullptr};
+  std::atomic<obs::MetricsRegistry*> metrics_{nullptr};
+  std::atomic<obs::Tracer*> tracer_{nullptr};
 
   mutable std::mutex breaker_mu_;
   BreakerConfig breaker_config_;

@@ -502,6 +502,28 @@ void CheckUncheckedRpc(const SourceFile& file,
   }
 }
 
+void CheckPlatformRawTiming(const SourceFile& file,
+                            const std::vector<std::string>& lines,
+                            std::vector<Violation>* out) {
+  // Platform code must time through wf_obs (obs::MonotonicNowUs or
+  // obs::ScopedTimer): a raw clock read is either a duration that bypasses
+  // the timing histograms or an unquarantined source of nondeterminism.
+  // wf_obs itself (src/obs/) is the sanctioned home of the one raw read,
+  // and is outside this rule's path scope by construction.
+  if (file.path.find("platform/") == std::string::npos) return;
+  static const std::regex kClockNowRe(
+      R"(\b(steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\()");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(lines[i], m, kClockNowRe)) continue;
+    out->push_back({file.path, i + 1, "platform-raw-timing",
+                    "raw " + m[1].str() +
+                        "::now() in platform code; time through "
+                        "obs::MonotonicNowUs()/obs::ScopedTimer so durations "
+                        "land in wf_obs timing histograms (DESIGN.md §8)"});
+  }
+}
+
 }  // namespace
 
 // --- Public API -------------------------------------------------------------
@@ -520,6 +542,9 @@ const std::vector<RuleInfo>& Rules() {
       {"float-equality", "EXPECT_EQ/ASSERT_EQ against a float literal"},
       {"unchecked-rpc",
        "query-path bus Call whose Result status is never checked"},
+      {"platform-raw-timing",
+       "raw std::chrono clock read in platform code instead of wf_obs "
+       "timers"},
       {"unknown-rule", "wflint allow() comment names an unknown rule"},
   };
   return *kRules;
@@ -563,6 +588,7 @@ std::vector<Violation> Linter::Lint(const SourceFile& file) const {
   CheckFloatEquality(file, lines, &found);
   CheckDiscardedStatus(file, lines, fallible_, &found);
   CheckUncheckedRpc(file, lines, &found);
+  CheckPlatformRawTiming(file, lines, &found);
 
   std::vector<Violation> out;
   for (Violation& v : found) {

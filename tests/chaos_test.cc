@@ -14,6 +14,8 @@
 #include "common/logging.h"
 #include "gtest/gtest.h"
 #include "lexicon/pattern_db.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "lexicon/sentiment_lexicon.h"
 #include "platform/cluster.h"
 #include "platform/fault.h"
@@ -384,11 +386,13 @@ TEST(ChaosAcceptanceTest, DegradedQueriesCompleteAndRecoverToBaseline) {
   cluster.bus().SetBreakerConfig(
       {/*failure_threshold=*/3, /*open_rejections=*/2});
 
-  // Fault-free baseline.
+  // Fault-free baseline — for the answers and for the wf_obs counters.
   SentimentQueryResult baseline = service.Query("Kodak");
   EXPECT_EQ(baseline.positive_docs, 4u);
   EXPECT_EQ(baseline.negative_docs, 4u);
   EXPECT_TRUE(baseline.complete());
+  const uint64_t opens_before =
+      cluster.metrics().Snapshot().CounterValue("vinci/breaker/open_total");
 
   // Chaos: 20% of calls to any node service fail, and node 1 is cut off
   // from the network entirely.
@@ -414,6 +418,24 @@ TEST(ChaosAcceptanceTest, DegradedQueriesCompleteAndRecoverToBaseline) {
   EXPECT_GT(injector.counters().partitioned, 0u);
   EXPECT_GT(injector.counters().failed, 0u);
 
+  // The same story, told by metrics alone: the partitioned node's repeated
+  // failures tripped breakers (the open counter rose) and the resilient
+  // calls spent retries (the retry histogram filled in).
+  {
+    obs::MetricsSnapshot degraded_metrics = cluster.metrics().Snapshot();
+    EXPECT_GT(degraded_metrics.CounterValue("vinci/breaker/open_total"),
+              opens_before);
+    const obs::HistogramSnapshot* retries =
+        degraded_metrics.FindHistogram("vinci/retries_per_call");
+    ASSERT_NE(retries, nullptr);
+    EXPECT_GT(retries->count, 0u);
+    uint64_t retried = 0;
+    for (const auto& [name, value] : degraded_metrics.counters) {
+      if (name.rfind("vinci/retry_total/", 0) == 0) retried += value;
+    }
+    EXPECT_GT(retried, 0u);
+  }
+
   // Faults clear. Warm-up queries drain the open breakers' rejection
   // windows and let their half-open probes succeed.
   injector.HealAll();
@@ -433,6 +455,21 @@ TEST(ChaosAcceptanceTest, DegradedQueriesCompleteAndRecoverToBaseline) {
     }
   }
   ASSERT_TRUE(breakers_closed);
+
+  // Back at baseline by the metrics' account too: every breaker-state
+  // gauge reads closed (0), and successful probes recorded closes.
+  {
+    obs::MetricsSnapshot healed_metrics = cluster.metrics().Snapshot();
+    size_t state_gauges = 0;
+    for (const auto& [name, value] : healed_metrics.gauges) {
+      if (name.rfind("vinci/breaker/state/", 0) == 0) {
+        ++state_gauges;
+        EXPECT_EQ(value, 0) << name;
+      }
+    }
+    EXPECT_GT(state_gauges, 0u);
+    EXPECT_GT(healed_metrics.CounterValue("vinci/breaker/close_total"), 0u);
+  }
 
   // With the cluster healed and every circuit closed, the answer is
   // indistinguishable from the fault-free baseline.
@@ -468,6 +505,56 @@ TEST(ChaosAcceptanceTest, IdenticalSeedsReplayIdenticalDegradedRuns) {
   // Thread interleaving inside the scatters differs between runs; the
   // fault verdicts — and therefore the answers — must not.
   EXPECT_EQ(run(), run());
+}
+
+TEST(ChaosAcceptanceTest, TracedSearchUnderFaultsExportsOneStitchedTrace) {
+  auto lexicon = lexicon::SentimentLexicon::Embedded();
+  auto patterns = lexicon::PatternDatabase::Embedded();
+
+  // One traced scatter/gather search on a degraded cluster, twice from the
+  // same seeds. Spans carry no timestamps and their ids are pure functions
+  // of (tracer seed, parent, name, sibling order), so the two exports must
+  // be byte-identical even though thread scheduling and retry backoffs are
+  // not.
+  auto run = [&lexicon, &patterns] {
+    Cluster cluster(4);
+    BuildSentimentCluster(&cluster, &lexicon, &patterns);
+    obs::Tracer tracer(20250806);
+    cluster.AttachTracer(&tracer);
+    FaultInjector injector(20250806);
+    FaultPolicy flaky;
+    flaky.fail_probability = 0.2;
+    injector.SetPolicy("node/", flaky);
+    injector.Partition("node/1/");
+    cluster.bus().AttachFaultInjector(&injector);
+    (void)cluster.Search("kodak");
+    return tracer.ExportText();
+  };
+
+  std::string text = run();
+  EXPECT_EQ(text, run());
+
+  // Exactly one root span — the query — and it reports its coverage.
+  size_t roots = 0, pos = 0;
+  while ((pos = text.find("parent=-", pos)) != std::string::npos) {
+    ++roots;
+    pos += 8;
+  }
+  EXPECT_EQ(roots, 1u);
+  size_t name_at = text.find("name=cluster/search");
+  ASSERT_NE(name_at, std::string::npos);
+  EXPECT_NE(text.find("nodes_total=4"), std::string::npos);
+
+  // Every node's search call is a child of that root — including the
+  // partitioned node's, whose span simply records the failure.
+  size_t span_at = text.rfind("span=", name_at);
+  ASSERT_NE(span_at, std::string::npos);
+  std::string root_hex = text.substr(span_at + 5, 16);
+  for (size_t n = 0; n < 4; ++n) {
+    std::string child = "parent=" + root_hex + " name=node/" +
+                        std::to_string(n) + "/search";
+    EXPECT_NE(text.find(child), std::string::npos) << child << "\n" << text;
+  }
 }
 
 }  // namespace

@@ -138,6 +138,41 @@ TEST(DataStoreTest, SaveLoadRoundTrip) {
   std::filesystem::remove(path);
 }
 
+TEST(DataStoreTest, FailedSavePreservesThePreviousSnapshot) {
+  // Save goes through <path>.tmp + atomic rename; a save that cannot write
+  // must leave the previous on-disk snapshot fully loadable (the old
+  // in-place write truncated it on open).
+  std::string path = "/tmp/wf_datastore_atomic_test.wfs";
+  std::string tmp_path = path + ".tmp";
+  std::filesystem::remove_all(path);
+  std::filesystem::remove_all(tmp_path);
+
+  DataStore store;
+  ASSERT_TRUE(store.Put(MakeEntity("keep")).ok());
+  ASSERT_TRUE(store.Save(path).ok());
+  EXPECT_FALSE(std::filesystem::exists(tmp_path));  // no residue on success
+
+  // Block the temp file with a directory of the same name: the new save
+  // fails before it can touch `path`.
+  ASSERT_TRUE(std::filesystem::create_directory(tmp_path));
+  ASSERT_TRUE(store.Put(MakeEntity("extra")).ok());
+  EXPECT_EQ(store.Save(path).code(), common::StatusCode::kIOError);
+
+  DataStore survivor;
+  ASSERT_TRUE(survivor.Load(path).ok());
+  EXPECT_EQ(survivor.size(), 1u);
+  EXPECT_TRUE(survivor.Contains("keep"));
+
+  // Unblocked, the same save lands both entities and cleans up its temp.
+  std::filesystem::remove_all(tmp_path);
+  ASSERT_TRUE(store.Save(path).ok());
+  EXPECT_FALSE(std::filesystem::exists(tmp_path));
+  DataStore reloaded;
+  ASSERT_TRUE(reloaded.Load(path).ok());
+  EXPECT_EQ(reloaded.size(), 2u);
+  std::filesystem::remove(path);
+}
+
 TEST(DataStoreTest, LoadMissingFileFails) {
   DataStore store;
   EXPECT_EQ(store.Load("/tmp/definitely_not_here.wfs").code(),

@@ -263,6 +263,62 @@ TEST(UncheckedRpcTest, IgnoresCheckedCallsAssignmentsAndOtherLayers) {
       "unchecked-rpc"));
 }
 
+// --- platform-raw-timing ----------------------------------------------------
+
+TEST(PlatformRawTimingTest, FlagsRawClockReadsInPlatformCode) {
+  const std::string src =
+      "void Run() {\n"
+      "  auto a = std::chrono::steady_clock::now();\n"
+      "  auto b = std::chrono::system_clock::now();\n"
+      "  auto c = std::chrono::high_resolution_clock::now();\n"
+      "}\n";
+  std::vector<Violation> vs = LintSnippet("src/platform/vinci.cc", src);
+  size_t hits = 0;
+  for (const Violation& v : vs) {
+    if (v.rule == "platform-raw-timing") ++hits;
+  }
+  EXPECT_EQ(hits, 3u);
+}
+
+TEST(PlatformRawTimingTest, IgnoresObsTimersAndOtherLayers) {
+  // The sanctioned replacements in platform code are clean.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/platform/vinci.cc",
+                  "void Run(obs::Histogram* h) {\n"
+                  "  obs::ScopedTimer timer(h);\n"
+                  "  uint64_t t = obs::MonotonicNowUs();\n"
+                  "}\n"),
+      "platform-raw-timing"));
+  // The identical raw read outside platform/ (wf_obs itself, core, tests)
+  // is out of scope.
+  const std::string raw =
+      "void Run() {\n"
+      "  auto t = std::chrono::steady_clock::now();\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(LintSnippet("src/obs/timer.cc", raw),
+                       "platform-raw-timing"));
+  EXPECT_FALSE(HasRule(LintSnippet("src/core/miner.cc", raw),
+                       "platform-raw-timing"));
+  // sleep_for and duration arithmetic are not clock reads.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/platform/vinci.cc",
+                  "void Run() {\n"
+                  "  std::this_thread::sleep_for(\n"
+                  "      std::chrono::microseconds(10));\n"
+                  "}\n"),
+      "platform-raw-timing"));
+}
+
+TEST(PlatformRawTimingTest, HonorsAllowSuppression) {
+  const std::string src =
+      "// wflint: allow(platform-raw-timing)\n"
+      "void Run() {\n"
+      "  auto t = std::chrono::steady_clock::now();\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(LintSnippet("src/platform/vinci.cc", src),
+                       "platform-raw-timing"));
+}
+
 // --- suppressions -----------------------------------------------------------
 
 TEST(SuppressionTest, FileLevelAllowSilencesNamedRuleOnly) {
