@@ -6,6 +6,7 @@
 // hold in the simulation.
 
 #include <chrono>
+#include <filesystem>
 #include <thread>
 #include <cstdio>
 #include <memory>
@@ -168,6 +169,77 @@ int main() {
   cluster.bus().ResetBreakers();
   measure("healed, breakers reset");
   std::printf("%s", rtable.ToString().c_str());
+
+  // --- Recovery: durability tax and crash/restart cost (4 nodes) -----------
+  // The WAL append barrier prices every ingest; checkpoints amortise replay;
+  // a crashed node restarts from its newest snapshot plus the WAL tail.
+  std::printf("%s", eval::Banner("Recovery — WAL ingest, checkpoint, and "
+                                 "crash/restart cost (4 nodes)")
+                        .c_str());
+  const std::string dur_dir =
+      "/tmp/wf_bench_recovery_" + std::to_string(seed % 100000);
+  std::filesystem::remove_all(dur_dir);
+  std::filesystem::create_directories(dur_dir);
+  {
+    platform::Cluster durable(4);
+    WF_CHECK_OK(durable.EnableDurability({dur_dir, 0}));
+    durable.DeployMiner([&lex, &patterns] {
+      return std::make_unique<platform::AdHocSentimentMinerPlugin>(&lex,
+                                                                   &patterns);
+    });
+
+    auto t0 = Clock::now();
+    platform::BatchIngestor dur_ingestor("crawl", docs);
+    size_t stored = platform::IngestAll(dur_ingestor, durable);
+    auto t1 = Clock::now();
+    durable.MineAndIndexAll();
+
+    auto t2 = Clock::now();
+    WF_CHECK_OK(durable.CheckpointAll());
+    auto t3 = Clock::now();
+
+    // Land a slice of fresh writes after the checkpoint so the restarted
+    // node has a WAL tail to replay, then kill and restart it.
+    std::vector<std::pair<std::string, std::string>> tail_docs;
+    for (size_t i = 0; i < docs.size() / 4; ++i) {
+      tail_docs.emplace_back("tail-" + std::to_string(i), docs[i].second);
+    }
+    platform::BatchIngestor tail_ingestor("crawl", tail_docs);
+    (void)platform::IngestAll(tail_ingestor, durable);
+
+    const size_t victim = 1;
+    auto t4 = Clock::now();
+    WF_CHECK_OK(durable.CrashNode(victim));
+    WF_CHECK_OK(durable.RestartNode(victim));
+    auto t5 = Clock::now();
+
+    double ingest_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    double checkpoint_ms =
+        std::chrono::duration<double, std::milli>(t3 - t2).count();
+    double restart_ms =
+        std::chrono::duration<double, std::milli>(t5 - t4).count();
+    platform::ClusterStats dur_stats = durable.CollectStats();
+    uint64_t replayed =
+        dur_stats.merged.CounterValue("wal/replayed_records_total");
+
+    eval::TablePrinter dtable({"Entities", "Durable ingest ms",
+                               "Checkpoint ms", "Crash+restart ms",
+                               "Records replayed"});
+    dtable.AddRow({std::to_string(stored),
+                   common::StrFormat("%.1f", ingest_ms),
+                   common::StrFormat("%.1f", checkpoint_ms),
+                   common::StrFormat("%.1f", restart_ms),
+                   std::to_string(replayed)});
+    std::printf("%s", dtable.ToString().c_str());
+    json.AddRow("recovery",
+                {bench::Int("entities", stored),
+                 bench::Num("durable_ingest_ms", ingest_ms),
+                 bench::Num("checkpoint_ms", checkpoint_ms),
+                 bench::Num("crash_restart_ms", restart_ms),
+                 bench::Int("replayed_records", replayed)});
+  }
+  std::filesystem::remove_all(dur_dir);
 
   // Cluster-wide wf_obs roll-up (call/retry/breaker counters, latency
   // histograms) rides along in the JSON for post-hoc analysis.

@@ -46,8 +46,11 @@ if [[ "${WF_CHECK_TSAN:-0}" == "1" ]]; then
   # obs_test is in the list deliberately: the lock-striped MetricsRegistry
   # and the tracer's concurrent span recording are the newest threaded code,
   # and its JSON checker doubles as the malformed-wfstats-export gate.
+  # durability_test exercises the WAL/checkpoint layer under the node
+  # mutex from the chaos harness's concurrent paths.
   for t in obs_test platform_test platform_miners_test property_test \
-           robustness_test chaos_test agreement_test integration_test; do
+           robustness_test chaos_test durability_test agreement_test \
+           integration_test; do
     step "TSan: ${t}"
     "./build-tsan/tests/${t}"
   done

@@ -94,6 +94,119 @@ common::Status ClusterNode::RegisterServices(VinciBus* bus) {
   return Status::Ok();
 }
 
+void ClusterNode::UnregisterServices(VinciBus* bus) {
+  // Ignore NotFound: crashing an already-deregistered node must be benign.
+  (void)bus->UnregisterService(ServiceName("search"));
+  (void)bus->UnregisterService(ServiceName("stats"));
+  (void)bus->UnregisterService(ServiceName("fetch"));
+  (void)bus->UnregisterService(StatsServiceName());
+}
+
+common::Status ClusterNode::EnableDurability(
+    const std::string& dir, common::StorageFaultInjector* injector,
+    uint64_t checkpoint_every_appends) {
+  std::lock_guard<std::mutex> lock(dur_mu_);
+  if (wal_.is_open()) {
+    return Status::FailedPrecondition("durability already enabled");
+  }
+  injector_ = injector;
+  store_path_ = common::StrFormat("%s/node-%zu.store", dir.c_str(), id_);
+  index_path_ = common::StrFormat("%s/node-%zu.idx", dir.c_str(), id_);
+  checkpoint_every_appends_ = checkpoint_every_appends;
+  appends_since_checkpoint_ = 0;
+  return wal_.Open(common::StrFormat("%s/node-%zu.wal", dir.c_str(), id_),
+                   injector);
+}
+
+common::Status ClusterNode::Ingest(Entity entity) {
+  if (store_.Contains(entity.id())) {
+    return Status::AlreadyExists("entity exists: " + entity.id());
+  }
+  if (!wal_.is_open()) return store_.Put(std::move(entity));
+  std::lock_guard<std::mutex> lock(dur_mu_);
+  // Log-then-store: the WAL append is the ack barrier. If it fails the
+  // write was never acked, so the store must not accept it either.
+  Status logged = wal_.Append(entity.Serialize());
+  if (!logged.ok()) {
+    metrics_.GetCounter("wal/append_failures_total")->Add(1);
+    return logged;
+  }
+  metrics_.GetCounter("wal/appends_total")->Add(1);
+  WF_RETURN_IF_ERROR(store_.Put(std::move(entity)));
+  if (checkpoint_every_appends_ > 0 &&
+      ++appends_since_checkpoint_ >= checkpoint_every_appends_) {
+    // Best effort: the write is already durable in the WAL, so a failed
+    // auto-checkpoint is counted but does not fail the acked ingest.
+    if (!CheckpointLocked().ok()) {
+      metrics_.GetCounter("wal/checkpoint_failures_total")->Add(1);
+    }
+  }
+  return Status::Ok();
+}
+
+common::Status ClusterNode::Checkpoint() {
+  std::lock_guard<std::mutex> lock(dur_mu_);
+  return CheckpointLocked();
+}
+
+common::Status ClusterNode::CheckpointLocked() {
+  if (!wal_.is_open()) {
+    return Status::FailedPrecondition("durability not enabled");
+  }
+  obs::ScopedTimer timer(metrics_.GetHistogram(
+      "wal/checkpoint_us", obs::DefaultLatencyBoundsUs(), /*timing=*/true));
+  // Snapshots first, WAL truncation last: until Reset() succeeds every
+  // acked record is still replayable, so a crash anywhere in here loses
+  // nothing (the next recovery just replays on top of whichever snapshot
+  // generation the atomic renames left behind).
+  WF_RETURN_IF_ERROR(store_.Save(store_path_, injector_));
+  WF_RETURN_IF_ERROR(index_.Save(index_path_, injector_));
+  WF_RETURN_IF_ERROR(wal_.Reset());
+  appends_since_checkpoint_ = 0;
+  metrics_.GetCounter("wal/checkpoints_total")->Add(1);
+  return Status::Ok();
+}
+
+common::Status ClusterNode::Recover() {
+  std::lock_guard<std::mutex> lock(dur_mu_);
+  if (!wal_.is_open()) {
+    return Status::FailedPrecondition("durability not enabled");
+  }
+  obs::ScopedTimer timer(metrics_.GetHistogram(
+      "wal/recovery_us", obs::DefaultLatencyBoundsUs(), /*timing=*/true));
+  // Newest checkpoint first (absence just means a never-checkpointed
+  // node); each snapshot is atomic so it is old-or-new, never a prefix —
+  // but a corrupt one must stop recovery, not load silently wrong.
+  if (common::FileExists(store_path_)) {
+    WF_RETURN_IF_ERROR(store_.Load(store_path_));
+  }
+  if (common::FileExists(index_path_)) {
+    WF_RETURN_IF_ERROR(index_.Load(index_path_));
+  }
+  // Then everything acked since: replay the WAL, stopping cleanly at a
+  // torn tail. Upsert keeps replay idempotent over the checkpoint.
+  auto replay_or = WriteAheadLog::Replay(wal_.path());
+  if (!replay_or.ok()) return replay_or.status();
+  const WriteAheadLog::ReplayResult& replay = replay_or.value();
+  for (const std::string& record : replay.records) {
+    WF_ASSIGN_OR_RETURN(Entity entity, Entity::Deserialize(record));
+    index_.IndexEntity(entity);
+    store_.Upsert(std::move(entity));
+  }
+  metrics_.GetCounter("wal/replayed_records_total")
+      ->Add(replay.records.size());
+  if (replay.torn_tail) {
+    metrics_.GetCounter("wal/torn_tail_detected_total")->Add(1);
+  }
+  metrics_.GetGauge("store/entities")
+      ->Set(static_cast<int64_t>(store_.size()));
+  metrics_.GetGauge("index/vocabulary")
+      ->Set(static_cast<int64_t>(index_.vocabulary_size()));
+  // Compact immediately: the checkpoint truncates the WAL — discarding
+  // any torn tail — before this handle appends behind it.
+  return CheckpointLocked();
+}
+
 Cluster::Cluster(size_t num_nodes) {
   WF_CHECK(num_nodes > 0);
   bus_.AttachMetrics(&metrics_);
@@ -102,11 +215,25 @@ Cluster::Cluster(size_t num_nodes) {
     nodes_.push_back(std::make_unique<ClusterNode>(i));
     WF_CHECK_OK(nodes_.back()->RegisterServices(&bus_));
   }
+  metrics_.GetGauge("cluster/nodes_up")->Set(static_cast<int64_t>(num_nodes));
+}
+
+size_t Cluster::NodesUp() const {
+  size_t up = 0;
+  for (const auto& node : nodes_) {
+    if (node != nullptr) ++up;
+  }
+  return up;
 }
 
 common::Status Cluster::Ingest(Entity entity) {
   size_t shard = Route(entity.id());
-  Status s = nodes_[shard]->store().Put(std::move(entity));
+  if (nodes_[shard] == nullptr) {
+    metrics_.GetCounter("ingest/unavailable_total")->Add(1);
+    return Status::Unavailable(
+        common::StrFormat("shard %zu is down", shard));
+  }
+  Status s = nodes_[shard]->Ingest(std::move(entity));
   metrics_.GetCounter(s.ok() ? "ingest/stored_total" : "ingest/rejected_total")
       ->Add(1);
   return s;
@@ -115,17 +242,92 @@ common::Status Cluster::Ingest(Entity entity) {
 void Cluster::DeployMiner(
     const std::function<std::unique_ptr<EntityMiner>()>& factory) {
   for (auto& node : nodes_) {
-    node->pipeline().AddMiner(factory());
+    if (node != nullptr) node->pipeline().AddMiner(factory());
   }
+  // Remembered so a restarted node is rebuilt with the same pipeline.
+  miner_factories_.push_back(factory);
 }
 
 void Cluster::MineAndIndexAll() {
   std::vector<std::thread> workers;
   workers.reserve(nodes_.size());
   for (auto& node : nodes_) {
+    if (node == nullptr) continue;
     workers.emplace_back([&node] { node->MineAndIndex(); });
   }
   for (std::thread& t : workers) t.join();
+}
+
+common::Status Cluster::EnableDurability(
+    const DurabilityOptions& options, common::StorageFaultInjector* injector) {
+  if (durable_) return Status::FailedPrecondition("durability already enabled");
+  durability_ = options;
+  injector_ = injector;
+  durable_ = true;
+  for (auto& node : nodes_) {
+    WF_RETURN_IF_ERROR(node->EnableDurability(
+        durability_.dir, injector_, durability_.checkpoint_every_appends));
+    // Recover from whatever the directory holds: empty shards for a fresh
+    // dir, the previous run's state for an existing one.
+    WF_RETURN_IF_ERROR(node->Recover());
+  }
+  return Status::Ok();
+}
+
+common::Status Cluster::CheckpointAll() {
+  Status first = Status::Ok();
+  for (auto& node : nodes_) {
+    if (node == nullptr) continue;
+    Status s = node->Checkpoint();
+    if (!s.ok() && first.ok()) first = s;
+  }
+  return first;
+}
+
+common::Status Cluster::CrashNode(size_t i) {
+  if (i >= nodes_.size()) {
+    return Status::InvalidArgument(common::StrFormat("no node %zu", i));
+  }
+  if (nodes_[i] == nullptr) {
+    return Status::FailedPrecondition(
+        common::StrFormat("node %zu is already down", i));
+  }
+  // Withdraw the services, then drop the node: everything in memory — the
+  // shard, the index, the metrics — is gone, exactly as a power loss
+  // would leave it. Only the WAL and checkpoints on disk survive.
+  nodes_[i]->UnregisterServices(&bus_);
+  nodes_[i].reset();
+  metrics_.GetCounter("cluster/node_crashes_total")->Add(1);
+  metrics_.GetGauge("cluster/nodes_up")->Set(static_cast<int64_t>(NodesUp()));
+  return Status::Ok();
+}
+
+common::Status Cluster::RestartNode(size_t i) {
+  if (i >= nodes_.size()) {
+    return Status::InvalidArgument(common::StrFormat("no node %zu", i));
+  }
+  if (nodes_[i] != nullptr) {
+    return Status::FailedPrecondition(
+        common::StrFormat("node %zu is already up", i));
+  }
+  if (!durable_) {
+    return Status::FailedPrecondition(
+        "cluster is not durable; nothing to restart from");
+  }
+  auto node = std::make_unique<ClusterNode>(i);
+  WF_RETURN_IF_ERROR(node->EnableDurability(
+      durability_.dir, injector_, durability_.checkpoint_every_appends));
+  for (const auto& factory : miner_factories_) {
+    node->pipeline().AddMiner(factory());
+  }
+  // Recover before serving: the node re-registers only once its shard is
+  // rebuilt from the newest checkpoint + WAL replay.
+  WF_RETURN_IF_ERROR(node->Recover());
+  WF_RETURN_IF_ERROR(node->RegisterServices(&bus_));
+  nodes_[i] = std::move(node);
+  metrics_.GetCounter("cluster/node_restarts_total")->Add(1);
+  metrics_.GetGauge("cluster/nodes_up")->Set(static_cast<int64_t>(NodesUp()));
+  return Status::Ok();
 }
 
 namespace {
@@ -155,6 +357,20 @@ SearchResult GatherSearch(
 
 }  // namespace
 
+template <typename ResultT>
+void Cluster::AccountDownNodes(
+    const std::function<std::string(size_t)>& service_name,
+    ResultT* result) const {
+  // A down node's services are deregistered, so the scatter never saw
+  // them — but a 4-shard cluster answering from 3 shards is a partial
+  // answer and must report itself as one.
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i] != nullptr) continue;
+    ++result->nodes_total;
+    result->failed_services.push_back(service_name(i));
+  }
+}
+
 SearchResult Cluster::TracedSearch(
     const std::string& name,
     std::vector<std::pair<std::string, std::string>> request_fields) const {
@@ -169,6 +385,9 @@ SearchResult Cluster::TracedSearch(
   metrics_.GetCounter("cluster/searches_total")->Add(1);
   SearchResult result =
       GatherSearch(bus_.CallAll("node/", EncodeMessage(request_fields)));
+  AccountDownNodes(
+      [](size_t i) { return common::StrFormat("node/%zu/search", i); },
+      &result);
   if (!result.complete()) {
     metrics_.GetCounter("cluster/partial_searches_total")->Add(1);
   }
@@ -211,12 +430,17 @@ ClusterStats Cluster::CollectStats() const {
     }
     ++stats.nodes_responded;
   }
+  AccountDownNodes(
+      [](size_t i) { return common::StrFormat("wfstats/node/%zu", i); },
+      &stats);
   return stats;
 }
 
 size_t Cluster::TotalEntities() const {
   size_t total = 0;
-  for (const auto& node : nodes_) total += node->store().size();
+  for (const auto& node : nodes_) {
+    if (node != nullptr) total += node->store().size();
+  }
   return total;
 }
 

@@ -1,10 +1,14 @@
 #ifndef WF_PLATFORM_CLUSTER_H_
 #define WF_PLATFORM_CLUSTER_H_
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/durable_file.h"
+#include "common/logging.h"
 #include "common/hash.h"
 #include "common/status.h"
 #include "obs/metrics.h"
@@ -12,6 +16,7 @@
 #include "platform/indexer.h"
 #include "platform/miner_framework.h"
 #include "platform/vinci.h"
+#include "platform/wal.h"
 
 namespace wf::obs {
 class Tracer;
@@ -52,17 +57,59 @@ class ClusterNode {
 
   // Registers this node's services on the bus.
   common::Status RegisterServices(VinciBus* bus);
+  // Withdraws them (node crash / decommission). Missing registrations are
+  // ignored so a double-crash is harmless.
+  void UnregisterServices(VinciBus* bus);
 
   std::string ServiceName(const std::string& suffix) const;
   // The node's live-stats service, outside the node/ scatter prefix.
   std::string StatsServiceName() const;
 
+  // --- Durability ---------------------------------------------------------
+  // Opens the node's write-ahead log under `dir` (node-<id>.wal, plus
+  // node-<id>.store / node-<id>.idx checkpoints). Once enabled, Ingest()
+  // appends to the WAL before acking, and every `checkpoint_every_appends`
+  // acked writes trigger an automatic checkpoint (0 = manual only).
+  // `injector` (optional) threads storage fault injection through every
+  // byte this node writes; it must outlive the node.
+  common::Status EnableDurability(
+      const std::string& dir, common::StorageFaultInjector* injector = nullptr,
+      uint64_t checkpoint_every_appends = 0);
+  bool durable() const { return wal_.is_open(); }
+
+  // Durable write: the entity's serialized record is appended to the WAL
+  // and flushed *before* the store accepts it — IOError means nothing was
+  // acked and nothing was stored. Without durability enabled this is just
+  // store().Put. AlreadyExists for duplicate ids (not logged).
+  common::Status Ingest(Entity entity);
+
+  // Atomically snapshots the store and index (checksummed, temp+rename),
+  // then truncates the WAL. On any failure the WAL is left intact, so no
+  // acked write is ever exposed to loss by a failed checkpoint.
+  common::Status Checkpoint();
+
+  // Rebuilds the shard from disk: newest checkpoint (if any) + WAL replay,
+  // stopping cleanly at a torn tail, then checkpoints to compact. Corrupt
+  // snapshots propagate Corruption rather than loading silently wrong.
+  common::Status Recover();
+
  private:
+  common::Status CheckpointLocked();
+
   size_t id_;
   DataStore store_;
   InvertedIndex index_;
   MinerPipeline pipeline_;
   obs::MetricsRegistry metrics_;
+
+  // Durability state (set by EnableDurability).
+  mutable std::mutex dur_mu_;  // serializes WAL appends and checkpoints
+  WriteAheadLog wal_;
+  common::StorageFaultInjector* injector_ = nullptr;
+  std::string store_path_;
+  std::string index_path_;
+  uint64_t checkpoint_every_appends_ = 0;
+  uint64_t appends_since_checkpoint_ = 0;
 };
 
 // Outcome of one scatter/gather search. A node that failed (partition,
@@ -98,7 +145,13 @@ class Cluster {
   explicit Cluster(size_t num_nodes);
 
   size_t node_count() const { return nodes_.size(); }
-  ClusterNode& node(size_t i) { return *nodes_[i]; }
+  // The node must be up (see CrashNode/RestartNode).
+  ClusterNode& node(size_t i) {
+    WF_CHECK(nodes_[i] != nullptr);
+    return *nodes_[i];
+  }
+  bool IsNodeUp(size_t i) const { return nodes_[i] != nullptr; }
+  size_t NodesUp() const;
   VinciBus& bus() { return bus_; }
   const VinciBus& bus() const { return bus_; }
 
@@ -143,15 +196,63 @@ class Cluster {
 
   size_t TotalEntities() const;
 
+  // --- Durability & node lifecycle ----------------------------------------
+
+  struct DurabilityOptions {
+    std::string dir;  // per-node WAL + checkpoint files live here
+    // Acked WAL appends between automatic checkpoints (0 = manual only,
+    // via CheckpointAll or per-node Checkpoint()).
+    uint64_t checkpoint_every_appends = 0;
+  };
+  // Makes every node durable under options.dir and recovers each from
+  // whatever that directory already holds — a fresh directory yields empty
+  // shards, an old one a restarted cluster. `injector` (optional) threads
+  // storage fault injection through all node writes; it must outlive the
+  // cluster.
+  common::Status EnableDurability(
+      const DurabilityOptions& options,
+      common::StorageFaultInjector* injector = nullptr);
+
+  // Checkpoints every up node; first failure wins, the rest still run.
+  common::Status CheckpointAll();
+
+  // Kills node i: its Vinci services are withdrawn and its in-memory state
+  // is destroyed — exactly what a machine losing power loses. Queries keep
+  // working but degrade (the dead shard shows up in failed_services and
+  // coverage counters); ingests routed to it fail Unavailable. Durable
+  // state on disk is untouched.
+  common::Status CrashNode(size_t i);
+
+  // Brings node i back: a fresh node recovers from its on-disk checkpoint
+  // + WAL, gets the cluster's deployed miners, and re-registers its
+  // services — search coverage returns to complete(). Requires durability
+  // (a non-durable crash has nothing to restart from).
+  common::Status RestartNode(size_t i);
+
  private:
   SearchResult TracedSearch(const std::string& name,
                             std::vector<std::pair<std::string, std::string>>
                                 request_fields) const;
 
+  // Adds down nodes to a gather's accounting (service name from
+  // `service_name(i)`) so degraded coverage is visible even though nothing
+  // was scattered to them.
+  template <typename ResultT>
+  void AccountDownNodes(
+      const std::function<std::string(size_t)>& service_name,
+      ResultT* result) const;
+
   VinciBus bus_;
   std::vector<std::unique_ptr<ClusterNode>> nodes_;
   obs::MetricsRegistry metrics_;
   obs::Tracer* tracer_ = nullptr;
+
+  // Lifecycle state: miner factories are kept so a restarted node gets the
+  // same pipeline its peers got from DeployMiner.
+  std::vector<std::function<std::unique_ptr<EntityMiner>()>> miner_factories_;
+  DurabilityOptions durability_;
+  common::StorageFaultInjector* injector_ = nullptr;
+  bool durable_ = false;
 };
 
 }  // namespace wf::platform

@@ -1,7 +1,5 @@
 #include "platform/data_store.h"
 
-#include <cstdio>
-#include <fstream>
 #include <sstream>
 
 namespace wf::platform {
@@ -71,36 +69,26 @@ std::vector<std::string> DataStore::Ids() const {
   return out;
 }
 
-common::Status DataStore::Save(const std::string& path) const {
+common::Status DataStore::Save(const std::string& path,
+                               common::StorageFaultInjector* injector) const {
   std::lock_guard<std::mutex> lock(mu_);
-  // Write-temp-then-rename: writing `path` in place would truncate the
-  // previous good snapshot the moment the stream opens, so a crash (or a
-  // full disk) mid-save lost it. The rename is atomic, so readers see
-  // either the old complete snapshot or the new one, never a prefix.
-  const std::string tmp_path = path + ".tmp";
-  {
-    std::ofstream out(tmp_path, std::ios::trunc | std::ios::binary);
-    if (!out) return Status::IOError("cannot open for write: " + tmp_path);
-    for (const auto& [id, entity] : entities_) {
-      std::string record = entity.Serialize();
-      out << record.size() << "\n" << record;
-    }
-    out.flush();
-    if (!out) {
-      std::remove(tmp_path.c_str());
-      return Status::IOError("write failed: " + tmp_path);
-    }
+  // Length-prefixed entity records under the checksummed snapshot
+  // envelope, written temp-then-rename: a crash (or full disk) mid-save
+  // leaves the previous snapshot intact, and a reader can never load a
+  // truncated or bit-flipped image as silently wrong data.
+  std::ostringstream payload;
+  for (const auto& [id, entity] : entities_) {
+    std::string record = entity.Serialize();
+    payload << record.size() << "\n" << record;
   }
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    std::remove(tmp_path.c_str());
-    return Status::IOError("cannot rename " + tmp_path + " to " + path);
-  }
-  return Status::Ok();
+  return common::WriteSnapshotFile(path, "store", /*version=*/1,
+                                   payload.str(), injector);
 }
 
 common::Status DataStore::Load(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open for read: " + path);
+  auto payload_or = common::ReadSnapshotFile(path, "store", /*version=*/1);
+  if (!payload_or.ok()) return payload_or.status();
+  std::istringstream in(payload_or.value());
   std::unordered_map<std::string, Entity> loaded;
   std::string size_line;
   while (std::getline(in, size_line)) {

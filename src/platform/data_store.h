@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/durable_file.h"
 #include "common/status.h"
 #include "platform/entity.h"
 
@@ -47,8 +48,14 @@ class DataStore {
   // All ids, unsorted.
   std::vector<std::string> Ids() const;
 
-  // Snapshot persistence.
-  common::Status Save(const std::string& path) const;
+  // Snapshot persistence. Save writes atomically (temp file + rename)
+  // under the checksummed `wfsnap store` envelope; a crash mid-save leaves
+  // the previous snapshot intact. Load rejects anything that does not
+  // verify — truncation, a flipped bit, the wrong kind — with Corruption;
+  // a missing file is IOError. `injector` (optional) threads storage
+  // fault injection through the write path.
+  common::Status Save(const std::string& path,
+                      common::StorageFaultInjector* injector = nullptr) const;
   common::Status Load(const std::string& path);
 
  private:

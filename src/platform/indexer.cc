@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <fstream>
 #include <regex>
 #include <set>
+#include <sstream>
 
 #include "common/string_util.h"
 #include "text/tokenizer.h"
@@ -303,12 +303,13 @@ std::string UnescapeField(const std::string& s) {
 
 }  // namespace
 
-common::Status InvertedIndex::Save(const std::string& path) const {
+common::Status InvertedIndex::Save(
+    const std::string& path, common::StorageFaultInjector* injector) const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    return common::Status::IOError("cannot open for write: " + path);
-  }
+  // Built in memory and written atomically under the checksummed `wfsnap
+  // index` envelope — truncating in place would destroy the previous
+  // snapshot before the new one was safely down.
+  std::ostringstream out;
   out << "wfidx 1\n";
   for (size_t i = 0; i < docs_.size(); ++i) {
     out << "doc " << i << " " << EscapeField(docs_[i]) << "\n";
@@ -330,13 +331,14 @@ common::Status InvertedIndex::Save(const std::string& path) const {
           << "\n";
     }
   }
-  if (!out) return common::Status::IOError("write failed: " + path);
-  return common::Status::Ok();
+  return common::WriteSnapshotFile(path, "index", /*version=*/1, out.str(),
+                                   injector);
 }
 
 common::Status InvertedIndex::Load(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return common::Status::IOError("cannot open for read: " + path);
+  auto payload_or = common::ReadSnapshotFile(path, "index", /*version=*/1);
+  if (!payload_or.ok()) return payload_or.status();
+  std::istringstream in(payload_or.value());
   std::string header;
   if (!std::getline(in, header) || header != "wfidx 1") {
     return common::Status::Corruption("bad index header in " + path);

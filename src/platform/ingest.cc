@@ -45,17 +45,26 @@ std::optional<Entity> CrawlerSimulator::Next() {
   return std::nullopt;
 }
 
-size_t IngestAll(Ingestor& ingestor, Cluster& cluster, size_t* duplicates) {
+size_t IngestAll(Ingestor& ingestor, Cluster& cluster, size_t* duplicates,
+                 std::vector<Entity>* failed) {
   size_t stored = 0;
   size_t dups = 0;
+  size_t failures = 0;
   while (true) {
     std::optional<Entity> entity = ingestor.Next();
     if (!entity.has_value()) break;
+    // Ingest consumes the entity only on success/duplicate; keep a copy so
+    // a failed (unacked) one can be handed back for re-drive.
+    Entity pending = *entity;
     common::Status s = cluster.Ingest(std::move(*entity));
     if (s.ok()) {
       ++stored;
-    } else {
+    } else if (s.code() == common::StatusCode::kAlreadyExists) {
       ++dups;
+    } else {
+      // Not a duplicate: the shard is down or the write was never acked.
+      ++failures;
+      if (failed != nullptr) failed->push_back(std::move(pending));
     }
   }
   if (duplicates != nullptr) *duplicates = dups;
@@ -65,6 +74,9 @@ size_t IngestAll(Ingestor& ingestor, Cluster& cluster, size_t* duplicates) {
   cluster.metrics().GetCounter(prefix + "stored_total")->Add(stored);
   if (dups > 0) {
     cluster.metrics().GetCounter(prefix + "duplicate_total")->Add(dups);
+  }
+  if (failures > 0) {
+    cluster.metrics().GetCounter(prefix + "failed_total")->Add(failures);
   }
   return stored;
 }

@@ -72,8 +72,13 @@ class CrawlerSimulator : public Ingestor {
 
 // Drains an ingestor into the cluster. Returns the number of entities
 // stored; duplicate ids are skipped (counted in `*duplicates` if given).
+// Entities the cluster could not accept for any other reason — a crashed
+// shard, a WAL append failure — are appended to `*failed` (if given) so
+// the caller can re-drive them once the shard heals; they are counted in
+// ingest/source/<name>/failed_total either way.
 size_t IngestAll(Ingestor& ingestor, Cluster& cluster,
-                 size_t* duplicates = nullptr);
+                 size_t* duplicates = nullptr,
+                 std::vector<Entity>* failed = nullptr);
 
 }  // namespace wf::platform
 

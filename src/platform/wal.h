@@ -1,0 +1,87 @@
+#ifndef WF_PLATFORM_WAL_H_
+#define WF_PLATFORM_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/durable_file.h"
+#include "common/status.h"
+
+namespace wf::platform {
+
+// Per-node write-ahead log: the durability floor under ClusterNode. Every
+// ingested entity is appended (length-prefixed, checksummed) and flushed
+// *before* the write is acked; recovery replays the log on top of the
+// newest checkpoint and stops cleanly at a torn tail.
+//
+// On-disk format, all text framing so torn tails are easy to reason about:
+//
+//   wfwal 1\n                       file header, written at creation
+//   rec <len> <fnv64-hex>\n         one line per record,
+//   <len payload bytes>\n           then the raw payload and a newline
+//
+// A record counts only if its full frame is present and the payload
+// checksum verifies. Anything after the last verifiable record — a
+// half-written frame from a crash, a bit-flipped payload — is the torn
+// tail: Replay reports it and ignores it, and the first post-recovery
+// checkpoint truncates it away. Nothing after a bad record is ever
+// trusted (it was written after a write the log already knows was lost).
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  // Opens `path` for appending, creating it (with header) if absent or
+  // empty. An existing log is left byte-for-byte intact — including a
+  // torn tail, which only Replay + Reset may judge.
+  common::Status Open(const std::string& path,
+                      common::StorageFaultInjector* injector = nullptr);
+  bool is_open() const { return file_.is_open(); }
+  const std::string& path() const { return path_; }
+
+  // Appends one record; Ok means the full frame is flushed to disk — this
+  // is the ack barrier. On IOError nothing may be acked: either no bytes
+  // landed or a torn prefix did, and recovery will discard it.
+  common::Status Append(std::string_view record);
+
+  // File offset just past the last successfully acked record. Truncating
+  // the file anywhere at or beyond this offset must lose nothing acked.
+  uint64_t acked_bytes() const { return acked_bytes_; }
+  // Records acked through this handle (not counting pre-existing ones).
+  uint64_t appended_records() const { return appended_records_; }
+
+  struct ReplayResult {
+    std::vector<std::string> records;  // every fully verified record
+    bool torn_tail = false;  // unverifiable bytes followed the last record
+    uint64_t valid_bytes = 0;  // offset just past the last good record
+  };
+  // Reads the log at `path`. Total by design: a missing or empty file is
+  // an empty log; any tail that does not verify sets `torn_tail` and is
+  // excluded. IOError only when the file exists but cannot be read.
+  static common::Result<ReplayResult> Replay(const std::string& path);
+
+  // Atomically resets the log to header-only — the post-checkpoint
+  // truncation. The old log (torn tail included) is replaced in one
+  // rename.
+  common::Status Reset();
+
+  void Close();
+
+ private:
+  std::string path_;
+  common::StorageFaultInjector* injector_ = nullptr;
+  common::DurableFile file_;
+  uint64_t acked_bytes_ = 0;
+  uint64_t appended_records_ = 0;
+  // Set when a failed append may have left partial bytes on disk; further
+  // appends are refused (they would sit behind an unverifiable tail and be
+  // dropped by Replay) until Reset() truncates the log.
+  bool poisoned_ = false;
+};
+
+}  // namespace wf::platform
+
+#endif  // WF_PLATFORM_WAL_H_

@@ -524,6 +524,32 @@ void CheckPlatformRawTiming(const SourceFile& file,
   }
 }
 
+void CheckPlatformRawFileIo(const SourceFile& file,
+                            const std::vector<std::string>& lines,
+                            std::vector<Violation>* out) {
+  // Platform storage must write through the durable-file layer
+  // (common::DurableFile / WriteFileAtomic / WriteSnapshotFile): a raw
+  // output stream bypasses both the storage fault-injection point and the
+  // write-temp-then-atomic-rename discipline, so a crash mid-write can
+  // destroy the previous good file. wf_common owns the one sanctioned raw
+  // stream and is outside this rule's path scope by construction. Reads
+  // (std::ifstream) are unaffected.
+  if (file.path.find("platform/") == std::string::npos) return;
+  static const std::regex kRawWriteRe(
+      R"(\b(?:std\s*::\s*)?(ofstream|fstream)\b|\b(fopen|freopen|fwrite)\s*\()");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(lines[i], m, kRawWriteRe)) continue;
+    std::string what = m[1].matched ? m[1].str() : m[2].str() + "()";
+    out->push_back(
+        {file.path, i + 1, "platform-raw-file-io",
+         "raw " + what +
+             " write path in platform code; go through common::DurableFile "
+             "/ WriteFileAtomic / WriteSnapshotFile so every byte passes "
+             "fault injection and atomic replacement (DESIGN.md §9)"});
+  }
+}
+
 }  // namespace
 
 // --- Public API -------------------------------------------------------------
@@ -545,6 +571,9 @@ const std::vector<RuleInfo>& Rules() {
       {"platform-raw-timing",
        "raw std::chrono clock read in platform code instead of wf_obs "
        "timers"},
+      {"platform-raw-file-io",
+       "raw file write (ofstream/fopen/fwrite) in platform code instead of "
+       "the durable-file layer"},
       {"unknown-rule", "wflint allow() comment names an unknown rule"},
   };
   return *kRules;
@@ -589,6 +618,7 @@ std::vector<Violation> Linter::Lint(const SourceFile& file) const {
   CheckDiscardedStatus(file, lines, fallible_, &found);
   CheckUncheckedRpc(file, lines, &found);
   CheckPlatformRawTiming(file, lines, &found);
+  CheckPlatformRawFileIo(file, lines, &found);
 
   std::vector<Violation> out;
   for (Violation& v : found) {

@@ -8,9 +8,11 @@
 // to baseline-identical answers once the faults clear and the breakers
 // close.
 
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "common/durable_file.h"
 #include "common/logging.h"
 #include "gtest/gtest.h"
 #include "lexicon/pattern_db.h"
@@ -555,6 +557,233 @@ TEST(ChaosAcceptanceTest, TracedSearchUnderFaultsExportsOneStitchedTrace) {
                         std::to_string(n) + "/search";
     EXPECT_NE(text.find(child), std::string::npos) << child << "\n" << text;
   }
+}
+
+// --- Node crash / restart lifecycle -----------------------------------------
+
+// A fresh directory under /tmp, removed on destruction.
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& name)
+      : path_("/tmp/wf_chaos_" + name) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~ScopedTempDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(NodeLifecycleTest, CrashedNodeDegradesCoverageAndRestartHealsIt) {
+  auto lexicon = lexicon::SentimentLexicon::Embedded();
+  auto patterns = lexicon::PatternDatabase::Embedded();
+  ScopedTempDir dir("lifecycle");
+  Cluster cluster(4);
+  ASSERT_TRUE(cluster.EnableDurability({dir.path(), 0}).ok());
+  BuildSentimentCluster(&cluster, &lexicon, &patterns);
+
+  SearchResult healthy = cluster.Search("kodak");
+  ASSERT_TRUE(healthy.complete());
+  ASSERT_EQ(healthy.docs.size(), 12u);
+  ASSERT_TRUE(cluster.CheckpointAll().ok());
+
+  // Kill a shard. Coverage degrades honestly on both the query and the
+  // stats paths, and writes routed to it are refused, not dropped.
+  const size_t victim = 2;
+  ASSERT_TRUE(cluster.CrashNode(victim).ok());
+  EXPECT_FALSE(cluster.IsNodeUp(victim));
+  EXPECT_EQ(cluster.NodesUp(), 3u);
+  EXPECT_EQ(cluster.CrashNode(victim).code(),
+            StatusCode::kFailedPrecondition);  // double-kill is refused
+
+  SearchResult degraded = cluster.Search("kodak");
+  EXPECT_EQ(degraded.nodes_total, 4u);
+  EXPECT_EQ(degraded.nodes_responded, 3u);
+  EXPECT_FALSE(degraded.complete());
+  ASSERT_EQ(degraded.failed_services.size(), 1u);
+  EXPECT_EQ(degraded.failed_services[0], "node/2/search");
+  EXPECT_LT(degraded.docs.size(), healthy.docs.size());
+
+  ClusterStats down_stats = cluster.CollectStats();
+  EXPECT_EQ(down_stats.nodes_total, 4u);
+  EXPECT_EQ(down_stats.nodes_responded, 3u);
+  ASSERT_EQ(down_stats.failed_services.size(), 1u);
+  EXPECT_EQ(down_stats.failed_services[0], "wfstats/node/2");
+  EXPECT_EQ(down_stats.merged.GaugeValue("cluster/nodes_up"), 3);
+  EXPECT_EQ(down_stats.merged.CounterValue("cluster/node_crashes_total"), 1u);
+
+  bool saw_unavailable = false;
+  for (int i = 0; i < 4 && !saw_unavailable; ++i) {
+    Entity probe("probe-" + std::to_string(i), "test");
+    if (cluster.Route(probe.id()) == victim) {
+      EXPECT_EQ(cluster.Ingest(std::move(probe)).code(),
+                StatusCode::kUnavailable);
+      saw_unavailable = true;
+    }
+  }
+
+  // Restart: the shard recovers from its checkpoint and rejoins; coverage
+  // returns to complete with the same answer as before the crash.
+  ASSERT_TRUE(cluster.RestartNode(victim).ok());
+  EXPECT_TRUE(cluster.IsNodeUp(victim));
+  EXPECT_EQ(cluster.RestartNode(victim).code(),
+            StatusCode::kFailedPrecondition);  // double-restart is refused
+
+  SearchResult healed = cluster.Search("kodak");
+  EXPECT_TRUE(healed.complete());
+  EXPECT_EQ(healed.docs, healthy.docs);
+  ClusterStats up_stats = cluster.CollectStats();
+  EXPECT_TRUE(up_stats.complete());
+  EXPECT_EQ(up_stats.merged.GaugeValue("cluster/nodes_up"), 4);
+  EXPECT_EQ(up_stats.merged.CounterValue("cluster/node_restarts_total"), 1u);
+}
+
+TEST(NodeLifecycleTest, NonDurableClusterCannotRestartACrashedNode) {
+  Cluster cluster(2);
+  ASSERT_TRUE(cluster.CrashNode(1).ok());
+  EXPECT_EQ(cluster.RestartNode(1).code(), StatusCode::kFailedPrecondition);
+  // The crash itself still works: a non-durable node can die, it just
+  // cannot come back.
+  EXPECT_FALSE(cluster.IsNodeUp(1));
+}
+
+// --- Acceptance: kill mid-ingest, torn WAL tail, recover, heal --------------
+
+// The full durability story, asserted from metrics and search results
+// alone: a node is killed mid-ingest leaving a torn WAL tail; while it is
+// down queries degrade honestly; after restart it recovers every acked
+// write, detects the torn tail exactly once, resurrects nothing partial,
+// and the healed cluster's answers are byte-identical to a never-crashed
+// run over the same documents.
+TEST(CrashRecoveryAcceptanceTest, KillMidIngestRecoverToBaselineAnswers) {
+  auto lexicon = lexicon::SentimentLexicon::Embedded();
+  auto patterns = lexicon::PatternDatabase::Embedded();
+
+  std::vector<std::pair<std::string, std::string>> docs;
+  for (int i = 0; i < 12; ++i) {
+    std::string body;
+    if (i % 3 == 0) {
+      body = "Kodak impresses everyone who tried it.";
+    } else if (i % 3 == 1) {
+      body = "Lawsuits plague Kodak.";
+    } else {
+      body = "Kodak announced a quarterly meeting.";
+    }
+    docs.emplace_back("doc-" + std::to_string(i), body);
+  }
+  auto first_half = std::vector<std::pair<std::string, std::string>>(
+      docs.begin(), docs.begin() + 6);
+  auto second_half = std::vector<std::pair<std::string, std::string>>(
+      docs.begin() + 6, docs.end());
+  auto deploy = [&lexicon, &patterns](Cluster* cluster) {
+    cluster->DeployMiner([&lexicon, &patterns] {
+      return std::make_unique<AdHocSentimentMinerPlugin>(&lexicon, &patterns);
+    });
+  };
+
+  // Run A: the never-crashed baseline over the same documents.
+  ScopedTempDir dir_a("baseline");
+  Cluster baseline_cluster(4);
+  ASSERT_TRUE(baseline_cluster.EnableDurability({dir_a.path(), 0}).ok());
+  deploy(&baseline_cluster);
+  {
+    BatchIngestor ingestor("chaos", docs);
+    ASSERT_EQ(IngestAll(ingestor, baseline_cluster), docs.size());
+  }
+  baseline_cluster.MineAndIndexAll();
+  SentimentQueryService baseline_service(&baseline_cluster);
+  ASSERT_TRUE(baseline_service.RegisterService().ok());
+  SentimentQueryResult baseline = baseline_service.Query("Kodak");
+  ASSERT_TRUE(baseline.complete());
+  ASSERT_EQ(baseline.positive_docs, 4u);
+  ASSERT_EQ(baseline.negative_docs, 4u);
+
+  // Run B: same documents, but the shard owning doc-6 is killed mid-ingest
+  // by a storage crash that tears its WAL append mid-frame.
+  ScopedTempDir dir_b("chaos");
+  common::StorageFaultInjector storage(20260806);
+  Cluster cluster(4);
+  ASSERT_TRUE(cluster.EnableDurability({dir_b.path(), 0}, &storage).ok());
+  deploy(&cluster);
+  {
+    BatchIngestor ingestor("chaos", first_half);
+    ASSERT_EQ(IngestAll(ingestor, cluster), first_half.size());
+  }
+  ASSERT_TRUE(cluster.CheckpointAll().ok());
+
+  const size_t victim = cluster.Route("doc-6");
+  storage.ArmCrash(
+      dir_b.path() + "/node-" + std::to_string(victim),
+      /*after_appends=*/0, /*torn_bytes=*/10);
+
+  size_t duplicates = 0;
+  std::vector<Entity> unacked;
+  {
+    BatchIngestor ingestor("chaos", second_half);
+    size_t stored = IngestAll(ingestor, cluster, &duplicates, &unacked);
+    EXPECT_EQ(stored + unacked.size(), second_half.size());
+  }
+  // Everything routed to the victim was refused — first by the torn
+  // append, then by the dead disk — and handed back, not dropped.
+  ASSERT_FALSE(unacked.empty());
+  EXPECT_EQ(duplicates, 0u);
+  for (const Entity& e : unacked) {
+    EXPECT_EQ(cluster.Route(e.id()), victim);
+    EXPECT_FALSE(cluster.node(victim).store().Contains(e.id()));
+  }
+  const size_t acked_total = docs.size() - unacked.size();
+  EXPECT_EQ(cluster.TotalEntities(), acked_total);
+
+  // The machine goes down. While it is down, coverage is honestly partial.
+  ASSERT_TRUE(cluster.CrashNode(victim).ok());
+  SearchResult down = cluster.Search("kodak");
+  EXPECT_EQ(down.nodes_total, 4u);
+  EXPECT_EQ(down.nodes_responded, 3u);
+  EXPECT_FALSE(down.complete());
+  ClusterStats down_stats = cluster.CollectStats();
+  EXPECT_FALSE(down_stats.complete());
+  EXPECT_EQ(down_stats.merged.GaugeValue("cluster/nodes_up"), 3);
+
+  // Power restored; the node restarts and recovers from disk.
+  storage.ClearCrashes();
+  ASSERT_TRUE(cluster.RestartNode(victim).ok());
+
+  // The recovery story, told by the merged metrics alone: the torn tail
+  // was detected exactly once, and no acked write was lost (every acked
+  // entity is back in a store).
+  ClusterStats recovered_stats = cluster.CollectStats();
+  ASSERT_TRUE(recovered_stats.complete());
+  EXPECT_EQ(recovered_stats.merged.CounterValue(
+                "wal/torn_tail_detected_total"),
+            1u);
+  EXPECT_EQ(recovered_stats.merged.GaugeValue("cluster/nodes_up"), 4);
+  EXPECT_EQ(recovered_stats.merged.CounterValue("cluster/node_crashes_total"),
+            1u);
+  EXPECT_EQ(recovered_stats.merged.CounterValue(
+                "cluster/node_restarts_total"),
+            1u);
+  EXPECT_EQ(cluster.TotalEntities(), acked_total);
+
+  // Re-drive the refused writes — the contract is that the caller still
+  // holds them precisely because they were never acked.
+  for (Entity& e : unacked) {
+    ASSERT_TRUE(cluster.Ingest(std::move(e)).ok());
+  }
+  EXPECT_EQ(cluster.TotalEntities(), docs.size());
+
+  // Healed: coverage is complete and the sentiment answer is
+  // byte-identical to the never-crashed baseline.
+  cluster.MineAndIndexAll();
+  SentimentQueryService service(&cluster);
+  ASSERT_TRUE(service.RegisterService().ok());
+  SentimentQueryResult recovered = service.Query("Kodak");
+  EXPECT_TRUE(recovered.complete());
+  EXPECT_EQ(Summarize(recovered), Summarize(baseline));
+  SearchResult healed = cluster.Search("kodak");
+  EXPECT_TRUE(healed.complete());
+  EXPECT_EQ(healed.docs.size(), 12u);
 }
 
 }  // namespace

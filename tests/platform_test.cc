@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 
+#include "common/durable_file.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "platform/cluster.h"
@@ -179,6 +181,35 @@ TEST(DataStoreTest, LoadMissingFileFails) {
             common::StatusCode::kIOError);
 }
 
+TEST(DataStoreTest, LoadRejectsCorruptSnapshot) {
+  // Snapshots carry a checksummed envelope: one flipped byte anywhere must
+  // surface as Corruption, never load as silently wrong data.
+  std::string path = "/tmp/wf_datastore_corrupt_test.wfs";
+  DataStore store;
+  ASSERT_TRUE(store.Put(MakeEntity("a")).ok());
+  ASSERT_TRUE(store.Save(path).ok());
+
+  auto content = common::ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  std::string bad = content.value();
+  bad[bad.size() / 2] ^= 0x01;
+  // Raw stream on purpose: the test simulates the corruption itself.
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << bad;
+  }
+  DataStore poisoned;
+  EXPECT_EQ(poisoned.Load(path).code(), common::StatusCode::kCorruption);
+
+  // A truncated copy is rejected the same way.
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << content.value().substr(0, content.value().size() - 1);
+  }
+  EXPECT_EQ(poisoned.Load(path).code(), common::StatusCode::kCorruption);
+  std::filesystem::remove(path);
+}
+
 // --- InvertedIndex -----------------------------------------------------------------
 
 class IndexTest : public ::testing::Test {
@@ -262,6 +293,71 @@ TEST_F(IndexTest, Stats) {
   EXPECT_EQ(index_.document_count(), 3u);
   EXPECT_GT(index_.vocabulary_size(), 10u);
   EXPECT_FALSE(index_.VocabularyWithPrefix("sent/").empty());
+}
+
+TEST_F(IndexTest, SaveLoadRoundTrip) {
+  std::string path = "/tmp/wf_index_roundtrip_test.wfi";
+  ASSERT_TRUE(index_.Save(path).ok());
+  InvertedIndex restored;
+  ASSERT_TRUE(restored.Load(path).ok());
+  EXPECT_EQ(restored.document_count(), index_.document_count());
+  EXPECT_EQ(restored.vocabulary_size(), index_.vocabulary_size());
+  EXPECT_EQ(restored.Term("battery"), index_.Term("battery"));
+  EXPECT_EQ(restored.Phrase({"picture", "quality"}),
+            index_.Phrase({"picture", "quality"}));
+  EXPECT_EQ(restored.Term("sent/+/battery"), index_.Term("sent/+/battery"));
+  std::filesystem::remove(path);
+}
+
+TEST_F(IndexTest, FailedSavePreservesThePreviousSnapshot) {
+  // Index saves go through the same temp-file + atomic-rename path as the
+  // data store (the old in-place write truncated the previous snapshot the
+  // moment the stream opened).
+  std::string path = "/tmp/wf_index_atomic_test.wfi";
+  std::string tmp_path = path + ".tmp";
+  std::filesystem::remove_all(path);
+  std::filesystem::remove_all(tmp_path);
+
+  ASSERT_TRUE(index_.Save(path).ok());
+  EXPECT_FALSE(std::filesystem::exists(tmp_path));  // no residue on success
+
+  // Block the temp file with a directory of the same name: the next save
+  // must fail without touching `path`.
+  ASSERT_TRUE(std::filesystem::create_directory(tmp_path));
+  Entity extra("extra", "t");
+  extra.SetBody("battery again");
+  index_.IndexEntity(extra);
+  EXPECT_EQ(index_.Save(path).code(), common::StatusCode::kIOError);
+
+  InvertedIndex survivor;
+  ASSERT_TRUE(survivor.Load(path).ok());
+  EXPECT_EQ(survivor.document_count(), 3u);  // the pre-failure snapshot
+
+  std::filesystem::remove_all(tmp_path);
+  ASSERT_TRUE(index_.Save(path).ok());
+  InvertedIndex reloaded;
+  ASSERT_TRUE(reloaded.Load(path).ok());
+  EXPECT_EQ(reloaded.document_count(), 4u);
+  std::filesystem::remove(path);
+}
+
+TEST_F(IndexTest, LoadRejectsCorruptSnapshot) {
+  std::string path = "/tmp/wf_index_corrupt_test.wfi";
+  ASSERT_TRUE(index_.Save(path).ok());
+  auto content = common::ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  std::string bad = content.value();
+  bad[bad.size() / 2] ^= 0x01;
+  // Raw stream on purpose: the test simulates the corruption itself.
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << bad;
+  }
+  InvertedIndex poisoned;
+  EXPECT_EQ(poisoned.Load(path).code(), common::StatusCode::kCorruption);
+  EXPECT_EQ(poisoned.Load("/tmp/definitely_not_here.wfi").code(),
+            common::StatusCode::kIOError);
+  std::filesystem::remove(path);
 }
 
 // --- VinciBus ----------------------------------------------------------------------

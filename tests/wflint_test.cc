@@ -319,6 +319,64 @@ TEST(PlatformRawTimingTest, HonorsAllowSuppression) {
                        "platform-raw-timing"));
 }
 
+// --- platform-raw-file-io ---------------------------------------------------
+
+TEST(PlatformRawFileIoTest, FlagsRawWritePathsInPlatformCode) {
+  const std::string src =
+      "void Run() {\n"
+      "  std::ofstream out(path, std::ios::trunc);\n"
+      "  std::fstream f(path);\n"
+      "  FILE* fp = fopen(path.c_str(), \"w\");\n"
+      "  fwrite(buf, 1, n, fp);\n"
+      "}\n";
+  std::vector<Violation> vs = LintSnippet("src/platform/data_store.cc", src);
+  size_t hits = 0;
+  for (const Violation& v : vs) {
+    if (v.rule == "platform-raw-file-io") ++hits;
+  }
+  EXPECT_EQ(hits, 4u);
+}
+
+TEST(PlatformRawFileIoTest, IgnoresDurableLayerReadsAndOtherLayers) {
+  // The sanctioned durable-file layer calls are clean in platform code.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/platform/data_store.cc",
+                  "common::Status Run(common::StorageFaultInjector* inj) {\n"
+                  "  common::DurableFile f;\n"
+                  "  WF_RETURN_IF_ERROR(f.Open(path, inj));\n"
+                  "  return common::WriteSnapshotFile(path, \"store\", 1,\n"
+                  "                                   payload, inj);\n"
+                  "}\n"),
+      "platform-raw-file-io"));
+  // Reads are out of scope: only the write path must be durable.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/platform/data_store.cc",
+                  "void Run() {\n"
+                  "  std::ifstream in(path, std::ios::binary);\n"
+                  "}\n"),
+      "platform-raw-file-io"));
+  // The identical raw stream outside platform/ (wf_common owns the one
+  // sanctioned stream; tools and tests write freely) is out of scope.
+  const std::string raw =
+      "void Run() {\n"
+      "  std::ofstream out(path, std::ios::trunc);\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(LintSnippet("src/common/durable_file.cc", raw),
+                       "platform-raw-file-io"));
+  EXPECT_FALSE(HasRule(LintSnippet("src/tools/bench/bench_json.cc", raw),
+                       "platform-raw-file-io"));
+}
+
+TEST(PlatformRawFileIoTest, HonorsAllowSuppression) {
+  const std::string src =
+      "// wflint: allow(platform-raw-file-io)\n"
+      "void Run() {\n"
+      "  std::ofstream out(path, std::ios::trunc);\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(LintSnippet("src/platform/data_store.cc", src),
+                       "platform-raw-file-io"));
+}
+
 // --- suppressions -----------------------------------------------------------
 
 TEST(SuppressionTest, FileLevelAllowSilencesNamedRuleOnly) {
