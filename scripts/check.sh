@@ -47,10 +47,12 @@ if [[ "${WF_CHECK_TSAN:-0}" == "1" ]]; then
   # and the tracer's concurrent span recording are the newest threaded code,
   # and its JSON checker doubles as the malformed-wfstats-export gate.
   # durability_test exercises the WAL/checkpoint layer under the node
-  # mutex from the chaos harness's concurrent paths.
+  # mutex from the chaos harness's concurrent paths. parallel_mining_test
+  # drives the MineExecutor pool and the lock-striped analysis cache from
+  # many workers at once — the suite the determinism contract lives in.
   for t in obs_test platform_test platform_miners_test property_test \
            robustness_test chaos_test durability_test agreement_test \
-           integration_test; do
+           integration_test parallel_mining_test; do
     step "TSan: ${t}"
     "./build-tsan/tests/${t}"
   done

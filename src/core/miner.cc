@@ -51,7 +51,20 @@ void SentimentMiner::ProcessDocument(const std::string& doc_id,
                                      SentimentStore* store) {
   text::TokenStream tokens = tokenizer_.Tokenize(body);
   std::vector<text::SentenceSpan> spans = splitter_.Split(tokens);
+  MineTokens(doc_id, tokens, spans, nullptr, store);
+}
 
+void SentimentMiner::ProcessDocument(const std::string& doc_id,
+                                     const LinguisticAnalysis& analysis,
+                                     SentimentStore* store) {
+  MineTokens(doc_id, analysis.tokens, analysis.sentences, &analysis, store);
+}
+
+void SentimentMiner::MineTokens(const std::string& doc_id,
+                                const text::TokenStream& tokens,
+                                const std::vector<text::SentenceSpan>& spans,
+                                const LinguisticAnalysis* analysis,
+                                SentimentStore* store) {
   std::vector<spot::SubjectSpot> spots = spotter_.Spot(tokens);
   if (spots.empty()) return;
 
@@ -75,7 +88,7 @@ void SentimentMiner::ProcessDocument(const std::string& doc_id,
   }
 
   // Per-sentence clause parses are cached: several spots often share a
-  // sentence.
+  // sentence. With a precomputed artifact the parses are already there.
   std::vector<int> parse_of_sentence(spans.size(), -1);
   std::vector<std::vector<parse::SentenceParse>> parses;
 
@@ -83,16 +96,21 @@ void SentimentMiner::ProcessDocument(const std::string& doc_id,
     SentimentContext ctx;
     if (!context_builder_.Build(spans, spot.begin_token, &ctx)) continue;
 
-    int& cached = parse_of_sentence[ctx.sentence_index];
-    if (cached < 0) {
-      std::vector<pos::PosTag> tags =
-          tagger_.TagSentence(tokens, ctx.sentence);
-      parses.push_back(
-          sentence_analyzer_.AnalyzeClauses(tokens, ctx.sentence, tags));
-      cached = static_cast<int>(parses.size()) - 1;
+    const std::vector<parse::SentenceParse>* clauses_ptr;
+    if (analysis != nullptr) {
+      clauses_ptr = &analysis->sentence_clauses[ctx.sentence_index];
+    } else {
+      int& cached = parse_of_sentence[ctx.sentence_index];
+      if (cached < 0) {
+        std::vector<pos::PosTag> tags =
+            tagger_.TagSentence(tokens, ctx.sentence);
+        parses.push_back(
+            sentence_analyzer_.AnalyzeClauses(tokens, ctx.sentence, tags));
+        cached = static_cast<int>(parses.size()) - 1;
+      }
+      clauses_ptr = &parses[static_cast<size_t>(cached)];
     }
-    const std::vector<parse::SentenceParse>& clauses =
-        parses[static_cast<size_t>(cached)];
+    const std::vector<parse::SentenceParse>& clauses = *clauses_ptr;
     const parse::SentenceParse* parse_ptr = &clauses.front();
     for (const parse::SentenceParse& clause : clauses) {
       if (spot.begin_token >= clause.span.begin_token &&
@@ -113,7 +131,9 @@ void SentimentMiner::ProcessDocument(const std::string& doc_id,
       const text::SentenceSpan& next = spans[ctx.sentence_index + 1];
       if (next.size() <= 6) {
         std::vector<pos::PosTag> frag_tags =
-            tagger_.TagSentence(tokens, next);
+            analysis != nullptr
+                ? analysis->sentence_tags[ctx.sentence_index + 1]
+                : tagger_.TagSentence(tokens, next);
         parse::SentenceParse frag =
             sentence_analyzer_.Analyze(tokens, next, frag_tags);
         if (frag.predicate_chunk < 0) {
@@ -164,15 +184,31 @@ void AdHocSentimentMiner::ProcessDocument(const std::string& doc_id,
                                           SentimentStore* store) {
   text::TokenStream tokens = tokenizer_.Tokenize(body);
   std::vector<text::SentenceSpan> spans = splitter_.Split(tokens);
+  MineTokens(doc_id, tokens, spans, nullptr, store);
+}
 
+void AdHocSentimentMiner::ProcessDocument(const std::string& doc_id,
+                                          const LinguisticAnalysis& analysis,
+                                          SentimentStore* store) const {
+  MineTokens(doc_id, analysis.tokens, analysis.sentences, &analysis, store);
+}
+
+void AdHocSentimentMiner::MineTokens(
+    const std::string& doc_id, const text::TokenStream& tokens,
+    const std::vector<text::SentenceSpan>& spans,
+    const LinguisticAnalysis* analysis, SentimentStore* store) const {
   for (size_t s = 0; s < spans.size(); ++s) {
     const text::SentenceSpan& span = spans[s];
     std::vector<ner::NamedEntity> entities = ner_.SpotSentence(tokens, span);
     if (entities.empty()) continue;
 
-    std::vector<pos::PosTag> tags = tagger_.TagSentence(tokens, span);
-    std::vector<parse::SentenceParse> clauses =
-        sentence_analyzer_.AnalyzeClauses(tokens, span, tags);
+    std::vector<parse::SentenceParse> computed;
+    if (analysis == nullptr) {
+      std::vector<pos::PosTag> tags = tagger_.TagSentence(tokens, span);
+      computed = sentence_analyzer_.AnalyzeClauses(tokens, span, tags);
+    }
+    const std::vector<parse::SentenceParse>& clauses =
+        analysis != nullptr ? analysis->sentence_clauses[s] : computed;
 
     for (const ner::NamedEntity& e : entities) {
       const parse::SentenceParse* parse_ptr = &clauses.front();

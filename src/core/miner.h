@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/analysis.h"
 #include "core/analyzer.h"
 #include "core/context.h"
 #include "core/sentiment_store.h"
@@ -57,10 +58,22 @@ class SentimentMiner {
   // Mines one document, appending mentions to `store`.
   void ProcessDocument(const std::string& doc_id, const std::string& body,
                        SentimentStore* store);
+  // Same, over a precomputed linguistic-analysis artifact (must describe
+  // the document's body) — skips re-tokenizing/tagging/parsing. Results
+  // are byte-identical to the body-based overload.
+  void ProcessDocument(const std::string& doc_id,
+                       const LinguisticAnalysis& analysis,
+                       SentimentStore* store);
 
   const Config& config() const { return config_; }
 
  private:
+  // Shared implementation: `analysis` is null on the body-based path
+  // (parses are then computed lazily per touched sentence).
+  void MineTokens(const std::string& doc_id, const text::TokenStream& tokens,
+                  const std::vector<text::SentenceSpan>& spans,
+                  const LinguisticAnalysis* analysis, SentimentStore* store);
+
   const lexicon::SentimentLexicon* lexicon_;
   const lexicon::PatternDatabase* patterns_;
   Config config_;
@@ -100,8 +113,19 @@ class AdHocSentimentMiner {
   // sentiment-bearing occurrences).
   void ProcessDocument(const std::string& doc_id, const std::string& body,
                        SentimentStore* store);
+  // Same, over a precomputed linguistic-analysis artifact (must describe
+  // the document's body). Stateless across documents, so safe to call
+  // concurrently for distinct documents.
+  void ProcessDocument(const std::string& doc_id,
+                       const LinguisticAnalysis& analysis,
+                       SentimentStore* store) const;
 
  private:
+  void MineTokens(const std::string& doc_id, const text::TokenStream& tokens,
+                  const std::vector<text::SentenceSpan>& spans,
+                  const LinguisticAnalysis* analysis,
+                  SentimentStore* store) const;
+
   const lexicon::SentimentLexicon* lexicon_;
   const lexicon::PatternDatabase* patterns_;
   Config config_;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <set>
-#include <thread>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -13,16 +12,22 @@ namespace wf::platform {
 
 using ::wf::common::Status;
 
-void ClusterNode::MineAndIndex() {
+void ClusterNode::MineAndIndex() { MineAndIndex(nullptr); }
+
+void ClusterNode::MineAndIndex(MineExecutor* executor) {
   obs::ScopedTimer timer(metrics_.GetHistogram(
       "node/mine_and_index_us", obs::DefaultLatencyBoundsUs(),
       /*timing=*/true));
-  pipeline_.ProcessStore(store_);
+  pipeline_.ProcessStore(store_, executor);
+  // Index in sorted-id order so the index snapshot is a pure function of
+  // the shard contents (the in-memory posting layout never depends on how
+  // mining was scheduled). Mining just populated the analysis cache, so
+  // the token streams here are hits, not a third tokenization.
   size_t indexed = 0;
-  store_.ForEach([this, &indexed](const Entity& e) {
-    index_.IndexEntity(e);
+  for (const Entity& e : store_.SnapshotSorted()) {
+    index_.IndexEntity(e, analysis_cache_.Analyze(e.id(), e.body())->tokens);
     ++indexed;
-  });
+  }
   metrics_.GetCounter("index/indexed_entities_total")->Add(indexed);
   metrics_.GetGauge("index/vocabulary")
       ->Set(static_cast<int64_t>(index_.vocabulary_size()));
@@ -210,6 +215,8 @@ common::Status ClusterNode::Recover() {
 Cluster::Cluster(size_t num_nodes) {
   WF_CHECK(num_nodes > 0);
   bus_.AttachMetrics(&metrics_);
+  executor_ = std::make_unique<MineExecutor>(MineExecutorOptions{});
+  executor_->AttachMetrics(&metrics_);
   nodes_.reserve(num_nodes);
   for (size_t i = 0; i < num_nodes; ++i) {
     nodes_.push_back(std::make_unique<ClusterNode>(i));
@@ -249,13 +256,23 @@ void Cluster::DeployMiner(
 }
 
 void Cluster::MineAndIndexAll() {
-  std::vector<std::thread> workers;
-  workers.reserve(nodes_.size());
+  std::vector<ClusterNode*> up;
+  up.reserve(nodes_.size());
   for (auto& node : nodes_) {
-    if (node == nullptr) continue;
-    workers.emplace_back([&node] { node->MineAndIndex(); });
+    if (node != nullptr) up.push_back(node.get());
   }
-  for (std::thread& t : workers) t.join();
+  if (up.empty()) return;
+  // Nested scatter: the outer ParallelFor dispatches one task per node,
+  // and each node's ProcessStore scatters its per-entity batches onto the
+  // same pool, so total threads stay bounded by the executor regardless of
+  // shard count.
+  executor_->ParallelFor(up.size(),
+                         [&](size_t i) { up[i]->MineAndIndex(executor_.get()); });
+}
+
+void Cluster::ConfigureMining(const MineExecutorOptions& options) {
+  executor_ = std::make_unique<MineExecutor>(options);
+  executor_->AttachMetrics(&metrics_);
 }
 
 common::Status Cluster::EnableDurability(

@@ -11,9 +11,11 @@
 #include "common/logging.h"
 #include "common/hash.h"
 #include "common/status.h"
+#include "core/analysis.h"
 #include "obs/metrics.h"
 #include "platform/data_store.h"
 #include "platform/indexer.h"
+#include "platform/mine_executor.h"
 #include "platform/miner_framework.h"
 #include "platform/vinci.h"
 #include "platform/wal.h"
@@ -38,6 +40,8 @@ class ClusterNode {
  public:
   explicit ClusterNode(size_t id) : id_(id) {
     pipeline_.AttachMetrics(&metrics_);
+    analysis_cache_.AttachMetrics(&metrics_);
+    pipeline_.SetAnalysisProvider(&analysis_cache_);
   }
   ClusterNode(const ClusterNode&) = delete;
   ClusterNode& operator=(const ClusterNode&) = delete;
@@ -51,9 +55,16 @@ class ClusterNode {
   // This node's private registry (shared-nothing: shards never share
   // metrics; roll-ups go through Cluster::CollectStats over the bus).
   obs::MetricsRegistry& metrics() { return metrics_; }
+  // The node's shared linguistic-analysis cache (the pipeline's provider):
+  // mining computes each entity's artifact once, indexing and re-mines hit.
+  core::AnalysisCache& analysis_cache() { return analysis_cache_; }
 
-  // Runs the miner pipeline over the shard, then (re)indexes every entity.
+  // Runs the miner pipeline over the shard, then (re)indexes every entity
+  // in sorted-id order (deterministic sweep, DESIGN.md §10). With an
+  // executor, per-entity mining is scheduled across its workers; output is
+  // byte-identical to the sequential sweep.
   void MineAndIndex();
+  void MineAndIndex(MineExecutor* executor);
 
   // Registers this node's services on the bus.
   common::Status RegisterServices(VinciBus* bus);
@@ -100,6 +111,7 @@ class ClusterNode {
   DataStore store_;
   InvertedIndex index_;
   MinerPipeline pipeline_;
+  core::AnalysisCache analysis_cache_;
   obs::MetricsRegistry metrics_;
 
   // Durability state (set by EnableDurability).
@@ -183,8 +195,16 @@ class Cluster {
   void DeployMiner(
       const std::function<std::unique_ptr<EntityMiner>()>& factory);
 
-  // Runs every node's MineAndIndex() concurrently (one thread per node).
+  // Runs every node's MineAndIndex() over the cluster's shared mining
+  // executor: node sweeps are dispatched as tasks and each sweep's
+  // per-entity batches interleave on the same bounded worker set, so the
+  // thread count stays fixed no matter how many shards mine at once.
   void MineAndIndexAll();
+
+  // Replaces the shared mining executor (worker threads, batch size).
+  // Configuration, not data-path: call while no mining sweep is running.
+  void ConfigureMining(const MineExecutorOptions& options);
+  MineExecutor& mining_executor() { return *executor_; }
 
   // Scatter/gather term or concept search over all node services. Nodes
   // that fail are tolerated; the result reports how many responded.
@@ -246,6 +266,8 @@ class Cluster {
   std::vector<std::unique_ptr<ClusterNode>> nodes_;
   obs::MetricsRegistry metrics_;
   obs::Tracer* tracer_ = nullptr;
+  // Shared bounded worker pool for mining sweeps (see MineAndIndexAll).
+  std::unique_ptr<MineExecutor> executor_;
 
   // Lifecycle state: miner factories are kept so a restarted node gets the
   // same pipeline its peers got from DeployMiner.

@@ -1,5 +1,6 @@
 #include "platform/data_store.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace wf::platform {
@@ -69,16 +70,35 @@ std::vector<std::string> DataStore::Ids() const {
   return out;
 }
 
+std::vector<Entity> DataStore::SnapshotSorted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entity> out;
+  out.reserve(entities_.size());
+  for (const auto& [id, entity] : entities_) out.push_back(entity);
+  std::sort(out.begin(), out.end(), [](const Entity& a, const Entity& b) {
+    return a.id() < b.id();
+  });
+  return out;
+}
+
 common::Status DataStore::Save(const std::string& path,
                                common::StorageFaultInjector* injector) const {
   std::lock_guard<std::mutex> lock(mu_);
   // Length-prefixed entity records under the checksummed snapshot
   // envelope, written temp-then-rename: a crash (or full disk) mid-save
   // leaves the previous snapshot intact, and a reader can never load a
-  // truncated or bit-flipped image as silently wrong data.
+  // truncated or bit-flipped image as silently wrong data. Records are
+  // written in sorted-id order so the snapshot is a pure function of the
+  // store's contents — a shard rebuilt from checkpoint + WAL replay
+  // checkpoints to the same bytes as the shard that never crashed.
+  std::vector<const Entity*> sorted;
+  sorted.reserve(entities_.size());
+  for (const auto& [id, entity] : entities_) sorted.push_back(&entity);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entity* a, const Entity* b) { return a->id() < b->id(); });
   std::ostringstream payload;
-  for (const auto& [id, entity] : entities_) {
-    std::string record = entity.Serialize();
+  for (const Entity* entity : sorted) {
+    std::string record = entity->Serialize();
     payload << record.size() << "\n" << record;
   }
   return common::WriteSnapshotFile(path, "store", /*version=*/1,

@@ -48,6 +48,10 @@ class DataStore {
   // All ids, unsorted.
   std::vector<std::string> Ids() const;
 
+  // Copies of every entity, sorted by id — the canonical sweep order the
+  // deterministic mining path processes and commits in.
+  std::vector<Entity> SnapshotSorted() const;
+
   // Snapshot persistence. Save writes atomically (temp file + rename)
   // under the checksummed `wfsnap store` envelope; a crash mid-save leaves
   // the previous snapshot intact. Load rejects anything that does not

@@ -58,12 +58,27 @@ std::string GeoContextMiner::GeoConceptToken(const std::string& region) {
 }
 
 common::Status GeoContextMiner::Process(Entity& entity) {
+  return Process(entity, MineContext{});
+}
+
+common::Status GeoContextMiner::Process(Entity& entity,
+                                        const MineContext& context) {
   if (entity.body().empty()) return common::Status::Ok();
-  text::Tokenizer tokenizer;
-  text::TokenStream tokens = tokenizer.Tokenize(entity.body());
+  text::TokenStream local;
+  const text::TokenStream* tokens_ptr;
+  if (context.analysis != nullptr) {
+    tokens_ptr = &context.analysis->tokens;
+  } else {
+    text::Tokenizer tokenizer;
+    local = tokenizer.Tokenize(entity.body());
+    tokens_ptr = &local;
+  }
+  const text::TokenStream& tokens = *tokens_ptr;
   std::set<std::string> regions;
   for (const spot::SubjectSpot& spot : gazetteer_.Spot(tokens)) {
-    const std::string& region = region_of_set_[spot.synset_id];
+    // .at(): every synset id came from the gazetteer, and operator[] on a
+    // shared map would be a write from concurrent mining workers.
+    const std::string& region = region_of_set_.at(spot.synset_id);
     AnnotationSpan span;
     span.begin = tokens[spot.begin_token].begin;
     span.end = tokens[spot.end_token - 1].end;

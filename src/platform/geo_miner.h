@@ -19,6 +19,8 @@ class GeoContextMiner : public EntityMiner {
 
   std::string name() const override { return "geo_context"; }
   common::Status Process(Entity& entity) override;
+  common::Status Process(Entity& entity, const MineContext& context) override;
+  bool wants_analysis() const override { return true; }
 
   // Conceptual token for a region ("geo/united_states").
   static std::string GeoConceptToken(const std::string& region);

@@ -13,6 +13,17 @@ namespace wf::platform {
 
 using ::wf::common::ToLower;
 
+namespace {
+
+// Lowercases `text` into the reused scratch buffer `out` — the indexing
+// hot path used to allocate a fresh std::string per token here.
+void LowerInto(std::string_view text, std::string* out) {
+  out->clear();
+  for (char c : text) out->push_back(common::ToLowerAscii(c));
+}
+
+}  // namespace
+
 uint32_t InvertedIndex::InternDoc(const std::string& doc_id) {
   auto it = doc_ids_.find(doc_id);
   if (it != doc_ids_.end()) return it->second;
@@ -24,8 +35,11 @@ uint32_t InvertedIndex::InternDoc(const std::string& doc_id) {
 
 void InvertedIndex::IndexEntity(const Entity& entity) {
   text::Tokenizer tokenizer;
-  text::TokenStream tokens = tokenizer.Tokenize(entity.body());
+  IndexEntity(entity, tokenizer.Tokenize(entity.body()));
+}
 
+void InvertedIndex::IndexEntity(const Entity& entity,
+                                const text::TokenStream& tokens) {
   std::lock_guard<std::mutex> lock(mu_);
   uint32_t ord = InternDoc(entity.id());
 
@@ -36,28 +50,32 @@ void InvertedIndex::IndexEntity(const Entity& entity) {
                list.end());
   }
 
-  std::unordered_map<std::string, Posting*> current;
+  // One reused lowercase buffer for the whole sweep; `current` keys view
+  // into postings_ map keys, which std::map keeps stable.
+  std::string lower;
+  std::unordered_map<std::string_view, Posting*> current;
+  current.reserve(tokens.size());
   for (uint32_t pos = 0; pos < tokens.size(); ++pos) {
     if (tokens[pos].kind != text::TokenKind::kWord &&
         tokens[pos].kind != text::TokenKind::kNumber) {
       continue;
     }
-    std::string term = ToLower(tokens[pos].text);
-    Posting*& p = current[term];
-    if (p == nullptr) {
-      postings_[term].push_back(Posting{ord, {}});
-      p = &postings_[term].back();
+    LowerInto(tokens[pos].text, &lower);
+    Posting* p;
+    auto it = current.find(std::string_view(lower));
+    if (it == current.end()) {
+      auto [pit, inserted] = postings_.try_emplace(lower);
+      (void)inserted;
+      pit->second.push_back(Posting{ord, {}});
+      p = &pit->second.back();
+      current.emplace(std::string_view(pit->first), p);
+    } else {
+      p = it->second;
     }
     p->positions.push_back(pos);
   }
   for (const std::string& concept_token : entity.concept_tokens()) {
-    std::string term = ToLower(concept_token);
-    auto& list = postings_[term];
-    bool present = false;
-    for (const Posting& p : list) {
-      if (p.doc == ord) present = true;
-    }
-    if (!present) list.push_back(Posting{ord, {}});
+    AddConceptPosting(concept_token, ord, &lower);
   }
 
   // Numeric/date fields feed the range index (old values dropped on
@@ -111,15 +129,22 @@ std::vector<std::string> InvertedIndex::Range(const std::string& field,
   return ToDocIds(std::move(ords));
 }
 
+void InvertedIndex::AddConceptPosting(std::string_view term, uint32_t ord,
+                                      std::string* lower) {
+  LowerInto(term, lower);
+  auto [it, inserted] = postings_.try_emplace(*lower);
+  (void)inserted;
+  for (const Posting& p : it->second) {
+    if (p.doc == ord) return;
+  }
+  it->second.push_back(Posting{ord, {}});
+}
+
 void InvertedIndex::AddConceptToken(const std::string& doc_id,
                                     const std::string& token) {
   std::lock_guard<std::mutex> lock(mu_);
-  uint32_t ord = InternDoc(doc_id);
-  auto& list = postings_[ToLower(token)];
-  for (const Posting& p : list) {
-    if (p.doc == ord) return;
-  }
-  list.push_back(Posting{ord, {}});
+  std::string lower;
+  AddConceptPosting(token, InternDoc(doc_id), &lower);
 }
 
 const std::vector<InvertedIndex::Posting>* InvertedIndex::Find(

@@ -4,6 +4,7 @@
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "platform/mine_executor.h"
 #include "text/sentence_splitter.h"
 #include "text/tokenizer.h"
 
@@ -39,7 +40,29 @@ void MinerPipeline::AttachMetrics(obs::MetricsRegistry* metrics) {
   }
 }
 
+MineContext MinerPipeline::BuildContext(const Entity& entity,
+                                        bool need_analysis) const {
+  MineContext context;
+  if (!need_analysis || entity.body().empty()) return context;
+  context.analysis =
+      analysis_provider_ != nullptr
+          ? analysis_provider_->Analyze(entity.id(), entity.body())
+          : core::AnalyzeDocument(entity.body());
+  return context;
+}
+
 common::Status MinerPipeline::ProcessEntity(Entity& entity) {
+  bool need_analysis = false;
+  for (size_t i = 0; i < miners_.size(); ++i) {
+    if (miners_[i]->wants_analysis()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (!stats_[i].quarantined) {
+        need_analysis = true;
+        break;
+      }
+    }
+  }
+  const MineContext context = BuildContext(entity, need_analysis);
   for (size_t i = 0; i < miners_.size(); ++i) {
     MinerMetrics handles;
     {
@@ -48,7 +71,7 @@ common::Status MinerPipeline::ProcessEntity(Entity& entity) {
       handles = metric_handles_[i];
     }
     const uint64_t start_us = obs::MonotonicNowUs();
-    Status s = miners_[i]->Process(entity);
+    Status s = miners_[i]->Process(entity, context);
     const uint64_t elapsed = obs::MonotonicNowUs() - start_us;
     if (handles.stage_us != nullptr) handles.stage_us->Record(elapsed);
     if (handles.entities != nullptr) handles.entities->Add(1);
@@ -87,9 +110,103 @@ void MinerPipeline::ClearQuarantines() {
 }
 
 void MinerPipeline::ProcessStore(DataStore& store) {
-  store.ForEachMutable([this](Entity& entity) {
-    (void)ProcessEntity(entity);
-  });
+  ProcessStore(store, nullptr);
+}
+
+void MinerPipeline::ProcessStore(DataStore& store, MineExecutor* executor) {
+  // Canonical sweep order: sorted by id. The snapshot decouples mining
+  // from the store lock, so a stats RPC mid-sweep never blocks on a slow
+  // miner, and the parallel path mutates only thread-private copies.
+  std::vector<Entity> entities = store.SnapshotSorted();
+  const size_t entity_count = entities.size();
+  const size_t miner_count = miners_.size();
+  if (miner_count == 0 || entity_count == 0) return;
+
+  // Sweep-boundary quarantine snapshot (see header contract): the active
+  // set is fixed before the first entity, so it cannot depend on the order
+  // entities happen to finish in.
+  std::vector<char> active(miner_count, 0);
+  std::vector<MinerMetrics> handles(miner_count);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (size_t i = 0; i < miner_count; ++i) {
+      active[i] = stats_[i].quarantined ? 0 : 1;
+      handles[i] = metric_handles_[i];
+    }
+  }
+  bool need_analysis = false;
+  bool all_parallel_safe = true;
+  for (size_t i = 0; i < miner_count; ++i) {
+    if (!active[i]) continue;
+    if (miners_[i]->wants_analysis()) need_analysis = true;
+    if (!miners_[i]->parallel_safe()) all_parallel_safe = false;
+  }
+
+  // Per-(entity, miner) outcome and elapsed-time matrices, filled by
+  // whichever thread runs the entity and replayed in canonical order
+  // below. Indexed [entity * miner_count + miner].
+  std::vector<StepOutcome> outcomes(entity_count * miner_count,
+                                    StepOutcome::kNotRun);
+  std::vector<uint64_t> elapsed_us(entity_count * miner_count, 0);
+
+  auto run_entity = [&](size_t e) {
+    Entity& entity = entities[e];
+    const MineContext context = BuildContext(entity, need_analysis);
+    for (size_t i = 0; i < miner_count; ++i) {
+      if (!active[i]) continue;
+      const uint64_t start_us = obs::MonotonicNowUs();
+      Status s = miners_[i]->Process(entity, context);
+      const uint64_t elapsed = obs::MonotonicNowUs() - start_us;
+      elapsed_us[e * miner_count + i] = elapsed;
+      outcomes[e * miner_count + i] =
+          s.ok() ? StepOutcome::kOk : StepOutcome::kFailed;
+      if (handles[i].stage_us != nullptr) handles[i].stage_us->Record(elapsed);
+      if (handles[i].entities != nullptr) handles[i].entities->Add(1);
+      if (!s.ok()) {
+        if (handles[i].failures != nullptr) handles[i].failures->Add(1);
+        break;  // first failure stops this entity's chain
+      }
+    }
+  };
+
+  if (executor != nullptr && all_parallel_safe) {
+    executor->ParallelFor(entity_count, run_entity);
+  } else {
+    for (size_t e = 0; e < entity_count; ++e) run_entity(e);
+  }
+
+  // Commit in canonical order on the calling thread: identical Upsert
+  // sequence at every thread count means identical store layout (and
+  // byte-identical snapshots).
+  for (Entity& entity : entities) store.Upsert(std::move(entity));
+
+  // Replay the outcome matrix in canonical order to update streaks and
+  // quarantine — the same trips fire regardless of execution interleaving.
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  for (size_t e = 0; e < entity_count; ++e) {
+    for (size_t i = 0; i < miner_count; ++i) {
+      const StepOutcome outcome = outcomes[e * miner_count + i];
+      if (outcome == StepOutcome::kNotRun) continue;
+      stats_[i].total_time +=
+          std::chrono::microseconds(elapsed_us[e * miner_count + i]);
+      ++stats_[i].entities;
+      if (outcome == StepOutcome::kOk) {
+        stats_[i].consecutive_failures = 0;
+        continue;
+      }
+      ++stats_[i].failures;
+      ++stats_[i].consecutive_failures;
+      if (quarantine_threshold_ > 0 &&
+          stats_[i].consecutive_failures >= quarantine_threshold_ &&
+          !stats_[i].quarantined) {
+        stats_[i].quarantined = true;
+        if (handles[i].quarantined != nullptr) handles[i].quarantined->Add(1);
+        WF_LOG(Warning) << "quarantining miner '" << stats_[i].name
+                        << "' after " << stats_[i].consecutive_failures
+                        << " consecutive failures";
+      }
+    }
+  }
 }
 
 std::vector<MinerPipeline::MinerStats> MinerPipeline::Stats() const {
@@ -98,29 +215,64 @@ std::vector<MinerPipeline::MinerStats> MinerPipeline::Stats() const {
 }
 
 common::Status SentenceBoundaryMiner::Process(Entity& entity) {
+  return Process(entity, MineContext{});
+}
+
+namespace {
+
+// Sentence boundaries and word counts only need tokens: without a shared
+// artifact these miners tokenize locally instead of paying for the full
+// tag/parse pipeline they would not use.
+void TokenView(const MineContext& context, const std::string& body,
+               text::TokenStream* local, const text::TokenStream** tokens,
+               std::vector<text::SentenceSpan>* sentences) {
+  if (context.analysis != nullptr) {
+    *tokens = &context.analysis->tokens;
+    if (sentences != nullptr) *sentences = context.analysis->sentences;
+    return;
+  }
+  text::Tokenizer tokenizer;
+  *local = tokenizer.Tokenize(body);
+  *tokens = local;
+  if (sentences != nullptr) {
+    text::SentenceSplitter splitter;
+    *sentences = splitter.Split(*local);
+  }
+}
+
+}  // namespace
+
+common::Status SentenceBoundaryMiner::Process(Entity& entity,
+                                              const MineContext& context) {
   const std::string& body = entity.body();
   if (body.empty()) return Status::Ok();
-  text::Tokenizer tokenizer;
-  text::TokenStream tokens = tokenizer.Tokenize(body);
-  text::SentenceSplitter splitter;
-  for (const text::SentenceSpan& span : splitter.Split(tokens)) {
+  text::TokenStream local;
+  const text::TokenStream* tokens = nullptr;
+  std::vector<text::SentenceSpan> sentences;
+  TokenView(context, body, &local, &tokens, &sentences);
+  for (const text::SentenceSpan& span : sentences) {
     AnnotationSpan ann;
-    ann.begin = tokens[span.begin_token].begin;
-    ann.end = tokens[span.end_token - 1].end;
+    ann.begin = (*tokens)[span.begin_token].begin;
+    ann.end = (*tokens)[span.end_token - 1].end;
     entity.AddAnnotation("sentences", std::move(ann));
   }
   return Status::Ok();
 }
 
 common::Status TokenStatsMiner::Process(Entity& entity) {
-  const std::string& body = entity.body();
-  text::Tokenizer tokenizer;
-  text::TokenStream tokens = tokenizer.Tokenize(body);
+  return Process(entity, MineContext{});
+}
+
+common::Status TokenStatsMiner::Process(Entity& entity,
+                                        const MineContext& context) {
+  text::TokenStream local;
+  const text::TokenStream* tokens = nullptr;
+  TokenView(context, entity.body(), &local, &tokens, nullptr);
   size_t words = 0;
-  for (const text::Token& t : tokens) {
+  for (const text::Token& t : *tokens) {
     if (t.kind == text::TokenKind::kWord) ++words;
   }
-  entity.SetField("token_count", common::StrFormat("%zu", tokens.size()));
+  entity.SetField("token_count", common::StrFormat("%zu", tokens->size()));
   entity.SetField("word_count", common::StrFormat("%zu", words));
   return Status::Ok();
 }

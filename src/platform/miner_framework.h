@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/analysis.h"
 #include "platform/data_store.h"
 #include "platform/entity.h"
 
@@ -19,6 +20,17 @@ class MetricsRegistry;
 
 namespace wf::platform {
 
+class MineExecutor;
+
+// Per-entity context the pipeline hands to every miner in the chain: the
+// shared linguistic-analysis artifact, computed (or cache-fetched) once so
+// plugins stop re-running the identical tokenize→tag→parse front end.
+// `analysis` is null when no miner in the pipeline asked for it (see
+// EntityMiner::wants_analysis) or the entity has an empty body.
+struct MineContext {
+  std::shared_ptr<const core::LinguisticAnalysis> analysis;
+};
+
 // Entity-level miner (§2): processes one entity at a time, with no
 // information from neighboring entities, typically augmenting it with
 // annotations or conceptual tokens. Examples in the paper: tokenizer,
@@ -29,6 +41,24 @@ class EntityMiner {
   virtual ~EntityMiner() = default;
   virtual std::string name() const = 0;
   virtual common::Status Process(Entity& entity) = 0;
+
+  // Context-aware entry point; the default ignores the context, so legacy
+  // miners keep working unchanged. Miners that consume the shared analysis
+  // override this (and wants_analysis) instead of re-parsing the body.
+  virtual common::Status Process(Entity& entity, const MineContext& context) {
+    (void)context;
+    return Process(entity);
+  }
+
+  // True when Process reads context.analysis — the pipeline only pays for
+  // the artifact when some active miner wants it.
+  virtual bool wants_analysis() const { return false; }
+
+  // True when Process may run concurrently with Process on *other*
+  // entities (never the same one). Miners with cross-document state (e.g.
+  // incrementally built corpus statistics) must return false; the pipeline
+  // then falls back to the sequential sweep.
+  virtual bool parallel_safe() const { return true; }
 };
 
 // Corpus-level miner (§2): needs all or part of the data in store
@@ -38,16 +68,37 @@ class CorpusMiner {
   virtual ~CorpusMiner() = default;
   virtual std::string name() const = 0;
   virtual common::Status Run(DataStore& store) = 0;
+
+  // Provider-aware entry point: implementations that tokenize every body
+  // override this and fetch shared artifacts instead. Default ignores the
+  // provider.
+  virtual common::Status Run(DataStore& store,
+                             core::AnalysisProvider* provider) {
+    (void)provider;
+    return Run(store);
+  }
 };
 
 // A chain of entity-level miners applied in registration order, with
 // per-miner counters — the unit of deployment a node runs over its shard.
 //
 // A miner that keeps failing is quarantined: after `quarantine_threshold`
-// consecutive failures it is skipped for the rest of the sweep instead of
-// failing every remaining entity (one broken plugin must not poison a
-// whole shard's mining pass). Quarantine state is visible in MinerStats
-// and cleared with ClearQuarantines() once the plugin is fixed.
+// consecutive failures it is skipped instead of failing every remaining
+// entity (one broken plugin must not poison a whole shard's mining pass).
+// Quarantine state is visible in MinerStats and cleared with
+// ClearQuarantines() once the plugin is fixed.
+//
+// Determinism contract for ProcessStore (DESIGN.md §10): the sweep is a
+// pure function of (store contents, pipeline configuration), independent
+// of thread count and scheduling. Entities are snapshotted in sorted-id
+// order, each entity's full miner chain runs on exactly one thread (so
+// per-entity effects like concept-token order are chain-ordered), results
+// are committed back in sorted-id order on the calling thread, and failure
+// streaks/quarantine trips are replayed in that same canonical order.
+// Quarantine is evaluated at sweep boundaries: miners quarantined when the
+// sweep starts are skipped throughout; a streak that crosses the threshold
+// during the sweep trips quarantine for subsequent sweeps (and for direct
+// ProcessEntity calls, which keep the original online semantics).
 class MinerPipeline {
  public:
   struct MinerStats {
@@ -73,13 +124,30 @@ class MinerPipeline {
   // The registry must outlive this pipeline; nullptr detaches.
   void AttachMetrics(obs::MetricsRegistry* metrics);
 
+  // Source of shared linguistic-analysis artifacts for miners that want
+  // them (typically a node's AnalysisCache); nullptr (the default) makes
+  // the pipeline compute a fresh artifact per entity instead. The provider
+  // must outlive this pipeline. Configuration, not data-path.
+  void SetAnalysisProvider(core::AnalysisProvider* provider) {
+    analysis_provider_ = provider;
+  }
+  core::AnalysisProvider* analysis_provider() const {
+    return analysis_provider_;
+  }
+
   // Runs every non-quarantined miner over the entity, in order. Stops at
   // (and returns) the first failure; quarantined miners are skipped.
   common::Status ProcessEntity(Entity& entity);
 
-  // Runs the pipeline over every entity in the store; failures are counted
+  // Runs the pipeline over every entity in the store (sequentially, but
+  // under the deterministic sweep contract above); failures are counted
   // but do not stop the sweep.
   void ProcessStore(DataStore& store);
+  // Same sweep with per-entity work scheduled on `executor` when every
+  // active miner is parallel_safe() (sequential fallback otherwise).
+  // Output is byte-identical to the sequential sweep. nullptr executor ==
+  // ProcessStore(store).
+  void ProcessStore(DataStore& store, MineExecutor* executor);
 
   // Safe to call while ProcessEntity/ProcessStore run on another thread
   // (e.g. a stats RPC during a mining sweep); returns a consistent copy.
@@ -106,11 +174,17 @@ class MinerPipeline {
     obs::Histogram* stage_us = nullptr;
   };
 
+  // Per-(entity, miner) outcome of one sweep, replayed in canonical order
+  // to update streaks/quarantine identically at every thread count.
+  enum class StepOutcome : uint8_t { kNotRun = 0, kOk, kFailed };
+
   MinerMetrics ResolveMetrics(const std::string& miner_name) const;
+  MineContext BuildContext(const Entity& entity, bool need_analysis) const;
 
   std::vector<std::unique_ptr<EntityMiner>> miners_;
   size_t quarantine_threshold_ = kDefaultQuarantineThreshold;
   obs::MetricsRegistry* metrics_ = nullptr;
+  core::AnalysisProvider* analysis_provider_ = nullptr;
   std::vector<MinerMetrics> metric_handles_;  // parallel to miners_
   // Guards stats_. AddMiner is configuration, not data-path: it must not
   // run concurrently with processing (miners_ itself is unguarded).
@@ -125,6 +199,8 @@ class SentenceBoundaryMiner : public EntityMiner {
  public:
   std::string name() const override { return "sentence_boundary"; }
   common::Status Process(Entity& entity) override;
+  common::Status Process(Entity& entity, const MineContext& context) override;
+  bool wants_analysis() const override { return true; }
 };
 
 // Adds lowercase token counts as a "token_count" field (a tiny stand-in for
@@ -134,6 +210,8 @@ class TokenStatsMiner : public EntityMiner {
  public:
   std::string name() const override { return "token_stats"; }
   common::Status Process(Entity& entity) override;
+  common::Status Process(Entity& entity, const MineContext& context) override;
+  bool wants_analysis() const override { return true; }
 };
 
 }  // namespace wf::platform

@@ -44,9 +44,18 @@ void RecordMentions(const SentimentStore& store, Entity& entity) {
 }  // namespace
 
 common::Status AdHocSentimentMinerPlugin::Process(Entity& entity) {
+  return Process(entity, MineContext{});
+}
+
+common::Status AdHocSentimentMinerPlugin::Process(Entity& entity,
+                                                  const MineContext& context) {
   if (entity.body().empty()) return Status::Ok();
   SentimentStore store;
-  miner_.ProcessDocument(entity.id(), entity.body(), &store);
+  if (context.analysis != nullptr) {
+    miner_.ProcessDocument(entity.id(), *context.analysis, &store);
+  } else {
+    miner_.ProcessDocument(entity.id(), entity.body(), &store);
+  }
   RecordMentions(store, entity);
   return Status::Ok();
 }
@@ -62,9 +71,18 @@ SubjectSentimentMinerPlugin::SubjectSentimentMinerPlugin(
 }
 
 common::Status SubjectSentimentMinerPlugin::Process(Entity& entity) {
+  return Process(entity, MineContext{});
+}
+
+common::Status SubjectSentimentMinerPlugin::Process(
+    Entity& entity, const MineContext& context) {
   if (entity.body().empty()) return Status::Ok();
   SentimentStore store;
-  miner_.ProcessDocument(entity.id(), entity.body(), &store);
+  if (context.analysis != nullptr) {
+    miner_.ProcessDocument(entity.id(), *context.analysis, &store);
+  } else {
+    miner_.ProcessDocument(entity.id(), entity.body(), &store);
+  }
   RecordMentions(store, entity);
   return Status::Ok();
 }

@@ -1,4 +1,6 @@
 #include "platform/vinci.h"
+// wflint: allow(platform-raw-thread) — ScatterPool is one of the shared
+// pool implementations the rule points everyone else at.
 
 #include <algorithm>
 #include <chrono>

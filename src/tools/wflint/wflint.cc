@@ -524,6 +524,31 @@ void CheckPlatformRawTiming(const SourceFile& file,
   }
 }
 
+void CheckPlatformRawThread(const SourceFile& file,
+                            const std::vector<std::string>& lines,
+                            std::vector<Violation>* out) {
+  // Platform and core code must schedule work through the shared pool
+  // types (MineExecutor, VinciBus::ScatterPool): an ad-hoc std::thread or
+  // std::async spawns unbounded concurrency that the executor's worker cap,
+  // utilization gauges, and determinism contract never see. The pool
+  // implementations themselves carry an allow() suppression.
+  if (file.path.find("platform/") == std::string::npos &&
+      file.path.find("core/") == std::string::npos) {
+    return;
+  }
+  static const std::regex kRawThreadRe(R"(\bstd\s*::\s*(thread|async)\b)");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(lines[i], m, kRawThreadRe)) continue;
+    out->push_back({file.path, i + 1, "platform-raw-thread",
+                    "raw std::" + m[1].str() +
+                        " in platform/core code; schedule through the shared "
+                        "pool types (MineExecutor, VinciBus::ScatterPool) so "
+                        "concurrency stays bounded and observable "
+                        "(DESIGN.md §10)"});
+  }
+}
+
 void CheckPlatformRawFileIo(const SourceFile& file,
                             const std::vector<std::string>& lines,
                             std::vector<Violation>* out) {
@@ -574,6 +599,9 @@ const std::vector<RuleInfo>& Rules() {
       {"platform-raw-file-io",
        "raw file write (ofstream/fopen/fwrite) in platform code instead of "
        "the durable-file layer"},
+      {"platform-raw-thread",
+       "raw std::thread/std::async in platform or core code instead of the "
+       "shared pool types"},
       {"unknown-rule", "wflint allow() comment names an unknown rule"},
   };
   return *kRules;
@@ -618,6 +646,7 @@ std::vector<Violation> Linter::Lint(const SourceFile& file) const {
   CheckDiscardedStatus(file, lines, fallible_, &found);
   CheckUncheckedRpc(file, lines, &found);
   CheckPlatformRawTiming(file, lines, &found);
+  CheckPlatformRawThread(file, lines, &found);
   CheckPlatformRawFileIo(file, lines, &found);
 
   std::vector<Violation> out;

@@ -319,6 +319,66 @@ TEST(PlatformRawTimingTest, HonorsAllowSuppression) {
                        "platform-raw-timing"));
 }
 
+// --- platform-raw-thread ----------------------------------------------------
+
+TEST(PlatformRawThreadTest, FlagsRawThreadAndAsyncInPlatformAndCore) {
+  const std::string src =
+      "void Run() {\n"
+      "  std::thread t([] {});\n"
+      "  auto f = std::async(Work);\n"
+      "}\n";
+  std::vector<Violation> vs = LintSnippet("src/platform/cluster.cc", src);
+  size_t hits = 0;
+  for (const Violation& v : vs) {
+    if (v.rule == "platform-raw-thread") ++hits;
+  }
+  EXPECT_EQ(hits, 2u);
+  // Core code is in scope too (miners must not spawn their own threads).
+  EXPECT_TRUE(HasRule(LintSnippet("src/core/miner.cc", src),
+                      "platform-raw-thread"));
+}
+
+TEST(PlatformRawThreadTest, IgnoresPoolTypesAndOtherLayers) {
+  // Scheduling through the shared pool types is the sanctioned path.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/platform/cluster.cc",
+                  "void Run(MineExecutor* pool) {\n"
+                  "  pool->Run(count, [&](size_t i) { Mine(i); });\n"
+                  "}\n"),
+      "platform-raw-thread"));
+  // this_thread utilities are not thread spawns.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/platform/vinci.cc",
+                  "void Run() {\n"
+                  "  std::this_thread::sleep_for(\n"
+                  "      std::chrono::microseconds(10));\n"
+                  "}\n"),
+      "platform-raw-thread"));
+  // The identical spawn outside platform/ and core/ (tests, tools, bench
+  // drive concurrency however they like) is out of scope.
+  const std::string raw =
+      "void Run() {\n"
+      "  std::thread t([] {});\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(LintSnippet("tests/cluster_test.cc", raw),
+                       "platform-raw-thread"));
+  EXPECT_FALSE(HasRule(LintSnippet("bench/bench_platform_scaling.cc", raw),
+                       "platform-raw-thread"));
+}
+
+TEST(PlatformRawThreadTest, HonorsAllowSuppressionForPoolImplementations) {
+  // The pool implementations themselves own worker threads; they carry the
+  // file-level allow() this test mirrors.
+  const std::string src =
+      "// wflint: allow(platform-raw-thread)\n"
+      "void Start() {\n"
+      "  workers_.emplace_back([this] { WorkerLoop(); });\n"
+      "  std::thread t([] {});\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(LintSnippet("src/platform/mine_executor.cc", src),
+                       "platform-raw-thread"));
+}
+
 // --- platform-raw-file-io ---------------------------------------------------
 
 TEST(PlatformRawFileIoTest, FlagsRawWritePathsInPlatformCode) {
