@@ -26,6 +26,18 @@ ctest --test-dir build --output-on-failure -j "${JOBS}"
 step "wflint: src/ + tests/"
 ./build/src/tools/wflint --report build/wflint-report.tsv src tests
 
+# Thread-safety annotation check: the WF_GUARDED_BY/WF_REQUIRES macros
+# (src/common/thread_annotations.h) only expand under Clang, so this pass
+# is gated on a clang++ probe — on gcc-only hosts wflint's guarded-by rule
+# remains the (approximate) backstop.
+if command -v clang++ >/dev/null 2>&1; then
+  step "clang -Wthread-safety: build (clang-tsafety preset)"
+  cmake --preset clang-tsafety >/dev/null
+  cmake --build --preset clang-tsafety -j "${JOBS}"
+else
+  echo "clang++ not found: skipping -Wthread-safety pass (wflint guarded-by rule still ran)"
+fi
+
 if [[ "${FAST}" == "1" ]]; then
   echo "--fast: skipping sanitizer passes"
   exit 0

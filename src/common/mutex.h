@@ -1,0 +1,48 @@
+#ifndef WF_COMMON_MUTEX_H_
+#define WF_COMMON_MUTEX_H_
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace wf::common {
+
+// A std::mutex annotated as a Clang thread-safety capability, so
+// WF_GUARDED_BY(mu_) on fields is actually checkable: libstdc++'s
+// std::mutex carries no capability attributes, which would make every
+// guarded access a false warning under `-Wthread-safety`. The lowercase
+// lock/unlock/try_lock surface keeps it a standard Lockable, so
+// std::unique_lock<Mutex> and std::condition_variable_any still work where
+// a scoped MutexLock cannot (the mining pool's wait loops).
+class WF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() WF_ACQUIRE() { mu_.lock(); }
+  void unlock() WF_RELEASE() { mu_.unlock(); }
+  bool try_lock() WF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock over common::Mutex, annotated as a scoped capability — the
+// analysis knows the mutex is held for the MutexLock's whole scope.
+// std::lock_guard would work at runtime but is invisible to the analysis
+// (its constructor is not annotated), so guarded code uses this instead.
+class WF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) WF_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() WF_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace wf::common
+
+#endif  // WF_COMMON_MUTEX_H_

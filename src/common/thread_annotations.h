@@ -1,0 +1,71 @@
+#ifndef WF_COMMON_THREAD_ANNOTATIONS_H_
+#define WF_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety annotation macros (DESIGN.md §11). Under Clang they
+// expand to the attributes `-Wthread-safety` analyzes; under every other
+// compiler they expand to nothing, so the annotations are pure
+// documentation there. wflint's guarded-by rule reads the same spellings
+// textually, which is what makes the discipline enforceable even on
+// toolchains without the Clang analysis (the `clang-tsafety` preset is the
+// precise backstop where clang++ is available).
+//
+// Conventions:
+//   - Every field a mutex protects carries WF_GUARDED_BY(that_mutex).
+//   - Fields declared after a mutex member belong to it; immutable
+//     configuration set before threads exist is declared above the mutex.
+//   - A private helper that expects the lock held is annotated
+//     WF_REQUIRES(mu) instead of re-locking.
+//   - Code the analysis cannot follow (condition-variable wait loops that
+//     pass a unique_lock around) is annotated
+//     WF_NO_THREAD_SAFETY_ANALYSIS, with the fields still annotated so
+//     every other access keeps being checked.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define WF_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define WF_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+// A type that models a capability (e.g. a mutex). `x` names the capability
+// kind in diagnostics: WF_CAPABILITY("mutex").
+#define WF_CAPABILITY(x) WF_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// An RAII type that acquires a capability in its constructor and releases
+// it in its destructor.
+#define WF_SCOPED_CAPABILITY WF_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// The annotated field may only be read or written while holding `x`.
+#define WF_GUARDED_BY(x) WF_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// The annotated pointer field may be dereferenced only while holding `x`
+// (the pointer itself is unguarded).
+#define WF_PT_GUARDED_BY(x) WF_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// The annotated function must be called with `...` held (a lock-held
+// helper). The caller keeps ownership of the lock.
+#define WF_REQUIRES(...) \
+  WF_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+// The annotated function must be called with `...` NOT held (it will take
+// the lock itself; calling it under the lock would deadlock).
+#define WF_EXCLUDES(...) \
+  WF_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// The annotated function acquires / releases the capability.
+#define WF_ACQUIRE(...) \
+  WF_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define WF_RELEASE(...) \
+  WF_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define WF_TRY_ACQUIRE(...) \
+  WF_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+// Returns a reference to the capability guarding the annotated function's
+// result (rarely needed; provided for completeness).
+#define WF_RETURN_CAPABILITY(x) \
+  WF_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Opts one function out of the analysis. Use sparingly and say why.
+#define WF_NO_THREAD_SAFETY_ANALYSIS \
+  WF_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // WF_COMMON_THREAD_ANNOTATIONS_H_

@@ -105,7 +105,7 @@ std::shared_ptr<const LinguisticAnalysis> AnalysisCache::Analyze(
   const uint64_t body_hash = common::Fnv1a64(body);
   Stripe& stripe = StripeFor(key);
   {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    common::MutexLock lock(stripe.mu);
     for (size_t i = 0; i < stripe.entries.size(); ++i) {
       Entry& e = stripe.entries[i];
       if (e.key != key) continue;
@@ -129,7 +129,7 @@ std::shared_ptr<const LinguisticAnalysis> AnalysisCache::Analyze(
   Count(misses_);
   std::shared_ptr<const LinguisticAnalysis> fresh = AnalyzeDocument(body);
   {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    common::MutexLock lock(stripe.mu);
     for (size_t i = 0; i < stripe.entries.size(); ++i) {
       if (stripe.entries[i].key == key) {
         stripe.entries.erase(stripe.entries.begin() + i);
@@ -156,7 +156,7 @@ std::shared_ptr<const LinguisticAnalysis> AnalysisCache::Analyze(
 void AnalysisCache::Clear() {
   int64_t dropped = 0;
   for (auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+    common::MutexLock lock(stripe->mu);
     dropped += static_cast<int64_t>(stripe->entries.size());
     stripe->entries.clear();
   }
@@ -166,7 +166,7 @@ void AnalysisCache::Clear() {
 size_t AnalysisCache::size() const {
   size_t n = 0;
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+    common::MutexLock lock(stripe->mu);
     n += stripe->entries.size();
   }
   return n;

@@ -2,12 +2,13 @@
 #define WF_CORE_ANALYSIS_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "parse/sentence_structure.h"
 #include "pos/tagset.h"
 #include "text/token.h"
@@ -115,8 +116,9 @@ class AnalysisCache : public AnalysisProvider {
   // One LRU stripe: entries_ is most-recent-first; index_ maps key to the
   // entry's position in entries_.
   struct Stripe {
-    mutable std::mutex mu;
-    std::vector<Entry> entries;  // small per-stripe capacity: O(n) moves ok
+    mutable common::Mutex mu;
+    // small per-stripe capacity: O(n) moves ok
+    std::vector<Entry> entries WF_GUARDED_BY(mu);
   };
 
   Stripe& StripeFor(std::string_view key);

@@ -308,7 +308,7 @@ MetricsRegistry::Stripe& MetricsRegistry::StripeFor(
 Counter* MetricsRegistry::GetCounter(const std::string& name) const {
   WF_CHECK(IsValidMetricName(name)) << "bad metric name: " << name;
   Stripe& stripe = StripeFor(name);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  common::MutexLock lock(stripe.mu);
   auto& slot = stripe.counters[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
@@ -317,7 +317,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) const {
 Gauge* MetricsRegistry::GetGauge(const std::string& name) const {
   WF_CHECK(IsValidMetricName(name)) << "bad metric name: " << name;
   Stripe& stripe = StripeFor(name);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  common::MutexLock lock(stripe.mu);
   auto& slot = stripe.gauges[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -328,7 +328,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          bool timing) const {
   WF_CHECK(IsValidMetricName(name)) << "bad metric name: " << name;
   Stripe& stripe = StripeFor(name);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  common::MutexLock lock(stripe.mu);
   auto& slot = stripe.histograms[name];
   if (!slot) {
     slot = std::make_unique<Histogram>(bounds, timing);
@@ -342,7 +342,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
   for (const Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    common::MutexLock lock(stripe.mu);
     for (const auto& [name, counter] : stripe.counters) {
       snap.counters[name] = counter->value();
     }

@@ -6,12 +6,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace wf::obs {
 
@@ -168,10 +169,13 @@ class MetricsRegistry {
  private:
   static constexpr size_t kStripes = 16;
   struct Stripe {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
-    std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges;
-    std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms;
+    mutable common::Mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<Counter>> counters
+        WF_GUARDED_BY(mu);
+    std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges
+        WF_GUARDED_BY(mu);
+    std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms
+        WF_GUARDED_BY(mu);
   };
 
   Stripe& StripeFor(const std::string& name) const;

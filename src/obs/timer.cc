@@ -5,8 +5,8 @@
 namespace wf::obs {
 
 // wf_obs is the sanctioned home for the raw clock read; everything in
-// src/platform goes through this function (wflint: platform-raw-timing).
-// wflint: allow(platform-raw-timing)
+// src/platform goes through this function (the platform-raw-timing rule
+// only patrols src/platform, so no suppression is needed here).
 uint64_t MonotonicNowUs() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(

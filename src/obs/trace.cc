@@ -96,7 +96,7 @@ Span Tracer::StartSpan(const SpanContext& parent, const std::string& name) {
   if (!parent.valid()) return Span();
   uint64_t seq;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     seq = ++sibling_seq_[{parent.span_id, name}];
   }
   Span span;
@@ -116,17 +116,17 @@ void Tracer::Record(Span* span) {
   finished.parent_span_id = span->parent_span_id_;
   finished.name = std::move(span->name_);
   finished.attrs = std::move(span->attrs_);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   finished_.push_back(std::move(finished));
 }
 
 size_t Tracer::finished_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return finished_.size();
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   finished_.clear();
   sibling_seq_.clear();
 }
@@ -134,7 +134,7 @@ void Tracer::Clear() {
 std::vector<Tracer::FinishedSpan> Tracer::SortedFinished() const {
   std::vector<FinishedSpan> spans;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     spans = finished_;
   }
   // Ids are derivation-deterministic, so this order is stable across runs

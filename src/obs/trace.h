@@ -4,10 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace wf::obs {
 
@@ -113,11 +115,12 @@ class Tracer {
 
   const uint64_t seed_;
   std::atomic<uint64_t> trace_seq_{0};
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   // Per (parent span, name) sibling sequence, so two sequential same-name
   // children (e.g. retries of one fetch) still get distinct ids.
-  std::map<std::pair<uint64_t, std::string>, uint64_t> sibling_seq_;
-  std::vector<FinishedSpan> finished_;
+  std::map<std::pair<uint64_t, std::string>, uint64_t> sibling_seq_
+      WF_GUARDED_BY(mu_);
+  std::vector<FinishedSpan> finished_ WF_GUARDED_BY(mu_);
 };
 
 }  // namespace wf::obs

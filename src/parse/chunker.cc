@@ -47,6 +47,7 @@ std::vector<Chunk> Chunker::ChunkSentence(
     const std::vector<pos::PosTag>& tags) const {
   std::vector<Chunk> chunks;
   const size_t n = tags.size();
+  chunks.reserve(n / 2 + 1);  // a chunk spans >= 1 token; kO chunks are 1
   size_t i = 0;
   auto abs = [&](size_t rel) { return span.begin_token + rel; };
   (void)tokens;

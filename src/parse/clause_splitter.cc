@@ -32,6 +32,8 @@ std::vector<text::SentenceSpan> SplitClauses(
   const size_t total_verbs = verbs_before[n];
 
   std::vector<text::SentenceSpan> out;
+  // Every split consumes a verb on each side, so clauses <= verbs.
+  out.reserve(total_verbs + 1);
   size_t clause_begin = 0;
   for (size_t i = 0; i < n; ++i) {
     if (!IsCoordinator(tokens[span.begin_token + i], tags[i])) continue;

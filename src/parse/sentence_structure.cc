@@ -27,9 +27,11 @@ int HeadVerbToken(const text::TokenStream& tokens, const Chunk& vp,
 std::vector<SentenceParse> SentenceAnalyzer::AnalyzeClauses(
     const text::TokenStream& tokens, const text::SentenceSpan& span,
     const std::vector<pos::PosTag>& tags) const {
+  const std::vector<text::SentenceSpan> clauses =
+      SplitClauses(tokens, span, tags);
   std::vector<SentenceParse> out;
-  for (const text::SentenceSpan& clause :
-       SplitClauses(tokens, span, tags)) {
+  out.reserve(clauses.size());
+  for (const text::SentenceSpan& clause : clauses) {
     std::vector<pos::PosTag> clause_tags(
         tags.begin() +
             static_cast<long>(clause.begin_token - span.begin_token),
@@ -93,6 +95,7 @@ SentenceParse SentenceAnalyzer::Analyze(
   // sentiment. An NP right after a leading PP belongs to that PP.
   {
     int pending_pp = -1;
+    parse.pps.reserve(static_cast<size_t>(parse.predicate_chunk) / 2 + 1);
     for (int c = 0; c < parse.predicate_chunk; ++c) {
       const Chunk& ch = parse.chunks[c];
       if (ch.type == ChunkType::kPP) {

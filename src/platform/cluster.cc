@@ -110,7 +110,7 @@ void ClusterNode::UnregisterServices(VinciBus* bus) {
 common::Status ClusterNode::EnableDurability(
     const std::string& dir, common::StorageFaultInjector* injector,
     uint64_t checkpoint_every_appends) {
-  std::lock_guard<std::mutex> lock(dur_mu_);
+  common::MutexLock lock(dur_mu_);
   if (wal_.is_open()) {
     return Status::FailedPrecondition("durability already enabled");
   }
@@ -128,7 +128,7 @@ common::Status ClusterNode::Ingest(Entity entity) {
     return Status::AlreadyExists("entity exists: " + entity.id());
   }
   if (!wal_.is_open()) return store_.Put(std::move(entity));
-  std::lock_guard<std::mutex> lock(dur_mu_);
+  common::MutexLock lock(dur_mu_);
   // Log-then-store: the WAL append is the ack barrier. If it fails the
   // write was never acked, so the store must not accept it either.
   Status logged = wal_.Append(entity.Serialize());
@@ -150,7 +150,7 @@ common::Status ClusterNode::Ingest(Entity entity) {
 }
 
 common::Status ClusterNode::Checkpoint() {
-  std::lock_guard<std::mutex> lock(dur_mu_);
+  common::MutexLock lock(dur_mu_);
   return CheckpointLocked();
 }
 
@@ -173,7 +173,7 @@ common::Status ClusterNode::CheckpointLocked() {
 }
 
 common::Status ClusterNode::Recover() {
-  std::lock_guard<std::mutex> lock(dur_mu_);
+  common::MutexLock lock(dur_mu_);
   if (!wal_.is_open()) {
     return Status::FailedPrecondition("durability not enabled");
   }

@@ -3,11 +3,12 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/durable_file.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/logging.h"
 #include "common/hash.h"
 #include "common/status.h"
@@ -86,7 +87,10 @@ class ClusterNode {
   common::Status EnableDurability(
       const std::string& dir, common::StorageFaultInjector* injector = nullptr,
       uint64_t checkpoint_every_appends = 0);
-  bool durable() const { return wal_.is_open(); }
+  bool durable() const {
+    common::MutexLock lock(dur_mu_);
+    return wal_.is_open();
+  }
 
   // Durable write: the entity's serialized record is appended to the WAL
   // and flushed *before* the store accepts it — IOError means nothing was
@@ -105,7 +109,7 @@ class ClusterNode {
   common::Status Recover();
 
  private:
-  common::Status CheckpointLocked();
+  common::Status CheckpointLocked() WF_REQUIRES(dur_mu_);
 
   size_t id_;
   DataStore store_;
@@ -114,14 +118,15 @@ class ClusterNode {
   core::AnalysisCache analysis_cache_;
   obs::MetricsRegistry metrics_;
 
-  // Durability state (set by EnableDurability).
-  mutable std::mutex dur_mu_;  // serializes WAL appends and checkpoints
-  WriteAheadLog wal_;
+  // Durability configuration (set once by EnableDurability, before any
+  // concurrent use) and the state it guards.
   common::StorageFaultInjector* injector_ = nullptr;
   std::string store_path_;
   std::string index_path_;
   uint64_t checkpoint_every_appends_ = 0;
-  uint64_t appends_since_checkpoint_ = 0;
+  mutable common::Mutex dur_mu_;  // serializes WAL appends and checkpoints
+  WriteAheadLog wal_ WF_GUARDED_BY(dur_mu_);
+  uint64_t appends_since_checkpoint_ WF_GUARDED_BY(dur_mu_) = 0;
 };
 
 // Outcome of one scatter/gather search. A node that failed (partition,

@@ -8,7 +8,7 @@ namespace wf::platform {
 using ::wf::common::Status;
 
 common::Status DataStore::Put(Entity entity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::string id = entity.id();
   auto [it, inserted] = entities_.emplace(id, std::move(entity));
   if (!inserted) return Status::AlreadyExists("entity exists: " + id);
@@ -16,31 +16,31 @@ common::Status DataStore::Put(Entity entity) {
 }
 
 void DataStore::Upsert(Entity entity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   entities_[entity.id()] = std::move(entity);
 }
 
 common::Result<Entity> DataStore::Get(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = entities_.find(id);
   if (it == entities_.end()) return Status::NotFound("no entity: " + id);
   return it->second;
 }
 
 bool DataStore::Contains(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return entities_.count(id) > 0;
 }
 
 common::Status DataStore::Delete(const std::string& id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (entities_.erase(id) == 0) return Status::NotFound("no entity: " + id);
   return Status::Ok();
 }
 
 common::Status DataStore::Update(const std::string& id,
                                  const std::function<void(Entity&)>& fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = entities_.find(id);
   if (it == entities_.end()) return Status::NotFound("no entity: " + id);
   fn(it->second);
@@ -48,22 +48,22 @@ common::Status DataStore::Update(const std::string& id,
 }
 
 void DataStore::ForEach(const std::function<void(const Entity&)>& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   for (const auto& [id, entity] : entities_) fn(entity);
 }
 
 void DataStore::ForEachMutable(const std::function<void(Entity&)>& fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   for (auto& [id, entity] : entities_) fn(entity);
 }
 
 size_t DataStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return entities_.size();
 }
 
 std::vector<std::string> DataStore::Ids() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(entities_.size());
   for (const auto& [id, entity] : entities_) out.push_back(id);
@@ -71,7 +71,7 @@ std::vector<std::string> DataStore::Ids() const {
 }
 
 std::vector<Entity> DataStore::SnapshotSorted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<Entity> out;
   out.reserve(entities_.size());
   for (const auto& [id, entity] : entities_) out.push_back(entity);
@@ -83,7 +83,7 @@ std::vector<Entity> DataStore::SnapshotSorted() const {
 
 common::Status DataStore::Save(const std::string& path,
                                common::StorageFaultInjector* injector) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   // Length-prefixed entity records under the checksummed snapshot
   // envelope, written temp-then-rename: a crash (or full disk) mid-save
   // leaves the previous snapshot intact, and a reader can never load a
@@ -129,7 +129,7 @@ common::Status DataStore::Load(const std::string& path) {
     std::string id = entity->id();
     loaded[id] = std::move(entity).value();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   entities_ = std::move(loaded);
   return Status::Ok();
 }

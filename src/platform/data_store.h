@@ -2,13 +2,14 @@
 #define WF_PLATFORM_DATA_STORE_H_
 
 #include <functional>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/durable_file.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "platform/entity.h"
 
 namespace wf::platform {
@@ -63,8 +64,8 @@ class DataStore {
   common::Status Load(const std::string& path);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entity> entities_;
+  mutable common::Mutex mu_;
+  std::unordered_map<std::string, Entity> entities_ WF_GUARDED_BY(mu_);
 };
 
 }  // namespace wf::platform

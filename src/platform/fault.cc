@@ -8,37 +8,37 @@ namespace wf::platform {
 
 void FaultInjector::SetPolicy(const std::string& service_prefix,
                               FaultPolicy policy) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   policies_[service_prefix] = policy;
 }
 
 void FaultInjector::ClearPolicy(const std::string& service_prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   policies_.erase(service_prefix);
 }
 
 void FaultInjector::ClearAllPolicies() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   policies_.clear();
 }
 
 void FaultInjector::Partition(const std::string& service_prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   partitions_.insert(service_prefix);
 }
 
 void FaultInjector::Heal(const std::string& service_prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   partitions_.erase(service_prefix);
 }
 
 void FaultInjector::HealAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   partitions_.clear();
 }
 
 bool FaultInjector::IsPartitioned(const std::string& service) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   for (const std::string& prefix : partitions_) {
     if (common::StartsWith(service, prefix)) return true;
   }
@@ -60,7 +60,7 @@ const FaultPolicy* FaultInjector::MatchPolicyLocked(
 }
 
 FaultInjector::Decision FaultInjector::Decide(const std::string& service) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   Decision decision;
   for (const std::string& prefix : partitions_) {
     if (common::StartsWith(service, prefix)) {
@@ -98,7 +98,7 @@ FaultInjector::Decision FaultInjector::Decide(const std::string& service) {
 }
 
 FaultInjector::Counters FaultInjector::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return counters_;
 }
 

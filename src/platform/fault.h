@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace wf::platform {
 
@@ -76,16 +78,18 @@ class FaultInjector {
  private:
   // Longest-prefix policy lookup; nullptr when nothing matches. Requires
   // mu_ held.
-  const FaultPolicy* MatchPolicyLocked(const std::string& service) const;
+  const FaultPolicy* MatchPolicyLocked(const std::string& service) const
+      WF_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
   const uint64_t seed_;
-  std::map<std::string, FaultPolicy> policies_;
-  std::set<std::string> partitions_;
+
+  mutable common::Mutex mu_;
+  std::map<std::string, FaultPolicy> policies_ WF_GUARDED_BY(mu_);
+  std::set<std::string> partitions_ WF_GUARDED_BY(mu_);
   // Per-service call sequence; the decision stream for a service depends
   // only on how many calls that service has seen, not on global order.
-  std::map<std::string, uint64_t> call_seq_;
-  Counters counters_;
+  std::map<std::string, uint64_t> call_seq_ WF_GUARDED_BY(mu_);
+  Counters counters_ WF_GUARDED_BY(mu_);
 };
 
 }  // namespace wf::platform

@@ -40,7 +40,7 @@ void InvertedIndex::IndexEntity(const Entity& entity) {
 
 void InvertedIndex::IndexEntity(const Entity& entity,
                                 const text::TokenStream& tokens) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   uint32_t ord = InternDoc(entity.id());
 
   // Drop any previous postings for this doc (re-index).
@@ -113,13 +113,13 @@ void InvertedIndex::IndexEntity(const Entity& entity,
 
 void InvertedIndex::AddFieldValue(const std::string& doc_id,
                                   const std::string& field, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   fields_[field].emplace_back(value, InternDoc(doc_id));
 }
 
 std::vector<std::string> InvertedIndex::Range(const std::string& field,
                                               double lo, double hi) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<uint32_t> ords;
   auto it = fields_.find(field);
   if (it == fields_.end()) return {};
@@ -142,7 +142,7 @@ void InvertedIndex::AddConceptPosting(std::string_view term, uint32_t ord,
 
 void InvertedIndex::AddConceptToken(const std::string& doc_id,
                                     const std::string& token) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::string lower;
   AddConceptPosting(token, InternDoc(doc_id), &lower);
 }
@@ -165,7 +165,7 @@ std::vector<std::string> InvertedIndex::ToDocIds(
 }
 
 std::vector<std::string> InvertedIndex::Term(const std::string& term) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   const auto* list = Find(term);
   if (list == nullptr) return {};
   std::vector<uint32_t> ords;
@@ -212,7 +212,7 @@ std::vector<std::string> InvertedIndex::Phrase(
   if (words.empty()) return {};
   if (words.size() == 1) return Term(words[0]);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   const auto* first = Find(words[0]);
   if (first == nullptr) return {};
 
@@ -243,7 +243,7 @@ std::vector<std::string> InvertedIndex::Phrase(
 
 std::vector<std::string> InvertedIndex::Prefix(
     const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::string lo = ToLower(prefix);
   std::vector<uint32_t> ords;
   for (auto it = postings_.lower_bound(lo);
@@ -255,7 +255,7 @@ std::vector<std::string> InvertedIndex::Prefix(
 
 std::vector<std::string> InvertedIndex::MatchRegex(
     const std::string& pattern) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::regex re;
   try {
     re = std::regex(pattern, std::regex::ECMAScript | std::regex::icase);
@@ -272,7 +272,7 @@ std::vector<std::string> InvertedIndex::MatchRegex(
 
 size_t InvertedIndex::TermFrequency(const std::string& term,
                                     const std::string& doc_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto dit = doc_ids_.find(doc_id);
   if (dit == doc_ids_.end()) return 0;
   const auto* list = Find(term);
@@ -286,12 +286,12 @@ size_t InvertedIndex::TermFrequency(const std::string& term,
 }
 
 size_t InvertedIndex::document_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return docs_.size();
 }
 
 size_t InvertedIndex::vocabulary_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return postings_.size();
 }
 
@@ -330,7 +330,7 @@ std::string UnescapeField(const std::string& s) {
 
 common::Status InvertedIndex::Save(
     const std::string& path, common::StorageFaultInjector* injector) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   // Built in memory and written atomically under the checksummed `wfsnap
   // index` envelope — truncating in place would destroy the previous
   // snapshot before the new one was safely down.
@@ -415,7 +415,7 @@ common::Status InvertedIndex::Load(const std::string& path) {
       return common::Status::Corruption("unknown index record: " + line);
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   docs_ = std::move(docs);
   doc_ids_ = std::move(doc_ids);
   postings_ = std::move(postings);
@@ -425,7 +425,7 @@ common::Status InvertedIndex::Load(const std::string& path) {
 
 std::vector<std::string> InvertedIndex::VocabularyWithPrefix(
     const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::string lo = ToLower(prefix);
   std::vector<std::string> out;
   for (auto it = postings_.lower_bound(lo);

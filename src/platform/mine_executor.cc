@@ -27,7 +27,7 @@ MineExecutor::MineExecutor(const MineExecutorOptions& options)
 
 MineExecutor::~MineExecutor() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -35,6 +35,7 @@ MineExecutor::~MineExecutor() {
 }
 
 void MineExecutor::AttachMetrics(obs::MetricsRegistry* metrics) {
+  common::MutexLock lock(mu_);
   if (metrics == nullptr) {
     utilization_gauge_ = nullptr;
     batch_latency_us_ = nullptr;
@@ -63,7 +64,7 @@ void MineExecutor::ParallelFor(size_t count,
   }
   batch->stride = std::max<size_t>(1, std::min<size_t>(stride, 64));
 
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<common::Mutex> lock(mu_);
   queue_.push_back(batch);
   work_cv_.notify_all();
   while (RunStride(batch, lock)) {
@@ -80,7 +81,7 @@ void MineExecutor::ParallelFor(size_t count,
 }
 
 bool MineExecutor::RunStride(const std::shared_ptr<Batch>& batch,
-                             std::unique_lock<std::mutex>& lock) {
+                             std::unique_lock<common::Mutex>& lock) {
   const size_t begin = batch->next.fetch_add(batch->stride);
   if (begin >= batch->count) return false;
   const size_t end = std::min(batch->count, begin + batch->stride);
@@ -108,7 +109,7 @@ bool MineExecutor::RunStride(const std::shared_ptr<Batch>& batch,
 }
 
 void MineExecutor::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<common::Mutex> lock(mu_);
   for (;;) {
     work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
     if (stop_) return;

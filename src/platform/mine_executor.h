@@ -9,9 +9,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace wf::obs {
 class Gauge;
@@ -65,7 +67,10 @@ class MineExecutor {
   // contiguous ranges, returning after all have finished. The calling
   // thread participates. `task` must be safe to invoke concurrently from
   // multiple threads with distinct indices.
-  void ParallelFor(size_t count, const std::function<void(size_t)>& task);
+  // The batch wait hand-rolls a std::unique_lock over the pool mutex,
+  // which the clang analysis cannot follow.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& task)
+      WF_NO_THREAD_SAFETY_ANALYSIS;
 
   // Worker threads owned by the pool (not counting participating callers).
   size_t threads() const { return workers_.size(); }
@@ -84,24 +89,31 @@ class MineExecutor {
     size_t done = 0;         // finished indices; guarded by pool mu_
   };
 
-  void WorkerLoop();
+  // Worker and stride internals juggle a std::unique_lock across the
+  // condition-variable waits, which the clang analysis cannot follow.
+  void WorkerLoop() WF_NO_THREAD_SAFETY_ANALYSIS;
   // Claims and runs one stride of `batch`; returns false when the batch
   // had nothing left to claim. `lock` is held on entry and exit.
   bool RunStride(const std::shared_ptr<Batch>& batch,
-                 std::unique_lock<std::mutex>& lock);
+                 std::unique_lock<common::Mutex>& lock)
+      WF_NO_THREAD_SAFETY_ANALYSIS;
 
   MineExecutorOptions options_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::deque<std::shared_ptr<Batch>> queue_;
-  bool stop_ = false;
+  // Lifecycle-immutable: workers_ is filled in the constructor and joined
+  // in the destructor, never mutated while the pool is live.
   std::vector<std::thread> workers_;
+  common::Mutex mu_;
+  std::condition_variable_any work_cv_;
+  std::condition_variable_any done_cv_;
+  std::deque<std::shared_ptr<Batch>> queue_ WF_GUARDED_BY(mu_);
+  bool stop_ WF_GUARDED_BY(mu_) = false;
 
   std::atomic<size_t> active_workers_{0};
-  obs::Gauge* utilization_gauge_ = nullptr;   // busy workers, point-in-time
-  obs::Histogram* batch_latency_us_ = nullptr;
-  obs::Gauge* threads_gauge_ = nullptr;
+  // Metric handles; attached under mu_ and written back under mu_ in
+  // RunStride so a detach never races a stride's gauge update.
+  obs::Gauge* utilization_gauge_ WF_GUARDED_BY(mu_) = nullptr;
+  obs::Histogram* batch_latency_us_ WF_GUARDED_BY(mu_) = nullptr;
+  obs::Gauge* threads_gauge_ WF_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace wf::platform

@@ -26,14 +26,14 @@ MinerPipeline::MinerMetrics MinerPipeline::ResolveMetrics(
 }
 
 void MinerPipeline::AddMiner(std::unique_ptr<EntityMiner> miner) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  common::MutexLock lock(stats_mu_);
   stats_.push_back(MinerStats{miner->name()});
   metric_handles_.push_back(ResolveMetrics(miner->name()));
   miners_.push_back(std::move(miner));
 }
 
 void MinerPipeline::AttachMetrics(obs::MetricsRegistry* metrics) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  common::MutexLock lock(stats_mu_);
   metrics_ = metrics;
   for (size_t i = 0; i < miners_.size(); ++i) {
     metric_handles_[i] = ResolveMetrics(miners_[i]->name());
@@ -55,7 +55,7 @@ common::Status MinerPipeline::ProcessEntity(Entity& entity) {
   bool need_analysis = false;
   for (size_t i = 0; i < miners_.size(); ++i) {
     if (miners_[i]->wants_analysis()) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      common::MutexLock lock(stats_mu_);
       if (!stats_[i].quarantined) {
         need_analysis = true;
         break;
@@ -66,7 +66,7 @@ common::Status MinerPipeline::ProcessEntity(Entity& entity) {
   for (size_t i = 0; i < miners_.size(); ++i) {
     MinerMetrics handles;
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      common::MutexLock lock(stats_mu_);
       if (stats_[i].quarantined) continue;
       handles = metric_handles_[i];
     }
@@ -77,7 +77,7 @@ common::Status MinerPipeline::ProcessEntity(Entity& entity) {
     if (handles.entities != nullptr) handles.entities->Add(1);
     if (!s.ok() && handles.failures != nullptr) handles.failures->Add(1);
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      common::MutexLock lock(stats_mu_);
       stats_[i].total_time += std::chrono::microseconds(elapsed);
       ++stats_[i].entities;
       if (s.ok()) {
@@ -102,7 +102,7 @@ common::Status MinerPipeline::ProcessEntity(Entity& entity) {
 }
 
 void MinerPipeline::ClearQuarantines() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  common::MutexLock lock(stats_mu_);
   for (MinerStats& stats : stats_) {
     stats.quarantined = false;
     stats.consecutive_failures = 0;
@@ -128,7 +128,7 @@ void MinerPipeline::ProcessStore(DataStore& store, MineExecutor* executor) {
   std::vector<char> active(miner_count, 0);
   std::vector<MinerMetrics> handles(miner_count);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    common::MutexLock lock(stats_mu_);
     for (size_t i = 0; i < miner_count; ++i) {
       active[i] = stats_[i].quarantined ? 0 : 1;
       handles[i] = metric_handles_[i];
@@ -182,7 +182,7 @@ void MinerPipeline::ProcessStore(DataStore& store, MineExecutor* executor) {
 
   // Replay the outcome matrix in canonical order to update streaks and
   // quarantine — the same trips fire regardless of execution interleaving.
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  common::MutexLock lock(stats_mu_);
   for (size_t e = 0; e < entity_count; ++e) {
     for (size_t i = 0; i < miner_count; ++i) {
       const StepOutcome outcome = outcomes[e * miner_count + i];
@@ -210,7 +210,7 @@ void MinerPipeline::ProcessStore(DataStore& store, MineExecutor* executor) {
 }
 
 std::vector<MinerPipeline::MinerStats> MinerPipeline::Stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  common::MutexLock lock(stats_mu_);
   return stats_;
 }
 

@@ -3,11 +3,12 @@
 
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/analysis.h"
 #include "platform/data_store.h"
 #include "platform/entity.h"
@@ -188,8 +189,8 @@ class MinerPipeline {
   std::vector<MinerMetrics> metric_handles_;  // parallel to miners_
   // Guards stats_. AddMiner is configuration, not data-path: it must not
   // run concurrently with processing (miners_ itself is unguarded).
-  mutable std::mutex stats_mu_;
-  std::vector<MinerStats> stats_;
+  mutable common::Mutex stats_mu_;
+  std::vector<MinerStats> stats_ WF_GUARDED_BY(stats_mu_);
 };
 
 // --- Built-in entity miners --------------------------------------------------

@@ -40,7 +40,7 @@ class VinciBus::ScatterPool {
 
   ~ScatterPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(mu_);
       stop_ = true;
     }
     work_cv_.notify_all();
@@ -49,13 +49,14 @@ class VinciBus::ScatterPool {
 
   // Runs every task, returning once all have finished. The calling thread
   // participates in its own batch.
-  void RunAll(std::vector<std::function<void()>>* tasks) {
+  void RunAll(std::vector<std::function<void()>>* tasks)
+      WF_NO_THREAD_SAFETY_ANALYSIS {
     if (tasks->empty()) return;
     auto batch = std::make_shared<Batch>();
     batch->tasks = tasks;
     batch->size = tasks->size();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(mu_);
       queue_.push_back(batch);
     }
     work_cv_.notify_all();
@@ -63,10 +64,10 @@ class VinciBus::ScatterPool {
       size_t i = batch->next.fetch_add(1);
       if (i >= batch->size) break;
       (*tasks)[i]();
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(mu_);
       if (++batch->done == batch->size) done_cv_.notify_all();
     }
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<common::Mutex> lock(mu_);
     done_cv_.wait(lock, [&] { return batch->done == batch->size; });
     // The batch may still sit in the queue with all tasks claimed; remove
     // it so no worker touches it after `tasks` goes out of scope.
@@ -86,8 +87,10 @@ class VinciBus::ScatterPool {
     size_t done = 0;                // finished tasks; guarded by pool mu_
   };
 
-  void WorkerLoop() {
-    std::unique_lock<std::mutex> lock(mu_);
+  // The analysis cannot follow a unique_lock handed in and out of cv
+  // waits; the fields stay annotated so every other access is checked.
+  void WorkerLoop() WF_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<common::Mutex> lock(mu_);
     for (;;) {
       work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
       if (stop_) return;
@@ -104,12 +107,17 @@ class VinciBus::ScatterPool {
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::deque<std::shared_ptr<Batch>> queue_;
-  bool stop_ = false;
+  // Started in the constructor, joined in the destructor, untouched in
+  // between: lifecycle-immutable, so declared above the mutex.
   std::vector<std::thread> workers_;
+
+  common::Mutex mu_;
+  // condition_variable_any, not condition_variable: it waits on the
+  // annotated common::Mutex directly.
+  std::condition_variable_any work_cv_;
+  std::condition_variable_any done_cv_;
+  std::deque<std::shared_ptr<Batch>> queue_ WF_GUARDED_BY(mu_);
+  bool stop_ WF_GUARDED_BY(mu_) = false;
 };
 
 namespace {
@@ -126,14 +134,14 @@ VinciBus::~VinciBus() = default;
 
 common::Status VinciBus::RegisterService(const std::string& name,
                                          Handler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto [it, inserted] = services_.emplace(name, std::move(handler));
   if (!inserted) return Status::AlreadyExists("service exists: " + name);
   return Status::Ok();
 }
 
 common::Status VinciBus::UnregisterService(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (services_.erase(name) == 0) {
     return Status::NotFound("no service: " + name);
   }
@@ -163,7 +171,7 @@ void VinciBus::SetBreakerGauge(const std::string& service,
 }
 
 void VinciBus::RecordOutcome(const std::string& service, bool ok) const {
-  std::lock_guard<std::mutex> lock(breaker_mu_);
+  common::MutexLock lock(breaker_mu_);
   Breaker& b = breakers_[service];
   if (ok) {
     if (b.open) {
@@ -209,7 +217,7 @@ common::Result<std::string> VinciBus::CallOnce(const std::string& service,
     return result;
   };
   {
-    std::lock_guard<std::mutex> lock(breaker_mu_);
+    common::MutexLock lock(breaker_mu_);
     Breaker& b = breakers_[service];
     if (b.open && b.rejections < breaker_config_.open_rejections) {
       ++b.rejections;
@@ -232,7 +240,7 @@ common::Result<std::string> VinciBus::CallOnce(const std::string& service,
   // simulated network round trip and says nothing about service health.
   Handler handler;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     auto it = services_.find(service);
     if (it == services_.end()) {
       if (span.active()) span.SetAttr("status", "not_found");
@@ -348,7 +356,7 @@ VinciBus::CallAll(const std::string& prefix,
                   const std::string& request) const {
   std::vector<std::string> targets;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     for (auto it = services_.lower_bound(prefix);
          it != services_.end() && common::StartsWith(it->first, prefix);
          ++it) {
@@ -374,21 +382,23 @@ VinciBus::CallAll(const std::string& prefix,
       out[i].second = CallOnce(targets[i], request, &breaker_rejected);
     });
   }
+  ScatterPool* pool = nullptr;
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    common::MutexLock lock(pool_mu_);
     if (!pool_) pool_ = std::make_unique<ScatterPool>(ScatterThreads());
+    pool = pool_.get();
   }
-  pool_->RunAll(&tasks);
+  pool->RunAll(&tasks);
   return out;
 }
 
 void VinciBus::SetBreakerConfig(const BreakerConfig& config) {
-  std::lock_guard<std::mutex> lock(breaker_mu_);
+  common::MutexLock lock(breaker_mu_);
   breaker_config_ = config;
 }
 
 BreakerState VinciBus::breaker_state(const std::string& service) const {
-  std::lock_guard<std::mutex> lock(breaker_mu_);
+  common::MutexLock lock(breaker_mu_);
   auto it = breakers_.find(service);
   if (it == breakers_.end() || !it->second.open) return BreakerState::kClosed;
   return it->second.rejections >= breaker_config_.open_rejections
@@ -397,7 +407,7 @@ BreakerState VinciBus::breaker_state(const std::string& service) const {
 }
 
 void VinciBus::ResetBreakers() {
-  std::lock_guard<std::mutex> lock(breaker_mu_);
+  common::MutexLock lock(breaker_mu_);
   for (const auto& [service, breaker] : breakers_) {
     if (breaker.open) SetBreakerGauge(service, 0);
   }
@@ -405,7 +415,7 @@ void VinciBus::ResetBreakers() {
 }
 
 std::vector<std::string> VinciBus::Services() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(services_.size());
   for (const auto& [name, handler] : services_) out.push_back(name);
@@ -413,7 +423,7 @@ std::vector<std::string> VinciBus::Services() const {
 }
 
 size_t VinciBus::CallCount(const std::string& service) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = call_counts_.find(service);
   return it == call_counts_.end() ? 0 : it->second;
 }

@@ -5,11 +5,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace wf::obs {
 class MetricsRegistry;
@@ -168,20 +169,20 @@ class VinciBus {
   // on the attached registry, if any.
   void SetBreakerGauge(const std::string& service, int64_t state) const;
 
-  mutable std::mutex mu_;
-  std::map<std::string, Handler> services_;
-  mutable std::map<std::string, size_t> call_counts_;
+  mutable common::Mutex mu_;
+  std::map<std::string, Handler> services_ WF_GUARDED_BY(mu_);
+  mutable std::map<std::string, size_t> call_counts_ WF_GUARDED_BY(mu_);
   std::atomic<uint64_t> simulated_latency_us_{0};
   std::atomic<FaultInjector*> fault_injector_{nullptr};
   std::atomic<obs::MetricsRegistry*> metrics_{nullptr};
   std::atomic<obs::Tracer*> tracer_{nullptr};
 
-  mutable std::mutex breaker_mu_;
-  BreakerConfig breaker_config_;
-  mutable std::map<std::string, Breaker> breakers_;
+  mutable common::Mutex breaker_mu_;
+  BreakerConfig breaker_config_ WF_GUARDED_BY(breaker_mu_);
+  mutable std::map<std::string, Breaker> breakers_ WF_GUARDED_BY(breaker_mu_);
 
-  mutable std::mutex pool_mu_;  // guards lazy pool construction
-  mutable std::unique_ptr<ScatterPool> pool_;
+  mutable common::Mutex pool_mu_;  // guards lazy pool construction
+  mutable std::unique_ptr<ScatterPool> pool_ WF_GUARDED_BY(pool_mu_);
 
   // Backoff-jitter sequence; each draw seeds a fresh wf::common::Rng so
   // concurrent retries stay lock-free and reproducible.

@@ -39,8 +39,10 @@ PosTagger::PosTagger() {
   const TagLexiconEntry* entries = EmbeddedTagLexicon(&count);
   lexicon_.reserve(count);
   for (size_t i = 0; i < count; ++i) {
+    const std::vector<std::string> names = Split(entries[i].tags, ",");
     std::vector<PosTag> tags;
-    for (const std::string& name : Split(entries[i].tags, ",")) {
+    tags.reserve(names.size());
+    for (const std::string& name : names) {
       PosTag t = ParsePosTag(name);
       WF_CHECK(t != PosTag::kUnknown)
           << "bad tag '" << name << "' for lexicon word '" << entries[i].word

@@ -86,8 +86,10 @@ bool IsVowel(char c) {
 // requires it (e.g. "impress+ed" vs "improve+d"). We approximate with a
 // small rule set validated by the tagger tests.
 std::string StripVerbSuffix(std::string_view w) {
+  // `word` exists only for the exact-match tables; every slice below cuts
+  // the string_view and materializes once at the return.
   std::string word(w);
-  auto ends = [&](std::string_view s) { return EndsWith(word, s); };
+  auto ends = [&](std::string_view s) { return EndsWith(w, s); };
 
   // Base forms that merely *look* inflected must pass through: -eed verbs
   // ("need", "exceed", "succeed"), -ing-final bases ("bring", "spring"),
@@ -109,31 +111,31 @@ std::string StripVerbSuffix(std::string_view w) {
   };
   if (kEdBases->count(word) > 0) return word;
 
-  if (ends("ies") && word.size() > 4) {
+  if (ends("ies") && w.size() > 4) {
     // "carries" -> "carry"
-    return word.substr(0, word.size() - 3) + "y";
+    return std::string(w.substr(0, w.size() - 3)) + "y";
   }
-  if (ends("ied") && word.size() > 4) {
+  if (ends("ied") && w.size() > 4) {
     // "satisfied" -> "satisfy"
-    return word.substr(0, word.size() - 3) + "y";
+    return std::string(w.substr(0, w.size() - 3)) + "y";
   }
   if ((ends("ches") || ends("shes") || ends("sses") || ends("xes") ||
        ends("zes")) &&
-      word.size() > 4) {
+      w.size() > 4) {
     // "watches" -> "watch", "passes" -> "pass"
-    return word.substr(0, word.size() - 2);
+    return std::string(w.substr(0, w.size() - 2));
   }
-  if (ends("es") && word.size() > 3 && word[word.size() - 3] == 'o') {
+  if (ends("es") && w.size() > 3 && w[w.size() - 3] == 'o') {
     // "goes" handled as irregular; "echoes" -> "echo"
-    return word.substr(0, word.size() - 2);
+    return std::string(w.substr(0, w.size() - 2));
   }
   if (ends("s") && !ends("ss") && !ends("us") && !ends("is") &&
-      word.size() > 2) {
-    return word.substr(0, word.size() - 1);
+      w.size() > 2) {
+    return std::string(w.substr(0, w.size() - 1));
   }
 
   auto strip_ed_ing = [&](size_t suffix_len) -> std::string {
-    std::string stem = word.substr(0, word.size() - suffix_len);
+    std::string_view stem = w.substr(0, w.size() - suffix_len);
     if (stem.size() >= 2) {
       char last = stem[stem.size() - 1];
       char prev = stem[stem.size() - 2];
@@ -142,9 +144,9 @@ std::string StripVerbSuffix(std::string_view w) {
       // "fill") keep it and take no restored 'e'.
       if (last == prev && !IsVowel(last)) {
         if (last != 'l' && last != 's' && stem.size() >= 3) {
-          return stem.substr(0, stem.size() - 1);
+          return std::string(stem.substr(0, stem.size() - 1));
         }
-        return stem;
+        return std::string(stem);
       }
       // Silent-e restoration: "loved" -> "love", "amazing" -> "amaze".
       // Applies when the stem ends with consonant preceded by vowel and the
@@ -154,48 +156,49 @@ std::string StripVerbSuffix(std::string_view w) {
       if (!IsVowel(last)) {
         if (last == 'v' || last == 'z' || last == 'c' || last == 'g' ||
             last == 's' || last == 'u') {
-          return stem + "e";
+          return std::string(stem) + "e";
         }
         static const char* kERestore[] = {"at", "it", "ot", "ut", "ik",
                                           "ok", "ir", "ar", "or", "ur",
                                           "in", "im", "iz", "as"};
         if (stem.size() >= 2) {
-          std::string tail = stem.substr(stem.size() - 2);
+          std::string_view tail = stem.substr(stem.size() - 2);
           for (const char* t : kERestore) {
-            if (tail == t && stem.size() > 3) return stem + "e";
+            if (tail == t && stem.size() > 3) return std::string(stem) + "e";
           }
         }
       }
     }
-    return stem;
+    return std::string(stem);
   };
 
-  if (ends("ing") && word.size() > 4) return strip_ed_ing(3);
-  if (ends("ed") && word.size() > 3) return strip_ed_ing(2);
+  if (ends("ing") && w.size() > 4) return strip_ed_ing(3);
+  if (ends("ed") && w.size() > 3) return strip_ed_ing(2);
   return word;
 }
 
 }  // namespace
 
 std::string SingularizeNoun(std::string_view word) {
-  std::string w(word);
+  std::string w(word);  // exact-match tables only; slices cut the view
   auto it = IrregularNouns().find(w);
   if (it != IrregularNouns().end()) return it->second;
-  if (IsPluralLookingSingular(w)) return w;
-  if (EndsWith(w, "ies") && w.size() > 4) {
-    return w.substr(0, w.size() - 3) + "y";
+  if (IsPluralLookingSingular(word)) return w;
+  if (EndsWith(word, "ies") && word.size() > 4) {
+    return std::string(word.substr(0, word.size() - 3)) + "y";
   }
-  if ((EndsWith(w, "ches") || EndsWith(w, "shes") || EndsWith(w, "sses") ||
-       EndsWith(w, "xes") || EndsWith(w, "zes")) &&
-      w.size() > 4) {
-    return w.substr(0, w.size() - 2);
+  if ((EndsWith(word, "ches") || EndsWith(word, "shes") ||
+       EndsWith(word, "sses") || EndsWith(word, "xes") ||
+       EndsWith(word, "zes")) &&
+      word.size() > 4) {
+    return std::string(word.substr(0, word.size() - 2));
   }
-  if (EndsWith(w, "oes") && w.size() > 4) {
-    return w.substr(0, w.size() - 2);
+  if (EndsWith(word, "oes") && word.size() > 4) {
+    return std::string(word.substr(0, word.size() - 2));
   }
-  if (EndsWith(w, "s") && !EndsWith(w, "ss") && !EndsWith(w, "us") &&
-      !EndsWith(w, "is") && w.size() > 2) {
-    return w.substr(0, w.size() - 1);
+  if (EndsWith(word, "s") && !EndsWith(word, "ss") && !EndsWith(word, "us") &&
+      !EndsWith(word, "is") && word.size() > 2) {
+    return std::string(word.substr(0, word.size() - 1));
   }
   return w;
 }
@@ -208,7 +211,7 @@ std::string VerbLemma(std::string_view word) {
 }
 
 std::string AdjectiveBase(std::string_view word) {
-  std::string w(word);
+  std::string w(word);  // exact-match table only; slices cut the view
   static const auto* kIrregular =
       new std::unordered_map<std::string, std::string>{
           {"better", "good"}, {"best", "good"},  {"worse", "bad"},
@@ -219,28 +222,29 @@ std::string AdjectiveBase(std::string_view word) {
   if (it != kIrregular->end()) return it->second;
 
   auto strip = [&](size_t n) -> std::string {
-    std::string stem = w.substr(0, w.size() - n);
+    std::string_view stem = word.substr(0, word.size() - n);
     if (stem.size() >= 2) {
       char last = stem[stem.size() - 1];
       char prev = stem[stem.size() - 2];
       if (last == prev && !IsVowel(last)) {
-        return stem.substr(0, stem.size() - 1);  // bigger -> big
+        return std::string(stem.substr(0, stem.size() - 1));  // bigger -> big
       }
       if (last == 'i') {
-        return stem.substr(0, stem.size() - 1) + "y";  // happier -> happy
+        // happier -> happy
+        return std::string(stem.substr(0, stem.size() - 1)) + "y";
       }
       // nicer -> nice: restore e when the stem ends in a consonant that
       // would otherwise leave an un-word ("nic").
       if (!IsVowel(last) && (last == 'c' || last == 'g' || last == 'v' ||
                              last == 's' || last == 'z')) {
-        return stem + "e";
+        return std::string(stem) + "e";
       }
     }
-    return stem;
+    return std::string(stem);
   };
 
-  if (EndsWith(w, "est") && w.size() > 4) return strip(3);
-  if (EndsWith(w, "er") && w.size() > 3) return strip(2);
+  if (EndsWith(word, "est") && word.size() > 4) return strip(3);
+  if (EndsWith(word, "er") && word.size() > 3) return strip(2);
   return w;
 }
 

@@ -20,6 +20,7 @@ bool IsTrailingCloser(const Token& t) {
 std::vector<SentenceSpan> SentenceSplitter::Split(
     const TokenStream& tokens) const {
   std::vector<SentenceSpan> out;
+  out.reserve(tokens.size() / 16 + 1);  // ~16 tokens per sentence in reviews
   size_t start = 0;
   for (size_t i = 0; i < tokens.size(); ++i) {
     if (!IsTerminator(tokens[i])) continue;

@@ -2,32 +2,56 @@
 #define WF_TOOLS_WFLINT_WFLINT_H_
 
 #include <cstddef>
+#include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
-// wflint: a lightweight project-specific static-analysis pass.
+// wflint v2: the project's static-analysis engine (DESIGN.md §11).
 //
-// It scans C++ sources for patterns this codebase bans outright (see
-// DESIGN.md "Correctness tooling"): silently discarded Status/Result calls,
-// raw new/delete, non-deterministic RNG construction, `using namespace` in
-// headers, missing include guards, tolerance-free floating-point
-// equality assertions, and query-path bus Calls whose Result status is
-// never checked. It is a text-level scanner, deliberately dependency
-// free (no libclang): the [[nodiscard]] + -Werror compiler enforcement is
-// the precise backstop; wflint catches the same class of bugs earlier and
-// in code the compiler cannot see (e.g. dead test helpers), and enforces
-// conventions the compiler has no opinion on.
+// v1 was a single-file, line-regex scanner. v2 is a two-pass, repo-wide
+// analysis: pass 1 (Engine::AddFile) builds a per-file model over the
+// scrubbed token stream — include edges, class shapes (declared mutexes,
+// WF_GUARDED_BY field annotations), function spans, call edges, container
+// declarations, suppressions — and pass 2 (Engine::Run) evaluates every
+// rule over the whole model at once, so rules can reason across files:
+// which layer includes which, whether a guarded field is only touched
+// under its mutex, whether an unordered-container iteration reaches a
+// serialization sink defined three files away.
+//
+// Rule families (see Rules() for the full list):
+//   - conventions: discarded-status, raw-new/delete, include guards,
+//     using-namespace, float-equality (v1 rules, unchanged semantics)
+//   - platform discipline: unchecked-rpc, platform-raw-{timing,thread,
+//     file-io} (v1 rules, unchanged semantics)
+//   - layering: an explicit allowed-edge DAG over src/<layer> directories;
+//     any #include crossing against it is a finding
+//   - guarded-by: WF_GUARDED_BY(mu) fields touched in a member function
+//     that neither locks `mu` nor is annotated WF_REQUIRES(mu); plus
+//     unannotated fields declared after a mutex member (platform/obs/core)
+//   - determinism: iteration over std::unordered_{map,set} whose loop body
+//     reaches a serialization/export/hash sink (byte-identical-output
+//     contract, DESIGN.md §10); banned-rng covers the RNG half
+//   - hot-path allocation: by-value std::string params, allocating
+//     substr, and unreserved per-element push_back in the tokenize→POS→
+//     parse front half (src/{text,pos,parse})
+//   - suppression hygiene: unknown-rule and unused-suppression (an
+//     allow() whose rule never fires in that file is itself a finding)
 //
 // Suppression syntax (per file): a comment anywhere in the file of the form
 //     // wflint: allow(<rule-1>, <rule-2>)
 // (with real rule ids, no angle brackets) disables the named rules for that
-// entire file. Suppressions of unknown rule names are themselves
-// violations, so stale allowances get cleaned up.
+// entire file. Suppressions of unknown rules, and suppressions that no
+// longer suppress anything, are themselves violations.
 //
-// The scanner is intentionally standalone: it depends only on the standard
+// The engine is intentionally standalone: it depends only on the standard
 // library, so a bug in the code it lints can never take the linter down
-// with it.
+// with it. It is a token-level approximation, not a compiler — the
+// [[nodiscard]] + -Werror build and the clang-tsafety preset
+// (-Wthread-safety) are the precise backstops; wflint catches the same
+// classes of bug earlier, on every toolchain, and in code the compiler
+// cannot see.
 
 namespace wf::tools::wflint {
 
@@ -51,37 +75,60 @@ const std::vector<RuleInfo>& Rules();
 // True if `id` names a known rule.
 bool IsKnownRule(const std::string& id);
 
-// A source file handed to the linter. `path` is used for reporting and for
-// header/source classification (".h" vs anything else).
+// The allowed-edge layering DAG over src/<layer> directories: for each
+// layer, the set of *other* layers it may #include (intra-layer edges are
+// always allowed; tests/bench/examples may include anything). Exposed so
+// tests and docs stay in lockstep with the rule.
+const std::map<std::string, std::set<std::string>>& LayeringDag();
+
+// A source file handed to the engine. `path` is used for reporting, for
+// header/source classification (".h" vs anything else), and for layer
+// assignment (the directory component after "src/").
 struct SourceFile {
   std::string path;
   std::string content;
 };
 
-class Linter {
+struct FileModel;  // internal per-file model (wflint.cc)
+
+// The two-pass engine. Feed every file in the repo to AddFile (pass 1),
+// then call Run() for the full cross-file analysis (pass 2). Findings are
+// sorted by (file, line, rule) and already filtered through per-file
+// allow() suppressions.
+class Engine {
  public:
-  // Pass 1: record declarations of functions returning Status / Result<T>
-  // from `file` so pass 2 can recognize discarded calls to them. Feed every
-  // file that will later be linted (headers declare most, but .cc-local
-  // helpers count too).
-  void CollectDeclarations(const SourceFile& file);
+  Engine();
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
-  // Pass 2: lint one file. CollectDeclarations must have seen the whole
-  // file set first for discarded-status to be complete.
-  std::vector<Violation> Lint(const SourceFile& file) const;
+  // Pass 1: parse `file` into its model. Order does not matter.
+  void AddFile(const SourceFile& file);
 
-  // Names of fallible (Status/Result-returning) functions seen by pass 1.
-  const std::set<std::string>& fallible_functions() const {
-    return fallible_;
-  }
+  // Pass 2: evaluate every rule over the whole model.
+  std::vector<Violation> Run() const;
+
+  size_t file_count() const;
+
+  // Names of fallible (Status/Result-returning) functions seen by pass 1
+  // (diagnostics for the discarded-status rule).
+  const std::set<std::string>& fallible_functions() const;
 
  private:
+  std::vector<std::unique_ptr<FileModel>> files_;
   std::set<std::string> fallible_;
 };
 
-// Machine-readable report: one line per violation,
+// Machine-readable TSV report: one line per violation,
 // "<file>\t<line>\t<rule>\t<message>\n", sorted by (file, line, rule).
 std::string FormatReport(std::vector<Violation> violations);
+
+// Machine-readable JSON report:
+//   {"version":2,"files_scanned":N,"count":M,
+//    "violations":[{"file":...,"line":...,"rule":...,"message":...},...]}
+// Violations sorted by (file, line, rule); keys emitted in the order shown.
+std::string FormatJsonReport(std::vector<Violation> violations,
+                             size_t files_scanned);
 
 }  // namespace wf::tools::wflint
 

@@ -1,11 +1,14 @@
 // wflint CLI: scans C++ sources under the given roots and reports banned
-// patterns. Exit status 0 means clean, 1 means violations, 2 means usage
-// or I/O error.
+// patterns plus cross-file analysis findings (layering, guarded-by,
+// determinism, hot-path allocation — see wflint.h). Exit status 0 means
+// clean, 1 means violations, 2 means usage or I/O error.
 //
-//   wflint [--report <path>] [--list-rules] <root-dir-or-file>...
+//   wflint [--report <path>] [--format=tsv|json] [--list-rules]
+//          <root-dir-or-file>...
 //
-// --report writes the machine-readable TSV (file<TAB>line<TAB>rule<TAB>
-// message) to <path> in addition to the human-readable stdout listing.
+// --report writes the machine-readable report (TSV by default; JSON with
+// --format=json) to <path> in addition to the human-readable stdout
+// listing.
 
 #include <algorithm>
 #include <filesystem>
@@ -29,8 +32,8 @@ bool IsSourcePath(const fs::path& p) {
 }
 
 int Usage() {
-  std::cerr << "usage: wflint [--report <path>] [--list-rules] "
-               "<root-dir-or-file>...\n";
+  std::cerr << "usage: wflint [--report <path>] [--format=tsv|json] "
+               "[--list-rules] <root-dir-or-file>...\n";
   return 2;
 }
 
@@ -39,6 +42,7 @@ int Usage() {
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
   std::string report_path;
+  std::string format = "tsv";
   bool list_rules = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -49,6 +53,9 @@ int main(int argc, char** argv) {
       report_path = argv[++i];
     } else if (arg.rfind("--report=", 0) == 0) {
       report_path = arg.substr(9);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "tsv" && format != "json") return Usage();
     } else if (arg.rfind("--", 0) == 0) {
       return Usage();
     } else {
@@ -85,8 +92,8 @@ int main(int argc, char** argv) {
   std::sort(paths.begin(), paths.end());
   paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
 
-  std::vector<wflint::SourceFile> files;
-  files.reserve(paths.size());
+  // Pass 1: build the per-file models.
+  wflint::Engine engine;
   for (const std::string& p : paths) {
     std::ifstream in(p, std::ios::binary);
     if (!in) {
@@ -95,29 +102,24 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    files.push_back({p, buf.str()});
+    engine.AddFile({p, buf.str()});
   }
 
-  wflint::Linter linter;
-  for (const wflint::SourceFile& f : files) linter.CollectDeclarations(f);
-
-  std::vector<wflint::Violation> violations;
-  for (const wflint::SourceFile& f : files) {
-    for (wflint::Violation& v : linter.Lint(f)) {
-      violations.push_back(std::move(v));
-    }
-  }
+  // Pass 2: the cross-file analysis.
+  std::vector<wflint::Violation> violations = engine.Run();
 
   for (const wflint::Violation& v : violations) {
     std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
               << v.message << "\n";
   }
   std::cout << "wflint: " << violations.size() << " violation(s) in "
-            << files.size() << " file(s) scanned\n";
+            << engine.file_count() << " file(s) scanned\n";
 
   if (!report_path.empty()) {
     std::ofstream out(report_path, std::ios::trunc);
-    out << wflint::FormatReport(violations);
+    out << (format == "json"
+                ? wflint::FormatJsonReport(violations, engine.file_count())
+                : wflint::FormatReport(violations));
     if (!out) {
       std::cerr << "wflint: cannot write report: " << report_path << "\n";
       return 2;

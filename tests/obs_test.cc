@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "gtest/gtest.h"
+#include "tests/json_checker.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
@@ -29,145 +30,7 @@ namespace {
 
 using ::wf::common::StatusCode;
 
-// --- Tiny JSON well-formedness checker --------------------------------------
-// Recursive descent over the full JSON grammar. Deliberately local to the
-// test: the exporters build JSON by string concatenation, so an independent
-// parser is the guard against unescaped quotes, trailing commas, and the
-// like sneaking into wfstats output. check.sh counts on this test failing
-// when an export stops being parseable.
-
-class JsonChecker {
- public:
-  static bool Valid(const std::string& text) {
-    JsonChecker checker(text);
-    checker.SkipWs();
-    if (!checker.ParseValue()) return false;
-    checker.SkipWs();
-    return checker.pos_ == text.size();
-  }
-
- private:
-  explicit JsonChecker(const std::string& text) : text_(text) {}
-
-  bool ParseValue() {
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{': return ParseObject();
-      case '[': return ParseArray();
-      case '"': return ParseString();
-      case 't': return ParseLiteral("true");
-      case 'f': return ParseLiteral("false");
-      case 'n': return ParseLiteral("null");
-      default: return ParseNumber();
-    }
-  }
-
-  bool ParseObject() {
-    ++pos_;  // '{'
-    SkipWs();
-    if (Peek() == '}') { ++pos_; return true; }
-    while (true) {
-      SkipWs();
-      if (!ParseString()) return false;
-      SkipWs();
-      if (Peek() != ':') return false;
-      ++pos_;
-      SkipWs();
-      if (!ParseValue()) return false;
-      SkipWs();
-      if (Peek() == ',') { ++pos_; continue; }
-      if (Peek() == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool ParseArray() {
-    ++pos_;  // '['
-    SkipWs();
-    if (Peek() == ']') { ++pos_; return true; }
-    while (true) {
-      SkipWs();
-      if (!ParseValue()) return false;
-      SkipWs();
-      if (Peek() == ',') { ++pos_; continue; }
-      if (Peek() == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool ParseString() {
-    if (Peek() != '"') return false;
-    ++pos_;
-    while (pos_ < text_.size()) {
-      char c = text_[pos_];
-      if (c == '"') { ++pos_; return true; }
-      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) return false;
-        char esc = text_[pos_];
-        if (esc == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            ++pos_;
-            if (pos_ >= text_.size() || !IsHex(text_[pos_])) return false;
-          }
-        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
-          return false;
-        }
-      }
-      ++pos_;
-    }
-    return false;  // unterminated
-  }
-
-  bool ParseNumber() {
-    size_t start = pos_;
-    if (Peek() == '-') ++pos_;
-    if (!ConsumeDigits()) return false;
-    if (Peek() == '.') {
-      ++pos_;
-      if (!ConsumeDigits()) return false;
-    }
-    if (Peek() == 'e' || Peek() == 'E') {
-      ++pos_;
-      if (Peek() == '+' || Peek() == '-') ++pos_;
-      if (!ConsumeDigits()) return false;
-    }
-    return pos_ > start;
-  }
-
-  bool ParseLiteral(const char* lit) {
-    for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
-      if (pos_ >= text_.size() || text_[pos_] != *p) return false;
-    }
-    return true;
-  }
-
-  bool ConsumeDigits() {
-    size_t start = pos_;
-    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-
-  static bool IsHex(char c) {
-    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
-           (c >= 'A' && c <= 'F');
-  }
-
-  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
+using ::wf::testing::JsonChecker;
 
 TEST(JsonCheckerTest, AcceptsAndRejectsTheRightShapes) {
   // The checker itself has to be trustworthy before anything below is.

@@ -1,32 +1,50 @@
-// Unit tests for the wflint static-analysis pass: each rule must fire on a
-// known-bad snippet, stay quiet on the idiomatic equivalent, and honor the
-// per-file allow() suppression.
+// Unit tests for the wflint v2 analysis engine: each rule must fire on a
+// known-bad snippet, stay quiet on the idiomatic equivalent, honor the
+// per-file allow() suppression, and — for the cross-file families — reason
+// across more than one SourceFile. The suite ends with the fix-point test:
+// the shipped tree itself must scan clean.
 //
-// The bad snippets live in string literals, which the linter scrubs before
+// The bad snippets live in string literals, which the engine scrubs before
 // matching — so this file itself stays wflint-clean.
 
 #include "tools/wflint/wflint.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "tests/json_checker.h"
 
 namespace wf::tools::wflint {
 namespace {
 
+std::vector<Violation> LintFiles(const std::vector<SourceFile>& files) {
+  Engine engine;
+  for (const SourceFile& f : files) engine.AddFile(f);
+  return engine.Run();
+}
+
 std::vector<Violation> LintSnippet(const std::string& path,
                                    const std::string& content) {
-  Linter linter;
-  linter.CollectDeclarations({path, content});
-  return linter.Lint({path, content});
+  return LintFiles({{path, content}});
 }
 
 bool HasRule(const std::vector<Violation>& vs, const std::string& rule) {
   return std::any_of(vs.begin(), vs.end(), [&rule](const Violation& v) {
     return v.rule == rule;
   });
+}
+
+size_t CountRule(const std::vector<Violation>& vs, const std::string& rule) {
+  size_t hits = 0;
+  for (const Violation& v : vs) {
+    if (v.rule == rule) ++hits;
+  }
+  return hits;
 }
 
 TEST(WflintRulesTest, EveryRuleHasIdAndSummary) {
@@ -91,6 +109,21 @@ TEST(DiscardedStatusTest, IgnoresCallsToNonFallibleFunctions) {
       "  Log(\"hello\");\n"
       "}\n";
   EXPECT_FALSE(HasRule(LintSnippet("a.cc", src), "discarded-status"));
+}
+
+TEST(DiscardedStatusTest, SeesDeclarationsFromOtherFiles) {
+  // Pass 1 collects fallible declarations repo-wide, so a bare call in one
+  // file to a Status function declared in another still fires.
+  std::vector<Violation> vs = LintFiles(
+      {{"api.h",
+        "#pragma once\n"
+        "common::Status Flush(const std::string& path);\n"},
+       {"use.cc",
+        "void Run() {\n"
+        "  Flush(\"/tmp/x\");\n"
+        "}\n"}});
+  ASSERT_TRUE(HasRule(vs, "discarded-status"));
+  EXPECT_EQ(vs[0].file, "use.cc");
 }
 
 // --- raw-new / raw-delete ---------------------------------------------------
@@ -273,11 +306,7 @@ TEST(PlatformRawTimingTest, FlagsRawClockReadsInPlatformCode) {
       "  auto c = std::chrono::high_resolution_clock::now();\n"
       "}\n";
   std::vector<Violation> vs = LintSnippet("src/platform/vinci.cc", src);
-  size_t hits = 0;
-  for (const Violation& v : vs) {
-    if (v.rule == "platform-raw-timing") ++hits;
-  }
-  EXPECT_EQ(hits, 3u);
+  EXPECT_EQ(CountRule(vs, "platform-raw-timing"), 3u);
 }
 
 TEST(PlatformRawTimingTest, IgnoresObsTimersAndOtherLayers) {
@@ -315,8 +344,10 @@ TEST(PlatformRawTimingTest, HonorsAllowSuppression) {
       "void Run() {\n"
       "  auto t = std::chrono::steady_clock::now();\n"
       "}\n";
-  EXPECT_FALSE(HasRule(LintSnippet("src/platform/vinci.cc", src),
-                       "platform-raw-timing"));
+  std::vector<Violation> vs = LintSnippet("src/platform/vinci.cc", src);
+  EXPECT_FALSE(HasRule(vs, "platform-raw-timing"));
+  // A suppression that suppressed something is not "unused".
+  EXPECT_FALSE(HasRule(vs, "unused-suppression"));
 }
 
 // --- platform-raw-thread ----------------------------------------------------
@@ -328,11 +359,7 @@ TEST(PlatformRawThreadTest, FlagsRawThreadAndAsyncInPlatformAndCore) {
       "  auto f = std::async(Work);\n"
       "}\n";
   std::vector<Violation> vs = LintSnippet("src/platform/cluster.cc", src);
-  size_t hits = 0;
-  for (const Violation& v : vs) {
-    if (v.rule == "platform-raw-thread") ++hits;
-  }
-  EXPECT_EQ(hits, 2u);
+  EXPECT_EQ(CountRule(vs, "platform-raw-thread"), 2u);
   // Core code is in scope too (miners must not spawn their own threads).
   EXPECT_TRUE(HasRule(LintSnippet("src/core/miner.cc", src),
                       "platform-raw-thread"));
@@ -390,11 +417,7 @@ TEST(PlatformRawFileIoTest, FlagsRawWritePathsInPlatformCode) {
       "  fwrite(buf, 1, n, fp);\n"
       "}\n";
   std::vector<Violation> vs = LintSnippet("src/platform/data_store.cc", src);
-  size_t hits = 0;
-  for (const Violation& v : vs) {
-    if (v.rule == "platform-raw-file-io") ++hits;
-  }
-  EXPECT_EQ(hits, 4u);
+  EXPECT_EQ(CountRule(vs, "platform-raw-file-io"), 4u);
 }
 
 TEST(PlatformRawFileIoTest, IgnoresDurableLayerReadsAndOtherLayers) {
@@ -437,6 +460,321 @@ TEST(PlatformRawFileIoTest, HonorsAllowSuppression) {
                        "platform-raw-file-io"));
 }
 
+// --- layering ---------------------------------------------------------------
+
+TEST(LayeringTest, DagIsClosedAndBottomsOutAtCommon) {
+  const auto& dag = LayeringDag();
+  ASSERT_FALSE(dag.empty());
+  // Every dependency target is itself a layer in the DAG.
+  for (const auto& [layer, deps] : dag) {
+    for (const std::string& dep : deps) {
+      EXPECT_TRUE(dag.count(dep)) << layer << " -> " << dep;
+      EXPECT_NE(dep, layer) << "self-edges are implicit";
+    }
+  }
+  // common is the foundation: it depends on nothing.
+  ASSERT_TRUE(dag.count("common"));
+  EXPECT_TRUE(dag.at("common").empty());
+  // platform sits above core, never the reverse.
+  EXPECT_TRUE(dag.at("platform").count("core"));
+  EXPECT_FALSE(dag.at("core").count("platform"));
+}
+
+TEST(LayeringTest, FlagsUpwardInclude) {
+  std::vector<Violation> vs = LintSnippet(
+      "src/text/tokenizer.cc", "#include \"platform/vinci.h\"\n");
+  ASSERT_TRUE(HasRule(vs, "layering"));
+  EXPECT_EQ(vs[0].line, 1u);
+  // Even the foundation layer reaching one level up is a finding.
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/common/hash.cc", "#include \"obs/metrics.h\"\n"),
+      "layering"));
+}
+
+TEST(LayeringTest, AllowsDagEdgesIntraLayerAndNonLayerIncludes) {
+  const std::string src =
+      "#include \"parse/chunker.h\"\n"       // intra-layer
+      "#include \"text/token.h\"\n"          // DAG edge: parse -> text
+      "#include \"pos/tagger.h\"\n"          // DAG edge: parse -> pos
+      "#include \"gtest/gtest.h\"\n";        // not a src/ layer
+  EXPECT_FALSE(HasRule(LintSnippet("src/parse/chunker.cc", src), "layering"));
+  // Files outside src/ (tests, bench, examples) may include anything.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("tests/integration_test.cc",
+                  "#include \"platform/cluster.h\"\n"
+                  "#include \"text/token.h\"\n"),
+      "layering"));
+}
+
+// --- guarded-by / unguarded-field -------------------------------------------
+
+TEST(GuardedByTest, FlagsUnlockedTouchAndAcceptsLockedOne) {
+  const std::string src =
+      "#pragma once\n"
+      "class Counter {\n"
+      " public:\n"
+      "  void Bump() { ++count_; }\n"
+      "  void SafeBump() {\n"
+      "    common::MutexLock lock(mu_);\n"
+      "    ++count_;\n"
+      "  }\n"
+      " private:\n"
+      "  mutable common::Mutex mu_;\n"
+      "  int count_ WF_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  std::vector<Violation> vs = LintSnippet("src/platform/counter.h", src);
+  ASSERT_EQ(CountRule(vs, "guarded-by"), 1u);
+  for (const Violation& v : vs) {
+    if (v.rule == "guarded-by") {
+      EXPECT_NE(v.message.find("Counter::Bump"), std::string::npos)
+          << v.message;
+    }
+  }
+}
+
+TEST(GuardedByTest, AcceptsDirectLockCallsAndRequiresAnnotation) {
+  const std::string src =
+      "#pragma once\n"
+      "class Counter {\n"
+      " public:\n"
+      "  void Bump() {\n"
+      "    mu_.lock();\n"
+      "    ++count_;\n"
+      "    mu_.unlock();\n"
+      "  }\n"
+      "  void BumpLocked() WF_REQUIRES(mu_) { ++count_; }\n"
+      " private:\n"
+      "  mutable common::Mutex mu_;\n"
+      "  int count_ WF_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  EXPECT_FALSE(
+      HasRule(LintSnippet("src/platform/counter.h", src), "guarded-by"));
+}
+
+TEST(GuardedByTest, CrossFileOutOfLineDefinitionsHonorHeaderAnnotations) {
+  // The header declares Append as lock-held; the out-of-line definition in
+  // the .cc inherits that annotation, so only the unannotated Total fires —
+  // and the finding lands on the .cc, where the touch is.
+  std::vector<Violation> vs = LintFiles(
+      {{"src/platform/ledger.h",
+        "#pragma once\n"
+        "class Ledger {\n"
+        " public:\n"
+        "  void Append(int v) WF_REQUIRES(mu_);\n"
+        "  int Total() const;\n"
+        " private:\n"
+        "  mutable common::Mutex mu_;\n"
+        "  std::vector<int> entries_ WF_GUARDED_BY(mu_);\n"
+        "};\n"},
+       {"src/platform/ledger.cc",
+        "#include \"platform/ledger.h\"\n"
+        "void Ledger::Append(int v) { entries_.push_back(v); }\n"
+        "int Ledger::Total() const {\n"
+        "  int sum = 0;\n"
+        "  for (int v : entries_) sum += v;\n"
+        "  return sum;\n"
+        "}\n"}});
+  ASSERT_EQ(CountRule(vs, "guarded-by"), 1u);
+  for (const Violation& v : vs) {
+    if (v.rule == "guarded-by") {
+      EXPECT_EQ(v.file, "src/platform/ledger.cc");
+      EXPECT_NE(v.message.find("Ledger::Total"), std::string::npos)
+          << v.message;
+    }
+  }
+}
+
+TEST(GuardedByTest, NoThreadSafetyAnalysisOptsAFunctionOut) {
+  const std::string src =
+      "#pragma once\n"
+      "class Pool {\n"
+      " public:\n"
+      "  void Drain() WF_NO_THREAD_SAFETY_ANALYSIS { queue_.clear(); }\n"
+      " private:\n"
+      "  common::Mutex mu_;\n"
+      "  std::deque<int> queue_ WF_GUARDED_BY(mu_);\n"
+      "};\n";
+  EXPECT_FALSE(
+      HasRule(LintSnippet("src/platform/pool.h", src), "guarded-by"));
+}
+
+TEST(UnguardedFieldTest, FlagsBareFieldAfterMutexInAnnotatedLayers) {
+  const std::string src =
+      "#pragma once\n"
+      "class Store {\n"
+      " private:\n"
+      "  mutable common::Mutex mu_;\n"
+      "  std::vector<int> items_;\n"
+      "};\n";
+  std::vector<Violation> vs = LintSnippet("src/platform/store.h", src);
+  ASSERT_TRUE(HasRule(vs, "unguarded-field"));
+  // The same shape outside platform/obs/core carries no lock discipline.
+  EXPECT_FALSE(
+      HasRule(LintSnippet("src/lexicon/store.h", src), "unguarded-field"));
+}
+
+TEST(UnguardedFieldTest, ExemptsAtomicsConstantsAndFieldsBeforeTheMutex) {
+  const std::string src =
+      "#pragma once\n"
+      "class Store {\n"
+      " private:\n"
+      "  std::string path_;\n"                         // before the mutex
+      "  mutable common::Mutex mu_;\n"
+      "  std::atomic<uint64_t> hits_{0};\n"            // atomic: exempt
+      "  std::condition_variable_any cv_;\n"           // cv: exempt
+      "  const uint64_t seed_ = 42;\n"                 // immutable: exempt
+      "  std::vector<int> items_ WF_GUARDED_BY(mu_);\n"
+      "};\n";
+  EXPECT_FALSE(
+      HasRule(LintSnippet("src/obs/store.h", src), "unguarded-field"));
+}
+
+// --- unordered-serialization ------------------------------------------------
+
+TEST(UnorderedSerializationTest, FlagsUnorderedIterationInSinkFunction) {
+  const std::string src =
+      "std::string ToWireCounts() {\n"
+      "  std::unordered_map<std::string, int> counts = Collect();\n"
+      "  std::string out;\n"
+      "  for (const auto& [name, value] : counts) {\n"
+      "    out += name;\n"
+      "  }\n"
+      "  return out;\n"
+      "}\n";
+  std::vector<Violation> vs = LintSnippet("src/obs/export.cc", src);
+  ASSERT_TRUE(HasRule(vs, "unordered-serialization"));
+}
+
+TEST(UnorderedSerializationTest, QuietOnOrderedSortedOrNonSinkPaths) {
+  // std::map iterates in key order: deterministic by construction.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/obs/export.cc",
+                  "std::string ToWireCounts() {\n"
+                  "  std::map<std::string, int> counts = Collect();\n"
+                  "  std::string out;\n"
+                  "  for (const auto& [name, value] : counts) out += name;\n"
+                  "  return out;\n"
+                  "}\n"),
+      "unordered-serialization"));
+  // An explicit sort before emitting is the sanctioned escape hatch.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/obs/export.cc",
+                  "std::string ToWireCounts() {\n"
+                  "  std::unordered_map<std::string, int> counts;\n"
+                  "  std::vector<std::string> keys;\n"
+                  "  for (const auto& [name, value] : counts) {\n"
+                  "    keys.push_back(name);\n"
+                  "  }\n"
+                  "  std::sort(keys.begin(), keys.end());\n"
+                  "  return keys.front();\n"
+                  "}\n"),
+      "unordered-serialization"));
+  // Iteration that never reaches a serialization sink is free to be
+  // unordered (lookups, aggregation into keyed maps, ...).
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/obs/export.cc",
+                  "int SumCounts() {\n"
+                  "  std::unordered_map<std::string, int> counts;\n"
+                  "  int sum = 0;\n"
+                  "  for (const auto& [name, value] : counts) sum += value;\n"
+                  "  return sum;\n"
+                  "}\n"),
+      "unordered-serialization"));
+}
+
+TEST(UnorderedSerializationTest, ReachesSinksAcrossFiles) {
+  // EmitAll never names a sink itself; it calls Publish, defined in another
+  // file, which calls the sink-named WriteRecord. The fixpoint over the
+  // call graph still classifies EmitAll's loop as serialization-bound.
+  std::vector<Violation> vs = LintFiles(
+      {{"src/core/emit.cc",
+        "void EmitAll() {\n"
+        "  std::unordered_map<std::string, int> pending;\n"
+        "  for (const auto& [key, value] : pending) {\n"
+        "    Publish(key);\n"
+        "  }\n"
+        "}\n"},
+       {"src/core/publish.cc",
+        "void Publish(const std::string& key) {\n"
+        "  WriteRecord(key);\n"
+        "}\n"}});
+  ASSERT_TRUE(HasRule(vs, "unordered-serialization"));
+  for (const Violation& v : vs) {
+    if (v.rule == "unordered-serialization") {
+      EXPECT_EQ(v.file, "src/core/emit.cc");
+    }
+  }
+}
+
+// --- hot-path-alloc ---------------------------------------------------------
+
+TEST(HotPathAllocTest, FlagsByValueStringParamInFrontHalf) {
+  const std::string src =
+      "std::vector<Token> Tokenize(std::string text) {\n"
+      "  return {};\n"
+      "}\n";
+  ASSERT_TRUE(
+      HasRule(LintSnippet("src/text/tokenizer.cc", src), "hot-path-alloc"));
+  // Reference and view parameters are the sanctioned shapes.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/text/tokenizer.cc",
+                  "std::vector<Token> Tokenize(const std::string& text);\n"
+                  "std::vector<Token> Retag(std::string_view text);\n"),
+      "hot-path-alloc"));
+  // The same by-value copy outside src/{text,pos,parse} is out of scope.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/core/analyzer.cc", src), "hot-path-alloc"));
+}
+
+TEST(HotPathAllocTest, FlagsAllocatingSubstrButNotStringViewSlices) {
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/pos/tagger.cc",
+                  "std::string Cut(const std::string& s) {\n"
+                  "  return s.substr(1);\n"
+                  "}\n"),
+      "hot-path-alloc"));
+  // string_view::substr is a pointer adjustment, not an allocation.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/pos/tagger.cc",
+                  "std::string Cut(const std::string& s) {\n"
+                  "  std::string_view v = s;\n"
+                  "  return std::string(v.substr(1));\n"
+                  "}\n"),
+      "hot-path-alloc"));
+}
+
+TEST(HotPathAllocTest, FlagsUnreservedPushBackInLoop) {
+  const std::string src =
+      "std::vector<int> Collect(size_t n) {\n"
+      "  std::vector<int> out;\n"
+      "  for (size_t i = 0; i < n; ++i) {\n"
+      "    out.push_back(static_cast<int>(i));\n"
+      "  }\n"
+      "  return out;\n"
+      "}\n";
+  ASSERT_TRUE(
+      HasRule(LintSnippet("src/parse/chunker.cc", src), "hot-path-alloc"));
+  // A reserve() anywhere in the function sanctions the loop.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/parse/chunker.cc",
+                  "std::vector<int> Collect(size_t n) {\n"
+                  "  std::vector<int> out;\n"
+                  "  out.reserve(n);\n"
+                  "  for (size_t i = 0; i < n; ++i) {\n"
+                  "    out.push_back(static_cast<int>(i));\n"
+                  "  }\n"
+                  "  return out;\n"
+                  "}\n"),
+      "hot-path-alloc"));
+  // push_back outside any loop is a one-off, not a per-element pattern.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/parse/chunker.cc",
+                  "void Seed(std::vector<int>* out) {\n"
+                  "  out->push_back(1);\n"
+                  "}\n"),
+      "hot-path-alloc"));
+}
+
 // --- suppressions -----------------------------------------------------------
 
 TEST(SuppressionTest, FileLevelAllowSilencesNamedRuleOnly) {
@@ -463,6 +801,22 @@ TEST(SuppressionTest, UnknownRuleInAllowIsItselfAViolation) {
   std::vector<Violation> vs =
       LintSnippet("a.cc", "// wflint: allow(not-a-rule)\nint x = 1;\n");
   ASSERT_TRUE(HasRule(vs, "unknown-rule"));
+}
+
+TEST(SuppressionTest, AllowThatSuppressesNothingIsUnused) {
+  const std::string src =
+      "// wflint: allow(banned-rng)\n"
+      "int x = 1;\n";
+  std::vector<Violation> vs = LintSnippet("a.cc", src);
+  ASSERT_TRUE(HasRule(vs, "unused-suppression"));
+  EXPECT_EQ(vs[0].line, 1u);  // reported at the allow() comment
+  // The moment the rule fires (and is suppressed), the allow() is earning
+  // its keep and the finding disappears.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("a.cc",
+                  "// wflint: allow(banned-rng)\n"
+                  "std::mt19937 engine(12345);\n"),
+      "unused-suppression"));
 }
 
 // --- scrubbing and reporting ------------------------------------------------
@@ -495,6 +849,64 @@ TEST(ReportTest, LintOutputIsSortedByFileLineRule) {
   ASSERT_EQ(vs.size(), 2u);
   EXPECT_EQ(vs[0].line, 1u);
   EXPECT_EQ(vs[1].line, 2u);
+}
+
+TEST(JsonReportTest, EmitsTheDocumentedSchema) {
+  std::vector<Violation> vs = {
+      {"b.cc", 9, "raw-new", "second"},
+      {"a.cc", 3, "banned-rng", "first \"quoted\"\tand\ttabbed"},
+  };
+  const std::string json = FormatJsonReport(vs, 151);
+  EXPECT_TRUE(wf::testing::JsonChecker::Valid(json)) << json;
+  // Sorted like the TSV, with the documented top-level keys.
+  EXPECT_EQ(json.find("\"version\":2"), 1u);
+  EXPECT_NE(json.find("\"files_scanned\":151"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_LT(json.find("a.cc"), json.find("b.cc"));
+  // Escaping survives quotes and tabs in messages.
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+}
+
+TEST(JsonReportTest, EmptyRunIsStillAValidDocument) {
+  const std::string json = FormatJsonReport({}, 0);
+  EXPECT_TRUE(wf::testing::JsonChecker::Valid(json)) << json;
+  EXPECT_NE(json.find("\"count\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"violations\":[]"), std::string::npos);
+}
+
+// --- fix-point --------------------------------------------------------------
+
+// The rules are only trustworthy if the tree they patrol is clean: every
+// finding above was either fixed or deliberately suppressed, and every
+// suppression still suppresses something. A regression in either direction
+// (new violation, newly stale allow()) fails here — in-process, so the
+// failure message carries the violations, not just an exit code.
+TEST(FixPointTest, ShippedTreeScansClean) {
+  namespace fs = std::filesystem;
+  const fs::path root(WF_SOURCE_DIR);
+  Engine engine;
+  for (const char* dir : {"src", "tests"}) {
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it(root / dir, ec), end;
+         it != end && !ec; it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      std::ifstream in(it->path(), std::ios::binary);
+      ASSERT_TRUE(in) << it->path();
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      engine.AddFile({it->path().generic_string(), buf.str()});
+    }
+  }
+  ASSERT_GT(engine.file_count(), 100u) << "tree scan found too few files";
+  std::vector<Violation> vs = engine.Run();
+  for (const Violation& v : vs) {
+    ADD_FAILURE() << v.file << ":" << v.line << ": [" << v.rule << "] "
+                  << v.message;
+  }
+  EXPECT_TRUE(vs.empty());
 }
 
 }  // namespace
