@@ -1,0 +1,297 @@
+// Serving-layer overload sweep: drives the query front door at ~1x, ~3x
+// and ~10x its configured capacity (and 10x again with 20% injected faults
+// plus one gray-failing slow node), and reports per-phase latency
+// percentiles, goodput, shed rate, and coalesce/cache hit rates. The
+// machine-readable mirror lands in BENCH_serving.json — each phase is one
+// SLO row.
+//
+// What the sweep demonstrates: at 1x the door is invisible (no sheds, flat
+// latency); past saturation goodput holds near capacity while the excess
+// is shed early and honestly (bounded p99, retry-after on every refusal,
+// zero deadline-expired handler runs downstream).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "corpus/datasets.h"
+#include "eval/report.h"
+#include "lexicon/pattern_db.h"
+#include "lexicon/sentiment_lexicon.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "platform/cluster.h"
+#include "platform/fault.h"
+#include "platform/ingest.h"
+#include "platform/query_service.h"
+#include "platform/sentiment_miner_plugin.h"
+#include "serve/front_door.h"
+
+namespace {
+
+uint64_t Percentile(std::vector<uint64_t>* samples, double q) {
+  if (samples->empty()) return 0;
+  std::sort(samples->begin(), samples->end());
+  size_t rank = static_cast<size_t>(q * static_cast<double>(samples->size()));
+  return (*samples)[std::min(rank, samples->size() - 1)];
+}
+
+struct PhaseStats {
+  std::string name;
+  size_t threads = 0;
+  size_t requests = 0;
+  size_t ok = 0;
+  size_t shed = 0;
+  double wall_s = 0.0;
+  uint64_t p50_us = 0, p95_us = 0, p99_us = 0;
+  uint64_t coalesced = 0, cache_hits = 0;
+  uint64_t shed_queue_full = 0, shed_quota = 0, shed_deadline = 0;
+  uint64_t expired_handler_runs = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace wf;
+  const uint64_t seed = bench::BenchSeed();
+
+  // Corpus and subjects: the two web datasets the other platform benches
+  // use, with product names as the "hot" query mix.
+  corpus::WebDataset petro = corpus::BuildPetroleumWebDataset(seed + 1);
+  corpus::WebDataset pharma = corpus::BuildPharmaWebDataset(seed + 2);
+  std::vector<std::pair<std::string, std::string>> docs;
+  std::vector<std::string> subjects;
+  for (const auto* ds : {&petro, &pharma}) {
+    for (const corpus::GeneratedDoc& d : ds->docs) {
+      docs.emplace_back(d.id, d.body);
+    }
+    for (const corpus::Product& p : ds->domain->products) {
+      subjects.push_back(p.name);
+    }
+  }
+
+  lexicon::SentimentLexicon lexicon = lexicon::SentimentLexicon::Embedded();
+  lexicon::PatternDatabase patterns = lexicon::PatternDatabase::Embedded();
+  platform::Cluster cluster(4);
+  platform::BatchIngestor ingestor("web", std::move(docs));
+  size_t stored = platform::IngestAll(ingestor, cluster);
+  cluster.DeployMiner([&lexicon, &patterns] {
+    return std::make_unique<platform::AdHocSentimentMinerPlugin>(&lexicon,
+                                                                 &patterns);
+  });
+  cluster.MineAndIndexAll();
+
+  platform::SentimentQueryService service(&cluster);
+  serve::FrontDoorOptions options;
+  options.max_concurrent = 2;
+  options.interactive_queue_limit = 4;
+  options.batch_queue_limit = 2;
+  options.default_budget_us = 50000;
+  serve::FrontDoor door(&service, &cluster, options);
+  door.AttachMetrics(&cluster.metrics());
+
+  // Every bus round trip costs a little simulated network so saturation is
+  // reached by concurrency, not by CPU luck.
+  cluster.bus().SetSimulatedLatency(500);
+
+  std::printf("%s",
+              eval::Banner("Serving front door under overload").c_str());
+  std::printf("Corpus: %zu pages on %zu nodes; capacity knob: "
+              "max_concurrent=%zu, queues=%zu+%zu, budget=%llu us.\n\n",
+              stored, cluster.node_count(), options.max_concurrent,
+              options.interactive_queue_limit, options.batch_queue_limit,
+              static_cast<unsigned long long>(options.default_budget_us));
+
+  platform::FaultInjector injector(seed + 7);
+  platform::FaultPolicy flaky;
+  flaky.fail_probability = 0.2;
+  injector.SetPolicy("node/", flaky);
+  injector.SetPolicy("node/2/",
+                     platform::SlowNodePolicy(2000, 1000, 80000, 500));
+
+  // One phase: `threads` closed-loop callers each replaying `per_thread`
+  // single-query user sessions back to back — offered load scales with the
+  // caller count, so threads >> max_concurrent approximates an open loop at
+  // that multiple, and the sweep pushes thousands of simulated users
+  // through the door overall.
+  auto run_phase = [&](const std::string& name, size_t threads,
+                       size_t per_thread, bool chaos) {
+    door.InvalidateAll();  // each phase measures a cold cache
+    if (chaos) cluster.bus().AttachFaultInjector(&injector);
+
+    obs::MetricsSnapshot before = cluster.metrics().Snapshot();
+    std::vector<std::vector<uint64_t>> latencies(threads);
+    std::vector<std::vector<serve::QueryReply>> replies(threads);
+    std::atomic<bool> go{false};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        // Seeded per phase+thread: the mix is 70% hot subjects (coalesce
+        // and cache territory) and 30% cold uncacheable one-offs.
+        std::mt19937_64 rng(seed * 1315423911u + t * 2654435761u +
+                            threads * 97u);
+        std::uniform_int_distribution<size_t> pick(0, subjects.size() - 1);
+        std::uniform_int_distribution<int> pct(0, 99);
+        while (!go.load()) std::this_thread::yield();
+        for (size_t i = 0; i < per_thread; ++i) {
+          serve::QueryRequest request;
+          if (pct(rng) < 70) {
+            request.subject = subjects[pick(rng)];
+          } else {
+            request.subject = "cold-" + std::to_string(t) + "-" +
+                              std::to_string(i);
+          }
+          request.tenant = "tenant-" + std::to_string(t % 4);
+          request.priority = t % 5 == 4 ? serve::Priority::kBatch
+                                        : serve::Priority::kInteractive;
+          const uint64_t start = obs::MonotonicNowUs();
+          serve::QueryReply reply = door.Query(request);
+          latencies[t].push_back(obs::MonotonicNowUs() - start);
+          replies[t].push_back(std::move(reply));
+        }
+      });
+    }
+    const uint64_t wall_start = obs::MonotonicNowUs();
+    go.store(true);
+    for (std::thread& th : pool) th.join();
+    const uint64_t wall_us = obs::MonotonicNowUs() - wall_start;
+    if (chaos) {
+      cluster.bus().AttachFaultInjector(nullptr);
+      cluster.bus().ResetBreakers();
+    }
+    obs::MetricsSnapshot after = cluster.metrics().Snapshot();
+    auto delta = [&](const char* counter) {
+      return after.CounterValue(counter) - before.CounterValue(counter);
+    };
+
+    PhaseStats stats;
+    stats.name = name;
+    stats.threads = threads;
+    std::vector<uint64_t> all;
+    for (size_t t = 0; t < threads; ++t) {
+      all.insert(all.end(), latencies[t].begin(), latencies[t].end());
+      for (const serve::QueryReply& reply : replies[t]) {
+        ++stats.requests;
+        if (reply.status.ok()) ++stats.ok;
+        if (reply.shed_reason != serve::ShedReason::kNone) ++stats.shed;
+      }
+    }
+    stats.wall_s = static_cast<double>(wall_us) / 1e6;
+    stats.p50_us = Percentile(&all, 0.50);
+    stats.p95_us = Percentile(&all, 0.95);
+    stats.p99_us = Percentile(&all, 0.99);
+    stats.coalesced = delta("serve/coalesced_total");
+    stats.cache_hits = delta("serve/cache_hits_total");
+    stats.shed_queue_full = delta("serve/shed_queue_full_total");
+    stats.shed_quota = delta("serve/shed_quota_total");
+    stats.shed_deadline = delta("serve/shed_deadline_total");
+    stats.expired_handler_runs =
+        after.CounterValue("vinci/deadline_expired_handler_runs_total");
+    return stats;
+  };
+
+  // Capacity probe: max_concurrent callers, no queueing, no chaos — the
+  // denominator for the load multiples below.
+  PhaseStats probe = run_phase("capacity_probe", options.max_concurrent, 40,
+                               /*chaos=*/false);
+  const double capacity_qps =
+      static_cast<double>(probe.ok) / std::max(probe.wall_s, 1e-9);
+  std::printf("Capacity probe: %.0f queries/s served at max_concurrent "
+              "(p50 %llu us).\n\n",
+              capacity_qps, static_cast<unsigned long long>(probe.p50_us));
+
+  struct PhasePlan {
+    const char* name;
+    size_t load_x;
+    bool chaos;
+  };
+  const std::vector<PhasePlan> plan = {
+      {"1x", 1, false}, {"3x", 3, false}, {"10x", 10, false},
+      {"10x_faults", 10, true}};
+
+  bench::BenchJsonWriter json("serving");
+  json.AddRow("config",
+              {bench::Int("max_concurrent", options.max_concurrent),
+               bench::Int("interactive_queue_limit",
+                          options.interactive_queue_limit),
+               bench::Int("batch_queue_limit", options.batch_queue_limit),
+               bench::Int("default_budget_us", options.default_budget_us),
+               bench::Num("capacity_qps", capacity_qps),
+               bench::Int("pages", stored),
+               bench::Int("nodes", cluster.node_count())});
+
+  eval::TablePrinter table({"Phase", "Threads", "Req", "OK", "Shed",
+                            "p50 us", "p95 us", "p99 us", "Goodput/s",
+                            "Coalesce%", "Cache%"});
+  for (const PhasePlan& p : plan) {
+    const size_t threads = p.load_x * options.max_concurrent;
+    PhaseStats stats = run_phase(p.name, threads, 60, p.chaos);
+    const double goodput =
+        static_cast<double>(stats.ok) / std::max(stats.wall_s, 1e-9);
+    const double denom = std::max<double>(1, stats.requests);
+    const double shed_rate = static_cast<double>(stats.shed) / denom;
+    const double coalesce_rate =
+        static_cast<double>(stats.coalesced) / denom;
+    const double cache_rate =
+        static_cast<double>(stats.cache_hits) / denom;
+    table.AddRow(
+        {stats.name, common::StrFormat("%zu", stats.threads),
+         common::StrFormat("%zu", stats.requests),
+         common::StrFormat("%zu", stats.ok),
+         common::StrFormat("%zu", stats.shed),
+         common::StrFormat("%llu",
+                           static_cast<unsigned long long>(stats.p50_us)),
+         common::StrFormat("%llu",
+                           static_cast<unsigned long long>(stats.p95_us)),
+         common::StrFormat("%llu",
+                           static_cast<unsigned long long>(stats.p99_us)),
+         common::StrFormat("%.0f", goodput),
+         common::StrFormat("%.0f%%", coalesce_rate * 100.0),
+         common::StrFormat("%.0f%%", cache_rate * 100.0)});
+    json.AddRow(
+        "phases",
+        {bench::Str("phase", stats.name),
+         bench::Int("threads", stats.threads),
+         bench::Int("requests", stats.requests),
+         bench::Int("ok", stats.ok), bench::Int("shed", stats.shed),
+         bench::Int("shed_queue_full", stats.shed_queue_full),
+         bench::Int("shed_quota", stats.shed_quota),
+         bench::Int("shed_deadline", stats.shed_deadline),
+         bench::Int("coalesced", stats.coalesced),
+         bench::Int("cache_hits", stats.cache_hits),
+         bench::Int("p50_us", stats.p50_us),
+         bench::Int("p95_us", stats.p95_us),
+         bench::Int("p99_us", stats.p99_us),
+         bench::Num("wall_s", stats.wall_s),
+         bench::Num("goodput_qps", goodput),
+         bench::Num("shed_rate", shed_rate),
+         bench::Num("coalesce_rate", coalesce_rate),
+         bench::Num("cache_hit_rate", cache_rate),
+         bench::Int("deadline_expired_handler_runs",
+                    stats.expired_handler_runs)});
+    // The invariant the whole deadline chain exists for: even at 10x with
+    // faults, no node handler ever executed past its caller's budget.
+    WF_CHECK(stats.expired_handler_runs == 0)
+        << "deadline-expired handler run detected under overload";
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  json.AddSnapshot("metrics", cluster.metrics().Snapshot());
+
+  std::string path = json.WriteFile();
+  std::printf("Past 1x the excess is shed with retry-after instead of "
+              "queueing without bound: goodput holds near the capacity "
+              "probe while p99 stays within the budget's order of "
+              "magnitude, and vinci/deadline_expired_handler_runs_total "
+              "stayed 0 across every phase.\n");
+  if (!path.empty()) std::printf("JSON: %s\n", path.c_str());
+  return 0;
+}

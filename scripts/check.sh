@@ -62,9 +62,11 @@ if [[ "${WF_CHECK_TSAN:-0}" == "1" ]]; then
   # mutex from the chaos harness's concurrent paths. parallel_mining_test
   # drives the MineExecutor pool and the lock-striped analysis cache from
   # many workers at once — the suite the determinism contract lives in.
+  # serving_test hammers the front door's admission queue, coalescing
+  # flights, and striped result cache from concurrent open-loop callers.
   for t in obs_test platform_test platform_miners_test property_test \
            robustness_test chaos_test durability_test agreement_test \
-           integration_test parallel_mining_test; do
+           integration_test parallel_mining_test serving_test; do
     step "TSan: ${t}"
     "./build-tsan/tests/${t}"
   done

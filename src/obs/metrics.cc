@@ -78,6 +78,26 @@ const std::vector<uint64_t>& DefaultRetryBounds() {
 
 // --- MetricsSnapshot --------------------------------------------------------
 
+uint64_t HistogramSnapshot::ApproxQuantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample (1-based, ceil): the smallest bucket whose
+  // cumulative count reaches it bounds the quantile from above.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank < q * static_cast<double>(count) || rank == 0) ++rank;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) {
+      if (i < bounds.size()) return bounds[i];
+      // Overflow bucket: all the histogram knows is "past the last bound".
+      return bounds.empty() ? 0 : bounds.back() + 1;
+    }
+  }
+  return bounds.empty() ? 0 : bounds.back() + 1;
+}
+
 common::Status MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
   // Validate first so a bounds mismatch leaves this snapshot untouched.
   for (const auto& [name, hist] : other.histograms) {

@@ -96,6 +96,14 @@ struct HistogramSnapshot {
   uint64_t sum = 0;              // sum of recorded values
   bool timing = false;
 
+  // Upper bound of the bucket containing the q-th quantile (q in [0, 1]),
+  // i.e. a value v with P(X <= v) >= q under the recorded distribution.
+  // Overflow-bucket hits report bounds.back() + 1 (the histogram only
+  // knows "past the last bound"). 0 when the histogram is empty. This is
+  // what SLO rows report: p99 <= bound is exact, the true p99 may be lower
+  // within the bucket.
+  uint64_t ApproxQuantile(double q) const;
+
   bool operator==(const HistogramSnapshot&) const = default;
 };
 

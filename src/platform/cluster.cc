@@ -390,7 +390,8 @@ void Cluster::AccountDownNodes(
 
 SearchResult Cluster::TracedSearch(
     const std::string& name,
-    std::vector<std::pair<std::string, std::string>> request_fields) const {
+    std::vector<std::pair<std::string, std::string>> request_fields,
+    const Deadline& deadline) const {
   // With a tracer attached, the query gets a root span whose context rides
   // the scattered request; the bus then records one child span per target,
   // stitching the fan-out into a single trace.
@@ -400,8 +401,28 @@ SearchResult Cluster::TracedSearch(
     obs::AppendContext(root.context(), &request_fields);
   }
   metrics_.GetCounter("cluster/searches_total")->Add(1);
-  SearchResult result =
-      GatherSearch(bus_.CallAll("node/", EncodeMessage(request_fields)));
+  SearchResult result;
+  if (!deadline.infinite() && deadline.expired()) {
+    // Fail every shard up front: the caller's budget is spent, so nothing
+    // may be scattered — the whole point of propagating the deadline is
+    // that zero downstream work runs past it.
+    metrics_.GetCounter("cluster/deadline_expired_searches_total")->Add(1);
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i] == nullptr) continue;
+      ++result.nodes_total;
+      result.failed_services.push_back(
+          common::StrFormat("node/%zu/search", i));
+    }
+  } else {
+    // The absolute expiry rides the request (servers gate on it) and also
+    // caps each per-node call from this side, so a shard that never answers
+    // costs at most the remaining budget, not an unbounded wait.
+    AppendDeadline(deadline, &request_fields);
+    CallOptions options;
+    options.deadline_us = deadline.CallBudgetUs();
+    result = GatherSearch(bus_.CallAll(
+        "node/", EncodeMessage(request_fields), options));
+  }
   AccountDownNodes(
       [](size_t i) { return common::StrFormat("node/%zu/search", i); },
       &result);
@@ -418,13 +439,24 @@ SearchResult Cluster::TracedSearch(
 }
 
 SearchResult Cluster::Search(const std::string& term) const {
-  return TracedSearch("cluster/search", {{"term", term}});
+  return Search(term, Deadline::Infinite());
 }
 
 SearchResult Cluster::SearchPhrase(
     const std::vector<std::string>& words) const {
+  return SearchPhrase(words, Deadline::Infinite());
+}
+
+SearchResult Cluster::Search(const std::string& term,
+                             const Deadline& deadline) const {
+  return TracedSearch("cluster/search", {{"term", term}}, deadline);
+}
+
+SearchResult Cluster::SearchPhrase(const std::vector<std::string>& words,
+                                   const Deadline& deadline) const {
   return TracedSearch("cluster/search_phrase",
-                      {{"term", common::Join(words, " ")}, {"mode", "phrase"}});
+                      {{"term", common::Join(words, " ")}, {"mode", "phrase"}},
+                      deadline);
 }
 
 ClusterStats Cluster::CollectStats() const {

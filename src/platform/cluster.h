@@ -15,6 +15,7 @@
 #include "core/analysis.h"
 #include "obs/metrics.h"
 #include "platform/data_store.h"
+#include "platform/deadline.h"
 #include "platform/indexer.h"
 #include "platform/mine_executor.h"
 #include "platform/miner_framework.h"
@@ -216,6 +217,16 @@ class Cluster {
   SearchResult Search(const std::string& term) const;
   SearchResult SearchPhrase(const std::vector<std::string>& words) const;
 
+  // Deadline-bounded variants: the caller's remaining end-to-end budget
+  // rides the scattered request (wf-deadline-us, next to the trace context
+  // fields) and caps every per-node call, so a straggler shard can degrade
+  // coverage but never stall the gather past the deadline. An
+  // already-expired deadline fails every shard up front — zero downstream
+  // dispatches — instead of scattering work nobody will wait for.
+  SearchResult Search(const std::string& term, const Deadline& deadline) const;
+  SearchResult SearchPhrase(const std::vector<std::string>& words,
+                            const Deadline& deadline) const;
+
   // Gathers and merges every node's wfstats export (see ClusterStats).
   ClusterStats CollectStats() const;
 
@@ -257,7 +268,8 @@ class Cluster {
  private:
   SearchResult TracedSearch(const std::string& name,
                             std::vector<std::pair<std::string, std::string>>
-                                request_fields) const;
+                                request_fields,
+                            const Deadline& deadline) const;
 
   // Adds down nodes to a gather's accounting (service name from
   // `service_name(i)`) so degraded coverage is visible even though nothing

@@ -1,0 +1,54 @@
+#include "platform/deadline.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "obs/timer.h"
+#include "platform/vinci.h"
+
+namespace wf::platform {
+
+Deadline Deadline::After(uint64_t budget_us) {
+  uint64_t now = obs::MonotonicNowUs();
+  // Saturate instead of wrapping: an absurdly large budget is "no deadline
+  // in practice", not an expiry in the distant past.
+  if (budget_us > kNever - now - 1) return Deadline(kNever - 1);
+  return Deadline(now + budget_us);
+}
+
+bool Deadline::expired() const {
+  if (infinite()) return false;
+  return obs::MonotonicNowUs() >= expires_at_us_;
+}
+
+uint64_t Deadline::RemainingUs() const {
+  if (infinite()) return kNever;
+  uint64_t now = obs::MonotonicNowUs();
+  return now >= expires_at_us_ ? 0 : expires_at_us_ - now;
+}
+
+uint64_t Deadline::CallBudgetUs() const {
+  if (infinite()) return 0;
+  uint64_t remaining = RemainingUs();
+  return remaining == 0 ? 1 : remaining;
+}
+
+void AppendDeadline(const Deadline& deadline,
+                    std::vector<std::pair<std::string, std::string>>* pairs) {
+  if (deadline.infinite()) return;
+  pairs->emplace_back(
+      kDeadlineUsKey,
+      common::StrFormat("%llu", static_cast<unsigned long long>(
+                                    deadline.expires_at_us())));
+}
+
+Deadline DeadlineFromRequest(const std::string& request) {
+  std::string field = GetMessageField(request, kDeadlineUsKey);
+  if (field.empty()) return Deadline::Infinite();
+  char* end = nullptr;
+  unsigned long long stamp = std::strtoull(field.c_str(), &end, 10);
+  if (end == field.c_str() || *end != '\0') return Deadline::Infinite();
+  return Deadline::AtUs(static_cast<uint64_t>(stamp));
+}
+
+}  // namespace wf::platform

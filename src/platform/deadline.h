@@ -1,0 +1,72 @@
+#ifndef WF_PLATFORM_DEADLINE_H_
+#define WF_PLATFORM_DEADLINE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wf::platform {
+
+// An end-to-end deadline on the obs::MonotonicNowUs() clock, threaded from
+// the serving front door through Cluster::Search into every per-service
+// VinciBus call. One budget decreases along the whole chain: a scatter, a
+// retry loop, or a point fetch computes its per-call allowance from
+// RemainingUs() at the moment it dispatches, so no downstream stage can be
+// handed more time than its caller has left.
+//
+// The wire spelling (kDeadlineUsKey) is the *absolute* expiry in
+// microseconds — the simulated cluster shares one monotonic clock, so an
+// absolute stamp is exact where a relative budget would silently exclude
+// the time the request spent in flight. A request without the field has no
+// deadline (Infinite), so existing traffic and handlers are unaffected.
+class Deadline {
+ public:
+  // No deadline: never expires, RemainingUs() saturates.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+  // Expires `budget_us` from now; a zero budget is already expired.
+  static Deadline After(uint64_t budget_us);
+  // Expires at an absolute obs::MonotonicNowUs() stamp.
+  static Deadline AtUs(uint64_t expires_at_us) {
+    return Deadline(expires_at_us);
+  }
+
+  bool infinite() const { return expires_at_us_ == kNever; }
+  uint64_t expires_at_us() const { return expires_at_us_; }
+
+  // True once the clock has passed the expiry. Infinite never expires.
+  bool expired() const;
+  // Microseconds of budget left; 0 once expired, UINT64_MAX when infinite.
+  uint64_t RemainingUs() const;
+
+  // The per-call budget for VinciBus::CallOptions::deadline_us, where 0
+  // means "no deadline": infinite maps to 0, an expired deadline to 1 (the
+  // smallest enforcing value — the call fails DeadlineExceeded immediately
+  // instead of silently running unbounded).
+  uint64_t CallBudgetUs() const;
+
+ private:
+  static constexpr uint64_t kNever = UINT64_MAX;
+  explicit Deadline(uint64_t expires_at_us) : expires_at_us_(expires_at_us) {}
+
+  uint64_t expires_at_us_ = kNever;
+};
+
+// Reserved request-metadata key carrying the absolute expiry over the bus,
+// alongside the obs::kTraceIdKey / kSpanIdKey context fields.
+inline constexpr char kDeadlineUsKey[] = "wf-deadline-us";
+
+// Appends the deadline field to a request's key=value pairs; a no-op for
+// an infinite deadline, so undeadlined requests stay byte-identical.
+void AppendDeadline(const Deadline& deadline,
+                    std::vector<std::pair<std::string, std::string>>* pairs);
+
+// Parses the deadline carried by a request; Infinite when the field is
+// absent or malformed (a garbled stamp must not spuriously kill a call).
+Deadline DeadlineFromRequest(const std::string& request);
+
+}  // namespace wf::platform
+
+#endif  // WF_PLATFORM_DEADLINE_H_

@@ -90,11 +90,32 @@ FaultInjector::Decision FaultInjector::Decide(const std::string& service) {
     ++counters_.delivered;
   }
   decision.extra_latency_us = policy->added_latency_us;
+  if (policy->latency_ramp_per_call_us > 0) {
+    // Gray failure: the k-th call to this service is slower than the
+    // (k-1)-th, deterministically in seq, until the ramp hits its cap.
+    uint64_t ramped = decision.extra_latency_us +
+                      policy->latency_ramp_per_call_us * seq;
+    if (policy->max_added_latency_us > 0 &&
+        ramped > policy->max_added_latency_us) {
+      ramped = policy->max_added_latency_us;
+    }
+    decision.extra_latency_us = ramped;
+  }
   if (policy->latency_jitter_us > 0) {
     decision.extra_latency_us += static_cast<uint64_t>(
         rng.Uniform(0, static_cast<int64_t>(policy->latency_jitter_us)));
   }
   return decision;
+}
+
+FaultPolicy SlowNodePolicy(uint64_t start_us, uint64_t ramp_us,
+                           uint64_t cap_us, uint64_t jitter_us) {
+  FaultPolicy policy;
+  policy.added_latency_us = start_us;
+  policy.latency_ramp_per_call_us = ramp_us;
+  policy.max_added_latency_us = cap_us;
+  policy.latency_jitter_us = jitter_us;
+  return policy;
 }
 
 FaultInjector::Counters FaultInjector::counters() const {

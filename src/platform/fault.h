@@ -26,7 +26,21 @@ struct FaultPolicy {
   // [0, latency_jitter_us].
   uint64_t added_latency_us = 0;
   uint64_t latency_jitter_us = 0;
+  // Gray failure: the service answers correctly but gets slower with every
+  // call — added latency grows by this much per call to the service,
+  // capped at max_added_latency_us (0 ramp disables). Models the
+  // heap-fragmented / disk-degraded node that stays "up" in health checks
+  // while quietly missing every deadline; the deterministic ramp lets a
+  // chaos run replay the exact degradation curve from its seed.
+  uint64_t latency_ramp_per_call_us = 0;
+  uint64_t max_added_latency_us = 0;  // 0 = uncapped
 };
+
+// A slow-node (gray-failure) policy: no drops or corruption, just latency
+// that starts at `start_us` and climbs `ramp_us` per call toward `cap_us`,
+// with uniform jitter in [0, jitter_us].
+FaultPolicy SlowNodePolicy(uint64_t start_us, uint64_t ramp_us,
+                           uint64_t cap_us, uint64_t jitter_us = 0);
 
 // Deterministic chaos source for the simulated cluster. Attach one to a
 // VinciBus (VinciBus::AttachFaultInjector) and every Call/CallAll consults

@@ -81,15 +81,29 @@ CallOptions FetchCallOptions() {
 std::vector<SentimentHit> SentimentQueryService::FetchHits(
     const std::string& subject, lexicon::Polarity polarity,
     const std::vector<std::string>& docs, size_t max_hits,
-    size_t* fetch_failures) const {
+    const Deadline& deadline, size_t* fetch_failures,
+    bool* deadline_expired) const {
   std::vector<SentimentHit> hits;
   const char* want = polarity == Polarity::kPositive ? "+" : "-";
   for (const std::string& doc : docs) {
     if (hits.size() >= max_hits) break;
+    if (!deadline.infinite() && deadline.expired()) {
+      // Budget spent mid-fetch: stop here with what we have. The skipped
+      // docs are not failures — the caller is late, not the shards.
+      *deadline_expired = true;
+      break;
+    }
     size_t shard = cluster_->Route(doc);
+    CallOptions options = FetchCallOptions();
+    // Each fetch (and its retry loop) is capped by whatever budget is
+    // left *now*, so the sum of fetches can never overrun the deadline.
+    if (!deadline.infinite()) options.deadline_us = deadline.CallBudgetUs();
+    std::vector<std::pair<std::string, std::string>> fetch_fields = {
+        {"id", doc}};
+    AppendDeadline(deadline, &fetch_fields);
     auto response = cluster_->bus().Call(
         common::StrFormat("node/%zu/fetch", shard),
-        EncodeMessage({{"id", doc}}), FetchCallOptions());
+        EncodeMessage(fetch_fields), options);
     if (!response.ok()) {
       ++*fetch_failures;
       continue;
@@ -123,6 +137,12 @@ std::vector<SentimentHit> SentimentQueryService::FetchHits(
 
 SentimentQueryResult SentimentQueryService::Query(const std::string& subject,
                                                   size_t max_hits) const {
+  return Query(subject, max_hits, Deadline::Infinite());
+}
+
+SentimentQueryResult SentimentQueryService::Query(
+    const std::string& subject, size_t max_hits,
+    const Deadline& deadline) const {
   obs::ScopedTimer timer(cluster_->metrics().GetHistogram(
       "query/offline/latency_us", obs::DefaultLatencyBoundsUs(),
       /*timing=*/true));
@@ -130,9 +150,9 @@ SentimentQueryResult SentimentQueryService::Query(const std::string& subject,
   result.subject = subject;
 
   SearchResult pos_docs = cluster_->Search(
-      SentimentConceptToken(subject, Polarity::kPositive));
+      SentimentConceptToken(subject, Polarity::kPositive), deadline);
   SearchResult neg_docs = cluster_->Search(
-      SentimentConceptToken(subject, Polarity::kNegative));
+      SentimentConceptToken(subject, Polarity::kNegative), deadline);
   result.positive_docs = pos_docs.docs.size();
   result.negative_docs = neg_docs.docs.size();
 
@@ -145,13 +165,19 @@ SentimentQueryResult SentimentQueryService::Query(const std::string& subject,
                 neg_docs.failed_services.end());
   result.nodes_responded = result.nodes_total - failed.size();
 
+  // The answer's exact read set: every doc either scatter surfaced, for
+  // result caches that must invalidate when one of them is re-mined.
+  std::set<std::string> covered(pos_docs.docs.begin(), pos_docs.docs.end());
+  covered.insert(neg_docs.docs.begin(), neg_docs.docs.end());
+  result.covered_docs.assign(covered.begin(), covered.end());
+
   size_t half = max_hits / 2 + 1;
   std::vector<SentimentHit> pos = FetchHits(
-      subject, Polarity::kPositive, pos_docs.docs, half,
-      &result.fetch_failures);
+      subject, Polarity::kPositive, pos_docs.docs, half, deadline,
+      &result.fetch_failures, &result.deadline_expired);
   std::vector<SentimentHit> neg = FetchHits(
-      subject, Polarity::kNegative, neg_docs.docs, half,
-      &result.fetch_failures);
+      subject, Polarity::kNegative, neg_docs.docs, half, deadline,
+      &result.fetch_failures, &result.deadline_expired);
   result.hits = std::move(pos);
   result.hits.insert(result.hits.end(), neg.begin(), neg.end());
   RecordQueryMetrics(cluster_->metrics(), "offline", result);

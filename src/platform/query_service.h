@@ -33,8 +33,17 @@ struct SentimentQueryResult {
   size_t nodes_total = 0;      // shards the query scattered to
   size_t nodes_responded = 0;  // shards that answered every search RPC
   size_t fetch_failures = 0;   // doc fetches that failed after retries
+  // True when the caller's deadline expired mid-query and later stages
+  // (hit fetches, or the whole scatter) were skipped — the answer is a
+  // partial snapshot, never a stalled wait.
+  bool deadline_expired = false;
+  // Every document id the search scatters returned (positive and negative
+  // union) — the exact read set of this answer, so a result cache can
+  // invalidate precisely when one of these documents is re-mined.
+  std::vector<std::string> covered_docs;
   bool complete() const {
-    return nodes_responded == nodes_total && fetch_failures == 0;
+    return nodes_responded == nodes_total && fetch_failures == 0 &&
+           !deadline_expired;
   }
 };
 
@@ -57,6 +66,13 @@ class SentimentQueryService {
   SentimentQueryResult Query(const std::string& subject,
                              size_t max_hits = 50) const;
 
+  // Deadline-bounded variant: the remaining budget rides both search
+  // scatters and every hit fetch; once it is spent the query stops where
+  // it stands (deadline_expired set, remaining fetches skipped) instead of
+  // letting downstream calls outlive the caller.
+  SentimentQueryResult Query(const std::string& subject, size_t max_hits,
+                             const Deadline& deadline) const;
+
   // Subjects with at least one indexed sentiment, discovered from the
   // concept-token vocabulary (for dashboards).
   std::vector<std::string> KnownSubjects() const;
@@ -66,7 +82,9 @@ class SentimentQueryService {
                                       lexicon::Polarity polarity,
                                       const std::vector<std::string>& docs,
                                       size_t max_hits,
-                                      size_t* fetch_failures) const;
+                                      const Deadline& deadline,
+                                      size_t* fetch_failures,
+                                      bool* deadline_expired) const;
 
   Cluster* cluster_;
 };

@@ -14,6 +14,7 @@
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
+#include "platform/deadline.h"
 #include "platform/fault.h"
 
 namespace wf::platform {
@@ -236,6 +237,18 @@ common::Result<std::string> VinciBus::CallOnce(const std::string& service,
       SetBreakerGauge(service, 2);
     }
   }
+  // End-to-end deadline gate, stage 1: a request whose budget is already
+  // spent is refused before it costs a simulated round trip or a handler
+  // dispatch. Deadline refusals never feed the breaker — the service is not
+  // sick, the caller is late.
+  const Deadline deadline = DeadlineFromRequest(request);
+  if (!deadline.infinite() && deadline.expired()) {
+    Count("vinci/deadline_rejected_total");
+    Count("vinci/deadline_rejected/" + service);
+    return finish("deadline_expired", Status::DeadlineExceeded(
+                                          "deadline expired before dispatch: " +
+                                          service));
+  }
   // Service resolution is a local registry lookup — a miss costs no
   // simulated network round trip and says nothing about service health.
   Handler handler;
@@ -270,8 +283,30 @@ common::Result<std::string> VinciBus::CallOnce(const std::string& service,
     extra_latency_us = d.extra_latency_us;
   }
   SimulateLatency(extra_latency_us);
+  // Deadline gate, stage 2: the simulated round trip (plus injected
+  // straggler latency) may have consumed the rest of the budget — a real
+  // server re-checks on arrival, before doing any work. One clock read
+  // decides both the gate and the audit below, so the invariant "no handler
+  // ever starts past its deadline" is race-free and provable from metrics.
+  const bool expired_at_dispatch =
+      !deadline.infinite() &&
+      obs::MonotonicNowUs() >= deadline.expires_at_us();
+  if (expired_at_dispatch) {
+    Count("vinci/deadline_rejected_total");
+    Count("vinci/deadline_rejected/" + service);
+    return finish("deadline_expired",
+                  Status::DeadlineExceeded("deadline expired in flight: " +
+                                           service));
+  }
   // The handler runs outside the bus lock so services may call each other.
   std::string response = handler(request);
+  if (expired_at_dispatch) {
+    // Tripwire, not control flow: unreachable while the gate above stands,
+    // so the overload acceptance test can assert zero deadline-expired
+    // handler executions from metrics alone — and a refactor that drops
+    // the gate turns that assertion red instead of silently burning work.
+    Count("vinci/deadline_expired_handler_runs_total");
+  }
   if (corrupt_response) {
     // Real Vinci frames carry end-to-end checksums; a mangled response is
     // detected at the client, not silently consumed.
@@ -354,6 +389,12 @@ common::Result<std::string> VinciBus::Call(const std::string& service,
 std::vector<std::pair<std::string, common::Result<std::string>>>
 VinciBus::CallAll(const std::string& prefix,
                   const std::string& request) const {
+  return CallAll(prefix, request, CallOptions{});
+}
+
+std::vector<std::pair<std::string, common::Result<std::string>>>
+VinciBus::CallAll(const std::string& prefix, const std::string& request,
+                  const CallOptions& options) const {
   std::vector<std::string> targets;
   {
     common::MutexLock lock(mu_);
@@ -374,12 +415,20 @@ VinciBus::CallAll(const std::string& prefix,
   for (const std::string& name : targets) {
     out.emplace_back(name, Status::Unavailable("not dispatched"));
   }
+  // Resilient dispatch only when the options actually ask for it: the plain
+  // scatter keeps its exact metric footprint (no per-call retry histogram),
+  // so pre-deadline callers and their golden exports are untouched.
+  const bool resilient = options.deadline_us > 0 || options.max_retries > 0;
   std::vector<std::function<void()>> tasks;
   tasks.reserve(targets.size());
   for (size_t i = 0; i < targets.size(); ++i) {
-    tasks.push_back([this, &targets, &out, &request, i] {
-      bool breaker_rejected = false;
-      out[i].second = CallOnce(targets[i], request, &breaker_rejected);
+    tasks.push_back([this, &targets, &out, &request, &options, resilient, i] {
+      if (resilient) {
+        out[i].second = Call(targets[i], request, options);
+      } else {
+        bool breaker_rejected = false;
+        out[i].second = CallOnce(targets[i], request, &breaker_rejected);
+      }
     });
   }
   ScatterPool* pool = nullptr;

@@ -134,6 +134,13 @@ class VinciBus {
   // under injected latency is bounded, never thread-per-target.
   std::vector<std::pair<std::string, common::Result<std::string>>> CallAll(
       const std::string& prefix, const std::string& request) const;
+  // Resilient scatter: each target call runs under `options` (deadline,
+  // retries with backoff), so a straggler shard costs at most the caller's
+  // remaining budget, never an unbounded wait. Default options behave
+  // exactly like the plain overload.
+  std::vector<std::pair<std::string, common::Result<std::string>>> CallAll(
+      const std::string& prefix, const std::string& request,
+      const CallOptions& options) const;
 
   // Circuit-breaker controls. Config applies to every service on this bus.
   void SetBreakerConfig(const BreakerConfig& config);

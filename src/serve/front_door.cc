@@ -1,0 +1,449 @@
+#include "serve/front_door.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
+namespace wf::serve {
+
+using ::wf::common::Status;
+using ::wf::platform::Deadline;
+
+namespace {
+
+// Wait chunk for deadline-bounded blocking: short enough that an infinite
+// deadline still re-checks its predicate promptly, long enough not to spin.
+constexpr uint64_t kWaitChunkUs = 20000;
+
+// Renders a query result to its wire payload — a pure function of the
+// result, so equal results always produce byte-identical payloads (the
+// property coalescing followers and the post-overload acceptance test rely
+// on). Field set mirrors the app/sentiment_query handler, plus coverage.
+std::string RenderPayload(const platform::SentimentQueryResult& result) {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.emplace_back("subject", result.subject);
+  out.emplace_back("positive_docs",
+                   common::StrFormat("%zu", result.positive_docs));
+  out.emplace_back("negative_docs",
+                   common::StrFormat("%zu", result.negative_docs));
+  out.emplace_back("nodes_total",
+                   common::StrFormat("%zu", result.nodes_total));
+  out.emplace_back("nodes_responded",
+                   common::StrFormat("%zu", result.nodes_responded));
+  out.emplace_back("complete", result.complete() ? "1" : "0");
+  for (const platform::SentimentHit& hit : result.hits) {
+    out.emplace_back(
+        "hit",
+        common::StrFormat(
+            "%s\t%s\t%s", hit.doc_id.c_str(),
+            hit.polarity == lexicon::Polarity::kPositive ? "+" : "-",
+            hit.sentence.c_str()));
+  }
+  return platform::EncodeMessage(out);
+}
+
+}  // namespace
+
+FrontDoor::FrontDoor(const platform::SentimentQueryService* service,
+                     platform::Cluster* cluster, FrontDoorOptions options)
+    : service_(service), cluster_(cluster), options_(options) {
+  size_t stripes = std::max<size_t>(1, options_.cache_stripes);
+  cache_.reserve(stripes);
+  for (size_t i = 0; i < stripes; ++i) {
+    cache_.push_back(std::make_unique<CacheStripe>());
+  }
+}
+
+FrontDoor::~FrontDoor() = default;
+
+void FrontDoor::Count(const std::string& name, uint64_t delta) const {
+  if (metrics_ != nullptr) metrics_->GetCounter(name)->Add(delta);
+}
+
+void FrontDoor::SetGauge(const std::string& name, int64_t value) const {
+  if (metrics_ != nullptr) metrics_->GetGauge(name)->Set(value);
+}
+
+void FrontDoor::RecordTiming(const std::string& name,
+                             uint64_t value_us) const {
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetHistogram(name, obs::DefaultLatencyBoundsUs(), /*timing=*/true)
+        ->Record(value_us);
+  }
+}
+
+// --- Quota ------------------------------------------------------------------
+
+bool FrontDoor::QuotaAdmit(const std::string& tenant,
+                           uint64_t* retry_after_us) {
+  const uint64_t now = obs::MonotonicNowUs();
+  common::MutexLock lock(quota_mu_);
+  TokenBucket& bucket = buckets_[tenant];
+  if (!bucket.initialized) {
+    auto it = quota_overrides_.find(tenant);
+    bucket.config =
+        it != quota_overrides_.end() ? it->second : options_.default_quota;
+    bucket.tokens = bucket.config.burst;
+    bucket.last_refill_us = now;
+    bucket.initialized = true;
+  }
+  if (bucket.config.tokens_per_second <= 0.0) return true;  // unlimited
+  const double elapsed_s =
+      static_cast<double>(now - bucket.last_refill_us) / 1e6;
+  bucket.tokens = std::min(
+      bucket.config.burst,
+      bucket.tokens + elapsed_s * bucket.config.tokens_per_second);
+  bucket.last_refill_us = now;
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    return true;
+  }
+  // The honest backpressure signal: exactly when the next token lands.
+  *retry_after_us = static_cast<uint64_t>(
+      (1.0 - bucket.tokens) / bucket.config.tokens_per_second * 1e6);
+  return false;
+}
+
+void FrontDoor::SetTenantQuota(const std::string& tenant,
+                               const TokenBucketConfig& config) {
+  common::MutexLock lock(quota_mu_);
+  quota_overrides_[tenant] = config;
+  TokenBucket& bucket = buckets_[tenant];
+  bucket.config = config;
+  bucket.tokens = config.burst;
+  bucket.last_refill_us = obs::MonotonicNowUs();
+  bucket.initialized = true;
+}
+
+// --- Result cache -----------------------------------------------------------
+
+FrontDoor::CacheStripe& FrontDoor::StripeFor(const std::string& key) {
+  return *cache_[common::Fnv1a64(key) % cache_.size()];
+}
+
+bool FrontDoor::CacheLookup(const std::string& key, std::string* payload) {
+  if (options_.cache_entries == 0) return false;
+  CacheStripe& stripe = StripeFor(key);
+  common::MutexLock lock(stripe.mu);
+  for (CacheEntry& entry : stripe.entries) {
+    if (entry.key != key) continue;
+    entry.last_used = ++stripe.tick;
+    *payload = entry.payload;
+    return true;
+  }
+  return false;
+}
+
+void FrontDoor::CacheInsert(const std::string& key, std::string payload,
+                            std::vector<std::string> covered_docs) {
+  if (options_.cache_entries == 0) return;
+  const size_t per_stripe =
+      std::max<size_t>(1, options_.cache_entries / cache_.size());
+  CacheStripe& stripe = StripeFor(key);
+  common::MutexLock lock(stripe.mu);
+  for (CacheEntry& entry : stripe.entries) {
+    if (entry.key != key) continue;
+    entry.payload = std::move(payload);
+    entry.covered_docs = std::move(covered_docs);
+    entry.last_used = ++stripe.tick;
+    return;
+  }
+  if (stripe.entries.size() >= per_stripe) {
+    // Evict the stripe's least-recently-used entry (size-bounded cache:
+    // the stripe never grows past its share of cache_entries).
+    auto victim = std::min_element(
+        stripe.entries.begin(), stripe.entries.end(),
+        [](const CacheEntry& a, const CacheEntry& b) {
+          return a.last_used < b.last_used;
+        });
+    *victim = CacheEntry{};
+    victim->key = key;
+    victim->payload = std::move(payload);
+    victim->covered_docs = std::move(covered_docs);
+    victim->last_used = ++stripe.tick;
+    Count("serve/cache_evictions_total");
+    return;
+  }
+  CacheEntry entry;
+  entry.key = key;
+  entry.payload = std::move(payload);
+  entry.covered_docs = std::move(covered_docs);
+  entry.last_used = ++stripe.tick;
+  stripe.entries.push_back(std::move(entry));
+}
+
+void FrontDoor::InvalidateDocument(const std::string& doc_id) {
+  size_t dropped = 0;
+  for (auto& stripe : cache_) {
+    common::MutexLock lock(stripe->mu);
+    for (auto it = stripe->entries.begin(); it != stripe->entries.end();) {
+      const auto& docs = it->covered_docs;
+      if (std::find(docs.begin(), docs.end(), doc_id) != docs.end()) {
+        it = stripe->entries.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (dropped > 0) Count("serve/cache_invalidated_total", dropped);
+}
+
+void FrontDoor::InvalidateAll() {
+  size_t dropped = 0;
+  for (auto& stripe : cache_) {
+    common::MutexLock lock(stripe->mu);
+    dropped += stripe->entries.size();
+    stripe->entries.clear();
+  }
+  if (dropped > 0) Count("serve/cache_invalidated_total", dropped);
+}
+
+// --- Admission --------------------------------------------------------------
+
+ShedReason FrontDoor::Admit(Priority priority, const Deadline& deadline,
+                            uint64_t* queue_wait_us) {
+  const uint64_t start = obs::MonotonicNowUs();
+  const size_t idx = priority == Priority::kInteractive ? 0 : 1;
+  std::unique_lock<common::Mutex> lock(admit_mu_);
+  // Batch admission additionally defers to any queued interactive request,
+  // so under pressure interactive traffic drains first.
+  auto can_run = [&] {
+    return inflight_ < options_.max_concurrent &&
+           (idx == 0 || queued_[0] == 0);
+  };
+  if (!can_run()) {
+    const size_t limit = idx == 0 ? options_.interactive_queue_limit
+                                  : options_.batch_queue_limit;
+    if (queued_[idx] >= limit) {
+      // The waiting room is full: shed *now*. A request we cannot serve in
+      // time must cost the caller a fast refusal, not a queue slot.
+      *queue_wait_us = obs::MonotonicNowUs() - start;
+      return ShedReason::kQueueFull;
+    }
+    ++queued_[idx];
+    SetGauge(idx == 0 ? "serve/queued_interactive" : "serve/queued_batch",
+             static_cast<int64_t>(queued_[idx]));
+    while (!can_run()) {
+      const uint64_t remaining = deadline.RemainingUs();
+      if (remaining == 0) {
+        --queued_[idx];
+        SetGauge(idx == 0 ? "serve/queued_interactive" : "serve/queued_batch",
+                 static_cast<int64_t>(queued_[idx]));
+        admit_cv_.notify_all();  // a batch waiter may now be unblocked
+        *queue_wait_us = obs::MonotonicNowUs() - start;
+        return ShedReason::kDeadlineBeforeExecute;
+      }
+      admit_cv_.wait_for(
+          lock, std::chrono::microseconds(std::min(remaining, kWaitChunkUs)));
+    }
+    --queued_[idx];
+    SetGauge(idx == 0 ? "serve/queued_interactive" : "serve/queued_batch",
+             static_cast<int64_t>(queued_[idx]));
+    if (idx == 0) admit_cv_.notify_all();  // interactive queue may be empty
+  }
+  ++inflight_;
+  SetGauge("serve/inflight", static_cast<int64_t>(inflight_));
+  *queue_wait_us = obs::MonotonicNowUs() - start;
+  return ShedReason::kNone;
+}
+
+void FrontDoor::Release() {
+  std::unique_lock<common::Mutex> lock(admit_mu_);
+  --inflight_;
+  SetGauge("serve/inflight", static_cast<int64_t>(inflight_));
+  admit_cv_.notify_all();
+}
+
+// --- Flights (coalescing) ---------------------------------------------------
+
+void FrontDoor::PublishFlight(const std::string& key,
+                              const std::shared_ptr<Flight>& flight,
+                              const common::Status& status,
+                              std::string payload) {
+  {
+    // Retire the flight *before* publishing: a new identical query arriving
+    // after this point starts fresh (or hits the cache) instead of joining
+    // a finished flight. Followers keep their shared_ptr, so erasing the
+    // map entry never invalidates their wait.
+    common::MutexLock lock(flight_mu_);
+    flights_.erase(key);
+  }
+  {
+    common::MutexLock lock(flight->mu);
+    flight->done = true;
+    flight->published_status = status;
+    flight->published_payload = std::move(payload);
+  }
+  flight->cv.notify_all();
+}
+
+QueryReply FrontDoor::ExecuteAndPublish(const QueryRequest& request,
+                                        const Deadline& deadline,
+                                        const std::string& key,
+                                        const std::shared_ptr<Flight>& flight) {
+  QueryReply reply;
+  const ShedReason shed = Admit(request.priority, deadline,
+                                &reply.queue_wait_us);
+  RecordTiming("serve/queue_wait_us", reply.queue_wait_us);
+  if (shed != ShedReason::kNone) {
+    reply.shed_reason = shed;
+    if (shed == ShedReason::kQueueFull) {
+      Count("serve/shed_queue_full_total");
+      reply.retry_after_us = options_.shed_retry_after_us;
+      reply.status = Status::Unavailable("front door queue full");
+    } else {
+      Count("serve/shed_deadline_total");
+      reply.status = Status::DeadlineExceeded(
+          "deadline expired in admission queue");
+    }
+    PublishFlight(key, flight, reply.status, "");
+    return reply;
+  }
+  Count("serve/admitted_total");
+  platform::SentimentQueryResult result =
+      service_->Query(request.subject, options_.max_hits, deadline);
+  Release();
+  if (result.deadline_expired) Count("serve/deadline_expired_results_total");
+  reply.status = Status::Ok();
+  reply.payload = RenderPayload(result);
+  // Only complete answers are cached: a hit can then never replay bytes
+  // degraded by faults or deadline truncation, which is what keeps
+  // post-overload responses byte-identical to an unloaded run.
+  if (result.complete()) {
+    CacheInsert(key, reply.payload, std::move(result.covered_docs));
+  }
+  PublishFlight(key, flight, reply.status, reply.payload);
+  return reply;
+}
+
+// --- The pipeline -----------------------------------------------------------
+
+QueryReply FrontDoor::Query(const QueryRequest& request) {
+  const uint64_t started = obs::MonotonicNowUs();
+  Count("serve/requests_total");
+  const Deadline deadline = Deadline::After(
+      request.budget_us > 0 ? request.budget_us : options_.default_budget_us);
+
+  QueryReply reply;
+  // 1. Quota: the cheapest check first — an over-quota tenant costs one
+  //    map lookup, nothing shared with other tenants.
+  if (!QuotaAdmit(request.tenant, &reply.retry_after_us)) {
+    Count("serve/shed_quota_total");
+    reply.shed_reason = ShedReason::kQuotaExceeded;
+    reply.status = Status::Unavailable("tenant quota exceeded");
+    return reply;
+  }
+
+  // 2. Result cache.
+  const std::string& key = request.subject;
+  if (CacheLookup(key, &reply.payload)) {
+    Count("serve/cache_hits_total");
+    reply.cache_hit = true;
+    RecordTiming("serve/latency_us", obs::MonotonicNowUs() - started);
+    return reply;
+  }
+  Count("serve/cache_misses_total");
+
+  // 3. Coalesce: find-or-insert the in-flight execution for this key.
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    common::MutexLock lock(flight_mu_);
+    auto it = flights_.find(key);
+    if (it != flights_.end()) {
+      flight = it->second;
+    } else {
+      flight = std::make_shared<Flight>();
+      flights_[key] = flight;
+      leader = true;
+    }
+  }
+
+  if (!leader) {
+    // Follower: wait (deadline-bounded) for the leader's published reply.
+    Count("serve/coalesced_total");
+    reply.coalesced = true;
+    std::unique_lock<common::Mutex> lock(flight->mu);
+    while (!flight->done) {
+      const uint64_t remaining = deadline.RemainingUs();
+      if (remaining == 0) {
+        Count("serve/shed_deadline_total");
+        reply.shed_reason = ShedReason::kDeadlineBeforeExecute;
+        reply.status = Status::DeadlineExceeded(
+            "deadline expired waiting on coalesced query");
+        return reply;
+      }
+      flight->cv.wait_for(
+          lock, std::chrono::microseconds(std::min(remaining, kWaitChunkUs)));
+    }
+    reply.status = flight->published_status;
+    reply.payload = flight->published_payload;
+    RecordTiming("serve/latency_us", obs::MonotonicNowUs() - started);
+    return reply;
+  }
+
+  // Leader double-check: between our cache miss and winning the flight, a
+  // previous leader may have cached its answer and retired its flight (it
+  // inserts into the cache strictly before erasing the flight, so whenever
+  // the flight is gone the entry is visible). Re-checking here closes the
+  // race where a second leader would re-execute a query the cache already
+  // answers — the property coalescing tests pin down.
+  if (CacheLookup(key, &reply.payload)) {
+    Count("serve/cache_hits_total");
+    reply.cache_hit = true;
+    PublishFlight(key, flight, Status::Ok(), reply.payload);
+    RecordTiming("serve/latency_us", obs::MonotonicNowUs() - started);
+    return reply;
+  }
+
+  // 4+5. Leader: admission, execution, publication.
+  reply = ExecuteAndPublish(request, deadline, key, flight);
+  RecordTiming("serve/latency_us", obs::MonotonicNowUs() - started);
+  return reply;
+}
+
+// --- Bus endpoint -----------------------------------------------------------
+
+common::Status FrontDoor::RegisterService() {
+  return cluster_->bus().RegisterService(
+      "app/front_door", [this](const std::string& request) {
+        QueryRequest query;
+        query.subject = platform::GetMessageField(request, "subject");
+        query.tenant = platform::GetMessageField(request, "tenant");
+        if (platform::GetMessageField(request, "priority") == "batch") {
+          query.priority = Priority::kBatch;
+        }
+        std::string budget = platform::GetMessageField(request, "budget_us");
+        if (!budget.empty()) {
+          query.budget_us = std::strtoull(budget.c_str(), nullptr, 10);
+        }
+        QueryReply reply = Query(query);
+        std::vector<std::pair<std::string, std::string>> out;
+        out.emplace_back("code",
+                         common::StrFormat("%d", static_cast<int>(
+                                                     reply.status.code())));
+        out.emplace_back("shed", common::StrFormat(
+                                     "%d", static_cast<int>(reply.shed_reason)));
+        out.emplace_back(
+            "retry_after_us",
+            common::StrFormat("%llu", static_cast<unsigned long long>(
+                                          reply.retry_after_us)));
+        out.emplace_back("cache_hit", reply.cache_hit ? "1" : "0");
+        out.emplace_back("coalesced", reply.coalesced ? "1" : "0");
+        if (reply.status.ok()) {
+          out.emplace_back("payload", reply.payload);
+        } else {
+          out.emplace_back("error", reply.status.ToString());
+        }
+        return platform::EncodeMessage(out);
+      });
+}
+
+}  // namespace wf::serve

@@ -1,0 +1,236 @@
+#ifndef WF_SERVE_FRONT_DOOR_H_
+#define WF_SERVE_FRONT_DOOR_H_
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "platform/cluster.h"
+#include "platform/deadline.h"
+#include "platform/query_service.h"
+
+namespace wf::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace wf::obs
+
+namespace wf::serve {
+
+// Priority classes for admission. Interactive traffic is admitted ahead of
+// batch whenever both are queued; batch is the first thing shed under
+// pressure, so a background crawl can never starve a dashboard.
+enum class Priority { kInteractive = 0, kBatch = 1 };
+
+// Why a request was shed (reply.status is Unavailable or DeadlineExceeded
+// when one of these is set). Shedding is always explicit and early — the
+// front door's contract is an honest fast "no" instead of a slow hang.
+enum class ShedReason {
+  kNone = 0,
+  kQueueFull,           // the priority class's admission queue was full
+  kQuotaExceeded,       // the tenant's token bucket was empty
+  kDeadlineBeforeExecute,  // the budget expired while queued or coalesced
+};
+
+// Per-tenant token bucket: `tokens_per_second` refill toward `burst`
+// capacity; each admitted query spends one token. A zero rate disables
+// quota enforcement (the default tenant policy unless overridden).
+struct TokenBucketConfig {
+  double tokens_per_second = 0.0;
+  double burst = 1.0;
+};
+
+struct FrontDoorOptions {
+  // Queries executing concurrently against the cluster. Everything beyond
+  // this waits in the bounded admission queue (or is shed).
+  size_t max_concurrent = 4;
+  // Bounded waiting-room sizes per priority class; arrivals beyond the
+  // bound are shed kQueueFull immediately.
+  size_t interactive_queue_limit = 64;
+  size_t batch_queue_limit = 16;
+  // End-to-end budget applied when a request carries none.
+  uint64_t default_budget_us = 250000;
+  // retry_after_us hint attached to kQueueFull sheds.
+  uint64_t shed_retry_after_us = 50000;
+  // Result cache capacity (entries, across all stripes; 0 disables).
+  size_t cache_entries = 128;
+  size_t cache_stripes = 8;
+  // Quota applied to tenants without an explicit SetTenantQuota override.
+  TokenBucketConfig default_quota;
+  // max_hits forwarded to SentimentQueryService::Query.
+  size_t max_hits = 50;
+};
+
+struct QueryRequest {
+  std::string subject;
+  std::string tenant;  // "" shares the anonymous bucket
+  Priority priority = Priority::kInteractive;
+  // End-to-end budget in microseconds; 0 = FrontDoorOptions default.
+  uint64_t budget_us = 0;
+};
+
+struct QueryReply {
+  common::Status status = common::Status::Ok();
+  // The rendered sentiment answer (EncodeMessage form, same fields as the
+  // app/sentiment_query handler) — a pure function of the query result, so
+  // identical results render identical bytes.
+  std::string payload;
+  ShedReason shed_reason = ShedReason::kNone;
+  // With a shed: when the caller should retry (its backpressure signal).
+  uint64_t retry_after_us = 0;
+  bool cache_hit = false;
+  bool coalesced = false;  // waited on another caller's identical query
+  uint64_t queue_wait_us = 0;
+};
+
+// The query front door (tentpole of the serving layer): everything between
+// an application and Cluster sentiment queries goes through here.
+//
+//   Query ──► quota ──► cache ──► coalesce ──► admission ──► execute
+//
+// Guarantees under overload:
+//   * Bounded queues — beyond them requests are shed *immediately* with
+//     Unavailable + retry_after_us, never parked on an unbounded wait.
+//   * Every wait is deadline-bounded; a request whose budget expires while
+//     queued is shed without ever reaching the cluster, and the budget it
+//     entered with is the exact budget its downstream calls inherit.
+//   * Identical concurrent queries coalesce onto one upstream execution;
+//     followers receive byte-identical payloads.
+//   * Only complete() results are cached, so a cache hit can never serve
+//     bytes degraded by faults or deadline truncation; entries remember
+//     their covered documents and are invalidated exactly on re-mine.
+//
+// Threading: caller-runs. The front door spawns no threads — callers block
+// (deadline-bounded) in admission and execute their own queries, so
+// concurrency is whatever the callers bring.
+class FrontDoor {
+ public:
+  // `service` and `cluster` must outlive the front door; the cluster is
+  // only used for bus registration and re-mine invalidation hooks.
+  FrontDoor(const platform::SentimentQueryService* service,
+            platform::Cluster* cluster, FrontDoorOptions options);
+  ~FrontDoor();
+  FrontDoor(const FrontDoor&) = delete;
+  FrontDoor& operator=(const FrontDoor&) = delete;
+
+  // Serves one query end to end (see class comment for the pipeline).
+  // Never blocks past the request's budget.
+  QueryReply Query(const QueryRequest& request);
+
+  // Registers "app/front_door" on the cluster bus:
+  //   request:  subject=<s> [tenant=<t>] [priority=interactive|batch]
+  //             [budget_us=<n>]
+  //   response: status=<code> shed=<reason> retry_after_us=<n>
+  //             payload=<rendered answer>  (on success)
+  common::Status RegisterService();
+
+  // Cache invalidation. InvalidateDocument drops exactly the entries whose
+  // answers covered `doc_id`; InvalidateAll clears everything (the blunt
+  // hook for a full re-mine).
+  void InvalidateDocument(const std::string& doc_id);
+  void InvalidateAll();
+
+  // Overrides the default quota for one tenant (takes effect on its next
+  // refill; an existing bucket's balance is reset to the new burst).
+  void SetTenantQuota(const std::string& tenant,
+                      const TokenBucketConfig& config);
+
+  // Attaches a registry for serve/* metrics; nullptr detaches. The
+  // registry must outlive its attachment.
+  void AttachMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  const FrontDoorOptions& options() const { return options_; }
+
+ private:
+  // One in-flight execution that identical queries attach to. The leader
+  // runs the query; followers wait (deadline-bounded) for `done` and copy
+  // the published reply.
+  struct Flight {
+    common::Mutex mu;
+    std::condition_variable_any cv;
+    bool done WF_GUARDED_BY(mu) = false;
+    common::Status published_status WF_GUARDED_BY(mu) = common::Status::Ok();
+    std::string published_payload WF_GUARDED_BY(mu);
+  };
+
+  // Lock-striped LRU result cache (the AnalysisCache shape: small striped
+  // vectors, linear scan, LRU tick per stripe).
+  struct CacheEntry {
+    std::string key;
+    std::string payload;
+    std::vector<std::string> covered_docs;
+    uint64_t last_used = 0;
+  };
+  struct CacheStripe {
+    common::Mutex mu;
+    std::vector<CacheEntry> entries WF_GUARDED_BY(mu);
+    uint64_t tick WF_GUARDED_BY(mu) = 0;
+  };
+
+  struct TokenBucket {
+    TokenBucketConfig config;
+    double tokens = 0.0;
+    uint64_t last_refill_us = 0;
+    bool initialized = false;
+  };
+
+  CacheStripe& StripeFor(const std::string& key);
+  bool CacheLookup(const std::string& key, std::string* payload);
+  void CacheInsert(const std::string& key, std::string payload,
+                   std::vector<std::string> covered_docs);
+
+  // Token-bucket check; on refusal returns false and sets *retry_after_us.
+  bool QuotaAdmit(const std::string& tenant, uint64_t* retry_after_us);
+
+  // Blocks (deadline-bounded) until an execution slot is free. Returns
+  // kNone on admission, else the shed reason; *queue_wait_us reports the
+  // time spent waiting either way.
+  ShedReason Admit(Priority priority, const platform::Deadline& deadline,
+                   uint64_t* queue_wait_us);
+  void Release();
+
+  // Executes the query as flight leader and publishes the reply.
+  QueryReply ExecuteAndPublish(const QueryRequest& request,
+                               const platform::Deadline& deadline,
+                               const std::string& key,
+                               const std::shared_ptr<Flight>& flight);
+  // Fails a flight the leader is abandoning (shed/expired) so followers
+  // wake immediately instead of timing out.
+  void PublishFlight(const std::string& key,
+                     const std::shared_ptr<Flight>& flight,
+                     const common::Status& status, std::string payload);
+
+  void Count(const std::string& name, uint64_t delta = 1) const;
+  void SetGauge(const std::string& name, int64_t value) const;
+  void RecordTiming(const std::string& name, uint64_t value_us) const;
+
+  const platform::SentimentQueryService* service_;
+  platform::Cluster* cluster_;
+  const FrontDoorOptions options_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  // Stripe set is fixed at construction; each stripe locks itself.
+  std::vector<std::unique_ptr<CacheStripe>> cache_;
+
+  // Admission state: execution slots and per-priority waiting counts.
+  common::Mutex admit_mu_;
+  std::condition_variable_any admit_cv_;
+  size_t inflight_ WF_GUARDED_BY(admit_mu_) = 0;
+  size_t queued_[2] WF_GUARDED_BY(admit_mu_) = {0, 0};
+
+  common::Mutex flight_mu_;
+  std::map<std::string, std::shared_ptr<Flight>> flights_
+      WF_GUARDED_BY(flight_mu_);
+
+  common::Mutex quota_mu_;
+  std::map<std::string, TokenBucket> buckets_ WF_GUARDED_BY(quota_mu_);
+  std::map<std::string, TokenBucketConfig> quota_overrides_
+      WF_GUARDED_BY(quota_mu_);
+};
+
+}  // namespace wf::serve
+
+#endif  // WF_SERVE_FRONT_DOOR_H_

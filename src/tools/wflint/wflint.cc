@@ -1184,11 +1184,56 @@ void CheckPlatformRawFileIo(const SourceFile& file,
   }
 }
 
+void CheckServingUnboundedWait(const FileModel& fm,
+                               std::vector<Violation>* out) {
+  // Serving-layer code (src/serve) sits on the overload path: any block
+  // without a bound — an untimed cv wait, a sleep, a bus call with no
+  // deadline — is a request that can hang instead of shedding. Every wait
+  // there must be wait_for/wait_until under the request's remaining
+  // budget, and every bus call must carry CallOptions/a deadline.
+  if (fm.layer != "serve") return;
+  static const std::regex kUntimedWaitRe(R"(\.\s*wait\s*\()");
+  static const std::regex kSleepRe(R"(\bsleep_(for|until)\s*\()");
+  static const std::regex kBusCallRe(
+      R"(\bbus(_\b|\s*\(\s*\))?\s*(\.|->)\s*Call(All)?\s*\()");
+  for (size_t i = 0; i < fm.lines.size(); ++i) {
+    const std::string& line = fm.lines[i];
+    if (std::regex_search(line, kUntimedWaitRe)) {
+      out->push_back(
+          {fm.file.path, i + 1, "serving-unbounded-wait",
+           "untimed condition-variable wait in serving code; use wait_for "
+           "with the request's remaining deadline so overload sheds instead "
+           "of hanging"});
+    }
+    if (std::regex_search(line, kSleepRe)) {
+      out->push_back(
+          {fm.file.path, i + 1, "serving-unbounded-wait",
+           "sleep in serving code; serving threads are caller-runs and must "
+           "only block in deadline-bounded waits"});
+    }
+    if (std::regex_search(line, kBusCallRe)) {
+      std::string stmt = AccumulateStatement(fm.lines, i);
+      if (stmt.empty()) continue;
+      if (stmt.find("CallOptions") == std::string::npos &&
+          stmt.find("options") == std::string::npos &&
+          stmt.find("Deadline") == std::string::npos &&
+          stmt.find("deadline") == std::string::npos) {
+        out->push_back(
+            {fm.file.path, i + 1, "serving-unbounded-wait",
+             "bus call in serving code without a deadline: pass CallOptions "
+             "with deadline_us (or thread the request Deadline) so no "
+             "downstream call can outlive its caller's budget"});
+      }
+    }
+  }
+}
+
 // --- Cross-file rules --------------------------------------------------------
 
 // Layers where a mutex member implies a lock discipline worth annotating.
 bool LayerWantsAnnotations(const std::string& layer) {
-  return layer == "platform" || layer == "obs" || layer == "core";
+  return layer == "platform" || layer == "obs" || layer == "core" ||
+         layer == "serve";
 }
 
 void CheckLayering(const FileModel& fm, std::vector<Violation>* out) {
@@ -1298,6 +1343,9 @@ const std::vector<RuleInfo>& Rules() {
       {"hot-path-alloc",
        "allocation-heavy pattern (by-value std::string param, allocating "
        "substr, unreserved per-element push_back) in src/{text,pos,parse}"},
+      {"serving-unbounded-wait",
+       "blocking wait, sleep, or deadline-less bus call in src/serve (the "
+       "overload path must shed, never hang)"},
       {"unknown-rule", "wflint allow() comment names an unknown rule"},
       {"unused-suppression",
        "wflint allow() names a rule that never fires in that file"},
@@ -1334,12 +1382,16 @@ const std::map<std::string, std::set<std::string>>& LayeringDag() {
       {"platform",
        {"common", "obs", "text", "pos", "parse", "lexicon", "ner", "spot",
         "feature", "core"}},
+      {"serve",
+       {"common", "obs", "text", "pos", "parse", "lexicon", "ner", "spot",
+        "feature", "core", "platform"}},
       {"eval",
        {"common", "text", "pos", "parse", "lexicon", "corpus", "baseline",
         "core"}},
       {"tools",
        {"common", "obs", "text", "pos", "parse", "lexicon", "ner", "spot",
-        "feature", "corpus", "baseline", "core", "platform", "eval"}},
+        "feature", "corpus", "baseline", "core", "platform", "serve",
+        "eval"}},
   };
   return *kDag;
 }
@@ -1701,6 +1753,7 @@ std::vector<Violation> Engine::Run() const {
     CheckPlatformRawTiming(fm->file, fm->lines, &found);
     CheckPlatformRawThread(fm->file, fm->lines, &found);
     CheckPlatformRawFileIo(fm->file, fm->lines, &found);
+    CheckServingUnboundedWait(*fm, &found);
     CheckLayering(*fm, &found);
     CheckUnguardedFields(*fm, &found);
     CheckUnorderedSerialization(*fm, idx, &found);

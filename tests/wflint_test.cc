@@ -296,6 +296,63 @@ TEST(UncheckedRpcTest, IgnoresCheckedCallsAssignmentsAndOtherLayers) {
       "unchecked-rpc"));
 }
 
+// --- serving-unbounded-wait -------------------------------------------------
+
+TEST(ServingUnboundedWaitTest, FlagsUntimedWaitSleepAndDeadlinelessCall) {
+  // An untimed cv wait can park a request forever.
+  std::vector<Violation> vs = LintSnippet(
+      "src/serve/front_door.cc",
+      "void Wait(Flight* f) {\n"
+      "  std::unique_lock<common::Mutex> lock(f->mu);\n"
+      "  f->cv.wait(lock);\n"
+      "}\n");
+  ASSERT_TRUE(HasRule(vs, "serving-unbounded-wait"));
+  EXPECT_EQ(vs[0].line, 3u);
+  // Sleeping a serving (caller-runs) thread stalls the caller.
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/serve/front_door.cc",
+                  "void Backoff() {\n"
+                  "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+                  "}\n"),
+      "serving-unbounded-wait"));
+  // A bus call with no deadline can outlive its caller's budget.
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/serve/front_door.cc",
+                  "void Fetch(VinciBus* bus) {\n"
+                  "  auto r = bus->Call(\"node/0/fetch\", req);\n"
+                  "  if (!r.ok()) return;\n"
+                  "}\n"),
+      "serving-unbounded-wait"));
+}
+
+TEST(ServingUnboundedWaitTest, QuietOnBoundedWaitsAndDeadlinedCalls) {
+  // wait_for under a deadline chunk is the sanctioned shape.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/serve/front_door.cc",
+                  "void Wait(Flight* f, const Deadline& deadline) {\n"
+                  "  std::unique_lock<common::Mutex> lock(f->mu);\n"
+                  "  f->cv.wait_for(lock, std::chrono::microseconds(\n"
+                  "      deadline.RemainingUs()));\n"
+                  "}\n"),
+      "serving-unbounded-wait"));
+  // A bus call that threads CallOptions (deadline) through is fine.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/serve/front_door.cc",
+                  "void Fetch(VinciBus* bus, const CallOptions& options) {\n"
+                  "  auto r = bus->Call(\"node/0/fetch\", req, options);\n"
+                  "  if (!r.ok()) return;\n"
+                  "}\n"),
+      "serving-unbounded-wait"));
+  // Identical code outside src/serve belongs to other rules.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/platform/mine_executor.cc",
+                  "void Wait(Pool* p) {\n"
+                  "  std::unique_lock<common::Mutex> lock(p->mu);\n"
+                  "  p->cv.wait(lock);\n"
+                  "}\n"),
+      "serving-unbounded-wait"));
+}
+
 // --- platform-raw-timing ----------------------------------------------------
 
 TEST(PlatformRawTimingTest, FlagsRawClockReadsInPlatformCode) {
