@@ -33,7 +33,7 @@ void BM_DataStorePut(benchmark::State& state) {
     for (const auto& d : docs) {
       platform::Entity e(d.id, "bench");
       e.SetBody(d.body);
-      store.Upsert(std::move(e));
+      WF_CHECK_OK(store.Upsert(std::move(e)));
     }
     benchmark::DoNotOptimize(store.size());
   }
@@ -48,7 +48,7 @@ void BM_DataStoreGet(benchmark::State& state) {
   for (const auto& d : docs) {
     platform::Entity e(d.id, "bench");
     e.SetBody(d.body);
-    store.Upsert(std::move(e));
+    WF_CHECK_OK(store.Upsert(std::move(e)));
   }
   size_t i = 0;
   for (auto _ : state) {

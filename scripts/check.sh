@@ -64,9 +64,12 @@ if [[ "${WF_CHECK_TSAN:-0}" == "1" ]]; then
   # many workers at once — the suite the determinism contract lives in.
   # serving_test hammers the front door's admission queue, coalescing
   # flights, and striped result cache from concurrent open-loop callers.
+  # storage_test drives the LSM tree's single mutex from crash fuzz and
+  # the 100x-corpus sweep — the newest lock the data path takes.
   for t in obs_test platform_test platform_miners_test property_test \
-           robustness_test chaos_test durability_test agreement_test \
-           integration_test parallel_mining_test serving_test; do
+           robustness_test chaos_test durability_test storage_test \
+           agreement_test integration_test parallel_mining_test \
+           serving_test; do
     step "TSan: ${t}"
     "./build-tsan/tests/${t}"
   done

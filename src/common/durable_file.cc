@@ -37,13 +37,24 @@ void StorageFaultInjector::ArmCrash(const std::string& path_prefix,
                  /*fired=*/false};
 }
 
+void StorageFaultInjector::ArmOpCrash(const std::string& path_prefix,
+                                      uint64_t after_ops) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ops_[path_prefix] = ArmedOpCrash{after_ops, /*seen_ops=*/0,
+                                         /*fired=*/false};
+}
+
 void StorageFaultInjector::ClearCrashes() {
   std::lock_guard<std::mutex> lock(mu_);
   armed_.clear();
+  armed_ops_.clear();
 }
 
 bool StorageFaultInjector::IsCrashedLocked(const std::string& path) const {
   for (const auto& [prefix, crash] : armed_) {
+    if (crash.fired && StartsWith(path, prefix)) return true;
+  }
+  for (const auto& [prefix, crash] : armed_ops_) {
     if (crash.fired && StartsWith(path, prefix)) return true;
   }
   return false;
@@ -130,6 +141,17 @@ common::Status StorageFaultInjector::CheckWritable(const std::string& path) {
   if (IsCrashedLocked(path)) {
     ++counters_.crashed;
     return Status::IOError("simulated storage crash: " + path);
+  }
+  // A scheduled op crash fires on the Nth gated durable op, then leaves
+  // the prefix crashed — the same one-shot power-loss contract as
+  // ArmCrash, but stepping whole-file ops instead of appends.
+  for (auto& [prefix, crash] : armed_ops_) {
+    if (crash.fired || !StartsWith(path, prefix)) continue;
+    if (crash.seen_ops++ == crash.after_ops) {
+      crash.fired = true;
+      ++counters_.crashed;
+      return Status::IOError("simulated storage crash (op): " + path);
+    }
   }
   return Status::Ok();
 }

@@ -62,6 +62,13 @@ class StorageFaultInjector {
   // again replaces the previous schedule.
   void ArmCrash(const std::string& path_prefix, uint64_t after_appends,
                 size_t torn_bytes);
+  // Like ArmCrash, but counts whole-file durable ops (the CheckWritable
+  // gate in front of WriteFileAtomic / WriteSnapshotFile and DurableFile::
+  // Open) instead of appends: ops 0..n-1 succeed, op n fails and the
+  // prefix is crashed from then on. This is how crash-at-every-step fuzz
+  // walks a multi-file protocol (segment flush, compaction manifest swap)
+  // through every possible power-loss point.
+  void ArmOpCrash(const std::string& path_prefix, uint64_t after_ops);
   // Restores power: crashed prefixes accept writes again (and pending
   // armed crashes are discarded).
   void ClearCrashes();
@@ -96,6 +103,11 @@ class StorageFaultInjector {
     uint64_t seen_appends = 0;
     bool fired = false;
   };
+  struct ArmedOpCrash {
+    uint64_t after_ops = 0;
+    uint64_t seen_ops = 0;
+    bool fired = false;
+  };
 
   bool IsCrashedLocked(const std::string& path) const;
   const Policy* MatchPolicyLocked(const std::string& path) const;
@@ -104,6 +116,7 @@ class StorageFaultInjector {
   const uint64_t seed_;
   std::map<std::string, Policy> policies_;
   std::map<std::string, ArmedCrash> armed_;
+  std::map<std::string, ArmedOpCrash> armed_ops_;
   // Per-path append sequence; a path's verdict stream depends only on how
   // many appends that path has seen, not on global order.
   std::map<std::string, uint64_t> append_seq_;
@@ -170,6 +183,15 @@ bool FileExists(const std::string& path);
 // wrong magic or kind, short payload, checksum mismatch — with
 // Status::Corruption, so a flipped bit or truncated copy can never load as
 // silently wrong data.
+//
+// The registered envelope kinds. Every durable artifact in the system
+// names its kind here so a file renamed across roles (a segment posing as
+// a manifest, say) is rejected by kind mismatch, not parsed as garbage.
+inline constexpr char kSnapKindStore[] = "store";        // DataStore image
+inline constexpr char kSnapKindIndex[] = "index";        // InvertedIndex image
+inline constexpr char kSnapKindSegment[] = "segment";    // LSM store segment
+inline constexpr char kSnapKindIndexSegment[] = "indexseg";  // posting segment
+inline constexpr char kSnapKindManifest[] = "manifest";  // segment manifest
 
 // Writes `payload` under the envelope via WriteFileAtomic.
 common::Status WriteSnapshotFile(const std::string& path,

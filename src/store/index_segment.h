@@ -1,0 +1,134 @@
+#ifndef WF_STORE_INDEX_SEGMENT_H_
+#define WF_STORE_INDEX_SEGMENT_H_
+
+#include <cstdint>
+#include <fstream>  // std::ifstream reads only; writes go through DurableFile
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wf::common {
+class StorageFaultInjector;
+}  // namespace wf::common
+
+namespace wf::store {
+
+// An immutable frozen tier of an inverted index: the posting-list sibling
+// of the key/value segment. On disk it is a `wfsnap indexseg 1` envelope
+// whose payload holds a sorted doc table, a sorted term dictionary with
+// varint delta-compressed posting blocks, and the numeric field entries:
+//
+//   wfpost 1 <ndocs> <nterms> <nfield-lines>\n
+//   d <full> <escaped-doc-id>\n                  (ndocs, sorted by id)
+//   t <escaped-term> <block-bytes>\n<block>\n    (nterms, sorted by term)
+//   f <escaped-field> <value> <doc-ord>\n        (field lines, sorted)
+//
+// A posting block is varint-coded: doc count, then per doc its ordinal
+// delta, position count, and position deltas — small and cheap to skip.
+// Doc ordinals are positions in this segment's own sorted doc table.
+//
+// `full` records whether the segment holds the doc's complete postings
+// (a real (re)index) or only incremental additions (concept tokens /
+// field values added after the doc was last frozen). A full entry shadows
+// every older tier for that doc; a partial one merges with them.
+//
+// The payload is a pure function of the logical content (docs sorted,
+// terms sorted, postings in ordinal order), so equal logical tiers freeze
+// to byte-identical files — the determinism contract of DESIGN.md §13.
+
+struct IndexDocEntry {
+  std::string id;
+  bool full = true;
+};
+
+struct TermPostings {
+  uint32_t doc_ord = 0;
+  std::vector<uint32_t> positions;  // ascending; empty = concept token
+};
+
+struct FieldValueEntry {
+  double value = 0.0;
+  uint32_t doc_ord = 0;
+};
+
+// The logical content of one frozen tier, in canonical order.
+struct IndexSegmentData {
+  std::vector<IndexDocEntry> docs;  // sorted by id, unique
+  std::map<std::string, std::vector<TermPostings>> terms;  // ords ascending
+  std::map<std::string, std::vector<FieldValueEntry>> fields;
+};
+
+common::Status WriteIndexSegmentFile(const std::string& path,
+                                     const IndexSegmentData& data,
+                                     common::StorageFaultInjector* injector,
+                                     uint64_t* bytes_out);
+
+// Read handle: Open() verifies the envelope once and keeps the doc table,
+// term dictionary (term + block offset) and field entries in memory;
+// posting blocks are decoded lazily per term. Not thread-safe — the
+// owning index serializes access.
+class IndexSegmentReader {
+ public:
+  struct TermEntry {
+    std::string term;
+    uint64_t block_offset = 0;  // absolute file offset of the block
+    uint32_t block_len = 0;
+  };
+
+  static common::Result<std::unique_ptr<IndexSegmentReader>> Open(
+      const std::string& path);
+
+  // Public only so Open can make_unique; use Open().
+  IndexSegmentReader() = default;
+  IndexSegmentReader(const IndexSegmentReader&) = delete;
+  IndexSegmentReader& operator=(const IndexSegmentReader&) = delete;
+
+  const std::vector<IndexDocEntry>& docs() const { return docs_; }
+  // -1 when the doc is not in this segment, else its ordinal.
+  int FindDoc(std::string_view id) const;
+
+  const std::vector<TermEntry>& terms() const { return terms_; }
+  const TermEntry* FindTerm(std::string_view term) const;
+  // Decodes one term's postings (segment-local doc ordinals).
+  common::Result<std::vector<TermPostings>> Postings(
+      const TermEntry& entry) const;
+
+  const std::map<std::string, std::vector<FieldValueEntry>>& fields() const {
+    return fields_;
+  }
+
+  const std::string& path() const { return path_; }
+  uint64_t file_bytes() const { return file_bytes_; }
+
+ private:
+  std::string path_;
+  uint64_t file_bytes_ = 0;
+  std::vector<IndexDocEntry> docs_;
+  std::vector<TermEntry> terms_;
+  std::map<std::string, std::vector<FieldValueEntry>> fields_;
+  mutable std::ifstream in_;
+};
+
+// Reads a whole segment back into its logical form (compaction input).
+common::Result<IndexSegmentData> LoadIndexSegmentData(
+    const IndexSegmentReader& reader);
+
+// Merges tiers oldest → newest into one canonical tier. Per doc, versions
+// are collected newest-first until (and including) the first full one:
+// a full version shadows everything older, partial versions merge their
+// postings and field values. Doc ordinals are remapped into the merged
+// sorted doc table.
+IndexSegmentData MergeIndexSegments(const std::vector<IndexSegmentData>& tiers);
+
+// Percent-escaping shared by the index segment format (space, newline,
+// '%' — keeps every token single-line and single-word).
+std::string EscapeIndexToken(std::string_view raw);
+std::string UnescapeIndexToken(std::string_view escaped);
+
+}  // namespace wf::store
+
+#endif  // WF_STORE_INDEX_SEGMENT_H_

@@ -1,0 +1,172 @@
+#ifndef WF_STORE_LSM_H_
+#define WF_STORE_LSM_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "store/manifest.h"
+#include "store/memtable.h"
+#include "store/segment.h"
+
+namespace wf::common {
+class StorageFaultInjector;
+}  // namespace wf::common
+
+namespace wf::store {
+
+struct LsmOptions {
+  // Approximate memtable size that triggers an automatic flush to a
+  // segment. Only meaningful in segment mode; an ephemeral tree grows
+  // unbounded (the pre-LSM behavior, kept for tests and ad-hoc tooling).
+  uint64_t memtable_ceiling_bytes = 8ull << 20;
+  // Minimum number of adjacent same-size-tier segments that compaction
+  // merges into one.
+  size_t compaction_fanout = 4;
+  // Geometric growth factor between size tiers.
+  double size_tier_factor = 4.0;
+};
+
+// An LSM-style key/value tree: one mutable memtable (delta tier) over a
+// stack of immutable sorted segment files (frozen tiers). Reads merge the
+// tiers newest-first; deletes are tombstones that shadow older segments
+// until compaction proves no older record survives. All durable writes go
+// through the envelope discipline (WriteSnapshotFile → WriteFileAtomic),
+// and the manifest swap is the single commit point for flushes and
+// compactions — a crash at any byte leaves either the old manifest (new
+// segment is an orphan, deleted at next open) or the new one (fully
+// consistent), never a half state.
+//
+// Without OpenSegments the tree is ephemeral: a plain sorted in-memory
+// map, no files ever touched.
+//
+// Thread-safe; every operation takes the one internal mutex, so callbacks
+// passed to ForEach* must not reenter the tree.
+class LsmTree {
+ public:
+  LsmTree() = default;
+  LsmTree(const LsmTree&) = delete;
+  LsmTree& operator=(const LsmTree&) = delete;
+
+  // Registers gauges/counters/histograms under `prefix` (e.g. "store").
+  // Call before concurrent use; null detaches.
+  void AttachMetrics(const obs::MetricsRegistry* metrics,
+                     const std::string& prefix);
+
+  // Switches to segment mode rooted at `dir`: loads the manifest and its
+  // segment runs if present (Corruption when any file fails its
+  // checksum), deletes orphaned segment files a crash may have left
+  // behind, and enables ceiling-triggered flushes. The memtable must be
+  // empty. `injector` may be null and must outlive the tree.
+  common::Status OpenSegments(const std::string& dir, const std::string& base,
+                              const LsmOptions& options,
+                              common::StorageFaultInjector* injector);
+  bool segmented() const;
+
+  // Upsert. In segment mode a full memtable flushes before the write is
+  // acknowledged, so the error surface includes flush failures.
+  common::Status Put(std::string_view key, std::string_view value);
+  // Insert-only: AlreadyExists when `key` is live.
+  common::Status Insert(std::string_view key, std::string_view value);
+  // Tombstones `key`; NotFound when it is not live.
+  common::Status Delete(std::string_view key);
+  // Read-modify-write of a live key under the tree lock. `fn` edits the
+  // serialized value in place; returning non-Ok abandons the write.
+  common::Status Update(std::string_view key,
+                        const std::function<common::Status(std::string*)>& fn);
+
+  // NotFound when absent or tombstoned; IOError on a failed segment read.
+  common::Result<std::string> Get(std::string_view key) const;
+  bool Contains(std::string_view key) const;
+
+  // Merged sorted sweeps over live records. ForEachKey never touches
+  // values (segment key indexes are in RAM, so this is cheap at any
+  // store size); ForEachSorted streams values one at a time.
+  common::Status ForEachSorted(
+      const std::function<common::Status(const std::string& key,
+                                         const std::string& value)>& fn) const;
+  void ForEachKey(const std::function<void(const std::string&)>& fn) const;
+
+  // Live key count (tombstoned keys excluded).
+  size_t size() const;
+
+  // Flushes the memtable to a new segment and runs compaction. A no-op
+  // when the memtable is empty. FailedPrecondition in ephemeral mode.
+  common::Status Flush();
+
+  // Drops all in-memory state. Ephemeral mode only (segment mode would
+  // silently diverge from disk).
+  common::Status ClearEphemeral();
+
+  uint64_t memtable_bytes() const;
+  size_t segment_count() const;
+  uint64_t flushes() const;
+  uint64_t compactions() const;
+
+ private:
+  // Where a key currently resolves, merged across tiers.
+  enum class Presence { kAbsent, kLive, kTombstoned };
+
+  struct MetricSet {
+    obs::Gauge* memtable_bytes = nullptr;
+    obs::Gauge* memtable_entries = nullptr;
+    obs::Gauge* segments = nullptr;
+    obs::Gauge* live_keys = nullptr;
+    obs::Counter* flushes = nullptr;
+    obs::Counter* compactions = nullptr;
+    obs::Counter* compaction_bytes_rewritten = nullptr;
+    obs::Counter* gets = nullptr;
+    obs::Counter* read_tiers = nullptr;
+    obs::Histogram* flush_us = nullptr;
+    obs::Histogram* compaction_us = nullptr;
+  };
+
+  std::string SegmentPathLocked(uint64_t id) const WF_REQUIRES(mu_);
+  std::string ManifestPathLocked() const WF_REQUIRES(mu_);
+  Presence PresenceLocked(std::string_view key,
+                          size_t* tiers_examined) const WF_REQUIRES(mu_);
+  common::Status MaybeFlushLocked() WF_REQUIRES(mu_);
+  common::Status FlushLocked() WF_REQUIRES(mu_);
+  common::Status MaybeCompactLocked() WF_REQUIRES(mu_);
+  common::Status CompactRunLocked(size_t begin, size_t end) WF_REQUIRES(mu_);
+  size_t TierOfLocked(uint64_t bytes) const WF_REQUIRES(mu_);
+  common::Status ForEachMergedLocked(
+      bool need_values,
+      const std::function<common::Status(const std::string& key,
+                                         const std::string* value)>& fn) const
+      WF_REQUIRES(mu_);
+  size_t CountLiveLocked() const WF_REQUIRES(mu_);
+  void UpdateGaugesLocked() const WF_REQUIRES(mu_);
+
+  // Configuration, set before concurrent use (AttachMetrics/OpenSegments).
+  const obs::MetricsRegistry* metrics_ = nullptr;
+  std::string metric_prefix_;
+  MetricSet m_;
+  std::string dir_;
+  std::string base_;
+  LsmOptions options_;
+  common::StorageFaultInjector* injector_ = nullptr;
+
+  mutable common::Mutex mu_;
+  bool segmented_ WF_GUARDED_BY(mu_) = false;
+  Memtable mem_ WF_GUARDED_BY(mu_);
+  // Parallel to manifest_.segments, oldest → newest.
+  std::vector<std::unique_ptr<SegmentReader>> segments_ WF_GUARDED_BY(mu_);
+  ManifestData manifest_ WF_GUARDED_BY(mu_);
+  size_t live_count_ WF_GUARDED_BY(mu_) = 0;
+  uint64_t flushes_ WF_GUARDED_BY(mu_) = 0;
+  uint64_t compactions_ WF_GUARDED_BY(mu_) = 0;
+  // Size-tier gauges created on first use so only occupied tiers export.
+  mutable std::map<size_t, obs::Gauge*> tier_gauges_ WF_GUARDED_BY(mu_);
+};
+
+}  // namespace wf::store
+
+#endif  // WF_STORE_LSM_H_

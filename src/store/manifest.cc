@@ -1,0 +1,82 @@
+#include "store/manifest.h"
+
+#include <cstdlib>
+
+#include "common/durable_file.h"
+#include "common/string_util.h"
+
+namespace wf::store {
+
+namespace {
+
+constexpr uint32_t kManifestVersion = 1;
+
+common::Status CorruptManifest(const std::string& path,
+                               const std::string& detail) {
+  return common::Status::Corruption("manifest " + path + ": " + detail);
+}
+
+}  // namespace
+
+common::Status SaveManifest(const std::string& path, const ManifestData& data,
+                            common::StorageFaultInjector* injector) {
+  std::string payload = common::StrFormat(
+      "wfman 1\nnext %llu\n",
+      static_cast<unsigned long long>(data.next_segment_id));
+  for (const SegmentMeta& seg : data.segments) {
+    payload += common::StrFormat(
+        "seg %llu %llu %llu\n", static_cast<unsigned long long>(seg.id),
+        static_cast<unsigned long long>(seg.records),
+        static_cast<unsigned long long>(seg.bytes));
+  }
+  return common::WriteSnapshotFile(path, common::kSnapKindManifest,
+                                   kManifestVersion, payload, injector);
+}
+
+common::Result<ManifestData> LoadManifest(const std::string& path) {
+  WF_ASSIGN_OR_RETURN(std::string payload, common::ReadSnapshotFile(
+                                               path, common::kSnapKindManifest,
+                                               kManifestVersion));
+  std::vector<std::string> lines = common::Split(payload, "\n");
+  if (lines.size() < 2 || lines[0] != "wfman 1") {
+    return CorruptManifest(path, "bad header");
+  }
+  ManifestData data;
+  char* end = nullptr;
+  {
+    std::vector<std::string> parts = common::Split(lines[1], " ");
+    if (parts.size() != 2 || parts[0] != "next") {
+      return CorruptManifest(path, "bad next-id line");
+    }
+    data.next_segment_id = std::strtoull(parts[1].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return CorruptManifest(path, "bad next id");
+    }
+  }
+  for (size_t i = 2; i < lines.size(); ++i) {
+    std::vector<std::string> parts = common::Split(lines[i], " ");
+    if (parts.size() != 4 || parts[0] != "seg") {
+      return CorruptManifest(path, "bad segment line");
+    }
+    SegmentMeta meta;
+    meta.id = std::strtoull(parts[1].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return CorruptManifest(path, "bad segment id");
+    }
+    meta.records = std::strtoull(parts[2].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return CorruptManifest(path, "bad segment record count");
+    }
+    meta.bytes = std::strtoull(parts[3].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return CorruptManifest(path, "bad segment byte count");
+    }
+    if (meta.id >= data.next_segment_id) {
+      return CorruptManifest(path, "segment id not below next id");
+    }
+    data.segments.push_back(meta);
+  }
+  return data;
+}
+
+}  // namespace wf::store

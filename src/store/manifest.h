@@ -1,0 +1,45 @@
+#ifndef WF_STORE_MANIFEST_H_
+#define WF_STORE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wf::common {
+class StorageFaultInjector;
+}  // namespace wf::common
+
+namespace wf::store {
+
+// The manifest is the LSM tree's single durable source of truth: which
+// segment files exist and in what precedence order. It is rewritten
+// atomically (temp + rename under the `wfsnap manifest 1` envelope) as the
+// last step of every flush and compaction — a segment file not named by
+// the durable manifest is an orphan to be deleted at open, never data.
+//
+// Segment order in `segments` is oldest → newest; a newer segment's record
+// for a key (value or tombstone) shadows every older one. Compaction
+// replaces an age-contiguous run with one merged segment at the run's
+// position, so precedence is positional and never inferred from ids.
+
+struct SegmentMeta {
+  uint64_t id = 0;       // monotonically increasing, never reused
+  uint64_t records = 0;  // record count including tombstones
+  uint64_t bytes = 0;    // whole-file size (envelope + payload)
+};
+
+struct ManifestData {
+  uint64_t next_segment_id = 1;
+  std::vector<SegmentMeta> segments;  // oldest → newest
+};
+
+common::Status SaveManifest(const std::string& path, const ManifestData& data,
+                            common::StorageFaultInjector* injector);
+
+common::Result<ManifestData> LoadManifest(const std::string& path);
+
+}  // namespace wf::store
+
+#endif  // WF_STORE_MANIFEST_H_

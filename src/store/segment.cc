@@ -1,0 +1,160 @@
+#include "store/segment.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/durable_file.h"
+#include "common/string_util.h"
+
+namespace wf::store {
+
+namespace {
+
+constexpr uint32_t kSegmentVersion = 1;
+
+common::Status CorruptSegment(const std::string& path,
+                              const std::string& detail) {
+  return common::Status::Corruption("segment " + path + ": " + detail);
+}
+
+}  // namespace
+
+common::Status WriteSegmentFile(const std::string& path,
+                                const std::vector<SegmentRecord>& records,
+                                common::StorageFaultInjector* injector,
+                                uint64_t* bytes_out) {
+  std::string payload =
+      common::StrFormat("wfseg 1 %zu\n", records.size());
+  std::string_view prev;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SegmentRecord& rec = records[i];
+    if (i > 0 && !(prev < rec.key)) {
+      return common::Status::InvalidArgument(
+          "segment records not strictly sorted at key '" +
+          std::string(rec.key) + "'");
+    }
+    prev = rec.key;
+    payload += common::StrFormat("r %zu %zu %d\n", rec.key.size(),
+                                 rec.value.size(), rec.tombstone ? 1 : 0);
+    payload.append(rec.key.data(), rec.key.size());
+    payload.append(rec.value.data(), rec.value.size());
+    payload.push_back('\n');
+  }
+  WF_RETURN_IF_ERROR(common::WriteSnapshotFile(
+      path, common::kSnapKindSegment, kSegmentVersion, payload, injector));
+  if (bytes_out != nullptr) {
+    std::error_code ec;
+    uint64_t size = std::filesystem::file_size(path, ec);
+    *bytes_out = ec ? payload.size() : size;
+  }
+  return common::Status::Ok();
+}
+
+common::Result<std::unique_ptr<SegmentReader>> SegmentReader::Open(
+    const std::string& path) {
+  WF_ASSIGN_OR_RETURN(
+      std::string payload,
+      common::ReadSnapshotFile(path, common::kSnapKindSegment,
+                               kSegmentVersion));
+  std::error_code ec;
+  uint64_t file_bytes = std::filesystem::file_size(path, ec);
+  if (ec) return common::Status::IOError("cannot stat segment: " + path);
+  // Envelope header + payload is the whole file, so the payload starts at
+  // file_bytes - payload_bytes; every in-payload offset shifts by that.
+  const uint64_t payload_base = file_bytes - payload.size();
+
+  auto reader = std::make_unique<SegmentReader>();
+  reader->path_ = path;
+  reader->file_bytes_ = file_bytes;
+
+  size_t pos = payload.find('\n');
+  if (pos == std::string::npos) {
+    return CorruptSegment(path, "missing header line");
+  }
+  std::vector<std::string> head = common::Split(payload.substr(0, pos), " ");
+  if (head.size() != 3 || head[0] != "wfseg" || head[1] != "1") {
+    return CorruptSegment(path, "bad header");
+  }
+  char* end = nullptr;
+  unsigned long long count = std::strtoull(head[2].c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return CorruptSegment(path, "bad record count");
+  }
+  ++pos;  // past the header newline
+
+  reader->entries_.reserve(count);
+  std::string prev_key;
+  for (unsigned long long i = 0; i < count; ++i) {
+    size_t eol = payload.find('\n', pos);
+    if (eol == std::string::npos) {
+      return CorruptSegment(path, "truncated record header");
+    }
+    std::vector<std::string> parts =
+        common::Split(payload.substr(pos, eol - pos), " ");
+    if (parts.size() != 4 || parts[0] != "r") {
+      return CorruptSegment(path, "bad record header");
+    }
+    unsigned long long keylen = std::strtoull(parts[1].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return CorruptSegment(path, "bad key length");
+    }
+    unsigned long long vallen = std::strtoull(parts[2].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return CorruptSegment(path, "bad value length");
+    }
+    bool tombstone = parts[3] == "1";
+    pos = eol + 1;
+    if (pos + keylen + vallen + 1 > payload.size()) {
+      return CorruptSegment(path, "truncated record body");
+    }
+    Entry entry;
+    entry.key = payload.substr(pos, keylen);
+    entry.value_offset = payload_base + pos + keylen;
+    entry.value_len = static_cast<uint32_t>(vallen);
+    entry.tombstone = tombstone;
+    if (i > 0 && !(prev_key < entry.key)) {
+      return CorruptSegment(path, "records out of order");
+    }
+    prev_key = entry.key;
+    pos += keylen + vallen;
+    if (payload[pos] != '\n') {
+      return CorruptSegment(path, "missing record terminator");
+    }
+    ++pos;
+    reader->entries_.push_back(std::move(entry));
+  }
+  if (pos != payload.size()) {
+    return CorruptSegment(path, "trailing bytes after last record");
+  }
+  return reader;
+}
+
+const SegmentReader::Entry* SegmentReader::Find(std::string_view key) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, std::string_view k) { return e.key < k; });
+  if (it == entries_.end() || it->key != key) return nullptr;
+  return &*it;
+}
+
+common::Result<std::string> SegmentReader::ReadValue(
+    const Entry& entry) const {
+  if (entry.value_len == 0) return std::string();
+  if (!in_.is_open()) {
+    in_.open(path_, std::ios::binary);
+    if (!in_) {
+      return common::Status::IOError("cannot open segment: " + path_);
+    }
+  }
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(entry.value_offset));
+  std::string value(entry.value_len, '\0');
+  in_.read(value.data(), static_cast<std::streamsize>(entry.value_len));
+  if (!in_) {
+    return common::Status::IOError("short read from segment: " + path_);
+  }
+  return value;
+}
+
+}  // namespace wf::store

@@ -1,0 +1,44 @@
+#ifndef WF_STORE_VARINT_H_
+#define WF_STORE_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wf::store {
+
+// LEB128-style unsigned varint: 7 payload bits per byte, high bit set on
+// every byte except the last. Small deltas (the common case in sorted
+// posting lists) cost one byte; a full uint64 costs at most ten.
+
+inline void PutVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+// Decodes one varint at `*pos`, advancing it past the encoded bytes.
+// Returns false on truncation or on an encoding longer than ten bytes
+// (overflow) — the caller treats either as corruption.
+inline bool GetVarint(std::string_view data, size_t* pos, uint64_t* out) {
+  uint64_t value = 0;
+  int shift = 0;
+  size_t p = *pos;
+  while (p < data.size() && shift <= 63) {
+    uint8_t byte = static_cast<uint8_t>(data[p++]);
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *pos = p;
+      *out = value;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace wf::store
+
+#endif  // WF_STORE_VARINT_H_

@@ -1167,18 +1167,27 @@ void CheckPlatformRawFileIo(const SourceFile& file,
   // write-temp-then-atomic-rename discipline, so a crash mid-write can
   // destroy the previous good file. wf_common owns the one sanctioned raw
   // stream and is outside this rule's path scope by construction. Reads
-  // (std::ifstream) are unaffected.
-  if (file.path.find("platform/") == std::string::npos) return;
+  // (std::ifstream) are unaffected. src/store — the segment engine whose
+  // whole job is writing files — is held to the same discipline: segment
+  // and manifest bytes must pass the fault-injection point too.
+  if (file.path.find("platform/") == std::string::npos &&
+      file.path.find("store/") == std::string::npos) {
+    return;
+  }
   static const std::regex kRawWriteRe(
       R"(\b(?:std\s*::\s*)?(ofstream|fstream)\b|\b(fopen|freopen|fwrite)\s*\()");
   for (size_t i = 0; i < lines.size(); ++i) {
+    // `#include <fstream>` is how read-side code gets std::ifstream, which
+    // is legal here; any write-type *use* is still caught on its own line.
+    if (Trim(lines[i]).rfind("#include", 0) == 0) continue;
     std::smatch m;
     if (!std::regex_search(lines[i], m, kRawWriteRe)) continue;
     std::string what = m[1].matched ? m[1].str() : m[2].str() + "()";
     out->push_back(
         {file.path, i + 1, "platform-raw-file-io",
          "raw " + what +
-             " write path in platform code; go through common::DurableFile "
+             " write path in platform/store code; go through "
+             "common::DurableFile "
              "/ WriteFileAtomic / WriteSnapshotFile so every byte passes "
              "fault injection and atomic replacement (DESIGN.md §9)"});
   }
@@ -1233,7 +1242,7 @@ void CheckServingUnboundedWait(const FileModel& fm,
 // Layers where a mutex member implies a lock discipline worth annotating.
 bool LayerWantsAnnotations(const std::string& layer) {
   return layer == "platform" || layer == "obs" || layer == "core" ||
-         layer == "serve";
+         layer == "serve" || layer == "store";
 }
 
 void CheckLayering(const FileModel& fm, std::vector<Violation>* out) {
@@ -1323,8 +1332,8 @@ const std::vector<RuleInfo>& Rules() {
        "raw std::chrono clock read in platform code instead of wf_obs "
        "timers"},
       {"platform-raw-file-io",
-       "raw file write (ofstream/fopen/fwrite) in platform code instead of "
-       "the durable-file layer"},
+       "raw file write (ofstream/fopen/fwrite) in platform/store code "
+       "instead of the durable-file layer"},
       {"platform-raw-thread",
        "raw std::thread/std::async in platform or core code instead of the "
        "shared pool types"},
@@ -1367,6 +1376,7 @@ const std::map<std::string, std::set<std::string>>& LayeringDag() {
   static const auto* kDag = new std::map<std::string, std::set<std::string>>{
       {"common", {}},
       {"obs", {"common"}},
+      {"store", {"common", "obs"}},
       {"text", {"common"}},
       {"pos", {"common", "text"}},
       {"parse", {"common", "text", "pos"}},
@@ -1380,17 +1390,17 @@ const std::map<std::string, std::set<std::string>>& LayeringDag() {
        {"common", "obs", "text", "pos", "parse", "lexicon", "ner", "spot",
         "feature"}},
       {"platform",
-       {"common", "obs", "text", "pos", "parse", "lexicon", "ner", "spot",
-        "feature", "core"}},
+       {"common", "obs", "store", "text", "pos", "parse", "lexicon", "ner",
+        "spot", "feature", "core"}},
       {"serve",
-       {"common", "obs", "text", "pos", "parse", "lexicon", "ner", "spot",
-        "feature", "core", "platform"}},
+       {"common", "obs", "store", "text", "pos", "parse", "lexicon", "ner",
+        "spot", "feature", "core", "platform"}},
       {"eval",
        {"common", "text", "pos", "parse", "lexicon", "corpus", "baseline",
         "core"}},
       {"tools",
-       {"common", "obs", "text", "pos", "parse", "lexicon", "ner", "spot",
-        "feature", "corpus", "baseline", "core", "platform", "serve",
+       {"common", "obs", "store", "text", "pos", "parse", "lexicon", "ner",
+        "spot", "feature", "corpus", "baseline", "core", "platform", "serve",
         "eval"}},
   };
   return *kDag;

@@ -109,7 +109,7 @@ TEST(ConcurrencyTest, DataStoreParallelReadersAndWriters) {
     for (int i = 0; i < 500; ++i) {
       platform::Entity e("w-" + std::to_string(i), "t");
       e.SetBody("body " + std::to_string(i));
-      store.Upsert(std::move(e));
+      if (!store.Upsert(std::move(e)).ok()) ++errors;
     }
     stop = true;
   });

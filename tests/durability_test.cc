@@ -527,19 +527,21 @@ TEST(ClusterDurabilityTest, CorruptCheckpointSurfacesAsCorruption) {
     ASSERT_TRUE(node.Ingest(MakeEntity("a")).ok());
     ASSERT_TRUE(node.Checkpoint().ok());
   }
-  // Flip one payload byte of the store snapshot.
-  std::string snap = ReadAll(dir.File("node-0.store"));
-  ASSERT_FALSE(snap.empty());
-  snap[snap.size() - 1] ^= 0x01;
+  // Flip one payload byte of the checkpointed store segment.
+  std::string seg = ReadAll(dir.File("node-0.store-1.wfseg"));
+  ASSERT_FALSE(seg.empty());
+  seg[seg.size() - 1] ^= 0x01;
   {
     // Raw stream on purpose: the test simulates the corruption itself.
-    std::ofstream out(dir.File("node-0.store"),
+    std::ofstream out(dir.File("node-0.store-1.wfseg"),
                       std::ios::trunc | std::ios::binary);
-    out << snap;
+    out << seg;
   }
+  // Segment tiers load when durability is enabled, so the corruption
+  // surfaces there — before the node ever serves a query.
   ClusterNode revived(0);
-  ASSERT_TRUE(revived.EnableDurability(dir.path()).ok());
-  EXPECT_EQ(revived.Recover().code(), common::StatusCode::kCorruption);
+  EXPECT_EQ(revived.EnableDurability(dir.path()).code(),
+            common::StatusCode::kCorruption);
 }
 
 }  // namespace

@@ -141,9 +141,11 @@ TEST(TrendingTest, BucketsSentimentByMonth) {
       store.Put(Doc("feb2", "Regulators condemn Veraxin.", "2004-02"))
           .ok());
   ASSERT_TRUE(store.Put(Doc("undated", "Analysts admire Veraxin.")).ok());
-  store.ForEachMutable([&sentiment](Entity& e) {
-    ASSERT_TRUE(sentiment.Process(e).ok());
-  });
+  ASSERT_TRUE(store
+                  .ForEachMutable([&sentiment](Entity& e) {
+                    ASSERT_TRUE(sentiment.Process(e).ok());
+                  })
+                  .ok());
 
   TrendingMiner miner;
   ASSERT_TRUE(miner.Run(store).ok());

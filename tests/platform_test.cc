@@ -96,7 +96,7 @@ TEST(DataStoreTest, PutRejectsDuplicate) {
   ASSERT_TRUE(store.Put(MakeEntity("a")).ok());
   EXPECT_EQ(store.Put(MakeEntity("a")).code(),
             common::StatusCode::kAlreadyExists);
-  store.Upsert(MakeEntity("a"));  // upsert allows replacement
+  ASSERT_TRUE(store.Upsert(MakeEntity("a")).ok());  // upsert allows replacement
   EXPECT_EQ(store.size(), 1u);
 }
 

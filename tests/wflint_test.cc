@@ -507,6 +507,26 @@ TEST(PlatformRawFileIoTest, IgnoresDurableLayerReadsAndOtherLayers) {
                        "platform-raw-file-io"));
 }
 
+TEST(PlatformRawFileIoTest, CoversStoreLayerAndSkipsIncludeLines) {
+  // The segment engine writes checkpoints of record; it lives under the
+  // same envelope discipline as platform code.
+  std::vector<Violation> vs = LintSnippet(
+      "src/store/segment.cc",
+      "void Run() {\n"
+      "  std::ofstream out(path, std::ios::trunc);\n"
+      "}\n");
+  EXPECT_EQ(CountRule(vs, "platform-raw-file-io"), 1u);
+  // `#include <fstream>` is how the read side names std::ifstream; the
+  // include line itself is not a write.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/store/segment.h",
+                  "#include <fstream>\n"
+                  "void Run() {\n"
+                  "  std::ifstream in(path, std::ios::binary);\n"
+                  "}\n"),
+      "platform-raw-file-io"));
+}
+
 TEST(PlatformRawFileIoTest, HonorsAllowSuppression) {
   const std::string src =
       "// wflint: allow(platform-raw-file-io)\n"
@@ -535,6 +555,29 @@ TEST(LayeringTest, DagIsClosedAndBottomsOutAtCommon) {
   // platform sits above core, never the reverse.
   EXPECT_TRUE(dag.at("platform").count("core"));
   EXPECT_FALSE(dag.at("core").count("platform"));
+  // The segment store sits just above the foundation: platform builds on
+  // it, and it never reaches back up.
+  ASSERT_TRUE(dag.count("store"));
+  EXPECT_TRUE(dag.at("platform").count("store"));
+  EXPECT_FALSE(dag.at("store").count("platform"));
+  EXPECT_TRUE(dag.at("store").count("common"));
+}
+
+TEST(LayeringTest, StoreLayerEdges) {
+  // store -> platform is an upward include.
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/store/lsm.cc", "#include \"platform/cluster.h\"\n"),
+      "layering"));
+  // platform -> store is a DAG edge; store -> common/obs likewise.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/platform/data_store.cc", "#include \"store/lsm.h\"\n"),
+      "layering"));
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/store/lsm.cc",
+                  "#include \"common/status.h\"\n"
+                  "#include \"obs/metrics.h\"\n"
+                  "#include \"store/segment.h\"\n"),
+      "layering"));
 }
 
 TEST(LayeringTest, FlagsUpwardInclude) {
