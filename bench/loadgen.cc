@@ -1,0 +1,246 @@
+#include "bench/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <queue>
+#include <thread>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "obs/timer.h"
+
+namespace wf::bench {
+
+namespace {
+
+// Exponential inter-event sample with the given mean (the arrival process
+// primitive for both think times and Poisson schedules).
+uint64_t ExpSampleUs(common::Rng& rng, uint64_t mean_us) {
+  if (mean_us == 0) return 0;
+  const double u = rng.Double();  // in [0, 1), so log(1 - u) is finite
+  return static_cast<uint64_t>(-static_cast<double>(mean_us) *
+                               std::log(1.0 - u));
+}
+
+// One virtual user. A session is only ever touched by the worker that
+// popped it from the schedule heap, so it needs no lock of its own.
+struct Session {
+  size_t id = 0;
+  bool open_loop = false;
+  common::Rng rng;
+  size_t remaining = 0;
+  size_t issued = 0;
+  uint64_t sched_us = 0;  // open-loop schedule cursor (absolute)
+  std::string tenant;
+  serve::Priority priority = serve::Priority::kInteractive;
+
+  explicit Session(uint64_t seed) : rng(seed) {}
+};
+
+// Min-heap entry: when a session's next request is due.
+struct Due {
+  uint64_t due_us = 0;
+  size_t session = 0;
+  bool operator>(const Due& other) const { return due_us > other.due_us; }
+};
+
+// Per-worker accumulator, merged single-threaded after join.
+struct WorkerLocal {
+  size_t requests = 0, ok = 0, shed = 0, errors = 0;
+  size_t cache_hits = 0, coalesced = 0;
+  size_t shed_queue_full = 0, shed_quota = 0, shed_deadline = 0;
+  std::vector<uint64_t> latencies_us;
+};
+
+serve::QueryRequest MakeRequest(Session& session,
+                                const LoadGenWorkload& workload) {
+  serve::QueryRequest request;
+  const bool has_subjects = !workload.subjects.empty();
+  if (has_subjects && session.rng.Bernoulli(workload.cold_fraction)) {
+    request.subject = "cold-" + std::to_string(session.id) + "-" +
+                      std::to_string(session.issued);
+  } else if (has_subjects && session.rng.Bernoulli(workload.hot_fraction)) {
+    const size_t hot =
+        std::max<size_t>(1, std::min(workload.hot_count,
+                                     workload.subjects.size()));
+    request.subject = workload.subjects[session.rng.Index(hot)];
+  } else if (has_subjects) {
+    request.subject = workload.subjects[session.rng.Index(
+        workload.subjects.size())];
+  } else {
+    request.subject = "cold-" + std::to_string(session.id) + "-" +
+                      std::to_string(session.issued);
+  }
+  request.tenant = session.tenant;
+  request.priority = session.priority;
+  request.budget_us = workload.budget_us;
+  return request;
+}
+
+}  // namespace
+
+uint64_t LoadGenStats::PercentileUs(double q) const {
+  if (latencies_us.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const size_t rank =
+      static_cast<size_t>(q * static_cast<double>(latencies_us.size()));
+  return latencies_us[std::min(rank, latencies_us.size() - 1)];
+}
+
+double LoadGenStats::GoodputPerSec() const {
+  if (wall_us == 0) return 0.0;
+  return static_cast<double>(ok) / (static_cast<double>(wall_us) / 1e6);
+}
+
+LoadGenStats RunLoadGen(const LoadGenOptions& options,
+                        const LoadGenWorkload& workload, const QueryFn& fn) {
+  WF_CHECK(fn != nullptr);
+  const size_t total = options.sessions;
+  const size_t open_count = static_cast<size_t>(
+      std::clamp(options.open_loop_fraction, 0.0, 1.0) *
+      static_cast<double>(total));
+
+  LoadGenStats stats;
+  stats.sessions = total;
+  stats.open_sessions = open_count;
+  stats.closed_sessions = total - open_count;
+  if (total == 0 || options.requests_per_session == 0) return stats;
+
+  const uint64_t start_us = obs::MonotonicNowUs();
+  std::vector<Session> sessions;
+  sessions.reserve(total);
+  std::priority_queue<Due, std::vector<Due>, std::greater<Due>> heap;
+  for (size_t i = 0; i < total; ++i) {
+    Session session(common::HashCombine(options.seed, i));
+    session.id = i;
+    // Bresenham spread: exactly open_count open-loop sessions, evenly
+    // interleaved among the closed ones instead of clumped at one end.
+    session.open_loop =
+        (i * open_count) / total != ((i + 1) * open_count) / total;
+    session.remaining = options.requests_per_session;
+    if (workload.tenants > 0) {
+      session.tenant = "tenant-" + std::to_string(i % workload.tenants);
+    }
+    if (workload.batch_every > 0 && i % workload.batch_every ==
+                                        workload.batch_every - 1) {
+      session.priority = serve::Priority::kBatch;
+    }
+    uint64_t first_due;
+    if (session.open_loop) {
+      session.sched_us =
+          start_us + ExpSampleUs(session.rng, options.mean_interarrival_us);
+      first_due = session.sched_us;
+    } else {
+      first_due = start_us + ExpSampleUs(session.rng, options.mean_think_us);
+    }
+    sessions.push_back(std::move(session));
+    heap.push({first_due, i});
+  }
+
+  common::Mutex mu;
+  std::condition_variable_any cv;
+  size_t retired = 0;
+  constexpr uint64_t kWaitChunkUs = 10000;
+
+  const size_t workers = std::max<size_t>(1, options.workers);
+  std::vector<WorkerLocal> locals(workers);
+  auto worker = [&](size_t w) {
+    WorkerLocal& local = locals[w];
+    std::unique_lock<common::Mutex> lock(mu);
+    for (;;) {
+      if (retired == total) break;
+      const uint64_t now = obs::MonotonicNowUs();
+      if (heap.empty() || heap.top().due_us > now) {
+        uint64_t wait_us = kWaitChunkUs;
+        if (!heap.empty()) {
+          wait_us = std::min(kWaitChunkUs, heap.top().due_us - now);
+        }
+        cv.wait_for(lock, std::chrono::microseconds(wait_us));
+        continue;
+      }
+      const size_t idx = heap.top().session;
+      heap.pop();
+      lock.unlock();
+
+      Session& session = sessions[idx];
+      const serve::QueryRequest request = MakeRequest(session, workload);
+      const uint64_t t0 = obs::MonotonicNowUs();
+      const serve::QueryReply reply = fn(request);
+      const uint64_t t1 = obs::MonotonicNowUs();
+      ++session.issued;
+      --session.remaining;
+
+      ++local.requests;
+      local.latencies_us.push_back(t1 - t0);
+      if (reply.status.ok()) ++local.ok;
+      if (reply.cache_hit) ++local.cache_hits;
+      if (reply.coalesced) ++local.coalesced;
+      switch (reply.shed_reason) {
+        case serve::ShedReason::kNone:
+          if (!reply.status.ok()) ++local.errors;
+          break;
+        case serve::ShedReason::kQueueFull:
+          ++local.shed;
+          ++local.shed_queue_full;
+          break;
+        case serve::ShedReason::kQuotaExceeded:
+          ++local.shed;
+          ++local.shed_quota;
+          break;
+        case serve::ShedReason::kDeadlineBeforeExecute:
+          ++local.shed;
+          ++local.shed_deadline;
+          break;
+      }
+
+      lock.lock();
+      if (session.remaining > 0) {
+        uint64_t due;
+        if (session.open_loop) {
+          // The schedule never waits for replies: a cursor behind "now"
+          // means the session is backlogged and fires immediately.
+          session.sched_us +=
+              ExpSampleUs(session.rng, options.mean_interarrival_us);
+          due = session.sched_us;
+        } else {
+          due = t1 + ExpSampleUs(session.rng, options.mean_think_us);
+        }
+        heap.push({due, idx});
+        cv.notify_one();
+      } else {
+        ++retired;
+        if (retired == total) cv.notify_all();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) pool.emplace_back(worker, w);
+  for (std::thread& t : pool) t.join();
+  stats.wall_us = obs::MonotonicNowUs() - start_us;
+
+  for (WorkerLocal& local : locals) {
+    stats.requests += local.requests;
+    stats.ok += local.ok;
+    stats.shed += local.shed;
+    stats.errors += local.errors;
+    stats.cache_hits += local.cache_hits;
+    stats.coalesced += local.coalesced;
+    stats.shed_queue_full += local.shed_queue_full;
+    stats.shed_quota += local.shed_quota;
+    stats.shed_deadline += local.shed_deadline;
+    stats.latencies_us.insert(stats.latencies_us.end(),
+                              local.latencies_us.begin(),
+                              local.latencies_us.end());
+  }
+  std::sort(stats.latencies_us.begin(), stats.latencies_us.end());
+  return stats;
+}
+
+}  // namespace wf::bench

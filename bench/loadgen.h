@@ -1,0 +1,101 @@
+#ifndef WF_BENCH_LOADGEN_H_
+#define WF_BENCH_LOADGEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/front_door.h"
+
+namespace wf::bench {
+
+// Kilo-user load generator for the serving stack (DESIGN.md §14). A small
+// pool of worker threads multiplexes thousands of virtual user sessions,
+// each with its own seeded arrival process, so a bench can drive realistic
+// open-system overload without spawning a thread per user.
+//
+// Two session kinds, mixed by `open_loop_fraction`:
+//   * closed-loop: issue → wait for the reply → think (exponential with
+//     mean `mean_think_us`) → issue again. Offered load self-throttles
+//     when the system slows down — the classic benchmark trap the open
+//     sessions exist to avoid.
+//   * open-loop: arrival times are a Poisson process (exponential
+//     inter-arrivals, mean `mean_interarrival_us`) fixed when the session
+//     is created; arrivals do not wait for earlier replies, so a slow
+//     system faces a growing backlog exactly like a real user population.
+//
+// Determinism: every session owns common::Rng(HashCombine(seed, id)), so
+// the subject sequence and the arrival schedule per session are functions
+// of the seed alone; only the interleaving (and therefore wall-clock
+// latencies) varies run to run.
+struct LoadGenOptions {
+  // Virtual user sessions to simulate (the bench sums these across phases
+  // to satisfy the >= 2000 sessions acceptance bar).
+  size_t sessions = 2000;
+  // Fraction of sessions that are open-loop (rest closed-loop).
+  double open_loop_fraction = 0.5;
+  // Queries each session issues before retiring.
+  size_t requests_per_session = 4;
+  // Mean think time between a closed-loop session's requests.
+  uint64_t mean_think_us = 20000;
+  // Mean inter-arrival time within one open-loop session's schedule.
+  uint64_t mean_interarrival_us = 20000;
+  // OS threads multiplexing the sessions (bench-side concurrency cap).
+  size_t workers = 8;
+  uint64_t seed = 42;
+};
+
+// What the virtual users ask for. Subjects are drawn per request from the
+// session's Rng: with `hot_fraction` probability one of the first
+// `hot_count` subjects (coalesce/cache territory), otherwise a uniform
+// pick over the full list; `cold_fraction` of those picks are replaced by
+// unique never-repeating subjects that defeat the cache entirely.
+struct LoadGenWorkload {
+  std::vector<std::string> subjects;
+  double hot_fraction = 0.7;
+  size_t hot_count = 2;
+  double cold_fraction = 0.15;
+  // Tenants are assigned round-robin by session id over this many names
+  // ("tenant-0" .. "tenant-N-1"); 0 means every session is anonymous.
+  size_t tenants = 4;
+  // Every Nth session issues batch-priority traffic; 0 disables.
+  size_t batch_every = 5;
+  // Per-request budget forwarded in QueryRequest (0 = door default).
+  uint64_t budget_us = 0;
+};
+
+// Aggregated outcome of one generator run. Latencies are door round-trip
+// times (queue wait included) and arrive sorted.
+struct LoadGenStats {
+  size_t sessions = 0;
+  size_t closed_sessions = 0;
+  size_t open_sessions = 0;
+  size_t requests = 0;
+  size_t ok = 0;
+  size_t shed = 0;
+  size_t errors = 0;  // non-ok, non-shed replies
+  size_t cache_hits = 0;
+  size_t coalesced = 0;
+  size_t shed_queue_full = 0;
+  size_t shed_quota = 0;
+  size_t shed_deadline = 0;
+  uint64_t wall_us = 0;
+  std::vector<uint64_t> latencies_us;  // sorted ascending
+
+  uint64_t PercentileUs(double q) const;
+  double GoodputPerSec() const;
+};
+
+// The system under test: anything that answers a front-door query. Must be
+// thread-safe (called from `workers` threads concurrently).
+using QueryFn = std::function<serve::QueryReply(const serve::QueryRequest&)>;
+
+// Runs the full scenario to completion (every session retires) and returns
+// the aggregate. Blocks the calling thread; spawns `workers` threads.
+LoadGenStats RunLoadGen(const LoadGenOptions& options,
+                        const LoadGenWorkload& workload, const QueryFn& fn);
+
+}  // namespace wf::bench
+
+#endif  // WF_BENCH_LOADGEN_H_

@@ -63,13 +63,17 @@ if [[ "${WF_CHECK_TSAN:-0}" == "1" ]]; then
   # drives the MineExecutor pool and the lock-striped analysis cache from
   # many workers at once — the suite the determinism contract lives in.
   # serving_test hammers the front door's admission queue, coalescing
-  # flights, and striped result cache from concurrent open-loop callers.
+  # flights, and striped result cache from concurrent open-loop callers —
+  # and now the hedged scatter, whose cancel-by-ignore stragglers are
+  # exactly the lifetime hazard TSan exists to catch.
   # storage_test drives the LSM tree's single mutex from crash fuzz and
   # the 100x-corpus sweep — the newest lock the data path takes.
+  # loadgen_test runs the kilo-user generator's worker pool against fake
+  # doors, the scheduling heap's lock being its one shared structure.
   for t in obs_test platform_test platform_miners_test property_test \
            robustness_test chaos_test durability_test storage_test \
            agreement_test integration_test parallel_mining_test \
-           serving_test; do
+           serving_test loadgen_test; do
     step "TSan: ${t}"
     "./build-tsan/tests/${t}"
   done

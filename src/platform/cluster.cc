@@ -216,6 +216,10 @@ common::Status ClusterNode::Recover() {
 Cluster::Cluster(size_t num_nodes) {
   WF_CHECK(num_nodes > 0);
   bus_.AttachMetrics(&metrics_);
+  // Always fed, consulted only by hedged scatters: recording into the
+  // scoreboard has no metric footprint, so unhedged clusters keep their
+  // deterministic exports (see HealthScoreboard's determinism note).
+  bus_.AttachHealth(&health_);
   executor_ = std::make_unique<MineExecutor>(MineExecutorOptions{});
   executor_->AttachMetrics(&metrics_);
   nodes_.reserve(num_nodes);
@@ -423,8 +427,15 @@ SearchResult Cluster::TracedSearch(
     AppendDeadline(deadline, &request_fields);
     CallOptions options;
     options.deadline_us = deadline.CallBudgetUs();
-    result = GatherSearch(bus_.CallAll(
-        "node/", EncodeMessage(request_fields), options));
+    // Hedged when enabled: a straggling shard is re-issued once at its
+    // health-derived ~p95 (clamped to the deadline) and a suspect shard is
+    // abandoned early. GatherSearch unions docs into a set, so the answer
+    // bytes cannot depend on which copy of a shard's response won.
+    result = GatherSearch(
+        hedge_.enabled
+            ? bus_.CallAllHedged("node/", EncodeMessage(request_fields),
+                                 options, hedge_)
+            : bus_.CallAll("node/", EncodeMessage(request_fields), options));
   }
   AccountDownNodes(
       [](size_t i) { return common::StrFormat("node/%zu/search", i); },
@@ -464,6 +475,10 @@ SearchResult Cluster::SearchPhrase(const std::vector<std::string>& words,
 
 ClusterStats Cluster::CollectStats() const {
   ClusterStats stats;
+  // Health gauges join the roll-up only while hedging is on: they are
+  // wall-clock-fed, and publishing them unconditionally would break the
+  // byte-identical deterministic exports unhedged clusters promise.
+  if (hedge_.enabled) health_.Publish(&metrics_);
   // Snapshot the local (bus-level) registry before the gather so the
   // roll-up's own wfstats calls are not half-counted inside it.
   stats.merged = metrics_.Snapshot();

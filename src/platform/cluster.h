@@ -16,6 +16,7 @@
 #include "obs/metrics.h"
 #include "platform/data_store.h"
 #include "platform/deadline.h"
+#include "platform/health.h"
 #include "platform/indexer.h"
 #include "platform/mine_executor.h"
 #include "platform/miner_framework.h"
@@ -168,6 +169,11 @@ struct ClusterStats {
 class Cluster {
  public:
   explicit Cluster(size_t num_nodes);
+  // Joins the bus's scatter pool first: a hedged scatter's abandoned
+  // stragglers are detached tasks whose handlers touch nodes_, metrics_,
+  // and health_, all of which are destroyed before bus_ (declared first)
+  // without this.
+  ~Cluster() { bus_.Shutdown(); }
 
   size_t node_count() const { return nodes_.size(); }
   // The node must be up (see CrashNode/RestartNode).
@@ -193,6 +199,26 @@ class Cluster {
     tracer_ = tracer;
     bus_.AttachTracer(tracer);
   }
+
+  // The cluster's health scoreboard: fed by every bus call (the bus gets
+  // it attached at construction), consulted by hedged scatters, and
+  // published into metrics() by CollectStats while hedging is enabled.
+  HealthScoreboard& health() { return health_; }
+  const HealthScoreboard& health() const { return health_; }
+
+  // Turns on tail-tolerant scatters: deadline-bounded searches then go
+  // through VinciBus::CallAllHedged under `hedge` (with enabled forced
+  // true), so a straggling shard is re-issued at its ~p95 and a suspect
+  // shard is abandoned early instead of dragging the gather to the
+  // deadline. Off by default — the unhedged path and its metric footprint
+  // stay byte-identical for existing callers. Configuration, not
+  // data-path: call before concurrent searches start.
+  void EnableHedging(const HedgeOptions& hedge = {}) {
+    hedge_ = hedge;
+    hedge_.enabled = true;
+  }
+  void DisableHedging() { hedge_.enabled = false; }
+  bool hedging_enabled() const { return hedge_.enabled; }
 
   // Shard owning an entity id (stable FNV hash).
   size_t Route(const std::string& entity_id) const {
@@ -293,6 +319,8 @@ class Cluster {
   VinciBus bus_;
   std::vector<std::unique_ptr<ClusterNode>> nodes_;
   obs::MetricsRegistry metrics_;
+  HealthScoreboard health_;
+  HedgeOptions hedge_;  // enabled == false until EnableHedging
   obs::Tracer* tracer_ = nullptr;
   // Shared bounded worker pool for mining sweeps (see MineAndIndexAll).
   std::unique_ptr<MineExecutor> executor_;

@@ -1,0 +1,155 @@
+#include "platform/health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "obs/metrics.h"
+
+namespace wf::platform {
+
+namespace {
+
+// Quantile over exponential buckets, mirroring
+// obs::HistogramSnapshot::ApproxQuantile: returns the upper bound of the
+// bucket containing the q-th sample (overflow reports last bound + 1).
+uint64_t QuantileFromBuckets(const std::vector<uint64_t>& bounds,
+                             const std::vector<uint64_t>& counts, double q) {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * total)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      return i < bounds.size() ? bounds[i] : bounds.back() + 1;
+    }
+  }
+  return bounds.back() + 1;
+}
+
+}  // namespace
+
+HealthScoreboard::HealthScoreboard(const HealthOptions& options)
+    : options_(options) {}
+
+HealthScoreboard::Stripe& HealthScoreboard::StripeFor(
+    const std::string& service) const {
+  return stripes_[std::hash<std::string>{}(service) % kStripes];
+}
+
+void HealthScoreboard::RecordCall(const std::string& service,
+                                  uint64_t latency_us, bool ok) {
+  const std::vector<uint64_t>& bounds = obs::DefaultLatencyBoundsUs();
+  Stripe& stripe = StripeFor(service);
+  common::MutexLock lock(stripe.mu);
+  Entry& entry = stripe.services[service];
+  if (entry.bucket_counts.empty()) {
+    entry.bucket_counts.assign(bounds.size() + 1, 0);
+  }
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), latency_us);
+  entry.bucket_counts[static_cast<size_t>(it - bounds.begin())] += 1;
+
+  ServiceHealth& h = entry.health;
+  const double sample_latency = static_cast<double>(latency_us);
+  const double sample_error = ok ? 0.0 : 1.0;
+  if (h.samples == 0) {
+    h.ewma_latency_us = sample_latency;
+    h.error_score = sample_error;
+  } else {
+    h.ewma_latency_us += options_.latency_alpha *
+                         (sample_latency - h.ewma_latency_us);
+    h.error_score += options_.error_alpha * (sample_error - h.error_score);
+  }
+  h.samples += 1;
+}
+
+ServiceHealth HealthScoreboard::Snapshot(const std::string& service) const {
+  Stripe& stripe = StripeFor(service);
+  common::MutexLock lock(stripe.mu);
+  auto it = stripe.services.find(service);
+  return it == stripe.services.end() ? ServiceHealth{} : it->second.health;
+}
+
+uint64_t HealthScoreboard::LatencyQuantileUs(const std::string& service,
+                                             double q,
+                                             uint64_t fallback_us) const {
+  Stripe& stripe = StripeFor(service);
+  common::MutexLock lock(stripe.mu);
+  auto it = stripe.services.find(service);
+  if (it == stripe.services.end() ||
+      it->second.health.samples < options_.min_samples) {
+    return fallback_us;
+  }
+  return QuantileFromBuckets(obs::DefaultLatencyBoundsUs(),
+                             it->second.bucket_counts, q);
+}
+
+uint64_t HealthScoreboard::FleetLatencyQuantileUs(double q,
+                                                  uint64_t fallback_us) const {
+  std::vector<uint64_t> quantiles;
+  for (const Stripe& stripe : stripes_) {
+    common::MutexLock lock(stripe.mu);
+    for (const auto& [name, entry] : stripe.services) {
+      if (entry.health.samples < options_.min_samples) continue;
+      quantiles.push_back(QuantileFromBuckets(obs::DefaultLatencyBoundsUs(),
+                                              entry.bucket_counts, q));
+    }
+  }
+  if (quantiles.empty()) return fallback_us;
+  std::nth_element(quantiles.begin(),
+                   quantiles.begin() + quantiles.size() / 2, quantiles.end());
+  return quantiles[quantiles.size() / 2];
+}
+
+double HealthScoreboard::FleetEwmaMedianUs() const {
+  std::vector<double> ewmas;
+  for (const Stripe& stripe : stripes_) {
+    common::MutexLock lock(stripe.mu);
+    for (const auto& [name, entry] : stripe.services) {
+      if (entry.health.samples < options_.min_samples) continue;
+      ewmas.push_back(entry.health.ewma_latency_us);
+    }
+  }
+  if (ewmas.empty()) return 0.0;
+  std::nth_element(ewmas.begin(), ewmas.begin() + ewmas.size() / 2,
+                   ewmas.end());
+  return ewmas[ewmas.size() / 2];
+}
+
+bool HealthScoreboard::Suspect(const std::string& service) const {
+  ServiceHealth h = Snapshot(service);
+  if (h.samples < options_.min_samples) return false;
+  if (h.error_score >= options_.suspect_error_score) return true;
+  const double fleet = FleetEwmaMedianUs();
+  return fleet > 0.0 &&
+         h.ewma_latency_us >= options_.suspect_latency_factor * fleet;
+}
+
+std::vector<std::string> HealthScoreboard::Services() const {
+  std::vector<std::string> names;
+  for (const Stripe& stripe : stripes_) {
+    common::MutexLock lock(stripe.mu);
+    for (const auto& [name, entry] : stripe.services) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void HealthScoreboard::Publish(const obs::MetricsRegistry* metrics) const {
+  if (metrics == nullptr) return;
+  for (const std::string& service : Services()) {
+    ServiceHealth h = Snapshot(service);
+    metrics->GetGauge("health/ewma_latency_us/" + service)
+        ->Set(static_cast<int64_t>(std::llround(h.ewma_latency_us)));
+    metrics->GetGauge("health/error_score_pct/" + service)
+        ->Set(static_cast<int64_t>(std::llround(h.error_score * 100.0)));
+    metrics->GetGauge("health/suspect/" + service)
+        ->Set(Suspect(service) ? 1 : 0);
+  }
+}
+
+}  // namespace wf::platform

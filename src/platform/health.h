@@ -1,0 +1,126 @@
+#ifndef WF_PLATFORM_HEALTH_H_
+#define WF_PLATFORM_HEALTH_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace wf::obs {
+class MetricsRegistry;
+}  // namespace wf::obs
+
+namespace wf::platform {
+
+// Knobs for the health scoreboard. Defaults follow the usual EWMA folklore:
+// latency reacts faster than the error score (a single slow call is signal,
+// a single failure is noise), and a service is only judged once it has a
+// minimum sample history so cold services are never "suspect" by accident.
+struct HealthOptions {
+  // EWMA smoothing factors in (0, 1]; higher = reacts faster.
+  double latency_alpha = 0.2;
+  double error_alpha = 0.1;
+  // A service whose failure EWMA crosses this is suspect.
+  double suspect_error_score = 0.5;
+  // A service whose latency EWMA exceeds this multiple of the fleet median
+  // latency EWMA is suspect (the gray-failure signature: still answering,
+  // just far slower than its peers).
+  double suspect_latency_factor = 4.0;
+  // Judgments (Suspect, LatencyQuantileUs) need at least this many samples.
+  uint64_t min_samples = 8;
+};
+
+// Point-in-time view of one service's health.
+struct ServiceHealth {
+  double ewma_latency_us = 0.0;
+  double error_score = 0.0;  // EWMA of failure indicator, in [0, 1]
+  uint64_t samples = 0;
+};
+
+// Per-service health scoreboard fed by every bus call (DESIGN.md §14).
+// Tracks an EWMA latency, an EWMA error score, and a bucketed latency
+// distribution per service, so serving-path policies can ask two questions
+// cheaply: "when should I hedge against this service?" (its ~p95) and "is
+// this node gray-failing?" (Suspect). Lock-striped by service name, like
+// the metrics registry, so concurrent scatters rarely contend.
+//
+// Determinism note: the scoreboard is fed wall-clock latencies, so its
+// numbers are inherently nondeterministic. It therefore never writes into a
+// MetricsRegistry on the record path — gauges appear only when a caller
+// explicitly asks via Publish(), which keeps deterministic golden exports
+// (ExportOptions::include_timings = false) byte-stable for components that
+// merely carry a scoreboard without consulting it.
+class HealthScoreboard {
+ public:
+  explicit HealthScoreboard(const HealthOptions& options = {});
+  HealthScoreboard(const HealthScoreboard&) = delete;
+  HealthScoreboard& operator=(const HealthScoreboard&) = delete;
+
+  // Records one call outcome. `latency_us` is the caller-observed duration;
+  // `ok` is false for failures attributable to the service (injected
+  // faults, corruption, deadline expiry inside the call).
+  void RecordCall(const std::string& service, uint64_t latency_us, bool ok);
+
+  // Zero-initialized when the service has never been seen.
+  ServiceHealth Snapshot(const std::string& service) const;
+
+  // Upper bound of the bucket holding the q-th latency quantile for the
+  // service, or `fallback_us` while it has fewer than min_samples samples.
+  uint64_t LatencyQuantileUs(const std::string& service, double q,
+                             uint64_t fallback_us) const;
+
+  // The fleet's notion of a normal q-quantile: the median of per-service
+  // q-quantiles across services with enough samples (robust against one
+  // sick node dragging the aggregate). `fallback_us` when no service
+  // qualifies yet.
+  uint64_t FleetLatencyQuantileUs(double q, uint64_t fallback_us) const;
+
+  // True when the service has min_samples history and either its error
+  // score crossed suspect_error_score or its latency EWMA exceeds
+  // suspect_latency_factor times the fleet median latency EWMA.
+  bool Suspect(const std::string& service) const;
+
+  // Sorted names of every service with at least one recorded call.
+  std::vector<std::string> Services() const;
+
+  // Exports per-service gauges into `metrics`:
+  //   health/ewma_latency_us/<service>
+  //   health/error_score_pct/<service>   (score * 100, rounded)
+  //   health/suspect/<service>           (0 or 1)
+  // Callers opt in per snapshot because these values are wall-clock-fed
+  // (see the determinism note above). No-op on nullptr. Const registry, as
+  // recording is logically read-only on it (its Get* are const).
+  void Publish(const obs::MetricsRegistry* metrics) const;
+
+  const HealthOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    ServiceHealth health;
+    // Latency distribution over obs::DefaultLatencyBoundsUs() (+ overflow),
+    // kept here rather than in a registry so quantile reads need no metric
+    // plumbing and stay off the deterministic export path.
+    std::vector<uint64_t> bucket_counts;
+  };
+  struct Stripe {
+    mutable common::Mutex mu;
+    std::map<std::string, Entry> services WF_GUARDED_BY(mu);
+  };
+  static constexpr size_t kStripes = 8;
+
+  Stripe& StripeFor(const std::string& service) const;
+  // Median latency EWMA across services with min_samples history; 0 when
+  // none qualify.
+  double FleetEwmaMedianUs() const;
+
+  const HealthOptions options_;
+  mutable std::array<Stripe, kStripes> stripes_;
+};
+
+}  // namespace wf::platform
+
+#endif  // WF_PLATFORM_HEALTH_H_

@@ -16,6 +16,7 @@
 #include "obs/trace.h"
 #include "platform/deadline.h"
 #include "platform/fault.h"
+#include "platform/health.h"
 
 namespace wf::platform {
 
@@ -46,6 +47,19 @@ class VinciBus::ScatterPool {
     }
     work_cv_.notify_all();
     for (std::thread& t : workers_) t.join();
+  }
+
+  // Enqueues one detached task; it runs on some pool worker, unordered
+  // relative to batches. The hedged gather uses this for primaries and
+  // hedges because the coordinator must keep watching the clock instead of
+  // parking inside a straggler's simulated round trip (RunAll would make
+  // the caller claim — and sleep through — a task itself).
+  void Submit(std::function<void()> task) {
+    {
+      common::MutexLock lock(mu_);
+      singles_.push_back(std::move(task));
+    }
+    work_cv_.notify_one();
   }
 
   // Runs every task, returning once all have finished. The calling thread
@@ -93,8 +107,17 @@ class VinciBus::ScatterPool {
   void WorkerLoop() WF_NO_THREAD_SAFETY_ANALYSIS {
     std::unique_lock<common::Mutex> lock(mu_);
     for (;;) {
-      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      work_cv_.wait(lock,
+                    [&] { return stop_ || !queue_.empty() || !singles_.empty(); });
       if (stop_) return;
+      if (!singles_.empty()) {
+        std::function<void()> task = std::move(singles_.front());
+        singles_.pop_front();
+        lock.unlock();
+        task();
+        lock.lock();
+        continue;
+      }
       std::shared_ptr<Batch> batch = queue_.front();
       size_t i = batch->next.fetch_add(1);
       if (i >= batch->size) {
@@ -118,6 +141,7 @@ class VinciBus::ScatterPool {
   std::condition_variable_any work_cv_;
   std::condition_variable_any done_cv_;
   std::deque<std::shared_ptr<Batch>> queue_ WF_GUARDED_BY(mu_);
+  std::deque<std::function<void()>> singles_ WF_GUARDED_BY(mu_);
   bool stop_ WF_GUARDED_BY(mu_) = false;
 };
 
@@ -131,7 +155,59 @@ size_t ScatterThreads() {
 }  // namespace
 
 VinciBus::VinciBus() = default;
-VinciBus::~VinciBus() = default;
+VinciBus::~VinciBus() { Shutdown(); }
+
+VinciBus::DispatchGuard::DispatchGuard(const VinciBus& bus) : bus_(bus) {
+  common::MutexLock lock(bus_.dispatch_mu_);
+  ++bus_.active_dispatches_;
+}
+
+VinciBus::DispatchGuard::~DispatchGuard() {
+  bool idle;
+  {
+    common::MutexLock lock(bus_.dispatch_mu_);
+    idle = --bus_.active_dispatches_ == 0;
+  }
+  if (idle) bus_.dispatch_cv_.notify_all();
+}
+
+void VinciBus::QuiesceDispatches() const WF_NO_THREAD_SAFETY_ANALYSIS {
+  std::unique_lock<common::Mutex> lock(dispatch_mu_);
+  dispatch_cv_.wait(lock, [&] { return active_dispatches_ == 0; });
+}
+
+void VinciBus::AttachFaultInjector(FaultInjector* injector) {
+  fault_injector_.store(injector, std::memory_order_release);
+  QuiesceDispatches();
+}
+
+void VinciBus::AttachMetrics(obs::MetricsRegistry* metrics) {
+  metrics_.store(metrics, std::memory_order_release);
+  QuiesceDispatches();
+}
+
+void VinciBus::AttachHealth(HealthScoreboard* health) {
+  health_.store(health, std::memory_order_release);
+  QuiesceDispatches();
+}
+
+void VinciBus::AttachTracer(obs::Tracer* tracer) {
+  tracer_.store(tracer, std::memory_order_release);
+  QuiesceDispatches();
+}
+
+void VinciBus::Shutdown() {
+  std::unique_ptr<ScatterPool> pool;
+  {
+    common::MutexLock lock(pool_mu_);
+    pool = std::move(pool_);
+  }
+  // Joined outside pool_mu_: a straggler running a nested scatter takes
+  // pool_mu_ in EnsurePool, and joining it while holding the lock would
+  // deadlock. Unstarted detached tasks are dropped by the pool destructor.
+  pool.reset();
+  QuiesceDispatches();
+}
 
 common::Status VinciBus::RegisterService(const std::string& name,
                                          Handler handler) {
@@ -199,7 +275,11 @@ void VinciBus::RecordOutcome(const std::string& service, bool ok) const {
 
 common::Result<std::string> VinciBus::CallOnce(const std::string& service,
                                                const std::string& request,
-                                               bool* breaker_rejected) const {
+                                               bool* breaker_rejected,
+                                               bool feed_breaker) const {
+  // Entered before any attachment pointer is loaded, so the quiescing
+  // Attach* setters can guarantee the old pointer has no remaining reader.
+  DispatchGuard dispatch_guard(*this);
   *breaker_rejected = false;
   // Client-side child span: only requests that carry trace context (see
   // AppendContext) produce one, so untraced traffic stays span-free and
@@ -220,7 +300,21 @@ common::Result<std::string> VinciBus::CallOnce(const std::string& service,
   {
     common::MutexLock lock(breaker_mu_);
     Breaker& b = breakers_[service];
-    if (b.open && b.rejections < breaker_config_.open_rejections) {
+    if (!feed_breaker) {
+      // Hedge attempts observe the breaker without driving it: an open
+      // circuit still refuses them, but they neither consume rejection-
+      // window slots nor act as the half-open probe — a hedged run must
+      // walk the breaker through the exact same state sequence as the
+      // unhedged one.
+      if (b.open) {
+        *breaker_rejected = true;
+        if (span.active()) {
+          span.SetAttr("status", "rejected");
+          span.SetAttr("breaker", "open");
+        }
+        return Status::Unavailable("circuit open: " + service);
+      }
+    } else if (b.open && b.rejections < breaker_config_.open_rejections) {
       ++b.rejections;
       *breaker_rejected = true;
       Count("vinci/breaker/rejected/" + service);
@@ -229,8 +323,7 @@ common::Result<std::string> VinciBus::CallOnce(const std::string& service,
         span.SetAttr("breaker", "open");
       }
       return Status::Unavailable("circuit open: " + service);
-    }
-    if (b.open) {
+    } else if (b.open) {
       // Circuit open with the rejection window spent: fall through as the
       // half-open probe.
       Count("vinci/breaker/half_open_total");
@@ -269,13 +362,23 @@ common::Result<std::string> VinciBus::CallOnce(const std::string& service,
                               obs::DefaultLatencyBoundsUs(), /*timing=*/true);
   }
   obs::ScopedTimer timer(latency);
+  // Health feed: every dispatched attempt (hedges included) reports its
+  // observed latency and whether the failure was the service's fault. The
+  // scoreboard never touches the metrics registry here, so deterministic
+  // exports stay byte-stable (see HealthScoreboard's determinism note).
+  auto feed_health = [this, &service, &timer](bool ok) {
+    if (HealthScoreboard* h = health_.load(std::memory_order_acquire)) {
+      h->RecordCall(service, timer.ElapsedUs(), ok);
+    }
+  };
   uint64_t extra_latency_us = 0;
   bool corrupt_response = false;
   if (FaultInjector* injector =
           fault_injector_.load(std::memory_order_acquire)) {
     FaultInjector::Decision d = injector->Decide(service);
     if (d.action == FaultInjector::Decision::Action::kUnavailable) {
-      RecordOutcome(service, false);
+      if (feed_breaker) RecordOutcome(service, false);
+      feed_health(false);
       return finish("unavailable",
                     Status::Unavailable("injected unavailable: " + service));
     }
@@ -294,6 +397,10 @@ common::Result<std::string> VinciBus::CallOnce(const std::string& service,
   if (expired_at_dispatch) {
     Count("vinci/deadline_rejected_total");
     Count("vinci/deadline_rejected/" + service);
+    // The service burned the whole budget in flight — the gray-failure
+    // signature — so this does count against its health, unlike the
+    // stage-1 refusal (where the caller arrived already late).
+    feed_health(false);
     return finish("deadline_expired",
                   Status::DeadlineExceeded("deadline expired in flight: " +
                                            service));
@@ -310,11 +417,13 @@ common::Result<std::string> VinciBus::CallOnce(const std::string& service,
   if (corrupt_response) {
     // Real Vinci frames carry end-to-end checksums; a mangled response is
     // detected at the client, not silently consumed.
-    RecordOutcome(service, false);
+    if (feed_breaker) RecordOutcome(service, false);
+    feed_health(false);
     return finish("corruption",
                   Status::Corruption("response checksum mismatch: " + service));
   }
-  RecordOutcome(service, true);
+  if (feed_breaker) RecordOutcome(service, true);
+  feed_health(true);
   return finish("ok", std::move(response));
 }
 
@@ -431,13 +540,280 @@ VinciBus::CallAll(const std::string& prefix, const std::string& request,
       }
     });
   }
-  ScatterPool* pool = nullptr;
+  EnsurePool()->RunAll(&tasks);
+  return out;
+}
+
+VinciBus::ScatterPool* VinciBus::EnsurePool() const {
+  common::MutexLock lock(pool_mu_);
+  if (!pool_) pool_ = std::make_unique<ScatterPool>(ScatterThreads());
+  return pool_.get();
+}
+
+namespace {
+
+// Shared state of one hedged gather. Tasks (primaries and hedges) hold a
+// shared_ptr, so an abandoned straggler finishing after the gather returned
+// publishes into a still-live, already-resolved slot and is ignored —
+// cancel-by-ignore, the only cancellation the simulated bus needs.
+struct HedgeGather {
+  struct Slot {
+    bool resolved = false;      // final result chosen (success/failure/abandon)
+    bool primary_done = false;  // primary attempt returned
+    bool hedge_issued = false;
+    bool hedge_done = false;    // hedge attempt returned (if issued)
+    // When the primary actually left the scatter pool's queue (0 = not yet).
+    // The hedge clock starts here, not at scatter start, so local queueing
+    // delay is never mistaken for backend slowness.
+    uint64_t primary_start_us = 0;
+    common::Result<std::string> result = Status::Unavailable("pending");
+    // Primary's failure, preferred over the hedge's when both fail so the
+    // reported status matches what the unhedged scatter would have said.
+    common::Status primary_failure = Status::Ok();
+  };
+  // Per-target schedule: hedge delay relative to primary dispatch, abandon
+  // time absolute µs; 0 = never. A suspect target's primary runs on its own
+  // detached thread (the sick lane) instead of the shared scatter pool, so
+  // a straggler sleeping toward the deadline never queues healthy shards'
+  // dispatches behind it.
+  struct Plan {
+    uint64_t hedge_delay_us = 0;
+    uint64_t abandon_at_us = 0;
+    bool sick_lane = false;
+  };
+
+  // Immutable after setup (written before any task is dispatched).
+  std::string request;
+  CallOptions options;
+  std::vector<std::string> targets;
+
+  common::Mutex mu;
+  std::condition_variable_any cv;
+  std::vector<Slot> slots WF_GUARDED_BY(mu);
+  size_t unresolved WF_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+std::vector<std::pair<std::string, common::Result<std::string>>>
+VinciBus::CallAllHedged(const std::string& prefix, const std::string& request,
+                        const CallOptions& options,
+                        const HedgeOptions& hedge) const
+    WF_NO_THREAD_SAFETY_ANALYSIS {
+  if (!hedge.enabled) return CallAll(prefix, request, options);
+  auto g = std::make_shared<HedgeGather>();
+  g->request = request;
+  g->options = options;
   {
-    common::MutexLock lock(pool_mu_);
-    if (!pool_) pool_ = std::make_unique<ScatterPool>(ScatterThreads());
-    pool = pool_.get();
+    common::MutexLock lock(mu_);
+    for (auto it = services_.lower_bound(prefix);
+         it != services_.end() && common::StartsWith(it->first, prefix);
+         ++it) {
+      g->targets.push_back(it->first);
+    }
   }
-  pool->RunAll(&tasks);
+  const size_t n = g->targets.size();
+  if (n == 0) return {};
+  g->slots.resize(n);
+  g->unresolved = n;
+
+  // An attempt's result enters its slot here; the first success resolves
+  // the slot, anything after that is the ignored loser.
+  auto publish = [this, g](size_t i, common::Result<std::string> r,
+                           bool is_hedge) {
+    bool hedge_won = false;
+    {
+      common::MutexLock lock(g->mu);
+      HedgeGather::Slot& s = g->slots[i];
+      if (is_hedge) {
+        s.hedge_done = true;
+      } else {
+        s.primary_done = true;
+        if (!r.ok()) s.primary_failure = r.status();
+      }
+      if (!s.resolved) {
+        if (r.ok()) {
+          s.result = std::move(r);
+          s.resolved = true;
+          hedge_won = is_hedge;
+          --g->unresolved;
+        } else if (s.primary_done && (!s.hedge_issued || s.hedge_done)) {
+          // Every attempt has failed; report the primary's status so the
+          // caller sees what the unhedged scatter would have reported.
+          s.result = s.primary_done && !s.primary_failure.ok()
+                         ? s.primary_failure
+                         : r.status();
+          s.resolved = true;
+          --g->unresolved;
+        }
+      }
+    }
+    g->cv.notify_all();
+    if (hedge_won) {
+      Count("vinci/hedge_wins_total");
+      Count("vinci/hedge_wins/" + g->targets[i]);
+    }
+  };
+
+  // Per-target schedule, fixed up front: hedge at a seeded-jittered ~p95
+  // delay (skipped entirely when it could not fit inside the deadline — the
+  // clamp the serving-unclamped-hedge lint rule looks for), abandon at the
+  // deadline, or early for a suspect target (no hedge there: the one
+  // replica of the shard is the sick one).
+  HealthScoreboard* health = health_.load(std::memory_order_acquire);
+  const uint64_t start_us = obs::MonotonicNowUs();
+  const uint64_t expiry_us =
+      options.deadline_us > 0 ? start_us + options.deadline_us : 0;
+  const bool resilient = options.deadline_us > 0 || options.max_retries > 0;
+  std::vector<HedgeGather::Plan> plans(n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& target = g->targets[i];
+    uint64_t delay_us = hedge.default_delay_us;
+    bool suspect = false;
+    if (health != nullptr) {
+      delay_us = health->LatencyQuantileUs(target, hedge.delay_quantile,
+                                           hedge.default_delay_us);
+      suspect = health->Suspect(target);
+    }
+    delay_us = std::clamp(delay_us, hedge.min_delay_us, hedge.max_delay_us);
+    // Seeded jitter in [0.75, 1.25): reproducible per draw, desynchronized
+    // across targets so hedges do not fire as a convoy.
+    const uint64_t seq = hedge_seq_.fetch_add(1, std::memory_order_relaxed);
+    common::Rng hedge_rng(common::HashCombine(0x48454447ULL, seq));
+    delay_us = std::max<uint64_t>(
+        1, static_cast<uint64_t>(static_cast<double>(delay_us) *
+                                 (0.75 + hedge_rng.Double() / 2.0)));
+    HedgeGather::Plan& plan = plans[i];
+    // A suspect target is never hedged — its shard has one replica and that
+    // replica is the sick one, so a re-issue just queues behind the
+    // straggler. Early abandon is allowed only when the suspect's latency
+    // EWMA already exceeds the call deadline: the shard was going to miss
+    // the deadline either way, so failing it at a fleet-derived margin
+    // bounds the gather without changing the answer the unhedged scatter
+    // would have produced (the byte-identity contract).
+    const bool predicted_miss =
+        suspect && expiry_us != 0 && health != nullptr &&
+        health->Snapshot(target).ewma_latency_us >=
+            static_cast<double>(options.deadline_us);
+    plan.sick_lane = suspect;
+    if (predicted_miss) {
+      const uint64_t fleet_us = health->FleetLatencyQuantileUs(
+          hedge.delay_quantile, hedge.default_delay_us);
+      const uint64_t margin_us = std::clamp(
+          static_cast<uint64_t>(hedge.suspect_margin_factor *
+                                static_cast<double>(fleet_us)),
+          hedge.suspect_min_margin_us, options.deadline_us);
+      plan.abandon_at_us = std::min(expiry_us, start_us + margin_us);
+    } else if (suspect) {
+      plan.abandon_at_us = expiry_us;
+    } else {
+      plan.abandon_at_us = expiry_us;
+      // The delay is applied from primary dispatch by the coordinator, which
+      // re-checks the deadline clamp at fire time (see hedge_at_us below).
+      plan.hedge_delay_us = std::min(delay_us, hedge.max_delay_us);
+    }
+  }
+
+  // Primaries run detached (Submit, not RunAll) with the full resilient
+  // semantics — retries, backoff, and breaker feeding exactly as the
+  // unhedged scatter.
+  ScatterPool* pool = EnsurePool();
+  for (size_t i = 0; i < n; ++i) {
+    auto primary = [this, g, i, resilient, publish] {
+      {
+        common::MutexLock lock(g->mu);
+        g->slots[i].primary_start_us = obs::MonotonicNowUs();
+      }
+      // Wake the coordinator so it can schedule this slot's hedge timer.
+      g->cv.notify_all();
+      publish(i,
+              resilient ? Call(g->targets[i], g->request, g->options)
+                        : Call(g->targets[i], g->request),
+              /*is_hedge=*/false);
+    };
+    if (plans[i].sick_lane) {
+      // Sick lane: a suspect's straggler may legitimately sleep toward the
+      // deadline, and on the shared pool that would queue healthy shards'
+      // dispatches behind it. Suspects are rare by construction, so one
+      // detached thread each is cheap. The dispatch gate is entered here —
+      // not inside the new thread — so Shutdown()/Attach* quiescing can
+      // never slip between the spawn and the thread's first instruction.
+      auto gate = std::make_shared<DispatchGuard>(*this);
+      std::thread([primary, gate] { primary(); }).detach();
+    } else {
+      pool->Submit(primary);
+    }
+  }
+
+  // Coordinator: the calling thread watches the clock, fires due hedges,
+  // abandons stragglers, and returns once every slot is resolved. Waits are
+  // chunked so a missed notify can only cost one chunk, mirroring the
+  // serving layer's bounded-wait discipline.
+  constexpr uint64_t kWaitChunkUs = 20000;
+  std::unique_lock<common::Mutex> lock(g->mu);
+  for (;;) {
+    if (g->unresolved == 0) break;
+    const uint64_t now_us = obs::MonotonicNowUs();
+    uint64_t next_event_us = 0;
+    for (size_t i = 0; i < n; ++i) {
+      HedgeGather::Slot& s = g->slots[i];
+      if (s.resolved) continue;
+      const HedgeGather::Plan& plan = plans[i];
+      if (plan.abandon_at_us != 0 && now_us >= plan.abandon_at_us) {
+        s.resolved = true;
+        s.result = Status::DeadlineExceeded("straggler abandoned: " +
+                                            g->targets[i]);
+        --g->unresolved;
+        Count("vinci/hedge_abandoned_total");
+        continue;
+      }
+      // Hedge clock runs from primary dispatch; a hedge that would fire at
+      // or past the expiry is never issued (deadline clamp, the
+      // serving-unclamped-hedge contract). 0 = not yet schedulable or never.
+      const uint64_t hedge_at_us =
+          plan.hedge_delay_us == 0 || s.primary_start_us == 0 ||
+                  (expiry_us != 0 &&
+                   s.primary_start_us + plan.hedge_delay_us >= expiry_us)
+              ? 0
+              : s.primary_start_us + plan.hedge_delay_us;
+      if (hedge_at_us != 0 && !s.hedge_issued && now_us >= hedge_at_us) {
+        s.hedge_issued = true;
+        Count("vinci/hedges_total");
+        Count("vinci/hedges/" + g->targets[i]);
+        pool->Submit([this, g, i, publish] {
+          bool breaker_rejected = false;
+          publish(i,
+                  CallOnce(g->targets[i], g->request, &breaker_rejected,
+                           /*feed_breaker=*/false),
+                  /*is_hedge=*/true);
+        });
+      } else if (hedge_at_us != 0 && !s.hedge_issued) {
+        next_event_us = next_event_us == 0
+                            ? hedge_at_us
+                            : std::min(next_event_us, hedge_at_us);
+      }
+      if (plan.abandon_at_us != 0) {
+        next_event_us = next_event_us == 0
+                            ? plan.abandon_at_us
+                            : std::min(next_event_us, plan.abandon_at_us);
+      }
+    }
+    if (g->unresolved == 0) break;
+    uint64_t wait_us = kWaitChunkUs;
+    if (next_event_us != 0) {
+      const uint64_t now2_us = obs::MonotonicNowUs();
+      wait_us = next_event_us > now2_us
+                    ? std::min(kWaitChunkUs, next_event_us - now2_us)
+                    : 1;
+    }
+    g->cv.wait_for(lock, std::chrono::microseconds(wait_us));
+  }
+
+  std::vector<std::pair<std::string, common::Result<std::string>>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.emplace_back(g->targets[i], g->slots[i].result);
+  }
   return out;
 }
 

@@ -2,6 +2,7 @@
 #define WF_PLATFORM_VINCI_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
@@ -20,6 +21,7 @@ class Tracer;
 namespace wf::platform {
 
 class FaultInjector;
+class HealthScoreboard;
 
 // Per-call resilience knobs for VinciBus::Call. Defaults are a single
 // attempt with no deadline — identical to the plain overload.
@@ -36,6 +38,44 @@ struct CallOptions {
   uint64_t initial_backoff_us = 100;
   uint64_t max_backoff_us = 10000;
   double backoff_multiplier = 2.0;
+};
+
+// Tail-tolerance knobs for CallAllHedged (DESIGN.md §14). A hedge is a
+// single re-issue of a straggling scatter call after a delay derived from
+// the target's observed latency distribution (~p95 via the attached
+// HealthScoreboard, `default_delay_us` until it has history). The delay is
+// measured from the moment the primary is actually dispatched, not from
+// scatter start, so scatter-pool queueing is never mistaken for backend
+// slowness. The first success wins; the loser is cancelled by ignoring it.
+// Every hedge fire time is clamped to the caller's deadline — a hedge that
+// could not finish in budget is never issued — and the per-target delay
+// carries seeded
+// jitter (hedge verdicts are reproducible per draw, desynchronized across
+// targets). Suspect targets (gray-failing per the scoreboard) are never
+// hedged — the only replica of a shard service is the sick one, so a
+// re-issue would just queue behind the straggler; instead their primaries
+// run on a dedicated detached thread (the "sick lane", keeping the shared
+// scatter pool clear for healthy shards) and the gather widens its margin
+// and abandons them early (see suspect_margin_factor).
+struct HedgeOptions {
+  bool enabled = false;
+  // Hedge delay while a target has no latency history.
+  uint64_t default_delay_us = 5000;
+  // Clamp bounds for the computed hedge delay.
+  uint64_t min_delay_us = 500;
+  uint64_t max_delay_us = 100000;
+  // Which latency quantile to hedge at (0.95 = hedge the slowest ~5%).
+  double delay_quantile = 0.95;
+  // A suspect target whose latency EWMA already exceeds the call deadline
+  // (a predicted deadline miss — it was going to fail either way) is
+  // abandoned (DeadlineExceeded, primary left to finish detached) once it
+  // has been in flight `suspect_margin_factor` times the fleet-median
+  // quantile latency, clamped to [suspect_min_margin_us, deadline]. This
+  // is what keeps one gray node from dragging the whole gather to the
+  // deadline on every scatter, without ever dropping a shard the unhedged
+  // path would have kept (the byte-identity contract).
+  double suspect_margin_factor = 4.0;
+  uint64_t suspect_min_margin_us = 2000;
 };
 
 // Per-service circuit breaker: after `failure_threshold` consecutive
@@ -86,28 +126,42 @@ class VinciBus {
   }
 
   // Attaches a chaos source consulted on every dispatch; nullptr detaches.
-  // The injector must outlive its attachment. Atomic, so faults can be
-  // flipped on and off while scattered calls are in flight.
-  void AttachFaultInjector(FaultInjector* injector) {
-    fault_injector_.store(injector, std::memory_order_release);
-  }
+  // Quiescing: returns only after every dispatch that may have observed the
+  // previous pointer has finished, so the caller may destroy the old
+  // injector the moment this returns — hedged scatters leave detached
+  // straggler tasks running past CallAllHedged's return
+  // (cancel-by-ignore), and without the quiesce a straggler could consult
+  // an injector its owner already destroyed. Do not call under sustained
+  // dispatch load from other threads; it waits for an idle instant.
+  void AttachFaultInjector(FaultInjector* injector);
 
   // Attaches a metrics registry; every dispatch then records per-service
   // call/failure counters, breaker transitions, retry counts, and latency
   // histograms (see DESIGN.md §8 for the naming scheme). nullptr detaches.
-  // The registry must outlive its attachment.
-  void AttachMetrics(obs::MetricsRegistry* metrics) {
-    metrics_.store(metrics, std::memory_order_release);
-  }
+  // Quiescing, like AttachFaultInjector.
+  void AttachMetrics(obs::MetricsRegistry* metrics);
+
+  // Attaches a health scoreboard; every dispatched call then feeds its
+  // observed latency and outcome into it (successes, injected faults,
+  // corruptions, and in-flight deadline expiries — the gray-failure
+  // signature). CallAllHedged consults it for hedge timing and suspect
+  // judgments. nullptr detaches. Quiescing, like AttachFaultInjector.
+  void AttachHealth(HealthScoreboard* health);
 
   // Attaches a tracer; a dispatched call whose request carries trace
   // context (obs::kTraceIdKey / obs::kSpanIdKey fields) then records a
   // client-side child span named after the target service, stitching a
   // scatter into one parent/child trace. Requests without context trace
-  // nothing. nullptr detaches. The tracer must outlive its attachment.
-  void AttachTracer(obs::Tracer* tracer) {
-    tracer_.store(tracer, std::memory_order_release);
-  }
+  // nothing. nullptr detaches. Quiescing, like AttachFaultInjector.
+  void AttachTracer(obs::Tracer* tracer);
+
+  // Joins the scatter pool (queued-but-unstarted detached tasks are
+  // dropped) and waits for in-flight dispatches to drain. After this no
+  // task of this bus can touch a handler, attachment, or metric. Called by
+  // the destructor; owners embedding the bus next to the state its
+  // handlers capture (Cluster) call it first so stragglers cannot outlive
+  // that state.
+  void Shutdown();
 
   // Registers a service; AlreadyExists if the name is taken.
   common::Status RegisterService(const std::string& name, Handler handler);
@@ -142,6 +196,21 @@ class VinciBus {
       const std::string& prefix, const std::string& request,
       const CallOptions& options) const;
 
+  // Tail-tolerant scatter: like the resilient CallAll, but a straggling
+  // target is re-issued once after a deadline-clamped, health-derived hedge
+  // delay (first success wins, loser ignored), and the gather stops waiting
+  // for a target at the caller's deadline — or earlier for suspect targets
+  // — instead of riding out the straggler's full latency. Hedge attempts
+  // are single-shot and breaker-neutral: they never feed the circuit
+  // breaker, never consume its rejection window, and never count in
+  // `vinci/retry_total` / `vinci/retries_per_call`; their audit trail is
+  // `vinci/hedges_total`, `vinci/hedge_wins_total`, and
+  // `vinci/hedge_abandoned_total`. With `hedge.enabled == false` this is
+  // exactly CallAll(prefix, request, options).
+  std::vector<std::pair<std::string, common::Result<std::string>>>
+  CallAllHedged(const std::string& prefix, const std::string& request,
+                const CallOptions& options, const HedgeOptions& hedge) const;
+
   // Circuit-breaker controls. Config applies to every service on this bus.
   void SetBreakerConfig(const BreakerConfig& config);
   BreakerState breaker_state(const std::string& service) const;
@@ -163,10 +232,31 @@ class VinciBus {
   void SimulateLatency(uint64_t extra_us) const;
   // One dispatch attempt: breaker gate, local resolution, fault injection,
   // simulated latency, handler. `breaker_rejected` is set when the failure
-  // came from an open circuit (never retried, costs nothing).
+  // came from an open circuit (never retried, costs nothing). With
+  // `feed_breaker == false` (hedge attempts) the breaker is read-only: an
+  // open circuit still refuses the call, but the attempt neither consumes
+  // the rejection window nor feeds the failure streak — a hedged scatter
+  // must leave the breaker state machine exactly as the unhedged one.
   common::Result<std::string> CallOnce(const std::string& service,
                                        const std::string& request,
-                                       bool* breaker_rejected) const;
+                                       bool* breaker_rejected,
+                                       bool feed_breaker = true) const;
+  ScatterPool* EnsurePool() const WF_EXCLUDES(pool_mu_);
+  // RAII over active_dispatches_: every CallOnce body runs inside one, and
+  // the guard is entered before any attachment pointer is loaded, so
+  // QuiesceDispatches() really does fence off the old pointer.
+  class DispatchGuard {
+   public:
+    explicit DispatchGuard(const VinciBus& bus);
+    ~DispatchGuard();
+    DispatchGuard(const DispatchGuard&) = delete;
+    DispatchGuard& operator=(const DispatchGuard&) = delete;
+
+   private:
+    const VinciBus& bus_;
+  };
+  // Blocks until no dispatch is in flight (see AttachFaultInjector).
+  void QuiesceDispatches() const;
   // Records an attempt outcome; NotFound is a resolution miss, not a
   // service failure, and is never recorded.
   void RecordOutcome(const std::string& service, bool ok) const;
@@ -183,6 +273,7 @@ class VinciBus {
   std::atomic<FaultInjector*> fault_injector_{nullptr};
   std::atomic<obs::MetricsRegistry*> metrics_{nullptr};
   std::atomic<obs::Tracer*> tracer_{nullptr};
+  std::atomic<HealthScoreboard*> health_{nullptr};
 
   mutable common::Mutex breaker_mu_;
   BreakerConfig breaker_config_ WF_GUARDED_BY(breaker_mu_);
@@ -194,6 +285,15 @@ class VinciBus {
   // Backoff-jitter sequence; each draw seeds a fresh wf::common::Rng so
   // concurrent retries stay lock-free and reproducible.
   mutable std::atomic<uint64_t> jitter_seq_{0};
+  // Hedge-delay jitter sequence, same scheme: every hedge verdict is a
+  // seeded draw, never an unseeded RNG.
+  mutable std::atomic<uint64_t> hedge_seq_{0};
+
+  // Count of dispatches currently inside CallOnce; the quiescing
+  // attachment setters wait for it to reach zero after swapping a pointer.
+  mutable common::Mutex dispatch_mu_;
+  mutable std::condition_variable_any dispatch_cv_;
+  mutable uint64_t active_dispatches_ WF_GUARDED_BY(dispatch_mu_) = 0;
 };
 
 // --- Wire helpers: the "key=value" line format used over the bus ----------

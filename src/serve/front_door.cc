@@ -52,6 +52,10 @@ std::string RenderPayload(const platform::SentimentQueryResult& result) {
 FrontDoor::FrontDoor(const platform::SentimentQueryService* service,
                      platform::Cluster* cluster, FrontDoorOptions options)
     : service_(service), cluster_(cluster), options_(options) {
+  {
+    common::MutexLock lock(admit_mu_);
+    limit_ = std::max<size_t>(1, options_.max_concurrent);
+  }
   size_t stripes = std::max<size_t>(1, options_.cache_stripes);
   cache_.reserve(stripes);
   for (size_t i = 0; i < stripes; ++i) {
@@ -207,24 +211,41 @@ void FrontDoor::InvalidateAll() {
 
 // --- Admission --------------------------------------------------------------
 
+uint64_t FrontDoor::EstimateRetryAfterLocked() const {
+  // Cold door: nothing observed yet, fall back to the configured constant.
+  if (completed_total_ == 0 || ewma_exec_us_ <= 0.0) {
+    return options_.shed_retry_after_us;
+  }
+  // Everyone queued ahead plus one service interval, drained across the
+  // current execution lanes at the recent per-query service time.
+  const double waiting = static_cast<double>(queued_[0] + queued_[1] + 1);
+  const double lanes = static_cast<double>(std::max<size_t>(1, limit_));
+  const double drain_us = ewma_exec_us_ * waiting / lanes;
+  return static_cast<uint64_t>(std::clamp(drain_us, 1000.0, 5e6));
+}
+
 ShedReason FrontDoor::Admit(Priority priority, const Deadline& deadline,
-                            uint64_t* queue_wait_us) {
+                            uint64_t* queue_wait_us,
+                            uint64_t* retry_after_us) {
   const uint64_t start = obs::MonotonicNowUs();
   const size_t idx = priority == Priority::kInteractive ? 0 : 1;
   std::unique_lock<common::Mutex> lock(admit_mu_);
   // Batch admission additionally defers to any queued interactive request,
-  // so under pressure interactive traffic drains first.
+  // so under pressure interactive traffic drains first. `limit_` is the
+  // AIMD-adapted slot count (== max_concurrent with AIMD off).
   auto can_run = [&] {
-    return inflight_ < options_.max_concurrent &&
-           (idx == 0 || queued_[0] == 0);
+    return inflight_ < limit_ && (idx == 0 || queued_[0] == 0);
   };
   if (!can_run()) {
     const size_t limit = idx == 0 ? options_.interactive_queue_limit
                                   : options_.batch_queue_limit;
     if (queued_[idx] >= limit) {
       // The waiting room is full: shed *now*. A request we cannot serve in
-      // time must cost the caller a fast refusal, not a queue slot.
+      // time must cost the caller a fast refusal, not a queue slot — with a
+      // retry-after that reflects how long this queue actually takes to
+      // drain, not a constant.
       *queue_wait_us = obs::MonotonicNowUs() - start;
+      *retry_after_us = EstimateRetryAfterLocked();
       return ShedReason::kQueueFull;
     }
     ++queued_[idx];
@@ -254,10 +275,47 @@ ShedReason FrontDoor::Admit(Priority priority, const Deadline& deadline,
   return ShedReason::kNone;
 }
 
-void FrontDoor::Release() {
+void FrontDoor::Release(uint64_t exec_us, uint64_t e2e_us) {
   std::unique_lock<common::Mutex> lock(admit_mu_);
   --inflight_;
   SetGauge("serve/inflight", static_cast<int64_t>(inflight_));
+  // Service-rate EWMA (alpha 0.2), kept whether or not AIMD is on: the
+  // drain-time retry-after estimate needs it either way.
+  ewma_exec_us_ = completed_total_ == 0
+                      ? static_cast<double>(exec_us)
+                      : ewma_exec_us_ + 0.2 * (static_cast<double>(exec_us) -
+                                               ewma_exec_us_);
+  ++completed_total_;
+  const AimdOptions& aimd = options_.aimd;
+  if (aimd.enabled) {
+    window_latencies_us_.push_back(e2e_us);
+    if (window_latencies_us_.size() >= std::max<size_t>(1, aimd.window)) {
+      // Near-p99 of the decision window (exact for windows <= 100).
+      std::vector<uint64_t>& w = window_latencies_us_;
+      const size_t rank = std::min(w.size() - 1, (w.size() * 99) / 100);
+      std::nth_element(w.begin(), w.begin() + static_cast<long>(rank),
+                       w.end());
+      const uint64_t p99_us = w[rank];
+      const size_t floor = std::max<size_t>(1, aimd.min_limit);
+      const size_t ceiling = std::max(floor, options_.max_concurrent);
+      if (p99_us > aimd.target_p99_us) {
+        // Multiplicative decrease: the backend is past its knee, so shed
+        // concurrency fast. Counted even when pinned at the floor — the
+        // counter is the controller's decision trail, not a change log.
+        limit_ = std::clamp(
+            static_cast<size_t>(static_cast<double>(limit_) *
+                                aimd.decrease_factor),
+            floor, ceiling);
+        Count("serve/aimd_decrease_total");
+      } else {
+        // Additive increase: probe for headroom one step at a time.
+        limit_ = std::clamp(limit_ + aimd.increase_step, floor, ceiling);
+        Count("serve/aimd_increase_total");
+      }
+      SetGauge("serve/concurrency_limit", static_cast<int64_t>(limit_));
+      w.clear();
+    }
+  }
   admit_cv_.notify_all();
 }
 
@@ -290,13 +348,13 @@ QueryReply FrontDoor::ExecuteAndPublish(const QueryRequest& request,
                                         const std::shared_ptr<Flight>& flight) {
   QueryReply reply;
   const ShedReason shed = Admit(request.priority, deadline,
-                                &reply.queue_wait_us);
+                                &reply.queue_wait_us, &reply.retry_after_us);
   RecordTiming("serve/queue_wait_us", reply.queue_wait_us);
   if (shed != ShedReason::kNone) {
     reply.shed_reason = shed;
     if (shed == ShedReason::kQueueFull) {
       Count("serve/shed_queue_full_total");
-      reply.retry_after_us = options_.shed_retry_after_us;
+      // retry_after_us was set by Admit: the drain-time estimate.
       reply.status = Status::Unavailable("front door queue full");
     } else {
       Count("serve/shed_deadline_total");
@@ -307,9 +365,11 @@ QueryReply FrontDoor::ExecuteAndPublish(const QueryRequest& request,
     return reply;
   }
   Count("serve/admitted_total");
+  const uint64_t exec_start_us = obs::MonotonicNowUs();
   platform::SentimentQueryResult result =
       service_->Query(request.subject, options_.max_hits, deadline);
-  Release();
+  const uint64_t exec_us = obs::MonotonicNowUs() - exec_start_us;
+  Release(exec_us, reply.queue_wait_us + exec_us);
   if (result.deadline_expired) Count("serve/deadline_expired_results_total");
   reply.status = Status::Ok();
   reply.payload = RenderPayload(result);

@@ -44,17 +44,45 @@ struct TokenBucketConfig {
   double burst = 1.0;
 };
 
+// AIMD adaptive concurrency (DESIGN.md §14): instead of a hand-tuned fixed
+// `max_concurrent`, the door steers its execution-slot limit by the
+// completion latency it actually observes. Every `window` completions it
+// takes the window's near-p99: above `target_p99_us` the limit is cut
+// multiplicatively (backpressure the moment the backend slows down), at or
+// below it the limit creeps up additively, clamped to
+// [min_limit, FrontDoorOptions::max_concurrent]. The decision trail is
+// `serve/concurrency_limit` (gauge), `serve/aimd_increase_total`, and
+// `serve/aimd_decrease_total`. Disabled by default: the limit then stays
+// pinned at max_concurrent and no AIMD metrics appear.
+struct AimdOptions {
+  bool enabled = false;
+  // End-to-end (queue + execute) p99 the controller steers toward.
+  uint64_t target_p99_us = 50000;
+  // Floor for the adaptive limit; the ceiling is max_concurrent.
+  size_t min_limit = 1;
+  // Completions per controller decision.
+  size_t window = 32;
+  size_t increase_step = 1;
+  double decrease_factor = 0.5;
+};
+
 struct FrontDoorOptions {
-  // Queries executing concurrently against the cluster. Everything beyond
-  // this waits in the bounded admission queue (or is shed).
+  // Queries executing concurrently against the cluster; the AIMD ceiling
+  // when `aimd.enabled`. Everything beyond the (possibly adapted) limit
+  // waits in the bounded admission queue (or is shed).
   size_t max_concurrent = 4;
+  // Adaptive concurrency control (off by default).
+  AimdOptions aimd;
   // Bounded waiting-room sizes per priority class; arrivals beyond the
   // bound are shed kQueueFull immediately.
   size_t interactive_queue_limit = 64;
   size_t batch_queue_limit = 16;
   // End-to-end budget applied when a request carries none.
   uint64_t default_budget_us = 250000;
-  // retry_after_us hint attached to kQueueFull sheds.
+  // retry_after_us attached to kQueueFull sheds while the door is cold (no
+  // completion history yet). Once queries have completed, the hint is an
+  // estimate of the actual drain time — queue depth over the recent
+  // service rate — instead of this constant.
   uint64_t shed_retry_after_us = 50000;
   // Result cache capacity (entries, across all stripes; 0 disables).
   size_t cache_entries = 128;
@@ -188,10 +216,19 @@ class FrontDoor {
 
   // Blocks (deadline-bounded) until an execution slot is free. Returns
   // kNone on admission, else the shed reason; *queue_wait_us reports the
-  // time spent waiting either way.
+  // time spent waiting either way. On kQueueFull, *retry_after_us carries
+  // the drain-time estimate (EstimateRetryAfterLocked).
   ShedReason Admit(Priority priority, const platform::Deadline& deadline,
-                   uint64_t* queue_wait_us);
-  void Release();
+                   uint64_t* queue_wait_us, uint64_t* retry_after_us);
+  // Frees the execution slot and feeds the completion into the service-rate
+  // EWMA and (when enabled) the AIMD controller. `exec_us` is the upstream
+  // execution time alone; `e2e_us` adds the admission wait — the latency
+  // the caller actually experienced, which is what AIMD steers on.
+  void Release(uint64_t exec_us, uint64_t e2e_us);
+  // Honest kQueueFull backpressure: how long until the queue ahead of a
+  // new arrival drains at the recently observed service rate, clamped to
+  // [1ms, 5s]; the static shed_retry_after_us while the door is cold.
+  uint64_t EstimateRetryAfterLocked() const WF_REQUIRES(admit_mu_);
 
   // Executes the query as flight leader and publishes the reply.
   QueryReply ExecuteAndPublish(const QueryRequest& request,
@@ -220,6 +257,14 @@ class FrontDoor {
   std::condition_variable_any admit_cv_;
   size_t inflight_ WF_GUARDED_BY(admit_mu_) = 0;
   size_t queued_[2] WF_GUARDED_BY(admit_mu_) = {0, 0};
+  // Current execution-slot limit: max_concurrent when AIMD is off, the
+  // adaptive value in [aimd.min_limit, max_concurrent] when on.
+  size_t limit_ WF_GUARDED_BY(admit_mu_);
+  // Completion bookkeeping: service-time EWMA (drain-rate estimates) and
+  // the AIMD decision window of end-to-end latencies.
+  double ewma_exec_us_ WF_GUARDED_BY(admit_mu_) = 0.0;
+  uint64_t completed_total_ WF_GUARDED_BY(admit_mu_) = 0;
+  std::vector<uint64_t> window_latencies_us_ WF_GUARDED_BY(admit_mu_);
 
   common::Mutex flight_mu_;
   std::map<std::string, std::shared_ptr<Flight>> flights_

@@ -1237,6 +1237,43 @@ void CheckServingUnboundedWait(const FileModel& fm,
   }
 }
 
+void CheckServingUnclampedHedge(const FileModel& fm,
+                                std::vector<Violation>* out) {
+  // Hedged/re-issued work on the serving path (src/serve and the platform
+  // bus it rides) must schedule inside the request's deadline: a hedge
+  // timer computed without consulting the expiry happily re-issues work the
+  // caller can no longer use, doubling load exactly when the system is
+  // slow (DESIGN.md §14). Any statement assigning a hedge/reissue schedule
+  // variable must mention the deadline/expiry (or clamp through std::min /
+  // std::clamp against it) in that same statement. Plain literal
+  // initializers (`hedge_at_us = 0;` — the "never" sentinel) are exempt.
+  if (fm.layer != "serve" && fm.layer != "platform") return;
+  static const std::regex kHedgeAssignRe(
+      R"(\b(?:hedge|reissue)\w*(?:_at|_delay|_us)\w*\s*=[^=])");
+  static const std::regex kLiteralInitRe(R"(=\s*\{?\s*\d*\s*\}?\s*;)");
+  for (size_t i = 0; i < fm.lines.size(); ++i) {
+    if (!std::regex_search(fm.lines[i], kHedgeAssignRe)) continue;
+    std::string stmt = AccumulateStatement(fm.lines, i);
+    if (stmt.empty()) continue;
+    if (std::regex_search(stmt, kLiteralInitRe)) continue;
+    if (stmt.find("deadline") != std::string::npos ||
+        stmt.find("Deadline") != std::string::npos ||
+        stmt.find("expiry") != std::string::npos ||
+        stmt.find("expires") != std::string::npos ||
+        stmt.find("clamp") != std::string::npos ||
+        stmt.find("min(") != std::string::npos) {
+      continue;
+    }
+    out->push_back(
+        {fm.file.path, i + 1, "serving-unclamped-hedge",
+         "hedge/re-issue schedule assigned without consulting the request "
+         "deadline; clamp the fire time against the expiry (std::min / "
+         "std::clamp or an explicit deadline check in the same statement) "
+         "so hedging never adds load past the caller's budget "
+         "(DESIGN.md §14)"});
+  }
+}
+
 // --- Cross-file rules --------------------------------------------------------
 
 // Layers where a mutex member implies a lock discipline worth annotating.
@@ -1355,6 +1392,9 @@ const std::vector<RuleInfo>& Rules() {
       {"serving-unbounded-wait",
        "blocking wait, sleep, or deadline-less bus call in src/serve (the "
        "overload path must shed, never hang)"},
+      {"serving-unclamped-hedge",
+       "hedge/re-issue schedule in src/serve or src/platform not clamped "
+       "to the request deadline"},
       {"unknown-rule", "wflint allow() comment names an unknown rule"},
       {"unused-suppression",
        "wflint allow() names a rule that never fires in that file"},
@@ -1764,6 +1804,7 @@ std::vector<Violation> Engine::Run() const {
     CheckPlatformRawThread(fm->file, fm->lines, &found);
     CheckPlatformRawFileIo(fm->file, fm->lines, &found);
     CheckServingUnboundedWait(*fm, &found);
+    CheckServingUnclampedHedge(*fm, &found);
     CheckLayering(*fm, &found);
     CheckUnguardedFields(*fm, &found);
     CheckUnorderedSerialization(*fm, idx, &found);

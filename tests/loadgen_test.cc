@@ -1,0 +1,193 @@
+// Load-generator suite: the kilo-user generator that drives bench_serving
+// (DESIGN.md §14). Covers the coverage/determinism contract (every session
+// issues exactly requests_per_session queries, with a seed-determined
+// subject sequence independent of the worker count), the reply
+// classification (ok / shed-by-reason / error / cache / coalesced), and
+// the BENCH_serving.json shape produced by the bench writer.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/loadgen.h"
+#include "common/status.h"
+#include "gtest/gtest.h"
+#include "serve/front_door.h"
+#include "tests/json_checker.h"
+
+namespace wf::bench {
+namespace {
+
+using ::wf::common::Status;
+using ::wf::serve::QueryReply;
+using ::wf::serve::QueryRequest;
+using ::wf::serve::ShedReason;
+
+// With no subject list every request is the session's unique cold subject
+// "cold-<id>-<issued>", which makes full coverage directly observable.
+std::set<std::string> RunAndCollect(size_t workers, LoadGenStats* stats) {
+  LoadGenOptions options;
+  options.sessions = 50;
+  options.requests_per_session = 3;
+  options.workers = workers;
+  options.open_loop_fraction = 0.5;
+  options.mean_think_us = 100;
+  options.mean_interarrival_us = 100;
+  LoadGenWorkload workload;  // subjects empty -> all cold
+
+  std::mutex mu;
+  std::set<std::string> seen;
+  *stats = RunLoadGen(options, workload, [&](const QueryRequest& request) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(request.subject);
+    }
+    QueryReply reply;  // default status is ok
+    return reply;
+  });
+  return seen;
+}
+
+TEST(LoadGenTest, EverySessionIssuesItsFullSeededSchedule) {
+  LoadGenStats stats;
+  std::set<std::string> seen = RunAndCollect(/*workers=*/4, &stats);
+
+  EXPECT_EQ(stats.sessions, 50u);
+  EXPECT_EQ(stats.open_sessions, 25u);
+  EXPECT_EQ(stats.closed_sessions, 25u);
+  EXPECT_EQ(stats.requests, 150u);
+  EXPECT_EQ(stats.ok, 150u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.errors, 0u);
+  ASSERT_EQ(stats.latencies_us.size(), 150u);
+  EXPECT_TRUE(std::is_sorted(stats.latencies_us.begin(),
+                             stats.latencies_us.end()));
+  EXPECT_LE(stats.PercentileUs(0.5), stats.PercentileUs(0.99));
+  EXPECT_GT(stats.GoodputPerSec(), 0.0);
+
+  // Exact coverage: all 50 sessions x 3 requests, no dupes, no gaps.
+  std::set<std::string> expected;
+  for (int id = 0; id < 50; ++id) {
+    for (int issued = 0; issued < 3; ++issued) {
+      expected.insert("cold-" + std::to_string(id) + "-" +
+                      std::to_string(issued));
+    }
+  }
+  EXPECT_EQ(seen, expected);
+
+  // The issued set is a function of the seed alone — the worker count only
+  // changes the interleaving.
+  LoadGenStats solo_stats;
+  std::set<std::string> solo = RunAndCollect(/*workers=*/1, &solo_stats);
+  EXPECT_EQ(solo, seen);
+  EXPECT_EQ(solo_stats.requests, stats.requests);
+}
+
+TEST(LoadGenTest, RepliesAreClassifiedByShedReason) {
+  LoadGenOptions options;
+  options.sessions = 40;
+  options.requests_per_session = 2;
+  options.workers = 4;
+  options.mean_think_us = 0;
+  options.mean_interarrival_us = 0;
+  LoadGenWorkload workload;  // all cold -> subject encodes the session id
+
+  // The fake door routes on session id: ok / queue-full / quota / plain
+  // error, round-robin by id. 10 sessions (20 requests) land in each bin.
+  LoadGenStats stats =
+      RunLoadGen(options, workload, [](const QueryRequest& request) {
+        const size_t id = static_cast<size_t>(
+            std::stoul(request.subject.substr(5)));  // "cold-<id>-<issued>"
+        QueryReply reply;
+        switch (id % 4) {
+          case 0:
+            reply.cache_hit = true;
+            break;
+          case 1:
+            reply.status = Status::Unavailable("queue full");
+            reply.shed_reason = ShedReason::kQueueFull;
+            reply.retry_after_us = 1000;
+            break;
+          case 2:
+            reply.status = Status::Unavailable("quota");
+            reply.shed_reason = ShedReason::kQuotaExceeded;
+            break;
+          default:
+            reply.status = Status::Internal("backend exploded");
+            break;
+        }
+        return reply;
+      });
+
+  EXPECT_EQ(stats.requests, 80u);
+  EXPECT_EQ(stats.ok, 20u);
+  EXPECT_EQ(stats.cache_hits, 20u);
+  EXPECT_EQ(stats.shed, 40u);
+  EXPECT_EQ(stats.shed_queue_full, 20u);
+  EXPECT_EQ(stats.shed_quota, 20u);
+  EXPECT_EQ(stats.shed_deadline, 0u);
+  EXPECT_EQ(stats.errors, 20u);
+  EXPECT_EQ(stats.latencies_us.size(), 80u);
+}
+
+// The bench writer output that bench_serving ships (BENCH_serving.json)
+// must stay machine-readable: same sections and field spellings, and
+// strict-JSON valid per the shared checker.
+TEST(LoadGenTest, ServingBenchJsonShapeIsValid) {
+  LoadGenOptions options;
+  options.sessions = 30;
+  options.requests_per_session = 2;
+  options.workers = 2;
+  options.mean_think_us = 100;
+  options.mean_interarrival_us = 100;
+  LoadGenWorkload workload;
+  workload.subjects = {"Kodak", "Xerox"};
+
+  LoadGenStats stats = RunLoadGen(options, workload, [](const QueryRequest&) {
+    QueryReply reply;
+    return reply;
+  });
+
+  BenchJsonWriter writer("serving");
+  writer.AddRow("config",
+                {Int("sessions", options.sessions),
+                 Int("workers", options.workers),
+                 Num("open_loop_fraction", options.open_loop_fraction)});
+  writer.AddRow("phases",
+                {Str("phase", "smoke"), Num("load_factor", 1.0),
+                 Int("sessions", stats.sessions),
+                 Int("requests", stats.requests), Int("ok", stats.ok),
+                 Int("shed", stats.shed), Int("errors", stats.errors),
+                 Int("cache_hits", stats.cache_hits),
+                 Int("coalesced", stats.coalesced),
+                 Int("p50_us", stats.PercentileUs(0.5)),
+                 Int("p99_us", stats.PercentileUs(0.99)),
+                 Num("goodput_per_sec", stats.GoodputPerSec())});
+  writer.AddRow("totals", {Int("sessions", stats.sessions),
+                           Int("requests", stats.requests)});
+  const std::string json = writer.ToJson();
+  EXPECT_TRUE(wf::testing::JsonChecker::Valid(json)) << json;
+  EXPECT_NE(json.find("\"goodput_per_sec\""), std::string::npos);
+
+  // And the on-disk artifact the bench actually ships parses too.
+  ASSERT_EQ(setenv("WF_BENCH_JSON_DIR", ::testing::TempDir().c_str(), 1), 0);
+  const std::string path = writer.WriteFile();
+  ASSERT_EQ(unsetenv("WF_BENCH_JSON_DIR"), 0);
+  ASSERT_FALSE(path.empty());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(wf::testing::JsonChecker::Valid(buffer.str()));
+  EXPECT_EQ(std::remove(path.c_str()), 0);
+}
+
+}  // namespace
+}  // namespace wf::bench

@@ -11,8 +11,10 @@
 // its deadline (the bus's tripwire counter stays zero), and once the chaos
 // clears the same queries answer byte-identically to the unloaded run.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <set>
 #include <string>
 #include <thread>
@@ -586,6 +588,408 @@ TEST(ServingAcceptanceTest, OverloadShedsHonestlyAndHealsByteIdentical) {
     QueryRequest request;
     request.subject = subjects[s];
     request.budget_us = 10 * 1000 * 1000;
+    QueryReply reply = h.door->Query(request);
+    ASSERT_TRUE(reply.status.ok());
+    EXPECT_EQ(reply.payload, baseline[s]) << subjects[s];
+  }
+}
+
+// --- Hedged scatter: byte-identity property ---------------------------------
+
+// Property: with hedging on, every answer is byte-identical to the unhedged
+// answer — across injector seeds and caller thread counts. The gray node
+// here is slow (20ms) but well inside the 2s budget, so both paths must
+// keep its shard; hedges may only add redundant work, never change bytes.
+TEST(HedgingPropertyTest, AnswersAreByteIdenticalAcrossSeedsAndThreads) {
+  FrontDoorOptions options;
+  options.max_concurrent = 8;
+  options.cache_entries = 0;  // every query really executes
+  options.default_budget_us = 2 * 1000 * 1000;
+  ServingHarness h(options);
+  h.cluster.bus().SetSimulatedLatency(300);
+
+  const std::vector<std::string> subjects = {"Kodak", "Xerox"};
+  auto slow_node = [] {
+    return SlowNodePolicy(/*base=*/20000, /*ramp=*/0, /*cap=*/20000,
+                          /*jitter=*/500);
+  };
+
+  // Unhedged baseline under the same slow-node policy the hedged runs see.
+  FaultInjector baseline_injector(7);
+  baseline_injector.SetPolicy("node/2/", slow_node());
+  h.cluster.bus().AttachFaultInjector(&baseline_injector);
+  std::map<std::string, std::string> baseline;
+  for (const std::string& subject : subjects) {
+    QueryRequest request;
+    request.subject = subject;
+    QueryReply reply = h.door->Query(request);
+    ASSERT_TRUE(reply.status.ok());
+    baseline[subject] = reply.payload;
+  }
+  h.cluster.bus().AttachFaultInjector(nullptr);  // quiesces stragglers
+
+  platform::HedgeOptions hedge;
+  hedge.default_delay_us = 2000;
+  hedge.min_delay_us = 500;
+  h.cluster.EnableHedging(hedge);
+
+  for (uint64_t seed : {11u, 29u}) {
+    for (int threads : {1, 4}) {
+      FaultInjector injector(seed);
+      injector.SetPolicy("node/2/", slow_node());
+      h.cluster.bus().AttachFaultInjector(&injector);
+      h.door->InvalidateAll();
+
+      std::vector<std::vector<QueryReply>> replies(
+          static_cast<size_t>(threads));
+      std::vector<std::thread> workers;
+      workers.reserve(static_cast<size_t>(threads));
+      for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&h, &subjects, &replies, t] {
+          for (const std::string& subject : subjects) {
+            QueryRequest request;
+            request.subject = subject;
+            replies[static_cast<size_t>(t)].push_back(h.door->Query(request));
+          }
+        });
+      }
+      for (std::thread& w : workers) w.join();
+      for (int t = 0; t < threads; ++t) {
+        for (size_t i = 0; i < subjects.size(); ++i) {
+          const QueryReply& reply = replies[static_cast<size_t>(t)][i];
+          ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+          EXPECT_EQ(reply.payload, baseline[subjects[i]])
+              << "seed=" << seed << " threads=" << threads << " "
+              << subjects[i];
+        }
+      }
+      h.cluster.bus().AttachFaultInjector(nullptr);
+      h.cluster.bus().ResetBreakers();
+    }
+  }
+
+  obs::MetricsSnapshot snap = h.cluster.metrics().Snapshot();
+  EXPECT_GT(snap.CounterValue("vinci/hedges_total"), 0u);
+  // The tripwire: hedging must never let a handler run past its deadline.
+  EXPECT_EQ(snap.CounterValue("vinci/deadline_expired_handler_runs_total"),
+            0u);
+}
+
+// --- Hedged scatter: breaker & retry neutrality ------------------------------
+
+// A hedge attempt must neither feed the breaker's failure streak nor count
+// as a retry. Every node/1 call sleeps 10ms and then corrupts, so each
+// scatter contributes exactly one breaker-visible failure per node/1
+// service (the primary) while the hedge — issued at ~1ms, failing at
+// ~11ms — is breaker-silent. With the default failure_threshold of 5, four
+// scatters must leave the circuit closed (a double-feeding hedge would
+// have opened it during the third) and the fifth must open it.
+TEST(HedgingBreakerTest, HedgesNeverDoubleCountBreakerOrRetries) {
+  Cluster cluster(4);
+  platform::HedgeOptions hedge;
+  hedge.default_delay_us = 1000;
+  hedge.min_delay_us = 200;
+  hedge.max_delay_us = 4000;
+  cluster.EnableHedging(hedge);
+
+  FaultInjector injector(3);
+  FaultPolicy corrupt;
+  corrupt.corrupt_probability = 1.0;  // fails *after* the latency sleep
+  corrupt.added_latency_us = 10000;
+  injector.SetPolicy("node/1/", corrupt);
+  cluster.bus().AttachFaultInjector(&injector);
+
+  for (int i = 0; i < 4; ++i) {
+    cluster.Search("anything", Deadline::After(500000));
+  }
+  EXPECT_EQ(cluster.bus().breaker_state("node/1/search"),
+            platform::BreakerState::kClosed);
+  obs::MetricsSnapshot mid = cluster.metrics().Snapshot();
+  EXPECT_EQ(mid.CounterValue("vinci/breaker/open_total"), 0u);
+  EXPECT_GT(mid.CounterValue("vinci/hedges_total"), 0u);
+
+  cluster.Search("anything", Deadline::After(500000));
+  EXPECT_EQ(cluster.bus().breaker_state("node/1/search"),
+            platform::BreakerState::kOpen);
+  obs::MetricsSnapshot after = cluster.metrics().Snapshot();
+  // Exactly the unhedged sequence: each node/1 service (search, stats,
+  // fetch — a search scatters to all of them) opened once, on its fifth
+  // primary failure.
+  EXPECT_EQ(after.CounterValue("vinci/breaker/open_total"), 3u);
+  // And hedges are not retries: the scatter path never retries (its
+  // per-call deadline does the failing), so every retry counter stays 0.
+  for (const auto& [name, value] : after.counters) {
+    if (name.rfind("vinci/retry_total/", 0) == 0) {
+      EXPECT_EQ(value, 0u) << name;
+    }
+  }
+  EXPECT_EQ(after.CounterValue("vinci/deadline_expired_handler_runs_total"),
+            0u);
+  cluster.bus().AttachFaultInjector(nullptr);
+}
+
+// --- Hedged scatter: wins are counted ----------------------------------------
+
+// One node answers slowly and corrupts half its replies; every corrupted
+// primary leaves its slot open for the hedge — a fresh coin flip — to
+// resolve. The win counter must move, and the tripwire must not.
+TEST(HedgingWinTest, HedgeWinsAreCountedAndTripwireStaysZero) {
+  Cluster cluster(4);
+  platform::HedgeOptions hedge;
+  hedge.default_delay_us = 1500;
+  hedge.min_delay_us = 500;
+  hedge.max_delay_us = 2500;  // always below the primary's injected sleep,
+                              // so the hedge fires while it is in flight
+  cluster.EnableHedging(hedge);
+
+  FaultInjector injector(13);
+  FaultPolicy flaky_slow;
+  flaky_slow.corrupt_probability = 0.5;  // fails *after* the latency sleep
+  flaky_slow.added_latency_us = 2000;
+  flaky_slow.latency_jitter_us = 8000;
+  injector.SetPolicy("node/1/", flaky_slow);
+  cluster.bus().AttachFaultInjector(&injector);
+
+  for (int i = 0; i < 20; ++i) {
+    cluster.Search("anything", Deadline::After(200000));
+    // Keep each service's failure streak at one so the breaker never
+    // opens and instant rejections never preempt the hedge window.
+    cluster.bus().ResetBreakers();
+  }
+  obs::MetricsSnapshot snap = cluster.metrics().Snapshot();
+  EXPECT_GT(snap.CounterValue("vinci/hedges_total"), 0u);
+  EXPECT_GT(snap.CounterValue("vinci/hedge_wins_total"), 0u);
+  EXPECT_EQ(snap.CounterValue("vinci/deadline_expired_handler_runs_total"),
+            0u);
+  cluster.bus().AttachFaultInjector(nullptr);
+}
+
+// --- AIMD adaptive concurrency -----------------------------------------------
+
+TEST(FrontDoorAimdTest, LimitConvergesUnderOverloadAndRecovers) {
+  FrontDoorOptions options;
+  options.max_concurrent = 6;
+  options.aimd.enabled = true;
+  options.aimd.target_p99_us = 150000;
+  options.aimd.window = 2;
+  options.aimd.min_limit = 1;
+  options.cache_entries = 0;  // unique work per query: every one samples
+  options.default_budget_us = 2 * 1000 * 1000;
+  ServingHarness h(options);
+
+  // Overload: every scatter call costs 10ms simulated network, pushing
+  // end-to-end far past the 150ms target. Each completion window must cut
+  // the limit multiplicatively until it hits the floor.
+  h.cluster.bus().SetSimulatedLatency(10000);
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 6; ++t) {
+    callers.emplace_back([&h, t] {
+      QueryRequest request;
+      request.subject = "over-" + std::to_string(t);
+      h.door->Query(request);
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  obs::MetricsSnapshot overload = h.cluster.metrics().Snapshot();
+  EXPECT_EQ(overload.GaugeValue("serve/concurrency_limit"), 1);
+  EXPECT_GE(overload.CounterValue("serve/aimd_decrease_total"), 2u);
+
+  // Recovery: fast backend again; additive increase must walk the limit
+  // back up within a few windows.
+  h.cluster.bus().SetSimulatedLatency(0);
+  for (int i = 0; i < 10; ++i) {
+    QueryRequest request;
+    request.subject = "rec-" + std::to_string(i);
+    QueryReply reply = h.door->Query(request);
+    EXPECT_TRUE(reply.status.ok()) << reply.status.ToString();
+  }
+  obs::MetricsSnapshot recovered = h.cluster.metrics().Snapshot();
+  EXPECT_GE(recovered.GaugeValue("serve/concurrency_limit"), 2);
+  EXPECT_GT(recovered.CounterValue("serve/aimd_increase_total"), 0u);
+}
+
+// --- Queue-full retry-after: drain-time estimate -----------------------------
+
+TEST(FrontDoorAdmissionTest, RetryAfterReflectsDrainTimeOnceWarm) {
+  FrontDoorOptions options;
+  options.max_concurrent = 1;
+  options.interactive_queue_limit = 0;
+  options.batch_queue_limit = 0;
+  options.shed_retry_after_us = 777;  // recognizable cold-door constant
+  options.default_budget_us = 2 * 1000 * 1000;
+  ServingHarness h(options);
+  h.cluster.bus().SetSimulatedLatency(20000);
+
+  auto occupy_and_shed = [&h](const std::string& occupant_subject,
+                              const std::string& shed_subject) {
+    std::thread occupant([&h, occupant_subject] {
+      QueryRequest request;
+      request.subject = occupant_subject;
+      EXPECT_TRUE(h.door->Query(request).status.ok());
+    });
+    while (h.cluster.metrics().Snapshot().GaugeValue("serve/inflight") < 1) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    QueryRequest request;
+    request.subject = shed_subject;
+    QueryReply shed = h.door->Query(request);
+    occupant.join();
+    return shed;
+  };
+
+  // Cold door (no completion history): the configured constant.
+  QueryReply cold = occupy_and_shed("Kodak", "Xerox");
+  ASSERT_EQ(cold.shed_reason, ShedReason::kQueueFull);
+  EXPECT_EQ(cold.retry_after_us, 777u);
+
+  // Warm door: the hint is now a drain-time estimate from the observed
+  // service time (tens of milliseconds here), not the constant.
+  QueryReply warm = occupy_and_shed("Alpha", "Beta");
+  ASSERT_EQ(warm.shed_reason, ShedReason::kQueueFull);
+  EXPECT_NE(warm.retry_after_us, 777u);
+  EXPECT_GE(warm.retry_after_us, 5000u);
+  EXPECT_LE(warm.retry_after_us, 5u * 1000 * 1000);
+}
+
+// --- Acceptance: tail tolerance under a ramping slow node --------------------
+
+// Extends the overload acceptance: with hedging enabled and 20% faults, a
+// node whose latency ramps past the whole scatter deadline must not drag
+// the scatter p99 beyond 2x the no-slow-node baseline, at no more than 15%
+// extra calls; AIMD visibly converges and recovers; and once the chaos
+// clears, answers are byte-identical to the unhedged pre-chaos baseline.
+TEST(TailToleranceAcceptanceTest, SlowNodeRampStaysWithinTailBudget) {
+  FrontDoorOptions options;
+  options.max_concurrent = 4;
+  options.aimd.enabled = true;
+  options.aimd.target_p99_us = 150000;
+  options.aimd.window = 2;
+  options.aimd.min_limit = 1;
+  options.cache_entries = 0;
+  options.default_budget_us = 2 * 1000 * 1000;
+  ServingHarness h(options);
+
+  const std::vector<std::string> subjects = {"Kodak", "Xerox"};
+
+  // Unhedged, unloaded baseline answers.
+  std::vector<std::string> baseline;
+  for (const std::string& subject : subjects) {
+    QueryRequest request;
+    request.subject = subject;
+    QueryReply reply = h.door->Query(request);
+    ASSERT_TRUE(reply.status.ok());
+    baseline.push_back(reply.payload);
+  }
+
+  platform::HedgeOptions hedge;
+  hedge.default_delay_us = 4000;
+  hedge.min_delay_us = 4000;  // above the healthy round trip: hedges are
+                              // for stragglers, not steady-state traffic
+  hedge.max_delay_us = 20000;
+  hedge.suspect_margin_factor = 2.0;
+  hedge.suspect_min_margin_us = 2000;
+  h.cluster.EnableHedging(hedge);
+  h.cluster.bus().SetSimulatedLatency(1500);
+
+  FaultInjector injector(77);
+  FaultPolicy flaky;
+  flaky.fail_probability = 0.2;
+  injector.SetPolicy("node/", flaky);
+  h.cluster.bus().AttachFaultInjector(&injector);
+
+  constexpr uint64_t kScatterDeadlineUs = 30000;
+  constexpr int kWarmup = 16;
+  constexpr int kMeasured = 50;
+  auto measure = [&h](int scatters) {
+    std::vector<uint64_t> wall_us;
+    wall_us.reserve(static_cast<size_t>(scatters));
+    for (int i = 0; i < scatters; ++i) {
+      const uint64_t start = obs::MonotonicNowUs();
+      h.cluster.Search("Kodak", Deadline::After(kScatterDeadlineUs));
+      wall_us.push_back(obs::MonotonicNowUs() - start);
+    }
+    std::sort(wall_us.begin(), wall_us.end());
+    return wall_us[static_cast<size_t>(scatters) * 99 / 100];
+  };
+  auto node_calls = [&h] {
+    uint64_t total = 0;
+    obs::MetricsSnapshot snap = h.cluster.metrics().Snapshot();
+    for (const auto& [name, value] : snap.counters) {
+      if (name.rfind("vinci/calls/node/", 0) == 0) total += value;
+    }
+    return total;
+  };
+
+  // Phase A: faults only. Warm the scoreboard, then measure the baseline
+  // scatter tail.
+  measure(kWarmup);
+  const uint64_t calls_a = node_calls();
+  const uint64_t hedges_a =
+      h.Metric("vinci/hedges_total");
+  const uint64_t p99_base = measure(kMeasured);
+
+  // Phase B: one node ramps to 60ms — twice the whole scatter deadline.
+  // The warmup drives it to suspect with a latency EWMA past the deadline,
+  // after which the gather abandons it at a fleet-derived margin instead
+  // of riding every scatter to the deadline.
+  injector.SetPolicy("node/2/", SlowNodePolicy(2000, 2000, 60000, 500));
+  measure(kWarmup);
+  const uint64_t p99_slow = measure(kMeasured);
+  const uint64_t calls_b = node_calls();
+  const uint64_t hedges_b = h.Metric("vinci/hedges_total");
+
+  EXPECT_LE(p99_slow, 2 * p99_base)
+      << "p99_base=" << p99_base << " p99_slow=" << p99_slow;
+  // Hedging overhead across both measured+warmup windows: at most 15%
+  // extra calls on top of the primaries.
+  const uint64_t hedges = hedges_b - hedges_a;
+  const uint64_t primaries = (calls_b - calls_a) - hedges;
+  EXPECT_LE(hedges * 100, primaries * 15)
+      << "hedges=" << hedges << " primaries=" << primaries;
+
+  // AIMD converges under overload...
+  h.cluster.bus().AttachFaultInjector(nullptr);  // quiesce chaos
+  h.cluster.bus().SetSimulatedLatency(10000);
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&h, t] {
+      for (int i = 0; i < 2; ++i) {
+        QueryRequest request;
+        request.subject =
+            "over-" + std::to_string(t) + "-" + std::to_string(i);
+        h.door->Query(request);
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  obs::MetricsSnapshot overload = h.cluster.metrics().Snapshot();
+  EXPECT_LT(overload.GaugeValue("serve/concurrency_limit"),
+            static_cast<int64_t>(options.max_concurrent));
+  EXPECT_GT(overload.CounterValue("serve/aimd_decrease_total"), 0u);
+
+  // ...and recovers once the backend is fast again.
+  h.cluster.bus().SetSimulatedLatency(0);
+  for (int i = 0; i < 10; ++i) {
+    QueryRequest request;
+    request.subject = "rec-" + std::to_string(i);
+    EXPECT_TRUE(h.door->Query(request).status.ok());
+  }
+  obs::MetricsSnapshot recovered = h.cluster.metrics().Snapshot();
+  EXPECT_GE(recovered.GaugeValue("serve/concurrency_limit"), 2);
+  EXPECT_GT(recovered.CounterValue("serve/aimd_increase_total"), 0u);
+
+  // The tripwire held through faults, the ramp, and the overload.
+  EXPECT_EQ(recovered.CounterValue(
+                "vinci/deadline_expired_handler_runs_total"),
+            0u);
+
+  // Healed — with hedging still enabled — the answers are byte-identical
+  // to the unhedged pre-chaos baseline.
+  h.cluster.bus().ResetBreakers();
+  h.door->InvalidateAll();
+  for (size_t s = 0; s < subjects.size(); ++s) {
+    QueryRequest request;
+    request.subject = subjects[s];
     QueryReply reply = h.door->Query(request);
     ASSERT_TRUE(reply.status.ok());
     EXPECT_EQ(reply.payload, baseline[s]) << subjects[s];

@@ -353,6 +353,63 @@ TEST(ServingUnboundedWaitTest, QuietOnBoundedWaitsAndDeadlinedCalls) {
       "serving-unbounded-wait"));
 }
 
+// --- serving-unclamped-hedge ------------------------------------------------
+
+TEST(ServingUnclampedHedgeTest, FlagsHedgeScheduleThatIgnoresTheDeadline) {
+  // A hedge fire time computed from the latency histogram alone re-issues
+  // work the caller can no longer use.
+  std::vector<Violation> vs = LintSnippet(
+      "src/serve/hedger.cc",
+      "void Plan(Slot* s, uint64_t p95_us) {\n"
+      "  s->hedge_at_us = s->start_us + p95_us;\n"
+      "}\n");
+  ASSERT_TRUE(HasRule(vs, "serving-unclamped-hedge"));
+  EXPECT_EQ(vs[0].line, 2u);
+  // The platform bus carries the same obligation.
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/platform/vinci_extra.cc",
+                  "void Plan(Slot* s, uint64_t p95_us) {\n"
+                  "  s->reissue_delay_us = p95_us * 2;\n"
+                  "}\n"),
+      "serving-unclamped-hedge"));
+}
+
+TEST(ServingUnclampedHedgeTest, QuietOnClampedSchedulesAndOtherLayers) {
+  // Clamping against the expiry in the same statement is the sanctioned
+  // shape...
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/serve/hedger.cc",
+                  "void Plan(Slot* s, uint64_t p95_us, uint64_t expiry_us) "
+                  "{\n"
+                  "  s->hedge_at_us = std::min(s->start_us + p95_us, "
+                  "expiry_us);\n"
+                  "}\n"),
+      "serving-unclamped-hedge"));
+  // ...as is an explicit deadline check in the statement.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/serve/hedger.cc",
+                  "void Plan(Slot* s, uint64_t p95_us,\n"
+                  "          const Deadline& deadline) {\n"
+                  "  s->hedge_at_us =\n"
+                  "      deadline.expired() ? 0 : s->start_us + p95_us;\n"
+                  "}\n"),
+      "serving-unclamped-hedge"));
+  // The "never" sentinel is a plain literal init, not a schedule.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/serve/hedger.cc",
+                  "void Reset(Slot* s) {\n"
+                  "  s->hedge_at_us = 0;\n"
+                  "}\n"),
+      "serving-unclamped-hedge"));
+  // Identical code outside serve/platform is not on the serving path.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/core/miner.cc",
+                  "void Plan(Slot* s, uint64_t p95_us) {\n"
+                  "  s->hedge_at_us = s->start_us + p95_us;\n"
+                  "}\n"),
+      "serving-unclamped-hedge"));
+}
+
 // --- platform-raw-timing ----------------------------------------------------
 
 TEST(PlatformRawTimingTest, FlagsRawClockReadsInPlatformCode) {
