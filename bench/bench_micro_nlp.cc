@@ -80,11 +80,13 @@ void BM_ChunkAndParse(benchmark::State& state) {
   parse::SentenceAnalyzer analyzer;
   text::TokenStream tokens = tokenizer.Tokenize(SampleBody());
   auto spans = splitter.Split(tokens);
+  common::Arena arena;
+  common::StringInterner interner(&arena);
   size_t parsed = 0;
   for (auto _ : state) {
     for (const auto& span : spans) {
       auto tags = tagger.TagSentence(tokens, span);
-      auto parse = analyzer.Analyze(tokens, span, tags);
+      auto parse = analyzer.Analyze(tokens, span, tags, &interner);
       benchmark::DoNotOptimize(parse);
       ++parsed;
     }
@@ -105,11 +107,13 @@ void BM_FullSentimentAnalysis(benchmark::State& state) {
   core::SentimentAnalyzer analyzer(kLexicon, kPatterns);
   text::TokenStream tokens = tokenizer.Tokenize(SampleBody());
   auto spans = splitter.Split(tokens);
+  common::Arena arena;
+  common::StringInterner interner(&arena);
   size_t analyzed = 0;
   for (auto _ : state) {
     for (const auto& span : spans) {
       auto tags = tagger.TagSentence(tokens, span);
-      auto parse = sentence_analyzer.Analyze(tokens, span, tags);
+      auto parse = sentence_analyzer.Analyze(tokens, span, tags, &interner);
       // Analyze the first NP as the subject.
       for (const parse::Chunk& c : parse.chunks) {
         if (c.type == parse::ChunkType::kNP) {

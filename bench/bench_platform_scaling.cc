@@ -5,16 +5,21 @@
 // mining speed-up with nodes, flat scatter/gather query latency) should
 // hold in the simulation.
 
+#include <atomic>
 #include <chrono>
-#include <filesystem>
-#include <thread>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
+#include <new>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "corpus/datasets.h"
+#include "corpus/domain.h"
+#include "corpus/web_gen.h"
 #include "eval/report.h"
 #include "lexicon/pattern_db.h"
 #include "lexicon/sentiment_lexicon.h"
@@ -27,6 +32,31 @@
 #include "platform/miner_framework.h"
 #include "platform/query_service.h"
 #include "platform/sentiment_miner_plugin.h"
+
+// This TU replaces operator new with a malloc-backed counting allocator;
+// GCC's inliner then sees malloc'd pointers reach the (replaced,
+// free-backed) delete and flags a mismatch that is not one.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+// Counting global allocator so the mining sweep can report allocations per
+// analyzed document alongside throughput — the number the arena/interner
+// front half is supposed to hold down (tests/alloc_gate_test.cc gates it;
+// this bench trends it). One relaxed atomic increment per allocation is
+// noise next to malloc itself.
+static std::atomic<uint64_t> g_new_calls{0};
+
+void* operator new(std::size_t size) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 int main() {
   using namespace wf;
@@ -127,12 +157,32 @@ int main() {
   std::printf("%s", eval::Banner("Mining — executor threads and analysis "
                                  "cache, one shard")
                         .c_str());
+  // 100x the cluster sweep's corpus: 60k+ entities, so the sweep runs long
+  // enough that per-document costs (allocations, cache probes) dominate
+  // fixed setup and the thread sweep measures steady-state throughput.
+  // WF_BENCH_SMALL=1 falls back to the small corpus for quick iteration.
+  std::vector<std::pair<std::string, std::string>> mine_docs;
+  if (::getenv("WF_BENCH_SMALL") != nullptr) {
+    mine_docs = docs;
+  } else {
+    for (const corpus::GeneratedDoc& d : corpus::GenerateWebDocs(
+             corpus::PetroleumDomain(), 30500, seed + 3,
+             corpus::WebGenOptions{})) {
+      mine_docs.emplace_back(d.id, d.body);
+    }
+    for (const corpus::GeneratedDoc& d : corpus::GenerateWebDocs(
+             corpus::PharmaDomain(), 30500, seed + 4,
+             corpus::WebGenOptions{})) {
+      mine_docs.emplace_back("ph-" + d.id, d.body);
+    }
+  }
+  std::printf("Mining corpus: %zu entities\n\n", mine_docs.size());
   eval::TablePrinter mtable({"Threads", "Entities", "Cold mine ms",
                              "Warm mine ms", "Cold ents/s", "Warm ents/s",
-                             "Warm speed-up"});
+                             "Warm speed-up", "Allocs/doc"});
   bench::BenchJsonWriter json_mining("mining");
-  auto fill_store = [&docs](platform::DataStore& store) {
-    for (const auto& [id, body] : docs) {
+  auto fill_store = [&mine_docs](platform::DataStore& store) {
+    for (const auto& [id, body] : mine_docs) {
       platform::Entity e(id, "crawl");
       e.SetBody(body);
       (void)store.Put(std::move(e));
@@ -151,23 +201,30 @@ int main() {
         platform::MineExecutorOptions{.threads = threads});
 
     obs::MetricsRegistry cold_metrics;
-    core::AnalysisCache cold_cache;
+    core::AnalysisCache cold_cache(
+        core::AnalysisCacheOptions{.max_entries = mine_docs.size()});
     cold_cache.AttachMetrics(&cold_metrics);
     platform::DataStore cold_store;
     fill_store(cold_store);
     auto cold_pipeline = make_pipeline(&cold_cache);
+    const uint64_t allocs_before =
+        g_new_calls.load(std::memory_order_relaxed);
     auto m0 = Clock::now();
     cold_pipeline->ProcessStore(cold_store, &executor);
     auto m1 = Clock::now();
+    const uint64_t cold_allocs =
+        g_new_calls.load(std::memory_order_relaxed) - allocs_before;
 
     // Identical sweep, but the cache already holds every artifact: mining
-    // pays NER + lexicon matching only, not tokenize/tag/parse.
+    // pays NER + lexicon matching only, not tokenize/tag/parse. Sized to
+    // keep the whole corpus resident, else the prewarm evicts itself.
     obs::MetricsRegistry warm_metrics;
-    core::AnalysisCache warm_cache;
+    core::AnalysisCache warm_cache(
+        core::AnalysisCacheOptions{.max_entries = mine_docs.size()});
     warm_cache.AttachMetrics(&warm_metrics);
     platform::DataStore warm_store;
     fill_store(warm_store);
-    for (const auto& [id, body] : docs) warm_cache.Analyze(id, body);
+    for (const auto& [id, body] : mine_docs) warm_cache.Analyze(id, body);
     auto warm_pipeline = make_pipeline(&warm_cache);
     auto m2 = Clock::now();
     warm_pipeline->ProcessStore(warm_store, &executor);
@@ -181,13 +238,16 @@ int main() {
     if (threads == 1) base_cold_ms = cold_ms;
     double cold_eps = cold_ms > 0 ? 1000.0 * stored / cold_ms : 0.0;
     double warm_eps = warm_ms > 0 ? 1000.0 * stored / warm_ms : 0.0;
+    const uint64_t allocs_per_doc =
+        stored > 0 ? cold_allocs / stored : cold_allocs;
     mtable.AddRow({std::to_string(threads), std::to_string(stored),
                    common::StrFormat("%.1f", cold_ms),
                    common::StrFormat("%.1f", warm_ms),
                    common::StrFormat("%.0f", cold_eps),
                    common::StrFormat("%.0f", warm_eps),
                    common::StrFormat("%.2fx", warm_ms > 0 ? cold_ms / warm_ms
-                                                          : 0.0)});
+                                                          : 0.0),
+                   std::to_string(allocs_per_doc)});
     json_mining.AddRow(
         "mining",
         {bench::Int("threads", threads), bench::Int("entities", stored),
@@ -197,7 +257,8 @@ int main() {
          bench::Num("entities_per_sec_warm", warm_eps),
          bench::Num("warm_speedup", warm_ms > 0 ? cold_ms / warm_ms : 0.0),
          bench::Num("thread_speedup_cold",
-                    cold_ms > 0 ? base_cold_ms / cold_ms : 0.0)});
+                    cold_ms > 0 ? base_cold_ms / cold_ms : 0.0),
+         bench::Int("allocs_per_doc_cold", allocs_per_doc)});
     // Counter check on the two regimes: the cold sweep misses once per
     // entity; the warm sweep's timed region should be all hits (its misses
     // were paid during untimed pre-warming).
@@ -220,7 +281,7 @@ int main() {
     // cache. Indexing and store commit dilute the cache's mining win here.
     platform::Cluster e2e(1);
     e2e.ConfigureMining(platform::MineExecutorOptions{.threads = threads});
-    platform::BatchIngestor e2e_ingest("crawl", docs);
+    platform::BatchIngestor e2e_ingest("crawl", mine_docs);
     platform::IngestAll(e2e_ingest, e2e);
     e2e.DeployMiner([&lex, &patterns] {
       return std::make_unique<platform::AdHocSentimentMinerPlugin>(&lex,

@@ -59,7 +59,9 @@ int main() {
     std::vector<text::SentenceSpan> spans = splitter.Split(tokens);
     const text::SentenceSpan& span = spans[0];
     std::vector<pos::PosTag> tags = tagger.TagSentence(tokens, span);
-    parse::SentenceParse parse = parser.Analyze(tokens, span, tags);
+    common::Arena arena;
+    common::StringInterner interner(&arena);
+    parse::SentenceParse parse = parser.Analyze(tokens, span, tags, &interner);
 
     // Locate the subject's tokens (a real application uses the Spotter).
     text::TokenStream subject = tokenizer.Tokenize(ex.subject);

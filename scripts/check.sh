@@ -23,6 +23,13 @@ cmake --build build -j "${JOBS}"
 step "tier-1: ctest"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
+# Allocation-count regression gate: the counting-operator-new test only
+# registers in plain builds (sanitizers own operator new), and the full
+# tier-1 ctest above already ran it — this re-run surfaces the per-document
+# numbers in the check.sh log where they are easy to compare across PRs.
+step "alloc gate: per-document allocation budget"
+./build/tests/alloc_gate_test
+
 step "wflint: src/ + tests/"
 ./build/src/tools/wflint --report build/wflint-report.tsv src tests
 
@@ -70,10 +77,14 @@ if [[ "${WF_CHECK_TSAN:-0}" == "1" ]]; then
   # the 100x-corpus sweep — the newest lock the data path takes.
   # loadgen_test runs the kilo-user generator's worker pool against fake
   # doors, the scheduling heap's lock being its one shared structure.
+  # arena_identity_test re-mines the seeded corpus at 1/2/4/8 workers and
+  # compares byte fingerprints — racing the arena-backed artifacts across
+  # the pool is precisely where a stale-view or unsynchronized-publish bug
+  # in the new allocation scheme would surface.
   for t in obs_test platform_test platform_miners_test property_test \
            robustness_test chaos_test durability_test storage_test \
            agreement_test integration_test parallel_mining_test \
-           serving_test loadgen_test; do
+           serving_test loadgen_test arena_identity_test common_test; do
     step "TSan: ${t}"
     "./build-tsan/tests/${t}"
   done

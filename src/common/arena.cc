@@ -1,0 +1,87 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace wf::common {
+
+Arena::Block* Arena::NewBlock(size_t min_bytes) {
+  size_t capacity = blocks_.empty()
+                        ? kMinBlockBytes
+                        : std::min(blocks_.back().capacity * 2, kMaxBlockBytes);
+  capacity = std::max(capacity, min_bytes);
+  Block block;
+  block.data = std::make_unique<char[]>(capacity);
+  block.capacity = capacity;
+  bytes_reserved_ += capacity;
+  blocks_.push_back(std::move(block));
+  return &blocks_.back();
+}
+
+void* Arena::Alloc(size_t size, size_t align) {
+  // Align the returned *address*, not just the block offset: new char[]
+  // only guarantees the default new-alignment, so an aligned offset off an
+  // odd base would under-align anything stricter.
+  auto aligned_offset = [align](const Block& block) {
+    uintptr_t base = reinterpret_cast<uintptr_t>(block.data.get());
+    uintptr_t aligned = (base + block.used + align - 1) &
+                        ~static_cast<uintptr_t>(align - 1);
+    return static_cast<size_t>(aligned - base);
+  };
+  Block* block = blocks_.empty() ? nullptr : &blocks_.back();
+  size_t offset = 0;
+  if (block != nullptr) {
+    offset = aligned_offset(*block);
+  }
+  if (block == nullptr || offset + size > block->capacity) {
+    block = NewBlock(size + align);
+    offset = aligned_offset(*block);
+  }
+  block->used = offset + size;
+  bytes_used_ += size;
+  return block->data.get() + offset;
+}
+
+std::string_view Arena::CopyString(std::string_view s) {
+  if (s.empty()) return std::string_view();
+  char* dst = static_cast<char*>(Alloc(s.size(), 1));
+  std::memcpy(dst, s.data(), s.size());
+  return std::string_view(dst, s.size());
+}
+
+void Arena::Reset() {
+  if (blocks_.size() > 1) {
+    auto largest = std::max_element(
+        blocks_.begin(), blocks_.end(),
+        [](const Block& a, const Block& b) { return a.capacity < b.capacity; });
+    Block keep = std::move(*largest);
+    blocks_.clear();
+    blocks_.push_back(std::move(keep));
+  }
+  if (!blocks_.empty()) blocks_.front().used = 0;
+  bytes_used_ = 0;
+  bytes_reserved_ = blocks_.empty() ? 0 : blocks_.front().capacity;
+}
+
+std::string_view StringInterner::Intern(std::string_view s) {
+  auto it = set_.find(s);
+  if (it != set_.end()) return *it;
+  std::string_view stable = arena_->CopyString(s);
+  set_.insert(stable);
+  return stable;
+}
+
+std::string_view StringInterner::InternLower(std::string_view s) {
+  char stack[256];
+  if (s.size() <= sizeof(stack)) {
+    for (size_t i = 0; i < s.size(); ++i) stack[i] = ToLowerAscii(s[i]);
+    return Intern(std::string_view(stack, s.size()));
+  }
+  std::string lower = ToLower(s);  // absurdly long token: rare, correct
+  return Intern(lower);
+}
+
+}  // namespace wf::common

@@ -22,6 +22,16 @@ inline uint64_t HashCombine(uint64_t a, uint64_t b) {
   return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
 }
 
+// Transparent hash for heterogeneous unordered-container lookup: maps keyed
+// by std::string can be probed with a std::string_view without
+// materializing a key. Pair with std::equal_to<>.
+struct StringViewHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return static_cast<size_t>(Fnv1a64(s));
+  }
+};
+
 }  // namespace wf::common
 
 #endif  // WF_COMMON_HASH_H_

@@ -25,6 +25,12 @@ std::string ToUpper(std::string_view s) {
   return out;
 }
 
+std::string_view LowerInto(std::string_view s, std::string* buf) {
+  buf->assign(s);
+  for (char& c : *buf) c = ToLowerAscii(c);
+  return *buf;
+}
+
 bool IsAsciiAlpha(char c) {
   return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
 }

@@ -13,6 +13,12 @@ char ToUpperAscii(char c);
 std::string ToLower(std::string_view s);
 std::string ToUpper(std::string_view s);
 
+// Lowercases `s` into *buf (reusing its capacity) and returns a view of
+// buf's contents. The hot-path alternative to ToLower: callers hoist one
+// buffer out of their token loop and lowercase with zero steady-state
+// allocations. The view is valid until buf is next modified.
+std::string_view LowerInto(std::string_view s, std::string* buf);
+
 bool IsAsciiAlpha(char c);
 bool IsAsciiDigit(char c);
 bool IsAsciiAlnum(char c);

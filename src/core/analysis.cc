@@ -14,7 +14,8 @@ namespace wf::core {
 
 size_t LinguisticAnalysis::ApproxBytes() const {
   size_t bytes = sizeof(LinguisticAnalysis);
-  for (const text::Token& t : tokens) bytes += sizeof(text::Token) + t.text.size();
+  bytes += arena.bytes_reserved();  // body copy + interned strings
+  bytes += tokens.size() * sizeof(text::Token);
   bytes += sentences.size() * sizeof(text::SentenceSpan);
   for (const auto& tags : sentence_tags) {
     bytes += tags.size() * sizeof(pos::PosTag) + sizeof(tags);
@@ -25,7 +26,6 @@ size_t LinguisticAnalysis::ApproxBytes() const {
       bytes += sizeof(parse::SentenceParse);
       bytes += p.chunks.size() * sizeof(parse::Chunk);
       bytes += p.tags.size() * sizeof(pos::PosTag);
-      bytes += p.predicate_lemma.size();
       bytes += p.pps.size() * sizeof(parse::PpAttachment);
     }
   }
@@ -44,14 +44,21 @@ std::shared_ptr<const LinguisticAnalysis> AnalyzeDocument(
   static const parse::SentenceAnalyzer analyzer{};
 
   auto analysis = std::make_shared<LinguisticAnalysis>();
-  analysis->tokens = tokenizer.Tokenize(body);
+  // Copy the body into the arena first: every token view slices this copy,
+  // so the artifact is self-contained no matter how transient the caller's
+  // buffer is (LSM reads hand us temporaries).
+  analysis->body = analysis->arena.CopyString(body);
+  // The interner is construction-only scaffolding — its bytes live in the
+  // arena, its dedup set dies here.
+  common::StringInterner interner(&analysis->arena);
+  analysis->tokens = tokenizer.Tokenize(analysis->body);
   analysis->sentences = splitter.Split(analysis->tokens);
   analysis->sentence_tags.reserve(analysis->sentences.size());
   analysis->sentence_clauses.reserve(analysis->sentences.size());
   for (const text::SentenceSpan& span : analysis->sentences) {
     std::vector<pos::PosTag> tags = tagger->TagSentence(analysis->tokens, span);
     analysis->sentence_clauses.push_back(
-        analyzer.AnalyzeClauses(analysis->tokens, span, tags));
+        analyzer.AnalyzeClauses(analysis->tokens, span, tags, &interner));
     analysis->sentence_tags.push_back(std::move(tags));
   }
   return analysis;

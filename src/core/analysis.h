@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "parse/sentence_structure.h"
@@ -30,7 +31,17 @@ namespace wf::core {
 // The artifact is a pure function of the document body (all stages are
 // deterministic rule systems with fixed embedded resources), which is what
 // makes caching it safe: a hit and a recompute are byte-identical.
+//
+// Memory layout (DESIGN.md §15): the artifact owns a bump arena holding a
+// copy of the document body plus every interned string the front half
+// produced. Token::text views slice the body copy; parse lemmas and
+// prepositions are interner-owned views. The arena lives exactly as long
+// as the artifact, so AnalysisCache handing out shared_ptrs keeps every
+// view valid, and destruction frees the whole analysis in O(blocks).
+// Non-copyable (the views would dangle); share via shared_ptr.
 struct LinguisticAnalysis {
+  common::Arena arena;    // owns body bytes + interned strings
+  std::string_view body;  // arena-owned copy of the analyzed document body
   text::TokenStream tokens;
   std::vector<text::SentenceSpan> sentences;
   // Per sentence, aligned with that sentence's tokens — exactly what

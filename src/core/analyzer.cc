@@ -1,11 +1,13 @@
 #include "core/analyzer.h"
 
+#include <utility>
+
 #include "common/string_util.h"
 #include "text/inflection.h"
 
 namespace wf::core {
 
-using ::wf::common::ToLower;
+using ::wf::common::LowerInto;
 using ::wf::lexicon::Flip;
 using ::wf::lexicon::Polarity;
 using ::wf::lexicon::SentenceComponent;
@@ -79,7 +81,7 @@ SentimentAnalyzer::SubjectLocation SentimentAnalyzer::LocateSubject(
       // An NP-attached PP directly behind the subject NP is part of the
       // subject phrase: "The Memory Stick support in the NR70 series is
       // well implemented" assigns to NR70 as part of the SP.
-      const std::string& prep = parse.pps[p].preposition;
+      std::string_view prep = parse.pps[p].preposition;
       bool np_attaching = prep == "of" || prep == "in" || prep == "on" ||
                           prep == "with" || prep == "for" ||
                           prep == "within";
@@ -130,9 +132,11 @@ bool SentimentAnalyzer::IsPassive(const text::TokenStream& tokens,
   const Chunk& vp = parse.chunks[parse.predicate_chunk];
   bool saw_be = false;
   int head = -1;
+  std::string lower_buf, lemma_buf;  // hoisted; SSO keeps the loop alloc-free
   for (size_t i = vp.begin; i < vp.end; ++i) {
     if (!pos::IsVerbTag(parse.TagAt(i))) continue;
-    std::string lemma = text::VerbLemma(ToLower(tokens[i].text));
+    std::string_view lemma =
+        text::VerbLemma(LowerInto(tokens[i].text, &lower_buf), &lemma_buf);
     if (lemma == "be" || lemma == "get") saw_be = true;
     head = static_cast<int>(i);
   }
@@ -161,10 +165,12 @@ lexicon::Polarity SentimentAnalyzer::SourcePolarity(
         // the final assignment.
         const Chunk& vp = parse.chunks[parse.predicate_chunk];
         int votes = 0;
+        std::string lower_buf, lemma_buf;
         for (size_t i = vp.begin; i < vp.end; ++i) {
           if (text::IsNegationWord(tokens[i].text)) continue;
           if (pos::IsVerbTag(parse.TagAt(i))) {
-            std::string lemma = text::VerbLemma(ToLower(tokens[i].text));
+            std::string_view lemma = text::VerbLemma(
+                LowerInto(tokens[i].text, &lower_buf), &lemma_buf);
             if (lemma == "be" || lemma == "have" || lemma == "do" ||
                 lemma == "get") {
               continue;
@@ -337,7 +343,8 @@ SubjectSentiment SentimentAnalyzer::AnalyzeSubject(
                               ? sp_result.polarity
                               : Flip(sp_result.polarity);
         result.source = SentimentSource::kContrastivePp;
-        result.pattern = sp_result.pattern + " via " + pp.preposition;
+        result.pattern = std::move(sp_result.pattern);
+        result.pattern.append(" via ").append(pp.preposition);
         return result;
       }
     }

@@ -1,10 +1,10 @@
 #include "core/miner.h"
 
+#include "common/arena.h"
 #include "common/string_util.h"
 
 namespace wf::core {
 
-using ::wf::common::ToLower;
 using ::wf::lexicon::Polarity;
 
 namespace {
@@ -73,10 +73,7 @@ void SentimentMiner::MineTokens(const std::string& doc_id,
   if (config_.use_disambiguator) {
     const spot::CorpusStats* stats = external_stats_;
     if (stats == nullptr) {
-      std::vector<std::string> lower;
-      lower.reserve(tokens.size());
-      for (const text::Token& t : tokens) lower.push_back(ToLower(t.text));
-      own_stats_.AddDocument(lower);
+      own_stats_.AddDocument(tokens);
       stats = &own_stats_;
     }
     for (const spot::DisambiguationResult& r :
@@ -89,6 +86,11 @@ void SentimentMiner::MineTokens(const std::string& doc_id,
 
   // Per-sentence clause parses are cached: several spots often share a
   // sentence. With a precomputed artifact the parses are already there.
+  // The arena backs any parse built locally (fallback path and fragment
+  // attribution); declared before the parse vectors so it outlives their
+  // string_views.
+  common::Arena parse_arena;
+  common::StringInterner parse_interner(&parse_arena);
   std::vector<int> parse_of_sentence(spans.size(), -1);
   std::vector<std::vector<parse::SentenceParse>> parses;
 
@@ -104,8 +106,8 @@ void SentimentMiner::MineTokens(const std::string& doc_id,
       if (cached < 0) {
         std::vector<pos::PosTag> tags =
             tagger_.TagSentence(tokens, ctx.sentence);
-        parses.push_back(
-            sentence_analyzer_.AnalyzeClauses(tokens, ctx.sentence, tags));
+        parses.push_back(sentence_analyzer_.AnalyzeClauses(
+            tokens, ctx.sentence, tags, &parse_interner));
         cached = static_cast<int>(parses.size()) - 1;
       }
       clauses_ptr = &parses[static_cast<size_t>(cached)];
@@ -135,7 +137,8 @@ void SentimentMiner::MineTokens(const std::string& doc_id,
                 ? analysis->sentence_tags[ctx.sentence_index + 1]
                 : tagger_.TagSentence(tokens, next);
         parse::SentenceParse frag =
-            sentence_analyzer_.Analyze(tokens, next, frag_tags);
+            sentence_analyzer_.Analyze(tokens, next, frag_tags,
+                                       &parse_interner);
         if (frag.predicate_chunk < 0) {
           PhraseSentimentScorer scorer(lexicon_);
           Polarity p = scorer.Score(tokens, frag, next.begin_token,
@@ -202,10 +205,15 @@ void AdHocSentimentMiner::MineTokens(
     std::vector<ner::NamedEntity> entities = ner_.SpotSentence(tokens, span);
     if (entities.empty()) continue;
 
+    // Fallback-path parses intern into a sentence-local arena; `computed`
+    // (declared after) is destroyed first, so the views never dangle.
+    common::Arena parse_arena;
+    common::StringInterner parse_interner(&parse_arena);
     std::vector<parse::SentenceParse> computed;
     if (analysis == nullptr) {
       std::vector<pos::PosTag> tags = tagger_.TagSentence(tokens, span);
-      computed = sentence_analyzer_.AnalyzeClauses(tokens, span, tags);
+      computed =
+          sentence_analyzer_.AnalyzeClauses(tokens, span, tags, &parse_interner);
     }
     const std::vector<parse::SentenceParse>& clauses =
         analysis != nullptr ? analysis->sentence_clauses[s] : computed;

@@ -5,7 +5,6 @@
 
 namespace wf::core {
 
-using ::wf::common::ToLower;
 using ::wf::lexicon::LexPos;
 using ::wf::lexicon::Polarity;
 
@@ -15,6 +14,7 @@ int PhraseSentimentScorer::VoteCount(const text::TokenStream& tokens,
                                      bool ignore_negation) const {
   int votes = 0;
   bool negated = false;
+  std::string gram;  // hoisted n-gram buffer; reused across positions
   size_t i = begin;
   while (i < end) {
     if (i == exclude) {
@@ -35,14 +35,16 @@ int PhraseSentimentScorer::VoteCount(const text::TokenStream& tokens,
     for (size_t n = 3; n >= 2; --n) {
       if (i + n > end) continue;
       bool all_words = true;
-      std::string gram;
+      gram.clear();
       for (size_t k = 0; k < n; ++k) {
         if (tokens[i + k].kind != text::TokenKind::kWord) {
           all_words = false;
           break;
         }
         if (!gram.empty()) gram += ' ';
-        gram += ToLower(tokens[i + k].text);
+        for (char c : tokens[i + k].text) {
+          gram += common::ToLowerAscii(c);
+        }
       }
       if (!all_words) continue;
       auto hit = lexicon_->LookupLemma(gram, LexPos::kAny);

@@ -58,7 +58,11 @@ Confusion GoldEvaluator::EvaluateMiner(const std::vector<GeneratedDoc>& docs,
   for (const GeneratedDoc& doc : docs) {
     text::TokenStream tokens = tokenizer_.Tokenize(doc.body);
     std::vector<text::SentenceSpan> spans = splitter_.Split(tokens);
-    // Clause parses are cached per sentence.
+    // Clause parses are cached per sentence. Their interned strings live in
+    // a per-document arena declared ahead of `parses` so the views outlive
+    // the parse objects.
+    common::Arena arena;
+    common::StringInterner interner(&arena);
     std::vector<int> cached(spans.size(), -1);
     std::vector<std::vector<parse::SentenceParse>> parses;
     for (const SpotGold& gold : doc.golds) {
@@ -71,7 +75,7 @@ Confusion GoldEvaluator::EvaluateMiner(const std::vector<GeneratedDoc>& docs,
       if (slot < 0) {
         std::vector<pos::PosTag> tags = tagger_.TagSentence(tokens, span);
         parses.push_back(
-            sentence_analyzer_.AnalyzeClauses(tokens, span, tags));
+            sentence_analyzer_.AnalyzeClauses(tokens, span, tags, &interner));
         slot = static_cast<int>(parses.size()) - 1;
       }
       const auto& clauses = parses[static_cast<size_t>(slot)];
@@ -101,6 +105,8 @@ Confusion GoldEvaluator::EvaluateCollocation(
   for (const GeneratedDoc& doc : docs) {
     text::TokenStream tokens = tokenizer_.Tokenize(doc.body);
     std::vector<text::SentenceSpan> spans = splitter_.Split(tokens);
+    common::Arena arena;
+    common::StringInterner interner(&arena);
     std::vector<int> cached(spans.size(), -1);
     std::vector<parse::SentenceParse> parses;
     for (const SpotGold& gold : doc.golds) {
@@ -112,7 +118,8 @@ Confusion GoldEvaluator::EvaluateCollocation(
       int& slot = cached[gold.sentence_index];
       if (slot < 0) {
         std::vector<pos::PosTag> tags = tagger_.TagSentence(tokens, span);
-        parses.push_back(sentence_analyzer_.Analyze(tokens, span, tags));
+        parses.push_back(
+            sentence_analyzer_.Analyze(tokens, span, tags, &interner));
         slot = static_cast<int>(parses.size()) - 1;
       }
       Polarity verdict = colloc.AnalyzeSubject(

@@ -155,7 +155,7 @@ void PatternDatabase::Add(const SentimentPattern& pattern) {
 }
 
 const std::vector<SentimentPattern>* PatternDatabase::Lookup(
-    const std::string& lemma) const {
+    std::string_view lemma) const {
   auto it = patterns_.find(lemma);
   return it == patterns_.end() ? nullptr : &it->second;
 }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/status.h"
 #include "lexicon/sentiment_lexicon.h"
 
@@ -30,7 +31,7 @@ struct ComponentSpec {
   SentenceComponent component = SentenceComponent::kSP;
   std::vector<std::string> prepositions;  // lowercase; empty = any
 
-  bool AllowsPreposition(const std::string& prep) const {
+  bool AllowsPreposition(std::string_view prep) const {
     if (prepositions.empty()) return true;
     for (const std::string& p : prepositions) {
       if (p == prep) return true;
@@ -84,7 +85,8 @@ class PatternDatabase {
   void Add(const SentimentPattern& pattern);
 
   // All patterns for a verb lemma; empty when the predicate is unknown.
-  const std::vector<SentimentPattern>* Lookup(const std::string& lemma) const;
+  // Heterogeneous lookup: string_view probes allocate nothing.
+  const std::vector<SentimentPattern>* Lookup(std::string_view lemma) const;
 
   // Every predicate lemma in the database (unspecified order).
   std::vector<std::string> Predicates() const;
@@ -96,7 +98,9 @@ class PatternDatabase {
   static common::Result<SentimentPattern> ParseLine(std::string_view line);
 
  private:
-  std::unordered_map<std::string, std::vector<SentimentPattern>> patterns_;
+  std::unordered_map<std::string, std::vector<SentimentPattern>,
+                     common::StringViewHash, std::equal_to<>>
+      patterns_;
   size_t count_ = 0;
 };
 

@@ -71,6 +71,11 @@ size_t SentimentLexicon::KeyHash::operator()(const Key& k) const {
                              static_cast<uint64_t>(k.pos));
 }
 
+size_t SentimentLexicon::KeyHash::operator()(const KeyView& k) const {
+  return common::HashCombine(common::Fnv1a64(k.lemma),
+                             static_cast<uint64_t>(k.pos));
+}
+
 SentimentLexicon SentimentLexicon::Embedded() {
   SentimentLexicon lex;
   Status s = lex.LoadText(EmbeddedSentimentLexiconText());
@@ -139,43 +144,46 @@ common::Status SentimentLexicon::LoadFile(const std::string& path) {
   return LoadText(buf.str());
 }
 
-std::optional<Polarity> SentimentLexicon::LookupLemma(const std::string& lemma,
+std::optional<Polarity> SentimentLexicon::LookupLemma(std::string_view lemma,
                                                       LexPos pos) const {
-  auto it = entries_.find(Key{lemma, pos});
+  auto it = entries_.find(KeyView{lemma, pos});
   if (it == entries_.end()) return std::nullopt;
   return it->second;
 }
 
 std::optional<Polarity> SentimentLexicon::Lookup(std::string_view surface,
                                                  pos::PosTag tag) const {
-  std::string lower = ToLower(surface);
+  // Probe order is unchanged from the candidate-vector version: lemmatized
+  // form, surface form, (participle adjective reading,) wildcard. Both
+  // scratch buffers stay on the stack for typical words (SSO).
+  std::string lower_buf, lemma_buf;
+  std::string_view lower = common::LowerInto(surface, &lower_buf);
 
-  // Candidate lemmas by tag class, then the surface form itself.
-  std::vector<std::pair<std::string, LexPos>> candidates;
   if (pos::IsAdjectiveTag(tag)) {
-    candidates.emplace_back(text::AdjectiveBase(lower), LexPos::kAdjective);
-    candidates.emplace_back(lower, LexPos::kAdjective);
+    auto hit = LookupLemma(text::AdjectiveBase(lower, &lemma_buf),
+                           LexPos::kAdjective);
+    if (!hit.has_value()) hit = LookupLemma(lower, LexPos::kAdjective);
+    if (hit.has_value()) return hit;
   } else if (pos::IsNounTag(tag)) {
-    candidates.emplace_back(text::SingularizeNoun(lower), LexPos::kNoun);
-    candidates.emplace_back(lower, LexPos::kNoun);
+    auto hit =
+        LookupLemma(text::SingularizeNoun(lower, &lemma_buf), LexPos::kNoun);
+    if (!hit.has_value()) hit = LookupLemma(lower, LexPos::kNoun);
+    if (hit.has_value()) return hit;
   } else if (pos::IsVerbTag(tag)) {
-    candidates.emplace_back(text::VerbLemma(lower), LexPos::kVerb);
-    candidates.emplace_back(lower, LexPos::kVerb);
+    auto hit = LookupLemma(text::VerbLemma(lower, &lemma_buf), LexPos::kVerb);
+    if (!hit.has_value()) hit = LookupLemma(lower, LexPos::kVerb);
     // Participles frequently function adjectivally ("impressed", "amazing");
     // fall back to the adjective table.
-    if (tag == pos::PosTag::kVBN || tag == pos::PosTag::kVBG) {
-      candidates.emplace_back(lower, LexPos::kAdjective);
+    if (!hit.has_value() &&
+        (tag == pos::PosTag::kVBN || tag == pos::PosTag::kVBG)) {
+      hit = LookupLemma(lower, LexPos::kAdjective);
     }
+    if (hit.has_value()) return hit;
   } else if (pos::IsAdverbTag(tag)) {
-    candidates.emplace_back(lower, LexPos::kAdverb);
-  }
-  candidates.emplace_back(lower, LexPos::kAny);
-
-  for (const auto& [lemma, pos_class] : candidates) {
-    auto hit = LookupLemma(lemma, pos_class);
+    auto hit = LookupLemma(lower, LexPos::kAdverb);
     if (hit.has_value()) return hit;
   }
-  return std::nullopt;
+  return LookupLemma(lower, LexPos::kAny);
 }
 
 std::vector<SentimentEntry> SentimentLexicon::Entries() const {

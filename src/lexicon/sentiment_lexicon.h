@@ -72,12 +72,14 @@ class SentimentLexicon {
   common::Status LoadFile(const std::string& path);
 
   // Polarity of `surface` (any inflection, any case) used with `tag`.
-  // nullopt when the word is not sentiment-bearing.
+  // nullopt when the word is not sentiment-bearing. Allocation-free for
+  // typical words (lowercasing and lemmatization use SSO scratch buffers).
   std::optional<Polarity> Lookup(std::string_view surface,
                                  pos::PosTag tag) const;
 
-  // Lookup by exact lowercase lemma and entry class.
-  std::optional<Polarity> LookupLemma(const std::string& lemma,
+  // Lookup by exact lowercase lemma and entry class. Heterogeneous probe:
+  // no key materialization.
+  std::optional<Polarity> LookupLemma(std::string_view lemma,
                                       LexPos pos) const;
 
   size_t size() const { return entries_.size(); }
@@ -89,15 +91,31 @@ class SentimentLexicon {
   struct Key {
     std::string lemma;
     LexPos pos;
-    bool operator==(const Key& o) const {
-      return lemma == o.lemma && pos == o.pos;
-    }
+  };
+  // View-typed probe key so Lookup never copies the lemma.
+  struct KeyView {
+    std::string_view lemma;
+    LexPos pos;
   };
   struct KeyHash {
+    using is_transparent = void;
     size_t operator()(const Key& k) const;
+    size_t operator()(const KeyView& k) const;
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    bool operator()(const Key& a, const Key& b) const {
+      return a.pos == b.pos && a.lemma == b.lemma;
+    }
+    bool operator()(const Key& a, const KeyView& b) const {
+      return a.pos == b.pos && a.lemma == b.lemma;
+    }
+    bool operator()(const KeyView& a, const Key& b) const {
+      return a.pos == b.pos && a.lemma == b.lemma;
+    }
   };
 
-  std::unordered_map<Key, Polarity, KeyHash> entries_;
+  std::unordered_map<Key, Polarity, KeyHash, KeyEq> entries_;
 };
 
 // The raw text of the built-in sentiment lexicon (exposed for ablation

@@ -7,7 +7,6 @@
 namespace wf::parse {
 namespace {
 
-using ::wf::common::ToLower;
 using ::wf::pos::IsVerbTag;
 using ::wf::pos::PosTag;
 
@@ -26,7 +25,8 @@ int HeadVerbToken(const text::TokenStream& tokens, const Chunk& vp,
 
 std::vector<SentenceParse> SentenceAnalyzer::AnalyzeClauses(
     const text::TokenStream& tokens, const text::SentenceSpan& span,
-    const std::vector<pos::PosTag>& tags) const {
+    const std::vector<pos::PosTag>& tags,
+    common::StringInterner* interner) const {
   const std::vector<text::SentenceSpan> clauses =
       SplitClauses(tokens, span, tags);
   std::vector<SentenceParse> out;
@@ -37,12 +37,12 @@ std::vector<SentenceParse> SentenceAnalyzer::AnalyzeClauses(
             static_cast<long>(clause.begin_token - span.begin_token),
         tags.begin() +
             static_cast<long>(clause.end_token - span.begin_token));
-    out.push_back(Analyze(tokens, clause, clause_tags));
+    out.push_back(Analyze(tokens, clause, clause_tags, interner));
   }
   return out;
 }
 
-bool SentenceAnalyzer::IsCopula(const std::string& lemma) {
+bool SentenceAnalyzer::IsCopula(std::string_view lemma) {
   return lemma == "be" || lemma == "seem" || lemma == "look" ||
          lemma == "feel" || lemma == "sound" || lemma == "appear" ||
          lemma == "remain" || lemma == "stay" || lemma == "become" ||
@@ -51,7 +51,8 @@ bool SentenceAnalyzer::IsCopula(const std::string& lemma) {
 
 SentenceParse SentenceAnalyzer::Analyze(
     const text::TokenStream& tokens, const text::SentenceSpan& span,
-    const std::vector<pos::PosTag>& tags) const {
+    const std::vector<pos::PosTag>& tags,
+    common::StringInterner* interner) const {
   SentenceParse parse;
   parse.span = span;
   parse.tags = tags;
@@ -78,8 +79,9 @@ SentenceParse SentenceAnalyzer::Analyze(
   const Chunk& vp = parse.chunks[parse.predicate_chunk];
   int head = HeadVerbToken(tokens, vp, parse);
   if (head >= 0) {
-    parse.predicate_lemma =
-        text::VerbLemma(ToLower(tokens[static_cast<size_t>(head)].text));
+    parse.predicate_lemma = text::VerbLemma(
+        interner->InternLower(tokens[static_cast<size_t>(head)].text),
+        interner);
   }
 
   // Negation inside the VP.
@@ -99,7 +101,8 @@ SentenceParse SentenceAnalyzer::Analyze(
     for (int c = 0; c < parse.predicate_chunk; ++c) {
       const Chunk& ch = parse.chunks[c];
       if (ch.type == ChunkType::kPP) {
-        parse.pps.push_back(PpAttachment{ToLower(tokens[ch.begin].text), -1});
+        parse.pps.push_back(
+            PpAttachment{interner->InternLower(tokens[ch.begin].text), -1});
         pending_pp = static_cast<int>(parse.pps.size()) - 1;
       } else if (ch.type == ChunkType::kNP) {
         if (pending_pp >= 0) {
@@ -135,7 +138,7 @@ SentenceParse SentenceAnalyzer::Analyze(
     switch (ch.type) {
       case ChunkType::kPP:
         parse.pps.push_back(
-            PpAttachment{ToLower(tokens[ch.begin].text), -1});
+            PpAttachment{interner->InternLower(tokens[ch.begin].text), -1});
         pending_pp = static_cast<int>(parse.pps.size()) - 1;
         break;
       case ChunkType::kNP:

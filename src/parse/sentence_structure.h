@@ -1,9 +1,10 @@
 #ifndef WF_PARSE_SENTENCE_STRUCTURE_H_
 #define WF_PARSE_SENTENCE_STRUCTURE_H_
 
-#include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/arena.h"
 #include "parse/chunk.h"
 #include "parse/chunker.h"
 #include "pos/tagset.h"
@@ -12,21 +13,27 @@
 namespace wf::parse {
 
 // A preposition and its object NP, e.g. "by [the picture quality]".
+// `preposition` is interned into the analysis arena (see SentenceParse).
 struct PpAttachment {
-  std::string preposition;  // lowercase
-  int np_chunk = -1;        // index into SentenceParse::chunks
+  std::string_view preposition;  // lowercase, interner-owned
+  int np_chunk = -1;             // index into SentenceParse::chunks
 };
 
 // The shallow clause analysis the sentiment analyzer consumes: the main
 // predicate and the sentence components (SP, OP, CP, PP) that sentiment
 // patterns may name as source or target.
+//
+// String members are views interned via the StringInterner the analyzer was
+// handed, so a SentenceParse is only valid while that interner's arena
+// lives. LinguisticAnalysis roots both; transient callers scope a local
+// arena around their use of the parse.
 struct SentenceParse {
   text::SentenceSpan span;
   std::vector<Chunk> chunks;
   std::vector<pos::PosTag> tags;  // aligned with the sentence's tokens
 
-  int predicate_chunk = -1;       // main VP, -1 when the sentence has none
-  std::string predicate_lemma;    // base form of the head verb ("impress")
+  int predicate_chunk = -1;           // main VP, -1 when the sentence has none
+  std::string_view predicate_lemma;   // base form of the head verb ("impress")
   int subject_chunk = -1;         // SP: subject NP
   int object_chunk = -1;          // OP: object NP (not inside a PP)
   int complement_chunk = -1;      // CP: predicative ADJP or post-copula NP
@@ -52,9 +59,12 @@ class SentenceAnalyzer {
  public:
   SentenceAnalyzer() = default;
 
+  // `interner` owns the parse's lemma/preposition strings; it must outlive
+  // every use of the returned SentenceParse.
   SentenceParse Analyze(const text::TokenStream& tokens,
                         const text::SentenceSpan& span,
-                        const std::vector<pos::PosTag>& tags) const;
+                        const std::vector<pos::PosTag>& tags,
+                        common::StringInterner* interner) const;
 
   // Clause-aware analysis: splits the sentence at clause-level coordinators
   // (see clause_splitter.h) and analyzes each clause independently, so
@@ -62,11 +72,12 @@ class SentenceAnalyzer {
   // clause whose span contains their subject.
   std::vector<SentenceParse> AnalyzeClauses(
       const text::TokenStream& tokens, const text::SentenceSpan& span,
-      const std::vector<pos::PosTag>& tags) const;
+      const std::vector<pos::PosTag>& tags,
+      common::StringInterner* interner) const;
 
   // True for verbs that link subject and complement ("be", "seem", "look",
   // "feel", "sound", "appear", "remain", "stay", "become", "get").
-  static bool IsCopula(const std::string& lemma);
+  static bool IsCopula(std::string_view lemma);
 };
 
 }  // namespace wf::parse

@@ -24,12 +24,7 @@ constexpr size_t kMaxTier = 16;
 constexpr uint64_t kTierBaseBytes = 4096;
 constexpr double kSizeTierFactor = 4.0;
 
-// Lowercases `text` into the reused scratch buffer `out` — the indexing
-// hot path used to allocate a fresh std::string per token here.
-void LowerInto(std::string_view text, std::string* out) {
-  out->clear();
-  for (char c : text) out->push_back(common::ToLowerAscii(c));
-}
+using ::wf::common::LowerInto;
 
 // Sorted-unique union of `add` into `acc` (both ascending).
 void MergePositions(const std::vector<uint32_t>& add,

@@ -12,7 +12,6 @@ using ::wf::common::EndsWith;
 using ::wf::common::IsAllUpper;
 using ::wf::common::IsCapitalized;
 using ::wf::common::Split;
-using ::wf::common::ToLower;
 using ::wf::text::Token;
 using ::wf::text::TokenKind;
 using ::wf::text::TokenStream;
@@ -24,7 +23,7 @@ bool HasTag(const std::vector<PosTag>& tags, PosTag t) {
   return false;
 }
 
-bool IsBeOrHaveAux(const std::string& lower) {
+bool IsBeOrHaveAux(std::string_view lower) {
   return lower == "is" || lower == "are" || lower == "was" ||
          lower == "were" || lower == "be" || lower == "been" ||
          lower == "being" || lower == "am" || lower == "has" ||
@@ -55,14 +54,14 @@ PosTagger::PosTagger() {
   }
 }
 
-const std::vector<PosTag>* PosTagger::Lookup(const std::string& lower) const {
+const std::vector<PosTag>* PosTagger::Lookup(std::string_view lower) const {
   auto it = lexicon_.find(lower);
   return it == lexicon_.end() ? nullptr : &it->second;
 }
 
-PosTag PosTagger::GuessUnknown(const Token& token,
+PosTag PosTagger::GuessUnknown(const Token& token, std::string_view lower,
                                bool sentence_initial) const {
-  const std::string& w = token.text;
+  std::string_view w = token.text;
   if (token.kind == TokenKind::kNumber) return PosTag::kCD;
   if (token.kind == TokenKind::kPunct) return PosTag::kPunct;
   if (token.kind == TokenKind::kSymbol) return PosTag::kSYM;
@@ -73,14 +72,8 @@ PosTag PosTagger::GuessUnknown(const Token& token,
   for (char c : w) {
     if (common::IsAsciiDigit(c)) has_digit = true;
   }
-  if (IsCapitalized(w) && !sentence_initial) {
-    return EndsWith(ToLower(w), "s") && w.size() > 3 && !has_digit
-               ? PosTag::kNNP  // treat trailing-s names as singular NNP
-               : PosTag::kNNP;
-  }
+  if (IsCapitalized(w) && !sentence_initial) return PosTag::kNNP;
   if (IsAllUpper(w) || has_digit) return PosTag::kNNP;
-
-  std::string lower = ToLower(w);
   // Derivational suffixes, checked longest-first.
   struct SuffixRule {
     const char* suffix;
@@ -123,6 +116,12 @@ PosTag PosTagger::GuessUnknown(const Token& token,
 std::vector<PosTag> PosTagger::TagSentence(
     const TokenStream& tokens, const text::SentenceSpan& span) const {
   std::vector<PosTag> tags(span.size(), PosTag::kUnknown);
+  // One lowercase pass and one lexicon probe per token: the context rules
+  // reuse both instead of re-deriving them (they used to re-lower and
+  // re-probe up to three times per token).
+  std::vector<TokenInfo> infos(span.size());
+  std::string lowers;
+  lowers.reserve(span.size() * 8);
   for (size_t i = span.begin_token; i < span.end_token; ++i) {
     const Token& tok = tokens[i];
     size_t rel = i - span.begin_token;
@@ -139,8 +138,13 @@ std::vector<PosTag> PosTagger::TagSentence(
       continue;
     }
     bool sentence_initial = (i == span.begin_token);
-    std::string lower = ToLower(tok.text);
+    infos[rel].lower_off = static_cast<uint32_t>(lowers.size());
+    infos[rel].lower_len = static_cast<uint32_t>(tok.text.size());
+    for (char c : tok.text) lowers.push_back(common::ToLowerAscii(c));
+    std::string_view lower = std::string_view(lowers).substr(
+        infos[rel].lower_off, infos[rel].lower_len);
     const std::vector<PosTag>* cands = Lookup(lower);
+    infos[rel].cands = cands;
     if (cands != nullptr) {
       // Capitalized mid-sentence word known only as open-class: prefer NNP
       // (e.g. "Flash" as a brand) — but keep closed-class words ("The" in
@@ -153,23 +157,23 @@ std::vector<PosTag> PosTagger::TagSentence(
       }
       continue;
     }
-    tags[rel] = GuessUnknown(tok, sentence_initial);
+    tags[rel] = GuessUnknown(tok, lower, sentence_initial);
   }
-  ApplyContextRules(tokens, span, tags);
+  ApplyContextRules(infos, lowers, tags);
   return tags;
 }
 
-void PosTagger::ApplyContextRules(const TokenStream& tokens,
-                                  const text::SentenceSpan& span,
+void PosTagger::ApplyContextRules(const std::vector<TokenInfo>& infos,
+                                  const std::string& lowers,
                                   std::vector<PosTag>& tags) const {
   const size_t n = tags.size();
   auto lower_at = [&](size_t rel) {
-    return ToLower(tokens[span.begin_token + rel].text);
+    return std::string_view(lowers).substr(infos[rel].lower_off,
+                                           infos[rel].lower_len);
   };
-  auto cands_at = [&](size_t rel) { return Lookup(lower_at(rel)); };
 
   for (size_t i = 0; i < n; ++i) {
-    const std::vector<PosTag>* cands = cands_at(i);
+    const std::vector<PosTag>* cands = infos[i].cands;
     PosTag prev = (i > 0) ? tags[i - 1] : PosTag::kUnknown;
     PosTag next = (i + 1 < n) ? tags[i + 1] : PosTag::kUnknown;
 

@@ -1,7 +1,7 @@
 #ifndef WF_POS_TAGGER_H_
 #define WF_POS_TAGGER_H_
 
-#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -34,18 +34,31 @@ class PosTagger {
                           const std::vector<text::SentenceSpan>& spans) const;
 
   // Candidate tags for a word form (lowercase), lexicon only; empty when
-  // the word is unknown.
-  const std::vector<PosTag>* Lookup(const std::string& lower) const;
+  // the word is unknown. Allocation-free.
+  const std::vector<PosTag>* Lookup(std::string_view lower) const;
 
   size_t lexicon_size() const { return lexicon_.size(); }
 
  private:
-  PosTag GuessUnknown(const text::Token& token, bool sentence_initial) const;
-  void ApplyContextRules(const text::TokenStream& tokens,
-                         const text::SentenceSpan& span,
+  // Per-token work the first pass already paid, reused by the context
+  // rules: lexicon candidates plus the lowercase form as a slice of one
+  // shared buffer (offset/length, not a view — the buffer reallocates
+  // while it grows).
+  struct TokenInfo {
+    const std::vector<PosTag>* cands = nullptr;
+    uint32_t lower_off = 0;
+    uint32_t lower_len = 0;
+  };
+
+  PosTag GuessUnknown(const text::Token& token, std::string_view lower,
+                      bool sentence_initial) const;
+  void ApplyContextRules(const std::vector<TokenInfo>& infos,
+                         const std::string& lowers,
                          std::vector<PosTag>& tags) const;
 
-  std::unordered_map<std::string, std::vector<PosTag>> lexicon_;
+  // Keys view the embedded lexicon's static storage, so lookups take any
+  // string_view without materializing a std::string.
+  std::unordered_map<std::string_view, std::vector<PosTag>> lexicon_;
 };
 
 }  // namespace wf::pos

@@ -42,6 +42,7 @@ const SynonymSet* Spotter::FindSet(int id) const {
 
 std::vector<SubjectSpot> Spotter::Spot(const text::TokenStream& tokens) const {
   std::vector<SubjectSpot> out;
+  std::string lower_buf;  // hoisted probe buffer; one per Spot call
   size_t i = 0;
   while (i < tokens.size()) {
     // Walk the trie from position i, remembering the longest terminal.
@@ -49,7 +50,8 @@ std::vector<SubjectSpot> Spotter::Spot(const text::TokenStream& tokens) const {
     size_t best_end = 0;
     int best_set = -1;
     for (size_t j = i; j < tokens.size(); ++j) {
-      auto it = trie_[node].next.find(ToLower(tokens[j].text));
+      auto it = trie_[node].next.find(
+          common::LowerInto(tokens[j].text, &lower_buf));
       if (it == trie_[node].next.end()) break;
       node = it->second;
       if (trie_[node].synset_id >= 0) {

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "text/token.h"
 
 namespace wf::spot {
@@ -51,8 +52,12 @@ class Spotter {
 
  private:
   struct TrieNode {
-    std::unordered_map<std::string, int> next;  // lowercase token -> node
-    int synset_id = -1;                         // terminal: matched set
+    // Lowercase token -> node. Transparent hash: Spot() probes with a
+    // reused lowercase buffer instead of a fresh std::string per token.
+    std::unordered_map<std::string, int, common::StringViewHash,
+                       std::equal_to<>>
+        next;
+    int synset_id = -1;  // terminal: matched set
   };
 
   void InsertPhrase(const std::string& phrase, int synset_id);

@@ -1,15 +1,42 @@
 #include "spot/tfidf.h"
 
+#include "common/string_util.h"
+
 namespace wf::spot {
 
 void CorpusStats::AddDocument(const std::vector<std::string>& lower_tokens) {
-  std::unordered_set<std::string> distinct(lower_tokens.begin(),
-                                           lower_tokens.end());
-  for (const std::string& t : distinct) ++df_[t];
+  std::unordered_set<std::string_view> distinct(lower_tokens.begin(),
+                                                lower_tokens.end());
+  for (std::string_view t : distinct) {
+    auto it = df_.find(t);
+    if (it != df_.end()) {
+      ++it->second;
+    } else {
+      df_.emplace(std::string(t), 1);
+    }
+  }
   ++num_docs_;
 }
 
-size_t CorpusStats::DocumentFrequency(const std::string& term) const {
+void CorpusStats::AddDocument(const text::TokenStream& tokens) {
+  // Distinct terms of this document, viewed into df_ keys — node-based map,
+  // so the key storage is stable across rehash.
+  std::unordered_set<std::string_view> distinct;
+  std::string lower_buf;
+  for (const text::Token& tok : tokens) {
+    std::string_view lower = common::LowerInto(tok.text, &lower_buf);
+    if (distinct.count(lower) > 0) continue;
+    auto it = df_.find(lower);
+    if (it == df_.end()) {
+      it = df_.emplace(std::string(lower), 0).first;
+    }
+    ++it->second;
+    distinct.insert(it->first);
+  }
+  ++num_docs_;
+}
+
+size_t CorpusStats::DocumentFrequency(std::string_view term) const {
   auto it = df_.find(term);
   return it == df_.end() ? 0 : it->second;
 }

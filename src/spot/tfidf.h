@@ -3,9 +3,13 @@
 
 #include <cmath>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
+
+#include "common/hash.h"
+#include "text/token.h"
 
 namespace wf::spot {
 
@@ -19,19 +23,26 @@ class CorpusStats {
   // distinct term counts once toward document frequency.
   void AddDocument(const std::vector<std::string>& lower_tokens);
 
+  // Token-stream form for the mining hot path: lowercases internally into a
+  // reused buffer and allocates only one owned string per *distinct* term,
+  // instead of materializing every token.
+  void AddDocument(const text::TokenStream& tokens);
+
   size_t document_count() const { return num_docs_; }
-  size_t DocumentFrequency(const std::string& term) const;
+  size_t DocumentFrequency(std::string_view term) const;
 
   // Smoothed inverse document frequency: log((N + 1) / (df + 1)) + 1.
   // Defined (and maximal) for unseen terms; never negative.
-  double Idf(const std::string& term) const {
+  double Idf(std::string_view term) const {
     double n = static_cast<double>(num_docs_);
     double df = static_cast<double>(DocumentFrequency(term));
     return std::log((n + 1.0) / (df + 1.0)) + 1.0;
   }
 
  private:
-  std::unordered_map<std::string, size_t> df_;
+  std::unordered_map<std::string, size_t, common::StringViewHash,
+                     std::equal_to<>>
+      df_;
   size_t num_docs_ = 0;
 };
 

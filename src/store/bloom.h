@@ -1,0 +1,78 @@
+#ifndef WF_STORE_BLOOM_H_
+#define WF_STORE_BLOOM_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace wf::store {
+
+// Blocked-free classic Bloom filter over segment keys. Sits in front of
+// every segment key probe: a merged LSM read walks segments newest-first,
+// and most segments do not hold the key, so a cheap definitely-absent
+// answer skips the binary search (and keeps the segment's key index out of
+// cache entirely).
+//
+// Deterministic by construction: double hashing over Fnv1a64/HashCombine
+// (both fixed across platforms), so two replicas that flushed the same
+// records build bit-identical filters. Sized at ~10 bits per key with
+// k = 6 probes (~0.8% false-positive rate). The filter is rebuilt from the
+// key index at SegmentReader::Open — it is derived state, never persisted,
+// so the on-disk `wfseg 1` format (and its byte-determinism contract) is
+// untouched.
+class BloomFilter {
+ public:
+  static constexpr size_t kBitsPerKey = 10;
+  static constexpr uint32_t kNumHashes = 6;
+
+  BloomFilter() = default;
+  explicit BloomFilter(size_t expected_keys) {
+    size_t bits = expected_keys * kBitsPerKey;
+    if (bits < 64) bits = 64;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  void Add(std::string_view key) {
+    if (words_.empty()) return;
+    uint64_t h1 = common::Fnv1a64(key);
+    // Odd step so the probe sequence cycles through all bit positions.
+    uint64_t h2 = common::HashCombine(h1, 0x9e3779b97f4a7c15ULL) | 1;
+    for (uint32_t i = 0; i < kNumHashes; ++i) {
+      SetBit((h1 + i * h2) % bit_count());
+    }
+  }
+
+  // False means definitely absent; true means "possibly present" (the
+  // caller still has to probe the key index). An unsized filter holds no
+  // keys and answers false for everything.
+  bool MayContain(std::string_view key) const {
+    if (words_.empty()) return false;
+    uint64_t h1 = common::Fnv1a64(key);
+    uint64_t h2 = common::HashCombine(h1, 0x9e3779b97f4a7c15ULL) | 1;
+    for (uint32_t i = 0; i < kNumHashes; ++i) {
+      if (!TestBit((h1 + i * h2) % bit_count())) return false;
+    }
+    return true;
+  }
+
+  size_t bit_count() const { return words_.size() * 64; }
+  bool empty() const { return words_.empty(); }
+
+  friend bool operator==(const BloomFilter& a, const BloomFilter& b) {
+    return a.words_ == b.words_;
+  }
+
+ private:
+  void SetBit(uint64_t i) { words_[i >> 6] |= (1ull << (i & 63)); }
+  bool TestBit(uint64_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace wf::store
+
+#endif  // WF_STORE_BLOOM_H_

@@ -32,6 +32,8 @@ void LsmTree::AttachMetrics(const obs::MetricsRegistry* metrics,
       metrics_->GetCounter(p + "/compaction_bytes_rewritten_total");
   m_.gets = metrics_->GetCounter(p + "/gets_total");
   m_.read_tiers = metrics_->GetCounter(p + "/read_tiers_total");
+  m_.bloom_hits = metrics_->GetCounter(p + "/bloom_hits_total");
+  m_.bloom_misses = metrics_->GetCounter(p + "/bloom_misses_total");
   m_.flush_us = metrics_->GetHistogram(
       p + "/flush_us", obs::DefaultLatencyBoundsUs(), /*timing=*/true);
   m_.compaction_us = metrics_->GetHistogram(
@@ -161,6 +163,7 @@ common::Status LsmTree::Update(
   } else {
     bool found = false;
     for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+      if (!BloomPassLocked(**it, key)) continue;
       const SegmentReader::Entry* entry = (*it)->Find(key);
       if (entry == nullptr) continue;
       if (entry->tombstone) {
@@ -196,6 +199,7 @@ common::Result<std::string> LsmTree::Get(std::string_view key) const {
   }
   for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
     ++tiers;
+    if (!BloomPassLocked(**it, key)) continue;
     const SegmentReader::Entry* entry = (*it)->Find(key);
     if (entry == nullptr) continue;
     if (m_.read_tiers != nullptr) m_.read_tiers->Add(tiers);
@@ -306,11 +310,22 @@ LsmTree::Presence LsmTree::PresenceLocked(std::string_view key,
   }
   for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
     ++*tiers_examined;
+    if (!BloomPassLocked(**it, key)) continue;
     const SegmentReader::Entry* entry = (*it)->Find(key);
     if (entry == nullptr) continue;
     return entry->tombstone ? Presence::kTombstoned : Presence::kLive;
   }
   return Presence::kAbsent;
+}
+
+bool LsmTree::BloomPassLocked(const SegmentReader& segment,
+                              std::string_view key) const {
+  if (!segment.MayContain(key)) {
+    if (m_.bloom_hits != nullptr) m_.bloom_hits->Add();
+    return false;
+  }
+  if (m_.bloom_misses != nullptr) m_.bloom_misses->Add();
+  return true;
 }
 
 common::Status LsmTree::MaybeFlushLocked() {
@@ -333,9 +348,14 @@ common::Status LsmTree::FlushLocked() {
   const uint64_t id = manifest_.next_segment_id;
   const std::string path = SegmentPathLocked(id);
   uint64_t bytes = 0;
-  WF_RETURN_IF_ERROR(WriteSegmentFile(path, records, injector_, &bytes));
+  BloomFilter bloom;
+  WF_RETURN_IF_ERROR(
+      WriteSegmentFile(path, records, injector_, &bytes, &bloom));
   WF_ASSIGN_OR_RETURN(std::unique_ptr<SegmentReader> reader,
                       SegmentReader::Open(path));
+  // The filter built at write time and the one rebuilt at open must agree,
+  // or reads through the reopened reader could skip a live key.
+  WF_CHECK(bloom == reader->bloom()) << "bloom mismatch after reopen";
   ManifestData next = manifest_;
   next.next_segment_id = id + 1;
   next.segments.push_back(SegmentMeta{id, records.size(), bytes});

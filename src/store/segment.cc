@@ -23,9 +23,13 @@ common::Status CorruptSegment(const std::string& path,
 common::Status WriteSegmentFile(const std::string& path,
                                 const std::vector<SegmentRecord>& records,
                                 common::StorageFaultInjector* injector,
-                                uint64_t* bytes_out) {
+                                uint64_t* bytes_out,
+                                BloomFilter* bloom_out) {
   std::string payload =
       common::StrFormat("wfseg 1 %zu\n", records.size());
+  // Built alongside the payload so the flush path gets its filter for free
+  // (the reopened reader rebuilds a bit-identical one from the key index).
+  BloomFilter bloom(records.size());
   std::string_view prev;
   for (size_t i = 0; i < records.size(); ++i) {
     const SegmentRecord& rec = records[i];
@@ -35,6 +39,7 @@ common::Status WriteSegmentFile(const std::string& path,
           std::string(rec.key) + "'");
     }
     prev = rec.key;
+    bloom.Add(rec.key);
     payload += common::StrFormat("r %zu %zu %d\n", rec.key.size(),
                                  rec.value.size(), rec.tombstone ? 1 : 0);
     payload.append(rec.key.data(), rec.key.size());
@@ -48,6 +53,7 @@ common::Status WriteSegmentFile(const std::string& path,
     uint64_t size = std::filesystem::file_size(path, ec);
     *bytes_out = ec ? payload.size() : size;
   }
+  if (bloom_out != nullptr) *bloom_out = std::move(bloom);
   return common::Status::Ok();
 }
 
@@ -127,6 +133,8 @@ common::Result<std::unique_ptr<SegmentReader>> SegmentReader::Open(
   if (pos != payload.size()) {
     return CorruptSegment(path, "trailing bytes after last record");
   }
+  reader->bloom_ = BloomFilter(reader->entries_.size());
+  for (const Entry& e : reader->entries_) reader->bloom_.Add(e.key);
   return reader;
 }
 

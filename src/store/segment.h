@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "store/bloom.h"
 
 namespace wf::common {
 class StorageFaultInjector;
@@ -41,11 +42,14 @@ struct SegmentRecord {
 
 // Writes `records` (already sorted by key, unique) as a segment file.
 // Returns the total file size (envelope + payload) through `bytes_out`
-// when non-null. InvalidArgument on unsorted or duplicate keys.
+// when non-null, and the key Bloom filter through `bloom_out` when
+// non-null (bit-identical to what SegmentReader::Open rebuilds).
+// InvalidArgument on unsorted or duplicate keys.
 common::Status WriteSegmentFile(const std::string& path,
                                 const std::vector<SegmentRecord>& records,
                                 common::StorageFaultInjector* injector,
-                                uint64_t* bytes_out);
+                                uint64_t* bytes_out,
+                                BloomFilter* bloom_out = nullptr);
 
 // Read handle over one segment file. Open() verifies the whole envelope
 // checksum once and keeps only the key index (key, offset, length,
@@ -71,6 +75,12 @@ class SegmentReader {
 
   // Sorted by key; one entry per record including tombstones.
   const std::vector<Entry>& entries() const { return entries_; }
+  // Bloom pre-check for Find(): false means no record (incl. tombstones)
+  // for `key` exists in this segment.
+  bool MayContain(std::string_view key) const {
+    return bloom_.MayContain(key);
+  }
+  const BloomFilter& bloom() const { return bloom_; }
   // Null when the segment has no record for `key` (a tombstone entry is
   // still returned — absence and deletion are different answers).
   const Entry* Find(std::string_view key) const;
@@ -85,6 +95,7 @@ class SegmentReader {
   std::string path_;
   uint64_t file_bytes_ = 0;
   std::vector<Entry> entries_;
+  BloomFilter bloom_;
   // One stream reused across lazy value reads; opened on first use.
   mutable std::ifstream in_;
 };

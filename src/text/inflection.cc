@@ -1,6 +1,7 @@
 #include "text/inflection.h"
 
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/string_util.h"
 
@@ -8,9 +9,16 @@ namespace wf::text {
 namespace {
 
 using ::wf::common::EndsWith;
+using ::wf::common::ToLowerAscii;
 
-const std::unordered_map<std::string, std::string>& IrregularNouns() {
-  static const auto* kMap = new std::unordered_map<std::string, std::string>{
+// All tables key and value by string_view over static literals: lookups
+// never allocate and table hits are stable storage, so the interner-based
+// helpers can return them without copying.
+using ViewMap = std::unordered_map<std::string_view, std::string_view>;
+using ViewSet = std::unordered_set<std::string_view>;
+
+const ViewMap& IrregularNouns() {
+  static const auto* kMap = new ViewMap{
       {"men", "man"},         {"women", "woman"},     {"children", "child"},
       {"feet", "foot"},       {"teeth", "tooth"},     {"mice", "mouse"},
       {"geese", "goose"},     {"people", "person"},   {"lenses", "lens"},
@@ -25,18 +33,15 @@ const std::unordered_map<std::string, std::string>& IrregularNouns() {
 // Words that look plural but are not ("lens", "series", ...), so the -s
 // stripping rules must leave them alone.
 bool IsPluralLookingSingular(std::string_view w) {
-  static const auto* kSet = new std::unordered_map<std::string, bool>{
-      {"lens", true},   {"series", true}, {"species", true},
-      {"news", true},   {"bus", true},    {"gas", true},
-      {"class", true},  {"glass", true},  {"pros", true},
-      {"cons", true},   {"chaos", true},  {"basis", true},
-      {"analysis", true},
+  static const auto* kSet = new ViewSet{
+      "lens",  "series", "species", "news",  "bus",   "gas",   "class",
+      "glass", "pros",   "cons",    "chaos", "basis", "analysis",
   };
-  return kSet->count(std::string(w)) > 0;
+  return kSet->count(w) > 0;
 }
 
-const std::unordered_map<std::string, std::string>& IrregularVerbs() {
-  static const auto* kMap = new std::unordered_map<std::string, std::string>{
+const ViewMap& IrregularVerbs() {
+  static const auto* kMap = new ViewMap{
       {"is", "be"},        {"am", "be"},       {"are", "be"},
       {"was", "be"},       {"were", "be"},     {"been", "be"},
       {"being", "be"},     {"'s", "be"},       {"'re", "be"},
@@ -81,60 +86,66 @@ bool IsVowel(char c) {
   return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
 }
 
+// Core rule engines. Each returns a view of the input (no rule applied), of
+// static storage (irregular table hit), or of *scratch (a derived form was
+// built). `scratch` is cleared on entry, so a non-empty scratch on return
+// means exactly "the result is in scratch".
+
+// Builds "<stem><suffix>" into scratch.
+std::string_view Derive(std::string_view stem, std::string_view suffix,
+                        std::string* scratch) {
+  scratch->assign(stem);
+  scratch->append(suffix);
+  return *scratch;
+}
+
 // Words ending in -e that drop it before -ing/-ed are restored by this
 // heuristic: restore 'e' when the stem ends consonant+consonant that usually
 // requires it (e.g. "impress+ed" vs "improve+d"). We approximate with a
 // small rule set validated by the tagger tests.
-std::string StripVerbSuffix(std::string_view w) {
-  // `word` exists only for the exact-match tables; every slice below cuts
-  // the string_view and materializes once at the return.
-  std::string word(w);
+std::string_view StripVerbSuffix(std::string_view w, std::string* scratch) {
   auto ends = [&](std::string_view s) { return EndsWith(w, s); };
 
   // Base forms that merely *look* inflected must pass through: -eed verbs
   // ("need", "exceed", "succeed"), -ing-final bases ("bring", "spring"),
   // and -ed-final bases ("shed", "embed").
-  if (ends("eed")) return word;
-  static const auto* kIngBases = new std::unordered_map<std::string, bool>{
-      {"bring", true},  {"spring", true}, {"string", true},
-      {"swing", true},  {"sting", true},  {"cling", true},
-      {"fling", true},  {"sling", true},  {"wring", true},
-      {"sing", true},   {"ring", true},   {"king", true},
-      {"thing", true},  {"wing", true},   {"evening", true},
-      {"morning", true}, {"nothing", true}, {"something", true},
-      {"everything", true}, {"anything", true},
+  if (ends("eed")) return w;
+  static const auto* kIngBases = new ViewSet{
+      "bring",   "spring",  "string",  "swing",      "sting",
+      "cling",   "fling",   "sling",   "wring",      "sing",
+      "ring",    "king",    "thing",   "wing",       "evening",
+      "morning", "nothing", "something", "everything", "anything",
   };
-  if (kIngBases->count(word) > 0) return word;
-  static const auto* kEdBases = new std::unordered_map<std::string, bool>{
-      {"shed", true}, {"embed", true}, {"wed", true}, {"sled", true},
-      {"shred", true},
+  if (kIngBases->count(w) > 0) return w;
+  static const auto* kEdBases = new ViewSet{
+      "shed", "embed", "wed", "sled", "shred",
   };
-  if (kEdBases->count(word) > 0) return word;
+  if (kEdBases->count(w) > 0) return w;
 
   if (ends("ies") && w.size() > 4) {
     // "carries" -> "carry"
-    return std::string(w.substr(0, w.size() - 3)) + "y";
+    return Derive(w.substr(0, w.size() - 3), "y", scratch);
   }
   if (ends("ied") && w.size() > 4) {
     // "satisfied" -> "satisfy"
-    return std::string(w.substr(0, w.size() - 3)) + "y";
+    return Derive(w.substr(0, w.size() - 3), "y", scratch);
   }
   if ((ends("ches") || ends("shes") || ends("sses") || ends("xes") ||
        ends("zes")) &&
       w.size() > 4) {
     // "watches" -> "watch", "passes" -> "pass"
-    return std::string(w.substr(0, w.size() - 2));
+    return w.substr(0, w.size() - 2);
   }
   if (ends("es") && w.size() > 3 && w[w.size() - 3] == 'o') {
     // "goes" handled as irregular; "echoes" -> "echo"
-    return std::string(w.substr(0, w.size() - 2));
+    return w.substr(0, w.size() - 2);
   }
   if (ends("s") && !ends("ss") && !ends("us") && !ends("is") &&
       w.size() > 2) {
-    return std::string(w.substr(0, w.size() - 1));
+    return w.substr(0, w.size() - 1);
   }
 
-  auto strip_ed_ing = [&](size_t suffix_len) -> std::string {
+  auto strip_ed_ing = [&](size_t suffix_len) -> std::string_view {
     std::string_view stem = w.substr(0, w.size() - suffix_len);
     if (stem.size() >= 2) {
       char last = stem[stem.size() - 1];
@@ -144,9 +155,9 @@ std::string StripVerbSuffix(std::string_view w) {
       // "fill") keep it and take no restored 'e'.
       if (last == prev && !IsVowel(last)) {
         if (last != 'l' && last != 's' && stem.size() >= 3) {
-          return std::string(stem.substr(0, stem.size() - 1));
+          return stem.substr(0, stem.size() - 1);
         }
-        return std::string(stem);
+        return stem;
       }
       // Silent-e restoration: "loved" -> "love", "amazing" -> "amaze".
       // Applies when the stem ends with consonant preceded by vowel and the
@@ -156,7 +167,7 @@ std::string StripVerbSuffix(std::string_view w) {
       if (!IsVowel(last)) {
         if (last == 'v' || last == 'z' || last == 'c' || last == 'g' ||
             last == 's' || last == 'u') {
-          return std::string(stem) + "e";
+          return Derive(stem, "e", scratch);
         }
         static const char* kERestore[] = {"at", "it", "ot", "ut", "ik",
                                           "ok", "ir", "ar", "or", "ur",
@@ -164,100 +175,158 @@ std::string StripVerbSuffix(std::string_view w) {
         if (stem.size() >= 2) {
           std::string_view tail = stem.substr(stem.size() - 2);
           for (const char* t : kERestore) {
-            if (tail == t && stem.size() > 3) return std::string(stem) + "e";
+            if (tail == t && stem.size() > 3) return Derive(stem, "e", scratch);
           }
         }
       }
     }
-    return std::string(stem);
+    return stem;
   };
 
   if (ends("ing") && w.size() > 4) return strip_ed_ing(3);
   if (ends("ed") && w.size() > 3) return strip_ed_ing(2);
-  return word;
+  return w;
 }
 
-}  // namespace
-
-std::string SingularizeNoun(std::string_view word) {
-  std::string w(word);  // exact-match tables only; slices cut the view
-  auto it = IrregularNouns().find(w);
+std::string_view SingularizeNounCore(std::string_view word,
+                                     std::string* scratch) {
+  scratch->clear();
+  auto it = IrregularNouns().find(word);
   if (it != IrregularNouns().end()) return it->second;
-  if (IsPluralLookingSingular(word)) return w;
+  if (IsPluralLookingSingular(word)) return word;
   if (EndsWith(word, "ies") && word.size() > 4) {
-    return std::string(word.substr(0, word.size() - 3)) + "y";
+    return Derive(word.substr(0, word.size() - 3), "y", scratch);
   }
   if ((EndsWith(word, "ches") || EndsWith(word, "shes") ||
        EndsWith(word, "sses") || EndsWith(word, "xes") ||
        EndsWith(word, "zes")) &&
       word.size() > 4) {
-    return std::string(word.substr(0, word.size() - 2));
+    return word.substr(0, word.size() - 2);
   }
   if (EndsWith(word, "oes") && word.size() > 4) {
-    return std::string(word.substr(0, word.size() - 2));
+    return word.substr(0, word.size() - 2);
   }
   if (EndsWith(word, "s") && !EndsWith(word, "ss") && !EndsWith(word, "us") &&
       !EndsWith(word, "is") && word.size() > 2) {
-    return std::string(word.substr(0, word.size() - 1));
+    return word.substr(0, word.size() - 1);
   }
-  return w;
+  return word;
 }
 
-std::string VerbLemma(std::string_view word) {
-  std::string w(word);
-  auto it = IrregularVerbs().find(w);
+std::string_view VerbLemmaCore(std::string_view word, std::string* scratch) {
+  scratch->clear();
+  auto it = IrregularVerbs().find(word);
   if (it != IrregularVerbs().end()) return it->second;
-  return StripVerbSuffix(w);
+  return StripVerbSuffix(word, scratch);
 }
 
-std::string AdjectiveBase(std::string_view word) {
-  std::string w(word);  // exact-match table only; slices cut the view
-  static const auto* kIrregular =
-      new std::unordered_map<std::string, std::string>{
-          {"better", "good"}, {"best", "good"},  {"worse", "bad"},
-          {"worst", "bad"},   {"less", "little"}, {"least", "little"},
-          {"more", "much"},   {"most", "much"},   {"further", "far"},
-      };
-  auto it = kIrregular->find(w);
+std::string_view AdjectiveBaseCore(std::string_view word,
+                                   std::string* scratch) {
+  scratch->clear();
+  static const auto* kIrregular = new ViewMap{
+      {"better", "good"}, {"best", "good"},   {"worse", "bad"},
+      {"worst", "bad"},   {"less", "little"}, {"least", "little"},
+      {"more", "much"},   {"most", "much"},   {"further", "far"},
+  };
+  auto it = kIrregular->find(word);
   if (it != kIrregular->end()) return it->second;
 
-  auto strip = [&](size_t n) -> std::string {
+  auto strip = [&](size_t n) -> std::string_view {
     std::string_view stem = word.substr(0, word.size() - n);
     if (stem.size() >= 2) {
       char last = stem[stem.size() - 1];
       char prev = stem[stem.size() - 2];
       if (last == prev && !IsVowel(last)) {
-        return std::string(stem.substr(0, stem.size() - 1));  // bigger -> big
+        return stem.substr(0, stem.size() - 1);  // bigger -> big
       }
       if (last == 'i') {
         // happier -> happy
-        return std::string(stem.substr(0, stem.size() - 1)) + "y";
+        return Derive(stem.substr(0, stem.size() - 1), "y", scratch);
       }
       // nicer -> nice: restore e when the stem ends in a consonant that
       // would otherwise leave an un-word ("nic").
       if (!IsVowel(last) && (last == 'c' || last == 'g' || last == 'v' ||
                              last == 's' || last == 'z')) {
-        return std::string(stem) + "e";
+        return Derive(stem, "e", scratch);
       }
     }
-    return std::string(stem);
+    return stem;
   };
 
   if (EndsWith(word, "est") && word.size() > 4) return strip(3);
   if (EndsWith(word, "er") && word.size() > 3) return strip(2);
-  return w;
+  return word;
+}
+
+// Interner adapter: derived forms (living in `scratch`) are interned into
+// the arena; views of the input or of static tables pass through untouched.
+std::string_view InternIfDerived(std::string_view result,
+                                 const std::string& scratch,
+                                 common::StringInterner* interner) {
+  if (!scratch.empty() && result.data() == scratch.data()) {
+    return interner->Intern(result);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::string SingularizeNoun(std::string_view word) {
+  std::string scratch;
+  return std::string(SingularizeNounCore(word, &scratch));
+}
+
+std::string_view SingularizeNoun(std::string_view word, std::string* scratch) {
+  return SingularizeNounCore(word, scratch);
+}
+
+std::string_view SingularizeNoun(std::string_view word,
+                                 common::StringInterner* interner) {
+  std::string scratch;
+  return InternIfDerived(SingularizeNounCore(word, &scratch), scratch,
+                         interner);
+}
+
+std::string VerbLemma(std::string_view word) {
+  std::string scratch;
+  return std::string(VerbLemmaCore(word, &scratch));
+}
+
+std::string_view VerbLemma(std::string_view word, std::string* scratch) {
+  return VerbLemmaCore(word, scratch);
+}
+
+std::string_view VerbLemma(std::string_view word,
+                           common::StringInterner* interner) {
+  std::string scratch;
+  return InternIfDerived(VerbLemmaCore(word, &scratch), scratch, interner);
+}
+
+std::string AdjectiveBase(std::string_view word) {
+  std::string scratch;
+  return std::string(AdjectiveBaseCore(word, &scratch));
+}
+
+std::string_view AdjectiveBase(std::string_view word, std::string* scratch) {
+  return AdjectiveBaseCore(word, scratch);
+}
+
+std::string_view AdjectiveBase(std::string_view word,
+                               common::StringInterner* interner) {
+  std::string scratch;
+  return InternIfDerived(AdjectiveBaseCore(word, &scratch), scratch, interner);
 }
 
 bool IsNegationWord(std::string_view word) {
-  static const auto* kSet = new std::unordered_map<std::string, bool>{
-      {"not", true},    {"n't", true},    {"no", true},
-      {"never", true},  {"hardly", true}, {"seldom", true},
-      {"rarely", true}, {"barely", true}, {"scarcely", true},
-      {"little", true}, {"neither", true}, {"nor", true},
-      {"without", true},
+  static const auto* kSet = new ViewSet{
+      "not",    "n't",    "no",       "never",  "hardly",
+      "seldom", "rarely", "barely",   "scarcely", "little",
+      "neither", "nor",   "without",
   };
-  std::string w = common::ToLower(word);
-  return kSet->count(w) > 0;
+  char buf[16];
+  if (word.size() > sizeof(buf)) return false;  // longer than any entry
+  for (size_t i = 0; i < word.size(); ++i) buf[i] = ToLowerAscii(word[i]);
+  return kSet->count(std::string_view(buf, word.size())) > 0;
 }
 
 }  // namespace wf::text

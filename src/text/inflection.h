@@ -4,28 +4,52 @@
 #include <string>
 #include <string_view>
 
+#include "common/arena.h"
+
 namespace wf::text {
 
 // English morphology used throughout the NLP stack: lexicon lookup,
 // predicate-lemma matching for the sentiment pattern database, and the POS
 // tagger's suffix guesser. All functions expect lowercase ASCII input and
 // return the input unchanged when no rule applies.
+//
+// Three forms of each helper:
+//   - the std::string form materializes the result (convenient for
+//     offline/eval code);
+//   - the scratch form returns a view of the input (no rule applied), of
+//     static storage (irregular table hit), or of *scratch (derived form
+//     built in the caller-hoisted buffer) — valid until scratch is next
+//     modified. SSO makes typical words allocation-free;
+//   - the interner form additionally interns derived forms into an arena,
+//     yielding a view that outlives the scratch buffer.
+// Both view forms require the *input* view to be stable for as long as the
+// result is used whenever no rule applies (interned token surfaces and
+// arena-backed lowercase forms qualify).
 
 // "batteries" -> "battery", "lenses" -> "lens", "children" -> "child".
 std::string SingularizeNoun(std::string_view word);
+std::string_view SingularizeNoun(std::string_view word, std::string* scratch);
+std::string_view SingularizeNoun(std::string_view word,
+                                 common::StringInterner* interner);
 
 // Base (dictionary) form of a verb: "takes"/"took"/"taking"/"taken" ->
 // "take", "is"/"was"/"are" -> "be". Handles the common irregulars plus
 // regular -s/-es/-ed/-ing with consonant doubling and silent-e restoration.
 std::string VerbLemma(std::string_view word);
+std::string_view VerbLemma(std::string_view word, std::string* scratch);
+std::string_view VerbLemma(std::string_view word,
+                           common::StringInterner* interner);
 
 // "bigger"/"biggest" -> "big", "happier" -> "happy". Returns input for
 // non-comparative forms.
 std::string AdjectiveBase(std::string_view word);
+std::string_view AdjectiveBase(std::string_view word, std::string* scratch);
+std::string_view AdjectiveBase(std::string_view word,
+                               common::StringInterner* interner);
 
 // True for "not", "n't", "no", "never", "hardly", "seldom", "rarely",
 // "barely", "scarcely", "little" — the negative adverbs §4.2 lists as
-// reversing phrase polarity.
+// reversing phrase polarity. Case-insensitive, allocation-free.
 bool IsNegationWord(std::string_view word);
 
 }  // namespace wf::text

@@ -2,7 +2,8 @@
 #define WF_TEXT_TOKEN_H_
 
 #include <cstddef>
-#include <string>
+#include <cstdint>
+#include <string_view>
 #include <vector>
 
 namespace wf::text {
@@ -16,11 +17,14 @@ enum class TokenKind : uint8_t {
 
 // One token of the input text. Offsets are byte offsets into the original
 // document, so every annotation downstream can be mapped back to the source
-// (end is exclusive). `text` is the surface form, possibly differing from
-// the source slice only for clitics split per Penn Treebank conventions
-// (e.g. "don't" -> "do" + "n't").
+// (end is exclusive). `text` is a zero-copy view of the surface form,
+// slicing the tokenized input: even clitics split per Penn Treebank
+// conventions ("don't" -> "do" + "n't") split at a source byte boundary, so
+// both halves remain exact slices. Tokens are therefore only valid while
+// the tokenized buffer lives — LinguisticAnalysis roots that buffer in its
+// arena (DESIGN.md §15); transient callers keep the input in scope.
 struct Token {
-  std::string text;
+  std::string_view text;
   size_t begin = 0;
   size_t end = 0;
   TokenKind kind = TokenKind::kWord;

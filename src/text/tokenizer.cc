@@ -76,8 +76,8 @@ TokenStream Tokenizer::Tokenize(std::string_view input) const {
           break;
         }
       }
-      out.push_back(Token{std::string(input.substr(start, i - start)), start,
-                          i, TokenKind::kNumber});
+      out.push_back(
+          Token{input.substr(start, i - start), start, i, TokenKind::kNumber});
       continue;
     }
 
@@ -114,31 +114,27 @@ TokenStream Tokenizer::Tokenize(std::string_view input) const {
           i = j;
         }
       }
-      std::string surface(input.substr(start, end - start));
-      // Clitic splitting ("don't" -> "do" + "n't").
-      if (options_.split_clitics && surface.find('\'') != std::string::npos) {
+      std::string_view surface = input.substr(start, end - start);
+      // Clitic splitting ("don't" -> "do" + "n't"): the split point is a
+      // source byte boundary, so both halves stay zero-copy slices.
+      if (options_.split_clitics &&
+          surface.find('\'') != std::string_view::npos) {
         for (std::string_view clitic : kClitics) {
           if (surface.size() > clitic.size() &&
-              EqualsIgnoreCase(
-                  std::string_view(surface).substr(surface.size() -
-                                                   clitic.size()),
-                  clitic)) {
+              EqualsIgnoreCase(surface.substr(surface.size() - clitic.size()),
+                               clitic)) {
             size_t split = surface.size() - clitic.size();
-            // Slice the tail off first, then shrink `surface` in place and
-            // move it: one allocation instead of three.
-            std::string tail(std::string_view(surface).substr(split));
-            surface.resize(split);
-            out.push_back(Token{std::move(surface), start, start + split,
+            out.push_back(Token{surface.substr(0, split), start, start + split,
                                 TokenKind::kWord});
-            out.push_back(
-                Token{std::move(tail), start + split, end, TokenKind::kWord});
-            surface.clear();
+            out.push_back(Token{surface.substr(split), start + split, end,
+                                TokenKind::kWord});
+            surface = std::string_view();
             break;
           }
         }
       }
       if (!surface.empty()) {
-        out.push_back(Token{std::move(surface), start, end, TokenKind::kWord});
+        out.push_back(Token{surface, start, end, TokenKind::kWord});
       }
       continue;
     }
@@ -174,8 +170,7 @@ TokenStream Tokenizer::Tokenize(std::string_view input) const {
         kind = TokenKind::kSymbol;
         break;
     }
-    out.push_back(Token{std::string(input.substr(start, i - start)), start, i,
-                        kind});
+    out.push_back(Token{input.substr(start, i - start), start, i, kind});
   }
   return out;
 }

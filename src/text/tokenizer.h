@@ -25,6 +25,11 @@ struct TokenizerOptions {
 //   - abbreviations from a built-in list keep their period
 // Offsets in the returned tokens always cover the source slice the token
 // came from, so downstream spans map back to the document.
+//
+// Zero-copy: every returned Token::text is a view into `input` — the
+// tokenizer allocates nothing per token. The caller must keep the input
+// bytes alive for as long as it reads the tokens (LinguisticAnalysis does
+// this by copying the body into its arena before tokenizing).
 class Tokenizer {
  public:
   Tokenizer() : Tokenizer(TokenizerOptions{}) {}

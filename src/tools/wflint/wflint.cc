@@ -1388,7 +1388,9 @@ const std::vector<RuleInfo>& Rules() {
        "§10)"},
       {"hot-path-alloc",
        "allocation-heavy pattern (by-value std::string param, allocating "
-       "substr, unreserved per-element push_back) in src/{text,pos,parse}"},
+       "substr, unreserved per-element push_back) in src/{text,pos,parse}, "
+       "plus std::string construction inside token loops in "
+       "src/{parse,core}"},
       {"serving-unbounded-wait",
        "blocking wait, sleep, or deadline-less bus call in src/serve (the "
        "overload path must shed, never hang)"},
@@ -1685,7 +1687,106 @@ void CheckUnorderedSerialization(const FileModel& fm,
   }
 }
 
+// Flags std::string construction (declarations and temporaries) inside a
+// loop whose header mentions tokens: the analysis front half runs one such
+// loop per sentence, so a per-token allocation multiplies across the whole
+// corpus. The sanctioned fixes are a hoisted buffer (declared before the
+// loop), interned string_views, or LowerInto.
+void CheckTokenLoopStrings(const FunctionModel& fn, const FileModel& fm,
+                           std::vector<Violation>* out) {
+  static const std::regex kStrDeclRe(
+      R"(std\s*::\s*string\s+([A-Za-z_]\w*))");
+  static const std::regex kStrTempRe(R"(std\s*::\s*string\s*\()");
+  const std::string& body = fn.body;
+  std::set<std::string> flagged;
+  size_t p = 0;
+  for (;;) {
+    // Next for/while keyword with word boundaries.
+    size_t loop = std::string::npos;
+    for (const char* kw : {"for", "while"}) {
+      size_t q = p;
+      while ((q = body.find(kw, q)) != std::string::npos) {
+        bool lb = q == 0 || !IsIdentChar(body[q - 1]);
+        size_t e = q + std::strlen(kw);
+        bool rb = e >= body.size() || !IsIdentChar(body[e]);
+        if (lb && rb) break;
+        q = e;
+      }
+      if (q != std::string::npos) loop = std::min(loop, q);
+    }
+    if (loop == std::string::npos) return;
+    size_t open = body.find('(', loop);
+    if (open == std::string::npos) return;
+    int depth = 0;
+    size_t close = open;
+    while (close < body.size()) {
+      if (body[close] == '(') ++depth;
+      if (body[close] == ')' && --depth == 0) break;
+      ++close;
+    }
+    if (close >= body.size()) return;
+    p = close + 1;
+    const std::string header = body.substr(open, close - open + 1);
+    if (header.find("token") == std::string::npos &&
+        header.find("Token") == std::string::npos) {
+      continue;
+    }
+    size_t lb = close + 1;
+    while (lb < body.size() && std::isspace(static_cast<unsigned char>(
+                                   body[lb]))) {
+      ++lb;
+    }
+    if (lb >= body.size() || body[lb] != '{') continue;  // braceless stmt
+    depth = 0;
+    size_t rb = lb;
+    while (rb < body.size()) {
+      if (body[rb] == '{') ++depth;
+      if (body[rb] == '}' && --depth == 0) break;
+      ++rb;
+    }
+    if (rb >= body.size()) return;
+    const std::string inner = body.substr(lb, rb - lb);
+    // Declarations: `std::string x` (the \s+ rejects `std::string&`,
+    // `std::string*` and template arguments like vector<std::string>).
+    auto db = std::sregex_iterator(inner.begin(), inner.end(), kStrDeclRe);
+    for (auto it = db; it != std::sregex_iterator(); ++it) {
+      const std::string var = (*it)[1].str();
+      if (!flagged.insert(var).second) continue;
+      out->push_back(
+          {fm.file.path,
+           LineOfOffset(fn.body_start_line, body,
+                        lb + static_cast<size_t>(it->position(0))),
+           "hot-path-alloc",
+           "std::string '" + var + "' constructed inside a token loop in " +
+               fn.name +
+               "; hoist the buffer above the loop or intern the view "
+               "(ROADMAP item 2)"});
+    }
+    // Temporaries: `std::string(...)` allocates every iteration too.
+    auto tb = std::sregex_iterator(inner.begin(), inner.end(), kStrTempRe);
+    for (auto it = tb; it != std::sregex_iterator(); ++it) {
+      if (!flagged.insert("<temporary>").second) continue;
+      out->push_back(
+          {fm.file.path,
+           LineOfOffset(fn.body_start_line, body,
+                        lb + static_cast<size_t>(it->position(0))),
+           "hot-path-alloc",
+           "std::string temporary constructed inside a token loop in " +
+               fn.name +
+               "; hoist the buffer above the loop or intern the view "
+               "(ROADMAP item 2)"});
+    }
+  }
+}
+
 void CheckHotPathAlloc(const FileModel& fm, std::vector<Violation>* out) {
+  // Token-loop std::string construction also covers the parse/core back
+  // half: MineContext consumers iterate the same token streams.
+  if (fm.layer == "parse" || fm.layer == "core") {
+    for (const FunctionModel& fn : fm.functions) {
+      CheckTokenLoopStrings(fn, fm, out);
+    }
+  }
   if (fm.layer != "text" && fm.layer != "pos" && fm.layer != "parse") return;
   static const std::regex kByValRe(
       R"([(,]\s*(?:const\s+)?std\s*::\s*string\s+([A-Za-z_]\w*)\s*[,)=])");

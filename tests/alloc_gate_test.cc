@@ -1,0 +1,156 @@
+// Allocation-count regression gate (ISSUE 10, CI/tooling satellite): a
+// counting global operator new measures how many heap allocations one
+// analyzed document costs, and the test fails if the per-document budget
+// regresses above the recorded ceiling. The arena/interner refactor bought
+// these numbers; this gate keeps them.
+//
+// Not meaningful under sanitizers (interceptors replace operator new), so
+// tests/CMakeLists.txt registers this binary only in plain builds.
+//
+// wflint: allow(raw-delete) — the flagged lines are the replaceable global
+// `operator delete` DEFINITIONS the counting allocator must provide, not
+// raw delete-expressions.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "corpus/datasets.h"
+#include "gtest/gtest.h"
+#include "lexicon/pattern_db.h"
+#include "lexicon/sentiment_lexicon.h"
+#include "platform/data_store.h"
+#include "platform/entity.h"
+#include "platform/miner_framework.h"
+#include "platform/sentiment_miner_plugin.h"
+
+// This TU replaces operator new with a malloc-backed counting allocator;
+// GCC's inliner then sees malloc'd pointers reach the (replaced,
+// free-backed) delete and flags a mismatch that is not one.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+
+std::atomic<uint64_t> g_new_calls{0};
+
+}  // namespace
+
+// Counting allocator: every path through the replaceable global news lands
+// here. Counting is relaxed — the gate runs single-threaded.
+void* operator new(std::size_t size) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   ((size + static_cast<std::size_t>(align) -
+                                     1) /
+                                    static_cast<std::size_t>(align)) *
+                                       static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace wf {
+namespace {
+
+// Recorded ceilings, measured on this tree after the arena/interner
+// refactor (117 analyze / 193 mining allocations per petroleum-corpus
+// document). The pre-arena tree measured 84/doc on the same corpus —
+// small-string optimization absorbed most per-token strings — so the
+// gate's job is not to celebrate a drop but to keep the count *bounded*:
+// any change that puts a non-SSO allocation in a token loop (long
+// surface forms, lemma copies, join buffers) multiplies the count by
+// tokens-per-document and trips the ceiling immediately, where SSO would
+// have hidden it from a timing bench until the corpus changed.
+constexpr uint64_t kAnalyzeAllocsPerDocCeiling = 160;
+constexpr uint64_t kMineAllocsPerDocCeiling = 280;
+
+uint64_t CountAllocs(const std::function<void()>& fn) {
+  const uint64_t before = g_new_calls.load(std::memory_order_relaxed);
+  fn();
+  return g_new_calls.load(std::memory_order_relaxed) - before;
+}
+
+TEST(AllocGateTest, AnalysisFrontHalfStaysUnderBudget) {
+  corpus::WebDataset petro = corpus::BuildPetroleumWebDataset(9001);
+  ASSERT_FALSE(petro.docs.empty());
+  // Warm up lazily-initialized embedded resources so they are not billed
+  // to the first document.
+  (void)core::AnalyzeDocument(petro.docs.front().body);
+  const uint64_t total = CountAllocs([&petro] {
+    for (const corpus::GeneratedDoc& d : petro.docs) {
+      std::shared_ptr<const core::LinguisticAnalysis> analysis =
+          core::AnalyzeDocument(d.body);
+      ASSERT_FALSE(analysis->tokens.empty());
+    }
+  });
+  const uint64_t per_doc = total / petro.docs.size();
+  std::printf("analyze allocs/doc: %llu (ceiling %llu)\n",
+              static_cast<unsigned long long>(per_doc),
+              static_cast<unsigned long long>(kAnalyzeAllocsPerDocCeiling));
+  EXPECT_LE(per_doc, kAnalyzeAllocsPerDocCeiling)
+      << "per-document allocation budget regressed; if the growth is "
+         "intentional, re-measure and update the recorded ceiling";
+}
+
+TEST(AllocGateTest, FullMiningSweepStaysUnderBudget) {
+  corpus::WebDataset petro = corpus::BuildPetroleumWebDataset(9001);
+  platform::DataStore store;
+  for (const corpus::GeneratedDoc& d : petro.docs) {
+    platform::Entity e(d.id, "crawl");
+    e.SetBody(d.body);
+    ASSERT_TRUE(store.Put(std::move(e)).ok());
+  }
+  static const lexicon::SentimentLexicon* const lexicon =
+      new lexicon::SentimentLexicon(lexicon::SentimentLexicon::Embedded());
+  static const lexicon::PatternDatabase* const patterns =
+      new lexicon::PatternDatabase(lexicon::PatternDatabase::Embedded());
+  platform::MinerPipeline pipeline;
+  pipeline.AddMiner(std::make_unique<platform::SentenceBoundaryMiner>());
+  pipeline.AddMiner(std::make_unique<platform::TokenStatsMiner>());
+  pipeline.AddMiner(std::make_unique<platform::AdHocSentimentMinerPlugin>(
+      lexicon, patterns));
+  const uint64_t total =
+      CountAllocs([&pipeline, &store] { pipeline.ProcessStore(store); });
+  const uint64_t per_doc = total / store.size();
+  std::printf("mining allocs/doc: %llu (ceiling %llu)\n",
+              static_cast<unsigned long long>(per_doc),
+              static_cast<unsigned long long>(kMineAllocsPerDocCeiling));
+  EXPECT_LE(per_doc, kMineAllocsPerDocCeiling)
+      << "per-document mining allocation budget regressed; if the growth "
+         "is intentional, re-measure and update the recorded ceiling";
+}
+
+}  // namespace
+}  // namespace wf

@@ -21,7 +21,10 @@ class CollocationTest : public ::testing::Test {
     pos::PosTagger tagger;
     std::vector<pos::PosTag> tags = tagger.TagSentence(tokens, spans[0]);
     parse::SentenceAnalyzer analyzer;
-    parse::SentenceParse parse = analyzer.Analyze(tokens, spans[0], tags);
+    common::Arena arena;
+    common::StringInterner interner(&arena);
+    parse::SentenceParse parse =
+        analyzer.Analyze(tokens, spans[0], tags, &interner);
 
     text::TokenStream subj = tokenizer.Tokenize(subject);
     size_t begin = 0, end = 0;

@@ -195,7 +195,7 @@ TEST_F(MinerTest, DisambiguatorFiltersOffTopicSpots) {
   miner.AddTopicTerms(topic);
 
   spot::CorpusStats stats;
-  stats.AddDocument({"background", "words"});
+  stats.AddDocument(std::vector<std::string>{"background", "words"});
   miner.SetCorpusStats(&stats);
 
   SentimentStore store;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/arena.h"
 #include "parse/chunker.h"
 #include "parse/clause_splitter.h"
 #include "parse/sentence_structure.h"
@@ -13,10 +14,13 @@ namespace {
 class ParseTest : public ::testing::Test {
  protected:
   SentenceParse Parse(const std::string& sentence) {
-    tokens_ = tokenizer_.Tokenize(sentence);
+    // Tokens are zero-copy views into the body, so the fixture must own it
+    // beyond this call.
+    body_ = sentence;
+    tokens_ = tokenizer_.Tokenize(body_);
     std::vector<text::SentenceSpan> spans = splitter_.Split(tokens_);
     std::vector<pos::PosTag> tags = tagger_.TagSentence(tokens_, spans[0]);
-    return analyzer_.Analyze(tokens_, spans[0], tags);
+    return analyzer_.Analyze(tokens_, spans[0], tags, &interner_);
   }
 
   // Surface text of a chunk.
@@ -35,7 +39,10 @@ class ParseTest : public ::testing::Test {
   text::SentenceSplitter splitter_;
   pos::PosTagger tagger_;
   SentenceAnalyzer analyzer_;
+  std::string body_;
   text::TokenStream tokens_;
+  common::Arena arena_;
+  common::StringInterner interner_{&arena_};
 };
 
 // --- Chunker shapes ---------------------------------------------------------------
@@ -251,8 +258,10 @@ TEST_F(ClauseTest, AnalyzeClausesGivesIndependentPredicates) {
   auto spans = splitter_.Split(tokens_);
   auto tags = tagger_.TagSentence(tokens_, spans[0]);
   SentenceAnalyzer analyzer;
+  common::Arena arena;
+  common::StringInterner interner(&arena);
   std::vector<SentenceParse> parses =
-      analyzer.AnalyzeClauses(tokens_, spans[0], tags);
+      analyzer.AnalyzeClauses(tokens_, spans[0], tags, &interner);
   ASSERT_EQ(parses.size(), 2u);
   EXPECT_EQ(parses[0].predicate_lemma, "take");
   EXPECT_EQ(parses[1].predicate_lemma, "be");

@@ -159,7 +159,8 @@ TEST_F(DisambiguatorTest, UnregisteredTopicPassesThrough) {
   Disambiguator empty;
   Spotter spotter;
   spotter.AddSynonymSet({5, "Kodak", {}});
-  text::TokenStream tokens = Tok("Kodak did things.");
+  std::string body = "Kodak did things.";  // must outlive its token views
+  text::TokenStream tokens = Tok(body);
   auto results = empty.Evaluate(tokens, spotter.Spot(tokens), stats_);
   ASSERT_EQ(results.size(), 1u);
   EXPECT_TRUE(results[0].on_topic);
@@ -183,7 +184,8 @@ TEST_F(DisambiguatorTest, LexicalAffinityWeighsDouble) {
   d.AddTopic(topic);
   Spotter spotter;
   spotter.AddSynonymSet({2, "CBR", {}});
-  text::TokenStream tokens = Tok("CBR shipped crude oil to the coast.");
+  std::string body = "CBR shipped crude oil to the coast.";
+  text::TokenStream tokens = Tok(body);
   auto results = d.Evaluate(tokens, spotter.Spot(tokens), stats_);
   ASSERT_EQ(results.size(), 1u);
   // Bigram "crude oil" present: double weight * idf.

@@ -18,8 +18,11 @@
 #include "platform/data_store.h"
 #include "platform/entity.h"
 #include "platform/indexer.h"
+#include "obs/metrics.h"
+#include "store/bloom.h"
 #include "store/index_segment.h"
 #include "store/lsm.h"
+#include "store/segment.h"
 #include "store/varint.h"
 
 namespace wf {
@@ -107,6 +110,93 @@ TEST(VarintTest, RoundTripsBoundaryValues) {
   }
   uint64_t got = 0;
   EXPECT_FALSE(store::GetVarint(torn, &pos, &got));
+}
+
+// --- BloomFilter ------------------------------------------------------------
+
+TEST(BloomFilterTest, NoFalseNegativesAndFewFalsePositives) {
+  store::BloomFilter bloom(1000);
+  for (int i = 0; i < 1000; ++i) {
+    bloom.Add("present-" + std::to_string(i));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bloom.MayContain("present-" + std::to_string(i)));
+  }
+  // ~10 bits/key with 6 probes targets <1% false positives; allow slack.
+  int false_positives = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (bloom.MayContain("absent-" + std::to_string(i))) ++false_positives;
+  }
+  EXPECT_LT(false_positives, 300);
+}
+
+TEST(BloomFilterTest, EmptyFilterAnswersDefinitelyAbsent) {
+  store::BloomFilter unsized;
+  EXPECT_TRUE(unsized.empty());
+  EXPECT_FALSE(unsized.MayContain("anything"));
+  store::BloomFilter sized(0);  // zero expected keys still gets a word
+  EXPECT_FALSE(sized.MayContain("anything"));
+}
+
+TEST(SegmentBloomTest, WriterAndReopenedReaderBuildIdenticalFilters) {
+  ScopedTempDir dir("bloom");
+  std::vector<std::string> keys, values;
+  for (int i = 0; i < 200; ++i) {
+    keys.push_back("key-" + std::to_string(1000 + i));
+    values.push_back("value-" + std::to_string(i));
+  }
+  std::vector<store::SegmentRecord> records;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    records.push_back({keys[i], values[i], false});
+  }
+  store::BloomFilter written;
+  ASSERT_TRUE(store::WriteSegmentFile(dir.File("b.wfseg"), records, nullptr,
+                                      nullptr, &written)
+                  .ok());
+  auto reader = store::SegmentReader::Open(dir.File("b.wfseg"));
+  ASSERT_TRUE(reader.ok());
+  // Derived state must be deterministic: write-time and open-time filters
+  // are bit-identical, and no stored key is ever ruled out.
+  EXPECT_TRUE(written == reader.value()->bloom());
+  for (const std::string& key : keys) {
+    EXPECT_TRUE(reader.value()->MayContain(key));
+    EXPECT_NE(reader.value()->Find(key), nullptr);
+  }
+}
+
+TEST(LsmTreeTest, BloomSkipsSegmentProbesAndExportsCounters) {
+  ScopedTempDir dir("bloom_lsm");
+  obs::MetricsRegistry metrics;
+  LsmOptions opts;
+  opts.compaction_fanout = 0;  // keep every flushed segment
+  LsmTree tree;
+  tree.AttachMetrics(&metrics, "store/test");
+  ASSERT_TRUE(tree.OpenSegments(dir.path(), "s", opts, nullptr).ok());
+  // Three disjoint generations -> three segments; any point read probes
+  // segments that mostly cannot hold the key.
+  for (int gen = 0; gen < 3; ++gen) {
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(
+          tree.Put("g" + std::to_string(gen) + "-" + std::to_string(i), "v")
+              .ok());
+    }
+    ASSERT_TRUE(tree.Flush().ok());
+  }
+  ASSERT_EQ(tree.segment_count(), 3u);
+  obs::Counter* hits = metrics.GetCounter("store/test/bloom_hits_total");
+  obs::Counter* misses = metrics.GetCounter("store/test/bloom_misses_total");
+  const uint64_t hits_before = hits->value();
+  // Reads still answer correctly through the filter...
+  for (int gen = 0; gen < 3; ++gen) {
+    EXPECT_EQ(tree.Get("g" + std::to_string(gen) + "-25").value(), "v");
+  }
+  EXPECT_GT(misses->value(), 0u);
+  // ...and absent-key reads are dominated by filter skips: 200 probes
+  // over 3 segments would be 600 binary searches without the filter.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(tree.Contains("nowhere-" + std::to_string(i)));
+  }
+  EXPECT_GT(hits->value() - hits_before, 500u);
 }
 
 // --- LsmTree ----------------------------------------------------------------

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/string_util.h"
 #include "core/analyzer.h"
 #include "lexicon/pattern_db.h"
@@ -56,7 +57,7 @@ class Pipeline {
         if (!match) continue;
         std::vector<pos::PosTag> tags = tagger_.TagSentence(tokens, span);
         std::vector<parse::SentenceParse> clauses =
-            sentence_analyzer_.AnalyzeClauses(tokens, span, tags);
+            sentence_analyzer_.AnalyzeClauses(tokens, span, tags, &interner_);
         const parse::SentenceParse* parse = &clauses.front();
         for (const parse::SentenceParse& c : clauses) {
           if (i >= c.span.begin_token && i < c.span.end_token) {
@@ -76,7 +77,7 @@ class Pipeline {
     text::TokenStream tokens = tokenizer_.Tokenize(sentence);
     std::vector<text::SentenceSpan> spans = splitter_.Split(tokens);
     std::vector<pos::PosTag> tags = tagger_.TagSentence(tokens, spans[0]);
-    return sentence_analyzer_.Analyze(tokens, spans[0], tags);
+    return sentence_analyzer_.Analyze(tokens, spans[0], tags, &interner_);
   }
 
   const lexicon::SentimentLexicon& lexicon() const { return lexicon_; }
@@ -90,6 +91,10 @@ class Pipeline {
   text::SentenceSplitter splitter_;
   pos::PosTagger tagger_;
   parse::SentenceAnalyzer sentence_analyzer_;
+  // Parse-string storage: returned parses hold views into this arena, so it
+  // lives as long as the Pipeline. Mutable because analysis is const.
+  mutable common::Arena arena_;
+  mutable common::StringInterner interner_{&arena_};
 };
 
 }  // namespace wf::testing

@@ -9,7 +9,7 @@ namespace {
 
 std::vector<std::string> Surfaces(const TokenStream& tokens) {
   std::vector<std::string> out;
-  for (const Token& t : tokens) out.push_back(t.text);
+  for (const Token& t : tokens) out.emplace_back(t.text);
   return out;
 }
 

@@ -932,6 +932,56 @@ TEST(HotPathAllocTest, FlagsUnreservedPushBackInLoop) {
       "hot-path-alloc"));
 }
 
+TEST(HotPathAllocTest, FlagsTokenLoopStringConstructionInParseAndCore) {
+  const std::string src =
+      "void Scan(const text::TokenStream& tokens) {\n"
+      "  for (const text::Token& t : tokens) {\n"
+      "    std::string lower = ToLower(t.text);\n"
+      "    Use(lower);\n"
+      "  }\n"
+      "}\n";
+  // The back half is covered too: parse and core iterate the same streams.
+  EXPECT_TRUE(
+      HasRule(LintSnippet("src/core/analyzer.cc", src), "hot-path-alloc"));
+  EXPECT_TRUE(
+      HasRule(LintSnippet("src/parse/chunker.cc", src), "hot-path-alloc"));
+  // Layers behind the MineContext boundary are out of scope.
+  EXPECT_FALSE(
+      HasRule(LintSnippet("src/spot/spotter.cc", src), "hot-path-alloc"));
+}
+
+TEST(HotPathAllocTest, TokenLoopTemporaryFlaggedHoistedBufferExempt) {
+  // A std::string(...) temporary per token is the same churn in disguise.
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/core/analyzer.cc",
+                  "void Scan(const text::TokenStream& tokens) {\n"
+                  "  for (size_t i = 0; i < tokens.size(); ++i) {\n"
+                  "    Use(std::string(tokens[i].text));\n"
+                  "  }\n"
+                  "}\n"),
+      "hot-path-alloc"));
+  // The sanctioned shape: buffer hoisted above the loop, reused per token.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/core/analyzer.cc",
+                  "void Scan(const text::TokenStream& tokens) {\n"
+                  "  std::string lower_buf;\n"
+                  "  for (const text::Token& t : tokens) {\n"
+                  "    Use(common::LowerInto(t.text, &lower_buf));\n"
+                  "  }\n"
+                  "}\n"),
+      "hot-path-alloc"));
+  // Loops over non-token state do not pay the per-sentence multiplier.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/core/analyzer.cc",
+                  "void Load(const std::vector<Row>& rows) {\n"
+                  "  for (const Row& r : rows) {\n"
+                  "    std::string key = r.name;\n"
+                  "    Use(key);\n"
+                  "  }\n"
+                  "}\n"),
+      "hot-path-alloc"));
+}
+
 // --- suppressions -----------------------------------------------------------
 
 TEST(SuppressionTest, FileLevelAllowSilencesNamedRuleOnly) {
